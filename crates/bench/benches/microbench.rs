@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the performance-critical paths:
+//! page compression encode/decode per method, SampleCF, the greedy graph
+//! search, and a full advisor run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cadb_compression::analyze::compressed_index_size;
+use cadb_compression::page::{decode_page, encode_page, PageContext};
+use cadb_compression::CompressionKind;
+use cadb_core::greedy::greedy_assign;
+use cadb_core::{Advisor, AdvisorOptions, ErrorModel, EstimationGraph};
+use cadb_engine::WhatIfOptimizer;
+use cadb_sampling::{sample_cf, SampleManager};
+
+fn bench_page_codec(c: &mut Criterion) {
+    let db = cadb_datagen::TpchGen::new(0.05).build().unwrap();
+    let t = db.table_id("lineitem").unwrap();
+    let spec = cadb_engine::IndexSpec::secondary(
+        t,
+        vec![cadb_common::ColumnId(8), cadb_common::ColumnId(14)],
+    )
+    .with_includes(vec![cadb_common::ColumnId(10), cadb_common::ColumnId(5)]);
+    let (rows, dtypes, _) =
+        cadb_sampling::index_rows::index_row_stream(&db, &spec, db.table(t).rows()).unwrap();
+    let page_rows = &rows[..400.min(rows.len())];
+
+    let mut group = c.benchmark_group("page_codec");
+    for kind in [
+        CompressionKind::None,
+        CompressionKind::Row,
+        CompressionKind::Page,
+        CompressionKind::Rle,
+    ] {
+        let ctx = PageContext {
+            dtypes: &dtypes,
+            kind,
+            global_dicts: None,
+        };
+        group.bench_with_input(BenchmarkId::new("encode", kind), &ctx, |b, ctx| {
+            b.iter(|| encode_page(black_box(page_rows), ctx).unwrap())
+        });
+        let encoded = encode_page(page_rows, &ctx).unwrap();
+        group.bench_with_input(BenchmarkId::new("decode", kind), &ctx, |b, ctx| {
+            b.iter(|| decode_page(black_box(&encoded.bytes), ctx).unwrap())
+        });
+    }
+    group.finish();
+
+    c.bench_function("compressed_index_size/PAGE/12k_rows", |b| {
+        b.iter(|| compressed_index_size(black_box(&rows), &dtypes, CompressionKind::Page).unwrap())
+    });
+}
+
+fn bench_samplecf(c: &mut Criterion) {
+    let db = cadb_datagen::TpchGen::new(0.1).build().unwrap();
+    let t = db.table_id("lineitem").unwrap();
+    let spec = cadb_engine::IndexSpec::secondary(
+        t,
+        vec![cadb_common::ColumnId(10), cadb_common::ColumnId(2)],
+    )
+    .with_compression(CompressionKind::Page);
+    let manager = SampleManager::new(&db, 1);
+    // Warm the sample cache so the bench isolates the index-build cost.
+    sample_cf(&manager, &spec, 0.05).unwrap();
+    c.bench_function("samplecf/PAGE/f=5%", |b| {
+        b.iter(|| sample_cf(black_box(&manager), &spec, 0.05).unwrap())
+    });
+}
+
+fn bench_greedy_search(c: &mut Criterion) {
+    let db = cadb_datagen::TpchGen::new(0.05).build().unwrap();
+    let opt = WhatIfOptimizer::new(&db);
+    let specs = cadb_bench::experiments::lineitem_index_specs(
+        &db,
+        &[CompressionKind::Row, CompressionKind::Page],
+        3,
+    );
+    c.bench_function(&format!("greedy_graph_search/{}_indexes", specs.len()), |b| {
+        b.iter(|| {
+            let mut g =
+                EstimationGraph::new(&opt, ErrorModel::default(), 0.05, black_box(&specs), &[]);
+            greedy_assign(&mut g, &opt, 0.5, 0.9)
+        })
+    });
+}
+
+fn bench_advisor(c: &mut Criterion) {
+    let gen = cadb_datagen::TpchGen::new(0.02);
+    let db = gen.build().unwrap();
+    let w = gen.workload(&db).unwrap();
+    let budget = 0.3 * db.base_data_bytes() as f64;
+    let mut group = c.benchmark_group("advisor");
+    group.sample_size(10);
+    group.bench_function("dtac_tpch_scale0.02", |b| {
+        b.iter(|| {
+            Advisor::new(&db, AdvisorOptions::dtac(black_box(budget)))
+                .recommend(&w)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_page_codec,
+    bench_samplecf,
+    bench_greedy_search,
+    bench_advisor
+);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [experiment] [--scale S]
+//!
+//! experiments:
+//!   table1    MV row-count estimation errors (App. B.3)
+//!   fig9      SampleCF error calibration + Table 2 fits (App. C)
+//!   fig10     Deduction error calibration + Table 3 fits (App. C)
+//!   table4    Graph search: All vs Greedy vs Optimal (App. D.3)
+//!   scaling   Greedy vs exact runtime growth (§7.1)
+//!   fig11     Estimation overhead in DTAc, with/without deduction
+//!   fig12     TPC-H simple indexes, SELECT-intensive, ablation
+//!   fig13     TPC-H simple indexes, INSERT-intensive, ablation
+//!   fig14     Sales simple indexes, SELECT-intensive, DTAc vs DTA
+//!   fig15     Sales simple indexes, INSERT-intensive, DTAc vs DTA
+//!   fig16     TPC-H all features, SELECT-intensive, DTAc vs DTA
+//!   fig17     TPC-H all features, INSERT-intensive, DTAc vs DTA
+//!   motivating  §1 Examples 1–2 (staged vs integrated)
+//!   all       everything above (default)
+//! ```
+
+use cadb_bench::experiments::designs::{
+    design_figure, VariantSet, BUDGETS, INSERT_INTENSIVE, SELECT_INTENSIVE,
+};
+use cadb_bench::experiments::{
+    calibration, estimation_runtime, graph_quality, motivating, mv_rows,
+};
+use cadb_core::FeatureSet;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = 0.2f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale needs a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                which = other.to_string();
+                i += 1;
+            }
+        }
+    }
+    let t0 = Instant::now();
+    run(&which, scale);
+    eprintln!("[repro {which}: {:.1}s]", t0.elapsed().as_secs_f64());
+}
+
+fn tpch(scale: f64) -> (cadb_engine::Database, cadb_engine::Workload) {
+    let gen = cadb_datagen::TpchGen::new(scale);
+    let db = gen.build().expect("TPC-H generation");
+    let w = gen.workload(&db).expect("TPC-H workload");
+    (db, w)
+}
+
+fn sales(scale: f64) -> (cadb_engine::Database, cadb_engine::Workload) {
+    let gen = cadb_datagen::SalesGen::new(scale);
+    let db = gen.build().expect("Sales generation");
+    let w = gen.workload(&db).expect("Sales workload");
+    (db, w)
+}
+
+fn run(which: &str, scale: f64) {
+    let all = which == "all";
+    if all || which == "table1" {
+        let (db, _) = tpch((scale * 2.5).min(1.0));
+        for t in mv_rows::table1(&db, 0.05, 42) {
+            println!("{}", t.render());
+        }
+    }
+    if all || which == "fig9" {
+        for t in calibration::figure9_all(scale) {
+            println!("{}", t.render());
+        }
+    }
+    if all || which == "fig10" {
+        let (db, _) = tpch(scale);
+        println!("{}", calibration::figure10_for_db(&db).render());
+    }
+    if all || which == "table4" {
+        let (db, _) = tpch(scale);
+        println!("{}", graph_quality::table4(&db, 0.5, 0.9).render());
+    }
+    if all || which == "scaling" {
+        let (db, _) = tpch(scale);
+        println!("{}", graph_quality::runtime_scaling(&db).render());
+    }
+    if all || which == "fig11" {
+        let (db, w) = tpch(scale);
+        let budget = 0.4 * db.base_data_bytes() as f64;
+        println!(
+            "{}",
+            estimation_runtime::figure11(&db, &w, budget).render()
+        );
+    }
+    if all || which == "fig12" {
+        let (db, w) = tpch(scale);
+        println!(
+            "{}",
+            design_figure(
+                "Figure 12: TPC-H SELECT-intensive, simple indexes (improvement %)",
+                &db,
+                &w,
+                SELECT_INTENSIVE,
+                &BUDGETS,
+                VariantSet::Ablation,
+                FeatureSet::Simple,
+            )
+            .render()
+        );
+    }
+    if all || which == "fig13" {
+        let (db, w) = tpch(scale);
+        println!(
+            "{}",
+            design_figure(
+                "Figure 13: TPC-H INSERT-intensive, simple indexes (improvement %)",
+                &db,
+                &w,
+                INSERT_INTENSIVE,
+                &BUDGETS,
+                VariantSet::Ablation,
+                FeatureSet::Simple,
+            )
+            .render()
+        );
+    }
+    if all || which == "fig14" {
+        let (db, w) = sales(scale);
+        println!(
+            "{}",
+            design_figure(
+                "Figure 14: Sales SELECT-intensive, simple indexes (improvement %)",
+                &db,
+                &w,
+                SELECT_INTENSIVE,
+                &BUDGETS,
+                VariantSet::DtacVsDta,
+                FeatureSet::Simple,
+            )
+            .render()
+        );
+    }
+    if all || which == "fig15" {
+        let (db, w) = sales(scale);
+        println!(
+            "{}",
+            design_figure(
+                "Figure 15: Sales INSERT-intensive, simple indexes (improvement %)",
+                &db,
+                &w,
+                INSERT_INTENSIVE,
+                &BUDGETS,
+                VariantSet::DtacVsDta,
+                FeatureSet::Simple,
+            )
+            .render()
+        );
+    }
+    if all || which == "fig16" {
+        let (db, w) = tpch(scale);
+        println!(
+            "{}",
+            design_figure(
+                "Figure 16: TPC-H SELECT-intensive, all features (improvement %)",
+                &db,
+                &w,
+                SELECT_INTENSIVE,
+                &BUDGETS,
+                VariantSet::DtacVsDta,
+                FeatureSet::All,
+            )
+            .render()
+        );
+    }
+    if all || which == "fig17" {
+        let (db, w) = tpch(scale);
+        println!(
+            "{}",
+            design_figure(
+                "Figure 17: TPC-H INSERT-intensive, all features (improvement %)",
+                &db,
+                &w,
+                INSERT_INTENSIVE,
+                &BUDGETS,
+                VariantSet::DtacVsDta,
+                FeatureSet::All,
+            )
+            .render()
+        );
+    }
+    if all || which == "motivating" {
+        let (db, w) = tpch(scale);
+        println!("{}", motivating::motivating(&db, &w).render());
+    }
+    let known = [
+        "all", "table1", "fig9", "fig10", "table4", "scaling", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "motivating",
+    ];
+    if !known.contains(&which) {
+        eprintln!("unknown experiment '{which}'; one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,310 @@
+//! Figure 9 / Table 2 (SampleCF error calibration) and Figure 10 / Table 3
+//! (deduction error calibration) — Appendix C.
+//!
+//! Measures `estimate/truth` for SampleCF over many indexes and sampling
+//! fractions (per dataset and skew), reports bias and standard deviation,
+//! and least-square-fits the `c · ln f` coefficients. For deductions, the
+//! same is done against the number of extrapolated indexes `a`.
+
+use crate::experiments::lineitem_index_specs;
+use crate::report::Table;
+use cadb_common::ColumnId;
+use cadb_compression::CompressionKind;
+use cadb_core::deduction::{deduce_size, KnownSize};
+use cadb_core::ErrorModel;
+use cadb_engine::{Database, IndexSpec, WhatIfOptimizer};
+use cadb_sampling::{sample_cf, true_compression_fraction, SampleManager};
+
+/// Statistics of relative estimates over a set of indexes.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorStats {
+    /// Mean of `estimate/truth − 1`.
+    pub bias: f64,
+    /// Standard deviation of `estimate/truth`.
+    pub stddev: f64,
+    /// Samples.
+    pub n: usize,
+}
+
+fn stats_of(ratios: &[f64]) -> ErrorStats {
+    let n = ratios.len();
+    if n == 0 {
+        return ErrorStats {
+            bias: 0.0,
+            stddev: 0.0,
+            n: 0,
+        };
+    }
+    let mean = ratios.iter().sum::<f64>() / n as f64;
+    let var = ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n as f64;
+    ErrorStats {
+        bias: mean - 1.0,
+        stddev: var.sqrt(),
+        n,
+    }
+}
+
+/// Ground-truth CF per spec, computed once and reused across fractions and
+/// seeds (building every index is the expensive part of this experiment).
+pub fn ground_truths(db: &Database, specs: &[IndexSpec]) -> Vec<Option<f64>> {
+    specs
+        .iter()
+        .map(|spec| true_compression_fraction(db, spec).ok().filter(|t| *t > 0.0))
+        .collect()
+}
+
+/// SampleCF `estimate/truth` ratios for a set of specs at fraction `f`.
+pub fn samplecf_ratios(
+    db: &Database,
+    specs: &[IndexSpec],
+    f: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let truths = ground_truths(db, specs);
+    samplecf_ratios_with_truths(db, specs, &truths, f, seed)
+}
+
+/// Like [`samplecf_ratios`] but with precomputed ground truths.
+pub fn samplecf_ratios_with_truths(
+    db: &Database,
+    specs: &[IndexSpec],
+    truths: &[Option<f64>],
+    f: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let manager = SampleManager::new(db, seed);
+    specs
+        .iter()
+        .zip(truths)
+        .filter_map(|(spec, truth)| {
+            let truth = (*truth)?;
+            let est = sample_cf(&manager, spec, f).ok()?;
+            Some(est.cf / truth)
+        })
+        .collect()
+}
+
+/// One dataset row of the Figure 9 experiment: per fraction, per method
+/// family, bias and stddev.
+pub fn figure9_for_db(db: &Database, fractions: &[f64], seeds: &[u64]) -> Table {
+    let ns_specs = lineitem_index_specs(db, &[CompressionKind::Row], 2);
+    let ld_specs = lineitem_index_specs(db, &[CompressionKind::Page], 2);
+    let ns_truths = ground_truths(db, &ns_specs);
+    let ld_truths = ground_truths(db, &ld_specs);
+    let mut t = Table::new(
+        "Figure 9: SampleCF error bias and stddev vs sampling fraction f",
+        &["f", "NS-bias", "NS-stddev", "LD-bias", "LD-stddev"],
+    );
+    let mut fit_points: Vec<(String, Vec<(f64, f64)>)> = vec![
+        ("NS-stddev".into(), Vec::new()),
+        ("LD-bias".into(), Vec::new()),
+        ("LD-stddev".into(), Vec::new()),
+    ];
+    for &f in fractions {
+        let mut ns_all = Vec::new();
+        let mut ld_all = Vec::new();
+        for &seed in seeds {
+            ns_all.extend(samplecf_ratios_with_truths(db, &ns_specs, &ns_truths, f, seed));
+            ld_all.extend(samplecf_ratios_with_truths(db, &ld_specs, &ld_truths, f, seed));
+        }
+        let ns = stats_of(&ns_all);
+        let ld = stats_of(&ld_all);
+        fit_points[0].1.push((f, ns.stddev));
+        fit_points[1].1.push((f, ld.bias));
+        fit_points[2].1.push((f, ld.stddev));
+        t.row(vec![
+            format!("{:.1}%", f * 100.0),
+            format!("{:+.4}", ns.bias),
+            format!("{:.4}", ns.stddev),
+            format!("{:+.4}", ld.bias),
+            format!("{:.4}", ld.stddev),
+        ]);
+    }
+    // Table 2: least-square fits.
+    t.row(vec!["".into(); 5]);
+    for (name, pts) in fit_points {
+        let c = ErrorModel::fit_ln_coefficient(&pts);
+        t.row(vec![
+            "fit".into(),
+            name,
+            format!("{c:+.4} ln(f)"),
+            "".into(),
+            "".into(),
+        ]);
+    }
+    t
+}
+
+/// Figure 10 / Table 3: deduction error vs number of extrapolated indexes.
+///
+/// For each target of width `a ∈ {2, 3, 4}`, deduce its size from its `a`
+/// singleton children (with ground-truth child sizes, isolating the
+/// deduction's own error, as in the paper's analysis).
+pub fn figure10_for_db(db: &Database) -> Table {
+    let opt = WhatIfOptimizer::new(db);
+    let t_li = db.table_id("lineitem").expect("TPC-H database");
+    let cols: Vec<ColumnId> = [0u16, 1, 2, 4, 5, 6, 8, 10]
+        .iter()
+        .map(|c| ColumnId(*c))
+        .collect();
+    let mut table = Table::new(
+        "Figure 10: deduction (ColExt) error vs a = #extrapolated indexes",
+        &["a", "NS-bias", "NS-stddev", "LD-bias", "LD-stddev"],
+    );
+    let mut fits: Vec<(String, Vec<(f64, f64)>)> = vec![
+        ("NS-bias".into(), Vec::new()),
+        ("LD-bias".into(), Vec::new()),
+        ("LD-stddev".into(), Vec::new()),
+    ];
+    for a in 2..=4usize {
+        let mut per_kind: Vec<(CompressionKind, Vec<f64>)> = vec![
+            (CompressionKind::Row, Vec::new()),
+            (CompressionKind::Page, Vec::new()),
+        ];
+        for start in 0..cols.len() {
+            let key: Vec<ColumnId> = (0..a).map(|i| cols[(start + i) % cols.len()]).collect();
+            for (kind, ratios) in per_kind.iter_mut() {
+                let target = IndexSpec::secondary(t_li, key.clone()).with_compression(*kind);
+                let children: Vec<KnownSize> = key
+                    .iter()
+                    .map(|c| {
+                        let spec =
+                            IndexSpec::secondary(t_li, vec![*c]).with_compression(*kind);
+                        let cf = true_compression_fraction(db, &spec).unwrap_or(1.0);
+                        let unc = opt.estimate_uncompressed_size(&spec);
+                        KnownSize {
+                            compressed_bytes: unc.bytes * cf,
+                            uncompressed: unc,
+                            spec,
+                        }
+                    })
+                    .collect();
+                let deduced = deduce_size(&opt, &target, &children);
+                if let Ok(truth_cf) = true_compression_fraction(db, &target) {
+                    let truth = opt.estimate_uncompressed_size(&target).bytes * truth_cf;
+                    if truth > 0.0 {
+                        ratios.push(deduced / truth);
+                    }
+                }
+            }
+        }
+        let ns = stats_of(&per_kind[0].1);
+        let ld = stats_of(&per_kind[1].1);
+        fits[0].1.push((a as f64, ns.bias));
+        fits[1].1.push((a as f64, ld.bias));
+        fits[2].1.push((a as f64, ld.stddev));
+        table.row(vec![
+            a.to_string(),
+            format!("{:+.4}", ns.bias),
+            format!("{:.4}", ns.stddev),
+            format!("{:+.4}", ld.bias),
+            format!("{:.4}", ld.stddev),
+        ]);
+    }
+    table.row(vec!["".into(); 5]);
+    for (name, pts) in fits {
+        let c = ErrorModel::fit_linear_coefficient(&pts);
+        table.row(vec![
+            "fit".into(),
+            name,
+            format!("{c:+.4} a"),
+            "".into(),
+            "".into(),
+        ]);
+    }
+    table
+}
+
+/// The full Figure 9 / Table 2 sweep over TPC-H Z∈{0,1,3} and TPC-DS.
+pub fn figure9_all(scale: f64) -> Vec<Table> {
+    let fractions = [0.01, 0.025, 0.05, 0.10];
+    let seeds = [1u64, 2, 3];
+    let mut out = Vec::new();
+    for (label, z) in [("TPC-H Z=0", 0.0), ("TPC-H Z=1", 1.0), ("TPC-H Z=3", 3.0)] {
+        let db = cadb_datagen::TpchGen::with_skew(scale, z).build().expect("gen");
+        let mut t = figure9_for_db(&db, &fractions, &seeds);
+        t.title = format!("{} — {}", t.title, label);
+        out.push(t);
+    }
+    // TPC-DS subset: index specs over store_sales.
+    let ds = cadb_datagen::TpcdsGen::new(scale).build().expect("gen");
+    let mut t = tpcds_figure9(&ds, &fractions, &seeds);
+    t.title = format!("{} — TPC-DS", t.title);
+    out.push(t);
+    out
+}
+
+fn tpcds_figure9(db: &Database, fractions: &[f64], seeds: &[u64]) -> Table {
+    let t_ss = db.table_id("store_sales").expect("tpcds db");
+    let cols: Vec<ColumnId> = (0u16..9).map(ColumnId).collect();
+    let mut ns_specs = Vec::new();
+    let mut ld_specs = Vec::new();
+    for &a in &cols {
+        ns_specs.push(IndexSpec::secondary(t_ss, vec![a]).with_compression(CompressionKind::Row));
+        ld_specs.push(IndexSpec::secondary(t_ss, vec![a]).with_compression(CompressionKind::Page));
+        for &b in &cols {
+            if a != b && (a.0 + b.0) % 3 == 0 {
+                ns_specs.push(
+                    IndexSpec::secondary(t_ss, vec![a, b]).with_compression(CompressionKind::Row),
+                );
+                ld_specs.push(
+                    IndexSpec::secondary(t_ss, vec![a, b]).with_compression(CompressionKind::Page),
+                );
+            }
+        }
+    }
+    let ns_truths = ground_truths(db, &ns_specs);
+    let ld_truths = ground_truths(db, &ld_specs);
+    let mut t = Table::new(
+        "Figure 9: SampleCF error bias and stddev vs sampling fraction f",
+        &["f", "NS-bias", "NS-stddev", "LD-bias", "LD-stddev"],
+    );
+    for &f in fractions {
+        let mut ns_all = Vec::new();
+        let mut ld_all = Vec::new();
+        for &seed in seeds {
+            ns_all.extend(samplecf_ratios_with_truths(db, &ns_specs, &ns_truths, f, seed));
+            ld_all.extend(samplecf_ratios_with_truths(db, &ld_specs, &ld_truths, f, seed));
+        }
+        let ns = stats_of(&ns_all);
+        let ld = stats_of(&ld_all);
+        t.row(vec![
+            format!("{:.1}%", f * 100.0),
+            format!("{:+.4}", ns.bias),
+            format!("{:.4}", ns.stddev),
+            format!("{:+.4}", ld.bias),
+            format!("{:.4}", ld.stddev),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samplecf_errors_shrink_with_f() {
+        let db = cadb_datagen::TpchGen::new(0.05).build().unwrap();
+        let specs = lineitem_index_specs(&db, &[CompressionKind::Row], 1);
+        let small = stats_of(&samplecf_ratios(&db, &specs, 0.01, 1));
+        let large = stats_of(&samplecf_ratios(&db, &specs, 0.20, 1));
+        assert!(small.n > 5);
+        // Larger samples → smaller spread (allowing some noise).
+        assert!(
+            large.stddev <= small.stddev + 0.02,
+            "stddev {} -> {}",
+            small.stddev,
+            large.stddev
+        );
+    }
+
+    #[test]
+    fn figure10_table_has_three_a_rows() {
+        let db = cadb_datagen::TpchGen::new(0.03).build().unwrap();
+        let t = figure10_for_db(&db);
+        // 3 data rows + blank + 3 fit rows.
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.render().contains("a"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Figures 12–17: design quality over storage budgets.
+//!
+//! * Figures 12/13: TPC-H, simple indexes, SELECT- vs INSERT-intensive,
+//!   ablating Skyline and Backtracking (DTAc(Both)/Skyline/Backtrack/
+//!   DTAc(None)/DTA).
+//! * Figures 14/15: Sales, simple indexes, DTAc vs DTA.
+//! * Figures 16/17: TPC-H, all features (partial + MV indexes), DTAc vs DTA.
+//!
+//! Budgets are expressed as fractions of the uncompressed base-table size,
+//! mirroring the paper's "10 %–100 % of the database size without indexes"
+//! sweep (Appendix D.2). "Improvement" is the estimated workload runtime
+//! improvement over the unindexed database, exactly the paper's metric.
+
+use crate::report::Table;
+use cadb_core::{Advisor, AdvisorOptions, FeatureSet};
+use cadb_engine::{Database, Workload};
+
+/// Which advisor variants a figure compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantSet {
+    /// DTAc(Both) / Skyline / Backtrack / DTAc(None) / DTA (Figures 12–13).
+    Ablation,
+    /// DTAc vs DTA (Figures 14–17).
+    DtacVsDta,
+}
+
+fn variants(set: VariantSet, budget: f64, features: FeatureSet) -> Vec<(String, AdvisorOptions)> {
+    let base = AdvisorOptions::dtac(budget).with_features(features);
+    match set {
+        VariantSet::Ablation => vec![
+            ("DTAc(Both)".into(), base.clone()),
+            (
+                "Skyline".into(),
+                AdvisorOptions {
+                    backtracking: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "Backtrack".into(),
+                AdvisorOptions {
+                    skyline: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "DTAc(None)".into(),
+                AdvisorOptions {
+                    skyline: false,
+                    backtracking: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "DTA".into(),
+                AdvisorOptions::dta(budget).with_features(features),
+            ),
+        ],
+        VariantSet::DtacVsDta => vec![
+            ("DTAc".into(), base),
+            (
+                "DTA".into(),
+                AdvisorOptions::dta(budget).with_features(features),
+            ),
+        ],
+    }
+}
+
+/// Run one improvement-vs-budget figure.
+#[allow(clippy::too_many_arguments)]
+pub fn design_figure(
+    title: &str,
+    db: &Database,
+    workload: &Workload,
+    insert_weight: f64,
+    budget_fracs: &[f64],
+    set: VariantSet,
+    features: FeatureSet,
+) -> Table {
+    let w = workload.with_insert_weight(insert_weight);
+    let base_bytes = db.base_data_bytes() as f64;
+    let names: Vec<String> = variants(set, 0.0, features)
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    let mut headers: Vec<&str> = vec!["budget"];
+    let name_refs: Vec<String> = names.clone();
+    for n in &name_refs {
+        headers.push(n.as_str());
+    }
+    let mut t = Table::new(title, &headers);
+    for &frac in budget_fracs {
+        let budget = base_bytes * frac;
+        let mut row = vec![format!("{:.0}%", frac * 100.0)];
+        for (_, opts) in variants(set, budget, features) {
+            let rec = Advisor::new(db, opts).recommend(&w).expect("advisor run");
+            row.push(format!("{:.1}", rec.improvement_percent()));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Standard budget grid used by all design figures.
+pub const BUDGETS: [f64; 5] = [0.08, 0.15, 0.3, 0.5, 0.8];
+
+/// SELECT-intensive insert weight.
+pub const SELECT_INTENSIVE: f64 = 0.1;
+/// INSERT-intensive insert weight.
+pub const INSERT_INTENSIVE: f64 = 150.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn improvements(t: &Table, col: usize) -> Vec<f64> {
+        t.rows.iter().map(|r| r[col].parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn dtac_dominates_dta_select_intensive() {
+        let gen = cadb_datagen::TpchGen::new(0.01);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        let t = design_figure(
+            "test",
+            &db,
+            &w,
+            SELECT_INTENSIVE,
+            &[0.1, 0.3, 0.7],
+            VariantSet::DtacVsDta,
+            FeatureSet::Simple,
+        );
+        let dtac = improvements(&t, 1);
+        let dta = improvements(&t, 2);
+        for (c, d) in dtac.iter().zip(&dta) {
+            assert!(c + 1e-6 >= *d, "DTAc {c} < DTA {d}");
+        }
+        // Somewhere DTAc must be strictly better (the paper: factor 1.5–2
+        // in tight budgets).
+        assert!(dtac.iter().zip(&dta).any(|(c, d)| c > &(d + 1.0)));
+        // Improvement grows (weakly) with budget for the same variant.
+        assert!(dtac.windows(2).all(|w| w[1] >= w[0] - 2.0));
+    }
+
+    #[test]
+    fn ablation_table_has_five_variants() {
+        let gen = cadb_datagen::TpchGen::new(0.01);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        let t = design_figure(
+            "test",
+            &db,
+            &w,
+            SELECT_INTENSIVE,
+            &[0.15],
+            VariantSet::Ablation,
+            FeatureSet::Simple,
+        );
+        assert_eq!(t.headers.len(), 6);
+        let both: f64 = t.rows[0][1].parse().unwrap();
+        let none: f64 = t.rows[0][4].parse().unwrap();
+        let dta: f64 = t.rows[0][5].parse().unwrap();
+        assert!(both + 1e-6 >= none);
+        assert!(both > dta);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 11: the real cost of index size estimation inside the advisor,
+//! with and without deductions.
+//!
+//! Runs DTAc (all features) on the TPC-H workload twice — once with the §5
+//! framework's deductions enabled, once forcing SampleCF on every target —
+//! and reports the time breakdown (Other / Sample / Estimate) plus the
+//! planned §5.1 cost and the sampled-vs-deduced split.
+
+use crate::report::Table;
+use cadb_core::{Advisor, AdvisorOptions, FeatureSet};
+use cadb_engine::{Database, Workload};
+
+/// Run the Figure 11 comparison.
+pub fn figure11(db: &Database, workload: &Workload, budget: f64) -> Table {
+    let mut t = Table::new(
+        "Figure 11: advisor runtime breakdown, with vs without deduction",
+        &[
+            "variant",
+            "other_s",
+            "sample_s",
+            "estimate_s",
+            "plan_cost_pages",
+            "sampled",
+            "deduced",
+            "improvement%",
+        ],
+    );
+    for (label, use_deduction) in [("DTAc w/o deduction", false), ("DTAc", true)] {
+        let mut options = AdvisorOptions::dtac(budget).with_features(FeatureSet::All);
+        options.estimation.use_deduction = use_deduction;
+        let rec = Advisor::new(db, options)
+            .recommend(workload)
+            .expect("advisor run");
+        t.row(vec![
+            label.into(),
+            format!("{:.2}", rec.timings.other_seconds),
+            format!("{:.2}", rec.timings.sample_seconds),
+            format!("{:.2}", rec.timings.estimate_seconds),
+            format!("{:.0}", rec.timings.estimation_cost_pages),
+            rec.timings.sampled.to_string(),
+            rec.timings.deduced.to_string(),
+            format!("{:.1}", rec.improvement_percent()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduction_cuts_estimation_cost() {
+        let gen = cadb_datagen::TpchGen::new(0.02);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        let budget = 0.4 * db.base_data_bytes() as f64;
+        let t = figure11(&db, &w, budget);
+        assert_eq!(t.rows.len(), 2);
+        let without: f64 = t.rows[0][4].parse().unwrap();
+        let with: f64 = t.rows[1][4].parse().unwrap();
+        assert!(
+            with < without,
+            "deduction should cut planned cost: {with} !< {without}"
+        );
+        let deduced: usize = t.rows[1][6].parse().unwrap();
+        assert!(deduced > 0);
+        let deduced_wo: usize = t.rows[0][6].parse().unwrap();
+        assert_eq!(deduced_wo, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Table 4 and the §7.1 graph-search quality/runtime claims.
+//!
+//! Compares the All / Greedy / Optimal strategies' total sampling cost on
+//! the LINEITEM index set (≤ `MAX_WIDTH` columns per index, as the paper
+//! caps at 7) across the sampling-fraction grid, at `e = 0.5, q = 0.9`; and
+//! measures greedy wall time on the full 300-index set where the exact
+//! algorithm blows up.
+
+use crate::experiments::lineitem_index_specs;
+use crate::report::Table;
+use cadb_compression::CompressionKind;
+use cadb_core::exact::exact_assign;
+use cadb_core::greedy::{all_sampled, greedy_assign};
+use cadb_core::{ErrorModel, EstimationGraph};
+use cadb_engine::{Database, WhatIfOptimizer};
+use std::time::Instant;
+
+/// Run Table 4: costs of All / Greedy / Optimal per sampling fraction.
+pub fn table4(db: &Database, e: f64, q: f64) -> Table {
+    let opt = WhatIfOptimizer::new(db);
+    // A small cluster (the paper restricts Optimal to LINEITEM with ≤7
+    // columns; we use a ≤3-wide subset so Optimal terminates quickly).
+    let t_li = db.table_id("lineitem").expect("TPC-H database");
+    let cols: Vec<cadb_common::ColumnId> =
+        [1u16, 2, 4, 10].iter().map(|c| cadb_common::ColumnId(*c)).collect();
+    let mut targets = Vec::new();
+    for &a in &cols {
+        targets.push(
+            cadb_engine::IndexSpec::secondary(t_li, vec![a])
+                .with_compression(CompressionKind::Row),
+        );
+    }
+    for w in cols.windows(2) {
+        targets.push(
+            cadb_engine::IndexSpec::secondary(t_li, w.to_vec())
+                .with_compression(CompressionKind::Row),
+        );
+    }
+    for w in cols.windows(3) {
+        targets.push(
+            cadb_engine::IndexSpec::secondary(t_li, w.to_vec())
+                .with_compression(CompressionKind::Row),
+        );
+    }
+
+    let mut table = Table::new(
+        format!("Table 4: graph-search quality (total sampling cost), e={e}, q={q}"),
+        &["f", "All", "Greedy", "Optimal", "Greedy/Optimal"],
+    );
+    for f in [0.01, 0.025, 0.05, 0.075, 0.10] {
+        let mut g_all = EstimationGraph::new(&opt, ErrorModel::default(), f, &targets, &[]);
+        let c_all = all_sampled(&mut g_all);
+        let mut g_greedy = EstimationGraph::new(&opt, ErrorModel::default(), f, &targets, &[]);
+        let c_greedy = greedy_assign(&mut g_greedy, &opt, e, q);
+        let mut g_exact = EstimationGraph::new(&opt, ErrorModel::default(), f, &targets, &[]);
+        let r_exact = exact_assign(&mut g_exact, &opt, e, q);
+        let c_exact = r_exact.best_cost.unwrap_or(f64::NAN);
+        table.row(vec![
+            format!("{:.1}%", f * 100.0),
+            format!("{c_all:.0}"),
+            format!("{c_greedy:.0}"),
+            format!("{c_exact:.0}"),
+            format!("{:.2}", c_greedy / c_exact),
+        ]);
+    }
+    table
+}
+
+/// The runtime claim: greedy stays fast as the index count grows, the exact
+/// search's explored-state count explodes.
+pub fn runtime_scaling(db: &Database) -> Table {
+    let opt = WhatIfOptimizer::new(db);
+    let all_specs = lineitem_index_specs(db, &[CompressionKind::Row, CompressionKind::Page], 3);
+    let mut table = Table::new(
+        "Graph-search runtime scaling (greedy ms vs exact visited states)",
+        &["#indexes", "greedy_ms", "exact_visits", "exact_truncated"],
+    );
+    for n in [8usize, 12, 16, 40, all_specs.len().min(300)] {
+        let targets = &all_specs[..n.min(all_specs.len())];
+        let t0 = Instant::now();
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, targets, &[]);
+        greedy_assign(&mut g, &opt, 0.5, 0.9);
+        let greedy_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (visits, truncated) = if n <= 16 {
+            let mut ge = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, targets, &[]);
+            let r = exact_assign(&mut ge, &opt, 0.5, 0.9);
+            (r.visited.to_string(), r.truncated.to_string())
+        } else {
+            ("-".into(), "skipped (blows up)".into())
+        };
+        table.row(vec![
+            targets.len().to_string(),
+            format!("{greedy_ms:.1}"),
+            visits,
+            truncated,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_between_optimal_and_all() {
+        let db = cadb_datagen::TpchGen::new(0.05).build().unwrap();
+        let t = table4(&db, 0.5, 0.9);
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            let all: f64 = row[1].parse().unwrap();
+            let greedy: f64 = row[2].parse().unwrap();
+            let optimal: f64 = row[3].parse().unwrap();
+            assert!(optimal <= greedy + 1.0, "optimal {optimal} > greedy {greedy}");
+            assert!(greedy <= all + 1.0, "greedy {greedy} > all {all}");
+        }
+    }
+
+    #[test]
+    fn greedy_fast_on_hundreds_of_indexes() {
+        let db = cadb_datagen::TpchGen::new(0.02).build().unwrap();
+        let opt = WhatIfOptimizer::new(&db);
+        let specs = lineitem_index_specs(&db, &[CompressionKind::Row, CompressionKind::Page], 3);
+        assert!(specs.len() >= 80, "got {}", specs.len());
+        let t0 = Instant::now();
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &specs, &[]);
+        greedy_assign(&mut g, &opt, 0.5, 0.9);
+        // "Greedy finished in a second" for 300+ indexes (paper §7.1);
+        // generous bound for debug builds.
+        assert!(t0.elapsed().as_secs_f64() < 30.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Table 1 (Appendix B.3): accuracy of MV row-count estimation.
+//!
+//! For every aggregation-MV candidate the advisor generates on the TPC-H
+//! workload, compare three estimators of the MV's group count against the
+//! materialized truth:
+//!
+//! * **Optimizer** — the independence-based estimate over per-column
+//!   distinct counts,
+//! * **Multiply** — scale the sample's group count by the sampling ratio,
+//! * **AE** — the Adaptive Estimator over the MV sample's COUNT column.
+
+use crate::report::Table;
+use cadb_engine::{cardinality, Database, MvSpec, WhatIfOptimizer};
+use cadb_sampling::mv_sample::{create_mv_sample, multiply_estimate};
+use cadb_sampling::SampleManager;
+use cadb_stats::distinct::relative_error;
+
+/// The MV candidates the experiment measures.
+///
+/// All group on **two columns** — the case the paper singles out ("MVs
+/// usually aggregate on more than one column and the optimizer simply
+/// assumes independence", App. B.3). The set mixes genuinely correlated
+/// pairs (returnflag/linestatus, shipmode/shipgroup — where independence
+/// overestimates badly) with independent pairs (where the optimizer is
+/// fine), so the average reflects both regimes.
+pub fn tpch_mv_candidates(db: &Database) -> Vec<MvSpec> {
+    let li = db.table_id("lineitem").expect("TPC-H database");
+    let orders = db.table_id("orders").expect("TPC-H database");
+    let col = |table, name: &str| {
+        (
+            table,
+            db.schema(table).column_id(name).expect("column exists"),
+        )
+    };
+    let pairs: Vec<(cadb_common::TableId, &str, &str, &str)> = vec![
+        (li, "returnflag", "linestatus", "extendedprice"),
+        (li, "shipmode", "shipgroup", "extendedprice"),
+        (li, "shipmode", "returnflag", "quantity"),
+        (li, "suppkey", "returnflag", "extendedprice"),
+        (li, "shipdate", "shipmode", "extendedprice"),
+        (li, "partkey", "returnflag", "quantity"),
+        (orders, "orderpriority", "orderstatus", "totalprice"),
+        (orders, "custkey", "orderstatus", "totalprice"),
+    ];
+    pairs
+        .into_iter()
+        .map(|(t, a, b, agg)| MvSpec {
+            root: t,
+            joins: vec![],
+            group_by: vec![col(t, a), col(t, b)],
+            agg_columns: vec![col(t, agg)],
+        })
+        .collect()
+}
+
+/// Run Table 1 at the given sampling fraction. Returns the summary table
+/// (paper row) followed by the per-MV detail table.
+pub fn table1(db: &Database, f: f64, seed: u64) -> Vec<Table> {
+    let opt = WhatIfOptimizer::new(db);
+    let manager = SampleManager::new(db, seed);
+    let mvs = tpch_mv_candidates(db);
+    let mut per_mv = Table::new(
+        format!("Table 1 detail: MV group-count estimates at f={:.0}%", f * 100.0),
+        &["mv(group-by)", "truth", "Optimizer", "Multiply", "AE"],
+    );
+    let mut errs = (Vec::new(), Vec::new(), Vec::new());
+    for mv in &mvs {
+        let truth = cardinality::mv_true_rows(db, mv) as f64;
+        if truth == 0.0 {
+            continue;
+        }
+        let optimizer = cardinality::mv_estimated_rows(db, mv);
+        let stats = create_mv_sample(&manager, mv, f).expect("mv sample");
+        let multiply = multiply_estimate(&stats);
+        let ae = stats.estimated_groups;
+        errs.0.push(relative_error(optimizer, truth));
+        errs.1.push(relative_error(multiply, truth));
+        errs.2.push(relative_error(ae, truth));
+        per_mv.row(vec![
+            format!("{}·{}cols", mv.root, mv.group_by.len()),
+            format!("{truth:.0}"),
+            format!("{optimizer:.0}"),
+            format!("{multiply:.0}"),
+            format!("{ae:.0}"),
+        ]);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut t = Table::new(
+        "Table 1: average errors of #tuples in aggregated MVs",
+        &["Optimizer", "Multiply", "AE"],
+    );
+    t.row(vec![
+        format!("{:.0}%", avg(&errs.0) * 100.0),
+        format!("{:.0}%", avg(&errs.1) * 100.0),
+        format!("{:.0}%", avg(&errs.2) * 100.0),
+    ]);
+    let _ = opt;
+    vec![t, per_mv]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ae_wins_table1_shape() {
+        let db = cadb_datagen::TpchGen::new(0.1).build().unwrap();
+        let t = &table1(&db, 0.02, 42)[0];
+        // First row holds the averages.
+        let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+        let optimizer = parse(&t.rows[0][0]);
+        let multiply = parse(&t.rows[0][1]);
+        let ae = parse(&t.rows[0][2]);
+        // The paper: Optimizer 96%, Multiply 379%, AE 6%. Shape: AE best
+        // by a wide margin, Multiply worst.
+        assert!(ae < optimizer, "AE {ae}% !< Optimizer {optimizer}%");
+        assert!(ae < multiply / 4.0, "AE {ae}% vs Multiply {multiply}%");
+        assert!(ae < 30.0, "AE error too large: {ae}%");
+    }
+}

@@ -1,0 +1,17 @@
+//! # cadb-bench
+//!
+//! The reproduction harness: one module per table/figure of the paper's
+//! evaluation. The `repro` binary runs them and prints the same rows/series
+//! the paper reports; `EXPERIMENTS.md` in the repository root records
+//! paper-vs-measured values for each.
+//!
+//! Absolute numbers differ from the paper (our substrate is a miniature
+//! in-memory engine, not SQL Server on a 2011 server); what must match is
+//! the *shape*: who wins, by roughly what factor, where crossovers fall.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

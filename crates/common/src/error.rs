@@ -1,0 +1,108 @@
+//! Workspace-wide error type.
+//!
+//! A single lightweight error enum is shared across crates. The variants are
+//! coarse-grained on purpose: callers either propagate errors upward to the
+//! harness or match on the broad category (schema problem vs. storage problem
+//! vs. invalid argument), never on message contents.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, CadbError>;
+
+/// The error type shared by all `cadb` crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CadbError {
+    /// A name (table, column, index) could not be resolved in the catalog.
+    NotFound(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// A schema-level inconsistency: arity mismatch, type mismatch, etc.
+    Schema(String),
+    /// A malformed or out-of-range argument to a public API.
+    InvalidArgument(String),
+    /// Storage-layer failure: page overflow, corrupt encoding, etc.
+    Storage(String),
+    /// SQL lexing/parsing failure, with a human-readable position hint.
+    Parse(String),
+    /// The optimizer / advisor hit an unsatisfiable constraint
+    /// (e.g. no feasible size-estimation plan for the requested accuracy).
+    Infeasible(String),
+    /// Internal invariant violation. Indicates a bug in this workspace.
+    Internal(String),
+}
+
+impl CadbError {
+    /// Short machine-friendly category label, stable across message changes.
+    pub fn category(&self) -> &'static str {
+        match self {
+            CadbError::NotFound(_) => "not_found",
+            CadbError::AlreadyExists(_) => "already_exists",
+            CadbError::Schema(_) => "schema",
+            CadbError::InvalidArgument(_) => "invalid_argument",
+            CadbError::Storage(_) => "storage",
+            CadbError::Parse(_) => "parse",
+            CadbError::Infeasible(_) => "infeasible",
+            CadbError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for CadbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CadbError::NotFound(m) => write!(f, "not found: {m}"),
+            CadbError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            CadbError::Schema(m) => write!(f, "schema error: {m}"),
+            CadbError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            CadbError::Storage(m) => write!(f, "storage error: {m}"),
+            CadbError::Parse(m) => write!(f, "parse error: {m}"),
+            CadbError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            CadbError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CadbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = CadbError::NotFound("table lineitem".into());
+        assert_eq!(e.to_string(), "not found: table lineitem");
+    }
+
+    #[test]
+    fn categories_are_distinct() {
+        let all = [
+            CadbError::NotFound(String::new()),
+            CadbError::AlreadyExists(String::new()),
+            CadbError::Schema(String::new()),
+            CadbError::InvalidArgument(String::new()),
+            CadbError::Storage(String::new()),
+            CadbError::Parse(String::new()),
+            CadbError::Infeasible(String::new()),
+            CadbError::Internal(String::new()),
+        ];
+        let mut cats: Vec<_> = all.iter().map(|e| e.category()).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        assert_eq!(cats.len(), all.len());
+    }
+
+    #[test]
+    fn result_alias_works() {
+        fn f(ok: bool) -> Result<u32> {
+            if ok {
+                Ok(1)
+            } else {
+                Err(CadbError::Internal("boom".into()))
+            }
+        }
+        assert_eq!(f(true).unwrap(), 1);
+        assert!(f(false).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Strongly-typed identifiers for catalog objects.
+//!
+//! Using newtypes rather than raw integers prevents the classic bug of
+//! passing a column ordinal where a table id was expected, at zero runtime
+//! cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a table within a [`crate::schema::TableSchema`] catalog.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+/// Ordinal of a column within its table (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColumnId(pub u16);
+
+/// Identifier of a (physical or hypothetical) index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IndexId(pub u64);
+
+impl TableId {
+    /// Raw numeric value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl ColumnId {
+    /// Raw numeric value, widened for indexing into slices.
+    pub fn raw(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl IndexId {
+    /// Raw numeric value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TableId(3).to_string(), "T3");
+        assert_eq!(ColumnId(7).to_string(), "C7");
+        assert_eq!(IndexId(42).to_string(), "I42");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(TableId(1));
+        set.insert(TableId(1));
+        set.insert(TableId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ColumnId(1) < ColumnId(2));
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        assert_eq!(TableId(9).raw(), 9);
+        assert_eq!(ColumnId(9).raw(), 9usize);
+        assert_eq!(IndexId(9).raw(), 9u64);
+    }
+}

@@ -1,0 +1,24 @@
+//! # cadb-common
+//!
+//! Shared foundation types for the `cadb` workspace: SQL values, data types,
+//! schemas, rows, error types, identifiers and deterministic RNG helpers.
+//!
+//! Every other crate in the workspace builds on these definitions, so this
+//! crate deliberately has no dependencies on the rest of the workspace.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod row;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use error::{CadbError, Result};
+pub use ids::{ColumnId, IndexId, TableId};
+pub use row::Row;
+pub use schema::{ColumnDef, TableSchema};
+pub use types::DataType;
+pub use value::Value;

@@ -1,0 +1,106 @@
+//! Rows: ordered tuples of [`Value`]s.
+
+use crate::ids::ColumnId;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tuple of values, ordered by column ordinal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Row {
+    /// The values, one per column.
+    pub values: Vec<Value>,
+}
+
+impl Row {
+    /// Build a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at a column ordinal.
+    pub fn get(&self, col: ColumnId) -> &Value {
+        &self.values[col.raw()]
+    }
+
+    /// Project the row onto a subset of columns, in the given order.
+    pub fn project(&self, cols: &[ColumnId]) -> Row {
+        Row::new(cols.iter().map(|c| self.values[c.raw()].clone()).collect())
+    }
+
+    /// Key-compare two rows on the given column ordinals (lexicographic).
+    pub fn key_cmp(&self, other: &Row, cols: &[ColumnId]) -> std::cmp::Ordering {
+        for c in cols {
+            let ord = self.values[c.raw()].cmp(&other.values[c.raw()]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn r(vals: &[i64]) -> Row {
+        Row::new(vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    #[test]
+    fn project_reorders() {
+        let row = Row::new(vec![
+            Value::Int(1),
+            Value::Str("x".into()),
+            Value::Int(3),
+        ]);
+        let p = row.project(&[ColumnId(2), ColumnId(0)]);
+        assert_eq!(p, Row::new(vec![Value::Int(3), Value::Int(1)]));
+    }
+
+    #[test]
+    fn key_cmp_lexicographic() {
+        let a = r(&[1, 5, 9]);
+        let b = r(&[1, 7, 0]);
+        assert_eq!(a.key_cmp(&b, &[ColumnId(0)]), Ordering::Equal);
+        assert_eq!(a.key_cmp(&b, &[ColumnId(0), ColumnId(1)]), Ordering::Less);
+        assert_eq!(
+            a.key_cmp(&b, &[ColumnId(2), ColumnId(0)]),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn display_and_from() {
+        let row: Row = vec![Value::Int(1), Value::Null].into();
+        assert_eq!(row.to_string(), "(1, NULL)");
+        assert_eq!(row.arity(), 2);
+        assert_eq!(row.get(ColumnId(0)), &Value::Int(1));
+    }
+}

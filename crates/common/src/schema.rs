@@ -1,0 +1,274 @@
+//! Table schemas and column definitions.
+
+use crate::error::{CadbError, Result};
+use crate::ids::ColumnId;
+use crate::row::Row;
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (case-insensitive lookups, stored lower-cased).
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Create a non-nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into().to_ascii_lowercase(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// Create a nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            nullable: true,
+            ..ColumnDef::new(name, dtype)
+        }
+    }
+}
+
+/// Schema of a table: ordered columns plus an optional primary key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name, stored lower-cased.
+    pub name: String,
+    /// Column definitions, in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Primary-key column ordinals (empty = no declared PK / heap).
+    pub primary_key: Vec<ColumnId>,
+}
+
+impl TableSchema {
+    /// Create a schema; validates that column names are unique and the
+    /// primary key refers to existing, non-nullable columns.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: Vec<ColumnId>,
+    ) -> Result<Self> {
+        let name = name.into().to_ascii_lowercase();
+        if columns.is_empty() {
+            return Err(CadbError::Schema(format!("table {name} has no columns")));
+        }
+        if columns.len() > u16::MAX as usize {
+            return Err(CadbError::Schema(format!("table {name}: too many columns")));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|d| d.name == c.name) {
+                return Err(CadbError::Schema(format!(
+                    "table {name}: duplicate column {}",
+                    c.name
+                )));
+            }
+        }
+        for pk in &primary_key {
+            let col = columns.get(pk.raw()).ok_or_else(|| {
+                CadbError::Schema(format!("table {name}: PK column {pk} out of range"))
+            })?;
+            if col.nullable {
+                return Err(CadbError::Schema(format!(
+                    "table {name}: PK column {} must be NOT NULL",
+                    col.name
+                )));
+            }
+        }
+        Ok(TableSchema {
+            name,
+            columns,
+            primary_key,
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up a column ordinal by (case-insensitive) name.
+    pub fn column_id(&self, name: &str) -> Result<ColumnId> {
+        let lower = name.to_ascii_lowercase();
+        self.columns
+            .iter()
+            .position(|c| c.name == lower)
+            .map(|i| ColumnId(i as u16))
+            .ok_or_else(|| CadbError::NotFound(format!("column {name} in table {}", self.name)))
+    }
+
+    /// Column definition by ordinal.
+    pub fn column(&self, id: ColumnId) -> &ColumnDef {
+        &self.columns[id.raw()]
+    }
+
+    /// Uncompressed row width in bytes: fixed widths plus a null bitmap and
+    /// a small per-row header (4 bytes), mirroring slotted-page row stores.
+    pub fn row_width(&self) -> usize {
+        let data: usize = self.columns.iter().map(|c| c.dtype.fixed_width()).sum();
+        let bitmap = self.columns.len().div_ceil(8);
+        4 + bitmap + data
+    }
+
+    /// Validate a row against this schema (arity, type conformance,
+    /// NULLability, string width).
+    pub fn validate_row(&self, row: &Row) -> Result<()> {
+        if row.values.len() != self.columns.len() {
+            return Err(CadbError::Schema(format!(
+                "table {}: row arity {} != schema arity {}",
+                self.name,
+                row.values.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.values.iter().zip(&self.columns) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(CadbError::Schema(format!(
+                        "table {}: NULL in NOT NULL column {}",
+                        self.name, c.name
+                    )));
+                }
+                continue;
+            }
+            if !v.conforms_to(&c.dtype) {
+                return Err(CadbError::Schema(format!(
+                    "table {}: value {v} does not conform to column {} ({})",
+                    self.name, c.name, c.dtype
+                )));
+            }
+            if let (Some(s), DataType::Char { len }) = (v.as_str(), &c.dtype) {
+                if s.len() > *len as usize {
+                    return Err(CadbError::Schema(format!(
+                        "table {}: value too wide for {} CHAR({len})",
+                        self.name, c.name
+                    )));
+                }
+            }
+            if let (Some(s), DataType::Varchar { max_len }) = (v.as_str(), &c.dtype) {
+                if s.len() > *max_len as usize {
+                    return Err(CadbError::Schema(format!(
+                        "table {}: value too wide for {} VARCHAR({max_len})",
+                        self.name, c.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sample() -> TableSchema {
+        TableSchema::new(
+            "Sales",
+            vec![
+                ColumnDef::new("OrderID", DataType::Int),
+                ColumnDef::new("ShipDate", DataType::Date),
+                ColumnDef::new("State", DataType::Char { len: 2 }),
+                ColumnDef::nullable("Note", DataType::Varchar { max_len: 10 }),
+            ],
+            vec![ColumnId(0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn names_lowercased_and_lookup() {
+        let s = sample();
+        assert_eq!(s.name, "sales");
+        assert_eq!(s.column_id("SHIPDATE").unwrap(), ColumnId(1));
+        assert!(s.column_id("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("A", DataType::Int),
+            ],
+            vec![],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn pk_must_be_not_null_and_in_range() {
+        let cols = vec![ColumnDef::nullable("a", DataType::Int)];
+        assert!(TableSchema::new("t", cols.clone(), vec![ColumnId(0)]).is_err());
+        let cols2 = vec![ColumnDef::new("a", DataType::Int)];
+        assert!(TableSchema::new("t", cols2, vec![ColumnId(5)]).is_err());
+    }
+
+    #[test]
+    fn row_width_accounts_header_and_bitmap() {
+        let s = sample();
+        // 4 header + 1 bitmap byte (4 cols) + 8 + 4 + 2 + 12
+        assert_eq!(s.row_width(), 4 + 1 + 8 + 4 + 2 + 12);
+    }
+
+    #[test]
+    fn validate_row_catches_errors() {
+        let s = sample();
+        let ok = Row::new(vec![
+            Value::Int(1),
+            Value::Int(100),
+            Value::Str("CA".into()),
+            Value::Null,
+        ]);
+        assert!(s.validate_row(&ok).is_ok());
+
+        let bad_arity = Row::new(vec![Value::Int(1)]);
+        assert!(s.validate_row(&bad_arity).is_err());
+
+        let bad_null = Row::new(vec![
+            Value::Null,
+            Value::Int(100),
+            Value::Str("CA".into()),
+            Value::Null,
+        ]);
+        assert!(s.validate_row(&bad_null).is_err());
+
+        let bad_type = Row::new(vec![
+            Value::Int(1),
+            Value::Str("oops".into()),
+            Value::Str("CA".into()),
+            Value::Null,
+        ]);
+        assert!(s.validate_row(&bad_type).is_err());
+
+        let too_wide = Row::new(vec![
+            Value::Int(1),
+            Value::Int(100),
+            Value::Str("CALIFORNIA".into()),
+            Value::Null,
+        ]);
+        assert!(s.validate_row(&too_wide).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Logical data types of the mini engine.
+//!
+//! The type system is intentionally small but covers everything the paper's
+//! workloads need: integers, decimals (fixed-point, stored as scaled i64 —
+//! TPC-H prices and discounts), dates (stored as days since epoch), and both
+//! fixed-width (`CHAR(n)`) and variable-width (`VARCHAR(n)`) strings.
+//!
+//! Fixed-width types matter for compression: `CHAR(n)` values are stored
+//! padded, which is exactly the situation NULL/blank suppression targets
+//! (§2.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Logical column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// Fixed-point decimal stored as a scaled `i64`; `scale` is the number of
+    /// digits after the decimal point (TPC-H uses 2).
+    Decimal {
+        /// Digits after the decimal point.
+        scale: u8,
+    },
+    /// Days since 1970-01-01, stored as `i32` widened to `i64` in values.
+    Date,
+    /// Fixed-width string, blank-padded on the right to `len` bytes.
+    Char {
+        /// Width in bytes.
+        len: u16,
+    },
+    /// Variable-width string with a declared maximum length.
+    Varchar {
+        /// Declared maximum length in bytes.
+        max_len: u16,
+    },
+}
+
+impl DataType {
+    /// Width in bytes of the *uncompressed* on-page representation,
+    /// excluding the null bitmap bit.
+    ///
+    /// Variable-width columns report their declared maximum plus a 2-byte
+    /// length prefix; this is the figure used for uncompressed size
+    /// accounting, matching how row-store engines budget worst-case width.
+    pub fn fixed_width(&self) -> usize {
+        match self {
+            DataType::Int => 8,
+            DataType::Decimal { .. } => 8,
+            DataType::Date => 4,
+            DataType::Char { len } => *len as usize,
+            DataType::Varchar { max_len } => *max_len as usize + 2,
+        }
+    }
+
+    /// `true` for string-like types.
+    pub fn is_string(&self) -> bool {
+        matches!(self, DataType::Char { .. } | DataType::Varchar { .. })
+    }
+
+    /// `true` for numeric types (`Int`, `Decimal`, `Date`).
+    pub fn is_numeric(&self) -> bool {
+        !self.is_string()
+    }
+
+    /// Whether two types can be compared / assigned without casting.
+    /// Numerics are mutually compatible; strings are mutually compatible.
+    pub fn compatible_with(&self, other: &DataType) -> bool {
+        self.is_string() == other.is_string()
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Decimal { scale } => write!(f, "DECIMAL({scale})"),
+            DataType::Date => write!(f, "DATE"),
+            DataType::Char { len } => write!(f, "CHAR({len})"),
+            DataType::Varchar { max_len } => write!(f, "VARCHAR({max_len})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(DataType::Int.fixed_width(), 8);
+        assert_eq!(DataType::Decimal { scale: 2 }.fixed_width(), 8);
+        assert_eq!(DataType::Date.fixed_width(), 4);
+        assert_eq!(DataType::Char { len: 25 }.fixed_width(), 25);
+        assert_eq!(DataType::Varchar { max_len: 100 }.fixed_width(), 102);
+    }
+
+    #[test]
+    fn string_vs_numeric() {
+        assert!(DataType::Char { len: 1 }.is_string());
+        assert!(DataType::Varchar { max_len: 1 }.is_string());
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Date.is_numeric());
+        assert!(!DataType::Int.is_string());
+    }
+
+    #[test]
+    fn compatibility() {
+        assert!(DataType::Int.compatible_with(&DataType::Date));
+        assert!(DataType::Int.compatible_with(&DataType::Decimal { scale: 2 }));
+        assert!(DataType::Char { len: 3 }.compatible_with(&DataType::Varchar { max_len: 9 }));
+        assert!(!DataType::Int.compatible_with(&DataType::Char { len: 3 }));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataType::Varchar { max_len: 44 }.to_string(), "VARCHAR(44)");
+        assert_eq!(DataType::Decimal { scale: 2 }.to_string(), "DECIMAL(2)");
+    }
+}

@@ -1,0 +1,169 @@
+//! Runtime SQL values with a *total* order.
+//!
+//! Index keys must be sortable, so [`Value`] implements `Ord` with the
+//! convention `Null < Int/Decimal/Date < Str`. Numerics compare by numeric
+//! value across the three numeric types (they share an `i64` representation).
+
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime value.
+///
+/// `Decimal` and `Date` reuse the `Int` payload semantics (scaled integer /
+/// epoch days); the distinction lives in the schema, not in each value. This
+/// keeps `Value` at 32 bytes and comparisons branch-cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Any numeric payload: `Int`, `Decimal` (scaled) or `Date` (epoch days).
+    Int(i64),
+    /// String payload for `Char`/`Varchar` columns (unpadded form).
+    Str(String),
+}
+
+impl Value {
+    /// Build a decimal value from a float, given the column scale.
+    pub fn decimal(v: f64, scale: u8) -> Value {
+        let mult = 10i64.pow(scale as u32);
+        Value::Int((v * mult as f64).round() as i64)
+    }
+
+    /// Interpret this value as a float, given the column type.
+    /// NULL maps to `None`; strings map to `None`.
+    pub fn as_f64(&self, dtype: &DataType) -> Option<f64> {
+        match (self, dtype) {
+            (Value::Int(i), DataType::Decimal { scale }) => {
+                Some(*i as f64 / 10f64.powi(*scale as i32))
+            }
+            (Value::Int(i), _) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Raw integer payload if numeric.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String payload if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this value is storable in a column of the given type
+    /// (NULL is storable anywhere; width overflow is checked elsewhere).
+    pub fn conforms_to(&self, dtype: &DataType) -> bool {
+        match self {
+            Value::Null => true,
+            Value::Int(_) => dtype.is_numeric(),
+            Value::Str(_) => dtype.is_string(),
+        }
+    }
+
+    /// Total-order rank of the variant, used to order across variants.
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ => self.variant_rank().cmp(&other.variant_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_null_first() {
+        let mut vs = vec![
+            Value::Str("b".into()),
+            Value::Int(3),
+            Value::Null,
+            Value::Int(-1),
+            Value::Str("a".into()),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Int(-1),
+                Value::Int(3),
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        let v = Value::decimal(12.34, 2);
+        assert_eq!(v, Value::Int(1234));
+        assert_eq!(v.as_f64(&DataType::Decimal { scale: 2 }), Some(12.34));
+    }
+
+    #[test]
+    fn conformance() {
+        assert!(Value::Null.conforms_to(&DataType::Int));
+        assert!(Value::Int(1).conforms_to(&DataType::Date));
+        assert!(!Value::Int(1).conforms_to(&DataType::Char { len: 2 }));
+        assert!(Value::Str("x".into()).conforms_to(&DataType::Varchar { max_len: 5 }));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_i64(), Some(5));
+        assert_eq!(Value::Str("hi".into()).as_str(), Some("hi"));
+        assert_eq!(Value::Null.as_i64(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Str("ok".into()).to_string(), "'ok'");
+    }
+}

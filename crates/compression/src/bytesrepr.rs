@@ -1,0 +1,184 @@
+//! Canonical byte representation of values.
+//!
+//! All compression codecs operate on the *uncompressed on-page bytes* of a
+//! value. This module defines that canonical representation and its inverse:
+//!
+//! * numerics (`Int`, `Decimal`, `Date`): fixed-width little-endian
+//!   two's complement (8 or 4 bytes);
+//! * `Char(n)`: the string blank-padded on the right to `n` bytes;
+//! * `Varchar(n)`: a 2-byte length followed by the raw bytes.
+//!
+//! NULLs have no byte representation; they live in the per-column null
+//! bitmap of the page codec.
+
+use cadb_common::{CadbError, DataType, Result, Value};
+
+/// Append the canonical uncompressed bytes of `v` to `out`.
+///
+/// Returns the number of bytes appended. NULL appends nothing (the caller
+/// tracks NULLs in a bitmap).
+pub fn append_value_bytes(v: &Value, dtype: &DataType, out: &mut Vec<u8>) -> usize {
+    match v {
+        Value::Null => 0,
+        Value::Int(i) => match dtype {
+            DataType::Date => {
+                out.extend_from_slice(&(*i as i32).to_le_bytes());
+                4
+            }
+            _ => {
+                out.extend_from_slice(&i.to_le_bytes());
+                8
+            }
+        },
+        Value::Str(s) => match dtype {
+            DataType::Char { len } => {
+                let n = *len as usize;
+                out.extend_from_slice(s.as_bytes());
+                let pad = n.saturating_sub(s.len());
+                out.extend(std::iter::repeat_n(b' ', pad));
+                n
+            }
+            _ => {
+                let bytes = s.as_bytes();
+                out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+                out.extend_from_slice(bytes);
+                bytes.len() + 2
+            }
+        },
+    }
+}
+
+/// Canonical bytes of a single (non-NULL) value.
+pub fn value_bytes(v: &Value, dtype: &DataType) -> Vec<u8> {
+    let mut out = Vec::new();
+    append_value_bytes(v, dtype, &mut out);
+    out
+}
+
+/// Decode a value from its canonical bytes.
+pub fn value_from_bytes(bytes: &[u8], dtype: &DataType) -> Result<Value> {
+    match dtype {
+        DataType::Date => {
+            let arr: [u8; 4] = bytes
+                .try_into()
+                .map_err(|_| CadbError::Storage("date value must be 4 bytes".into()))?;
+            Ok(Value::Int(i32::from_le_bytes(arr) as i64))
+        }
+        DataType::Int | DataType::Decimal { .. } => {
+            let arr: [u8; 8] = bytes
+                .try_into()
+                .map_err(|_| CadbError::Storage("int value must be 8 bytes".into()))?;
+            Ok(Value::Int(i64::from_le_bytes(arr)))
+        }
+        DataType::Char { len } => {
+            if bytes.len() != *len as usize {
+                return Err(CadbError::Storage(format!(
+                    "char({len}) value has {} bytes",
+                    bytes.len()
+                )));
+            }
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| CadbError::Storage("invalid utf8 in char".into()))?;
+            Ok(Value::Str(s.trim_end_matches(' ').to_string()))
+        }
+        DataType::Varchar { .. } => {
+            if bytes.len() < 2 {
+                return Err(CadbError::Storage("varchar missing length prefix".into()));
+            }
+            let n = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+            if bytes.len() != n + 2 {
+                return Err(CadbError::Storage("varchar length mismatch".into()));
+            }
+            let s = std::str::from_utf8(&bytes[2..])
+                .map_err(|_| CadbError::Storage("invalid utf8 in varchar".into()))?;
+            Ok(Value::Str(s.to_string()))
+        }
+    }
+}
+
+/// The uncompressed byte width of a (possibly NULL) value under `dtype`.
+/// NULL occupies zero data bytes; fixed-width types always occupy their
+/// declared width; varchar occupies actual length + 2.
+pub fn value_width(v: &Value, dtype: &DataType) -> usize {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) => match dtype {
+            DataType::Date => 4,
+            _ => 8,
+        },
+        Value::Str(s) => match dtype {
+            DataType::Char { len } => *len as usize,
+            _ => s.len() + 2,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        for i in [0i64, 1, -1, i64::MAX, i64::MIN, 123456789] {
+            let b = value_bytes(&Value::Int(i), &DataType::Int);
+            assert_eq!(b.len(), 8);
+            assert_eq!(value_from_bytes(&b, &DataType::Int).unwrap(), Value::Int(i));
+        }
+    }
+
+    #[test]
+    fn date_is_four_bytes() {
+        let b = value_bytes(&Value::Int(15000), &DataType::Date);
+        assert_eq!(b.len(), 4);
+        assert_eq!(
+            value_from_bytes(&b, &DataType::Date).unwrap(),
+            Value::Int(15000)
+        );
+    }
+
+    #[test]
+    fn char_pads_and_trims() {
+        let t = DataType::Char { len: 5 };
+        let b = value_bytes(&Value::Str("ab".into()), &t);
+        assert_eq!(b, b"ab   ");
+        assert_eq!(value_from_bytes(&b, &t).unwrap(), Value::Str("ab".into()));
+    }
+
+    #[test]
+    fn varchar_length_prefixed() {
+        let t = DataType::Varchar { max_len: 10 };
+        let b = value_bytes(&Value::Str("hey".into()), &t);
+        assert_eq!(b.len(), 5);
+        assert_eq!(value_from_bytes(&b, &t).unwrap(), Value::Str("hey".into()));
+    }
+
+    #[test]
+    fn null_has_no_bytes() {
+        let mut out = Vec::new();
+        assert_eq!(append_value_bytes(&Value::Null, &DataType::Int, &mut out), 0);
+        assert!(out.is_empty());
+        assert_eq!(value_width(&Value::Null, &DataType::Int), 0);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(value_width(&Value::Int(1), &DataType::Int), 8);
+        assert_eq!(value_width(&Value::Int(1), &DataType::Date), 4);
+        assert_eq!(
+            value_width(&Value::Str("abc".into()), &DataType::Char { len: 9 }),
+            9
+        );
+        assert_eq!(
+            value_width(&Value::Str("abc".into()), &DataType::Varchar { max_len: 9 }),
+            5
+        );
+    }
+
+    #[test]
+    fn corrupt_decode_errors() {
+        assert!(value_from_bytes(&[1, 2, 3], &DataType::Int).is_err());
+        assert!(value_from_bytes(&[1], &DataType::Varchar { max_len: 4 }).is_err());
+        assert!(value_from_bytes(&[9, 0, 1], &DataType::Varchar { max_len: 4 }).is_err());
+        assert!(value_from_bytes(b"ab", &DataType::Char { len: 3 }).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Run-length encoding (RLE).
+//!
+//! Collapses consecutive equal values within a page into `(run_len, value)`
+//! pairs. Extremely effective on sorted leading columns, nearly useless on
+//! fragmented ones — the textbook ORD-DEP method, included because the paper
+//! notes the ColExt fragmentation model "is also applicable to RLE" (§4.2)
+//! and flags RLE-heavy column stores as future work (§8).
+//!
+//! Block layout:
+//! ```text
+//! [n_runs: u16]  n_runs × ( [run_len: u16][val_len: u16][bytes] )
+//! ```
+
+use crate::prefix::{read_slice, read_u16};
+use cadb_common::Result;
+
+/// Maximum run length per entry (longer runs split).
+const MAX_RUN: usize = u16::MAX as usize;
+
+/// Encode byte-strings with run-length encoding.
+pub fn encode(values: &[Vec<u8>]) -> Vec<u8> {
+    let mut runs: Vec<(usize, &[u8])> = Vec::new();
+    for v in values {
+        match runs.last_mut() {
+            Some((len, val)) if *val == v.as_slice() && *len < MAX_RUN => *len += 1,
+            _ => runs.push((1, v.as_slice())),
+        }
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(&(runs.len() as u16).to_le_bytes());
+    for (len, val) in runs {
+        out.extend_from_slice(&(len as u16).to_le_bytes());
+        out.extend_from_slice(&(val.len() as u16).to_le_bytes());
+        out.extend_from_slice(val);
+    }
+    out
+}
+
+/// Decode an RLE block.
+pub fn decode(block: &[u8]) -> Result<Vec<Vec<u8>>> {
+    let mut pos = 0usize;
+    let n_runs = read_u16(block, &mut pos)? as usize;
+    let mut out = Vec::new();
+    for _ in 0..n_runs {
+        let run_len = read_u16(block, &mut pos)? as usize;
+        let val_len = read_u16(block, &mut pos)? as usize;
+        let val = read_slice(block, &mut pos, val_len)?.to_vec();
+        for _ in 0..run_len {
+            out.push(val.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn b(s: &str) -> Vec<u8> {
+        s.as_bytes().to_vec()
+    }
+
+    #[test]
+    fn runs_collapse() {
+        let vals = vec![b("a"), b("a"), b("a"), b("b"), b("a")];
+        let block = encode(&vals);
+        assert_eq!(decode(&block).unwrap(), vals);
+        // 3 runs: aaa, b, a.
+        assert_eq!(u16::from_le_bytes([block[0], block[1]]), 3);
+    }
+
+    #[test]
+    fn sorted_column_compresses_hard() {
+        let mut vals = Vec::new();
+        for v in 0..4u8 {
+            for _ in 0..500 {
+                vals.push(vec![v; 8]);
+            }
+        }
+        let block = encode(&vals);
+        let plain: usize = vals.iter().map(|x| x.len()).sum();
+        assert!(block.len() * 50 < plain, "{} vs {plain}", block.len());
+        assert_eq!(decode(&block).unwrap(), vals);
+    }
+
+    #[test]
+    fn order_dependence_is_real() {
+        // Same multiset, different order → different size. This is the
+        // property that makes RLE ORD-DEP.
+        let sorted: Vec<Vec<u8>> = (0..100).map(|i| vec![(i / 50) as u8; 8]).collect();
+        let interleaved: Vec<Vec<u8>> = (0..100).map(|i| vec![(i % 2) as u8; 8]).collect();
+        assert!(encode(&sorted).len() < encode(&interleaved).len());
+    }
+
+    #[test]
+    fn long_runs_split() {
+        let vals: Vec<Vec<u8>> = (0..70_000).map(|_| b("x")).collect();
+        let block = encode(&vals);
+        assert_eq!(decode(&block).unwrap().len(), 70_000);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(decode(&encode(&[])).unwrap().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(vals in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..8), 0..200)) {
+            prop_assert_eq!(decode(&encode(&vals)).unwrap(), vals);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-query candidate generation.
+//!
+//! For each query the advisor derives the syntactically relevant structures
+//! (§6.1): indexes keyed on sargable predicate columns (equalities first,
+//! then one range column), covering variants with the query's used columns
+//! as includes, group-by-ordered indexes for streaming aggregation,
+//! clustered candidates, and — with [`FeatureSet::All`] — partial indexes
+//! for selective equality conjuncts and MV indexes for grouped join
+//! queries. With compression enabled, every candidate also appears in its
+//! ROW- and PAGE-compressed variants (the SQL Server methods DTAc
+//! enumerates).
+
+use super::{dedup_pool, AdvisorOptions, FeatureSet};
+use cadb_compression::CompressionKind;
+use cadb_common::ColumnId;
+use cadb_engine::{cardinality, IndexSpec, MvSpec, Query, Workload, WhatIfOptimizer};
+
+/// Partial-index filters are generated for equality predicates at least
+/// this selective (fraction of rows retained).
+const PARTIAL_MAX_SELECTIVITY: f64 = 0.25;
+
+/// Generate the raw candidate pool for a workload.
+pub fn generate_candidates(
+    opt: &WhatIfOptimizer<'_>,
+    workload: &Workload,
+    options: &AdvisorOptions,
+) -> Vec<IndexSpec> {
+    let mut pool: Vec<IndexSpec> = Vec::new();
+    for (q, _) in workload.queries() {
+        query_candidates(opt, q, options, &mut pool);
+    }
+    // Base-table compression candidates: a compressed clustered index on
+    // the PK of every touched table ("DTAc might produce indexes even with
+    // 0% space budget by compressing existing tables", App. D.2).
+    if options.compression {
+        let mut tables: Vec<_> = workload
+            .queries()
+            .flat_map(|(q, _)| q.tables())
+            .chain(workload.inserts().map(|(i, _)| i.table))
+            .collect();
+        tables.sort_unstable();
+        tables.dedup();
+        for t in tables {
+            let pk = opt.db().schema(t).primary_key.clone();
+            let key = if pk.is_empty() { vec![ColumnId(0)] } else { pk };
+            pool.push(IndexSpec::clustered(t, key));
+        }
+    }
+    
+    expand_compression(pool, options)
+}
+
+/// Add ROW/PAGE variants of every candidate (keeping the uncompressed one).
+pub(crate) fn expand_compression(
+    pool: Vec<IndexSpec>,
+    options: &AdvisorOptions,
+) -> Vec<IndexSpec> {
+    let mut out = Vec::with_capacity(pool.len() * 3);
+    for spec in pool {
+        out.push(spec.clone());
+        if options.compression {
+            for kind in CompressionKind::SQL_SERVER {
+                out.push(spec.with_compression(kind));
+            }
+        }
+    }
+    dedup_pool(&mut out);
+    out
+}
+
+fn query_candidates(
+    opt: &WhatIfOptimizer<'_>,
+    q: &Query,
+    options: &AdvisorOptions,
+    pool: &mut Vec<IndexSpec>,
+) {
+    for t in q.tables() {
+        let preds = q.predicates_on(t);
+        let used = q.used_on(t);
+        let eq_cols: Vec<ColumnId> = preds
+            .iter()
+            .filter(|p| p.is_equality())
+            .map(|p| p.column)
+            .collect();
+        let range_cols: Vec<ColumnId> = preds
+            .iter()
+            .filter(|p| p.is_sargable() && !p.is_equality())
+            .map(|p| p.column)
+            .collect();
+        let group_cols: Vec<ColumnId> = q
+            .group_by
+            .iter()
+            .filter(|(gt, _)| *gt == t)
+            .map(|(_, c)| *c)
+            .collect();
+        let join_cols: Vec<ColumnId> = q
+            .joins
+            .iter()
+            .flat_map(|j| {
+                let mut v = Vec::new();
+                if j.left.0 == t {
+                    v.push(j.left.1);
+                }
+                if j.right.0 == t {
+                    v.push(j.right.1);
+                }
+                v
+            })
+            .collect();
+
+        let mut keys: Vec<Vec<ColumnId>> = Vec::new();
+        // Equalities + one range column.
+        if !eq_cols.is_empty() || !range_cols.is_empty() {
+            if range_cols.is_empty() {
+                keys.push(eq_cols.clone());
+            }
+            for r in &range_cols {
+                let mut k = eq_cols.clone();
+                k.push(*r);
+                keys.push(k);
+                // Range-first ordering too: it wins when the range is the
+                // only predicate used for clustering-like scans.
+                if !eq_cols.is_empty() {
+                    let mut k2 = vec![*r];
+                    k2.extend(eq_cols.iter().copied());
+                    keys.push(k2);
+                }
+            }
+        }
+        // Singletons for every sargable predicate column.
+        for p in &preds {
+            if p.is_sargable() {
+                keys.push(vec![p.column]);
+            }
+        }
+        // Group-by order (streaming aggregation).
+        if !group_cols.is_empty() {
+            keys.push(group_cols.clone());
+        }
+        // Join columns (lookup side).
+        for jc in &join_cols {
+            keys.push(vec![*jc]);
+        }
+
+        for key in keys {
+            if key.is_empty() || key.len() > 6 {
+                continue;
+            }
+            let mut dedup_key = key.clone();
+            dedup_key.dedup();
+            let spec = IndexSpec::secondary(t, dedup_key.clone());
+            pool.push(spec.clone());
+            // Covering variant.
+            let includes: Vec<ColumnId> = used
+                .iter()
+                .filter(|c| !dedup_key.contains(c))
+                .copied()
+                .collect();
+            if !includes.is_empty() && includes.len() + dedup_key.len() <= 10 {
+                pool.push(IndexSpec::secondary(t, dedup_key.clone()).with_includes(includes));
+            }
+            // Clustered candidate on the leading range/group column of the
+            // root table (re-orders the whole table).
+            if t == q.root && options.compression {
+                pool.push(IndexSpec::clustered(t, dedup_key));
+            }
+        }
+
+        // Partial indexes: filter on a selective equality predicate, key on
+        // the remaining sargable columns (App. B.1 / §7 "partial indexes").
+        if options.features == FeatureSet::All {
+            for p in &preds {
+                if !p.is_equality() {
+                    continue;
+                }
+                let sel = cardinality::predicate_selectivity(opt.db(), p);
+                if sel > PARTIAL_MAX_SELECTIVITY {
+                    continue;
+                }
+                let mut key: Vec<ColumnId> = range_cols.clone();
+                key.extend(eq_cols.iter().filter(|c| **c != p.column).copied());
+                if key.is_empty() {
+                    key.push(p.column);
+                }
+                key.truncate(4);
+                let includes: Vec<ColumnId> = used
+                    .iter()
+                    .filter(|c| !key.contains(c) && **c != p.column)
+                    .copied()
+                    .collect();
+                let mut spec = IndexSpec::secondary(t, key).with_includes(includes);
+                spec.partial_filter = Some((*p).clone());
+                pool.push(spec);
+            }
+        }
+    }
+
+    // MV candidates: grouped (optionally joined) queries (App. B.2–B.3).
+    if options.features == FeatureSet::All && !q.group_by.is_empty() {
+        let agg_columns: Vec<(cadb_common::TableId, ColumnId)> = {
+            let mut v: Vec<_> = q
+                .aggregates
+                .iter()
+                .flat_map(|a| a.columns.iter().copied())
+                .filter(|tc| !q.group_by.contains(tc))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mv = MvSpec {
+            root: q.root,
+            joins: {
+                let mut j = q.joins.clone();
+                j.sort_unstable();
+                j
+            },
+            group_by: q.group_by.clone(),
+            agg_columns,
+        };
+        let n_stored = mv.stored_columns();
+        let spec = IndexSpec {
+            table: q.root,
+            key_cols: (0..q.group_by.len().min(n_stored) as u16).map(ColumnId).collect(),
+            include_cols: (q.group_by.len() as u16..n_stored as u16).map(ColumnId).collect(),
+            clustered: false,
+            compression: CompressionKind::None,
+            partial_filter: None,
+            mv: Some(mv),
+        };
+        pool.push(spec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_datagen::TpchGen;
+
+    fn setup() -> (cadb_engine::Database, Workload) {
+        let g = TpchGen::new(0.01);
+        let db = g.build().unwrap();
+        let w = g.workload(&db).unwrap();
+        (db, w)
+    }
+
+    #[test]
+    fn candidates_cover_queries_and_variants() {
+        let (db, w) = setup();
+        let opt = WhatIfOptimizer::new(&db);
+        let options = AdvisorOptions::dtac(1e9);
+        let pool = generate_candidates(&opt, &w, &options);
+        assert!(pool.len() > 50, "pool has {} specs", pool.len());
+        // Compressed variants present.
+        assert!(pool.iter().any(|s| s.compression == CompressionKind::Row));
+        assert!(pool.iter().any(|s| s.compression == CompressionKind::Page));
+        // Covering variants present.
+        assert!(pool.iter().any(|s| !s.include_cols.is_empty()));
+        // Clustered candidates present.
+        assert!(pool.iter().any(|s| s.clustered));
+        // No duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for s in &pool {
+            assert!(seen.insert(s.clone()), "duplicate {s}");
+        }
+    }
+
+    #[test]
+    fn dta_mode_has_no_compressed_candidates() {
+        let (db, w) = setup();
+        let opt = WhatIfOptimizer::new(&db);
+        let options = AdvisorOptions::dta(1e9);
+        let pool = generate_candidates(&opt, &w, &options);
+        assert!(pool.iter().all(|s| s.compression == CompressionKind::None));
+    }
+
+    #[test]
+    fn all_features_add_partial_and_mv() {
+        let (db, w) = setup();
+        let opt = WhatIfOptimizer::new(&db);
+        let options = AdvisorOptions::dtac(1e9).with_features(FeatureSet::All);
+        let pool = generate_candidates(&opt, &w, &options);
+        assert!(pool.iter().any(|s| s.is_partial()), "no partial indexes");
+        assert!(pool.iter().any(|s| s.is_mv_index()), "no MV indexes");
+        // Simple mode excludes them.
+        let simple = generate_candidates(&opt, &w, &AdvisorOptions::dtac(1e9));
+        assert!(simple.iter().all(|s| !s.is_partial() && !s.is_mv_index()));
+    }
+
+    #[test]
+    fn key_width_capped() {
+        let (db, w) = setup();
+        let opt = WhatIfOptimizer::new(&db);
+        let pool = generate_candidates(&opt, &w, &AdvisorOptions::dtac(1e9));
+        for s in &pool {
+            assert!(s.key_cols.len() <= 6, "{s}");
+            assert!(s.stored_columns().len() <= 16, "{s}");
+        }
+    }
+}

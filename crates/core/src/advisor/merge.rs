@@ -1,0 +1,149 @@
+//! Index merging ([8], §6.2 closing remarks).
+//!
+//! Pairs of secondary candidates on the same table whose keys share a
+//! leading column are merged into one structure: the longer key, with the
+//! union of stored columns as includes. The merged object can serve both
+//! source queries with one storage footprint; DTAc also generates its
+//! compressed variants.
+
+use super::{candidates::expand_compression, dedup_pool, AdvisorOptions};
+use cadb_engine::{IndexSpec, Workload, WhatIfOptimizer};
+
+/// Cap on merged candidates added per run (merging is quadratic).
+const MAX_MERGED: usize = 64;
+
+/// Add merged variants of compatible candidate pairs to the pool.
+pub fn add_merged_candidates(
+    _opt: &WhatIfOptimizer<'_>,
+    _workload: &Workload,
+    pool: &mut Vec<IndexSpec>,
+    options: &AdvisorOptions,
+) {
+    // Merge only plain uncompressed secondaries; compression variants of
+    // the merged result are generated afterwards.
+    let bases: Vec<IndexSpec> = pool
+        .iter()
+        .filter(|s| {
+            !s.clustered
+                && !s.is_partial()
+                && !s.is_mv_index()
+                && s.compression == cadb_compression::CompressionKind::None
+        })
+        .cloned()
+        .collect();
+    let mut merged: Vec<IndexSpec> = Vec::new();
+    'outer: for (i, a) in bases.iter().enumerate() {
+        for b in bases.iter().skip(i + 1) {
+            if merged.len() >= MAX_MERGED {
+                break 'outer;
+            }
+            if let Some(m) = merge_pair(a, b) {
+                merged.push(m);
+            }
+        }
+    }
+    dedup_pool(&mut merged);
+    // Don't re-add merges that already exist in the pool.
+    merged.retain(|m| !pool.contains(m));
+    let expanded = expand_compression(merged, options);
+    pool.extend(expanded);
+    dedup_pool(pool);
+}
+
+/// Merge two secondary indexes when one's key is a prefix of the other's
+/// (or they share the same leading column). Returns the merged spec.
+pub fn merge_pair(a: &IndexSpec, b: &IndexSpec) -> Option<IndexSpec> {
+    if a.table != b.table {
+        return None;
+    }
+    if a.key_cols.is_empty() || b.key_cols.is_empty() || a.key_cols[0] != b.key_cols[0] {
+        return None;
+    }
+    // Key: the longer of the two (ties: a's).
+    let (long, _short) = if a.key_cols.len() >= b.key_cols.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let key = long.key_cols.clone();
+    let mut includes: Vec<cadb_common::ColumnId> = Vec::new();
+    for c in a.stored_columns().into_iter().chain(b.stored_columns()) {
+        if !key.contains(&c) && !includes.contains(&c) {
+            includes.push(c);
+        }
+    }
+    if key.len() + includes.len() > 12 {
+        return None; // too wide to be plausible
+    }
+    let merged = IndexSpec::secondary(a.table, key).with_includes(includes);
+    if merged == *a || merged == *b {
+        None // nothing new
+    } else {
+        Some(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::{ColumnId, TableId};
+
+    fn ix(cols: &[u16], incl: &[u16]) -> IndexSpec {
+        IndexSpec::secondary(TableId(0), cols.iter().map(|c| ColumnId(*c)).collect())
+            .with_includes(incl.iter().map(|c| ColumnId(*c)).collect())
+    }
+
+    #[test]
+    fn merge_shared_leading_column() {
+        let a = ix(&[1, 2], &[5]);
+        let b = ix(&[1], &[3]);
+        let m = merge_pair(&a, &b).unwrap();
+        assert_eq!(m.key_cols, vec![ColumnId(1), ColumnId(2)]);
+        let stored = m.stored_columns();
+        for c in [1u16, 2, 3, 5] {
+            assert!(stored.contains(&ColumnId(c)), "missing C{c}");
+        }
+    }
+
+    #[test]
+    fn no_merge_across_tables_or_leading_cols() {
+        let a = ix(&[1], &[]);
+        let mut b = ix(&[1], &[2]);
+        b.table = TableId(1);
+        assert!(merge_pair(&a, &b).is_none());
+        let c = ix(&[2], &[]);
+        assert!(merge_pair(&a, &c).is_none());
+    }
+
+    #[test]
+    fn merge_identical_is_none() {
+        let a = ix(&[1, 2], &[3]);
+        assert!(merge_pair(&a, &a.clone()).is_none());
+    }
+
+    #[test]
+    fn merged_pool_grows_with_compressed_variants() {
+        let gen = cadb_datagen::TpchGen::new(0.01);
+        let db = gen.build().unwrap();
+        let opt = WhatIfOptimizer::new(&db);
+        let w = Workload::default();
+        let options = AdvisorOptions::dtac(1e9);
+        let t = db.table_id("lineitem").unwrap();
+        let sd = db.schema(t).column_id("shipdate").unwrap();
+        let qty = db.schema(t).column_id("quantity").unwrap();
+        let ep = db.schema(t).column_id("extendedprice").unwrap();
+        let mut pool = vec![
+            IndexSpec::secondary(t, vec![sd]).with_includes(vec![qty]),
+            IndexSpec::secondary(t, vec![sd, ep]),
+        ];
+        let before = pool.len();
+        add_merged_candidates(&opt, &w, &mut pool, &options);
+        assert!(pool.len() > before);
+        // The merged structure and its compressed variants exist.
+        let merged: Vec<_> = pool
+            .iter()
+            .filter(|s| s.key_cols == vec![sd, ep] && !s.include_cols.is_empty())
+            .collect();
+        assert!(merged.len() >= 3, "expected merged + 2 compressed variants");
+    }
+}

@@ -1,0 +1,259 @@
+//! The compression-aware physical design advisor (DTA / DTAc), §6.
+//!
+//! Pipeline (Figure 1/4): per-query candidate generation (with compressed
+//! variants) → size estimation (the §5 framework) → candidate selection
+//! (top-k or Skyline) → index merging → enumeration (greedy / density /
+//! Backtracking) under the storage bound.
+
+pub mod candidates;
+pub mod enumerate;
+pub mod merge;
+pub mod skyline;
+
+use crate::error_model::ErrorModel;
+use crate::planner::{EstimationPlanner, PlannerOptions};
+use cadb_common::Result;
+use cadb_engine::{Configuration, Database, IndexSpec, PhysicalStructure, Workload, WhatIfOptimizer};
+use cadb_sampling::SampleManager;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Which structure classes the advisor may propose (Appendix D: "simple
+/// indexes" vs "all features").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureSet {
+    /// Clustered + secondary indexes on tables only (Figures 12–15).
+    Simple,
+    /// Simple + partial indexes + MV indexes (Figures 16–17).
+    All,
+}
+
+/// Advisor knobs. Defaults reproduce full DTAc.
+#[derive(Debug, Clone)]
+pub struct AdvisorOptions {
+    /// Storage bound in bytes.
+    pub storage_budget: f64,
+    /// Consider compressed index variants at all (`false` = original DTA).
+    pub compression: bool,
+    /// Skyline candidate selection (§6.1) instead of best-per-query top-k.
+    pub skyline: bool,
+    /// Backtracking in greedy enumeration (§6.2, Figure 8).
+    pub backtracking: bool,
+    /// Density-based greedy (benefit/size) instead of plain benefit.
+    pub density: bool,
+    /// Top-k kept per query when Skyline is off.
+    pub top_k: usize,
+    /// Structure classes in play.
+    pub features: FeatureSet,
+    /// Index merging (§6.2 end / [8]).
+    pub merging: bool,
+    /// Size-estimation accuracy/fractions.
+    pub estimation: PlannerOptions,
+    /// RNG seed for sampling.
+    pub seed: u64,
+}
+
+impl AdvisorOptions {
+    /// Full DTAc with a budget.
+    pub fn dtac(storage_budget: f64) -> Self {
+        AdvisorOptions {
+            storage_budget,
+            compression: true,
+            skyline: true,
+            backtracking: true,
+            density: false,
+            top_k: 2,
+            features: FeatureSet::Simple,
+            merging: true,
+            estimation: PlannerOptions::default(),
+            seed: 7,
+        }
+    }
+
+    /// The original DTA: no compressed variants, top-k selection, plain
+    /// greedy enumeration.
+    pub fn dta(storage_budget: f64) -> Self {
+        AdvisorOptions {
+            compression: false,
+            skyline: false,
+            backtracking: false,
+            merging: true,
+            ..AdvisorOptions::dtac(storage_budget)
+        }
+    }
+
+    /// DTAc (None): compressed candidates but neither Skyline nor
+    /// Backtracking — the ablation baseline of Figures 12–13.
+    pub fn dtac_none(storage_budget: f64) -> Self {
+        AdvisorOptions {
+            skyline: false,
+            backtracking: false,
+            ..AdvisorOptions::dtac(storage_budget)
+        }
+    }
+
+    /// Enable all feature classes.
+    pub fn with_features(mut self, features: FeatureSet) -> Self {
+        self.features = features;
+        self
+    }
+}
+
+/// Timing breakdown of one advisor run (drives Figure 11).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvisorTimings {
+    /// Candidate generation + what-if costing + enumeration ("Other").
+    pub other_seconds: f64,
+    /// Building/maintaining samples.
+    pub sample_seconds: f64,
+    /// Executing SampleCF / deductions ("X-Estimate").
+    pub estimate_seconds: f64,
+    /// Planned estimation cost in §5.1 page units.
+    pub estimation_cost_pages: f64,
+    /// Targets sampled / deduced by the size-estimation framework.
+    pub sampled: usize,
+    /// Deduced target count.
+    pub deduced: usize,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Chosen configuration.
+    pub configuration: Configuration,
+    /// Estimated workload cost with no indexes (the baseline).
+    pub initial_cost: f64,
+    /// Estimated workload cost under the recommendation.
+    pub final_cost: f64,
+    /// Timing/cost breakdown.
+    pub timings: AdvisorTimings,
+    /// Candidate pool size after selection (for diagnostics).
+    pub pool_size: usize,
+}
+
+impl Recommendation {
+    /// The paper's "Improvement [%]" metric: estimated runtime improvement
+    /// over the initial database.
+    pub fn improvement_percent(&self) -> f64 {
+        if self.initial_cost <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.initial_cost - self.final_cost) / self.initial_cost
+    }
+
+    /// Total estimated bytes of the recommended structures.
+    pub fn total_bytes(&self) -> f64 {
+        self.configuration.total_bytes()
+    }
+}
+
+/// The advisor.
+///
+/// ```
+/// use cadb_core::{Advisor, AdvisorOptions};
+///
+/// let gen = cadb_datagen::TpchGen::new(0.005);
+/// let db = gen.build().unwrap();
+/// let workload = gen.workload(&db).unwrap();
+/// let budget = 0.3 * db.base_data_bytes() as f64;
+///
+/// let rec = Advisor::new(&db, AdvisorOptions::dtac(budget))
+///     .recommend(&workload)
+///     .unwrap();
+/// assert!(rec.total_bytes() <= budget);
+/// assert!(rec.improvement_percent() >= 0.0);
+/// ```
+pub struct Advisor<'a> {
+    db: &'a Database,
+    options: AdvisorOptions,
+}
+
+impl<'a> Advisor<'a> {
+    /// New advisor over a database.
+    pub fn new(db: &'a Database, options: AdvisorOptions) -> Self {
+        Advisor { db, options }
+    }
+
+    /// Options in use.
+    pub fn options(&self) -> &AdvisorOptions {
+        &self.options
+    }
+
+    /// Produce a recommendation for a workload under the storage bound.
+    pub fn recommend(&self, workload: &Workload) -> Result<Recommendation> {
+        let opt = WhatIfOptimizer::new(self.db);
+        let manager = SampleManager::new(self.db, self.options.seed);
+        let t_start = Instant::now();
+
+        // 1. Candidate generation (per query, incl. compressed variants).
+        let mut pool = candidates::generate_candidates(&opt, workload, &self.options);
+
+        // 2. Index merging over the raw pool.
+        if self.options.merging {
+            merge::add_merged_candidates(&opt, workload, &mut pool, &self.options);
+        }
+
+        // 3. Size estimation: uncompressed sizes from statistics;
+        //    compressed sizes through the §5 framework.
+        let compressed_targets: Vec<IndexSpec> = pool
+            .iter()
+            .filter(|s| s.compression.is_compressed())
+            .cloned()
+            .collect();
+        let t_est = Instant::now();
+        let planner = EstimationPlanner::new(
+            &opt,
+            &manager,
+            ErrorModel::default(),
+            self.options.estimation.clone(),
+        );
+        let report = planner.estimate_sizes(&compressed_targets, &[])?;
+        let estimate_seconds = t_est.elapsed().as_secs_f64();
+
+        let mut priced: Vec<PhysicalStructure> = Vec::with_capacity(pool.len());
+        for spec in pool {
+            let size = if spec.compression.is_compressed() {
+                match report.estimates.get(&spec) {
+                    Some(s) => *s,
+                    None => opt.estimate_uncompressed_size(&spec),
+                }
+            } else {
+                opt.estimate_uncompressed_size(&spec)
+            };
+            priced.push(PhysicalStructure { spec, size });
+        }
+
+        // 4. Candidate selection: per query, keep the skyline (or top-k) of
+        //    (size, cost) single-structure configurations.
+        let selected = skyline::select_candidates(&opt, workload, &priced, &self.options);
+        let pool_size = selected.len();
+
+        // 5. Enumeration under the budget.
+        let initial_cost = opt.workload_cost(workload, &Configuration::empty());
+        let configuration = enumerate::enumerate(&opt, workload, &selected, &self.options);
+        let final_cost = opt.workload_cost(workload, &configuration);
+
+        let total_seconds = t_start.elapsed().as_secs_f64();
+        let timings = AdvisorTimings {
+            other_seconds: (total_seconds - estimate_seconds).max(0.0),
+            sample_seconds: (estimate_seconds - report.samplecf_seconds).max(0.0),
+            estimate_seconds: report.samplecf_seconds,
+            estimation_cost_pages: report.planned_cost,
+            sampled: report.sampled,
+            deduced: report.deduced,
+        };
+        Ok(Recommendation {
+            configuration,
+            initial_cost,
+            final_cost,
+            timings,
+            pool_size,
+        })
+    }
+}
+
+/// Deduplicate a pool of specs preserving first occurrence.
+pub(crate) fn dedup_pool(pool: &mut Vec<IndexSpec>) {
+    let mut seen: HashMap<IndexSpec, ()> = HashMap::new();
+    pool.retain(|s| seen.insert(s.clone(), ()).is_none());
+}

@@ -1,0 +1,193 @@
+//! Candidate selection: best-per-query top-k vs the Skyline method (§6.1).
+//!
+//! For each query, every relevant structure is priced as a single-structure
+//! configuration. Top-k keeps the k fastest; Skyline keeps every structure
+//! not dominated in (size, cost) — the fast-large ⟷ slow-small spectrum of
+//! Figure 5 that compressed indexes populate. The final pool is the union
+//! over queries.
+
+use super::AdvisorOptions;
+use cadb_engine::{Configuration, PhysicalStructure, Workload, WhatIfOptimizer};
+
+/// Minimum relative improvement for a structure to be considered relevant
+/// to a query at all.
+const MIN_BENEFIT: f64 = 1e-3;
+
+/// One priced point for a query.
+#[derive(Debug, Clone)]
+struct Point {
+    structure: PhysicalStructure,
+    cost: f64,
+}
+
+/// Select the candidate pool (union over queries of per-query selections).
+pub fn select_candidates(
+    opt: &WhatIfOptimizer<'_>,
+    workload: &Workload,
+    priced: &[PhysicalStructure],
+    options: &AdvisorOptions,
+) -> Vec<PhysicalStructure> {
+    let mut selected: Vec<PhysicalStructure> = Vec::new();
+    let empty = Configuration::empty();
+    for (q, _) in workload.queries() {
+        let base = opt.query_cost(q, &empty);
+        let mut points: Vec<Point> = Vec::new();
+        for s in priced {
+            if !q.tables().contains(&s.spec.table) {
+                continue;
+            }
+            let cfg = Configuration::new(vec![s.clone()]);
+            let cost = opt.query_cost(q, &cfg);
+            if cost < base * (1.0 - MIN_BENEFIT) {
+                points.push(Point {
+                    structure: s.clone(),
+                    cost,
+                });
+            }
+        }
+        let chosen = if options.skyline {
+            // Skyline plus the plain top-k: the skyline can in principle
+            // drop a point that is (size, cost)-dominated yet still the
+            // best greedy seed, so always keep the k fastest as well.
+            let mut sky = skyline_of(points.clone());
+            for p in top_k_of(points, options.top_k) {
+                if !sky.iter().any(|s| s.structure.spec == p.structure.spec) {
+                    sky.push(p);
+                }
+            }
+            sky
+        } else {
+            top_k_of(points, options.top_k)
+        };
+        for p in chosen {
+            if !selected.iter().any(|s| s.spec == p.structure.spec) {
+                selected.push(p.structure);
+            }
+        }
+    }
+    selected
+}
+
+/// Keep the (size, cost) skyline: a point survives unless another point is
+/// both smaller and faster (the O(n²) test of §6.1).
+fn skyline_of(points: Vec<Point>) -> Vec<Point> {
+    let mut out: Vec<Point> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let dominated = points.iter().enumerate().any(|(j, o)| {
+            j != i
+                && o.cost <= p.cost
+                && o.structure.size.bytes <= p.structure.size.bytes
+                && (o.cost < p.cost || o.structure.size.bytes < p.structure.size.bytes)
+        });
+        if !dominated {
+            out.push(p.clone());
+        }
+    }
+    out
+}
+
+/// Keep the k fastest points (the existing best-per-query behaviour).
+fn top_k_of(mut points: Vec<Point>, k: usize) -> Vec<Point> {
+    points.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    points.truncate(k.max(1));
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::{ColumnId, TableId};
+    use cadb_compression::CompressionKind;
+    use cadb_engine::{IndexSpec, SizeEstimate};
+
+    fn pt(bytes: f64, cost: f64, tag: u16) -> Point {
+        Point {
+            structure: PhysicalStructure {
+                spec: IndexSpec::secondary(TableId(0), vec![ColumnId(tag)]),
+                size: SizeEstimate::uncompressed(bytes, 10.0),
+            },
+            cost,
+        }
+    }
+
+    #[test]
+    fn skyline_keeps_frontier_only() {
+        // (size, cost): A(10, 100) dominates B(20, 120); C(5, 150) survives
+        // as slow-small; D(30, 50) survives as fast-large.
+        let pts = vec![
+            pt(10.0, 100.0, 0),
+            pt(20.0, 120.0, 1),
+            pt(5.0, 150.0, 2),
+            pt(30.0, 50.0, 3),
+        ];
+        let sky = skyline_of(pts);
+        let tags: Vec<u16> = sky
+            .iter()
+            .map(|p| p.structure.spec.key_cols[0].0)
+            .collect();
+        assert_eq!(tags.len(), 3);
+        assert!(tags.contains(&0) && tags.contains(&2) && tags.contains(&3));
+        assert!(!tags.contains(&1));
+    }
+
+    #[test]
+    fn duplicate_points_both_survive() {
+        let pts = vec![pt(10.0, 100.0, 0), pt(10.0, 100.0, 1)];
+        assert_eq!(skyline_of(pts).len(), 2);
+    }
+
+    #[test]
+    fn top_k_truncates_by_cost() {
+        let pts = vec![pt(10.0, 300.0, 0), pt(10.0, 100.0, 1), pt(10.0, 200.0, 2)];
+        let kept = top_k_of(pts, 2);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].structure.spec.key_cols[0].0, 1);
+        assert_eq!(kept[1].structure.spec.key_cols[0].0, 2);
+    }
+
+    #[test]
+    fn skyline_selection_keeps_small_compressed_indexes() {
+        // End-to-end: a compressed index that is slower but much smaller
+        // must survive Skyline and be dropped by top-1.
+        let gen = cadb_datagen::TpchGen::new(0.01);
+        let db = gen.build().unwrap();
+        let w = {
+            let mut w = Workload::default();
+            let stmt = cadb_engine::lower::lower_statement(
+                &db,
+                "SELECT shipdate, SUM(quantity) FROM lineitem \
+                 WHERE shipdate BETWEEN '1996-01-01' AND '1996-06-30' GROUP BY shipdate",
+            )
+            .unwrap();
+            w.push(stmt, 1.0);
+            w
+        };
+        let opt = WhatIfOptimizer::new(&db);
+        let t = db.table_id("lineitem").unwrap();
+        let shipdate = db.schema(t).column_id("shipdate").unwrap();
+        let qty = db.schema(t).column_id("quantity").unwrap();
+        let plain = IndexSpec::secondary(t, vec![shipdate]).with_includes(vec![qty]);
+        let compressed = plain.with_compression(CompressionKind::Page);
+        let priced = vec![
+            PhysicalStructure {
+                size: opt.estimate_uncompressed_size(&plain),
+                spec: plain.clone(),
+            },
+            PhysicalStructure {
+                size: opt.estimate_uncompressed_size(&compressed).compressed(0.35),
+                spec: compressed.clone(),
+            },
+        ];
+        let mut sky_opts = AdvisorOptions::dtac(1e9);
+        sky_opts.skyline = true;
+        let sky = select_candidates(&opt, &w, &priced, &sky_opts);
+        assert!(sky.iter().any(|s| s.spec == compressed), "skyline dropped the compressed variant");
+        assert!(sky.iter().any(|s| s.spec == plain));
+
+        let mut topk = AdvisorOptions::dtac(1e9);
+        topk.skyline = false;
+        topk.top_k = 1;
+        let t1 = select_candidates(&opt, &w, &priced, &topk);
+        assert_eq!(t1.len(), 1, "top-1 keeps a single candidate");
+    }
+}

@@ -1,0 +1,242 @@
+//! The stochastic error model of §5.1 and Appendix C.
+//!
+//! Each estimation action (SampleCF at fraction `f`; a deduction over `a`
+//! inputs) is characterized by the bias and standard deviation of
+//! `X = estimate / truth`. The default coefficients are the paper's
+//! least-square fits (Tables 2 and 3); [`ErrorModel`] keeps them as data so
+//! the calibration experiment (Figure 9 / 10 reproduction) can re-fit them
+//! against *our* compression implementations.
+
+use crate::math::{normal_prob_between, product_mean, product_variance};
+use cadb_compression::CompressionKind;
+
+/// Distribution of a size estimate relative to the truth: `X ~ N(mean, sd²)`
+/// with `mean = 1 + bias`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateDistribution {
+    /// Mean of `estimate/truth` (1.0 = unbiased).
+    pub mean: f64,
+    /// Standard deviation.
+    pub sd: f64,
+}
+
+impl EstimateDistribution {
+    /// An exact estimate (existing index: §5.1 "zero bias and variance").
+    pub fn exact() -> Self {
+        EstimateDistribution { mean: 1.0, sd: 0.0 }
+    }
+
+    /// Probability that the estimate is within error ratio `e` of the
+    /// truth, i.e. `P(1/(1+e) ≤ X ≤ 1+e)` under the normal assumption.
+    pub fn prob_within(&self, e: f64) -> f64 {
+        normal_prob_between(self.mean, self.sd, 1.0 / (1.0 + e), 1.0 + e)
+    }
+
+    /// Compose a product of independent estimate distributions (Goodman).
+    pub fn product(parts: &[EstimateDistribution]) -> Self {
+        let mv: Vec<(f64, f64)> = parts.iter().map(|p| (p.mean, p.sd * p.sd)).collect();
+        EstimateDistribution {
+            mean: product_mean(&mv),
+            sd: product_variance(&mv).sqrt(),
+        }
+    }
+}
+
+/// Per-method error coefficients, in the paper's `c · ln(f)` /
+/// `c · a` forms.
+#[derive(Debug, Clone)]
+pub struct ErrorModel {
+    /// SampleCF bias coefficient for ORD-IND (NS-family) methods:
+    /// `bias = c · ln(f)` (≈ 0 in the paper).
+    pub samplecf_bias_ord_ind: f64,
+    /// SampleCF stddev coefficient for ORD-IND: `sd = c · ln(f)`.
+    pub samplecf_sd_ord_ind: f64,
+    /// SampleCF bias coefficient for ORD-DEP (local-dictionary-family).
+    pub samplecf_bias_ord_dep: f64,
+    /// SampleCF stddev coefficient for ORD-DEP.
+    pub samplecf_sd_ord_dep: f64,
+    /// ColSet deduction stddev (bias assumed 0, §C "always has a very low
+    /// error").
+    pub colset_sd: f64,
+    /// ColExt bias per extrapolated index, ORD-IND.
+    pub colext_bias_ord_ind: f64,
+    /// ColExt stddev per extrapolated index, ORD-IND.
+    pub colext_sd_ord_ind: f64,
+    /// ColExt bias per extrapolated index, ORD-DEP.
+    pub colext_bias_ord_dep: f64,
+    /// ColExt stddev per extrapolated index, ORD-DEP.
+    pub colext_sd_ord_dep: f64,
+}
+
+impl Default for ErrorModel {
+    /// The paper's fitted coefficients (Tables 2 and 3, TPC-H Z=0 row).
+    fn default() -> Self {
+        ErrorModel {
+            samplecf_bias_ord_ind: 0.0,
+            samplecf_sd_ord_ind: -0.0062,
+            samplecf_bias_ord_dep: -0.015,
+            samplecf_sd_ord_dep: -0.018,
+            colset_sd: 0.0003,
+            colext_bias_ord_ind: 0.01,
+            colext_sd_ord_ind: 0.002,
+            colext_bias_ord_dep: -0.03,
+            colext_sd_ord_dep: 0.01,
+        }
+    }
+}
+
+impl ErrorModel {
+    /// Distribution of a SampleCF estimate at sampling fraction `f`
+    /// (Table 2: bias and sd shrink like `c · ln f`, zero at `f = 1`).
+    pub fn samplecf(&self, kind: CompressionKind, f: f64) -> EstimateDistribution {
+        let f = f.clamp(1e-6, 1.0);
+        let lnf = f.ln(); // ≤ 0, so negative coefficients give positive error
+        let (b, s) = if kind.order_dependent() {
+            (self.samplecf_bias_ord_dep, self.samplecf_sd_ord_dep)
+        } else {
+            (self.samplecf_bias_ord_ind, self.samplecf_sd_ord_ind)
+        };
+        EstimateDistribution {
+            mean: 1.0 + b * lnf,
+            sd: (s * lnf).abs(),
+        }
+    }
+
+    /// Distribution contributed by a ColSet deduction step itself.
+    pub fn colset(&self) -> EstimateDistribution {
+        EstimateDistribution {
+            mean: 1.0,
+            sd: self.colset_sd,
+        }
+    }
+
+    /// Distribution contributed by a ColExt deduction step over `a`
+    /// extrapolated inputs (Table 3: bias and sd grow linearly in `a`).
+    pub fn colext(&self, kind: CompressionKind, a: usize) -> EstimateDistribution {
+        let a = a as f64;
+        let (b, s) = if kind.order_dependent() {
+            (self.colext_bias_ord_dep, self.colext_sd_ord_dep)
+        } else {
+            (self.colext_bias_ord_ind, self.colext_sd_ord_ind)
+        };
+        EstimateDistribution {
+            mean: 1.0 + b * a,
+            sd: (s * a).abs(),
+        }
+    }
+
+    /// Fit a `c · ln(f)` coefficient by least squares through the origin
+    /// (in `ln f`), given `(f, observed)` pairs — the Appendix C
+    /// calibration procedure, exposed so the Figure 9 experiment can re-fit
+    /// the model against measured errors.
+    pub fn fit_ln_coefficient(points: &[(f64, f64)]) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (f, y) in points {
+            let x = f.clamp(1e-6, 1.0).ln();
+            num += x * y;
+            den += x * x;
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Fit a `c · a` coefficient by least squares through the origin,
+    /// given `(a, observed)` pairs (the Figure 10 calibration).
+    pub fn fit_linear_coefficient(points: &[(f64, f64)]) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (a, y) in points {
+            num += a * y;
+            den += a * a;
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samplecf_error_shrinks_with_f() {
+        let m = ErrorModel::default();
+        let small = m.samplecf(CompressionKind::Page, 0.01);
+        let large = m.samplecf(CompressionKind::Page, 0.10);
+        assert!(small.sd > large.sd);
+        assert!((small.mean - 1.0).abs() > (large.mean - 1.0).abs());
+        // At f = 1 (full data) the estimate is exact.
+        let full = m.samplecf(CompressionKind::Page, 1.0);
+        assert!((full.mean - 1.0).abs() < 1e-12);
+        assert!(full.sd < 1e-12);
+    }
+
+    #[test]
+    fn ord_dep_noisier_than_ord_ind() {
+        let m = ErrorModel::default();
+        let ns = m.samplecf(CompressionKind::Row, 0.02);
+        let ld = m.samplecf(CompressionKind::Page, 0.02);
+        assert!(ld.sd > ns.sd);
+    }
+
+    #[test]
+    fn colext_error_grows_with_a() {
+        let m = ErrorModel::default();
+        let a2 = m.colext(CompressionKind::Page, 2);
+        let a4 = m.colext(CompressionKind::Page, 4);
+        assert!(a4.sd > a2.sd);
+        assert!((a4.mean - 1.0).abs() > (a2.mean - 1.0).abs());
+        // ColSet is nearly exact.
+        assert!(m.colset().sd < a2.sd);
+    }
+
+    #[test]
+    fn prob_within_reasonable() {
+        let m = ErrorModel::default();
+        // SampleCF on NS at 5%: sd ≈ 0.0186, bias 0 → well within e=0.2.
+        let d = m.samplecf(CompressionKind::Row, 0.05);
+        assert!(d.prob_within(0.2) > 0.99);
+        // A noisy chain should have lower confidence for tight e.
+        let chain = EstimateDistribution::product(&[
+            m.samplecf(CompressionKind::Page, 0.01),
+            m.colext(CompressionKind::Page, 3),
+        ]);
+        assert!(chain.prob_within(0.05) < d.prob_within(0.05));
+        assert!(chain.prob_within(1.0) > chain.prob_within(0.05));
+    }
+
+    #[test]
+    fn exact_distribution() {
+        let e = EstimateDistribution::exact();
+        assert_eq!(e.prob_within(0.01), 1.0);
+        // Product with exact leaves the other side unchanged.
+        let m = ErrorModel::default();
+        let d = m.samplecf(CompressionKind::Row, 0.05);
+        let p = EstimateDistribution::product(&[d, e]);
+        assert!((p.mean - d.mean).abs() < 1e-12);
+        assert!((p.sd - d.sd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitting_recovers_coefficients() {
+        // Generate clean data from c=−0.017 and re-fit.
+        let c = -0.017;
+        let pts: Vec<(f64, f64)> = [0.01, 0.025, 0.05, 0.1]
+            .iter()
+            .map(|&f: &f64| (f, c * f.ln()))
+            .collect();
+        let fit = ErrorModel::fit_ln_coefficient(&pts);
+        assert!((fit - c).abs() < 1e-12);
+
+        let pts2: Vec<(f64, f64)> = (1..=4).map(|a| (a as f64, 0.01 * a as f64)).collect();
+        assert!((ErrorModel::fit_linear_coefficient(&pts2) - 0.01).abs() < 1e-12);
+        assert_eq!(ErrorModel::fit_ln_coefficient(&[]), 0.0);
+    }
+}

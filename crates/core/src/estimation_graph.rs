@@ -1,0 +1,539 @@
+//! The index/deduction graph of §5.2 (Figure 3).
+//!
+//! Index nodes carry a state (`None` → `Sampled` / `Deduced` / `Existing`);
+//! deduction choices connect a parent node to child nodes whose sizes can
+//! produce the parent's size at zero sampling cost. The search algorithms
+//! ([`crate::greedy`], [`crate::exact`]) assign states minimizing total
+//! sampling cost subject to the accuracy constraint `(e, q)`.
+
+use crate::error_model::{ErrorModel, EstimateDistribution};
+use cadb_compression::analyze::PAGE_PAYLOAD;
+use cadb_compression::CompressionKind;
+use cadb_common::{ColumnId, TableId};
+use cadb_engine::{IndexSpec, WhatIfOptimizer};
+use std::collections::{BTreeSet, HashMap};
+
+/// How a node's size is (to be) obtained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeState {
+    /// Undecided.
+    None,
+    /// SampleCF will run on this index.
+    Sampled,
+    /// Deduced from children via the recorded choice.
+    Deduced(DeductionChoice),
+    /// Pre-existing index: exact size from the catalog, zero cost.
+    Existing,
+}
+
+/// One way to deduce a parent from children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeductionChoice {
+    /// Child node indices.
+    pub children: Vec<usize>,
+    /// ColSet (same column set) or ColExt (column extrapolation).
+    pub kind: DeductionKind,
+}
+
+/// The two deduction families of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeductionKind {
+    /// Same column set, order-independent compression.
+    ColSet,
+    /// Column extrapolation from a partition of the column set.
+    ColExt,
+}
+
+/// One index node.
+#[derive(Debug, Clone)]
+pub struct IndexNode {
+    /// The index this node stands for.
+    pub spec: IndexSpec,
+    /// Whether the caller asked for this index's size (vs. an auxiliary
+    /// narrower index created to enable deductions).
+    pub is_target: bool,
+    /// Assigned state.
+    pub state: NodeState,
+    /// Sampling cost of running SampleCF on this node at the graph's
+    /// fraction: sample data pages of the uncompressed index (§5.1).
+    pub sample_cost: f64,
+}
+
+/// The graph plus the error model and sampling fraction it is priced at.
+pub struct EstimationGraph {
+    /// All nodes; targets first, auxiliaries appended.
+    pub nodes: Vec<IndexNode>,
+    /// Error model used for accuracy accounting.
+    pub model: ErrorModel,
+    /// Sampling fraction `f`.
+    pub fraction: f64,
+    by_colset: HashMap<(TableId, BTreeSet<ColumnId>, CompressionKind), Vec<usize>>,
+}
+
+impl EstimationGraph {
+    /// Build a graph over the given targets (all must be compressed specs).
+    pub fn new(
+        opt: &WhatIfOptimizer<'_>,
+        model: ErrorModel,
+        fraction: f64,
+        targets: &[IndexSpec],
+        existing: &[IndexSpec],
+    ) -> Self {
+        let mut g = EstimationGraph {
+            nodes: Vec::new(),
+            model,
+            fraction,
+            by_colset: HashMap::new(),
+        };
+        for e in existing {
+            let id = g.ensure_node(opt, e.clone(), false);
+            g.nodes[id].state = NodeState::Existing;
+        }
+        for t in targets {
+            let id = g.ensure_node(opt, t.clone(), true);
+            g.nodes[id].is_target = true;
+        }
+        g
+    }
+
+    /// Whether a node can participate in deductions at all: plain table
+    /// indexes only (partial filters and MVs change the row population).
+    pub fn deducible(spec: &IndexSpec) -> bool {
+        spec.partial_filter.is_none() && spec.mv.is_none() && spec.compression.is_compressed()
+    }
+
+    /// Find or create a node for a spec; returns its id.
+    pub fn ensure_node(
+        &mut self,
+        opt: &WhatIfOptimizer<'_>,
+        spec: IndexSpec,
+        target: bool,
+    ) -> usize {
+        if let Some(i) = self.nodes.iter().position(|n| n.spec == spec) {
+            if target {
+                self.nodes[i].is_target = true;
+            }
+            return i;
+        }
+        let unc = opt.estimate_uncompressed_size(&spec);
+        let sample_cost = (unc.bytes * self.fraction / PAGE_PAYLOAD as f64).max(1.0);
+        let id = self.nodes.len();
+        self.nodes.push(IndexNode {
+            is_target: target,
+            state: NodeState::None,
+            sample_cost,
+            spec: spec.clone(),
+        });
+        if Self::deducible(&spec) {
+            self.by_colset
+                .entry((spec.table, spec.column_set(), spec.compression))
+                .or_default()
+                .push(id);
+        }
+        id
+    }
+
+    /// Whether a node's size is known (sampled/deduced/existing).
+    pub fn known(&self, id: usize) -> bool {
+        !matches!(self.nodes[id].state, NodeState::None)
+    }
+
+    /// Enumerate the deduction choices available for a node, creating
+    /// singleton child nodes as needed (the paper's "add all child
+    /// deduction nodes … add children of the deduction nodes").
+    pub fn deduction_choices(
+        &mut self,
+        opt: &WhatIfOptimizer<'_>,
+        id: usize,
+    ) -> Vec<DeductionChoice> {
+        let spec = self.nodes[id].spec.clone();
+        if !Self::deducible(&spec) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let colset = spec.column_set();
+
+        // ColSet: another node with the same column set and ORD-IND method.
+        if !spec.compression.order_dependent() {
+            if let Some(sames) = self
+                .by_colset
+                .get(&(spec.table, colset.clone(), spec.compression))
+            {
+                for &other in sames {
+                    if other != id {
+                        out.push(DeductionChoice {
+                            children: vec![other],
+                            kind: DeductionKind::ColSet,
+                        });
+                    }
+                }
+            }
+        }
+
+        if colset.len() < 2 {
+            return out;
+        }
+
+        // ColExt via existing narrower nodes: greedy disjoint cover by the
+        // largest usable subsets, remainder filled with singletons.
+        let mut subset_nodes: Vec<(usize, BTreeSet<ColumnId>)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| {
+                *i != id
+                    && Self::deducible(&n.spec)
+                    && n.spec.table == spec.table
+                    && n.spec.compression == spec.compression
+                    && !n.spec.clustered
+                    && n.spec.column_set().is_subset(&colset)
+                    && n.spec.column_set().len() < colset.len()
+            })
+            .map(|(i, n)| (i, n.spec.column_set()))
+            .collect();
+        subset_nodes.sort_by_key(|(_, s)| std::cmp::Reverse(s.len()));
+
+        let mut cover_children: Vec<usize> = Vec::new();
+        let mut covered: BTreeSet<ColumnId> = BTreeSet::new();
+        for (i, s) in &subset_nodes {
+            if s.iter().all(|c| !covered.contains(c)) {
+                cover_children.push(*i);
+                covered.extend(s.iter().copied());
+            }
+        }
+        let missing: Vec<ColumnId> = colset
+            .iter()
+            .filter(|c| !covered.contains(c))
+            .copied()
+            .collect();
+        let mut cover = cover_children.clone();
+        for c in missing {
+            let child =
+                IndexSpec::secondary(spec.table, vec![c]).with_compression(spec.compression);
+            cover.push(self.ensure_node(opt, child, false));
+        }
+        let trivial = cover.is_empty() || (cover.len() == 1 && cover[0] == id);
+        if !trivial {
+            out.push(DeductionChoice {
+                children: cover,
+                kind: DeductionKind::ColExt,
+            });
+        }
+
+        // The all-singletons decomposition (always available).
+        let singles: Vec<usize> = colset
+            .iter()
+            .map(|c| {
+                let child =
+                    IndexSpec::secondary(spec.table, vec![*c]).with_compression(spec.compression);
+                self.ensure_node(opt, child, false)
+            })
+            .collect();
+        let single_choice = DeductionChoice {
+            children: singles,
+            kind: DeductionKind::ColExt,
+        };
+        if !out.contains(&single_choice) {
+            out.push(single_choice);
+        }
+        out
+    }
+
+    /// Distribution of a node's estimate under the current assignment.
+    /// Returns `None` while the node (or a dependency) is undecided.
+    pub fn distribution(&self, id: usize) -> Option<EstimateDistribution> {
+        match &self.nodes[id].state {
+            NodeState::None => None,
+            NodeState::Existing => Some(EstimateDistribution::exact()),
+            NodeState::Sampled => Some(
+                self.model
+                    .samplecf(self.nodes[id].spec.compression, self.fraction),
+            ),
+            NodeState::Deduced(choice) => {
+                let mut parts = Vec::with_capacity(choice.children.len() + 1);
+                for &c in &choice.children {
+                    parts.push(self.distribution(c)?);
+                }
+                parts.push(match choice.kind {
+                    DeductionKind::ColSet => self.model.colset(),
+                    DeductionKind::ColExt => self
+                        .model
+                        .colext(self.nodes[id].spec.compression, choice.children.len()),
+                });
+                Some(EstimateDistribution::product(&parts))
+            }
+        }
+    }
+
+    /// Distribution a node *would* have if deduced via `choice`, children
+    /// that are still `None` assumed `Sampled`.
+    pub fn hypothetical_distribution(
+        &self,
+        id: usize,
+        choice: &DeductionChoice,
+    ) -> EstimateDistribution {
+        let mut parts = Vec::with_capacity(choice.children.len() + 1);
+        for &c in &choice.children {
+            let d = self.distribution(c).unwrap_or_else(|| {
+                self.model
+                    .samplecf(self.nodes[c].spec.compression, self.fraction)
+            });
+            parts.push(d);
+        }
+        parts.push(match choice.kind {
+            DeductionKind::ColSet => self.model.colset(),
+            DeductionKind::ColExt => self
+                .model
+                .colext(self.nodes[id].spec.compression, choice.children.len()),
+        });
+        EstimateDistribution::product(&parts)
+    }
+
+    /// Total sampling cost of the current assignment (§5.1 objective).
+    pub fn total_cost(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Sampled)
+            .map(|n| n.sample_cost)
+            .sum()
+    }
+
+    /// Whether every target meets the accuracy constraint.
+    pub fn feasible(&self, e: f64, q: f64) -> bool {
+        self.nodes.iter().enumerate().all(|(i, n)| {
+            !n.is_target
+                || self
+                    .distribution(i)
+                    .map(|d| d.prob_within(e) >= q)
+                    .unwrap_or(false)
+        })
+    }
+
+    /// Target node ids, in insertion order.
+    pub fn targets(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_target)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Target ids ordered narrow → wide (the greedy processing order).
+    pub fn targets_narrow_to_wide(&self) -> Vec<usize> {
+        let mut t = self.targets();
+        t.sort_by_key(|&i| self.nodes[i].spec.column_set().len());
+        t
+    }
+
+    /// Remove auxiliary nodes that ended up unused (step 13–14 of the
+    /// greedy pseudocode). Keeps node ids stable by only *clearing* state.
+    pub fn prune_unused(&mut self) {
+        let mut used = vec![false; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.is_target {
+                used[i] = true;
+            }
+        }
+        // Propagate usage wide → narrow through deduction children.
+        let order: Vec<usize> = {
+            let mut o: Vec<usize> = (0..self.nodes.len()).collect();
+            o.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i].spec.column_set().len()));
+            o
+        };
+        for i in order {
+            if !used[i] {
+                continue;
+            }
+            if let NodeState::Deduced(choice) = &self.nodes[i].state {
+                for &c in &choice.children {
+                    used[c] = true;
+                }
+            }
+        }
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            if !used[i] && n.state == NodeState::Sampled {
+                n.state = NodeState::None;
+            }
+        }
+    }
+
+    /// Count of nodes in each state `(sampled, deduced, existing)`.
+    pub fn state_counts(&self) -> (usize, usize, usize) {
+        let mut s = (0, 0, 0);
+        for n in &self.nodes {
+            match n.state {
+                NodeState::Sampled => s.0 += 1,
+                NodeState::Deduced(_) => s.1 += 1,
+                NodeState::Existing => s.2 += 1,
+                NodeState::None => {}
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use cadb_common::{ColumnDef, DataType, Row, TableSchema, Value};
+
+    pub(crate) fn test_db() -> cadb_engine::Database {
+        let mut db = cadb_engine::Database::new();
+        let t = db
+            .create_table(
+                TableSchema::new(
+                    "t",
+                    vec![
+                        ColumnDef::new("a", DataType::Int),
+                        ColumnDef::new("b", DataType::Char { len: 8 }),
+                        ColumnDef::new("c", DataType::Int),
+                        ColumnDef::new("d", DataType::Int),
+                    ],
+                    vec![ColumnId(0)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let rows: Vec<Row> = (0..8_000)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i % 100),
+                    Value::Str(format!("x{}", i % 7)),
+                    Value::Int(i % 13),
+                    Value::Int(i),
+                ])
+            })
+            .collect();
+        db.insert_rows(t, rows).unwrap();
+        db
+    }
+
+    pub(crate) fn spec(cols: &[u16]) -> IndexSpec {
+        IndexSpec::secondary(TableId(0), cols.iter().map(|c| ColumnId(*c)).collect())
+            .with_compression(CompressionKind::Row)
+    }
+
+    #[test]
+    fn graph_construction_and_cost() {
+        let db = test_db();
+        let opt = WhatIfOptimizer::new(&db);
+        let targets = vec![spec(&[0, 1]), spec(&[0])];
+        let g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        assert_eq!(g.targets().len(), 2);
+        let order = g.targets_narrow_to_wide();
+        assert_eq!(g.nodes[order[0]].spec, spec(&[0]));
+        assert!(g.nodes[order[1]].sample_cost > g.nodes[order[0]].sample_cost);
+        assert_eq!(g.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn colset_choice_found() {
+        let db = test_db();
+        let opt = WhatIfOptimizer::new(&db);
+        let targets = vec![spec(&[0, 1]), spec(&[1, 0])];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let choices = g.deduction_choices(&opt, 1);
+        assert!(choices
+            .iter()
+            .any(|c| c.kind == DeductionKind::ColSet && c.children == vec![0]));
+    }
+
+    #[test]
+    fn colext_creates_singletons() {
+        let db = test_db();
+        let opt = WhatIfOptimizer::new(&db);
+        let targets = vec![spec(&[0, 1, 2])];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let n_before = g.nodes.len();
+        let choices = g.deduction_choices(&opt, 0);
+        assert!(!choices.is_empty());
+        assert_eq!(g.nodes.len(), n_before + 3);
+        let singles = choices
+            .iter()
+            .find(|c| c.children.len() == 3)
+            .expect("all-singletons choice");
+        for &c in &singles.children {
+            assert!(!g.nodes[c].is_target);
+            assert_eq!(g.nodes[c].spec.key_cols.len(), 1);
+        }
+    }
+
+    #[test]
+    fn existing_indexes_are_free_and_exact() {
+        let db = test_db();
+        let opt = WhatIfOptimizer::new(&db);
+        let g = EstimationGraph::new(
+            &opt,
+            ErrorModel::default(),
+            0.05,
+            &[spec(&[0])],
+            &[spec(&[1])],
+        );
+        let existing = g
+            .nodes
+            .iter()
+            .position(|n| n.state == NodeState::Existing)
+            .unwrap();
+        assert_eq!(
+            g.distribution(existing),
+            Some(EstimateDistribution::exact())
+        );
+        assert_eq!(g.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn distribution_composes_through_deduction() {
+        let db = test_db();
+        let opt = WhatIfOptimizer::new(&db);
+        let targets = vec![spec(&[0, 1])];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let choices = g.deduction_choices(&opt, 0);
+        let singles = choices
+            .iter()
+            .find(|c| c.children.len() == 2)
+            .unwrap()
+            .clone();
+        for &c in &singles.children {
+            g.nodes[c].state = NodeState::Sampled;
+        }
+        g.nodes[0].state = NodeState::Deduced(singles);
+        let d = g.distribution(0).unwrap();
+        let sampled = g.model.samplecf(CompressionKind::Row, 0.05);
+        assert!(d.sd > sampled.sd);
+        assert!(g.feasible(0.5, 0.9));
+        assert!(!g.feasible(0.001, 0.999));
+    }
+
+    #[test]
+    fn partial_and_mv_not_deducible() {
+        let mut p = spec(&[0]);
+        p.partial_filter = Some(cadb_engine::Predicate::eq(
+            TableId(0),
+            ColumnId(1),
+            Value::Str("x1".into()),
+        ));
+        assert!(!EstimationGraph::deducible(&p));
+        assert!(!EstimationGraph::deducible(
+            &spec(&[0]).with_compression(CompressionKind::None)
+        ));
+        assert!(EstimationGraph::deducible(&spec(&[0])));
+    }
+
+    #[test]
+    fn prune_clears_unused_auxiliaries() {
+        let db = test_db();
+        let opt = WhatIfOptimizer::new(&db);
+        let mut g =
+            EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &[spec(&[0, 1])], &[]);
+        let _ = g.deduction_choices(&opt, 0);
+        for n in &mut g.nodes {
+            n.state = NodeState::Sampled;
+        }
+        let cost_all = g.total_cost();
+        g.prune_unused();
+        assert!(g.total_cost() < cost_all);
+        let (sampled, ..) = g.state_counts();
+        assert_eq!(sampled, 1);
+    }
+}

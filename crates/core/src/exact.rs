@@ -1,0 +1,244 @@
+//! The exact (exponential) graph-search algorithm of Appendix D.3.
+//!
+//! Branch-and-bound over node assignments, processing the widest undecided
+//! node first and branching on SAMPLED vs. each available deduction —
+//! exactly the recursion in the paper's "Optimal Graph Search Algo." box.
+//! Used only as a quality yardstick for the greedy algorithm (Table 4);
+//! it blows up beyond a couple dozen nodes, which is the point.
+
+use crate::estimation_graph::{EstimationGraph, NodeState};
+use cadb_engine::WhatIfOptimizer;
+
+/// Hard cap on explored assignments so tests can't hang; the paper's
+/// observation ("does not finish in hours" at 300 indexes) is reproduced by
+/// measuring explored-node growth, not by actually hanging.
+const MAX_VISITS: u64 = 5_000_000;
+
+/// Result of the exact search.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// Best feasible total cost found (`None` if infeasible or capped out
+    /// before finding one).
+    pub best_cost: Option<f64>,
+    /// Assignments explored.
+    pub visited: u64,
+    /// Whether the search was truncated by [`MAX_VISITS`].
+    pub truncated: bool,
+}
+
+/// Run the exact search; on success the graph holds the optimal assignment.
+pub fn exact_assign(
+    g: &mut EstimationGraph,
+    opt: &WhatIfOptimizer<'_>,
+    e: f64,
+    q: f64,
+) -> ExactResult {
+    // Materialize all deduction options (and auxiliary children) up front
+    // so the search space is fixed.
+    let mut all_choices = Vec::new();
+    let mut i = 0;
+    while i < g.nodes.len() {
+        let choices = g.deduction_choices(opt, i);
+        all_choices.resize(g.nodes.len(), Vec::new());
+        all_choices[i] = choices;
+        i += 1;
+    }
+    all_choices.resize(g.nodes.len(), Vec::new());
+
+    let mut search = Search {
+        e,
+        q,
+        best_cost: None,
+        best_states: None,
+        visited: 0,
+        truncated: false,
+        choices: all_choices,
+    };
+    // Order: widest first (paper line 7: "branch = widest remaining").
+    let mut order: Vec<usize> = g.targets();
+    order.sort_by_key(|&i| std::cmp::Reverse(g.nodes[i].spec.column_set().len()));
+    search.recurse(g, &order, 0);
+
+    if let Some(states) = search.best_states.take() {
+        for (i, s) in states.into_iter().enumerate() {
+            g.nodes[i].state = s;
+        }
+        g.prune_unused();
+    }
+    ExactResult {
+        best_cost: search.best_cost,
+        visited: search.visited,
+        truncated: search.truncated,
+    }
+}
+
+struct Search {
+    e: f64,
+    q: f64,
+    best_cost: Option<f64>,
+    best_states: Option<Vec<NodeState>>,
+    visited: u64,
+    truncated: bool,
+    choices: Vec<Vec<crate::estimation_graph::DeductionChoice>>,
+}
+
+impl Search {
+    fn recurse(&mut self, g: &mut EstimationGraph, order: &[usize], depth: usize) {
+        if self.truncated {
+            return;
+        }
+        self.visited += 1;
+        if self.visited > MAX_VISITS {
+            self.truncated = true;
+            return;
+        }
+        // Cost-based pruning.
+        let cost = g.total_cost();
+        if let Some(best) = self.best_cost {
+            if cost >= best {
+                return;
+            }
+        }
+        // Find next undecided target.
+        let next = order[depth..].iter().copied().find(|&i| !g.known(i));
+        let Some(id) = next else {
+            // Leaf: every target decided. Check feasibility (deduction
+            // children were forced to a state when chosen).
+            if g.feasible(self.e, self.q) {
+                let better = self.best_cost.is_none_or(|b| cost < b);
+                if better {
+                    self.best_cost = Some(cost);
+                    self.best_states = Some(g.nodes.iter().map(|n| n.state.clone()).collect());
+                }
+            }
+            return;
+        };
+
+        // Branch 1: sample it.
+        g.nodes[id].state = NodeState::Sampled;
+        self.recurse(g, order, depth);
+        g.nodes[id].state = NodeState::None;
+
+        // Branch 2: each deduction; unknown children forced to Sampled
+        // (narrower children could in principle be deduced themselves, but
+        // their own branches handle that when they are targets).
+        let my_choices = self.choices[id].clone();
+        for choice in my_choices {
+            let mut forced = Vec::new();
+            for &c in &choice.children {
+                if !g.known(c) && !g.nodes[c].is_target {
+                    g.nodes[c].state = NodeState::Sampled;
+                    forced.push(c);
+                }
+            }
+            // A deduction is valid only when children are (or will be)
+            // known; target children still undecided are handled deeper in
+            // the recursion, so only accept when they precede in `order`
+            // or are decided.
+            let pending_target_children: bool = choice
+                .children
+                .iter()
+                .any(|&c| !g.known(c) && g.nodes[c].is_target && !order[..depth].contains(&c));
+            if !pending_target_children {
+                g.nodes[id].state = NodeState::Deduced(choice.clone());
+                self.recurse(g, order, depth);
+                g.nodes[id].state = NodeState::None;
+            } else {
+                // Children are undecided later targets: try deducing after
+                // forcing them sampled as well (a valid concrete plan).
+                let mut extra = Vec::new();
+                for &c in &choice.children {
+                    if !g.known(c) {
+                        g.nodes[c].state = NodeState::Sampled;
+                        extra.push(c);
+                    }
+                }
+                g.nodes[id].state = NodeState::Deduced(choice.clone());
+                self.recurse(g, order, depth);
+                g.nodes[id].state = NodeState::None;
+                for c in extra {
+                    g.nodes[c].state = NodeState::None;
+                }
+            }
+            for c in forced {
+                g.nodes[c].state = NodeState::None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_model::ErrorModel;
+    use crate::estimation_graph::tests::{spec, test_db};
+    use crate::greedy::greedy_assign;
+
+    #[test]
+    fn exact_no_worse_than_greedy() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let targets = vec![spec(&[0]), spec(&[1]), spec(&[0, 1]), spec(&[0, 1, 2])];
+        let (e, q) = (0.5, 0.9);
+        let mut g1 = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let greedy_cost = greedy_assign(&mut g1, &opt, e, q);
+        let mut g2 = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let exact = exact_assign(&mut g2, &opt, e, q);
+        let exact_cost = exact.best_cost.expect("feasible");
+        assert!(
+            exact_cost <= greedy_cost + 1e-9,
+            "exact {exact_cost} > greedy {greedy_cost}"
+        );
+        assert!(g2.feasible(e, q));
+        assert!(!exact.truncated);
+    }
+
+    #[test]
+    fn exact_matches_all_when_deductions_infeasible() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let targets = vec![spec(&[0]), spec(&[0, 1])];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        // Accuracy tight enough that deductions fail (ColExt bias 1%/index
+        // pushes the deduced estimate outside e=5% at q=95%) while direct
+        // sampling still passes.
+        let exact = exact_assign(&mut g, &opt, 0.05, 0.95);
+        let cost = exact.best_cost.expect("sampling everything is feasible");
+        let expected: f64 = g.targets().iter().map(|&i| g.nodes[i].sample_cost).sum();
+        assert!((cost - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn visited_grows_with_targets() {
+        // The exponential blow-up of Appendix D, in miniature.
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let small = vec![spec(&[0]), spec(&[0, 1])];
+        let large = vec![
+            spec(&[0]),
+            spec(&[1]),
+            spec(&[2]),
+            spec(&[0, 1]),
+            spec(&[1, 2]),
+            spec(&[0, 2]),
+            spec(&[0, 1, 2]),
+        ];
+        let mut gs = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &small, &[]);
+        let vs = exact_assign(&mut gs, &opt, 0.5, 0.9).visited;
+        let mut gl = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &large, &[]);
+        let vl = exact_assign(&mut gl, &opt, 0.5, 0.9).visited;
+        assert!(vl > vs * 4, "visited {vs} -> {vl}");
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let targets = vec![spec(&[0]).with_compression(cadb_compression::CompressionKind::Page)];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.01, &targets, &[]);
+        // ORD-DEP at f=1% has sd ≈ 0.083 and bias ≈ 0.069: cannot hit
+        // e=1% at q=99.9%.
+        let r = exact_assign(&mut g, &opt, 0.01, 0.999);
+        assert!(r.best_cost.is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! The greedy graph-search algorithm of §5.2.
+//!
+//! Processes targets narrow → wide; for each, prefers an accuracy-feasible
+//! deduction from already-known nodes (highest success probability), then a
+//! deduction whose unknown children can be sampled for less than sampling
+//! the target itself (least cost), and otherwise samples the target.
+//! Finishes with the wide → narrow prune of unused auxiliaries.
+
+use crate::estimation_graph::{DeductionChoice, EstimationGraph, NodeState};
+use cadb_engine::WhatIfOptimizer;
+
+/// Run the greedy assignment in place. Returns the total sampling cost.
+pub fn greedy_assign(g: &mut EstimationGraph, opt: &WhatIfOptimizer<'_>, e: f64, q: f64) -> f64 {
+    let order = g.targets_narrow_to_wide();
+    for id in order {
+        if g.known(id) {
+            continue;
+        }
+        let choices = g.deduction_choices(opt, id);
+
+        // Line 6–7: a deduction whose children are all known and which
+        // satisfies the constraint — pick the most probable.
+        let mut best_ready: Option<(f64, DeductionChoice)> = None;
+        for c in &choices {
+            if c.children.iter().all(|&ch| g.known(ch)) {
+                let p = g.hypothetical_distribution(id, c).prob_within(e);
+                if p >= q && best_ready.as_ref().is_none_or(|(bp, _)| p > *bp) {
+                    best_ready = Some((p, c.clone()));
+                }
+            }
+        }
+        if let Some((_, choice)) = best_ready {
+            g.nodes[id].state = NodeState::Deduced(choice);
+            continue;
+        }
+
+        // Line 8–9: enable a deduction by sampling its unknown children, if
+        // the children's combined sampling cost beats sampling the target —
+        // pick the least-cost eligible deduction.
+        let own_cost = g.nodes[id].sample_cost;
+        let mut best_enable: Option<(f64, DeductionChoice)> = None;
+        for c in &choices {
+            let extra: f64 = c
+                .children
+                .iter()
+                .filter(|&&ch| !g.known(ch))
+                .map(|&ch| g.nodes[ch].sample_cost)
+                .sum();
+            if extra >= own_cost {
+                continue;
+            }
+            let p = g.hypothetical_distribution(id, c).prob_within(e);
+            if p >= q && best_enable.as_ref().is_none_or(|(bc, _)| extra < *bc) {
+                best_enable = Some((extra, c.clone()));
+            }
+        }
+        if let Some((_, choice)) = best_enable {
+            for &ch in &choice.children {
+                if !g.known(ch) {
+                    g.nodes[ch].state = NodeState::Sampled;
+                }
+            }
+            g.nodes[id].state = NodeState::Deduced(choice);
+            continue;
+        }
+
+        // Line 11: sample the target itself.
+        g.nodes[id].state = NodeState::Sampled;
+    }
+    g.prune_unused();
+    g.total_cost()
+}
+
+/// Baseline "All" strategy: SampleCF on every target (§D.3, Table 4).
+pub fn all_sampled(g: &mut EstimationGraph) -> f64 {
+    for id in g.targets() {
+        if !g.known(id) {
+            g.nodes[id].state = NodeState::Sampled;
+        }
+    }
+    g.total_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_model::ErrorModel;
+    use crate::estimation_graph::tests::{spec, test_db};
+    use crate::estimation_graph::DeductionKind;
+
+    #[test]
+    fn greedy_uses_colset_for_free() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        // Two permutations of the same column set: sample one, deduce the
+        // other (the clustered-index observation of §4.2).
+        let targets = vec![spec(&[0, 1]), spec(&[1, 0])];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let cost = greedy_assign(&mut g, &opt, 0.5, 0.9);
+        let (sampled, deduced, _) = g.state_counts();
+        assert_eq!(deduced, 1, "one side must be ColSet-deduced");
+        assert!(sampled >= 1);
+        // Cheaper than sampling both.
+        let mut g_all = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let cost_all = all_sampled(&mut g_all);
+        assert!(cost < cost_all);
+    }
+
+    #[test]
+    fn greedy_deduces_wide_from_sampled_narrow() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        // Targets a, b, ab: greedy should sample a and b (they're needed
+        // anyway) then deduce ab.
+        let targets = vec![spec(&[0]), spec(&[1]), spec(&[0, 1])];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        greedy_assign(&mut g, &opt, 0.5, 0.9);
+        let wide = g
+            .nodes
+            .iter()
+            .position(|n| n.spec == spec(&[0, 1]))
+            .unwrap();
+        match &g.nodes[wide].state {
+            NodeState::Deduced(c) => assert_eq!(c.kind, DeductionKind::ColExt),
+            other => panic!("expected deduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_accuracy_forces_sampling() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let targets = vec![spec(&[0]), spec(&[1]), spec(&[0, 1])];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        // e = 2% at 99%: deductions can't satisfy it, everything sampled.
+        greedy_assign(&mut g, &opt, 0.02, 0.99);
+        let (sampled, deduced, _) = g.state_counts();
+        assert_eq!(deduced, 0);
+        assert_eq!(sampled, 3);
+    }
+
+    #[test]
+    fn loose_accuracy_enables_aggressive_deduction() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let targets = vec![
+            spec(&[0, 1]),
+            spec(&[0, 2]),
+            spec(&[1, 2]),
+            spec(&[0, 1, 2]),
+            spec(&[0, 1, 3]),
+        ];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let cost_greedy = greedy_assign(&mut g, &opt, 1.0, 0.8);
+        let mut g_all = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let cost_all = all_sampled(&mut g_all);
+        // The paper reports 2–6× at e=0.5 and up to 50× at e=1.0 on
+        // TPC-H-sized indexes; this table is tiny (per-index sampling cost
+        // bottoms out at one page), so just demand a real saving plus
+        // aggressive deduction use. The full-size ratio is validated by the
+        // Table 4 experiment in cadb-bench.
+        assert!(
+            cost_greedy * 1.1 < cost_all,
+            "greedy {cost_greedy} vs all {cost_all}"
+        );
+        let (_, deduced, _) = g.state_counts();
+        assert!(deduced >= 2, "expected several deductions, got {deduced}");
+        assert!(g.feasible(1.0, 0.8));
+    }
+
+    #[test]
+    fn existing_index_used_as_anchor() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        // The wide index already exists → its permutation costs nothing.
+        let targets = vec![spec(&[1, 0])];
+        let existing = vec![spec(&[0, 1])];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &existing);
+        let cost = greedy_assign(&mut g, &opt, 0.2, 0.95);
+        assert_eq!(cost, 0.0);
+        let (_, deduced, existing_n) = g.state_counts();
+        assert_eq!(deduced, 1);
+        assert_eq!(existing_n, 1);
+    }
+
+    #[test]
+    fn all_sampled_costs_sum_of_targets() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let targets = vec![spec(&[0]), spec(&[1, 2])];
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let cost = all_sampled(&mut g);
+        let expected: f64 = g.targets().iter().map(|&i| g.nodes[i].sample_cost).sum();
+        assert!((cost - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cadb-core
+//!
+//! The paper's primary contribution, in two halves:
+//!
+//! 1. **Compressed-index size estimation** (§4–§5): deduction methods
+//!    ([`deduction`]), a stochastic error model with Goodman composition
+//!    ([`error_model`], [`math`]), the index/deduction graph with the
+//!    greedy and exact search algorithms ([`estimation_graph`]), and the
+//!    planner that picks a sampling fraction and executes the chosen
+//!    strategy against real samples ([`planner`]).
+//! 2. **The compression-aware physical design advisor** (§6): candidate
+//!    generation with compressed variants, top-k vs Skyline candidate
+//!    selection, index merging, and greedy enumeration with density and
+//!    Backtracking modes ([`advisor`]).
+//!
+//! `Advisor::recommend` with default options reproduces DTAc; switching
+//! the options off one by one yields the paper's ablations (DTA, "DTAc
+//! (None)", Skyline-only, Backtrack-only).
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod deduction;
+pub mod error_model;
+pub mod estimation_graph;
+pub mod exact;
+pub mod greedy;
+pub mod math;
+pub mod planner;
+
+pub use advisor::{Advisor, AdvisorOptions, FeatureSet, Recommendation};
+pub use error_model::{ErrorModel, EstimateDistribution};
+pub use estimation_graph::{EstimationGraph, NodeState};
+pub use planner::{EstimationPlanner, PlannerOptions, SizeEstimationReport};

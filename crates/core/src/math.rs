@@ -1,0 +1,114 @@
+//! Probability helpers for the error model.
+//!
+//! The §5.1 framework treats each size estimate as a random variable
+//! `X = estimate / truth`, composes products of such variables with
+//! Goodman's variance formula [9], and evaluates the probability that the
+//! final estimate is within tolerance `e` — the integral of a normal
+//! density over `[1/(1+e), 1+e]`.
+
+/// The error function, via the Abramowitz & Stegun 7.1.26 rational
+/// approximation (|error| ≤ 1.5·10⁻⁷ — far below anything the framework
+/// is sensitive to).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// `P(lo ≤ N(mean, sd²) ≤ hi)`.
+pub fn normal_prob_between(mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return 0.0;
+    }
+    if sd <= 0.0 {
+        // Degenerate: point mass at `mean`.
+        return if (lo..=hi).contains(&mean) { 1.0 } else { 0.0 };
+    }
+    normal_cdf((hi - mean) / sd) - normal_cdf((lo - mean) / sd)
+}
+
+/// Goodman's formula [9] for the variance of a product of independent
+/// random variables given as `(mean, variance)` pairs:
+/// `V(Π Xᵢ) = Π (σᵢ² + μᵢ²) − Π μᵢ²`.
+pub fn product_variance(vars: &[(f64, f64)]) -> f64 {
+    let full: f64 = vars.iter().map(|(m, v)| v + m * m).product();
+    let means_sq: f64 = vars.iter().map(|(m, _)| m * m).product();
+    (full - means_sq).max(0.0)
+}
+
+/// Mean of a product of independent variables.
+pub fn product_mean(vars: &[(f64, f64)]) -> f64 {
+    vars.iter().map(|(m, _)| m).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_points() {
+        assert!((erf(0.0)).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        for x in [0.5, 1.0, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-8);
+        }
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn prob_between_basics() {
+        // ±1 sd ≈ 68.3%.
+        let p = normal_prob_between(0.0, 1.0, -1.0, 1.0);
+        assert!((p - 0.6827).abs() < 1e-3);
+        // Degenerate sd.
+        assert_eq!(normal_prob_between(1.0, 0.0, 0.9, 1.1), 1.0);
+        assert_eq!(normal_prob_between(2.0, 0.0, 0.9, 1.1), 0.0);
+        // Empty interval.
+        assert_eq!(normal_prob_between(0.0, 1.0, 1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn goodman_two_variables() {
+        // V(XY) = (σx²+μx²)(σy²+μy²) − μx²μy².
+        let v = product_variance(&[(1.0, 0.04), (1.0, 0.09)]);
+        let expected = (0.04 + 1.0) * (0.09 + 1.0) - 1.0;
+        assert!((v - expected).abs() < 1e-12);
+        // Single variable: variance unchanged.
+        assert!((product_variance(&[(2.0, 0.25)]) - 0.25).abs() < 1e-12);
+        // No variables: deterministic 1.
+        assert_eq!(product_variance(&[]), 0.0);
+        assert_eq!(product_mean(&[]), 1.0);
+    }
+
+    #[test]
+    fn goodman_matches_monte_carlo() {
+        // Cheap deterministic check: two-point distributions.
+        // X ∈ {0.9, 1.1} equally likely: μ=1, σ²=0.01. Same for Y.
+        // XY takes {0.81, 0.99, 0.99, 1.21}: E=1.0, V = mean(x²)−1.
+        let vals = [0.81f64, 0.99, 0.99, 1.21];
+        let mean: f64 = vals.iter().sum::<f64>() / 4.0;
+        let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+        let g = product_variance(&[(1.0, 0.01), (1.0, 0.01)]);
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!((g - var).abs() < 1e-9, "{g} vs {var}");
+    }
+}

@@ -1,0 +1,374 @@
+//! The size-estimation planner: the outer loop of §5.
+//!
+//! Given a set of compressed targets and an accuracy requirement `(e, q)`,
+//! try each sampling fraction in a grid, run the greedy graph search, keep
+//! the cheapest feasible plan, then *execute* it: SampleCF for sampled
+//! nodes (through the amortized [`SampleManager`]) and §4.2 deductions for
+//! deduced nodes — producing a [`SizeEstimate`] per target.
+
+use crate::deduction::{deduce_size, KnownSize};
+use crate::error_model::{ErrorModel, EstimateDistribution};
+use crate::estimation_graph::{EstimationGraph, NodeState};
+use crate::greedy::{all_sampled, greedy_assign};
+use cadb_common::{CadbError, Result};
+use cadb_engine::{IndexSpec, SizeEstimate, WhatIfOptimizer};
+use cadb_sampling::{sample_cf, SampleManager};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Planner knobs.
+#[derive(Debug, Clone)]
+pub struct PlannerOptions {
+    /// Tolerable error ratio `e` (§5.1).
+    pub e: f64,
+    /// Confidence `q`.
+    pub q: f64,
+    /// Sampling fractions to try (the paper sweeps 1–10 %).
+    pub fractions: Vec<f64>,
+    /// When `false`, skip deductions entirely (the "w/o deduction"
+    /// configuration of Figure 11) — every target is sampled.
+    pub use_deduction: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            e: 0.5,
+            q: 0.9,
+            fractions: vec![0.01, 0.025, 0.05, 0.075, 0.10],
+            use_deduction: true,
+        }
+    }
+}
+
+/// What the planner did and what it produced.
+#[derive(Debug, Clone)]
+pub struct SizeEstimationReport {
+    /// Chosen sampling fraction.
+    pub fraction: f64,
+    /// Planned total sampling cost (sample data pages, §5.1 units).
+    pub planned_cost: f64,
+    /// Targets estimated via SampleCF.
+    pub sampled: usize,
+    /// Targets estimated via deduction.
+    pub deduced: usize,
+    /// Whether the chosen plan met the accuracy constraint (best-effort
+    /// plans are returned when no fraction is feasible).
+    pub feasible: bool,
+    /// Final size estimate per target.
+    pub estimates: HashMap<IndexSpec, SizeEstimate>,
+    /// Predicted estimate distribution per target (the model's view).
+    pub predicted: HashMap<IndexSpec, EstimateDistribution>,
+    /// Wall time spent executing SampleCF calls.
+    pub samplecf_seconds: f64,
+}
+
+/// The planner.
+pub struct EstimationPlanner<'a> {
+    opt: &'a WhatIfOptimizer<'a>,
+    manager: &'a SampleManager<'a>,
+    model: ErrorModel,
+    options: PlannerOptions,
+}
+
+impl<'a> EstimationPlanner<'a> {
+    /// New planner with a model and options.
+    pub fn new(
+        opt: &'a WhatIfOptimizer<'a>,
+        manager: &'a SampleManager<'a>,
+        model: ErrorModel,
+        options: PlannerOptions,
+    ) -> Self {
+        EstimationPlanner {
+            opt,
+            manager,
+            model,
+            options,
+        }
+    }
+
+    /// Options in use.
+    pub fn options(&self) -> &PlannerOptions {
+        &self.options
+    }
+
+    /// Plan and execute size estimation for all targets.
+    ///
+    /// `existing` are indexes already materialized in the database whose
+    /// exact sizes are free (§5.1).
+    pub fn estimate_sizes(
+        &self,
+        targets: &[IndexSpec],
+        existing: &[IndexSpec],
+    ) -> Result<SizeEstimationReport> {
+        if targets.is_empty() {
+            return Ok(SizeEstimationReport {
+                fraction: self.options.fractions.first().copied().unwrap_or(0.05),
+                planned_cost: 0.0,
+                sampled: 0,
+                deduced: 0,
+                feasible: true,
+                estimates: HashMap::new(),
+                predicted: HashMap::new(),
+                samplecf_seconds: 0.0,
+            });
+        }
+        for t in targets {
+            if !t.compression.is_compressed() {
+                return Err(CadbError::InvalidArgument(format!(
+                    "size-estimation target {t} is not compressed"
+                )));
+            }
+        }
+
+        // Pick the cheapest feasible (f, plan) across the fraction grid.
+        let mut best: Option<(f64, EstimationGraph, f64, bool)> = None;
+        for &f in &self.options.fractions {
+            let mut g =
+                EstimationGraph::new(self.opt, self.model.clone(), f, targets, existing);
+            let cost = if self.options.use_deduction {
+                greedy_assign(&mut g, self.opt, self.options.e, self.options.q)
+            } else {
+                all_sampled(&mut g)
+            };
+            let feasible = g.feasible(self.options.e, self.options.q);
+            let better = match &best {
+                None => true,
+                Some((_, _, bcost, bfeas)) => {
+                    (feasible && !bfeas) || (feasible == *bfeas && cost < *bcost)
+                }
+            };
+            if better {
+                best = Some((f, g, cost, feasible));
+            }
+        }
+        let (fraction, graph, planned_cost, feasible) =
+            best.expect("fraction grid is non-empty");
+
+        self.execute(graph, fraction, planned_cost, feasible)
+    }
+
+    /// Execute a planned graph: SampleCF the sampled nodes, deduce the rest.
+    fn execute(
+        &self,
+        g: EstimationGraph,
+        fraction: f64,
+        planned_cost: f64,
+        feasible: bool,
+    ) -> Result<SizeEstimationReport> {
+        let mut known: HashMap<usize, KnownSize> = HashMap::new();
+        let t0 = Instant::now();
+        let mut sampled = 0usize;
+        let mut deduced = 0usize;
+
+        // Pass 1: sampled + existing nodes.
+        for (i, node) in g.nodes.iter().enumerate() {
+            match &node.state {
+                NodeState::Sampled => {
+                    let est = sample_cf(self.manager, &node.spec, fraction)?;
+                    let mut unc = self.opt.estimate_uncompressed_size(&node.spec);
+                    // MV indexes: replace the optimizer's row guess with the
+                    // AE estimate delivered by the MV sample (App. B.3).
+                    if let Some(rows) = est.mv_estimated_rows {
+                        if unc.rows > 0.0 {
+                            let width = unc.bytes / unc.rows;
+                            unc = SizeEstimate::uncompressed(width * rows.max(1.0), rows.max(1.0));
+                        }
+                    }
+                    if node.is_target {
+                        sampled += 1;
+                    }
+                    known.insert(
+                        i,
+                        KnownSize {
+                            spec: node.spec.clone(),
+                            compressed_bytes: unc.bytes * est.cf,
+                            uncompressed: unc,
+                        },
+                    );
+                }
+                NodeState::Existing => {
+                    // Exact: measure the real structure.
+                    let bytes =
+                        cadb_sampling::index_rows::true_index_bytes(self.opt.db(), &node.spec)?
+                            as f64;
+                    let unc = self.opt.estimate_uncompressed_size(&node.spec);
+                    known.insert(
+                        i,
+                        KnownSize {
+                            spec: node.spec.clone(),
+                            compressed_bytes: bytes,
+                            uncompressed: unc,
+                        },
+                    );
+                }
+                _ => {}
+            }
+        }
+        let samplecf_seconds = t0.elapsed().as_secs_f64();
+
+        // Pass 2: deduced nodes, narrow → wide so children resolve first.
+        let mut order: Vec<usize> = (0..g.nodes.len()).collect();
+        order.sort_by_key(|&i| g.nodes[i].spec.column_set().len());
+        for i in order {
+            let node = &g.nodes[i];
+            if let NodeState::Deduced(choice) = &node.state {
+                let children: Vec<KnownSize> = choice
+                    .children
+                    .iter()
+                    .map(|c| {
+                        known.get(c).cloned().ok_or_else(|| {
+                            CadbError::Internal(format!(
+                                "deduction child {c} resolved after parent"
+                            ))
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let bytes = deduce_size(self.opt, &node.spec, &children);
+                let unc = self.opt.estimate_uncompressed_size(&node.spec);
+                if node.is_target {
+                    deduced += 1;
+                }
+                known.insert(
+                    i,
+                    KnownSize {
+                        spec: node.spec.clone(),
+                        compressed_bytes: bytes,
+                        uncompressed: unc,
+                    },
+                );
+            }
+        }
+
+        let mut estimates = HashMap::new();
+        let mut predicted = HashMap::new();
+        for (i, node) in g.nodes.iter().enumerate() {
+            if !node.is_target {
+                continue;
+            }
+            let k = known.get(&i).ok_or_else(|| {
+                CadbError::Internal(format!("target {} left unresolved", node.spec))
+            })?;
+            let cf = k.cf();
+            estimates.insert(node.spec.clone(), k.uncompressed.compressed(cf));
+            if let Some(d) = g.distribution(i) {
+                predicted.insert(node.spec.clone(), d);
+            }
+        }
+        Ok(SizeEstimationReport {
+            fraction,
+            planned_cost,
+            sampled,
+            deduced,
+            feasible,
+            estimates,
+            predicted,
+            samplecf_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimation_graph::tests::{spec, test_db};
+    use cadb_sampling::true_compression_fraction;
+
+    fn planner_test(
+        targets: Vec<IndexSpec>,
+        options: PlannerOptions,
+    ) -> (SizeEstimationReport, cadb_engine::Database) {
+        let db = test_db();
+        let report = {
+            let opt = WhatIfOptimizer::new(&db);
+            let manager = SampleManager::new(&db, 123);
+            let planner =
+                EstimationPlanner::new(&opt, &manager, ErrorModel::default(), options);
+            planner.estimate_sizes(&targets, &[]).unwrap()
+        };
+        (report, db)
+    }
+
+    #[test]
+    fn estimates_close_to_truth() {
+        let targets = vec![spec(&[0]), spec(&[1]), spec(&[0, 1])];
+        let (report, db) = planner_test(targets.clone(), PlannerOptions::default());
+        assert!(report.feasible);
+        assert_eq!(report.estimates.len(), 3);
+        for t in &targets {
+            let est = report.estimates[t];
+            let truth_cf = true_compression_fraction(&db, t).unwrap();
+            let err = (est.compression_fraction - truth_cf).abs() / truth_cf;
+            assert!(
+                err < 0.5,
+                "{t}: est cf {} truth {truth_cf} err {err}",
+                est.compression_fraction
+            );
+            assert!(est.bytes > 0.0);
+        }
+    }
+
+    #[test]
+    fn deduction_reduces_cost_vs_all() {
+        let targets = vec![spec(&[0]), spec(&[1]), spec(&[0, 1]), spec(&[1, 0])];
+        let (with, _) = planner_test(targets.clone(), PlannerOptions::default());
+        let (without, _) = planner_test(
+            targets,
+            PlannerOptions {
+                use_deduction: false,
+                ..Default::default()
+            },
+        );
+        assert!(with.deduced > 0);
+        assert_eq!(without.deduced, 0);
+        assert!(with.planned_cost < without.planned_cost);
+    }
+
+    #[test]
+    fn empty_targets_trivial() {
+        let (report, _) = planner_test(vec![], PlannerOptions::default());
+        assert!(report.estimates.is_empty());
+        assert!(report.feasible);
+    }
+
+    #[test]
+    fn uncompressed_target_rejected() {
+        let db = test_db();
+        let opt = WhatIfOptimizer::new(&db);
+        let manager = SampleManager::new(&db, 1);
+        let planner = EstimationPlanner::new(
+            &opt,
+            &manager,
+            ErrorModel::default(),
+            PlannerOptions::default(),
+        );
+        let bad = spec(&[0]).with_compression(cadb_compression::CompressionKind::None);
+        assert!(planner.estimate_sizes(&[bad], &[]).is_err());
+    }
+
+    #[test]
+    fn infeasible_returns_best_effort() {
+        let targets = vec![spec(&[0]).with_compression(cadb_compression::CompressionKind::Page)];
+        let (report, _) = planner_test(
+            targets,
+            PlannerOptions {
+                e: 0.005,
+                q: 0.9999,
+                ..Default::default()
+            },
+        );
+        assert!(!report.feasible);
+        assert_eq!(report.estimates.len(), 1);
+    }
+
+    #[test]
+    fn predicted_distributions_reported() {
+        let targets = vec![spec(&[0]), spec(&[0, 1])];
+        let (report, _) = planner_test(targets.clone(), PlannerOptions::default());
+        for t in &targets {
+            let d = report.predicted[t];
+            assert!(d.sd >= 0.0);
+            assert!(d.prob_within(report.fraction.max(0.5)) > 0.0);
+        }
+    }
+}

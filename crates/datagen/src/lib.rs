@@ -1,0 +1,28 @@
+//! # cadb-datagen
+//!
+//! Synthetic datasets and workloads standing in for the paper's TPC-H,
+//! TPC-DS and real-world `Sales` databases (Appendix D.2):
+//!
+//! * [`tpch`] — a TPC-H-shaped schema (lineitem/orders/customer/part/
+//!   supplier/nation/region) with a Zipf skew knob `z ∈ {0, 1, 3}` matching
+//!   the skewed variants used in the error analysis (Appendix C), plus the
+//!   22-query + 2-bulk-load workload.
+//! * [`tpcds`] — a small TPC-DS-shaped subset (store_sales/date_dim/item)
+//!   used only for size-estimation error calibration (Table 2).
+//! * [`sales`] — a synthetic stand-in for the paper's customer Sales
+//!   database: a wide fact table with 50 analytic queries and 2 bulk loads.
+//!
+//! All generators are seeded and fully deterministic.
+
+#![warn(missing_docs)]
+
+pub mod sales;
+pub mod text;
+pub mod tpcds;
+pub mod tpch;
+pub mod zipf;
+
+pub use sales::SalesGen;
+pub use tpcds::TpcdsGen;
+pub use tpch::TpchGen;
+pub use zipf::Zipf;

@@ -1,0 +1,314 @@
+//! Synthetic stand-in for the paper's real-world `Sales` customer database.
+//!
+//! The paper describes it only as "a real sales database … which tracks
+//! sales of a particular company" with 50 analytic queries and two bulk
+//! loads on fact tables (Appendix D.2). We model the common shape of such
+//! databases: one wide `salesfact` table (the table of the paper's Example
+//! 1, with `shipdate`, `state`, `price`, `discount`), a second
+//! `returnsfact`, and `product`/`store` dimensions. The 50 queries are
+//! generated from parameterized templates over dates, states and
+//! categories, giving many *related-but-different* queries — the regime
+//! where candidate-selection quality matters.
+
+use crate::text;
+use crate::zipf::Zipf;
+use cadb_common::rng::rng_for;
+use cadb_common::{Result, Row, Value};
+use cadb_engine::lower::{create_table, date_to_days, lower_statement};
+use cadb_engine::{Database, Statement, Workload};
+use rand::Rng;
+
+/// Generator for the Sales database.
+#[derive(Debug, Clone)]
+pub struct SalesGen {
+    /// 1.0 ⇒ 50 k salesfact rows.
+    pub scale: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+/// US state codes used by the generator (also the paper's Example 1 filters
+/// on `State = 'CA'`).
+pub const STATES: &[&str] = &[
+    "CA", "WA", "OR", "NY", "TX", "FL", "IL", "PA", "OH", "GA", "NC", "MI", "NJ", "VA", "AZ",
+];
+
+/// DDL of the Sales schema.
+pub const DDL: &[&str] = &[
+    "CREATE TABLE product (prodid INT NOT NULL, name VARCHAR(30) NOT NULL, \
+     category CHAR(12), subcategory CHAR(16), unitcost DECIMAL(2), \
+     PRIMARY KEY (prodid))",
+    "CREATE TABLE store (storeid INT NOT NULL, state CHAR(2) NOT NULL, \
+     city VARCHAR(20), sqft INT, PRIMARY KEY (storeid))",
+    "CREATE TABLE salesfact (orderid INT NOT NULL, shipdate DATE NOT NULL, \
+     state CHAR(2) NOT NULL, prodid INT NOT NULL, storeid INT NOT NULL, \
+     qty INT NOT NULL, price DECIMAL(2) NOT NULL, discount DECIMAL(2), \
+     channel CHAR(8), promo CHAR(10), comment VARCHAR(40), \
+     PRIMARY KEY (orderid))",
+    "CREATE TABLE returnsfact (returnid INT NOT NULL, orderid INT NOT NULL, \
+     returndate DATE NOT NULL, reason CHAR(14), amount DECIMAL(2), \
+     PRIMARY KEY (returnid))",
+];
+
+impl SalesGen {
+    /// New generator.
+    pub fn new(scale: f64) -> Self {
+        SalesGen { scale, seed: 2011 }
+    }
+
+    fn n(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Row counts (salesfact, returnsfact, product, store).
+    pub fn row_counts(&self) -> (usize, usize, usize, usize) {
+        (self.n(50_000), self.n(5_000), self.n(800), self.n(150))
+    }
+
+    /// Build the database.
+    pub fn build(&self) -> Result<Database> {
+        let mut db = Database::new();
+        for ddl in DDL {
+            match cadb_sql::parse_statement(ddl)? {
+                cadb_sql::Statement::CreateTable(c) => {
+                    create_table(&mut db, &c)?;
+                }
+                _ => unreachable!(),
+            }
+        }
+        let (n_sales, n_returns, n_prod, n_store) = self.row_counts();
+        let mut rng = rng_for(self.seed, "sales");
+        let cats = ["Grocery", "Apparel", "Electronics", "Garden", "Toys", "Auto"];
+        let channels = ["WEB", "RETAIL", "PHONE", "PARTNER"];
+        let promos = ["NONE", "SPRING10", "SUMMER15", "FALL20", "LOYALTY"];
+        let reasons = ["DAMAGED", "WRONG ITEM", "LATE", "UNWANTED", "WARRANTY"];
+
+        let product = db.table_id("product")?;
+        db.insert_rows(
+            product,
+            (0..n_prod)
+                .map(|i| {
+                    let cat = cats[i % cats.len()];
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Str(format!("prod {}", text::comment(&mut rng, 18))),
+                        Value::Str(cat.into()),
+                        Value::Str(format!("{}-{:02}", &cat[..3.min(cat.len())], i % 12)),
+                        Value::Int(rng.gen_range(100..50_000)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        let store = db.table_id("store")?;
+        db.insert_rows(
+            store,
+            (0..n_store)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Str(STATES[i % STATES.len()].into()),
+                        Value::Str(format!("city{:03}", i % 60)),
+                        Value::Int(rng.gen_range(2_000..50_000)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        // Sales fact: 2008-01-01 .. 2009-12-31, states Zipf-skewed (real
+        // sales data concentrates in a few states).
+        let d0 = date_to_days(2008, 1, 1);
+        let d1 = date_to_days(2009, 12, 31);
+        let state_zipf = Zipf::new(STATES.len(), 1.0);
+        let prod_zipf = Zipf::new(n_prod, 1.0);
+        let salesfact = db.table_id("salesfact")?;
+        db.insert_rows(
+            salesfact,
+            (0..n_sales)
+                .map(|i| {
+                    let qty = rng.gen_range(1..=20) as i64;
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Int(rng.gen_range(d0..=d1)),
+                        Value::Str(STATES[state_zipf.sample(&mut rng)].into()),
+                        Value::Int(prod_zipf.sample(&mut rng) as i64),
+                        Value::Int(rng.gen_range(0..n_store) as i64),
+                        Value::Int(qty),
+                        Value::Int(qty * rng.gen_range(500..20_000) / 10),
+                        Value::Int(rng.gen_range(0..=25)),
+                        Value::Str(channels[rng.gen_range(0..channels.len())].into()),
+                        Value::Str(promos[rng.gen_range(0..promos.len())].into()),
+                        Value::Str(text::comment(&mut rng, 25)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        let returnsfact = db.table_id("returnsfact")?;
+        db.insert_rows(
+            returnsfact,
+            (0..n_returns)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Int(rng.gen_range(0..n_sales) as i64),
+                        Value::Int(rng.gen_range(d0..=d1)),
+                        Value::Str(reasons[rng.gen_range(0..reasons.len())].into()),
+                        Value::Int(rng.gen_range(100..20_000)),
+                    ])
+                })
+                .collect(),
+        )?;
+        Ok(db)
+    }
+
+    /// The 50-query + 2-bulk-load workload.
+    pub fn workload(&self, db: &Database) -> Result<Workload> {
+        let mut w = Workload::default();
+        let mut rng = rng_for(self.seed, "sales-workload");
+        let months = [
+            ("2008-01-01", "2008-03-31"),
+            ("2008-04-01", "2008-06-30"),
+            ("2008-07-01", "2008-09-30"),
+            ("2008-10-01", "2008-12-31"),
+            ("2009-01-01", "2009-03-31"),
+            ("2009-04-01", "2009-06-30"),
+            ("2009-07-01", "2009-09-30"),
+            ("2009-10-01", "2009-12-31"),
+        ];
+        let mut queries: Vec<String> = Vec::new();
+        // 15 quarterly revenue-by-state queries (Example 1's shape).
+        for i in 0..15 {
+            let (lo, hi) = months[i % months.len()];
+            let st = STATES[i % STATES.len()];
+            queries.push(format!(
+                "SELECT SUM(price * discount) FROM salesfact \
+                 WHERE shipdate BETWEEN '{lo}' AND '{hi}' AND state = '{st}'"
+            ));
+        }
+        // 10 grouped revenue roll-ups.
+        for i in 0..10 {
+            let (lo, hi) = months[(i + 2) % months.len()];
+            queries.push(format!(
+                "SELECT state, SUM(price), SUM(qty), COUNT(*) FROM salesfact \
+                 WHERE shipdate BETWEEN '{lo}' AND '{hi}' GROUP BY state"
+            ));
+        }
+        // 8 channel/promo analyses.
+        for i in 0..8 {
+            let ch = ["WEB", "RETAIL", "PHONE", "PARTNER"][i % 4];
+            queries.push(format!(
+                "SELECT promo, SUM(price * discount), COUNT(*) FROM salesfact \
+                 WHERE channel = '{ch}' GROUP BY promo"
+            ));
+        }
+        // 7 product-category joins.
+        for i in 0..7 {
+            let (lo, hi) = months[i % months.len()];
+            queries.push(format!(
+                "SELECT category, SUM(price) FROM salesfact \
+                 JOIN product ON salesfact.prodid = product.prodid \
+                 WHERE shipdate BETWEEN '{lo}' AND '{hi}' GROUP BY category"
+            ));
+        }
+        // 5 store joins.
+        for i in 0..5 {
+            let st = STATES[(i * 2) % STATES.len()];
+            queries.push(format!(
+                "SELECT city, SUM(price) FROM salesfact \
+                 JOIN store ON salesfact.storeid = store.storeid \
+                 WHERE store.state = '{st}' GROUP BY city"
+            ));
+        }
+        // 3 returns analyses.
+        for i in 0..3 {
+            let (lo, hi) = months[(i * 3) % months.len()];
+            queries.push(format!(
+                "SELECT reason, SUM(amount), COUNT(*) FROM returnsfact \
+                 WHERE returndate BETWEEN '{lo}' AND '{hi}' GROUP BY reason"
+            ));
+        }
+        // 2 daily trends.
+        queries.push(
+            "SELECT shipdate, SUM(price) FROM salesfact \
+             WHERE shipdate BETWEEN '2009-01-01' AND '2009-06-30' GROUP BY shipdate"
+                .into(),
+        );
+        queries.push(
+            "SELECT shipdate, COUNT(*) FROM salesfact \
+             WHERE state IN ('CA', 'WA') GROUP BY shipdate"
+                .into(),
+        );
+        assert_eq!(queries.len(), 50);
+        for q in &queries {
+            // Mild weight variation: hot quarters run more often.
+            let weight = 1.0 + (rng.gen_range(0..3) as f64) * 0.5;
+            w.push(lower_statement(db, q)?, weight);
+        }
+        let (n_sales, n_returns, ..) = self.row_counts();
+        w.push(
+            Statement::Insert(cadb_engine::BulkInsert {
+                table: db.table_id("salesfact")?,
+                n_rows: (n_sales / 100).max(1) as u64,
+            }),
+            1.0,
+        );
+        w.push(
+            Statement::Insert(cadb_engine::BulkInsert {
+                table: db.table_id("returnsfact")?,
+                n_rows: (n_returns / 100).max(1) as u64,
+            }),
+            1.0,
+        );
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_counts() {
+        let g = SalesGen::new(0.02);
+        let db = g.build().unwrap();
+        let (n_sales, n_returns, n_prod, n_store) = g.row_counts();
+        assert_eq!(db.table(db.table_id("salesfact").unwrap()).n_rows(), n_sales);
+        assert_eq!(db.table(db.table_id("returnsfact").unwrap()).n_rows(), n_returns);
+        assert_eq!(db.table(db.table_id("product").unwrap()).n_rows(), n_prod);
+        assert_eq!(db.table(db.table_id("store").unwrap()).n_rows(), n_store);
+    }
+
+    #[test]
+    fn workload_shape() {
+        let g = SalesGen::new(0.02);
+        let db = g.build().unwrap();
+        let w = g.workload(&db).unwrap();
+        assert_eq!(w.queries().count(), 50);
+        assert_eq!(w.inserts().count(), 2);
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let cost = opt.workload_cost(&w, &cadb_engine::Configuration::empty());
+        assert!(cost.is_finite() && cost > 0.0);
+    }
+
+    #[test]
+    fn states_skewed() {
+        let g = SalesGen::new(0.05);
+        let db = g.build().unwrap();
+        let t = db.table_id("salesfact").unwrap();
+        let stats = db.stats(t);
+        let h = stats.columns[2].histogram.as_ref().unwrap();
+        // CA (rank 0 of the Zipf) must be far more frequent than the tail.
+        let ca = h.eq_selectivity(&Value::Str("CA".into()));
+        let az = h.eq_selectivity(&Value::Str("AZ".into()));
+        assert!(ca > 3.0 * az, "ca={ca} az={az}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SalesGen::new(0.01).build().unwrap();
+        let b = SalesGen::new(0.01).build().unwrap();
+        let t = a.table_id("salesfact").unwrap();
+        assert_eq!(a.table(t).rows()[..30], b.table(t).rows()[..30]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic text generation.
+//!
+//! Comments and names are built from a small fixed vocabulary — like TPC-H's
+//! own text grammar — so dictionary-style compression finds realistic
+//! redundancy (a uniformly random string would make PAGE/dictionary methods
+//! look uselessly pessimistic).
+
+use rand::Rng;
+
+/// The word list (borrowing TPC-H's "grammar" feel).
+const WORDS: &[&str] = &[
+    "furious", "quick", "slow", "ironic", "final", "pending", "regular", "special", "express",
+    "bold", "even", "silent", "deposit", "account", "request", "package", "platform", "theodolite",
+    "instruction", "foxes", "pinto", "bean", "warhorse", "ideas", "courts", "accounts", "sauternes",
+    "asymptote", "dependency", "excuse", "waters", "sleep", "haggle", "nag", "doze", "wake",
+];
+
+/// Generate a comment of roughly `target_len` bytes (never longer).
+pub fn comment<R: Rng + ?Sized>(rng: &mut R, target_len: usize) -> String {
+    let mut out = String::new();
+    while out.len() < target_len.saturating_sub(10) {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out.truncate(target_len);
+    // Avoid trailing partial spaces for stable round-trips.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// A name like `Supplier#000000042`, zero-padded — exactly the shape that
+/// makes NULL/prefix suppression productive.
+pub fn numbered_name(prefix: &str, id: u64) -> String {
+    format!("{prefix}#{id:09}")
+}
+
+/// A phone-like string with a region prefix.
+pub fn phone<R: Rng + ?Sized>(rng: &mut R, region: usize) -> String {
+    format!(
+        "{:02}-{:03}-{:03}-{:04}",
+        10 + region,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::rng::rng_for;
+
+    #[test]
+    fn comment_respects_length() {
+        let mut rng = rng_for(3, "text");
+        for len in [0usize, 5, 20, 44, 117] {
+            let c = comment(&mut rng, len);
+            assert!(c.len() <= len, "len {} > {len}", c.len());
+            assert!(!c.ends_with(' '));
+        }
+    }
+
+    #[test]
+    fn comment_reuses_vocabulary() {
+        let mut rng = rng_for(4, "text2");
+        let c1 = comment(&mut rng, 200);
+        // Every word must come from the vocabulary (possibly truncated last).
+        let words: Vec<&str> = c1.split(' ').collect();
+        for w in &words[..words.len() - 1] {
+            assert!(WORDS.contains(w), "unknown word {w}");
+        }
+    }
+
+    #[test]
+    fn numbered_names_padded_and_prefix_shared() {
+        assert_eq!(numbered_name("Supplier", 42), "Supplier#000000042");
+        assert_eq!(numbered_name("Customer", 123456789), "Customer#123456789");
+    }
+
+    #[test]
+    fn phone_shape() {
+        let mut rng = rng_for(5, "phone");
+        let p = phone(&mut rng, 3);
+        assert_eq!(p.len(), 15);
+        assert!(p.starts_with("13-"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = comment(&mut rng_for(6, "det"), 40);
+        let b = comment(&mut rng_for(6, "det"), 40);
+        assert_eq!(a, b);
+    }
+}

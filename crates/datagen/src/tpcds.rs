@@ -1,0 +1,174 @@
+//! A small TPC-DS-shaped subset.
+//!
+//! Used only for size-estimation error calibration (the paper repeats its
+//! least-square analysis "on the skewed version of TPC-H and the TPC-DS
+//! benchmark to see the stability of our formulation", Appendix C,
+//! Table 2). Three tables — `store_sales` fact plus `date_dim` and `item` —
+//! give a different schema shape (more nullable numerics, wider dimension
+//! strings) than TPC-H.
+
+use crate::text;
+use cadb_common::rng::rng_for;
+use cadb_common::{Result, Row, Value};
+use cadb_engine::lower::{create_table, date_to_days};
+use cadb_engine::Database;
+use rand::Rng;
+
+/// Generator for the TPC-DS-like subset.
+#[derive(Debug, Clone)]
+pub struct TpcdsGen {
+    /// 1.0 ⇒ 40 k store_sales rows.
+    pub scale: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+/// DDL of the subset.
+pub const DDL: &[&str] = &[
+    "CREATE TABLE date_dim (datekey INT NOT NULL, caldate DATE NOT NULL, \
+     year INT NOT NULL, month INT NOT NULL, dayofweek CHAR(9), \
+     quarter CHAR(2), PRIMARY KEY (datekey))",
+    "CREATE TABLE item (itemkey INT NOT NULL, itemid CHAR(16) NOT NULL, \
+     itemdesc VARCHAR(100), brand CHAR(20), category CHAR(20), \
+     price DECIMAL(2), PRIMARY KEY (itemkey))",
+    "CREATE TABLE store_sales (soldkey INT NOT NULL, itemkey INT NOT NULL, \
+     custkey INT, qty INT, wholesale DECIMAL(2), listprice DECIMAL(2), \
+     salesprice DECIMAL(2), discount DECIMAL(2), netpaid DECIMAL(2), \
+     netprofit DECIMAL(2))",
+];
+
+impl TpcdsGen {
+    /// New generator.
+    pub fn new(scale: f64) -> Self {
+        TpcdsGen { scale, seed: 77 }
+    }
+
+    fn n(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Build the database.
+    pub fn build(&self) -> Result<Database> {
+        let mut db = Database::new();
+        for ddl in DDL {
+            match cadb_sql::parse_statement(ddl)? {
+                cadb_sql::Statement::CreateTable(c) => {
+                    create_table(&mut db, &c)?;
+                }
+                _ => unreachable!(),
+            }
+        }
+        let mut rng = rng_for(self.seed, "tpcds");
+        let n_dates = self.n(730);
+        let n_items = self.n(1_000);
+        let n_sales = self.n(40_000);
+
+        let dd = db.table_id("date_dim")?;
+        let base = date_to_days(1998, 1, 1);
+        let dows = [
+            "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+        ];
+        db.insert_rows(
+            dd,
+            (0..n_dates)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Int(base + i as i64),
+                        Value::Int(1998 + (i / 365) as i64),
+                        Value::Int(((i / 30) % 12 + 1) as i64),
+                        Value::Str(dows[i % 7].into()),
+                        Value::Str(format!("Q{}", (i / 91) % 4 + 1)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        let item = db.table_id("item")?;
+        let cats = ["Books", "Electronics", "Home", "Jewelry", "Music", "Shoes", "Sports"];
+        db.insert_rows(
+            item,
+            (0..n_items)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Str(format!("AAAAAAAA{i:08}")),
+                        Value::Str(text::comment(&mut rng, 60)),
+                        Value::Str(format!("brand{:04}", i % 50)),
+                        Value::Str(cats[i % cats.len()].into()),
+                        Value::Int(rng.gen_range(100..99_999)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        let ss = db.table_id("store_sales")?;
+        let rows: Vec<Row> = (0..n_sales)
+            .map(|_| {
+                let qty = rng.gen_range(1..=100) as i64;
+                let wholesale = rng.gen_range(100..10_000);
+                let list = wholesale + rng.gen_range(0..5_000);
+                let salep = list - rng.gen_range(0..(list / 2).max(1));
+                // TPC-DS has many NULLable measure columns.
+                let custkey = if rng.gen_bool(0.04) {
+                    Value::Null
+                } else {
+                    Value::Int(rng.gen_range(0..self.n(2_000)) as i64)
+                };
+                let profit = if rng.gen_bool(0.02) {
+                    Value::Null
+                } else {
+                    Value::Int(salep - wholesale)
+                };
+                Row::new(vec![
+                    Value::Int(rng.gen_range(0..n_dates) as i64),
+                    Value::Int(rng.gen_range(0..n_items) as i64),
+                    custkey,
+                    Value::Int(qty),
+                    Value::Int(wholesale),
+                    Value::Int(list),
+                    Value::Int(salep),
+                    Value::Int(rng.gen_range(0..=10)),
+                    Value::Int(salep * qty),
+                    profit,
+                ])
+            })
+            .collect();
+        db.insert_rows(ss, rows)?;
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_nulls_present() {
+        let db = TpcdsGen::new(0.05).build().unwrap();
+        let ss = db.table_id("store_sales").unwrap();
+        assert_eq!(db.table(ss).n_rows(), 2000);
+        let stats = db.stats(ss);
+        // custkey (col 2) and netprofit (col 9) must have NULLs.
+        assert!(stats.columns[2].nulls > 0);
+        assert!(stats.columns[9].nulls > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TpcdsGen::new(0.02).build().unwrap();
+        let b = TpcdsGen::new(0.02).build().unwrap();
+        let t = a.table_id("store_sales").unwrap();
+        assert_eq!(a.table(t).rows()[..20], b.table(t).rows()[..20]);
+    }
+
+    #[test]
+    fn dimension_shapes() {
+        let db = TpcdsGen::new(0.1).build().unwrap();
+        let item = db.table_id("item").unwrap();
+        let s = db.stats(item);
+        // 50 brands, 7 categories.
+        assert_eq!(s.columns[3].distinct, 50);
+        assert_eq!(s.columns[4].distinct, 7);
+    }
+}

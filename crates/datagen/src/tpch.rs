@@ -1,0 +1,477 @@
+//! TPC-H-shaped dataset and workload.
+//!
+//! The schema mirrors TPC-H's eight tables (we merge none, drop none); row
+//! counts scale with a `scale` knob where `scale = 1.0` means a 60 k-row
+//! `lineitem` — a laptop-sized stand-in for the paper's SF-1 run whose
+//! *relative* table sizes match TPC-H. A Zipf exponent `z` skews foreign
+//! keys and discounts, reproducing the skewed variants (`Z = 1, 3`) of the
+//! paper's error analysis (Appendix C).
+
+use crate::text;
+use crate::zipf::Zipf;
+use cadb_common::rng::rng_for;
+use cadb_common::{Result, Row, TableId, Value};
+use cadb_engine::lower::{create_table, date_to_days, lower_statement};
+use cadb_engine::{Database, Statement, Workload};
+use rand::Rng;
+
+/// Configuration of the generator.
+#[derive(Debug, Clone)]
+pub struct TpchGen {
+    /// Scale: 1.0 ⇒ 60 k lineitem rows; tables scale proportionally.
+    pub scale: f64,
+    /// Zipf exponent for skewed columns (0 = uniform, paper uses 0/1/3).
+    pub zipf_theta: f64,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+impl TpchGen {
+    /// Uniform (Z=0) generator at the given scale.
+    pub fn new(scale: f64) -> Self {
+        TpchGen {
+            scale,
+            zipf_theta: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// Skewed generator.
+    pub fn with_skew(scale: f64, zipf_theta: f64) -> Self {
+        TpchGen {
+            scale,
+            zipf_theta,
+            seed: 42,
+        }
+    }
+
+    fn n(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Row counts (lineitem, orders, customer, part, supplier).
+    pub fn row_counts(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.n(60_000),
+            self.n(15_000),
+            self.n(1_500),
+            self.n(2_000),
+            self.n(100),
+        )
+    }
+
+    /// Build the database: DDL + data.
+    pub fn build(&self) -> Result<Database> {
+        let mut db = Database::new();
+        for ddl in DDL {
+            match cadb_sql::parse_statement(ddl)? {
+                cadb_sql::Statement::CreateTable(c) => {
+                    create_table(&mut db, &c)?;
+                }
+                _ => unreachable!("DDL list only holds CREATE TABLE"),
+            }
+        }
+        self.populate(&mut db)?;
+        Ok(db)
+    }
+
+    fn populate(&self, db: &mut Database) -> Result<()> {
+        let (n_li, n_ord, n_cust, n_part, n_supp) = self.row_counts();
+        let mut rng = rng_for(self.seed, "tpch");
+        let regions = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"];
+        let nations = 25usize;
+
+        let region = db.table_id("region")?;
+        db.insert_rows(
+            region,
+            (0..5)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Str(regions[i].into()),
+                        Value::Str(text::comment(&mut rng, 60)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        let nation = db.table_id("nation")?;
+        db.insert_rows(
+            nation,
+            (0..nations)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Str(format!("NATION{i:02}")),
+                        Value::Int((i % 5) as i64),
+                        Value::Str(text::comment(&mut rng, 70)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        let supplier = db.table_id("supplier")?;
+        db.insert_rows(
+            supplier,
+            (0..n_supp)
+                .map(|i| {
+                    let nk = rng.gen_range(0..nations) as i64;
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Str(text::numbered_name("Supplier", i as u64)),
+                        Value::Str(text::comment(&mut rng, 30)),
+                        Value::Int(nk),
+                        Value::Str(text::phone(&mut rng, (nk % 5) as usize)),
+                        Value::Int(rng.gen_range(-99_999..999_999)),
+                        Value::Str(text::comment(&mut rng, 60)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        let customer = db.table_id("customer")?;
+        let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+        db.insert_rows(
+            customer,
+            (0..n_cust)
+                .map(|i| {
+                    let nk = rng.gen_range(0..nations) as i64;
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Str(text::numbered_name("Customer", i as u64)),
+                        Value::Str(text::comment(&mut rng, 25)),
+                        Value::Int(nk),
+                        Value::Str(text::phone(&mut rng, (nk % 5) as usize)),
+                        Value::Int(rng.gen_range(-99_999..999_999)),
+                        Value::Str(segments[rng.gen_range(0..segments.len())].into()),
+                        Value::Str(text::comment(&mut rng, 80)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        let part = db.table_id("part")?;
+        let containers = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"];
+        let brands = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
+        let types = [
+            "STANDARD ANODIZED", "SMALL PLATED", "MEDIUM POLISHED", "LARGE BRUSHED",
+            "ECONOMY BURNISHED", "PROMO ANODIZED",
+        ];
+        db.insert_rows(
+            part,
+            (0..n_part)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Str(format!("part {}", text::comment(&mut rng, 20))),
+                        Value::Str(format!("Manufacturer#{}", i % 5 + 1)),
+                        Value::Str(brands[i % brands.len()].into()),
+                        Value::Str(types[rng.gen_range(0..types.len())].into()),
+                        Value::Int(rng.gen_range(1..51)),
+                        Value::Str(containers[rng.gen_range(0..containers.len())].into()),
+                        Value::Int(90_000 + (i as i64 % 200) * 100),
+                        Value::Str(text::comment(&mut rng, 15)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        // Orders: orderdate over 1992-01-01 .. 1998-08-02.
+        let d0 = date_to_days(1992, 1, 1);
+        let d1 = date_to_days(1998, 8, 2);
+        let orders = db.table_id("orders")?;
+        let cust_zipf = Zipf::new(n_cust, self.zipf_theta);
+        let statuses = ["O", "F", "P"];
+        let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
+        let mut order_dates = Vec::with_capacity(n_ord);
+        db.insert_rows(
+            orders,
+            (0..n_ord)
+                .map(|i| {
+                    let od = rng.gen_range(d0..=d1);
+                    order_dates.push(od);
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Int(cust_zipf.sample(&mut rng) as i64),
+                        Value::Str(statuses[rng.gen_range(0..3)].into()),
+                        Value::Int(rng.gen_range(1_000..500_000)),
+                        Value::Int(od),
+                        Value::Str(priorities[rng.gen_range(0..5)].into()),
+                        Value::Str(text::numbered_name("Clerk", rng.gen_range(0..1000))),
+                        Value::Int(0),
+                        Value::Str(text::comment(&mut rng, 49)),
+                    ])
+                })
+                .collect(),
+        )?;
+
+        // Lineitem: ~4 lines per order.
+        let lineitem = db.table_id("lineitem")?;
+        let part_zipf = Zipf::new(n_part, self.zipf_theta);
+        let supp_zipf = Zipf::new(n_supp, self.zipf_theta);
+        let disc_zipf = Zipf::new(11, self.zipf_theta); // discounts 0.00..0.10
+        let flags = ["N", "R", "A"];
+        let status = ["O", "F"];
+        let instructs = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+        let modes = ["AIR", "TRUCK", "MAIL", "SHIP", "RAIL", "REG AIR", "FOB"];
+        let rows: Vec<Row> = (0..n_li)
+            .map(|i| {
+                let ok = (i % n_ord) as i64;
+                let od = order_dates[ok as usize];
+                let ship = od + rng.gen_range(1..=121);
+                let commit = od + rng.gen_range(30..=90);
+                let receipt = ship + rng.gen_range(1..=30);
+                let qty = rng.gen_range(1..=50) as i64;
+                let price = qty * rng.gen_range(90_000..110_000) / 100;
+                // Correlated categoricals (as in real TPC-H data, where
+                // RETURNFLAG and LINESTATUS are far from independent):
+                // returned lines are always in 'F' status, and the ship
+                // group is a deterministic coarsening of the ship mode.
+                let flag = flags[rng.gen_range(0..3)];
+                let stat = if flag == "N" {
+                    status[rng.gen_range(0..2)]
+                } else {
+                    "F"
+                };
+                let mode = modes[rng.gen_range(0..7)];
+                let group = match mode {
+                    "AIR" | "REG AIR" => "FAST",
+                    "TRUCK" | "MAIL" | "FOB" => "LAND",
+                    _ => "SLOW",
+                };
+                Row::new(vec![
+                    Value::Int(ok),
+                    Value::Int(part_zipf.sample(&mut rng) as i64),
+                    Value::Int(supp_zipf.sample(&mut rng) as i64),
+                    Value::Int((i / n_ord + 1) as i64),
+                    Value::Int(qty * 100),
+                    Value::Int(price),
+                    Value::Int(disc_zipf.sample(&mut rng) as i64),
+                    Value::Int(rng.gen_range(0..9)),
+                    Value::Str(flag.into()),
+                    Value::Str(stat.into()),
+                    Value::Int(ship),
+                    Value::Int(commit),
+                    Value::Int(receipt),
+                    Value::Str(instructs[rng.gen_range(0..4)].into()),
+                    Value::Str(mode.into()),
+                    Value::Str(text::comment(&mut rng, 27)),
+                    Value::Str(group.into()),
+                ])
+            })
+            .collect();
+        db.insert_rows(lineitem, rows)?;
+        Ok(())
+    }
+
+    /// The 22-query + 2-bulk-load workload (all weights 1.0; scale INSERT
+    /// weights with [`Workload::with_insert_weight`]).
+    pub fn workload(&self, db: &Database) -> Result<Workload> {
+        let mut w = Workload::default();
+        for sql in QUERIES {
+            w.push(lower_statement(db, sql)?, 1.0);
+        }
+        // Two bulk loads: 1% of lineitem and of orders per execution.
+        let (n_li, n_ord, ..) = self.row_counts();
+        let li = db.table_id("lineitem")?;
+        let ord = db.table_id("orders")?;
+        w.push(
+            Statement::Insert(cadb_engine::BulkInsert {
+                table: li,
+                n_rows: (n_li / 100).max(1) as u64,
+            }),
+            1.0,
+        );
+        w.push(
+            Statement::Insert(cadb_engine::BulkInsert {
+                table: ord,
+                n_rows: (n_ord / 100).max(1) as u64,
+            }),
+            1.0,
+        );
+        Ok(w)
+    }
+
+    /// Table id of the fact table.
+    pub fn lineitem(&self, db: &Database) -> TableId {
+        db.table_id("lineitem").expect("built by this generator")
+    }
+}
+
+/// The DDL of the eight TPC-H tables (types sized as in the spec).
+pub const DDL: &[&str] = &[
+    "CREATE TABLE region (regionkey INT NOT NULL, name CHAR(25) NOT NULL, \
+     comment VARCHAR(152), PRIMARY KEY (regionkey))",
+    "CREATE TABLE nation (nationkey INT NOT NULL, name CHAR(25) NOT NULL, \
+     regionkey INT NOT NULL, comment VARCHAR(152), PRIMARY KEY (nationkey))",
+    "CREATE TABLE supplier (suppkey INT NOT NULL, name CHAR(25) NOT NULL, \
+     address VARCHAR(40), nationkey INT NOT NULL, phone CHAR(15), \
+     acctbal DECIMAL(2), comment VARCHAR(101), PRIMARY KEY (suppkey))",
+    "CREATE TABLE customer (custkey INT NOT NULL, name VARCHAR(25) NOT NULL, \
+     address VARCHAR(40), nationkey INT NOT NULL, phone CHAR(15), \
+     acctbal DECIMAL(2), mktsegment CHAR(10), comment VARCHAR(117), \
+     PRIMARY KEY (custkey))",
+    "CREATE TABLE part (partkey INT NOT NULL, name VARCHAR(55) NOT NULL, \
+     mfgr CHAR(25), brand CHAR(10), type VARCHAR(25), size INT, \
+     container CHAR(10), retailprice DECIMAL(2), comment VARCHAR(23), \
+     PRIMARY KEY (partkey))",
+    "CREATE TABLE orders (orderkey INT NOT NULL, custkey INT NOT NULL, \
+     orderstatus CHAR(1), totalprice DECIMAL(2), orderdate DATE NOT NULL, \
+     orderpriority CHAR(15), clerk CHAR(15), shippriority INT, \
+     comment VARCHAR(79), PRIMARY KEY (orderkey))",
+    "CREATE TABLE lineitem (orderkey INT NOT NULL, partkey INT NOT NULL, \
+     suppkey INT NOT NULL, linenumber INT NOT NULL, quantity DECIMAL(2), \
+     extendedprice DECIMAL(2), discount DECIMAL(2), tax DECIMAL(2), \
+     returnflag CHAR(1), linestatus CHAR(1), shipdate DATE NOT NULL, \
+     commitdate DATE, receiptdate DATE, shipinstruct CHAR(25), \
+     shipmode CHAR(10), comment VARCHAR(44), shipgroup CHAR(4) NOT NULL, \
+     PRIMARY KEY (orderkey, linenumber))",
+];
+
+/// 22 analytic queries in the spirit of the TPC-H query set, expressed in
+/// the supported SQL subset (single fact root, FK joins, conjunctive
+/// predicates, grouping, aggregate arithmetic).
+pub const QUERIES: &[&str] = &[
+    // Q1: pricing summary.
+    "SELECT returnflag, linestatus, SUM(quantity), SUM(extendedprice), \
+     SUM(extendedprice * discount), COUNT(*) FROM lineitem \
+     WHERE shipdate <= '1998-09-02' GROUP BY returnflag, linestatus",
+    // Q3-ish: shipping priority.
+    "SELECT lineitem.orderkey, SUM(extendedprice * discount) FROM lineitem \
+     JOIN orders ON lineitem.orderkey = orders.orderkey \
+     WHERE orderdate < '1995-03-15' AND shipdate > '1995-03-15' \
+     GROUP BY lineitem.orderkey",
+    // Q4-ish: order priority count.
+    "SELECT orderpriority, COUNT(*) FROM orders \
+     WHERE orderdate BETWEEN '1993-07-01' AND '1993-09-30' GROUP BY orderpriority",
+    // Q5-ish: local supplier volume.
+    "SELECT suppkey, SUM(extendedprice * discount) FROM lineitem \
+     WHERE shipdate BETWEEN '1994-01-01' AND '1994-12-31' GROUP BY suppkey",
+    // Q6: forecasting revenue (the classic compression-friendly scan).
+    "SELECT SUM(extendedprice * discount) FROM lineitem \
+     WHERE shipdate BETWEEN '1994-01-01' AND '1994-12-31' \
+     AND discount BETWEEN 0.05 AND 0.07 AND quantity < 24",
+    // Q7-ish: volume shipping by year window.
+    "SELECT suppkey, SUM(extendedprice) FROM lineitem \
+     WHERE shipdate BETWEEN '1995-01-01' AND '1996-12-31' GROUP BY suppkey",
+    // Q9-ish: product type profit.
+    "SELECT partkey, SUM(extendedprice * discount) FROM lineitem \
+     GROUP BY partkey",
+    // Q10-ish: returned items.
+    "SELECT orders.custkey, SUM(totalprice) FROM orders \
+     JOIN customer ON orders.custkey = customer.custkey \
+     WHERE orderdate BETWEEN '1993-10-01' AND '1993-12-31' GROUP BY orders.custkey",
+    // Q12-ish: shipping modes and priority.
+    "SELECT shipmode, COUNT(*) FROM lineitem \
+     WHERE receiptdate BETWEEN '1994-01-01' AND '1994-12-31' \
+     AND shipmode IN ('MAIL', 'SHIP') GROUP BY shipmode",
+    // Q13-ish: customer distribution.
+    "SELECT custkey, COUNT(*) FROM orders GROUP BY custkey",
+    // Q14-ish: promotion effect.
+    "SELECT SUM(extendedprice * discount) FROM lineitem \
+     WHERE shipdate BETWEEN '1995-09-01' AND '1995-09-30'",
+    // Q15-ish: top supplier by revenue window.
+    "SELECT suppkey, SUM(extendedprice) FROM lineitem \
+     WHERE shipdate BETWEEN '1996-01-01' AND '1996-03-31' GROUP BY suppkey",
+    // Q16-ish: part/supplier relationship.
+    "SELECT brand, type, COUNT(*) FROM part WHERE size IN (1, 14, 23, 45) \
+     GROUP BY brand, type",
+    // Q17-ish: small-quantity-order revenue.
+    "SELECT SUM(extendedprice) FROM lineitem WHERE quantity < 5",
+    // Q18-ish: large volume customers.
+    "SELECT orders.custkey, SUM(totalprice) FROM orders \
+     WHERE totalprice > 4000 GROUP BY orders.custkey",
+    // Q19-ish: discounted revenue for brand.
+    "SELECT SUM(extendedprice * discount) FROM lineitem \
+     WHERE quantity BETWEEN 1 AND 11 AND shipmode IN ('AIR', 'REG AIR')",
+    // Q20-ish: potential part promotion.
+    "SELECT partkey, SUM(quantity) FROM lineitem \
+     WHERE shipdate BETWEEN '1994-01-01' AND '1994-12-31' GROUP BY partkey",
+    // Q21-ish: suppliers who kept orders waiting.
+    "SELECT suppkey, COUNT(*) FROM lineitem \
+     WHERE receiptdate > '1995-06-30' AND commitdate < '1995-06-30' GROUP BY suppkey",
+    // Q22-ish: global sales opportunity.
+    "SELECT nationkey, COUNT(*), SUM(acctbal) FROM customer \
+     WHERE acctbal > 0 GROUP BY nationkey",
+    // Join-heavy: revenue by nation.
+    "SELECT supplier.nationkey, SUM(extendedprice) FROM lineitem \
+     JOIN supplier ON lineitem.suppkey = supplier.suppkey \
+     WHERE shipdate BETWEEN '1995-01-01' AND '1995-12-31' \
+     GROUP BY supplier.nationkey",
+    // Star join: segment revenue.
+    "SELECT mktsegment, SUM(totalprice) FROM orders \
+     JOIN customer ON orders.custkey = customer.custkey GROUP BY mktsegment",
+    // Covering-friendly narrow aggregate.
+    "SELECT shipdate, SUM(quantity) FROM lineitem \
+     WHERE shipdate BETWEEN '1996-01-01' AND '1996-06-30' GROUP BY shipdate",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_db() {
+        let g = TpchGen::new(0.02);
+        let db = g.build().unwrap();
+        let (n_li, n_ord, n_cust, n_part, n_supp) = g.row_counts();
+        assert_eq!(db.table(db.table_id("lineitem").unwrap()).n_rows(), n_li);
+        assert_eq!(db.table(db.table_id("orders").unwrap()).n_rows(), n_ord);
+        assert_eq!(db.table(db.table_id("customer").unwrap()).n_rows(), n_cust);
+        assert_eq!(db.table(db.table_id("part").unwrap()).n_rows(), n_part);
+        assert_eq!(db.table(db.table_id("supplier").unwrap()).n_rows(), n_supp);
+        assert_eq!(db.table(db.table_id("nation").unwrap()).n_rows(), 25);
+        assert_eq!(db.table(db.table_id("region").unwrap()).n_rows(), 5);
+    }
+
+    #[test]
+    fn workload_has_22_queries_and_2_loads() {
+        let g = TpchGen::new(0.02);
+        let db = g.build().unwrap();
+        let w = g.workload(&db).unwrap();
+        assert_eq!(w.queries().count(), 22);
+        assert_eq!(w.inserts().count(), 2);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = TpchGen::new(0.01).build().unwrap();
+        let b = TpchGen::new(0.01).build().unwrap();
+        let t = a.table_id("lineitem").unwrap();
+        assert_eq!(a.table(t).rows()[..50], b.table(t).rows()[..50]);
+    }
+
+    #[test]
+    fn skew_changes_distribution() {
+        let uniform = TpchGen::new(0.02).build().unwrap();
+        let skewed = TpchGen::with_skew(0.02, 3.0).build().unwrap();
+        let t = uniform.table_id("lineitem").unwrap();
+        // partkey distinct count collapses under Z=3.
+        let du = uniform.stats(t).columns[1].distinct;
+        let ds = skewed.stats(t).columns[1].distinct;
+        assert!(ds < du / 2, "uniform {du}, skewed {ds}");
+    }
+
+    #[test]
+    fn queries_are_costable() {
+        let g = TpchGen::new(0.01);
+        let db = g.build().unwrap();
+        let w = g.workload(&db).unwrap();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let cost = opt.workload_cost(&w, &cadb_engine::Configuration::empty());
+        assert!(cost.is_finite() && cost > 0.0);
+    }
+
+    #[test]
+    fn fk_integrity() {
+        let g = TpchGen::new(0.01);
+        let db = g.build().unwrap();
+        let li = db.table_id("lineitem").unwrap();
+        let (_, n_ord, _, n_part, n_supp) = g.row_counts();
+        for r in db.table(li).rows().iter().take(500) {
+            assert!(r.values[0].as_i64().unwrap() < n_ord as i64);
+            assert!(r.values[1].as_i64().unwrap() < n_part as i64);
+            assert!(r.values[2].as_i64().unwrap() < n_supp as i64);
+        }
+    }
+}

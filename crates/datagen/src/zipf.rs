@@ -1,0 +1,104 @@
+//! Zipf-distributed sampling.
+//!
+//! The paper's error analysis (Appendix C) uses TPC-H with skew `Z = 0, 1,
+//! 3`. `Z = 0` is uniform; larger exponents concentrate mass on the first
+//! ranks. Implemented with an inverted-CDF table, O(log n) per draw.
+
+use rand::Rng;
+
+/// A Zipf(θ) distribution over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution over `n` ranks with exponent `theta`
+    /// (`theta == 0` ⇒ uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::rng::rng_for;
+
+    fn histogram(theta: f64, n: usize, draws: usize) -> Vec<usize> {
+        let z = Zipf::new(n, theta);
+        let mut rng = rng_for(1, "zipf-test");
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn zero_theta_is_uniform() {
+        let h = histogram(0.0, 10, 100_000);
+        for c in &h {
+            let f = *c as f64 / 100_000.0;
+            assert!((f - 0.1).abs() < 0.01, "f={f}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates() {
+        let h = histogram(3.0, 100, 100_000);
+        // Rank 0 should dominate: ζ(3) ≈ 1.202, so P(0) ≈ 0.83.
+        let f0 = h[0] as f64 / 100_000.0;
+        assert!(f0 > 0.75, "f0={f0}");
+        assert!(h[0] > h[1] && h[1] > h[2]);
+    }
+
+    #[test]
+    fn moderate_skew_ordering() {
+        let h = histogram(1.0, 50, 200_000);
+        assert!(h[0] > h[9]);
+        assert!(h[9] > h[40]);
+        // Every rank still reachable.
+        assert!(h.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = rng_for(2, "zipf-one");
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! The database catalog: tables, name resolution and cached statistics.
+
+use cadb_common::{CadbError, ColumnId, DataType, Result, Row, TableId, TableSchema};
+use cadb_stats::{collect_table_stats, TableStats};
+use cadb_storage::Table;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An in-memory database: a set of named tables plus lazily collected,
+/// cached optimizer statistics.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+    /// Cached stats per table; invalidated on data change.
+    stats: RwLock<HashMap<TableId, Arc<TableStats>>>,
+    /// Extra multi-column sets (per table) registered for exact distinct
+    /// counting — index-key prefixes the advisor cares about.
+    multi_sets: RwLock<HashMap<TableId, Vec<Vec<ColumnId>>>>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table; returns its id.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<TableId> {
+        let name = schema.name.clone();
+        if self.by_name.contains_key(&name) {
+            return Err(CadbError::AlreadyExists(format!("table {name}")));
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Table::new(schema));
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Resolve a table by (case-insensitive) name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(&name.to_ascii_lowercase())
+            .copied()
+            .ok_or_else(|| CadbError::NotFound(format!("table {name}")))
+    }
+
+    /// The table for an id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.raw() as usize]
+    }
+
+    /// Schema shortcut.
+    pub fn schema(&self, id: TableId) -> &TableSchema {
+        self.table(id).schema()
+    }
+
+    /// Column types of a table.
+    pub fn dtypes(&self, id: TableId) -> Vec<DataType> {
+        self.schema(id).columns.iter().map(|c| c.dtype).collect()
+    }
+
+    /// All table ids.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        (0..self.tables.len() as u32).map(TableId).collect()
+    }
+
+    /// Insert rows into a table, invalidating its cached statistics.
+    pub fn insert_rows(&mut self, id: TableId, rows: Vec<Row>) -> Result<usize> {
+        let n = self.tables[id.raw() as usize].insert_many(rows)?;
+        self.stats.write().remove(&id);
+        Ok(n)
+    }
+
+    /// Register column combinations for exact multi-column distinct counts
+    /// on the next statistics (re)collection.
+    pub fn register_multi_columns(&self, id: TableId, sets: Vec<Vec<ColumnId>>) {
+        let mut guard = self.multi_sets.write();
+        let entry = guard.entry(id).or_default();
+        let mut changed = false;
+        for s in sets {
+            if s.len() >= 2 && !entry.contains(&s) {
+                entry.push(s);
+                changed = true;
+            }
+        }
+        if changed {
+            self.stats.write().remove(&id);
+        }
+    }
+
+    /// Statistics for a table (collected on first use, then cached).
+    pub fn stats(&self, id: TableId) -> Arc<TableStats> {
+        if let Some(s) = self.stats.read().get(&id) {
+            return Arc::clone(s);
+        }
+        let table = self.table(id);
+        let dtypes = self.dtypes(id);
+        let multi = self.multi_sets.read().get(&id).cloned().unwrap_or_default();
+        let stats = Arc::new(collect_table_stats(table.rows(), &dtypes, &multi));
+        self.stats.write().insert(id, Arc::clone(&stats));
+        stats
+    }
+
+    /// Total uncompressed data size of all tables, in bytes — the "database
+    /// size without indexes" that the paper's storage budgets are quoted
+    /// against (Appendix D.2).
+    pub fn base_data_bytes(&self) -> usize {
+        self.tables.iter().map(Table::uncompressed_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::{ColumnDef, Value};
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(
+            name,
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Int),
+            ],
+            vec![ColumnId(0)],
+        )
+        .unwrap()
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 7)]))
+            .collect()
+    }
+
+    #[test]
+    fn create_and_resolve() {
+        let mut db = Database::new();
+        let t = db.create_table(schema("orders")).unwrap();
+        assert_eq!(db.table_id("ORDERS").unwrap(), t);
+        assert!(db.table_id("missing").is_err());
+        assert!(db.create_table(schema("orders")).is_err());
+    }
+
+    #[test]
+    fn stats_cached_and_invalidated() {
+        let mut db = Database::new();
+        let t = db.create_table(schema("t")).unwrap();
+        db.insert_rows(t, rows(100)).unwrap();
+        let s1 = db.stats(t);
+        assert_eq!(s1.n_rows, 100);
+        let s2 = db.stats(t);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        db.insert_rows(t, rows(10)).unwrap();
+        let s3 = db.stats(t);
+        assert_eq!(s3.n_rows, 110);
+    }
+
+    #[test]
+    fn multi_column_registration_recollects() {
+        let mut db = Database::new();
+        let t = db.create_table(schema("t")).unwrap();
+        db.insert_rows(t, rows(50)).unwrap();
+        let combo = vec![ColumnId(0), ColumnId(1)];
+        assert!(!db.stats(t).has_exact_distinct(&combo));
+        db.register_multi_columns(t, vec![combo.clone()]);
+        assert!(db.stats(t).has_exact_distinct(&combo));
+        assert_eq!(db.stats(t).distinct_count(&combo), 50.0);
+    }
+
+    #[test]
+    fn base_data_bytes_sums_tables() {
+        let mut db = Database::new();
+        let t1 = db.create_table(schema("t1")).unwrap();
+        let t2 = db.create_table(schema("t2")).unwrap();
+        db.insert_rows(t1, rows(10)).unwrap();
+        db.insert_rows(t2, rows(20)).unwrap();
+        let w = db.schema(t1).row_width();
+        assert_eq!(db.base_data_bytes(), w * 30);
+    }
+}

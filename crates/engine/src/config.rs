@@ -1,0 +1,393 @@
+//! Physical design structures and hypothetical configurations.
+//!
+//! An [`IndexSpec`] describes a (possibly compressed, possibly partial,
+//! possibly MV-based) index *logically*; a [`SizeEstimate`] carries the
+//! estimated storage footprint the what-if optimizer prices I/O against;
+//! a [`Configuration`] is a set of priced structures — the unit the paper's
+//! candidate-selection and enumeration steps manipulate (§6, Figure 4).
+
+use crate::predicate::Predicate;
+use crate::stmt::JoinEdge;
+use cadb_compression::CompressionKind;
+use cadb_common::{ColumnId, TableId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A materialized-view definition: key–foreign-key joins over a root (fact)
+/// table, an optional filter, and grouping with COUNT/SUM aggregates
+/// (the class of MVs the paper's join-synopsis samples support, App. B).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MvSpec {
+    /// Fact table.
+    pub root: TableId,
+    /// Join edges (fact-side first), sorted for canonical identity.
+    pub joins: Vec<JoinEdge>,
+    /// GROUP BY columns.
+    pub group_by: Vec<(TableId, ColumnId)>,
+    /// Aggregated (SUMmed) columns; COUNT(*) is always present implicitly
+    /// for incremental maintenance (App. B.3).
+    pub agg_columns: Vec<(TableId, ColumnId)>,
+}
+
+impl MvSpec {
+    /// Number of stored columns of the MV: group-by + aggregates + COUNT(*).
+    pub fn stored_columns(&self) -> usize {
+        self.group_by.len() + self.agg_columns.len() + 1
+    }
+}
+
+/// Logical description of one physical design structure.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexSpec {
+    /// Base table (for MV indexes: the MV's fact table).
+    pub table: TableId,
+    /// Key columns, in order. For MV indexes these are ordinals into the
+    /// MV's stored columns.
+    pub key_cols: Vec<ColumnId>,
+    /// Included (non-key) columns.
+    pub include_cols: Vec<ColumnId>,
+    /// Whether this is the table's clustered index (at most one per table;
+    /// a clustered index stores *all* columns).
+    pub clustered: bool,
+    /// Compression method.
+    pub compression: CompressionKind,
+    /// Filter of a partial index.
+    pub partial_filter: Option<Predicate>,
+    /// When present, the index is built over this MV instead of the table.
+    pub mv: Option<MvSpec>,
+}
+
+impl IndexSpec {
+    /// A plain secondary index.
+    pub fn secondary(table: TableId, key_cols: Vec<ColumnId>) -> Self {
+        IndexSpec {
+            table,
+            key_cols,
+            include_cols: Vec::new(),
+            clustered: false,
+            compression: CompressionKind::None,
+            partial_filter: None,
+            mv: None,
+        }
+    }
+
+    /// A clustered index on the given key.
+    pub fn clustered(table: TableId, key_cols: Vec<ColumnId>) -> Self {
+        IndexSpec {
+            clustered: true,
+            ..IndexSpec::secondary(table, key_cols)
+        }
+    }
+
+    /// The same structure with a different compression method.
+    pub fn with_compression(&self, kind: CompressionKind) -> Self {
+        IndexSpec {
+            compression: kind,
+            ..self.clone()
+        }
+    }
+
+    /// Same structure with included columns.
+    pub fn with_includes(mut self, cols: Vec<ColumnId>) -> Self {
+        self.include_cols = cols;
+        self
+    }
+
+    /// All stored columns: keys then includes, deduplicated.
+    pub fn stored_columns(&self) -> Vec<ColumnId> {
+        let mut out = self.key_cols.clone();
+        for c in &self.include_cols {
+            if !out.contains(c) {
+                out.push(*c);
+            }
+        }
+        out
+    }
+
+    /// The *set* of stored columns (identity under ORD-IND compression —
+    /// the ColSet deduction keys on this, §4.2).
+    pub fn column_set(&self) -> BTreeSet<ColumnId> {
+        self.stored_columns().into_iter().collect()
+    }
+
+    /// `true` if the stored columns cover all of `needed`.
+    pub fn covers(&self, needed: &BTreeSet<ColumnId>) -> bool {
+        let stored = self.column_set();
+        needed.iter().all(|c| stored.contains(c))
+    }
+
+    /// The identity of this structure ignoring compression — compressed
+    /// variants of the same index compete for the same slot (§6.2's
+    /// "competing indexes").
+    pub fn uncompressed_identity(&self) -> IndexSpec {
+        self.with_compression(CompressionKind::None)
+    }
+
+    /// `true` for indexes over MVs.
+    pub fn is_mv_index(&self) -> bool {
+        self.mv.is_some()
+    }
+
+    /// `true` for partial (filtered) indexes.
+    pub fn is_partial(&self) -> bool {
+        self.partial_filter.is_some()
+    }
+}
+
+impl fmt::Display for IndexSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clustered {
+            write!(f, "CIX")?;
+        } else if self.is_mv_index() {
+            write!(f, "MVIX")?;
+        } else {
+            write!(f, "IX")?;
+        }
+        write!(f, " {}(", self.table)?;
+        for (i, c) in self.key_cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        if !self.include_cols.is_empty() {
+            write!(f, " incl ")?;
+            for (i, c) in self.include_cols.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        write!(f, ")")?;
+        if self.partial_filter.is_some() {
+            write!(f, " partial")?;
+        }
+        write!(f, " [{}]", self.compression)
+    }
+}
+
+/// Estimated storage footprint of a structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeEstimate {
+    /// Estimated size in bytes.
+    pub bytes: f64,
+    /// Estimated leaf page count.
+    pub pages: f64,
+    /// Estimated row count.
+    pub rows: f64,
+    /// Compression fraction behind the estimate (1.0 when uncompressed).
+    pub compression_fraction: f64,
+}
+
+impl SizeEstimate {
+    /// Estimate for an uncompressed structure from bytes and rows.
+    pub fn uncompressed(bytes: f64, rows: f64) -> Self {
+        SizeEstimate {
+            bytes,
+            pages: bytes / cadb_compression::analyze::PAGE_PAYLOAD as f64,
+            rows,
+            compression_fraction: 1.0,
+        }
+    }
+
+    /// Apply a compression fraction to this estimate.
+    pub fn compressed(&self, cf: f64) -> Self {
+        SizeEstimate {
+            bytes: self.bytes * cf,
+            pages: (self.pages * cf).max(1.0),
+            rows: self.rows,
+            compression_fraction: cf,
+        }
+    }
+}
+
+/// One priced physical structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalStructure {
+    /// What it is.
+    pub spec: IndexSpec,
+    /// How big we believe it is.
+    pub size: SizeEstimate,
+}
+
+/// A hypothetical configuration: a set of priced structures.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Configuration {
+    structures: Vec<PhysicalStructure>,
+}
+
+impl Configuration {
+    /// Empty configuration (base tables only).
+    pub fn empty() -> Self {
+        Configuration::default()
+    }
+
+    /// Build from structures, rejecting duplicates and conflicting
+    /// clustered indexes per table.
+    pub fn new(structures: Vec<PhysicalStructure>) -> Self {
+        let mut cfg = Configuration::default();
+        for s in structures {
+            cfg.add(s);
+        }
+        cfg
+    }
+
+    /// Add a structure. A structure equal (ignoring compression) to an
+    /// existing one replaces it; a clustered index replaces any other
+    /// clustered index on the same table.
+    pub fn add(&mut self, s: PhysicalStructure) {
+        self.structures.retain(|e| {
+            !(e.spec.uncompressed_identity() == s.spec.uncompressed_identity()
+                || (s.spec.clustered && e.spec.clustered && e.spec.table == s.spec.table))
+        });
+        self.structures.push(s);
+    }
+
+    /// Remove a structure by spec; returns whether it was present.
+    pub fn remove(&mut self, spec: &IndexSpec) -> bool {
+        let before = self.structures.len();
+        self.structures.retain(|e| e.spec != *spec);
+        self.structures.len() != before
+    }
+
+    /// Whether a structure with this exact spec is present.
+    pub fn contains(&self, spec: &IndexSpec) -> bool {
+        self.structures.iter().any(|e| e.spec == *spec)
+    }
+
+    /// The structures.
+    pub fn structures(&self) -> &[PhysicalStructure] {
+        &self.structures
+    }
+
+    /// Total estimated bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.structures.iter().map(|s| s.size.bytes).sum()
+    }
+
+    /// Union of two configurations.
+    pub fn union(&self, other: &Configuration) -> Configuration {
+        let mut out = self.clone();
+        for s in &other.structures {
+            if !out.contains(&s.spec) {
+                out.add(s.clone());
+            }
+        }
+        out
+    }
+
+    /// Number of structures.
+    pub fn len(&self) -> usize {
+        self.structures.len()
+    }
+
+    /// `true` when no structures are present.
+    pub fn is_empty(&self) -> bool {
+        self.structures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ix(cols: &[u16]) -> IndexSpec {
+        IndexSpec::secondary(TableId(0), cols.iter().map(|c| ColumnId(*c)).collect())
+    }
+
+    fn priced(spec: IndexSpec, bytes: f64) -> PhysicalStructure {
+        PhysicalStructure {
+            spec,
+            size: SizeEstimate::uncompressed(bytes, 100.0),
+        }
+    }
+
+    #[test]
+    fn stored_columns_dedup_and_cover() {
+        let s = ix(&[1, 2]).with_includes(vec![ColumnId(2), ColumnId(3)]);
+        assert_eq!(
+            s.stored_columns(),
+            vec![ColumnId(1), ColumnId(2), ColumnId(3)]
+        );
+        let mut need = BTreeSet::new();
+        need.insert(ColumnId(3));
+        need.insert(ColumnId(1));
+        assert!(s.covers(&need));
+        need.insert(ColumnId(7));
+        assert!(!s.covers(&need));
+    }
+
+    #[test]
+    fn compressed_variants_share_identity() {
+        let a = ix(&[1]);
+        let b = a.with_compression(CompressionKind::Page);
+        assert_ne!(a, b);
+        assert_eq!(a.uncompressed_identity(), b.uncompressed_identity());
+    }
+
+    #[test]
+    fn column_set_ignores_order() {
+        let ab = ix(&[1, 2]);
+        let ba = ix(&[2, 1]);
+        assert_eq!(ab.column_set(), ba.column_set());
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn configuration_replaces_compression_variant() {
+        let mut cfg = Configuration::empty();
+        cfg.add(priced(ix(&[1]), 100.0));
+        cfg.add(priced(ix(&[1]).with_compression(CompressionKind::Row), 60.0));
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(
+            cfg.structures()[0].spec.compression,
+            CompressionKind::Row
+        );
+        assert_eq!(cfg.total_bytes(), 60.0);
+    }
+
+    #[test]
+    fn one_clustered_index_per_table() {
+        let mut cfg = Configuration::empty();
+        cfg.add(priced(IndexSpec::clustered(TableId(0), vec![ColumnId(0)]), 10.0));
+        cfg.add(priced(IndexSpec::clustered(TableId(0), vec![ColumnId(1)]), 20.0));
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.structures()[0].spec.key_cols, vec![ColumnId(1)]);
+        // A clustered index on another table coexists.
+        cfg.add(priced(IndexSpec::clustered(TableId(1), vec![ColumnId(0)]), 5.0));
+        assert_eq!(cfg.len(), 2);
+    }
+
+    #[test]
+    fn union_and_remove() {
+        let mut a = Configuration::empty();
+        a.add(priced(ix(&[1]), 10.0));
+        let mut b = Configuration::empty();
+        b.add(priced(ix(&[2]), 20.0));
+        b.add(priced(ix(&[1]), 10.0));
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        let mut u2 = u.clone();
+        assert!(u2.remove(&ix(&[2])));
+        assert!(!u2.remove(&ix(&[9])));
+        assert_eq!(u2.len(), 1);
+    }
+
+    #[test]
+    fn size_estimate_compression() {
+        let s = SizeEstimate::uncompressed(1000.0, 10.0);
+        let c = s.compressed(0.4);
+        assert!((c.bytes - 400.0).abs() < 1e-9);
+        assert_eq!(c.rows, 10.0);
+        assert_eq!(c.compression_fraction, 0.4);
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = ix(&[1, 2]).with_compression(CompressionKind::Page);
+        let d = s.to_string();
+        assert!(d.contains("IX"));
+        assert!(d.contains("PAGE"));
+    }
+}

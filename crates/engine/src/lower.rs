@@ -1,0 +1,485 @@
+//! Lowering: SQL AST → catalog objects and logical statements.
+//!
+//! Resolves table/column names against the catalog, converts literals to
+//! typed values (dates in `'YYYY-MM-DD'` form become epoch days, decimal
+//! literals are scaled to the column's fixed-point representation) and
+//! normalizes WHERE clauses into the engine's predicate form.
+
+use crate::catalog::Database;
+use crate::predicate::{PredOp, Predicate};
+use crate::stmt::{Aggregate, BulkInsert, JoinEdge, Query, ScalarExpr, Statement};
+use cadb_common::{
+    CadbError, ColumnDef, ColumnId, DataType, Result, Row, TableId, TableSchema, Value,
+};
+use cadb_sql::{
+    CmpOp, Condition, CreateTableStmt, Expr, InsertStmt, Literal, SelectItem, SelectStmt,
+};
+
+/// Convert a calendar date to days since 1970-01-01 (proleptic Gregorian).
+pub fn date_to_days(y: i32, m: u32, d: u32) -> i64 {
+    // Howard Hinnant's days_from_civil algorithm.
+    let y = y as i64 - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Parse a `'YYYY-MM-DD'` string into epoch days.
+pub fn parse_date(s: &str) -> Result<i64> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(CadbError::Parse(format!("bad date literal '{s}'")));
+    }
+    let y: i32 = parts[0]
+        .parse()
+        .map_err(|_| CadbError::Parse(format!("bad year in '{s}'")))?;
+    let m: u32 = parts[1]
+        .parse()
+        .map_err(|_| CadbError::Parse(format!("bad month in '{s}'")))?;
+    let d: u32 = parts[2]
+        .parse()
+        .map_err(|_| CadbError::Parse(format!("bad day in '{s}'")))?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(CadbError::Parse(format!("out-of-range date '{s}'")));
+    }
+    Ok(date_to_days(y, m, d))
+}
+
+/// Convert a SQL literal to a typed [`Value`] for a column type.
+pub fn literal_to_value(lit: &Literal, dtype: &DataType) -> Result<Value> {
+    match (lit, dtype) {
+        (Literal::Null, _) => Ok(Value::Null),
+        (Literal::Int(i), DataType::Decimal { scale }) => {
+            Ok(Value::Int(i * 10i64.pow(*scale as u32)))
+        }
+        (Literal::Int(i), DataType::Int | DataType::Date) => Ok(Value::Int(*i)),
+        (Literal::Float(f), DataType::Decimal { scale }) => Ok(Value::decimal(*f, *scale)),
+        (Literal::Float(f), DataType::Int) => Ok(Value::Int(f.round() as i64)),
+        (Literal::Str(s), DataType::Date) => Ok(Value::Int(parse_date(s)?)),
+        (Literal::Str(s), DataType::Char { .. } | DataType::Varchar { .. }) => {
+            Ok(Value::Str(s.clone()))
+        }
+        (lit, dtype) => Err(CadbError::Schema(format!(
+            "literal {lit:?} incompatible with column type {dtype}"
+        ))),
+    }
+}
+
+/// Create a table in the database from a parsed CREATE TABLE.
+pub fn create_table(db: &mut Database, stmt: &CreateTableStmt) -> Result<TableId> {
+    let mut columns = Vec::with_capacity(stmt.columns.len());
+    for c in &stmt.columns {
+        let dtype = match (c.type_name.as_str(), c.type_args.as_slice()) {
+            ("int" | "bigint" | "integer", _) => DataType::Int,
+            ("decimal" | "numeric", [scale]) => DataType::Decimal {
+                scale: *scale as u8,
+            },
+            ("decimal" | "numeric", []) => DataType::Decimal { scale: 2 },
+            ("date", _) => DataType::Date,
+            ("char", [len]) => DataType::Char { len: *len as u16 },
+            ("varchar", [len]) => DataType::Varchar {
+                max_len: *len as u16,
+            },
+            (other, args) => {
+                return Err(CadbError::Parse(format!(
+                    "unsupported type {other}({args:?})"
+                )))
+            }
+        };
+        columns.push(if c.nullable {
+            ColumnDef::nullable(&c.name, dtype)
+        } else {
+            ColumnDef::new(&c.name, dtype)
+        });
+    }
+    let mut pk = Vec::new();
+    for name in &stmt.primary_key {
+        let lower = name.to_ascii_lowercase();
+        let pos = columns
+            .iter()
+            .position(|c| c.name == lower)
+            .ok_or_else(|| CadbError::Schema(format!("PK column {name} not found")))?;
+        pk.push(ColumnId(pos as u16));
+    }
+    db.create_table(TableSchema::new(&stmt.name, columns, pk)?)
+}
+
+/// Resolve a column reference against the query's tables.
+fn resolve_column(
+    db: &Database,
+    tables: &[TableId],
+    table_hint: Option<&str>,
+    name: &str,
+) -> Result<(TableId, ColumnId)> {
+    if let Some(hint) = table_hint {
+        let tid = db.table_id(hint)?;
+        if !tables.contains(&tid) {
+            return Err(CadbError::NotFound(format!(
+                "table {hint} not in FROM clause"
+            )));
+        }
+        return Ok((tid, db.schema(tid).column_id(name)?));
+    }
+    let mut found = None;
+    for t in tables {
+        if let Ok(c) = db.schema(*t).column_id(name) {
+            if found.is_some() {
+                return Err(CadbError::Schema(format!("ambiguous column {name}")));
+            }
+            found = Some((*t, c));
+        }
+    }
+    found.ok_or_else(|| CadbError::NotFound(format!("column {name}")))
+}
+
+fn resolve_expr(db: &Database, tables: &[TableId], e: &Expr) -> Result<ScalarExpr> {
+    match e {
+        Expr::Column { table, name } => {
+            let (t, c) = resolve_column(db, tables, table.as_deref(), name)?;
+            Ok(ScalarExpr::Column(t, c))
+        }
+        Expr::Lit(Literal::Int(i)) => Ok(ScalarExpr::Const(*i as f64)),
+        Expr::Lit(Literal::Float(f)) => Ok(ScalarExpr::Const(*f)),
+        Expr::Lit(other) => Err(CadbError::Schema(format!(
+            "non-numeric literal {other:?} in arithmetic"
+        ))),
+        Expr::Binary { left, op, right } => Ok(ScalarExpr::Binary {
+            left: Box::new(resolve_expr(db, tables, left)?),
+            op: *op,
+            right: Box::new(resolve_expr(db, tables, right)?),
+        }),
+    }
+}
+
+fn expr_single_column(db: &Database, tables: &[TableId], e: &Expr) -> Result<(TableId, ColumnId)> {
+    match e {
+        Expr::Column { table, name } => resolve_column(db, tables, table.as_deref(), name),
+        other => Err(CadbError::Parse(format!(
+            "expected a column reference, found {other:?}"
+        ))),
+    }
+}
+
+/// Lower a parsed SELECT into a logical [`Query`].
+pub fn lower_select(db: &Database, s: &SelectStmt) -> Result<Query> {
+    let root = db.table_id(&s.from)?;
+    let mut tables = vec![root];
+    let mut q = Query {
+        root,
+        ..Default::default()
+    };
+
+    for j in &s.joins {
+        let jt = db.table_id(&j.table)?;
+        if !tables.contains(&jt) {
+            tables.push(jt);
+        }
+        let left = expr_single_column(db, &tables, &j.on_left)?;
+        let right = expr_single_column(db, &tables, &j.on_right)?;
+        // Normalize: fact side (earlier table) first.
+        let (l, r) = if left.0 == jt { (right, left) } else { (left, right) };
+        q.joins.push(JoinEdge { left: l, right: r });
+        q.mark_used(l.0, l.1);
+        q.mark_used(r.0, r.1);
+    }
+
+    for cond in &s.where_clause {
+        match cond {
+            Condition::ColumnEq { left, right } => {
+                let l = expr_single_column(db, &tables, left)?;
+                let r = expr_single_column(db, &tables, right)?;
+                let (l, r) = if l.0 == root { (l, r) } else { (r, l) };
+                q.joins.push(JoinEdge { left: l, right: r });
+                q.mark_used(l.0, l.1);
+                q.mark_used(r.0, r.1);
+            }
+            Condition::Compare { column, op, value } => {
+                let (t, c) = expr_single_column(db, &tables, column)?;
+                let dtype = db.schema(t).column(c).dtype;
+                let v = literal_to_value(value, &dtype)?;
+                let op = match op {
+                    CmpOp::Eq => PredOp::Eq,
+                    CmpOp::Neq => PredOp::Neq,
+                    CmpOp::Lt => PredOp::Lt,
+                    CmpOp::Le => PredOp::Le,
+                    CmpOp::Gt => PredOp::Gt,
+                    CmpOp::Ge => PredOp::Ge,
+                };
+                q.predicates.push(Predicate {
+                    table: t,
+                    column: c,
+                    op,
+                    values: vec![v],
+                });
+                q.mark_used(t, c);
+            }
+            Condition::Between { column, lo, hi } => {
+                let (t, c) = expr_single_column(db, &tables, column)?;
+                let dtype = db.schema(t).column(c).dtype;
+                q.predicates.push(Predicate::between(
+                    t,
+                    c,
+                    literal_to_value(lo, &dtype)?,
+                    literal_to_value(hi, &dtype)?,
+                ));
+                q.mark_used(t, c);
+            }
+            Condition::InList { column, values } => {
+                let (t, c) = expr_single_column(db, &tables, column)?;
+                let dtype = db.schema(t).column(c).dtype;
+                let vals: Result<Vec<Value>> = values
+                    .iter()
+                    .map(|v| literal_to_value(v, &dtype))
+                    .collect();
+                q.predicates.push(Predicate {
+                    table: t,
+                    column: c,
+                    op: PredOp::Eq,
+                    values: vals?,
+                });
+                q.mark_used(t, c);
+            }
+        }
+    }
+
+    for item in &s.items {
+        match item {
+            SelectItem::Wildcard => {
+                for t in &tables {
+                    for i in 0..db.schema(*t).arity() {
+                        q.mark_used(*t, ColumnId(i as u16));
+                    }
+                }
+            }
+            SelectItem::Expr(e) => {
+                let resolved = resolve_expr(db, &tables, e)?;
+                mark_expr_used(&mut q, &resolved);
+            }
+            SelectItem::Agg { func, arg } => {
+                let expr = match arg {
+                    Some(e) => Some(resolve_expr(db, &tables, e)?),
+                    None => None,
+                };
+                let mut columns = Vec::new();
+                if let Some(se) = &expr {
+                    collect_expr_columns(se, &mut columns);
+                }
+                for (t, c) in &columns {
+                    q.mark_used(*t, *c);
+                }
+                q.aggregates.push(Aggregate {
+                    func: *func,
+                    columns,
+                    expr,
+                });
+            }
+        }
+    }
+
+    for g in &s.group_by {
+        let (t, c) = expr_single_column(db, &tables, g)?;
+        q.group_by.push((t, c));
+        q.mark_used(t, c);
+    }
+    for o in &s.order_by {
+        let (t, c) = expr_single_column(db, &tables, o)?;
+        q.order_by.push((t, c));
+        q.mark_used(t, c);
+    }
+    Ok(q)
+}
+
+fn mark_expr_used(q: &mut Query, e: &ScalarExpr) {
+    let mut cols = Vec::new();
+    collect_expr_columns(e, &mut cols);
+    for (t, c) in cols {
+        q.mark_used(t, c);
+    }
+}
+
+fn collect_expr_columns(e: &ScalarExpr, out: &mut Vec<(TableId, ColumnId)>) {
+    match e {
+        ScalarExpr::Column(t, c) => out.push((*t, *c)),
+        ScalarExpr::Const(_) => {}
+        ScalarExpr::Binary { left, right, .. } => {
+            collect_expr_columns(left, out);
+            collect_expr_columns(right, out);
+        }
+    }
+}
+
+/// Lower a parsed INSERT into typed rows (for execution).
+pub fn lower_insert_rows(db: &Database, s: &InsertStmt) -> Result<(TableId, Vec<Row>)> {
+    let t = db.table_id(&s.table)?;
+    let schema = db.schema(t).clone();
+    let mut rows = Vec::with_capacity(s.rows.len());
+    for lits in &s.rows {
+        if lits.len() != schema.arity() {
+            return Err(CadbError::Schema(format!(
+                "INSERT arity {} != table arity {}",
+                lits.len(),
+                schema.arity()
+            )));
+        }
+        let vals: Result<Vec<Value>> = lits
+            .iter()
+            .zip(&schema.columns)
+            .map(|(l, c)| literal_to_value(l, &c.dtype))
+            .collect();
+        rows.push(Row::new(vals?));
+    }
+    Ok((t, rows))
+}
+
+/// Lower any SQL string into a workload statement (SELECT or INSERT).
+pub fn lower_statement(db: &Database, sql: &str) -> Result<Statement> {
+    match cadb_sql::parse_statement(sql)? {
+        cadb_sql::Statement::Select(s) => Ok(Statement::Select(lower_select(db, &s)?)),
+        cadb_sql::Statement::Insert(i) => {
+            let t = db.table_id(&i.table)?;
+            Ok(Statement::Insert(BulkInsert {
+                table: t,
+                n_rows: i.rows.len() as u64,
+            }))
+        }
+        cadb_sql::Statement::CreateTable(_) => Err(CadbError::InvalidArgument(
+            "CREATE TABLE is not a workload statement; use create_table".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        for sql in [
+            "CREATE TABLE sales (orderid INT NOT NULL, shipdate DATE NOT NULL, \
+             state CHAR(2), price DECIMAL(2), discount DECIMAL(2), PRIMARY KEY (orderid))",
+            "CREATE TABLE region (state CHAR(2) NOT NULL, name VARCHAR(20), PRIMARY KEY (state))",
+        ] {
+            match cadb_sql::parse_statement(sql).unwrap() {
+                cadb_sql::Statement::CreateTable(c) => {
+                    create_table(&mut db, &c).unwrap();
+                }
+                _ => unreachable!(),
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn date_math() {
+        assert_eq!(date_to_days(1970, 1, 1), 0);
+        assert_eq!(date_to_days(1970, 1, 2), 1);
+        assert_eq!(date_to_days(2000, 3, 1), 11017);
+        assert_eq!(parse_date("2009-01-01").unwrap(), 14245);
+        assert!(parse_date("2009-13-01").is_err());
+        assert!(parse_date("not-a-date").is_err());
+    }
+
+    #[test]
+    fn q1_lowering_types_literals() {
+        let db = setup();
+        let s = match cadb_sql::parse_statement(
+            "SELECT SUM(price * discount) FROM sales \
+             WHERE shipdate BETWEEN '2009-01-01' AND '2009-12-31' AND state = 'CA'",
+        )
+        .unwrap()
+        {
+            cadb_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let q = lower_select(&db, &s).unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        // Date range became epoch days.
+        assert_eq!(q.predicates[0].values[0], Value::Int(14245));
+        assert_eq!(q.aggregates.len(), 1);
+        assert_eq!(q.aggregates[0].columns.len(), 2);
+        // price (col 3) and discount (col 4) used, plus predicates cols.
+        let used = q.used_on(TableId(0));
+        assert!(used.contains(&ColumnId(3)));
+        assert!(used.contains(&ColumnId(4)));
+        assert!(used.contains(&ColumnId(1)));
+        assert!(used.contains(&ColumnId(2)));
+    }
+
+    #[test]
+    fn join_lowering_normalizes_direction() {
+        let db = setup();
+        let s = match cadb_sql::parse_statement(
+            "SELECT name FROM sales JOIN region ON sales.state = region.state",
+        )
+        .unwrap()
+        {
+            cadb_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let q = lower_select(&db, &s).unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left.0, TableId(0)); // fact side first
+        assert_eq!(q.joins[0].right.0, TableId(1));
+    }
+
+    #[test]
+    fn decimal_literal_scaled() {
+        let db = setup();
+        let s = match cadb_sql::parse_statement("SELECT orderid FROM sales WHERE price > 9.99")
+            .unwrap()
+        {
+            cadb_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let q = lower_select(&db, &s).unwrap();
+        assert_eq!(q.predicates[0].values[0], Value::Int(999));
+    }
+
+    #[test]
+    fn insert_lowering() {
+        let db = setup();
+        let stmt = lower_statement(
+            &db,
+            "INSERT INTO region VALUES ('CA', 'California'), ('WA', 'Washington')",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert(i) => {
+                assert_eq!(i.table, TableId(1));
+                assert_eq!(i.n_rows, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_rows_typed() {
+        let db = setup();
+        let parsed = match cadb_sql::parse_statement(
+            "INSERT INTO sales VALUES (1, '2009-06-15', 'CA', 12.5, 0.05)",
+        )
+        .unwrap()
+        {
+            cadb_sql::Statement::Insert(i) => i,
+            _ => unreachable!(),
+        };
+        let (t, rows) = lower_insert_rows(&db, &parsed).unwrap();
+        assert_eq!(t, TableId(0));
+        assert_eq!(rows[0].values[1], Value::Int(parse_date("2009-06-15").unwrap()));
+        assert_eq!(rows[0].values[3], Value::Int(1250));
+        assert_eq!(rows[0].values[4], Value::Int(5));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let db = setup();
+        assert!(lower_statement(&db, "SELECT x FROM missing").is_err());
+        assert!(lower_statement(&db, "SELECT nosuchcol FROM sales").is_err());
+        // Ambiguity: "state" exists in both tables.
+        let s = "SELECT state FROM sales JOIN region ON sales.state = region.state";
+        assert!(lower_statement(&db, s).is_err());
+    }
+}

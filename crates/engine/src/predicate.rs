@@ -1,0 +1,196 @@
+//! Predicates: single-column comparisons used in WHERE clauses, partial
+//! indexes and MV filters.
+//!
+//! A predicate is *sargable* on an index whose key prefix matches its
+//! column: equality predicates extend the usable prefix, a range predicate
+//! terminates it.
+
+use cadb_common::{ColumnId, Row, TableId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PredOp {
+    /// Equality (`=` or `IN`-list with one value; multi-value `IN` keeps
+    /// its values in [`Predicate::values`]).
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `BETWEEN lo AND hi` (inclusive); `values = [lo, hi]`.
+    Between,
+    /// `<>`
+    Neq,
+}
+
+/// A single-column predicate.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Table the column belongs to.
+    pub table: TableId,
+    /// Column ordinal.
+    pub column: ColumnId,
+    /// Operator.
+    pub op: PredOp,
+    /// Comparison values: one for simple ops, two for BETWEEN, any number
+    /// for an equality IN-list.
+    pub values: Vec<Value>,
+}
+
+impl Predicate {
+    /// Build an equality predicate.
+    pub fn eq(table: TableId, column: ColumnId, v: Value) -> Self {
+        Predicate {
+            table,
+            column,
+            op: PredOp::Eq,
+            values: vec![v],
+        }
+    }
+
+    /// Build a BETWEEN predicate.
+    pub fn between(table: TableId, column: ColumnId, lo: Value, hi: Value) -> Self {
+        Predicate {
+            table,
+            column,
+            op: PredOp::Between,
+            values: vec![lo, hi],
+        }
+    }
+
+    /// `true` when an index with this column in its key prefix can seek on
+    /// the predicate.
+    pub fn is_sargable(&self) -> bool {
+        !matches!(self.op, PredOp::Neq)
+    }
+
+    /// `true` for predicates that pin the column to specific value(s),
+    /// letting an index keep using subsequent key columns.
+    pub fn is_equality(&self) -> bool {
+        self.op == PredOp::Eq
+    }
+
+    /// Evaluate against a row of the predicate's table.
+    pub fn matches(&self, row: &Row) -> bool {
+        let v = &row.values[self.column.raw()];
+        if v.is_null() {
+            return false; // SQL three-valued logic: NULL never matches
+        }
+        match self.op {
+            PredOp::Eq => self.values.iter().any(|w| v == w),
+            PredOp::Neq => self.values.iter().all(|w| v != w),
+            PredOp::Lt => v < &self.values[0],
+            PredOp::Le => v <= &self.values[0],
+            PredOp::Gt => v > &self.values[0],
+            PredOp::Ge => v >= &self.values[0],
+            PredOp::Between => v >= &self.values[0] && v <= &self.values[1],
+        }
+    }
+
+    /// Range bounds `[lo, hi]` this predicate implies on its column
+    /// (`None` = unbounded on that side). `Neq` yields fully unbounded.
+    pub fn bounds(&self) -> (Option<&Value>, Option<&Value>) {
+        match self.op {
+            PredOp::Eq => (self.values.first(), self.values.first()),
+            PredOp::Lt | PredOp::Le => (None, self.values.first()),
+            PredOp::Gt | PredOp::Ge => (self.values.first(), None),
+            PredOp::Between => (self.values.first(), self.values.get(1)),
+            PredOp::Neq => (None, None),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            PredOp::Eq => {
+                if self.values.len() > 1 {
+                    "IN"
+                } else {
+                    "="
+                }
+            }
+            PredOp::Neq => "<>",
+            PredOp::Lt => "<",
+            PredOp::Le => "<=",
+            PredOp::Gt => ">",
+            PredOp::Ge => ">=",
+            PredOp::Between => "BETWEEN",
+        };
+        write!(f, "{}.{} {op}", self.table, self.column)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {v}")?;
+            } else {
+                write!(f, ", {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: i64) -> Row {
+        Row::new(vec![Value::Int(v)])
+    }
+
+    fn pred(op: PredOp, values: Vec<Value>) -> Predicate {
+        Predicate {
+            table: TableId(0),
+            column: ColumnId(0),
+            op,
+            values,
+        }
+    }
+
+    #[test]
+    fn matches_semantics() {
+        assert!(pred(PredOp::Eq, vec![Value::Int(5)]).matches(&row(5)));
+        assert!(!pred(PredOp::Eq, vec![Value::Int(5)]).matches(&row(6)));
+        assert!(pred(PredOp::Eq, vec![Value::Int(1), Value::Int(2)]).matches(&row(2)));
+        assert!(pred(PredOp::Between, vec![Value::Int(1), Value::Int(3)]).matches(&row(3)));
+        assert!(!pred(PredOp::Between, vec![Value::Int(1), Value::Int(3)]).matches(&row(4)));
+        assert!(pred(PredOp::Neq, vec![Value::Int(9)]).matches(&row(3)));
+        assert!(pred(PredOp::Lt, vec![Value::Int(3)]).matches(&row(2)));
+        assert!(pred(PredOp::Ge, vec![Value::Int(3)]).matches(&row(3)));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let r = Row::new(vec![Value::Null]);
+        for op in [PredOp::Eq, PredOp::Neq, PredOp::Lt, PredOp::Between] {
+            let p = pred(op, vec![Value::Int(1), Value::Int(2)]);
+            assert!(!p.matches(&r), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn sargability() {
+        assert!(pred(PredOp::Eq, vec![Value::Int(1)]).is_sargable());
+        assert!(pred(PredOp::Between, vec![Value::Int(1), Value::Int(2)]).is_sargable());
+        assert!(!pred(PredOp::Neq, vec![Value::Int(1)]).is_sargable());
+        assert!(pred(PredOp::Eq, vec![Value::Int(1)]).is_equality());
+        assert!(!pred(PredOp::Ge, vec![Value::Int(1)]).is_equality());
+    }
+
+    #[test]
+    fn bounds() {
+        let b = pred(PredOp::Between, vec![Value::Int(1), Value::Int(9)]);
+        assert_eq!(b.bounds(), (Some(&Value::Int(1)), Some(&Value::Int(9))));
+        let lt = pred(PredOp::Lt, vec![Value::Int(5)]);
+        assert_eq!(lt.bounds(), (None, Some(&Value::Int(5))));
+        let eq = pred(PredOp::Eq, vec![Value::Int(7)]);
+        assert_eq!(eq.bounds(), (Some(&Value::Int(7)), Some(&Value::Int(7))));
+        let neq = pred(PredOp::Neq, vec![Value::Int(7)]);
+        assert_eq!(neq.bounds(), (None, None));
+    }
+}

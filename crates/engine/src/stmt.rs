@@ -1,0 +1,256 @@
+//! Logical statements: queries and bulk loads, plus workloads.
+//!
+//! The representation is deliberately close to what a physical design tool
+//! consumes: per-table used columns, sargable predicates, join edges and
+//! grouping — the "syntactically relevant" raw material of candidate
+//! generation (§6.1).
+
+use crate::predicate::Predicate;
+use cadb_common::{ColumnId, TableId};
+use cadb_sql::AggFunc;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A key–foreign-key equi-join edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JoinEdge {
+    /// Fact-side (foreign key) column.
+    pub left: (TableId, ColumnId),
+    /// Dimension-side (key) column.
+    pub right: (TableId, ColumnId),
+}
+
+/// A resolved scalar expression, evaluated numerically by the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// A column reference.
+    Column(TableId, ColumnId),
+    /// A numeric constant.
+    Const(f64),
+    /// Binary arithmetic.
+    Binary {
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Operator.
+        op: cadb_sql::ArithOp,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+    },
+}
+
+/// One aggregate output of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Function.
+    pub func: AggFunc,
+    /// Input columns of the aggregate expression (empty for `COUNT(*)`).
+    pub columns: Vec<(TableId, ColumnId)>,
+    /// Resolved argument expression for execution (`None` for `COUNT(*)`).
+    pub expr: Option<ScalarExpr>,
+}
+
+/// A decision-support query in logical form.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Query {
+    /// Root (FROM) table — the fact table for star joins.
+    pub root: TableId,
+    /// Join edges, root-side first.
+    pub joins: Vec<JoinEdge>,
+    /// Local single-column predicates (conjunctive).
+    pub predicates: Vec<Predicate>,
+    /// Columns each table must supply (projections + aggregate inputs +
+    /// grouping + ordering + join keys).
+    pub used_columns: BTreeMap<TableId, BTreeSet<ColumnId>>,
+    /// GROUP BY columns.
+    pub group_by: Vec<(TableId, ColumnId)>,
+    /// ORDER BY columns.
+    pub order_by: Vec<(TableId, ColumnId)>,
+    /// Aggregates in the select list.
+    pub aggregates: Vec<Aggregate>,
+}
+
+impl Query {
+    /// All tables the query touches (root first, then join targets).
+    pub fn tables(&self) -> Vec<TableId> {
+        let mut out = vec![self.root];
+        for j in &self.joins {
+            for t in [j.left.0, j.right.0] {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Predicates local to one table.
+    pub fn predicates_on(&self, table: TableId) -> Vec<&Predicate> {
+        self.predicates.iter().filter(|p| p.table == table).collect()
+    }
+
+    /// Columns a covering structure on `table` must contain.
+    pub fn used_on(&self, table: TableId) -> BTreeSet<ColumnId> {
+        self.used_columns.get(&table).cloned().unwrap_or_default()
+    }
+
+    /// Whether the query aggregates over groups.
+    pub fn is_grouping(&self) -> bool {
+        !self.group_by.is_empty() || !self.aggregates.is_empty()
+    }
+
+    /// Record that `table.column` is used (projection, predicate, etc.).
+    pub fn mark_used(&mut self, table: TableId, column: ColumnId) {
+        self.used_columns.entry(table).or_default().insert(column);
+    }
+}
+
+/// A bulk load (the paper's INSERT statements on fact tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkInsert {
+    /// Target table.
+    pub table: TableId,
+    /// Number of rows loaded per execution.
+    pub n_rows: u64,
+}
+
+/// A workload statement with its weight (execution frequency).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A SELECT query.
+    Select(Query),
+    /// A bulk INSERT.
+    Insert(BulkInsert),
+}
+
+/// A weighted workload, the input of the design tool.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// `(statement, weight)` pairs.
+    pub statements: Vec<(Statement, f64)>,
+}
+
+impl Workload {
+    /// Add a statement with a weight.
+    pub fn push(&mut self, stmt: Statement, weight: f64) {
+        self.statements.push((stmt, weight));
+    }
+
+    /// Iterate over the queries with weights.
+    pub fn queries(&self) -> impl Iterator<Item = (&Query, f64)> {
+        self.statements.iter().filter_map(|(s, w)| match s {
+            Statement::Select(q) => Some((q, *w)),
+            _ => None,
+        })
+    }
+
+    /// Iterate over the bulk inserts with weights.
+    pub fn inserts(&self) -> impl Iterator<Item = (&BulkInsert, f64)> {
+        self.statements.iter().filter_map(|(s, w)| match s {
+            Statement::Insert(i) => Some((i, *w)),
+            _ => None,
+        })
+    }
+
+    /// Scale the weight of every INSERT by `factor` — how the paper turns a
+    /// base workload into SELECT-intensive (low factor) or INSERT-intensive
+    /// (high factor) variants (Appendix D.2).
+    pub fn with_insert_weight(&self, factor: f64) -> Workload {
+        Workload {
+            statements: self
+                .statements
+                .iter()
+                .map(|(s, w)| match s {
+                    Statement::Insert(_) => (s.clone(), w * factor),
+                    _ => (s.clone(), *w),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PredOp;
+    use cadb_common::Value;
+
+    fn q() -> Query {
+        let mut q = Query {
+            root: TableId(0),
+            joins: vec![JoinEdge {
+                left: (TableId(0), ColumnId(2)),
+                right: (TableId(1), ColumnId(0)),
+            }],
+            ..Default::default()
+        };
+        q.predicates.push(Predicate {
+            table: TableId(0),
+            column: ColumnId(1),
+            op: PredOp::Eq,
+            values: vec![Value::Int(1)],
+        });
+        q.mark_used(TableId(0), ColumnId(1));
+        q.mark_used(TableId(0), ColumnId(2));
+        q.mark_used(TableId(1), ColumnId(0));
+        q
+    }
+
+    #[test]
+    fn tables_and_used_columns() {
+        let q = q();
+        assert_eq!(q.tables(), vec![TableId(0), TableId(1)]);
+        assert_eq!(q.used_on(TableId(0)).len(), 2);
+        assert_eq!(q.used_on(TableId(1)).len(), 1);
+        assert!(q.used_on(TableId(9)).is_empty());
+        assert_eq!(q.predicates_on(TableId(0)).len(), 1);
+        assert!(q.predicates_on(TableId(1)).is_empty());
+    }
+
+    #[test]
+    fn workload_iteration_and_weights() {
+        let mut w = Workload::default();
+        w.push(Statement::Select(q()), 1.0);
+        w.push(
+            Statement::Insert(BulkInsert {
+                table: TableId(0),
+                n_rows: 1000,
+            }),
+            2.0,
+        );
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.queries().count(), 1);
+        assert_eq!(w.inserts().count(), 1);
+
+        let heavy = w.with_insert_weight(10.0);
+        let (_, iw) = heavy
+            .statements
+            .iter()
+            .find(|(s, _)| matches!(s, Statement::Insert(_)))
+            .unwrap();
+        assert_eq!(*iw, 20.0);
+        // SELECT weight untouched.
+        let (_, qw) = heavy
+            .statements
+            .iter()
+            .find(|(s, _)| matches!(s, Statement::Select(_)))
+            .unwrap();
+        assert_eq!(*qw, 1.0);
+    }
+
+    #[test]
+    fn grouping_detection() {
+        let mut query = q();
+        assert!(!query.is_grouping());
+        query.group_by.push((TableId(0), ColumnId(1)));
+        assert!(query.is_grouping());
+    }
+}

@@ -1,0 +1,325 @@
+//! The what-if optimizer API (§3).
+//!
+//! Physical design tools ask "what would this query cost under this
+//! hypothetical configuration?" without materializing anything. This module
+//! provides that API plus update costing and uncompressed size estimates
+//! for arbitrary [`IndexSpec`]s (compressed sizes come from the estimation
+//! framework in `cadb-core`, which prices the CF separately).
+
+use crate::access_path::query_plan_cost;
+use crate::cardinality::{mv_estimated_rows, predicate_selectivity};
+use crate::catalog::Database;
+use crate::config::{Configuration, IndexSpec, SizeEstimate};
+use crate::cost::CostModel;
+use crate::stmt::{BulkInsert, Statement, Workload};
+use cadb_compression::analyze::PAGE_PAYLOAD;
+use cadb_common::DataType;
+
+/// Per-row overhead of a stored index row (slot + header). Public because
+/// the deduction framework must decompose size reductions into per-column
+/// and per-index parts consistently with this accounting.
+pub const ROW_OVERHEAD: f64 = 5.0;
+/// Row-locator bytes appended to secondary-index rows.
+const ROW_LOCATOR: f64 = 8.0;
+
+/// The what-if costing interface over a database.
+#[derive(Debug)]
+pub struct WhatIfOptimizer<'a> {
+    db: &'a Database,
+    model: CostModel,
+}
+
+impl<'a> WhatIfOptimizer<'a> {
+    /// With the default cost model.
+    pub fn new(db: &'a Database) -> Self {
+        WhatIfOptimizer {
+            db,
+            model: CostModel::default(),
+        }
+    }
+
+    /// With a custom cost model.
+    pub fn with_model(db: &'a Database, model: CostModel) -> Self {
+        WhatIfOptimizer { db, model }
+    }
+
+    /// The database.
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Optimizer-estimated cost of a query under a configuration.
+    pub fn query_cost(&self, q: &crate::stmt::Query, cfg: &Configuration) -> f64 {
+        query_plan_cost(self.db, &self.model, q, cfg).0
+    }
+
+    /// The chosen access paths (a poor man's EXPLAIN).
+    pub fn explain(
+        &self,
+        q: &crate::stmt::Query,
+        cfg: &Configuration,
+    ) -> Vec<crate::access_path::AccessPath> {
+        query_plan_cost(self.db, &self.model, q, cfg).1
+    }
+
+    /// Cost of a bulk insert under a configuration: base append plus
+    /// maintenance of every affected structure, with compression CPU per
+    /// Appendix A.1.
+    pub fn insert_cost(&self, ins: &BulkInsert, cfg: &Configuration) -> f64 {
+        let n = ins.n_rows as f64;
+        let row_width = self.db.schema(ins.table).row_width() as f64;
+        let m = &self.model;
+        // Base heap/clustered append.
+        let base_kind = crate::access_path::base_structure(cfg, ins.table)
+            .map(|s| s.spec.compression)
+            .unwrap_or(cadb_compression::CompressionKind::None);
+        let mut cost = n * m.cpu_per_tuple
+            + (n * row_width / PAGE_PAYLOAD as f64) * m.seq_page_io
+            + m.compress_cost(base_kind, n);
+        for s in cfg.structures() {
+            let spec = &s.spec;
+            if spec.clustered && spec.table == ins.table && spec.mv.is_none() {
+                // Ordered insertion into the clustered key.
+                cost += n * m.insert_io_per_row;
+                continue;
+            }
+            let affected = match &spec.mv {
+                Some(mv) if mv.root == ins.table => n, // every fact row hits one group
+                Some(_) => continue,
+                None if spec.table == ins.table => {
+                    let sel = spec
+                        .partial_filter
+                        .as_ref()
+                        .map(|f| predicate_selectivity(self.db, f))
+                        .unwrap_or(1.0);
+                    n * sel
+                }
+                None => continue,
+            };
+            cost += affected * (m.cpu_per_tuple + m.insert_io_per_row)
+                + m.compress_cost(spec.compression, affected);
+        }
+        cost
+    }
+
+    /// Cost of any workload statement.
+    pub fn statement_cost(&self, stmt: &Statement, cfg: &Configuration) -> f64 {
+        match stmt {
+            Statement::Select(q) => self.query_cost(q, cfg),
+            Statement::Insert(i) => self.insert_cost(i, cfg),
+        }
+    }
+
+    /// Weighted total workload cost — the objective physical design tools
+    /// minimize.
+    pub fn workload_cost(&self, w: &Workload, cfg: &Configuration) -> f64 {
+        w.statements
+            .iter()
+            .map(|(s, weight)| weight * self.statement_cost(s, cfg))
+            .sum()
+    }
+
+    /// Estimated size of a structure *without* compression, from catalog
+    /// statistics: average stored-row width × estimated rows. The CF for a
+    /// compressed variant is estimated elsewhere (SampleCF / deduction) and
+    /// applied via [`SizeEstimate::compressed`].
+    pub fn estimate_uncompressed_size(&self, spec: &IndexSpec) -> SizeEstimate {
+        if let Some(mv) = &spec.mv {
+            let rows = mv_estimated_rows(self.db, mv).max(1.0);
+            // Group-by columns at their native widths + 8 bytes per SUM
+            // aggregate + 8 bytes for COUNT(*).
+            let mut width = ROW_OVERHEAD;
+            for (t, c) in &mv.group_by {
+                width += self.avg_col_width(*t, self.db.dtypes(*t)[c.raw()], c.raw());
+            }
+            width += 8.0 * (mv.agg_columns.len() as f64 + 1.0);
+            return SizeEstimate::uncompressed(rows * width, rows);
+        }
+        let stats = self.db.stats(spec.table);
+        let filter_sel = spec
+            .partial_filter
+            .as_ref()
+            .map(|f| predicate_selectivity(self.db, f))
+            .unwrap_or(1.0);
+        let rows = (stats.n_rows as f64 * filter_sel).max(1.0);
+        let dtypes = self.db.dtypes(spec.table);
+        let cols: Vec<usize> = if spec.clustered {
+            (0..dtypes.len()).collect()
+        } else {
+            spec.stored_columns().iter().map(|c| c.raw()).collect()
+        };
+        let mut width = ROW_OVERHEAD + (cols.len() as f64 / 8.0).ceil();
+        for c in &cols {
+            width += self.avg_col_width(spec.table, dtypes[*c], *c);
+        }
+        if !spec.clustered {
+            width += ROW_LOCATOR;
+        }
+        SizeEstimate::uncompressed(rows * width, rows)
+    }
+
+    fn avg_col_width(&self, table: cadb_common::TableId, dtype: DataType, col: usize) -> f64 {
+        match dtype {
+            DataType::Varchar { .. } => {
+                let stats = self.db.stats(table);
+                stats.columns[col].avg_width + 2.0
+            }
+            other => other.fixed_width() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PhysicalStructure;
+    use crate::predicate::Predicate;
+    use cadb_common::{ColumnDef, ColumnId, Row, TableId, TableSchema, Value};
+    use cadb_compression::CompressionKind;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                TableSchema::new(
+                    "f",
+                    vec![
+                        ColumnDef::new("k", DataType::Int),
+                        ColumnDef::new("d", DataType::Date),
+                        ColumnDef::new("s", DataType::Varchar { max_len: 20 }),
+                    ],
+                    vec![ColumnId(0)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let rows: Vec<Row> = (0..10_000)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Int(15_000 + i % 300),
+                    Value::Str(format!("name{}", i % 50)),
+                ])
+            })
+            .collect();
+        db.insert_rows(t, rows).unwrap();
+        db
+    }
+
+    fn priced(opt: &WhatIfOptimizer<'_>, spec: IndexSpec, cf: f64) -> PhysicalStructure {
+        let base = opt.estimate_uncompressed_size(&spec);
+        let size = if spec.compression.is_compressed() {
+            base.compressed(cf)
+        } else {
+            base
+        };
+        PhysicalStructure { spec, size }
+    }
+
+    #[test]
+    fn insert_cost_grows_with_indexes_and_compression() {
+        let db = db();
+        let opt = WhatIfOptimizer::new(&db);
+        let ins = BulkInsert {
+            table: TableId(0),
+            n_rows: 5_000,
+        };
+        let empty = Configuration::empty();
+        let c0 = opt.insert_cost(&ins, &empty);
+
+        let ix = IndexSpec::secondary(TableId(0), vec![ColumnId(1)]);
+        let cfg1 = Configuration::new(vec![priced(&opt, ix.clone(), 1.0)]);
+        let c1 = opt.insert_cost(&ins, &cfg1);
+        assert!(c1 > c0);
+
+        let cfg2 = Configuration::new(vec![priced(
+            &opt,
+            ix.with_compression(CompressionKind::Page),
+            0.4,
+        )]);
+        let c2 = opt.insert_cost(&ins, &cfg2);
+        assert!(c2 > c1, "compressed index must cost more to maintain");
+    }
+
+    #[test]
+    fn partial_index_cheaper_to_maintain() {
+        let db = db();
+        let opt = WhatIfOptimizer::new(&db);
+        let ins = BulkInsert {
+            table: TableId(0),
+            n_rows: 5_000,
+        };
+        let full = IndexSpec::secondary(TableId(0), vec![ColumnId(1)]);
+        let mut part = full.clone();
+        part.partial_filter = Some(Predicate::eq(
+            TableId(0),
+            ColumnId(2),
+            Value::Str("name7".into()),
+        ));
+        let c_full =
+            opt.insert_cost(&ins, &Configuration::new(vec![priced(&opt, full, 1.0)]));
+        let c_part =
+            opt.insert_cost(&ins, &Configuration::new(vec![priced(&opt, part, 1.0)]));
+        assert!(c_part < c_full);
+    }
+
+    #[test]
+    fn uncompressed_size_sane() {
+        let db = db();
+        let opt = WhatIfOptimizer::new(&db);
+        let narrow = opt.estimate_uncompressed_size(&IndexSpec::secondary(
+            TableId(0),
+            vec![ColumnId(0)],
+        ));
+        let wide = opt.estimate_uncompressed_size(
+            &IndexSpec::secondary(TableId(0), vec![ColumnId(0)])
+                .with_includes(vec![ColumnId(1), ColumnId(2)]),
+        );
+        assert!(wide.bytes > narrow.bytes);
+        assert_eq!(narrow.rows, 10_000.0);
+        // Clustered stores every column → wider than a narrow secondary,
+        // but cheaper than a secondary storing all columns (which also
+        // pays the 8-byte row locator).
+        let cix = opt
+            .estimate_uncompressed_size(&IndexSpec::clustered(TableId(0), vec![ColumnId(0)]));
+        assert!(cix.bytes > narrow.bytes);
+        assert!(cix.bytes < wide.bytes);
+    }
+
+    #[test]
+    fn partial_size_scales_with_selectivity() {
+        let db = db();
+        let opt = WhatIfOptimizer::new(&db);
+        let mut spec = IndexSpec::secondary(TableId(0), vec![ColumnId(1)]);
+        let full = opt.estimate_uncompressed_size(&spec);
+        spec.partial_filter = Some(Predicate::eq(
+            TableId(0),
+            ColumnId(2),
+            Value::Str("name7".into()),
+        ));
+        let part = opt.estimate_uncompressed_size(&spec);
+        assert!(part.bytes < full.bytes / 10.0, "{} vs {}", part.bytes, full.bytes);
+    }
+
+    #[test]
+    fn workload_cost_weights() {
+        let db = db();
+        let opt = WhatIfOptimizer::new(&db);
+        let ins = BulkInsert {
+            table: TableId(0),
+            n_rows: 1000,
+        };
+        let mut w = Workload::default();
+        w.push(Statement::Insert(ins.clone()), 1.0);
+        let base = opt.workload_cost(&w, &Configuration::empty());
+        let mut w2 = Workload::default();
+        w2.push(Statement::Insert(ins), 3.0);
+        let tripled = opt.workload_cost(&w2, &Configuration::empty());
+        assert!((tripled - 3.0 * base).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! # cadb-sampling
+//!
+//! The sampling infrastructure of §4.1 and Appendix B:
+//!
+//! * a [`SampleManager`] that takes **one** uniform random sample per table
+//!   and reuses it for every index on that table (the paper's key
+//!   amortization: "taking a random sample for estimating the size of each
+//!   index is infeasible"),
+//! * *filtered samples* for partial indexes (App. B.1),
+//! * *join synopses* — fact-table samples pre-joined against full dimension
+//!   tables so FK joins always find their match (App. B.2, after [2]),
+//! * *MV samples* with COUNT(*) feeding the Adaptive Estimator (App. B.3),
+//! * [`sample_cf`] — the SampleCF estimator of [11] (§2.2): build the index
+//!   on the sample, compress it, return compressed/uncompressed.
+
+#![warn(missing_docs)]
+
+pub mod index_rows;
+pub mod manager;
+pub mod mv_sample;
+pub mod samplecf;
+
+pub use index_rows::{index_row_stream, true_compression_fraction};
+pub use manager::{CostCounters, SampleManager};
+pub use mv_sample::MvSampleStats;
+pub use samplecf::{sample_cf, CfEstimate};

@@ -1,0 +1,344 @@
+//! The sample manager: one amortized uniform sample per table, plus derived
+//! filtered samples and join synopses, all cached (§4.1, App. B).
+//!
+//! Cost accounting: the manager counts rows drawn for base samples and rows
+//! materialized for synopses — the numbers behind the "Sample" bars of the
+//! paper's Figure 11.
+
+use cadb_common::rng::rng_for;
+use cadb_common::{CadbError, ColumnId, Result, Row, TableId};
+use cadb_engine::{Database, JoinEdge, Predicate};
+use parking_lot::RwLock;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters for the sampling work performed (drives Figure 11).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostCounters {
+    /// Base-table samples taken.
+    pub base_samples: u64,
+    /// Rows drawn into base samples.
+    pub base_rows: u64,
+    /// Filtered samples derived.
+    pub filtered_samples: u64,
+    /// Join synopses built.
+    pub synopses: u64,
+    /// Rows materialized into synopses.
+    pub synopsis_rows: u64,
+}
+
+/// Key identifying a cached sample: table + fraction in basis points.
+fn fkey(f: f64) -> u64 {
+    (f * 10_000.0).round() as u64
+}
+
+/// A join synopsis: fact-sample rows pre-joined with full dimension rows,
+/// with a column map telling where each (table, column) landed.
+#[derive(Debug, Clone)]
+pub struct JoinSynopsis {
+    /// The wide, joined rows.
+    pub rows: Vec<Row>,
+    /// For each participating table/column, its offset in the wide row.
+    pub column_map: HashMap<(TableId, ColumnId), usize>,
+    /// Rows of the fact sample before joining (for filter factors).
+    pub fact_sample_rows: u64,
+}
+
+/// Cache key → sample rows for base samples.
+type BaseCache = HashMap<(TableId, u64), Arc<Vec<Row>>>;
+/// Cache for filtered samples, keyed by predicate.
+type FilteredCache = HashMap<(TableId, u64, Predicate), Arc<Vec<Row>>>;
+/// Cache for join synopses, keyed by root + sorted join edges.
+type SynopsisCache = HashMap<(TableId, Vec<JoinEdge>, u64), Arc<JoinSynopsis>>;
+
+/// The amortized sample store.
+pub struct SampleManager<'a> {
+    db: &'a Database,
+    seed: u64,
+    base: RwLock<BaseCache>,
+    filtered: RwLock<FilteredCache>,
+    synopses: RwLock<SynopsisCache>,
+    counters: RwLock<CostCounters>,
+}
+
+impl<'a> SampleManager<'a> {
+    /// New manager over a database.
+    pub fn new(db: &'a Database, seed: u64) -> Self {
+        SampleManager {
+            db,
+            seed,
+            base: RwLock::new(HashMap::new()),
+            filtered: RwLock::new(HashMap::new()),
+            synopses: RwLock::new(HashMap::new()),
+            counters: RwLock::new(CostCounters::default()),
+        }
+    }
+
+    /// The database.
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+
+    /// Snapshot of the cost counters.
+    pub fn counters(&self) -> CostCounters {
+        *self.counters.read()
+    }
+
+    /// Uniform random sample (without replacement) of a table at fraction
+    /// `f`, cached per `(table, f)` — the amortization of §4.1.
+    pub fn table_sample(&self, table: TableId, f: f64) -> Result<Arc<Vec<Row>>> {
+        if !(0.0..=1.0).contains(&f) || f == 0.0 {
+            return Err(CadbError::InvalidArgument(format!(
+                "sampling fraction {f} outside (0, 1]"
+            )));
+        }
+        let key = (table, fkey(f));
+        if let Some(s) = self.base.read().get(&key) {
+            return Ok(Arc::clone(s));
+        }
+        let rows = self.db.table(table).rows();
+        let n = ((rows.len() as f64 * f).round() as usize).clamp(1.min(rows.len()), rows.len());
+        let mut idx: Vec<usize> = (0..rows.len()).collect();
+        let mut rng = rng_for(self.seed, &format!("sample-{}-{}", table.raw(), key.1));
+        idx.shuffle(&mut rng);
+        idx.truncate(n);
+        idx.sort_unstable(); // keep original order: a sample of a heap is a heap
+        let sample: Arc<Vec<Row>> = Arc::new(idx.into_iter().map(|i| rows[i].clone()).collect());
+        {
+            let mut c = self.counters.write();
+            c.base_samples += 1;
+            c.base_rows += sample.len() as u64;
+        }
+        self.base.write().insert(key, Arc::clone(&sample));
+        Ok(sample)
+    }
+
+    /// Filtered sample for a partial index: the WHERE clause applied to the
+    /// base sample (App. B.1). Cached per predicate.
+    pub fn filtered_sample(
+        &self,
+        table: TableId,
+        f: f64,
+        filter: &Predicate,
+    ) -> Result<Arc<Vec<Row>>> {
+        let key = (table, fkey(f), filter.clone());
+        if let Some(s) = self.filtered.read().get(&key) {
+            return Ok(Arc::clone(s));
+        }
+        let base = self.table_sample(table, f)?;
+        let sample: Arc<Vec<Row>> =
+            Arc::new(base.iter().filter(|r| filter.matches(r)).cloned().collect());
+        self.counters.write().filtered_samples += 1;
+        self.filtered.write().insert(key, Arc::clone(&sample));
+        Ok(sample)
+    }
+
+    /// Join synopsis: sample the fact table, then join against the **full**
+    /// dimension tables so every FK finds its match (App. B.2). Cached per
+    /// (root, join set, fraction).
+    pub fn join_synopsis(
+        &self,
+        root: TableId,
+        joins: &[JoinEdge],
+        f: f64,
+    ) -> Result<Arc<JoinSynopsis>> {
+        let mut jkey: Vec<JoinEdge> = joins.to_vec();
+        jkey.sort_unstable();
+        let key = (root, jkey, fkey(f));
+        if let Some(s) = self.synopses.read().get(&key) {
+            return Ok(Arc::clone(s));
+        }
+        let fact = self.table_sample(root, f)?;
+
+        // Column map: root columns first.
+        let mut column_map = HashMap::new();
+        let root_arity = self.db.schema(root).arity();
+        for c in 0..root_arity {
+            column_map.insert((root, ColumnId(c as u16)), c);
+        }
+        let mut wide: Vec<Row> = fact.iter().cloned().collect();
+        let mut offset = root_arity;
+        for edge in joins {
+            let (ft, fc) = edge.left;
+            let (dt, dc) = edge.right;
+            // Build dimension lookup over the FULL table.
+            let mut index: HashMap<&cadb_common::Value, &Row> = HashMap::new();
+            for r in self.db.table(dt).rows() {
+                index.insert(&r.values[dc.raw()], r);
+            }
+            let dim_arity = self.db.schema(dt).arity();
+            for c in 0..dim_arity {
+                column_map.insert((dt, ColumnId(c as u16)), offset + c);
+            }
+            let fact_off = *column_map.get(&(ft, fc)).ok_or_else(|| {
+                CadbError::InvalidArgument(format!(
+                    "join edge references {ft}.{fc} which is not in the synopsis"
+                ))
+            })?;
+            wide = wide
+                .into_iter()
+                .filter_map(|mut r| {
+                    let dim = index.get(&r.values[fact_off])?;
+                    r.values.extend(dim.values.iter().cloned());
+                    Some(r)
+                })
+                .collect();
+            offset += dim_arity;
+        }
+        let syn = Arc::new(JoinSynopsis {
+            fact_sample_rows: fact.len() as u64,
+            rows: wide,
+            column_map,
+        });
+        {
+            let mut c = self.counters.write();
+            c.synopses += 1;
+            c.synopsis_rows += syn.rows.len() as u64;
+        }
+        self.synopses.write().insert(key, Arc::clone(&syn));
+        Ok(syn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::{ColumnDef, DataType, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let fact = db
+            .create_table(
+                TableSchema::new(
+                    "fact",
+                    vec![
+                        ColumnDef::new("id", DataType::Int),
+                        ColumnDef::new("fk", DataType::Int),
+                        ColumnDef::new("v", DataType::Int),
+                    ],
+                    vec![ColumnId(0)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let dim = db
+            .create_table(
+                TableSchema::new(
+                    "dim",
+                    vec![
+                        ColumnDef::new("k", DataType::Int),
+                        ColumnDef::new("label", DataType::Char { len: 4 }),
+                    ],
+                    vec![ColumnId(0)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        db.insert_rows(
+            fact,
+            (0..10_000)
+                .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 20), Value::Int(i * 3)]))
+                .collect(),
+        )
+        .unwrap();
+        db.insert_rows(
+            dim,
+            (0..20)
+                .map(|k| Row::new(vec![Value::Int(k), Value::Str(format!("d{k}"))]))
+                .collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn sample_size_and_caching() {
+        let db = db();
+        let m = SampleManager::new(&db, 9);
+        let s1 = m.table_sample(TableId(0), 0.05).unwrap();
+        assert_eq!(s1.len(), 500);
+        let s2 = m.table_sample(TableId(0), 0.05).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "second call must hit the cache");
+        assert_eq!(m.counters().base_samples, 1);
+        assert_eq!(m.counters().base_rows, 500);
+        // A different fraction is a different sample.
+        let s3 = m.table_sample(TableId(0), 0.01).unwrap();
+        assert_eq!(s3.len(), 100);
+        assert_eq!(m.counters().base_samples, 2);
+    }
+
+    #[test]
+    fn sample_is_uniform_ish() {
+        let db = db();
+        let m = SampleManager::new(&db, 10);
+        let s = m.table_sample(TableId(0), 0.1).unwrap();
+        // Mean of `id` over a uniform sample of 0..10000 ≈ 5000.
+        let mean: f64 = s
+            .iter()
+            .map(|r| r.values[0].as_i64().unwrap() as f64)
+            .sum::<f64>()
+            / s.len() as f64;
+        assert!((mean - 5000.0).abs() < 400.0, "mean={mean}");
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let db = db();
+        let m = SampleManager::new(&db, 1);
+        assert!(m.table_sample(TableId(0), 0.0).is_err());
+        assert!(m.table_sample(TableId(0), 1.5).is_err());
+        assert!(m.table_sample(TableId(0), 1.0).is_ok());
+    }
+
+    #[test]
+    fn filtered_sample_filters() {
+        let db = db();
+        let m = SampleManager::new(&db, 2);
+        let pred = Predicate::eq(TableId(0), ColumnId(1), Value::Int(7));
+        let fs = m.filtered_sample(TableId(0), 0.2, &pred).unwrap();
+        assert!(!fs.is_empty());
+        for r in fs.iter() {
+            assert_eq!(r.values[1], Value::Int(7));
+        }
+        // ~1/20th of the 2000-row sample.
+        assert!((fs.len() as i64 - 100).abs() < 40, "{}", fs.len());
+    }
+
+    #[test]
+    fn join_synopsis_matches_all_fks() {
+        let db = db();
+        let m = SampleManager::new(&db, 3);
+        let edge = JoinEdge {
+            left: (TableId(0), ColumnId(1)),
+            right: (TableId(1), ColumnId(0)),
+        };
+        let syn = m.join_synopsis(TableId(0), &[edge], 0.05).unwrap();
+        // Every sampled fact row finds its dimension row (key-FK).
+        assert_eq!(syn.rows.len() as u64, syn.fact_sample_rows);
+        // Wide rows: 3 fact cols + 2 dim cols.
+        assert_eq!(syn.rows[0].arity(), 5);
+        let label_off = syn.column_map[&(TableId(1), ColumnId(1))];
+        assert_eq!(label_off, 4);
+        for r in syn.rows.iter().take(50) {
+            let fk = r.values[1].as_i64().unwrap();
+            assert_eq!(r.values[label_off], Value::Str(format!("d{fk}")));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db = db();
+        let m1 = SampleManager::new(&db, 42);
+        let m2 = SampleManager::new(&db, 42);
+        assert_eq!(
+            m1.table_sample(TableId(0), 0.02).unwrap(),
+            m2.table_sample(TableId(0), 0.02).unwrap()
+        );
+        let m3 = SampleManager::new(&db, 43);
+        assert_ne!(
+            m1.table_sample(TableId(0), 0.02).unwrap(),
+            m3.table_sample(TableId(0), 0.02).unwrap()
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+/// A literal value in SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal (kept as f64; the engine re-scales per column type).
+    Float(f64),
+    /// String literal — also used for dates ('2009-01-01'), which the
+    /// engine recognizes when the column type is DATE.
+    Str(String),
+    /// NULL.
+    Null,
+}
+
+/// Scalar expression (projection / aggregate argument).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified (`table.column`).
+    Column {
+        /// Optional table qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Literal.
+    Lit(Literal),
+    /// Binary arithmetic.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// One of `+ - * /`.
+        op: ArithOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// All column references in the expression, in occurrence order.
+    pub fn columns(&self) -> Vec<(Option<&str>, &str)> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<(Option<&'a str>, &'a str)>) {
+        match self {
+            Expr::Column { table, name } => out.push((table.as_deref(), name)),
+            Expr::Lit(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+        }
+    }
+}
+
+/// Arithmetic operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `SUM`
+    Sum,
+    /// `COUNT`
+    Count,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// Plain scalar expression.
+    Expr(Expr),
+    /// Aggregate over an expression; `COUNT(*)` has `arg == None`.
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Argument; `None` only for `COUNT(*)`.
+        arg: Option<Expr>,
+    },
+    /// `*`
+    Wildcard,
+}
+
+/// Comparison operator in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One conjunct of a WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `col op literal`.
+    Compare {
+        /// Column side.
+        column: Expr,
+        /// Operator.
+        op: CmpOp,
+        /// Literal side.
+        value: Literal,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column side.
+        column: Expr,
+        /// Lower bound.
+        lo: Literal,
+        /// Upper bound.
+        hi: Literal,
+    },
+    /// `col IN (v1, v2, …)`.
+    InList {
+        /// Column side.
+        column: Expr,
+        /// Allowed values.
+        values: Vec<Literal>,
+    },
+    /// `col1 = col2` — a join predicate when the columns come from
+    /// different tables.
+    ColumnEq {
+        /// Left column.
+        left: Expr,
+        /// Right column.
+        right: Expr,
+    },
+}
+
+/// An explicit `JOIN … ON a = b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Joined table name.
+    pub table: String,
+    /// Left side of the ON equality.
+    pub on_left: Expr,
+    /// Right side of the ON equality.
+    pub on_right: Expr,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM table.
+    pub from: String,
+    /// INNER JOINs, in syntactic order.
+    pub joins: Vec<Join>,
+    /// WHERE conjuncts (ANDed).
+    pub where_clause: Vec<Condition>,
+    /// GROUP BY columns.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY columns.
+    pub order_by: Vec<Expr>,
+}
+
+/// A column in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Type name as written (`int`, `decimal`, `date`, `char`, `varchar`).
+    pub type_name: String,
+    /// Type arguments (length / scale).
+    pub type_args: Vec<i64>,
+    /// Whether the column is nullable (default true unless NOT NULL).
+    pub nullable: bool,
+}
+
+/// CREATE TABLE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTableStmt {
+    /// Table name.
+    pub name: String,
+    /// Column specs.
+    pub columns: Vec<ColumnSpec>,
+    /// PRIMARY KEY column names.
+    pub primary_key: Vec<String>,
+}
+
+/// INSERT statement (multi-row VALUES).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table.
+    pub table: String,
+    /// Row literals.
+    pub rows: Vec<Vec<Literal>>,
+}
+
+/// Any supported statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// SELECT.
+    Select(SelectStmt),
+    /// CREATE TABLE.
+    CreateTable(CreateTableStmt),
+    /// INSERT.
+    Insert(InsertStmt),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_columns_collects_in_order() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::Column {
+                table: None,
+                name: "price".into(),
+            }),
+            op: ArithOp::Mul,
+            right: Box::new(Expr::Binary {
+                left: Box::new(Expr::Lit(Literal::Int(1))),
+                op: ArithOp::Sub,
+                right: Box::new(Expr::Column {
+                    table: Some("l".into()),
+                    name: "discount".into(),
+                }),
+            }),
+        };
+        assert_eq!(
+            e.columns(),
+            vec![(None, "price"), (Some("l"), "discount")]
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! SQL tokenizer.
+//!
+//! Case-insensitive keywords, single-quoted strings (with `''` escaping),
+//! integer and decimal numbers, identifiers and punctuation.
+
+use cadb_common::{CadbError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier, lower-cased.
+    Word(String),
+    /// Numeric literal, kept textual until parsing decides int vs decimal.
+    Number(String),
+    /// Single-quoted string literal (unescaped).
+    String(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Token::Slash);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                toks.push(Token::Neq);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    toks.push(Token::Neq);
+                    i += 2;
+                } else {
+                    toks.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Token::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(CadbError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                toks.push(Token::String(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                toks.push(Token::Number(input[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Token::Word(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(CadbError::Parse(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_lowercased() {
+        let t = tokenize("SELECT Price FROM Sales").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("select".into()),
+                Token::Word("price".into()),
+                Token::Word("from".into()),
+                Token::Word("sales".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("a<=b <> c >= d < e > f != g = h").unwrap();
+        let ops: Vec<&Token> = t
+            .iter()
+            .filter(|t| !matches!(t, Token::Word(_)))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                &Token::Le,
+                &Token::Neq,
+                &Token::Ge,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Neq,
+                &Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = tokenize("'it''s' 'CA'").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::String("it's".into()), Token::String("CA".into())]
+        );
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers_and_punct() {
+        let t = tokenize("12.5, (42)").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Number("12.5".into()),
+                Token::Comma,
+                Token::LParen,
+                Token::Number("42".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("select -- the projection\n x").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Word("select".into()), Token::Word("x".into())]
+        );
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(tokenize("select @x").is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! # cadb-sql
+//!
+//! A small SQL front end covering the surface the paper's workloads need:
+//! `CREATE TABLE`, `SELECT` with joins / WHERE / GROUP BY / ORDER BY and
+//! aggregate expressions (e.g. `SUM(price * discount)` from the paper's
+//! Example 1), and multi-row `INSERT`. The parser produces an AST that
+//! `cadb-engine` lowers into logical statements for costing and execution.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use parser::parse_statement;

@@ -1,0 +1,592 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use cadb_common::{CadbError, Result};
+
+/// Parse a single SQL statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmt = match p.peek_word() {
+        Some("select") => Statement::Select(p.parse_select()?),
+        Some("create") => Statement::CreateTable(p.parse_create_table()?),
+        Some("insert") => Statement::Insert(p.parse_insert()?),
+        other => {
+            return Err(CadbError::Parse(format!(
+                "expected SELECT/CREATE/INSERT, found {other:?}"
+            )))
+        }
+    };
+    p.eat(&Token::Semi);
+    if p.pos != p.toks.len() {
+        return Err(CadbError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            &p.toks[p.pos..]
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_word(&self) -> Option<&str> {
+        match self.peek() {
+            Some(Token::Word(w)) => Some(w.as_str()),
+            _ => None,
+        }
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| CadbError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    /// Consume `t` if it is next; returns whether it was consumed.
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CadbError::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Consume a specific keyword.
+    fn expect_word(&mut self, w: &str) -> Result<()> {
+        match self.next()? {
+            Token::Word(got) if got == w => Ok(()),
+            other => Err(CadbError::Parse(format!("expected {w}, found {other:?}"))),
+        }
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.peek_word() == Some(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Word(w) => Ok(w),
+            other => Err(CadbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    // ---------------- SELECT ----------------
+
+    fn parse_select(&mut self) -> Result<SelectStmt> {
+        self.expect_word("select")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_word("from")?;
+        let from = self.identifier()?;
+        let mut joins = Vec::new();
+        while self.eat_word("join") || (self.eat_word("inner") && self.eat_word("join")) {
+            let table = self.identifier()?;
+            self.expect_word("on")?;
+            let on_left = self.parse_column_ref()?;
+            self.expect(&Token::Eq)?;
+            let on_right = self.parse_column_ref()?;
+            joins.push(Join {
+                table,
+                on_left,
+                on_right,
+            });
+        }
+        let mut where_clause = Vec::new();
+        if self.eat_word("where") {
+            where_clause.push(self.parse_condition()?);
+            while self.eat_word("and") {
+                where_clause.push(self.parse_condition()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_word("group") {
+            self.expect_word("by")?;
+            group_by.push(self.parse_column_ref()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.parse_column_ref()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_word("order") {
+            self.expect_word("by")?;
+            order_by.push(self.parse_column_ref()?);
+            self.eat_word("asc");
+            self.eat_word("desc");
+            while self.eat(&Token::Comma) {
+                order_by.push(self.parse_column_ref()?);
+                self.eat_word("asc");
+                self.eat_word("desc");
+            }
+        }
+        Ok(SelectStmt {
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        if let Some(func) = self.peek_agg() {
+            self.pos += 1;
+            self.expect(&Token::LParen)?;
+            let arg = if self.eat(&Token::Star) {
+                if func != AggFunc::Count {
+                    return Err(CadbError::Parse("only COUNT accepts *".into()));
+                }
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect(&Token::RParen)?;
+            // Optional alias: AS name | bare name.
+            if self.eat_word("as") {
+                self.identifier()?;
+            }
+            return Ok(SelectItem::Agg { func, arg });
+        }
+        let e = self.parse_expr()?;
+        if self.eat_word("as") {
+            self.identifier()?;
+        }
+        Ok(SelectItem::Expr(e))
+    }
+
+    fn peek_agg(&self) -> Option<AggFunc> {
+        // Only treat a word as an aggregate when a '(' follows.
+        if self.toks.get(self.pos + 1) != Some(&Token::LParen) {
+            return None;
+        }
+        match self.peek_word()? {
+            "sum" => Some(AggFunc::Sum),
+            "count" => Some(AggFunc::Count),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Expression grammar: term ((+|-) term)*, term: factor ((*|/) factor)*.
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut left = self.parse_term()?;
+        loop {
+            let op = if self.eat(&Token::Plus) {
+                ArithOp::Add
+            } else if self.eat(&Token::Minus) {
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            let right = self.parse_term()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr> {
+        let mut left = self.parse_factor()?;
+        loop {
+            let op = if self.eat(&Token::Star) {
+                ArithOp::Mul
+            } else if self.eat(&Token::Slash) {
+                ArithOp::Div
+            } else {
+                break;
+            };
+            let right = self.parse_factor()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr> {
+        if self.eat(&Token::LParen) {
+            let e = self.parse_expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(e);
+        }
+        match self.peek() {
+            Some(Token::Number(_)) | Some(Token::String(_)) | Some(Token::Minus) => {
+                Ok(Expr::Lit(self.parse_literal()?))
+            }
+            Some(Token::Word(w)) if w == "null" => {
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Null))
+            }
+            _ => self.parse_column_ref(),
+        }
+    }
+
+    fn parse_column_ref(&mut self) -> Result<Expr> {
+        let first = self.identifier()?;
+        if self.eat(&Token::Dot) {
+            let name = self.identifier()?;
+            Ok(Expr::Column {
+                table: Some(first),
+                name,
+            })
+        } else {
+            Ok(Expr::Column {
+                table: None,
+                name: first,
+            })
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        let neg = self.eat(&Token::Minus);
+        match self.next()? {
+            Token::Number(n) => {
+                if n.contains('.') {
+                    let v: f64 = n
+                        .parse()
+                        .map_err(|_| CadbError::Parse(format!("bad number {n}")))?;
+                    Ok(Literal::Float(if neg { -v } else { v }))
+                } else {
+                    let v: i64 = n
+                        .parse()
+                        .map_err(|_| CadbError::Parse(format!("bad number {n}")))?;
+                    Ok(Literal::Int(if neg { -v } else { v }))
+                }
+            }
+            Token::String(s) if !neg => Ok(Literal::Str(s)),
+            Token::Word(w) if w == "null" && !neg => Ok(Literal::Null),
+            other => Err(CadbError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition> {
+        let column = self.parse_column_ref()?;
+        if self.eat_word("between") {
+            let lo = self.parse_literal()?;
+            self.expect_word("and")?;
+            let hi = self.parse_literal()?;
+            return Ok(Condition::Between { column, lo, hi });
+        }
+        if self.eat_word("in") {
+            self.expect(&Token::LParen)?;
+            let mut values = vec![self.parse_literal()?];
+            while self.eat(&Token::Comma) {
+                values.push(self.parse_literal()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Condition::InList { column, values });
+        }
+        let op = match self.next()? {
+            Token::Eq => CmpOp::Eq,
+            Token::Neq => CmpOp::Neq,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            other => {
+                return Err(CadbError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        // Right side: column (join predicate) or literal.
+        match self.peek() {
+            Some(Token::Word(w)) if w != "null" => {
+                let right = self.parse_column_ref()?;
+                if op != CmpOp::Eq {
+                    return Err(CadbError::Parse(
+                        "column-to-column predicates support only =".into(),
+                    ));
+                }
+                Ok(Condition::ColumnEq {
+                    left: column,
+                    right,
+                })
+            }
+            _ => {
+                let value = self.parse_literal()?;
+                Ok(Condition::Compare { column, op, value })
+            }
+        }
+    }
+
+    // ---------------- CREATE TABLE ----------------
+
+    fn parse_create_table(&mut self) -> Result<CreateTableStmt> {
+        self.expect_word("create")?;
+        self.expect_word("table")?;
+        let name = self.identifier()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key = Vec::new();
+        loop {
+            if self.eat_word("primary") {
+                self.expect_word("key")?;
+                self.expect(&Token::LParen)?;
+                primary_key.push(self.identifier()?);
+                while self.eat(&Token::Comma) {
+                    primary_key.push(self.identifier()?);
+                }
+                self.expect(&Token::RParen)?;
+            } else {
+                let col_name = self.identifier()?;
+                let type_name = self.identifier()?;
+                let mut type_args = Vec::new();
+                if self.eat(&Token::LParen) {
+                    loop {
+                        match self.next()? {
+                            Token::Number(n) => type_args.push(n.parse().map_err(|_| {
+                                CadbError::Parse(format!("bad type argument {n}"))
+                            })?),
+                            other => {
+                                return Err(CadbError::Parse(format!(
+                                    "expected type argument, found {other:?}"
+                                )))
+                            }
+                        }
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                let mut nullable = true;
+                if self.eat_word("not") {
+                    self.expect_word("null")?;
+                    nullable = false;
+                } else {
+                    self.eat_word("null");
+                }
+                columns.push(ColumnSpec {
+                    name: col_name,
+                    type_name,
+                    type_args,
+                    nullable,
+                });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(CreateTableStmt {
+            name,
+            columns,
+            primary_key,
+        })
+    }
+
+    // ---------------- INSERT ----------------
+
+    fn parse_insert(&mut self) -> Result<InsertStmt> {
+        self.expect_word("insert")?;
+        self.expect_word("into")?;
+        let table = self.identifier()?;
+        self.expect_word("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = vec![self.parse_literal()?];
+            while self.eat(&Token::Comma) {
+                row.push(self.parse_literal()?);
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(InsertStmt { table, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_q1_parses() {
+        // Example 1 from the paper.
+        let s = select(
+            "SELECT SUM(Price * Discount) FROM Sales \
+             WHERE Shipdate BETWEEN '2009-01-01' AND '2009-12-31' AND State = 'CA'",
+        );
+        assert_eq!(s.from, "sales");
+        assert_eq!(s.items.len(), 1);
+        match &s.items[0] {
+            SelectItem::Agg {
+                func: AggFunc::Sum,
+                arg: Some(Expr::Binary { .. }),
+            } => {}
+            other => panic!("unexpected item {other:?}"),
+        }
+        assert_eq!(s.where_clause.len(), 2);
+        assert!(matches!(s.where_clause[0], Condition::Between { .. }));
+        assert!(matches!(
+            s.where_clause[1],
+            Condition::Compare {
+                op: CmpOp::Eq,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn joins_group_order() {
+        let s = select(
+            "SELECT s.suppkey, SUM(l.price) FROM lineitem \
+             JOIN supplier ON l.suppkey = s.suppkey \
+             WHERE l.qty > 10 GROUP BY s.suppkey ORDER BY s.suppkey DESC",
+        );
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table, "supplier");
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 1);
+    }
+
+    #[test]
+    fn in_list_and_count_star() {
+        let s = select("SELECT COUNT(*) FROM t WHERE state IN ('CA','WA',  'OR')");
+        match &s.items[0] {
+            SelectItem::Agg {
+                func: AggFunc::Count,
+                arg: None,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        match &s.where_clause[0] {
+            Condition::InList { values, .. } => assert_eq!(values.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_table_full() {
+        let sql = "CREATE TABLE lineitem (\
+            orderkey INT NOT NULL, qty DECIMAL(2), comment VARCHAR(44), \
+            shipdate DATE NOT NULL, flag CHAR(1), \
+            PRIMARY KEY (orderkey))";
+        match parse_statement(sql).unwrap() {
+            Statement::CreateTable(c) => {
+                assert_eq!(c.name, "lineitem");
+                assert_eq!(c.columns.len(), 5);
+                assert!(!c.columns[0].nullable);
+                assert!(c.columns[2].nullable);
+                assert_eq!(c.columns[2].type_args, vec![44]);
+                assert_eq!(c.primary_key, vec!["orderkey"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        match parse_statement("INSERT INTO t VALUES (1, 'a', NULL), (-2, 'b', 3.5)").unwrap() {
+            Statement::Insert(i) => {
+                assert_eq!(i.table, "t");
+                assert_eq!(i.rows.len(), 2);
+                assert_eq!(i.rows[0][2], Literal::Null);
+                assert_eq!(i.rows[1][0], Literal::Int(-2));
+                assert_eq!(i.rows[1][2], Literal::Float(3.5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        let s = select("SELECT a FROM t WHERE a >= -5 AND b < 2.75");
+        assert_eq!(s.where_clause.len(), 2);
+        match &s.where_clause[0] {
+            Condition::Compare {
+                value: Literal::Int(-5),
+                ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn column_eq_join_predicate_in_where() {
+        let s = select("SELECT a FROM t WHERE t.a = u.b");
+        assert!(matches!(s.where_clause[0], Condition::ColumnEq { .. }));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_statement("DELETE FROM t").is_err());
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("SELECT a FROM t WHERE").is_err());
+        assert!(parse_statement("SELECT a FROM t extra junk").is_err());
+        assert!(parse_statement("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn wildcard_and_arith_precedence() {
+        let s = select("SELECT * , a + b * c FROM t");
+        assert!(matches!(s.items[0], SelectItem::Wildcard));
+        match &s.items[1] {
+            SelectItem::Expr(Expr::Binary {
+                op: ArithOp::Add,
+                right,
+                ..
+            }) => {
+                assert!(matches!(**right, Expr::Binary { op: ArithOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-column and per-table statistics.
+//!
+//! These are the statistics a query optimizer maintains for cardinality
+//! estimation (§2.2), and which the paper's deduction methods consume:
+//! per-column distinct counts (`|A|`, `|B|`) and multi-column distinct
+//! counts (`|AB|`) feed the run-length approximation
+//! `L(I_BA, A) = L(I_A, A)·|A| / |AB|` of §4.2.
+
+use crate::histogram::Histogram;
+use cadb_common::{ColumnId, DataType, Row, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Non-NULL rows.
+    pub non_null: u64,
+    /// NULL rows.
+    pub nulls: u64,
+    /// Exact distinct count of non-NULL values.
+    pub distinct: u64,
+    /// Minimum non-NULL value, if any row is non-NULL.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value.
+    pub max: Option<Value>,
+    /// Mean *actual* byte width of values (strings unpadded), used by the
+    /// compression-aware size accounting.
+    pub avg_width: f64,
+    /// Equi-depth histogram (absent for all-NULL columns).
+    pub histogram: Option<Histogram>,
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Total rows.
+    pub n_rows: u64,
+    /// Per-column stats, by ordinal.
+    pub columns: Vec<ColumnStats>,
+    /// Exact distinct counts for multi-column prefixes computed at collect
+    /// time, keyed by the ordered column list.
+    multi_distinct: HashMap<Vec<ColumnId>, u64>,
+}
+
+impl TableStats {
+    /// Distinct count of a column combination.
+    ///
+    /// Single columns and combinations precomputed at collection time are
+    /// exact; anything else falls back to the independence-based estimate
+    /// `min(Π|Cᵢ|, n_rows)` — the same assumption the paper attributes to
+    /// the query optimizer (Appendix B.3).
+    pub fn distinct_count(&self, cols: &[ColumnId]) -> f64 {
+        if cols.is_empty() {
+            return 1.0;
+        }
+        if cols.len() == 1 {
+            return self.columns[cols[0].raw()].distinct.max(1) as f64;
+        }
+        if let Some(d) = self.multi_distinct.get(cols) {
+            return (*d).max(1) as f64;
+        }
+        let prod: f64 = cols
+            .iter()
+            .map(|c| self.columns[c.raw()].distinct.max(1) as f64)
+            .fold(1.0, |a, b| a * b);
+        prod.min(self.n_rows.max(1) as f64)
+    }
+
+    /// Whether an exact multi-column count was collected for `cols`.
+    pub fn has_exact_distinct(&self, cols: &[ColumnId]) -> bool {
+        cols.len() <= 1 || self.multi_distinct.contains_key(cols)
+    }
+
+    /// Fraction of NULLs in a column.
+    pub fn null_fraction(&self, col: ColumnId) -> f64 {
+        let c = &self.columns[col.raw()];
+        let total = c.non_null + c.nulls;
+        if total == 0 {
+            0.0
+        } else {
+            c.nulls as f64 / total as f64
+        }
+    }
+}
+
+/// Number of histogram buckets collected per column.
+pub const DEFAULT_BUCKETS: usize = 64;
+
+/// Collect table statistics from rows.
+///
+/// `multi_sets` lists column combinations whose exact distinct counts should
+/// be computed (the engine registers every index-key prefix it cares about).
+pub fn collect_table_stats(
+    rows: &[Row],
+    dtypes: &[DataType],
+    multi_sets: &[Vec<ColumnId>],
+) -> TableStats {
+    let n_cols = dtypes.len();
+    let mut columns = Vec::with_capacity(n_cols);
+    for (c, dtype) in dtypes.iter().enumerate() {
+        let mut non_null = 0u64;
+        let mut nulls = 0u64;
+        let mut width_sum = 0u64;
+        let mut distinct: HashSet<&Value> = HashSet::new();
+        let mut min: Option<&Value> = None;
+        let mut max: Option<&Value> = None;
+        let mut vals: Vec<Value> = Vec::new();
+        for r in rows {
+            let v = &r.values[c];
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            non_null += 1;
+            width_sum += match v {
+                Value::Str(s) => s.len() as u64,
+                Value::Int(_) => match dtype {
+                    DataType::Date => 4,
+                    _ => 8,
+                },
+                Value::Null => 0,
+            };
+            distinct.insert(v);
+            if min.is_none_or(|m| v < m) {
+                min = Some(v);
+            }
+            if max.is_none_or(|m| v > m) {
+                max = Some(v);
+            }
+            vals.push(v.clone());
+        }
+        let histogram = Histogram::build(vals, *dtype, DEFAULT_BUCKETS);
+        columns.push(ColumnStats {
+            non_null,
+            nulls,
+            distinct: distinct.len() as u64,
+            min: min.cloned(),
+            max: max.cloned(),
+            avg_width: if non_null == 0 {
+                0.0
+            } else {
+                width_sum as f64 / non_null as f64
+            },
+            histogram,
+        });
+    }
+
+    let mut multi_distinct = HashMap::new();
+    for set in multi_sets {
+        if set.len() < 2 {
+            continue;
+        }
+        let mut seen: HashSet<Vec<&Value>> = HashSet::new();
+        for r in rows {
+            seen.insert(set.iter().map(|c| &r.values[c.raw()]).collect());
+        }
+        multi_distinct.insert(set.clone(), seen.len() as u64);
+    }
+
+    TableStats {
+        n_rows: rows.len() as u64,
+        columns,
+        multi_distinct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        (0..100)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i % 10),
+                    Value::Str(format!("s{}", i % 4)),
+                    if i % 5 == 0 { Value::Null } else { Value::Int(i) },
+                ])
+            })
+            .collect()
+    }
+
+    fn dtypes() -> Vec<DataType> {
+        vec![
+            DataType::Int,
+            DataType::Varchar { max_len: 8 },
+            DataType::Int,
+        ]
+    }
+
+    #[test]
+    fn per_column_basics() {
+        let s = collect_table_stats(&rows(), &dtypes(), &[]);
+        assert_eq!(s.n_rows, 100);
+        assert_eq!(s.columns[0].distinct, 10);
+        assert_eq!(s.columns[1].distinct, 4);
+        assert_eq!(s.columns[2].nulls, 20);
+        assert_eq!(s.columns[2].non_null, 80);
+        assert_eq!(s.columns[0].min, Some(Value::Int(0)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(9)));
+        assert!((s.null_fraction(ColumnId(2)) - 0.2).abs() < 1e-12);
+        assert_eq!(s.null_fraction(ColumnId(0)), 0.0);
+    }
+
+    #[test]
+    fn multi_column_distinct_exact_vs_estimated() {
+        let combo = vec![ColumnId(0), ColumnId(1)];
+        let s = collect_table_stats(&rows(), &dtypes(), std::slice::from_ref(&combo));
+        // i%10 and i%4 jointly cycle with period lcm(10,4)=20.
+        assert_eq!(s.distinct_count(&combo), 20.0);
+        assert!(s.has_exact_distinct(&combo));
+
+        // Unregistered combo → independence estimate min(10·4, 100) = 40.
+        let other = vec![ColumnId(1), ColumnId(0)];
+        assert!(!s.has_exact_distinct(&other));
+        assert_eq!(s.distinct_count(&other), 40.0);
+    }
+
+    #[test]
+    fn distinct_count_edges() {
+        let s = collect_table_stats(&rows(), &dtypes(), &[]);
+        assert_eq!(s.distinct_count(&[]), 1.0);
+        assert_eq!(s.distinct_count(&[ColumnId(0)]), 10.0);
+    }
+
+    #[test]
+    fn avg_width_of_strings_unpadded() {
+        let s = collect_table_stats(&rows(), &dtypes(), &[]);
+        assert!((s.columns[1].avg_width - 2.0).abs() < 1e-12);
+        assert_eq!(s.columns[0].avg_width, 8.0);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let rows: Vec<Row> = (0..5).map(|_| Row::new(vec![Value::Null])).collect();
+        let s = collect_table_stats(&rows, &[DataType::Int], &[]);
+        assert_eq!(s.columns[0].distinct, 0);
+        assert!(s.columns[0].histogram.is_none());
+        assert_eq!(s.distinct_count(&[ColumnId(0)]), 1.0); // clamped to 1
+    }
+}

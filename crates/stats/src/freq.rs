@@ -1,0 +1,124 @@
+//! Frequency statistics `f = {f_1, f_2, …}`.
+//!
+//! `f_k` is the number of distinct values that appear exactly `k` times in a
+//! sample — the input format of the distinct-value estimators (Appendix B.3:
+//! *"A distinct value estimator … gives an estimated number of distinct
+//! values based on frequency statistics f = {f1, f2, … fk}"*).
+
+use cadb_common::Value;
+use std::collections::HashMap;
+
+/// Frequency-of-frequencies vector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrequencyVector {
+    counts: HashMap<u64, u64>,
+}
+
+impl FrequencyVector {
+    /// Build from raw sampled values (counts each value's occurrences).
+    pub fn from_values<'a>(values: impl IntoIterator<Item = &'a Value>) -> Self {
+        let mut occ: HashMap<&Value, u64> = HashMap::new();
+        for v in values {
+            *occ.entry(v).or_insert(0) += 1;
+        }
+        let mut counts = HashMap::new();
+        for c in occ.values() {
+            *counts.entry(*c).or_insert(0) += 1;
+        }
+        FrequencyVector { counts }
+    }
+
+    /// Build from per-group counts (e.g. the COUNT(*) column of an MV
+    /// sample, as in the paper's `CreateMVSample` step 6).
+    pub fn from_group_counts(group_counts: impl IntoIterator<Item = u64>) -> Self {
+        let mut counts = HashMap::new();
+        for c in group_counts {
+            if c > 0 {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+        }
+        FrequencyVector { counts }
+    }
+
+    /// `f_k`: number of distinct values appearing exactly `k` times.
+    pub fn f(&self, k: u64) -> u64 {
+        self.counts.get(&k).copied().unwrap_or(0)
+    }
+
+    /// `d`: distinct values observed (Σ f_k).
+    pub fn distinct(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// `r`: total observations (Σ k·f_k).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|(k, f)| k * f).sum()
+    }
+
+    /// Distinct values appearing more than `cutoff` times.
+    pub fn distinct_above(&self, cutoff: u64) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(k, _)| **k > cutoff)
+            .map(|(_, f)| f)
+            .sum()
+    }
+
+    /// Iterate `(k, f_k)` pairs in ascending `k`.
+    pub fn iter_sorted(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(k, f)| (*k, *f)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_counts_correctly() {
+        let vals: Vec<Value> = [1, 1, 1, 2, 2, 3]
+            .iter()
+            .map(|i| Value::Int(*i))
+            .collect();
+        let fv = FrequencyVector::from_values(&vals);
+        assert_eq!(fv.f(1), 1); // value 3
+        assert_eq!(fv.f(2), 1); // value 2
+        assert_eq!(fv.f(3), 1); // value 1
+        assert_eq!(fv.distinct(), 3);
+        assert_eq!(fv.total(), 6);
+    }
+
+    #[test]
+    fn from_group_counts() {
+        let fv = FrequencyVector::from_group_counts([5, 5, 1, 2, 0]);
+        assert_eq!(fv.f(5), 2);
+        assert_eq!(fv.f(1), 1);
+        assert_eq!(fv.f(2), 1);
+        assert_eq!(fv.distinct(), 4); // zero-count groups don't exist
+        assert_eq!(fv.total(), 13);
+    }
+
+    #[test]
+    fn distinct_above_cutoff() {
+        let fv = FrequencyVector::from_group_counts([1, 1, 2, 9, 20]);
+        assert_eq!(fv.distinct_above(2), 2);
+        assert_eq!(fv.distinct_above(0), 5);
+        assert_eq!(fv.distinct_above(100), 0);
+    }
+
+    #[test]
+    fn iter_sorted_ascending() {
+        let fv = FrequencyVector::from_group_counts([3, 1, 3, 7]);
+        assert_eq!(fv.iter_sorted(), vec![(1, 1), (3, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn empty() {
+        let fv = FrequencyVector::from_values(std::iter::empty());
+        assert_eq!(fv.distinct(), 0);
+        assert_eq!(fv.total(), 0);
+        assert_eq!(fv.f(1), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Equi-depth histograms for selectivity estimation.
+//!
+//! Buckets hold roughly equal row counts; each bucket records its inclusive
+//! upper bound, row count and distinct count. Equality selectivity divides
+//! the bucket's rows by its distinct count; range selectivity interpolates
+//! linearly within the boundary buckets for numeric columns.
+
+use cadb_common::{DataType, Value};
+
+/// One histogram bucket: values in `(prev_upper, upper]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Inclusive upper bound of this bucket.
+    pub upper: Value,
+    /// Rows in the bucket.
+    pub rows: u64,
+    /// Distinct values in the bucket.
+    pub distinct: u64,
+}
+
+/// An equi-depth histogram over the non-NULL values of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Minimum non-NULL value (lower bound of the first bucket).
+    pub min: Value,
+    /// The buckets, in ascending order of `upper`.
+    pub buckets: Vec<Bucket>,
+    /// Total non-NULL rows summarized.
+    pub total_rows: u64,
+    dtype: DataType,
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram with at most `n_buckets` buckets.
+    ///
+    /// `values` need not be sorted; NULLs must be filtered out by the caller.
+    pub fn build(mut values: Vec<Value>, dtype: DataType, n_buckets: usize) -> Option<Histogram> {
+        if values.is_empty() || n_buckets == 0 {
+            return None;
+        }
+        values.sort();
+        let total = values.len() as u64;
+        let depth = (values.len().div_ceil(n_buckets)).max(1);
+        let min = values[0].clone();
+        let mut buckets = Vec::new();
+        let mut i = 0usize;
+        while i < values.len() {
+            let mut end = (i + depth).min(values.len());
+            // Extend so a value never straddles two buckets.
+            while end < values.len() && values[end] == values[end - 1] {
+                end += 1;
+            }
+            let slice = &values[i..end];
+            let mut distinct = 1u64;
+            for w in slice.windows(2) {
+                if w[0] != w[1] {
+                    distinct += 1;
+                }
+            }
+            buckets.push(Bucket {
+                upper: slice[slice.len() - 1].clone(),
+                rows: slice.len() as u64,
+                distinct,
+            });
+            i = end;
+        }
+        Some(Histogram {
+            min,
+            buckets,
+            total_rows: total,
+            dtype,
+        })
+    }
+
+    /// Estimated fraction of non-NULL rows equal to `v`.
+    pub fn eq_selectivity(&self, v: &Value) -> f64 {
+        if self.total_rows == 0 {
+            return 0.0;
+        }
+        if *v < self.min {
+            return 0.0;
+        }
+        let mut lower = self.min.clone();
+        for b in &self.buckets {
+            if *v <= b.upper {
+                // Inside this bucket: uniform spread over its distinct values.
+                let _ = lower;
+                return (b.rows as f64 / b.distinct.max(1) as f64) / self.total_rows as f64;
+            }
+            lower = b.upper.clone();
+        }
+        0.0
+    }
+
+    /// Estimated fraction of non-NULL rows in `[lo, hi]` (either side
+    /// unbounded with `None`). Bounds are inclusive.
+    pub fn range_selectivity(&self, lo: Option<&Value>, hi: Option<&Value>) -> f64 {
+        if self.total_rows == 0 {
+            return 0.0;
+        }
+        let below_hi = match hi {
+            None => 1.0,
+            Some(h) => self.fraction_le(h),
+        };
+        let below_lo = match lo {
+            None => 0.0,
+            Some(l) => self.fraction_le(l) - self.eq_selectivity(l),
+        };
+        (below_hi - below_lo).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of rows with value ≤ `v`, with linear interpolation for
+    /// numerics inside the containing bucket.
+    fn fraction_le(&self, v: &Value) -> f64 {
+        if *v < self.min {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        let mut lower = self.min.clone();
+        for b in &self.buckets {
+            if *v >= b.upper {
+                acc += b.rows;
+                lower = b.upper.clone();
+                continue;
+            }
+            // v falls strictly inside this bucket.
+            let frac = match (&self.dtype, lower.as_i64(), b.upper.as_i64(), v.as_i64()) {
+                (DataType::Char { .. } | DataType::Varchar { .. }, _, _, _) => 0.5,
+                (_, Some(l), Some(u), Some(x)) if u > l => (x - l) as f64 / (u - l) as f64,
+                _ => 0.5,
+            };
+            return (acc as f64 + frac * b.rows as f64) / self.total_rows as f64;
+        }
+        1.0
+    }
+
+    /// Total distinct values recorded across buckets.
+    pub fn distinct(&self) -> u64 {
+        self.buckets.iter().map(|b| b.distinct).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|v| Value::Int(*v)).collect()
+    }
+
+    fn uniform(n: i64) -> Histogram {
+        Histogram::build(ints(&(0..n).collect::<Vec<_>>()), DataType::Int, 10).unwrap()
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(Histogram::build(vec![], DataType::Int, 10).is_none());
+        assert!(Histogram::build(ints(&[1]), DataType::Int, 0).is_none());
+    }
+
+    #[test]
+    fn buckets_cover_all_rows() {
+        let h = uniform(1000);
+        assert_eq!(h.buckets.iter().map(|b| b.rows).sum::<u64>(), 1000);
+        assert_eq!(h.distinct(), 1000);
+        assert!(h.buckets.len() <= 10);
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let h = uniform(1000);
+        let s = h.eq_selectivity(&Value::Int(500));
+        assert!((s - 0.001).abs() < 0.0005, "s={s}");
+        assert_eq!(h.eq_selectivity(&Value::Int(-5)), 0.0);
+        assert_eq!(h.eq_selectivity(&Value::Int(5000)), 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_uniform() {
+        let h = uniform(1000);
+        let s = h.range_selectivity(Some(&Value::Int(250)), Some(&Value::Int(749)));
+        assert!((s - 0.5).abs() < 0.05, "s={s}");
+        let all = h.range_selectivity(None, None);
+        assert!((all - 1.0).abs() < 1e-9);
+        let below = h.range_selectivity(None, Some(&Value::Int(99)));
+        assert!((below - 0.1).abs() < 0.03, "below={below}");
+    }
+
+    #[test]
+    fn skewed_equality_uses_bucket_distinct() {
+        // 900 copies of 1, plus 2..=101.
+        let mut vals = vec![1i64; 900];
+        vals.extend(2..=101);
+        let h = Histogram::build(ints(&vals), DataType::Int, 10).unwrap();
+        let hot = h.eq_selectivity(&Value::Int(1));
+        let cold = h.eq_selectivity(&Value::Int(50));
+        assert!(hot > 20.0 * cold, "hot={hot} cold={cold}");
+    }
+
+    #[test]
+    fn string_histogram_works() {
+        let vals: Vec<Value> = (0..100)
+            .map(|i| Value::Str(format!("k{:03}", i % 20)))
+            .collect();
+        let h = Histogram::build(vals, DataType::Varchar { max_len: 8 }, 5).unwrap();
+        let s = h.eq_selectivity(&Value::Str("k005".into()));
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn value_never_straddles_buckets() {
+        let mut vals = Vec::new();
+        for v in 0..20i64 {
+            for _ in 0..50 {
+                vals.push(v);
+            }
+        }
+        let h = Histogram::build(ints(&vals), DataType::Int, 7).unwrap();
+        // Each value's mass must be fully inside one bucket, so equality
+        // selectivity is exact: 50/1000.
+        for v in 0..20i64 {
+            let s = h.eq_selectivity(&Value::Int(v));
+            assert!((s - 0.05).abs() < 1e-9, "v={v} s={s}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # cadb-stats
+//!
+//! Optimizer statistics for the mini engine: equi-depth histograms,
+//! frequency vectors, per-column and per-table statistics, and
+//! distinct-value estimators — including the Adaptive Estimator (AE) of
+//! Charikar et al. [6] that the paper's `CreateMVSample` algorithm uses to
+//! estimate the number of groups in aggregation MVs (Appendix B.3).
+
+#![warn(missing_docs)]
+
+pub mod column_stats;
+pub mod distinct;
+pub mod freq;
+pub mod histogram;
+
+pub use column_stats::{collect_table_stats, ColumnStats, TableStats};
+pub use distinct::{adaptive_estimator, gee, naive_scaleup};
+pub use freq::FrequencyVector;
+pub use histogram::Histogram;

@@ -1,0 +1,18 @@
+//! # cadb-storage
+//!
+//! The storage substrate: in-memory tables plus page-oriented physical
+//! structures (heaps and B+Tree indexes) whose leaf pages are stored in
+//! their *encoded* form using `cadb-compression`. Sizes reported by this
+//! crate are therefore measured from real encoded bytes, and reads really
+//! decompress pages — the CPU/I/O trade-off the paper's cost model charges
+//! for is physically present.
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod heap;
+pub mod table;
+
+pub use btree::PhysicalIndex;
+pub use heap::Heap;
+pub use table::Table;

@@ -1,0 +1,177 @@
+//! Logical tables: schema + row store.
+//!
+//! `Table` is the source of truth the engine, the sampler and the physical
+//! structures all read from. Rows are validated against the schema on
+//! insert.
+
+use cadb_common::{CadbError, ColumnId, Result, Row, TableSchema};
+
+/// An in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Insert one row after validating it.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        self.schema.validate_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk-insert rows; validates each and rolls back on the first error.
+    pub fn insert_many(&mut self, rows: Vec<Row>) -> Result<usize> {
+        let checkpoint = self.rows.len();
+        for row in rows {
+            if let Err(e) = self.insert(row) {
+                self.rows.truncate(checkpoint);
+                return Err(e);
+            }
+        }
+        Ok(self.rows.len() - checkpoint)
+    }
+
+    /// Rows sorted by the given key columns (ties broken by the full row so
+    /// the order is deterministic), projected onto `projection`.
+    ///
+    /// This is exactly the row stream an index build consumes.
+    pub fn sorted_projection(&self, key_cols: &[ColumnId], projection: &[ColumnId]) -> Vec<Row> {
+        let mut idx: Vec<usize> = (0..self.rows.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.rows[a]
+                .key_cmp(&self.rows[b], key_cols)
+                .then_with(|| self.rows[a].cmp(&self.rows[b]))
+        });
+        idx.into_iter()
+            .map(|i| self.rows[i].project(projection))
+            .collect()
+    }
+
+    /// Uncompressed data size of the table in bytes (schema row width ×
+    /// rows) — the figure physical design tools use for the "no indexes"
+    /// baseline database size.
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.schema.row_width() * self.rows.len()
+    }
+
+    /// Validate a column ordinal belongs to this table.
+    pub fn check_column(&self, col: ColumnId) -> Result<()> {
+        if col.raw() < self.schema.arity() {
+            Ok(())
+        } else {
+            Err(CadbError::NotFound(format!(
+                "column {col} in table {}",
+                self.schema.name
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::{ColumnDef, DataType, Value};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Varchar { max_len: 8 }),
+            ],
+            vec![ColumnId(0)],
+        )
+        .unwrap()
+    }
+
+    fn row(a: i64, b: &str) -> Row {
+        Row::new(vec![Value::Int(a), Value::Str(b.into())])
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut t = Table::new(schema());
+        t.insert(row(1, "x")).unwrap();
+        assert!(t.insert(Row::new(vec![Value::Null, Value::Null])).is_err());
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn insert_many_rolls_back() {
+        let mut t = Table::new(schema());
+        t.insert(row(0, "keep")).unwrap();
+        let bad = vec![row(1, "ok"), Row::new(vec![Value::Int(2)])];
+        assert!(t.insert_many(bad).is_err());
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.rows()[0], row(0, "keep"));
+    }
+
+    #[test]
+    fn sorted_projection_orders_and_projects() {
+        let mut t = Table::new(schema());
+        t.insert_many(vec![row(3, "c"), row(1, "a"), row(2, "b")])
+            .unwrap();
+        let sorted = t.sorted_projection(&[ColumnId(0)], &[ColumnId(1), ColumnId(0)]);
+        assert_eq!(
+            sorted,
+            vec![
+                Row::new(vec![Value::Str("a".into()), Value::Int(1)]),
+                Row::new(vec![Value::Str("b".into()), Value::Int(2)]),
+                Row::new(vec![Value::Str("c".into()), Value::Int(3)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn sorted_projection_deterministic_on_ties() {
+        let mut t = Table::new(schema());
+        t.insert_many(vec![row(1, "z"), row(1, "a"), row(1, "m")])
+            .unwrap();
+        let s1 = t.sorted_projection(&[ColumnId(0)], &[ColumnId(0), ColumnId(1)]);
+        let s2 = t.sorted_projection(&[ColumnId(0)], &[ColumnId(0), ColumnId(1)]);
+        assert_eq!(s1, s2);
+        // Ties broken by full row: a < m < z.
+        assert_eq!(s1[0].values[1], Value::Str("a".into()));
+        assert_eq!(s1[2].values[1], Value::Str("z".into()));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mut t = Table::new(schema());
+        assert_eq!(t.uncompressed_bytes(), 0);
+        t.insert(row(1, "x")).unwrap();
+        assert_eq!(t.uncompressed_bytes(), t.schema().row_width());
+    }
+
+    #[test]
+    fn check_column_bounds() {
+        let t = Table::new(schema());
+        assert!(t.check_column(ColumnId(1)).is_ok());
+        assert!(t.check_column(ColumnId(2)).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: tune a TPC-H-like workload with the compression-aware
+//! advisor (DTAc) and inspect the recommendation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cadb::core::{Advisor, AdvisorOptions};
+use cadb::datagen::TpchGen;
+use cadb::engine::WhatIfOptimizer;
+
+fn main() {
+    // 1. A small TPC-H-shaped database (scale 0.05 ⇒ 3 000 lineitem rows)
+    //    and its 22-query + 2-bulk-load workload.
+    let gen = TpchGen::new(0.05);
+    let db = gen.build().expect("generate database");
+    let workload = gen.workload(&db).expect("generate workload");
+    let base_bytes = db.base_data_bytes() as f64;
+    println!(
+        "database: {} tables, {:.1} MiB uncompressed",
+        db.table_ids().len(),
+        base_bytes / (1024.0 * 1024.0)
+    );
+
+    // 2. Ask DTAc for a design within 25 % of the base data size.
+    let budget = 0.25 * base_bytes;
+    let advisor = Advisor::new(&db, AdvisorOptions::dtac(budget));
+    let rec = advisor.recommend(&workload).expect("advisor run");
+
+    println!(
+        "\nrecommendation: {} structures, {:.1} KiB of {:.1} KiB budget",
+        rec.configuration.len(),
+        rec.total_bytes() / 1024.0,
+        budget / 1024.0
+    );
+    for s in rec.configuration.structures() {
+        println!(
+            "  {:<55} {:>8.1} KiB (cf {:.2})",
+            s.spec.to_string(),
+            s.size.bytes / 1024.0,
+            s.size.compression_fraction
+        );
+    }
+    println!(
+        "\nestimated workload cost: {:.0} -> {:.0}  ({:.1}% improvement)",
+        rec.initial_cost,
+        rec.final_cost,
+        rec.improvement_percent()
+    );
+
+    // 3. Inspect a query plan under the recommendation via the what-if API.
+    let opt = WhatIfOptimizer::new(&db);
+    let mut queries = workload.queries();
+    if let Some((q, _)) = queries.next() {
+        println!("\nplan for the first query:");
+        for path in opt.explain(q, &rec.configuration) {
+            println!("  {} (cost {:.1})", path.describe, path.cost);
+        }
+    }
+}

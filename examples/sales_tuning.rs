@@ -1,0 +1,53 @@
+//! Tuning the `Sales` customer workload (the paper's real-world dataset,
+//! Appendix D.2): DTAc vs the compression-blind DTA across storage budgets
+//! and workload mixes — a miniature of Figures 14–15.
+//!
+//! ```sh
+//! cargo run --release --example sales_tuning
+//! ```
+
+use cadb::core::{Advisor, AdvisorOptions};
+use cadb::datagen::SalesGen;
+
+fn main() {
+    let gen = SalesGen::new(0.1);
+    let db = gen.build().expect("generate Sales database");
+    let workload = gen.workload(&db).expect("generate workload");
+    let base = db.base_data_bytes() as f64;
+    println!(
+        "Sales database: {:.1} MiB base data, {} statements",
+        base / (1024.0 * 1024.0),
+        workload.len()
+    );
+
+    for (mix, insert_weight) in [("SELECT-intensive", 0.1), ("INSERT-intensive", 100.0)] {
+        let w = workload.with_insert_weight(insert_weight);
+        println!("\n--- {mix} ---");
+        println!("{:>8} {:>10} {:>10} {:>14}", "budget", "DTAc", "DTA", "DTAc wins by");
+        for frac in [0.1, 0.2, 0.4, 0.8] {
+            let budget = base * frac;
+            let dtac = Advisor::new(&db, AdvisorOptions::dtac(budget))
+                .recommend(&w)
+                .expect("DTAc");
+            let dta = Advisor::new(&db, AdvisorOptions::dta(budget))
+                .recommend(&w)
+                .expect("DTA");
+            println!(
+                "{:>7.0}% {:>9.1}% {:>9.1}% {:>13.2}x",
+                frac * 100.0,
+                dtac.improvement_percent(),
+                dta.improvement_percent(),
+                (100.0 - dta.improvement_percent()) / (100.0 - dtac.improvement_percent())
+            );
+        }
+    }
+
+    // Show what DTAc actually built at a tight budget.
+    let rec = Advisor::new(&db, AdvisorOptions::dtac(base * 0.2))
+        .recommend(&workload)
+        .expect("DTAc");
+    println!("\nDTAc design at 20% budget:");
+    for s in rec.configuration.structures() {
+        println!("  {:<50} {:>8.1} KiB", s.spec.to_string(), s.size.bytes / 1024.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The §5 size-estimation framework, end to end: plan a sampling/deduction
+//! strategy for a batch of compressed indexes, execute it, and compare the
+//! estimates against ground truth (actually building every index).
+//!
+//! ```sh
+//! cargo run --release --example size_estimation
+//! ```
+
+use cadb::core::{EstimationPlanner, ErrorModel, PlannerOptions};
+use cadb::datagen::TpchGen;
+use cadb::engine::{IndexSpec, WhatIfOptimizer};
+use cadb::sampling::{true_compression_fraction, SampleManager};
+use cadb::compression::CompressionKind;
+
+fn main() {
+    let db = TpchGen::new(0.2).build().expect("generate database");
+    let t = db.table_id("lineitem").expect("lineitem exists");
+    let col = |n: &str| db.schema(t).column_id(n).expect("column");
+
+    // A batch of compressed index candidates, including permutations of
+    // the same column set (ColSet fodder) and wide composites (ColExt).
+    let mut targets = Vec::new();
+    for kind in [CompressionKind::Row, CompressionKind::Page] {
+        for key in [
+            vec![col("shipdate")],
+            vec![col("suppkey")],
+            vec![col("shipdate"), col("suppkey")],
+            vec![col("suppkey"), col("shipdate")],
+            vec![col("shipdate"), col("suppkey"), col("extendedprice")],
+            vec![col("returnflag"), col("shipmode"), col("quantity")],
+        ] {
+            targets.push(IndexSpec::secondary(t, key).with_compression(kind));
+        }
+    }
+
+    let opt = WhatIfOptimizer::new(&db);
+    let manager = SampleManager::new(&db, 7);
+    for (label, use_deduction) in [("SampleCF on every index", false), ("with deductions", true)]
+    {
+        let planner = EstimationPlanner::new(
+            &opt,
+            &manager,
+            ErrorModel::default(),
+            PlannerOptions {
+                e: 0.5,
+                q: 0.9,
+                use_deduction,
+                ..Default::default()
+            },
+        );
+        let report = planner
+            .estimate_sizes(&targets, &[])
+            .expect("estimation plan");
+        println!(
+            "\n=== {label}: f={:.1}%, planned cost {:.0} pages, {} sampled / {} deduced ===",
+            report.fraction * 100.0,
+            report.planned_cost,
+            report.sampled,
+            report.deduced,
+        );
+        println!(
+            "{:<52} {:>9} {:>9} {:>7}",
+            "index", "est KiB", "true KiB", "err"
+        );
+        let mut total_err = 0.0;
+        for spec in &targets {
+            let est = report.estimates[spec];
+            let truth_cf = true_compression_fraction(&db, spec).expect("ground truth");
+            let truth = opt.estimate_uncompressed_size(spec).bytes * truth_cf;
+            let err = (est.bytes - truth).abs() / truth;
+            total_err += err;
+            println!(
+                "{:<52} {:>9.1} {:>9.1} {:>6.1}%",
+                spec.to_string(),
+                est.bytes / 1024.0,
+                truth / 1024.0,
+                err * 100.0
+            );
+        }
+        println!(
+            "mean relative error: {:.1}%",
+            100.0 * total_err / targets.len() as f64
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # cadb — Compression Aware Physical Database Design
+//!
+//! A from-scratch Rust reproduction of *"Compression Aware Physical
+//! Database Design"* (Kimura, Narasayya, Syamala — PVLDB 4(10), 2011),
+//! including the full substrate the paper's system ran on: a page-oriented
+//! storage engine with real ROW/PAGE/global-dictionary/RLE compression, a
+//! mini SQL front end, an optimizer with a compression-aware cost model and
+//! what-if API, the sampling infrastructure (amortized samples, join
+//! synopses, MV samples, SampleCF), the size-estimation framework
+//! (deductions + error model + graph search), and the DTA/DTAc advisor
+//! (Skyline candidate selection, Backtracking enumeration).
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! paths and hosts the runnable examples and integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cadb::datagen::TpchGen;
+//! use cadb::core::{Advisor, AdvisorOptions};
+//!
+//! let gen = TpchGen::new(0.01);            // tiny TPC-H-like database
+//! let db = gen.build().unwrap();
+//! let workload = gen.workload(&db).unwrap();
+//! let budget = 0.3 * db.base_data_bytes() as f64;
+//! let advisor = Advisor::new(&db, AdvisorOptions::dtac(budget));
+//! let rec = advisor.recommend(&workload).unwrap();
+//! assert!(rec.improvement_percent() > 0.0);
+//! assert!(rec.total_bytes() <= budget);
+//! ```
+
+pub use cadb_common as common;
+pub use cadb_compression as compression;
+pub use cadb_core as core;
+pub use cadb_datagen as datagen;
+pub use cadb_engine as engine;
+pub use cadb_sampling as sampling;
+pub use cadb_sql as sql;
+pub use cadb_stats as stats;
+pub use cadb_storage as storage;

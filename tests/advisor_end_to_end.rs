@@ -1,0 +1,199 @@
+//! End-to-end advisor tests: DTAc vs DTA on the TPC-H-like workload,
+//! reproducing the qualitative claims of §7 at miniature scale.
+
+use cadb::core::{Advisor, AdvisorOptions};
+use cadb::datagen::TpchGen;
+use cadb::engine::{Configuration, WhatIfOptimizer};
+
+fn setup() -> (cadb::engine::Database, cadb::engine::Workload, f64) {
+    let gen = TpchGen::new(0.01);
+    let db = gen.build().unwrap();
+    let w = gen.workload(&db).unwrap();
+    let base = db.base_data_bytes() as f64;
+    (db, w, base)
+}
+
+#[test]
+fn recommendation_respects_budget_and_improves() {
+    let (db, w, base) = setup();
+    for frac in [0.1, 0.3, 0.7] {
+        let budget = base * frac;
+        let rec = Advisor::new(&db, AdvisorOptions::dtac(budget))
+            .recommend(&w)
+            .unwrap();
+        assert!(
+            rec.total_bytes() <= budget + 1.0,
+            "budget {budget} exceeded: {}",
+            rec.total_bytes()
+        );
+        assert!(
+            rec.improvement_percent() > 0.0,
+            "no improvement at {frac}: {}",
+            rec.improvement_percent()
+        );
+        // The recommendation's final cost must be reproducible through the
+        // public what-if API.
+        let opt = WhatIfOptimizer::new(&db);
+        let recost = opt.workload_cost(&w, &rec.configuration);
+        assert!((recost - rec.final_cost).abs() / rec.final_cost < 1e-9);
+    }
+}
+
+#[test]
+fn dtac_beats_dta_under_tight_budget() {
+    // §7.1 "Comparison with no compression": DTAc wins clearly in tight
+    // budgets because compression fits more (and faster) indexes.
+    let (db, w, base) = setup();
+    let budget = base * 0.15;
+    let dtac = Advisor::new(&db, AdvisorOptions::dtac(budget))
+        .recommend(&w)
+        .unwrap();
+    let dta = Advisor::new(&db, AdvisorOptions::dta(budget))
+        .recommend(&w)
+        .unwrap();
+    assert!(
+        dtac.improvement_percent() > dta.improvement_percent(),
+        "DTAc {:.1}% <= DTA {:.1}%",
+        dtac.improvement_percent(),
+        dta.improvement_percent()
+    );
+    // And DTAc actually uses compression somewhere.
+    assert!(dtac
+        .configuration
+        .structures()
+        .iter()
+        .any(|s| s.spec.compression.is_compressed()));
+}
+
+#[test]
+fn gap_shrinks_with_generous_budget() {
+    // §7.1: "The difference is smaller in larger space budgets".
+    let (db, w, base) = setup();
+    let tight = 0.15 * base;
+    let roomy = 1.0 * base;
+    let gap = |budget: f64| {
+        let dtac = Advisor::new(&db, AdvisorOptions::dtac(budget))
+            .recommend(&w)
+            .unwrap();
+        let dta = Advisor::new(&db, AdvisorOptions::dta(budget))
+            .recommend(&w)
+            .unwrap();
+        dtac.improvement_percent() - dta.improvement_percent()
+    };
+    let g_tight = gap(tight);
+    let g_roomy = gap(roomy);
+    assert!(
+        g_tight >= g_roomy - 1.0,
+        "gap should shrink (tight {g_tight:.1} vs roomy {g_roomy:.1})"
+    );
+}
+
+#[test]
+fn insert_intensive_workload_gets_lighter_compression() {
+    // §7.1 / Fig. 13: with heavy INSERTs, DTAc "appropriately avoided
+    // compressing too many indexes".
+    let (db, w, base) = setup();
+    let budget = base * 0.5;
+    let select_heavy = w.with_insert_weight(0.1);
+    let insert_heavy = w.with_insert_weight(200.0);
+    let count_compressed = |w: &cadb::engine::Workload| {
+        let rec = Advisor::new(&db, AdvisorOptions::dtac(budget))
+            .recommend(w)
+            .unwrap();
+        (
+            rec.configuration
+                .structures()
+                .iter()
+                .filter(|s| s.spec.compression.is_compressed())
+                .count(),
+            rec.configuration.len(),
+        )
+    };
+    let (comp_sel, n_sel) = count_compressed(&select_heavy);
+    let (comp_ins, n_ins) = count_compressed(&insert_heavy);
+    // Fewer compressed structures (or fewer structures overall) when
+    // inserts dominate.
+    assert!(
+        comp_ins <= comp_sel && n_ins <= n_sel,
+        "select ({comp_sel}/{n_sel}) vs insert ({comp_ins}/{n_ins})"
+    );
+}
+
+#[test]
+fn staged_compression_is_worse_than_integrated() {
+    // The motivating claim (§1, Examples 1–2): selecting indexes without
+    // considering compression and compressing afterwards ("staged") loses
+    // to integrated selection under a tight budget.
+    let (db, w, base) = setup();
+    let budget = base * 0.15;
+
+    // Integrated: DTAc.
+    let integrated = Advisor::new(&db, AdvisorOptions::dtac(budget))
+        .recommend(&w)
+        .unwrap();
+
+    // Staged: run DTA (no compression) with the same budget, then compress
+    // everything it chose (the "blindly compress" strategy).
+    let dta = Advisor::new(&db, AdvisorOptions::dta(budget))
+        .recommend(&w)
+        .unwrap();
+    let opt = WhatIfOptimizer::new(&db);
+    let mut staged = Configuration::empty();
+    for s in dta.configuration.structures() {
+        let compressed = s
+            .spec
+            .with_compression(cadb::compression::CompressionKind::Page);
+        let size = opt.estimate_uncompressed_size(&compressed).compressed(0.45);
+        staged.add(cadb::engine::PhysicalStructure {
+            spec: compressed,
+            size,
+        });
+    }
+    let staged_cost = opt.workload_cost(&w, &staged);
+    assert!(
+        integrated.final_cost < staged_cost,
+        "integrated {} !< staged {staged_cost}",
+        integrated.final_cost
+    );
+}
+
+#[test]
+fn ablations_ordered_sensibly_under_tight_budget() {
+    // Figures 12–13: DTAc(Both) ≥ each single technique ≥ DTAc(None).
+    let (db, w, base) = setup();
+    let budget = base * 0.12;
+    let run = |opts: AdvisorOptions| {
+        Advisor::new(&db, opts)
+            .recommend(&w)
+            .unwrap()
+            .improvement_percent()
+    };
+    let both = run(AdvisorOptions::dtac(budget));
+    let none = run(AdvisorOptions::dtac_none(budget));
+    let skyline_only = run(AdvisorOptions {
+        backtracking: false,
+        ..AdvisorOptions::dtac(budget)
+    });
+    let backtrack_only = run(AdvisorOptions {
+        skyline: false,
+        ..AdvisorOptions::dtac(budget)
+    });
+    assert!(both + 1e-6 >= none, "Both {both:.2} < None {none:.2}");
+    assert!(both + 1e-6 >= skyline_only.min(backtrack_only));
+    // The full implementation must deliver a real improvement.
+    assert!(both > 0.0);
+}
+
+#[test]
+fn zero_budget_can_still_improve_via_table_compression() {
+    // Appendix D.2: "DTAc might produce indexes even with 0% space budget
+    // by compressing existing tables … and spending the saved space".
+    // With a budget equal to the (uncompressed) base size, compressing the
+    // clustered index frees room for secondary indexes.
+    let (db, w, base) = setup();
+    let rec = Advisor::new(&db, AdvisorOptions::dtac(base * 0.05))
+        .recommend(&w)
+        .unwrap();
+    // Even a 5% budget finds something (compressed structures are small).
+    assert!(rec.improvement_percent() > 0.0);
+}

@@ -1,0 +1,109 @@
+//! Cross-crate pipeline tests: SQL text → logical plan → executor results,
+//! cross-checked against physically built (compressed) indexes — the
+//! full stack the advisor's cost model abstracts over.
+
+use cadb::compression::CompressionKind;
+use cadb::datagen::TpchGen;
+use cadb::engine::lower::lower_statement;
+use cadb::engine::{exec, Statement};
+use cadb::sampling::index_rows::index_row_stream;
+use cadb::storage::PhysicalIndex;
+use cadb_common::Value;
+
+#[test]
+fn executor_answers_match_index_scans() {
+    let db = TpchGen::new(0.02).build().unwrap();
+    let t = db.table_id("lineitem").unwrap();
+    let col = |n: &str| db.schema(t).column_id(n).unwrap();
+
+    // Build a real compressed covering index on (suppkey) incl quantity.
+    let spec = cadb::engine::IndexSpec::secondary(t, vec![col("suppkey")])
+        .with_includes(vec![col("quantity")])
+        .with_compression(CompressionKind::Page);
+    let (rows, dtypes, n_key) = index_row_stream(&db, &spec, db.table(t).rows()).unwrap();
+    let ix = PhysicalIndex::build(&rows, &dtypes, n_key, CompressionKind::Page).unwrap();
+
+    // Per-suppkey SUM(quantity) via the executor...
+    let stmt = lower_statement(&db, "SELECT suppkey, SUM(quantity) FROM lineitem GROUP BY suppkey")
+        .unwrap();
+    let Statement::Select(q) = &stmt else { unreachable!() };
+    let exec_rows = exec::execute(&db, q).unwrap();
+
+    // ...and independently via seeks into the compressed physical index.
+    for r in exec_rows.iter().take(20) {
+        let suppkey = r.values[0].clone();
+        let expected = r.values[1].as_i64().unwrap();
+        let hits = ix.seek(std::slice::from_ref(&suppkey)).unwrap();
+        let sum: i64 = hits.iter().map(|h| h.values[1].as_i64().unwrap()).sum();
+        assert_eq!(sum, expected, "suppkey {suppkey}");
+    }
+}
+
+#[test]
+fn every_tpch_query_parses_lowers_and_executes() {
+    let db = TpchGen::new(0.01).build().unwrap();
+    for sql in cadb::datagen::tpch::QUERIES {
+        let stmt = lower_statement(&db, sql)
+            .unwrap_or_else(|e| panic!("lowering failed for {sql}: {e}"));
+        let Statement::Select(q) = &stmt else {
+            panic!("expected SELECT: {sql}")
+        };
+        let rows = exec::execute(&db, q)
+            .unwrap_or_else(|e| panic!("execution failed for {sql}: {e}"));
+        // Grouped queries must produce at most the estimated group count's
+        // order of magnitude; all queries must terminate with sane output.
+        if q.is_grouping() && q.group_by.is_empty() {
+            assert_eq!(rows.len(), 1, "scalar aggregate: {sql}");
+        }
+    }
+}
+
+#[test]
+fn every_sales_query_parses_lowers_and_executes() {
+    let gen = cadb::datagen::SalesGen::new(0.01);
+    let db = gen.build().unwrap();
+    let w = gen.workload(&db).unwrap();
+    assert_eq!(w.queries().count(), 50);
+    for (q, _) in w.queries() {
+        exec::execute(&db, q).expect("sales query executes");
+    }
+}
+
+#[test]
+fn compressed_physical_scan_equals_plain_scan() {
+    let db = TpchGen::new(0.02).build().unwrap();
+    let t = db.table_id("orders").unwrap();
+    let spec = cadb::engine::IndexSpec::clustered(t, vec![cadb_common::ColumnId(0)]);
+    let (rows, dtypes, n_key) = index_row_stream(&db, &spec, db.table(t).rows()).unwrap();
+    let plain = PhysicalIndex::build(&rows, &dtypes, n_key, CompressionKind::None).unwrap();
+    let compressed = PhysicalIndex::build(&rows, &dtypes, n_key, CompressionKind::Page).unwrap();
+    assert_eq!(plain.scan().unwrap(), compressed.scan().unwrap());
+    assert!(compressed.size_bytes() < plain.size_bytes());
+
+    // Range scans agree too.
+    let lo = [Value::Int(10)];
+    let hi = [Value::Int(50)];
+    let (a, _) = plain.range_scan(Some(&lo), Some(&hi)).unwrap();
+    let (b, _) = compressed.range_scan(Some(&lo), Some(&hi)).unwrap();
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn example1_compressed_covering_index_fits_where_plain_does_not() {
+    // A quantitative rendering of the paper's Example 1 storage argument:
+    // when the budget sits between the compressed and uncompressed size of
+    // the covering index I2, only the compression-aware choice fits.
+    let db = TpchGen::new(0.05).build().unwrap();
+    let t = db.table_id("lineitem").unwrap();
+    let col = |n: &str| db.schema(t).column_id(n).unwrap();
+    let i2 = cadb::engine::IndexSpec::secondary(t, vec![col("shipdate"), col("returnflag")])
+        .with_includes(vec![col("extendedprice"), col("discount")]);
+    let i2c = i2.with_compression(CompressionKind::Page);
+
+    let plain_bytes = cadb::sampling::index_rows::true_index_bytes(&db, &i2).unwrap() as f64;
+    let comp_bytes = cadb::sampling::index_rows::true_index_bytes(&db, &i2c).unwrap() as f64;
+    assert!(comp_bytes < 0.9 * plain_bytes, "{comp_bytes} vs {plain_bytes}");
+    let budget = (comp_bytes + plain_bytes) / 2.0;
+    assert!(comp_bytes <= budget && plain_bytes > budget);
+}

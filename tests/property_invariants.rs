@@ -1,0 +1,156 @@
+//! Cross-crate property tests on the core invariants the paper's machinery
+//! relies on:
+//!
+//! * compression is lossless through the full physical-index stack;
+//! * ORD-IND methods are order-independent, CF ∈ (0, ~1];
+//! * histogram selectivities stay in [0, 1] and sum sensibly;
+//! * the seek path agrees with a scan-and-filter oracle;
+//! * advisor configurations never exceed the budget.
+
+use cadb::compression::analyze::compressed_index_size;
+use cadb::compression::CompressionKind;
+use cadb::stats::Histogram;
+use cadb::storage::PhysicalIndex;
+use cadb_common::{DataType, Row, Value};
+use proptest::prelude::*;
+
+/// Strategy: a typed row for the fixed 3-column test schema.
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        -50i64..50,
+        proptest::option::of("[a-z]{0,6}"),
+        any::<i32>(),
+    )
+        .prop_map(|(a, s, d)| {
+            Row::new(vec![
+                Value::Int(a),
+                s.map(Value::Str).unwrap_or(Value::Null),
+                Value::Int(d as i64),
+            ])
+        })
+}
+
+fn dtypes() -> Vec<DataType> {
+    vec![
+        DataType::Int,
+        DataType::Varchar { max_len: 8 },
+        DataType::Date,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn physical_index_roundtrips_any_rows(mut rows in proptest::collection::vec(arb_row(), 0..300)) {
+        rows.sort();
+        for kind in [CompressionKind::None, CompressionKind::Row,
+                     CompressionKind::Page, CompressionKind::GlobalDict,
+                     CompressionKind::Rle] {
+            let ix = PhysicalIndex::build(&rows, &dtypes(), 1, kind).unwrap();
+            prop_assert_eq!(ix.scan().unwrap(), rows.clone(), "{}", kind);
+        }
+    }
+
+    #[test]
+    fn ord_ind_size_ignores_order(rows in proptest::collection::vec(arb_row(), 2..200)) {
+        let mut sorted = rows.clone();
+        sorted.sort();
+        let mut reversed = sorted.clone();
+        reversed.reverse();
+        for kind in [CompressionKind::Row, CompressionKind::GlobalDict] {
+            let a = compressed_index_size(&sorted, &dtypes(), kind).unwrap();
+            let b = compressed_index_size(&reversed, &dtypes(), kind).unwrap();
+            // Page packing boundaries may differ slightly; the byte totals
+            // must agree within a page of slack.
+            let diff = (a.compressed_bytes as i64 - b.compressed_bytes as i64).abs();
+            prop_assert!(diff <= 512, "{kind}: {diff} bytes apart");
+        }
+    }
+
+    #[test]
+    fn cf_is_positive_and_bounded(mut rows in proptest::collection::vec(arb_row(), 1..200)) {
+        rows.sort();
+        for kind in [CompressionKind::Row, CompressionKind::Page] {
+            let m = compressed_index_size(&rows, &dtypes(), kind).unwrap();
+            let cf = m.compression_fraction();
+            prop_assert!(cf > 0.0, "{kind}: cf={cf}");
+            // Fixed per-page overheads (anchors, dictionary headers) can
+            // exceed the payload on near-empty pages, so only demand a
+            // sane CF once the index has some substance.
+            if rows.len() >= 64 {
+                prop_assert!(cf < 1.6, "{kind}: cf={cf} over {} rows", rows.len());
+            }
+            prop_assert_eq!(m.n_rows, rows.len());
+        }
+    }
+
+    #[test]
+    fn seek_matches_filter_oracle(mut rows in proptest::collection::vec(arb_row(), 0..250),
+                                  probe in -50i64..50) {
+        rows.sort();
+        let ix = PhysicalIndex::build(&rows, &dtypes(), 1, CompressionKind::Page).unwrap();
+        let got = ix.seek(&[Value::Int(probe)]).unwrap();
+        let want: Vec<Row> = rows
+            .iter()
+            .filter(|r| r.values[0] == Value::Int(probe))
+            .cloned()
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_scan_matches_filter_oracle(mut rows in proptest::collection::vec(arb_row(), 0..250),
+                                        lo in -50i64..50, width in 0i64..40) {
+        rows.sort();
+        let hi = lo + width;
+        let ix = PhysicalIndex::build(&rows, &dtypes(), 1, CompressionKind::Row).unwrap();
+        let (got, _) = ix
+            .range_scan(Some(&[Value::Int(lo)]), Some(&[Value::Int(hi)]))
+            .unwrap();
+        let want: Vec<Row> = rows
+            .iter()
+            .filter(|r| {
+                let v = r.values[0].as_i64().unwrap();
+                v >= lo && v <= hi
+            })
+            .cloned()
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn histogram_selectivities_bounded(vals in proptest::collection::vec(-100i64..100, 1..500),
+                                       probe in -120i64..120) {
+        let values: Vec<Value> = vals.iter().map(|v| Value::Int(*v)).collect();
+        let h = Histogram::build(values, DataType::Int, 16).unwrap();
+        let eq = h.eq_selectivity(&Value::Int(probe));
+        prop_assert!((0.0..=1.0).contains(&eq), "eq={eq}");
+        let range = h.range_selectivity(Some(&Value::Int(probe)), Some(&Value::Int(probe + 10)));
+        prop_assert!((0.0..=1.0).contains(&range), "range={range}");
+        // Equality mass over every distinct value ≈ 1.
+        let mut distinct = vals.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let total: f64 = distinct.iter().map(|v| h.eq_selectivity(&Value::Int(*v))).sum();
+        prop_assert!((total - 1.0).abs() < 0.35, "total eq mass {total}");
+    }
+}
+
+proptest! {
+    // Advisor property: expensive, so very few cases.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn advisor_respects_any_budget(frac in 0.02f64..1.0) {
+        let gen = cadb::datagen::TpchGen::new(0.005);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        let budget = frac * db.base_data_bytes() as f64;
+        let rec = cadb::core::Advisor::new(&db, cadb::core::AdvisorOptions::dtac(budget))
+            .recommend(&w)
+            .unwrap();
+        prop_assert!(rec.total_bytes() <= budget + 1.0);
+        prop_assert!(rec.final_cost <= rec.initial_cost + 1e-9);
+    }
+}

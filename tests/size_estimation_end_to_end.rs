@@ -1,0 +1,135 @@
+//! Integration tests for the size-estimation pipeline against ground truth
+//! on the TPC-H-like dataset.
+
+use cadb::core::{ErrorModel, EstimationPlanner, PlannerOptions};
+use cadb::compression::CompressionKind;
+use cadb::engine::{IndexSpec, WhatIfOptimizer};
+use cadb::sampling::{true_compression_fraction, SampleManager};
+
+fn targets(db: &cadb::engine::Database) -> Vec<IndexSpec> {
+    let t = db.table_id("lineitem").unwrap();
+    let col = |n: &str| db.schema(t).column_id(n).unwrap();
+    let mut out = Vec::new();
+    for kind in [CompressionKind::Row, CompressionKind::Page] {
+        for key in [
+            vec![col("shipdate")],
+            vec![col("suppkey")],
+            vec![col("returnflag")],
+            vec![col("shipdate"), col("suppkey")],
+            vec![col("suppkey"), col("shipdate")],
+            vec![col("returnflag"), col("shipmode"), col("quantity")],
+        ] {
+            out.push(IndexSpec::secondary(t, key).with_compression(kind));
+        }
+    }
+    out
+}
+
+#[test]
+fn estimates_within_requested_accuracy_most_of_the_time() {
+    let db = cadb::datagen::TpchGen::new(0.1).build().unwrap();
+    let opt = WhatIfOptimizer::new(&db);
+    let manager = SampleManager::new(&db, 99);
+    let e = 0.5;
+    let planner = EstimationPlanner::new(
+        &opt,
+        &manager,
+        ErrorModel::default(),
+        PlannerOptions {
+            e,
+            q: 0.9,
+            ..Default::default()
+        },
+    );
+    let targets = targets(&db);
+    let report = planner.estimate_sizes(&targets, &[]).unwrap();
+    assert!(report.feasible);
+    let mut within = 0usize;
+    for spec in &targets {
+        let est = report.estimates[spec];
+        let truth_cf = true_compression_fraction(&db, spec).unwrap();
+        let truth_bytes = opt.estimate_uncompressed_size(spec).bytes * truth_cf;
+        let ratio = est.bytes / truth_bytes;
+        if ratio <= 1.0 + e && ratio >= 1.0 / (1.0 + e) {
+            within += 1;
+        }
+    }
+    // q = 90%: allow one straggler in twelve.
+    assert!(
+        within + 1 >= targets.len(),
+        "only {within}/{} within e={e}",
+        targets.len()
+    );
+}
+
+#[test]
+fn existing_indexes_make_estimation_cheaper() {
+    let db = cadb::datagen::TpchGen::new(0.05).build().unwrap();
+    let opt = WhatIfOptimizer::new(&db);
+    let manager = SampleManager::new(&db, 5);
+    let t = db.table_id("lineitem").unwrap();
+    let col = |n: &str| db.schema(t).column_id(n).unwrap();
+    let target = IndexSpec::secondary(t, vec![col("suppkey"), col("shipdate")])
+        .with_compression(CompressionKind::Row);
+    let existing = IndexSpec::secondary(t, vec![col("shipdate"), col("suppkey")])
+        .with_compression(CompressionKind::Row);
+
+    let planner = EstimationPlanner::new(
+        &opt,
+        &manager,
+        ErrorModel::default(),
+        PlannerOptions::default(),
+    );
+    let cold = planner
+        .estimate_sizes(std::slice::from_ref(&target), &[])
+        .unwrap();
+    let warm = planner
+        .estimate_sizes(std::slice::from_ref(&target), std::slice::from_ref(&existing))
+        .unwrap();
+    // With the permutation already materialized, ColSet deduces for free.
+    assert!(warm.planned_cost < cold.planned_cost);
+    assert_eq!(warm.deduced, 1);
+    assert_eq!(warm.sampled, 0);
+    // And the deduced estimate is excellent (existing sizes are exact).
+    let truth_cf = true_compression_fraction(&db, &target).unwrap();
+    let truth = opt.estimate_uncompressed_size(&target).bytes * truth_cf;
+    let err = (warm.estimates[&target].bytes - truth).abs() / truth;
+    assert!(err < 0.15, "err {err}");
+}
+
+#[test]
+fn mv_index_size_uses_ae_rows() {
+    let db = cadb::datagen::TpchGen::new(0.1).build().unwrap();
+    let t = db.table_id("lineitem").unwrap();
+    let col = |n: &str| db.schema(t).column_id(n).unwrap();
+    let mv = cadb::engine::MvSpec {
+        root: t,
+        joins: vec![],
+        group_by: vec![(t, col("shipdate"))],
+        agg_columns: vec![(t, col("extendedprice"))],
+    };
+    let spec = IndexSpec {
+        table: t,
+        key_cols: vec![cadb::common::ColumnId(0)],
+        include_cols: vec![],
+        clustered: false,
+        compression: CompressionKind::Row,
+        partial_filter: None,
+        mv: Some(mv.clone()),
+    };
+    let opt = WhatIfOptimizer::new(&db);
+    let manager = SampleManager::new(&db, 17);
+    let planner = EstimationPlanner::new(
+        &opt,
+        &manager,
+        ErrorModel::default(),
+        PlannerOptions::default(),
+    );
+    let report = planner
+        .estimate_sizes(std::slice::from_ref(&spec), &[])
+        .unwrap();
+    let est = report.estimates[&spec];
+    let true_groups = cadb::engine::cardinality::mv_true_rows(&db, &mv) as f64;
+    let err = (est.rows - true_groups).abs() / true_groups;
+    assert!(err < 0.35, "MV rows est {} vs truth {true_groups}", est.rows);
+}
