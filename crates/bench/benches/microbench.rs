@@ -76,13 +76,16 @@ fn bench_greedy_search(c: &mut Criterion) {
         &[CompressionKind::Row, CompressionKind::Page],
         3,
     );
-    c.bench_function(&format!("greedy_graph_search/{}_indexes", specs.len()), |b| {
-        b.iter(|| {
-            let mut g =
-                EstimationGraph::new(&opt, ErrorModel::default(), 0.05, black_box(&specs), &[]);
-            greedy_assign(&mut g, &opt, 0.5, 0.9)
-        })
-    });
+    c.bench_function(
+        &format!("greedy_graph_search/{}_indexes", specs.len()),
+        |b| {
+            b.iter(|| {
+                let mut g =
+                    EstimationGraph::new(&opt, ErrorModel::default(), 0.05, black_box(&specs), &[]);
+                greedy_assign(&mut g, &opt, 0.5, 0.9)
+            })
+        },
+    );
 }
 
 fn bench_advisor(c: &mut Criterion) {

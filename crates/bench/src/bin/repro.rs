@@ -99,10 +99,7 @@ fn run(which: &str, scale: f64) {
     if all || which == "fig11" {
         let (db, w) = tpch(scale);
         let budget = 0.4 * db.base_data_bytes() as f64;
-        println!(
-            "{}",
-            estimation_runtime::figure11(&db, &w, budget).render()
-        );
+        println!("{}", estimation_runtime::figure11(&db, &w, budget).render());
     }
     if all || which == "fig12" {
         let (db, w) = tpch(scale);
@@ -205,8 +202,20 @@ fn run(which: &str, scale: f64) {
         println!("{}", motivating::motivating(&db, &w).render());
     }
     let known = [
-        "all", "table1", "fig9", "fig10", "table4", "scaling", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "motivating",
+        "all",
+        "table1",
+        "fig9",
+        "fig10",
+        "table4",
+        "scaling",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "motivating",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment '{which}'; one of: {}", known.join(", "));

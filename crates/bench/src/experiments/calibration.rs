@@ -49,17 +49,16 @@ fn stats_of(ratios: &[f64]) -> ErrorStats {
 pub fn ground_truths(db: &Database, specs: &[IndexSpec]) -> Vec<Option<f64>> {
     specs
         .iter()
-        .map(|spec| true_compression_fraction(db, spec).ok().filter(|t| *t > 0.0))
+        .map(|spec| {
+            true_compression_fraction(db, spec)
+                .ok()
+                .filter(|t| *t > 0.0)
+        })
         .collect()
 }
 
 /// SampleCF `estimate/truth` ratios for a set of specs at fraction `f`.
-pub fn samplecf_ratios(
-    db: &Database,
-    specs: &[IndexSpec],
-    f: f64,
-    seed: u64,
-) -> Vec<f64> {
+pub fn samplecf_ratios(db: &Database, specs: &[IndexSpec], f: f64, seed: u64) -> Vec<f64> {
     let truths = ground_truths(db, specs);
     samplecf_ratios_with_truths(db, specs, &truths, f, seed)
 }
@@ -104,8 +103,12 @@ pub fn figure9_for_db(db: &Database, fractions: &[f64], seeds: &[u64]) -> Table 
         let mut ns_all = Vec::new();
         let mut ld_all = Vec::new();
         for &seed in seeds {
-            ns_all.extend(samplecf_ratios_with_truths(db, &ns_specs, &ns_truths, f, seed));
-            ld_all.extend(samplecf_ratios_with_truths(db, &ld_specs, &ld_truths, f, seed));
+            ns_all.extend(samplecf_ratios_with_truths(
+                db, &ns_specs, &ns_truths, f, seed,
+            ));
+            ld_all.extend(samplecf_ratios_with_truths(
+                db, &ld_specs, &ld_truths, f, seed,
+            ));
         }
         let ns = stats_of(&ns_all);
         let ld = stats_of(&ld_all);
@@ -168,8 +171,7 @@ pub fn figure10_for_db(db: &Database) -> Table {
                 let children: Vec<KnownSize> = key
                     .iter()
                     .map(|c| {
-                        let spec =
-                            IndexSpec::secondary(t_li, vec![*c]).with_compression(*kind);
+                        let spec = IndexSpec::secondary(t_li, vec![*c]).with_compression(*kind);
                         let cf = true_compression_fraction(db, &spec).unwrap_or(1.0);
                         let unc = opt.estimate_uncompressed_size(&spec);
                         KnownSize {
@@ -221,7 +223,9 @@ pub fn figure9_all(scale: f64) -> Vec<Table> {
     let seeds = [1u64, 2, 3];
     let mut out = Vec::new();
     for (label, z) in [("TPC-H Z=0", 0.0), ("TPC-H Z=1", 1.0), ("TPC-H Z=3", 3.0)] {
-        let db = cadb_datagen::TpchGen::with_skew(scale, z).build().expect("gen");
+        let db = cadb_datagen::TpchGen::with_skew(scale, z)
+            .build()
+            .expect("gen");
         let mut t = figure9_for_db(&db, &fractions, &seeds);
         t.title = format!("{} — {}", t.title, label);
         out.push(t);
@@ -263,8 +267,12 @@ fn tpcds_figure9(db: &Database, fractions: &[f64], seeds: &[u64]) -> Table {
         let mut ns_all = Vec::new();
         let mut ld_all = Vec::new();
         for &seed in seeds {
-            ns_all.extend(samplecf_ratios_with_truths(db, &ns_specs, &ns_truths, f, seed));
-            ld_all.extend(samplecf_ratios_with_truths(db, &ld_specs, &ld_truths, f, seed));
+            ns_all.extend(samplecf_ratios_with_truths(
+                db, &ns_specs, &ns_truths, f, seed,
+            ));
+            ld_all.extend(samplecf_ratios_with_truths(
+                db, &ld_specs, &ld_truths, f, seed,
+            ));
         }
         let ns = stats_of(&ns_all);
         let ld = stats_of(&ld_all);

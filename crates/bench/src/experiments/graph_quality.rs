@@ -21,13 +21,14 @@ pub fn table4(db: &Database, e: f64, q: f64) -> Table {
     // A small cluster (the paper restricts Optimal to LINEITEM with ≤7
     // columns; we use a ≤3-wide subset so Optimal terminates quickly).
     let t_li = db.table_id("lineitem").expect("TPC-H database");
-    let cols: Vec<cadb_common::ColumnId> =
-        [1u16, 2, 4, 10].iter().map(|c| cadb_common::ColumnId(*c)).collect();
+    let cols: Vec<cadb_common::ColumnId> = [1u16, 2, 4, 10]
+        .iter()
+        .map(|c| cadb_common::ColumnId(*c))
+        .collect();
     let mut targets = Vec::new();
     for &a in &cols {
         targets.push(
-            cadb_engine::IndexSpec::secondary(t_li, vec![a])
-                .with_compression(CompressionKind::Row),
+            cadb_engine::IndexSpec::secondary(t_li, vec![a]).with_compression(CompressionKind::Row),
         );
     }
     for w in cols.windows(2) {
@@ -111,7 +112,10 @@ mod tests {
             let all: f64 = row[1].parse().unwrap();
             let greedy: f64 = row[2].parse().unwrap();
             let optimal: f64 = row[3].parse().unwrap();
-            assert!(optimal <= greedy + 1.0, "optimal {optimal} > greedy {greedy}");
+            assert!(
+                optimal <= greedy + 1.0,
+                "optimal {optimal} > greedy {greedy}"
+            );
             assert!(greedy <= all + 1.0, "greedy {greedy} > all {all}");
         }
     }

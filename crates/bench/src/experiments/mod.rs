@@ -7,8 +7,8 @@ pub mod graph_quality;
 pub mod motivating;
 pub mod mv_rows;
 
-use cadb_engine::IndexSpec;
 use cadb_common::ColumnId;
+use cadb_engine::IndexSpec;
 
 /// The set of candidate indexes "considered for TPC-H" used by the error
 /// analysis and graph experiments: all 1–3 column key combinations over the
@@ -67,11 +67,7 @@ mod tests {
     #[test]
     fn spec_generator_produces_hundreds() {
         let db = cadb_datagen::TpchGen::new(0.01).build().unwrap();
-        let specs = lineitem_index_specs(
-            &db,
-            &[CompressionKind::Row, CompressionKind::Page],
-            3,
-        );
+        let specs = lineitem_index_specs(&db, &[CompressionKind::Row, CompressionKind::Page], 3);
         assert!(specs.len() > 80, "{}", specs.len());
         // Both orders of each pair exist (needed for ColSet experiments).
         let t = db.table_id("lineitem").unwrap();

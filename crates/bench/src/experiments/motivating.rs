@@ -10,16 +10,12 @@
 use crate::report::Table;
 use cadb_compression::CompressionKind;
 use cadb_core::{Advisor, AdvisorOptions};
-use cadb_engine::{Configuration, Database, PhysicalStructure, Workload, WhatIfOptimizer};
+use cadb_engine::{Configuration, Database, PhysicalStructure, WhatIfOptimizer, Workload};
 
 /// Staged (decoupled) strategy: run DTA, then compress everything it chose
 /// with PAGE compression (sizing via the estimation framework is skipped —
 /// the point is the decoupling, so the true CF is applied).
-fn staged_configuration(
-    db: &Database,
-    workload: &Workload,
-    budget: f64,
-) -> Configuration {
+fn staged_configuration(db: &Database, workload: &Workload, budget: f64) -> Configuration {
     let rec = Advisor::new(db, AdvisorOptions::dta(budget))
         .recommend(workload)
         .expect("DTA run");

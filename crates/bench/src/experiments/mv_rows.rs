@@ -60,7 +60,10 @@ pub fn table1(db: &Database, f: f64, seed: u64) -> Vec<Table> {
     let manager = SampleManager::new(db, seed);
     let mvs = tpch_mv_candidates(db);
     let mut per_mv = Table::new(
-        format!("Table 1 detail: MV group-count estimates at f={:.0}%", f * 100.0),
+        format!(
+            "Table 1 detail: MV group-count estimates at f={:.0}%",
+            f * 100.0
+        ),
         &["mv(group-by)", "truth", "Optimizer", "Multiply", "AE"],
     );
     let mut errs = (Vec::new(), Vec::new(), Vec::new());

@@ -8,7 +8,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a table within a [`crate::schema::TableSchema`] catalog.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct TableId(pub u32);
 
 /// Ordinal of a column within its table (0-based).

@@ -75,11 +75,7 @@ mod tests {
 
     #[test]
     fn project_reorders() {
-        let row = Row::new(vec![
-            Value::Int(1),
-            Value::Str("x".into()),
-            Value::Int(3),
-        ]);
+        let row = Row::new(vec![Value::Int(1), Value::Str("x".into()), Value::Int(3)]);
         let p = row.project(&[ColumnId(2), ColumnId(0)]);
         assert_eq!(p, Row::new(vec![Value::Int(3), Value::Int(1)]));
     }

@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn null_has_no_bytes() {
         let mut out = Vec::new();
-        assert_eq!(append_value_bytes(&Value::Null, &DataType::Int, &mut out), 0);
+        assert_eq!(
+            append_value_bytes(&Value::Null, &DataType::Int, &mut out),
+            0
+        );
         assert!(out.is_empty());
         assert_eq!(value_width(&Value::Null, &DataType::Int), 0);
     }

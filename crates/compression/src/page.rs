@@ -151,7 +151,8 @@ fn encode_column(
                 .map(|v| null_suppress::suppress(v, dtype))
                 .collect();
             let anchor = prefix::choose_anchor(&ns);
-            let prefixed: Vec<Vec<u8>> = ns.iter().map(|v| prefix::encode_one(&anchor, v)).collect();
+            let prefixed: Vec<Vec<u8>> =
+                ns.iter().map(|v| prefix::encode_one(&anchor, v)).collect();
             let dict_block = local_dict::encode(&prefixed);
             let mut block = Vec::with_capacity(anchor.len() + 2 + dict_block.len());
             block.extend_from_slice(&(anchor.len() as u16).to_le_bytes());
@@ -216,7 +217,9 @@ pub fn decode_page(bytes: &[u8], ctx: &PageContext<'_>) -> Result<Vec<Row>> {
         let bitmap = read_slice(bytes, &mut pos, n.div_ceil(8))?.to_vec();
         let block_len = read_u32(bytes, &mut pos)? as usize;
         let block = read_slice(bytes, &mut pos, block_len)?;
-        let n_non_null = (0..n).filter(|i| bitmap[i / 8] & (1 << (i % 8)) == 0).count();
+        let n_non_null = (0..n)
+            .filter(|i| bitmap[i / 8] & (1 << (i % 8)) == 0)
+            .count();
         let canon = decode_column(block, used_tag, dtype, ctx, c, n_non_null)?;
         if canon.len() != n_non_null {
             return Err(CadbError::Storage(format!(
@@ -240,7 +243,10 @@ pub fn decode_page(bytes: &[u8], ctx: &PageContext<'_>) -> Result<Vec<Row>> {
     let mut rows = Vec::with_capacity(n);
     for i in 0..n {
         rows.push(Row::new(
-            columns.iter_mut().map(|col| std::mem::replace(&mut col[i], Value::Null)).collect(),
+            columns
+                .iter_mut()
+                .map(|col| std::mem::replace(&mut col[i], Value::Null))
+                .collect(),
         ));
     }
     Ok(rows)
@@ -290,10 +296,7 @@ fn decode_column(
         }
         tag::RLE => {
             let ns = rle::decode(block)?;
-            Ok(ns
-                .iter()
-                .map(|s| null_suppress::expand(s, dtype))
-                .collect())
+            Ok(ns.iter().map(|s| null_suppress::expand(s, dtype)).collect())
         }
         other => Err(CadbError::Storage(format!("unknown column tag {other}"))),
     }

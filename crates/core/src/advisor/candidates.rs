@@ -11,9 +11,9 @@
 //! enumerates).
 
 use super::{dedup_pool, AdvisorOptions, FeatureSet};
-use cadb_compression::CompressionKind;
 use cadb_common::ColumnId;
-use cadb_engine::{cardinality, IndexSpec, MvSpec, Query, Workload, WhatIfOptimizer};
+use cadb_compression::CompressionKind;
+use cadb_engine::{cardinality, IndexSpec, MvSpec, Query, WhatIfOptimizer, Workload};
 
 /// Partial-index filters are generated for equality predicates at least
 /// this selective (fraction of rows retained).
@@ -46,15 +46,12 @@ pub fn generate_candidates(
             pool.push(IndexSpec::clustered(t, key));
         }
     }
-    
+
     expand_compression(pool, options)
 }
 
 /// Add ROW/PAGE variants of every candidate (keeping the uncompressed one).
-pub(crate) fn expand_compression(
-    pool: Vec<IndexSpec>,
-    options: &AdvisorOptions,
-) -> Vec<IndexSpec> {
+pub(crate) fn expand_compression(pool: Vec<IndexSpec>, options: &AdvisorOptions) -> Vec<IndexSpec> {
     let mut out = Vec::with_capacity(pool.len() * 3);
     for spec in pool {
         out.push(spec.clone());
@@ -221,8 +218,12 @@ fn query_candidates(
         let n_stored = mv.stored_columns();
         let spec = IndexSpec {
             table: q.root,
-            key_cols: (0..q.group_by.len().min(n_stored) as u16).map(ColumnId).collect(),
-            include_cols: (q.group_by.len() as u16..n_stored as u16).map(ColumnId).collect(),
+            key_cols: (0..q.group_by.len().min(n_stored) as u16)
+                .map(ColumnId)
+                .collect(),
+            include_cols: (q.group_by.len() as u16..n_stored as u16)
+                .map(ColumnId)
+                .collect(),
             clustered: false,
             compression: CompressionKind::None,
             partial_filter: None,

@@ -13,7 +13,7 @@
 //! exist), which is what lets Backtracking trade speed for space.
 
 use super::AdvisorOptions;
-use cadb_engine::{Configuration, PhysicalStructure, Workload, WhatIfOptimizer};
+use cadb_engine::{Configuration, PhysicalStructure, WhatIfOptimizer, Workload};
 
 /// Minimum absolute benefit to keep iterating.
 const MIN_GAIN: f64 = 1e-6;
@@ -73,9 +73,7 @@ fn enumerate_one(
                     // gain, even though it doesn't fit).
                     let cost = opt.workload_cost(workload, &cand);
                     let gain = current_cost - cost;
-                    if gain > MIN_GAIN
-                        && best_oversized.as_ref().is_none_or(|(g, _)| gain > *g)
-                    {
+                    if gain > MIN_GAIN && best_oversized.as_ref().is_none_or(|(g, _)| gain > *g) {
                         best_oversized = Some((gain, s.clone()));
                     }
                 }
@@ -211,6 +209,7 @@ fn recover_oversized(
                 }
                 let mut cand = cfg.clone();
                 cand.add(variant.clone()); // replaces `member`
+
                 // Prefer swaps that fit the budget; among those, fastest.
                 // While nothing fits yet, take the biggest byte reduction
                 // to make progress toward the budget.
@@ -240,7 +239,7 @@ fn recover_oversized(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use cadb_compression::CompressionKind;
     use cadb_engine::lower::lower_statement;
     use cadb_engine::IndexSpec;
@@ -260,11 +259,7 @@ mod tests {
         (db, w)
     }
 
-    fn priced(
-        opt: &WhatIfOptimizer<'_>,
-        spec: IndexSpec,
-        cf: f64,
-    ) -> PhysicalStructure {
+    fn priced(opt: &WhatIfOptimizer<'_>, spec: IndexSpec, cf: f64) -> PhysicalStructure {
         let unc = opt.estimate_uncompressed_size(&spec);
         let size = if spec.compression.is_compressed() {
             unc.compressed(cf)

@@ -7,7 +7,7 @@
 //! compressed variants.
 
 use super::{candidates::expand_compression, dedup_pool, AdvisorOptions};
-use cadb_engine::{IndexSpec, Workload, WhatIfOptimizer};
+use cadb_engine::{IndexSpec, WhatIfOptimizer, Workload};
 
 /// Cap on merged candidates added per run (merging is quadratic).
 const MAX_MERGED: usize = 64;

@@ -13,7 +13,9 @@ pub mod skyline;
 use crate::error_model::ErrorModel;
 use crate::planner::{EstimationPlanner, PlannerOptions};
 use cadb_common::Result;
-use cadb_engine::{Configuration, Database, IndexSpec, PhysicalStructure, Workload, WhatIfOptimizer};
+use cadb_engine::{
+    Configuration, Database, IndexSpec, PhysicalStructure, WhatIfOptimizer, Workload,
+};
 use cadb_sampling::SampleManager;
 use std::collections::HashMap;
 use std::time::Instant;

@@ -7,7 +7,7 @@
 //! over queries.
 
 use super::AdvisorOptions;
-use cadb_engine::{Configuration, PhysicalStructure, Workload, WhatIfOptimizer};
+use cadb_engine::{Configuration, PhysicalStructure, WhatIfOptimizer, Workload};
 
 /// Minimum relative improvement for a structure to be considered relevant
 /// to a query at all.
@@ -121,10 +121,7 @@ mod tests {
             pt(30.0, 50.0, 3),
         ];
         let sky = skyline_of(pts);
-        let tags: Vec<u16> = sky
-            .iter()
-            .map(|p| p.structure.spec.key_cols[0].0)
-            .collect();
+        let tags: Vec<u16> = sky.iter().map(|p| p.structure.spec.key_cols[0].0).collect();
         assert_eq!(tags.len(), 3);
         assert!(tags.contains(&0) && tags.contains(&2) && tags.contains(&3));
         assert!(!tags.contains(&1));
@@ -181,7 +178,10 @@ mod tests {
         let mut sky_opts = AdvisorOptions::dtac(1e9);
         sky_opts.skyline = true;
         let sky = select_candidates(&opt, &w, &priced, &sky_opts);
-        assert!(sky.iter().any(|s| s.spec == compressed), "skyline dropped the compressed variant");
+        assert!(
+            sky.iter().any(|s| s.spec == compressed),
+            "skyline dropped the compressed variant"
+        );
         assert!(sky.iter().any(|s| s.spec == plain));
 
         let mut topk = AdvisorOptions::dtac(1e9);

@@ -166,9 +166,9 @@ pub fn colext_deduce(
         };
         // Column-attributable reduction: strip the child's own per-index
         // constants before scaling, so they are not counted once per child.
-        let child_col_reduction =
-            (child.reduction() - per_index_reduction(db, &child.spec, child.uncompressed.rows))
-                .max(0.0);
+        let child_col_reduction = (child.reduction()
+            - per_index_reduction(db, &child.spec, child.uncompressed.rows))
+        .max(0.0);
         let mut r = child_col_reduction * row_scale;
         if order_dep {
             let child_cols = child.spec.stored_columns();
@@ -184,8 +184,7 @@ pub fn colext_deduce(
                 let leading_target = &target_cols[..pos];
                 let pos_child = child_cols.iter().position(|c| c == col).unwrap_or(0);
                 let leading_child = &child_cols[..pos_child];
-                let f_target =
-                    dict_fraction(db, target.table, leading_target, *col, t_target);
+                let f_target = dict_fraction(db, target.table, leading_target, *col, t_target);
                 let f_child = dict_fraction(db, child.spec.table, leading_child, *col, t_child);
                 if f_child > 1e-9 {
                     penalty_sum += (f_target / f_child).clamp(0.0, 1.0);
@@ -206,11 +205,7 @@ pub fn colext_deduce(
 
 /// Convenience: run a full deduction for a target given known children,
 /// using the optimizer's uncompressed sizing.
-pub fn deduce_size(
-    opt: &WhatIfOptimizer<'_>,
-    target: &IndexSpec,
-    children: &[KnownSize],
-) -> f64 {
+pub fn deduce_size(opt: &WhatIfOptimizer<'_>, target: &IndexSpec, children: &[KnownSize]) -> f64 {
     let unc = opt.estimate_uncompressed_size(target);
     if children.len() == 1
         && children[0].spec.column_set() == target.column_set()
@@ -347,11 +342,8 @@ mod tests {
         let opt = WhatIfOptimizer::new(&db);
         let a = IndexSpec::secondary(TableId(0), vec![ColumnId(0)])
             .with_compression(CompressionKind::Page);
-        let abc = IndexSpec::secondary(
-            TableId(0),
-            vec![ColumnId(0), ColumnId(1), ColumnId(2)],
-        )
-        .with_compression(CompressionKind::Page);
+        let abc = IndexSpec::secondary(TableId(0), vec![ColumnId(0), ColumnId(1), ColumnId(2)])
+            .with_compression(CompressionKind::Page);
         // Deduce from a single narrow child: result must stay positive and
         // below the uncompressed size.
         let deduced = deduce_size(&opt, &abc, &[known(&opt, a)]);

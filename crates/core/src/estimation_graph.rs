@@ -7,9 +7,9 @@
 //! sampling cost subject to the accuracy constraint `(e, q)`.
 
 use crate::error_model::{ErrorModel, EstimateDistribution};
+use cadb_common::{ColumnId, TableId};
 use cadb_compression::analyze::PAGE_PAYLOAD;
 use cadb_compression::CompressionKind;
-use cadb_common::{ColumnId, TableId};
 use cadb_engine::{IndexSpec, WhatIfOptimizer};
 use std::collections::{BTreeSet, HashMap};
 
@@ -524,8 +524,7 @@ pub(crate) mod tests {
     fn prune_clears_unused_auxiliaries() {
         let db = test_db();
         let opt = WhatIfOptimizer::new(&db);
-        let mut g =
-            EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &[spec(&[0, 1])], &[]);
+        let mut g = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &[spec(&[0, 1])], &[]);
         let _ = g.deduction_choices(&opt, 0);
         for n in &mut g.nodes {
             n.state = NodeState::Sampled;

@@ -124,8 +124,7 @@ impl<'a> EstimationPlanner<'a> {
         // Pick the cheapest feasible (f, plan) across the fraction grid.
         let mut best: Option<(f64, EstimationGraph, f64, bool)> = None;
         for &f in &self.options.fractions {
-            let mut g =
-                EstimationGraph::new(self.opt, self.model.clone(), f, targets, existing);
+            let mut g = EstimationGraph::new(self.opt, self.model.clone(), f, targets, existing);
             let cost = if self.options.use_deduction {
                 greedy_assign(&mut g, self.opt, self.options.e, self.options.q)
             } else {
@@ -142,8 +141,7 @@ impl<'a> EstimationPlanner<'a> {
                 best = Some((f, g, cost, feasible));
             }
         }
-        let (fraction, graph, planned_cost, feasible) =
-            best.expect("fraction grid is non-empty");
+        let (fraction, graph, planned_cost, feasible) = best.expect("fraction grid is non-empty");
 
         self.execute(graph, fraction, planned_cost, feasible)
     }
@@ -282,8 +280,7 @@ mod tests {
         let report = {
             let opt = WhatIfOptimizer::new(&db);
             let manager = SampleManager::new(&db, 123);
-            let planner =
-                EstimationPlanner::new(&opt, &manager, ErrorModel::default(), options);
+            let planner = EstimationPlanner::new(&opt, &manager, ErrorModel::default(), options);
             planner.estimate_sizes(&targets, &[]).unwrap()
         };
         (report, db)

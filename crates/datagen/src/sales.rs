@@ -56,6 +56,12 @@ impl SalesGen {
         SalesGen { scale, seed: 2011 }
     }
 
+    /// Same generator with a different root seed (deterministic per seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     fn n(&self, base: usize) -> usize {
         ((base as f64 * self.scale).round() as usize).max(1)
     }
@@ -78,7 +84,14 @@ impl SalesGen {
         }
         let (n_sales, n_returns, n_prod, n_store) = self.row_counts();
         let mut rng = rng_for(self.seed, "sales");
-        let cats = ["Grocery", "Apparel", "Electronics", "Garden", "Toys", "Auto"];
+        let cats = [
+            "Grocery",
+            "Apparel",
+            "Electronics",
+            "Garden",
+            "Toys",
+            "Auto",
+        ];
         let channels = ["WEB", "RETAIL", "PHONE", "PARTNER"];
         let promos = ["NONE", "SPRING10", "SUMMER15", "FALL20", "LOYALTY"];
         let reasons = ["DAMAGED", "WRONG ITEM", "LATE", "UNWANTED", "WARRANTY"];
@@ -134,7 +147,7 @@ impl SalesGen {
                         Value::Int(prod_zipf.sample(&mut rng) as i64),
                         Value::Int(rng.gen_range(0..n_store) as i64),
                         Value::Int(qty),
-                        Value::Int(qty * rng.gen_range(500..20_000) / 10),
+                        Value::Int(qty * rng.gen_range(500i64..20_000) / 10),
                         Value::Int(rng.gen_range(0..=25)),
                         Value::Str(channels[rng.gen_range(0..channels.len())].into()),
                         Value::Str(promos[rng.gen_range(0..promos.len())].into()),
@@ -273,8 +286,14 @@ mod tests {
         let g = SalesGen::new(0.02);
         let db = g.build().unwrap();
         let (n_sales, n_returns, n_prod, n_store) = g.row_counts();
-        assert_eq!(db.table(db.table_id("salesfact").unwrap()).n_rows(), n_sales);
-        assert_eq!(db.table(db.table_id("returnsfact").unwrap()).n_rows(), n_returns);
+        assert_eq!(
+            db.table(db.table_id("salesfact").unwrap()).n_rows(),
+            n_sales
+        );
+        assert_eq!(
+            db.table(db.table_id("returnsfact").unwrap()).n_rows(),
+            n_returns
+        );
         assert_eq!(db.table(db.table_id("product").unwrap()).n_rows(), n_prod);
         assert_eq!(db.table(db.table_id("store").unwrap()).n_rows(), n_store);
     }

@@ -9,10 +9,42 @@ use rand::Rng;
 
 /// The word list (borrowing TPC-H's "grammar" feel).
 const WORDS: &[&str] = &[
-    "furious", "quick", "slow", "ironic", "final", "pending", "regular", "special", "express",
-    "bold", "even", "silent", "deposit", "account", "request", "package", "platform", "theodolite",
-    "instruction", "foxes", "pinto", "bean", "warhorse", "ideas", "courts", "accounts", "sauternes",
-    "asymptote", "dependency", "excuse", "waters", "sleep", "haggle", "nag", "doze", "wake",
+    "furious",
+    "quick",
+    "slow",
+    "ironic",
+    "final",
+    "pending",
+    "regular",
+    "special",
+    "express",
+    "bold",
+    "even",
+    "silent",
+    "deposit",
+    "account",
+    "request",
+    "package",
+    "platform",
+    "theodolite",
+    "instruction",
+    "foxes",
+    "pinto",
+    "bean",
+    "warhorse",
+    "ideas",
+    "courts",
+    "accounts",
+    "sauternes",
+    "asymptote",
+    "dependency",
+    "excuse",
+    "waters",
+    "sleep",
+    "haggle",
+    "nag",
+    "doze",
+    "wake",
 ];
 
 /// Generate a comment of roughly `target_len` bytes (never longer).

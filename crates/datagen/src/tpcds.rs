@@ -43,6 +43,12 @@ impl TpcdsGen {
         TpcdsGen { scale, seed: 77 }
     }
 
+    /// Same generator with a different root seed (deterministic per seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     fn n(&self, base: usize) -> usize {
         ((base as f64 * self.scale).round() as usize).max(1)
     }
@@ -66,7 +72,13 @@ impl TpcdsGen {
         let dd = db.table_id("date_dim")?;
         let base = date_to_days(1998, 1, 1);
         let dows = [
-            "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+            "Monday",
+            "Tuesday",
+            "Wednesday",
+            "Thursday",
+            "Friday",
+            "Saturday",
+            "Sunday",
         ];
         db.insert_rows(
             dd,
@@ -85,7 +97,15 @@ impl TpcdsGen {
         )?;
 
         let item = db.table_id("item")?;
-        let cats = ["Books", "Electronics", "Home", "Jewelry", "Music", "Shoes", "Sports"];
+        let cats = [
+            "Books",
+            "Electronics",
+            "Home",
+            "Jewelry",
+            "Music",
+            "Shoes",
+            "Sports",
+        ];
         db.insert_rows(
             item,
             (0..n_items)
@@ -106,9 +126,9 @@ impl TpcdsGen {
         let rows: Vec<Row> = (0..n_sales)
             .map(|_| {
                 let qty = rng.gen_range(1..=100) as i64;
-                let wholesale = rng.gen_range(100..10_000);
-                let list = wholesale + rng.gen_range(0..5_000);
-                let salep = list - rng.gen_range(0..(list / 2).max(1));
+                let wholesale = rng.gen_range(100i64..10_000);
+                let list = wholesale + rng.gen_range(0i64..5_000);
+                let salep = list - rng.gen_range(0i64..(list / 2).max(1));
                 // TPC-DS has many NULLable measure columns.
                 let custkey = if rng.gen_bool(0.04) {
                     Value::Null

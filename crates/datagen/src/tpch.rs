@@ -45,6 +45,15 @@ impl TpchGen {
         }
     }
 
+    /// Same generator with a different root seed. Every stream the generator
+    /// draws (per-table data, workload parameters) derives from this one
+    /// seed via [`cadb_common::rng::derive_seed`], so two generators with
+    /// equal configuration produce bit-identical databases.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     fn n(&self, base: usize) -> usize {
         ((base as f64 * self.scale).round() as usize).max(1)
     }
@@ -130,7 +139,13 @@ impl TpchGen {
         )?;
 
         let customer = db.table_id("customer")?;
-        let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+        let segments = [
+            "AUTOMOBILE",
+            "BUILDING",
+            "FURNITURE",
+            "MACHINERY",
+            "HOUSEHOLD",
+        ];
         db.insert_rows(
             customer,
             (0..n_cust)
@@ -154,8 +169,12 @@ impl TpchGen {
         let containers = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"];
         let brands = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
         let types = [
-            "STANDARD ANODIZED", "SMALL PLATED", "MEDIUM POLISHED", "LARGE BRUSHED",
-            "ECONOMY BURNISHED", "PROMO ANODIZED",
+            "STANDARD ANODIZED",
+            "SMALL PLATED",
+            "MEDIUM POLISHED",
+            "LARGE BRUSHED",
+            "ECONOMY BURNISHED",
+            "PROMO ANODIZED",
         ];
         db.insert_rows(
             part,
@@ -193,10 +212,10 @@ impl TpchGen {
                     Row::new(vec![
                         Value::Int(i as i64),
                         Value::Int(cust_zipf.sample(&mut rng) as i64),
-                        Value::Str(statuses[rng.gen_range(0..3)].into()),
+                        Value::Str(statuses[rng.gen_range(0..3usize)].into()),
                         Value::Int(rng.gen_range(1_000..500_000)),
                         Value::Int(od),
-                        Value::Str(priorities[rng.gen_range(0..5)].into()),
+                        Value::Str(priorities[rng.gen_range(0..5usize)].into()),
                         Value::Str(text::numbered_name("Clerk", rng.gen_range(0..1000))),
                         Value::Int(0),
                         Value::Str(text::comment(&mut rng, 49)),
@@ -212,28 +231,33 @@ impl TpchGen {
         let disc_zipf = Zipf::new(11, self.zipf_theta); // discounts 0.00..0.10
         let flags = ["N", "R", "A"];
         let status = ["O", "F"];
-        let instructs = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+        let instructs = [
+            "DELIVER IN PERSON",
+            "COLLECT COD",
+            "NONE",
+            "TAKE BACK RETURN",
+        ];
         let modes = ["AIR", "TRUCK", "MAIL", "SHIP", "RAIL", "REG AIR", "FOB"];
         let rows: Vec<Row> = (0..n_li)
             .map(|i| {
                 let ok = (i % n_ord) as i64;
                 let od = order_dates[ok as usize];
-                let ship = od + rng.gen_range(1..=121);
-                let commit = od + rng.gen_range(30..=90);
-                let receipt = ship + rng.gen_range(1..=30);
+                let ship = od + rng.gen_range(1i64..=121);
+                let commit = od + rng.gen_range(30i64..=90);
+                let receipt = ship + rng.gen_range(1i64..=30);
                 let qty = rng.gen_range(1..=50) as i64;
-                let price = qty * rng.gen_range(90_000..110_000) / 100;
+                let price = qty * rng.gen_range(90_000i64..110_000) / 100;
                 // Correlated categoricals (as in real TPC-H data, where
                 // RETURNFLAG and LINESTATUS are far from independent):
                 // returned lines are always in 'F' status, and the ship
                 // group is a deterministic coarsening of the ship mode.
-                let flag = flags[rng.gen_range(0..3)];
+                let flag = flags[rng.gen_range(0..3usize)];
                 let stat = if flag == "N" {
-                    status[rng.gen_range(0..2)]
+                    status[rng.gen_range(0..2usize)]
                 } else {
                     "F"
                 };
-                let mode = modes[rng.gen_range(0..7)];
+                let mode = modes[rng.gen_range(0..7usize)];
                 let group = match mode {
                     "AIR" | "REG AIR" => "FAST",
                     "TRUCK" | "MAIL" | "FOB" => "LAND",
@@ -253,7 +277,7 @@ impl TpchGen {
                     Value::Int(ship),
                     Value::Int(commit),
                     Value::Int(receipt),
-                    Value::Str(instructs[rng.gen_range(0..4)].into()),
+                    Value::Str(instructs[rng.gen_range(0..4usize)].into()),
                     Value::Str(mode.into()),
                     Value::Str(text::comment(&mut rng, 27)),
                     Value::Str(group.into()),

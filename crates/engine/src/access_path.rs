@@ -34,10 +34,7 @@ pub struct AccessPath {
 
 /// Base storage of a table under a configuration: the clustered index spec
 /// if one is present, else the uncompressed heap.
-pub fn base_structure(
-    cfg: &Configuration,
-    table: TableId,
-) -> Option<&PhysicalStructure> {
+pub fn base_structure(cfg: &Configuration, table: TableId) -> Option<&PhysicalStructure> {
     cfg.structures()
         .iter()
         .find(|s| s.spec.clustered && s.spec.table == table && s.spec.mv.is_none())
@@ -45,11 +42,7 @@ pub fn base_structure(
 
 /// Selectivity and shape of the sargable prefix of `key_cols` under the
 /// query's predicates: returns `(selectivity, #predicates_consumed)`.
-pub fn sargable_prefix(
-    db: &Database,
-    preds: &[&Predicate],
-    key_cols: &[ColumnId],
-) -> (f64, usize) {
+pub fn sargable_prefix(db: &Database, preds: &[&Predicate], key_cols: &[ColumnId]) -> (f64, usize) {
     let mut sel = 1.0;
     let mut used = 0usize;
     for key in key_cols {
@@ -104,19 +97,14 @@ fn base_scan_path(
     let preds = q.predicates_on(table);
     let ncols = needed_columns(q, table).len() as f64;
     let (pages, kind, order) = match base_structure(cfg, table) {
-        Some(s) => (
-            s.size.pages,
-            s.spec.compression,
-            s.spec.key_cols.clone(),
-        ),
+        Some(s) => (s.size.pages, s.spec.compression, s.spec.key_cols.clone()),
         None => (
             model.bytes_to_pages(db.table(table).uncompressed_bytes() as f64),
             CompressionKind::None,
             Vec::new(),
         ),
     };
-    let cost = model.scan_cost(pages, rows, preds.len())
-        + model.decompress_cost(kind, rows, ncols);
+    let cost = model.scan_cost(pages, rows, preds.len()) + model.decompress_cost(kind, rows, ncols);
     AccessPath {
         cost,
         used_index: base_structure(cfg, table).map(|s| s.spec.clone()),
@@ -476,13 +464,8 @@ mod tests {
         let covering = IndexSpec::secondary(t, vec![ColumnId(1), ColumnId(2)])
             .with_includes(vec![ColumnId(3), ColumnId(4)]);
         let m = CostModel::default();
-        let c_narrow = query_plan_cost(
-            &db,
-            &m,
-            &q,
-            &Configuration::new(vec![priced(&db, narrow)]),
-        )
-        .0;
+        let c_narrow =
+            query_plan_cost(&db, &m, &q, &Configuration::new(vec![priced(&db, narrow)])).0;
         let c_cover = query_plan_cost(
             &db,
             &m,
@@ -498,12 +481,21 @@ mod tests {
         let db = db();
         let q = q1(&db);
         let t = q.root;
-        let mut spec = IndexSpec::secondary(t, vec![ColumnId(1)])
-            .with_includes(vec![ColumnId(2), ColumnId(3), ColumnId(4)]);
+        let mut spec = IndexSpec::secondary(t, vec![ColumnId(1)]).with_includes(vec![
+            ColumnId(2),
+            ColumnId(3),
+            ColumnId(4),
+        ]);
         // Filter matching the query's state predicate → usable and cheap.
         spec.partial_filter = Some(Predicate::eq(t, ColumnId(2), Value::Str("CA".into())));
         let m = CostModel::default();
-        let c_match = query_plan_cost(&db, &m, &q, &Configuration::new(vec![priced(&db, spec.clone())])).0;
+        let c_match = query_plan_cost(
+            &db,
+            &m,
+            &q,
+            &Configuration::new(vec![priced(&db, spec.clone())]),
+        )
+        .0;
         let base = query_plan_cost(&db, &m, &q, &Configuration::empty()).0;
         assert!(c_match < base);
 
@@ -521,8 +513,8 @@ mod tests {
         let m = CostModel::default();
         let base = query_plan_cost(&db, &m, &q, &Configuration::empty()).0;
         // A PAGE-compressed clustered index shrinks the base scan I/O.
-        let cix = IndexSpec::clustered(t, vec![ColumnId(0)])
-            .with_compression(CompressionKind::Page);
+        let cix =
+            IndexSpec::clustered(t, vec![ColumnId(0)]).with_compression(CompressionKind::Page);
         let cfg = Configuration::new(vec![priced(&db, cix)]);
         let compressed = query_plan_cost(&db, &m, &q, &cfg).0;
         assert!(compressed < base, "{compressed} vs {base}");

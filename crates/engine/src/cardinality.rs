@@ -90,7 +90,11 @@ pub fn query_output_rows(db: &Database, q: &Query) -> f64 {
 /// Optimizer-style group count: product of per-column distinct counts
 /// (exact where multi-column stats exist), capped by the input rows — the
 /// independence assumption Table 1's "Optimizer" column suffers from.
-pub fn estimated_groups(db: &Database, cols: &[(TableId, cadb_common::ColumnId)], input_rows: f64) -> f64 {
+pub fn estimated_groups(
+    db: &Database,
+    cols: &[(TableId, cadb_common::ColumnId)],
+    input_rows: f64,
+) -> f64 {
     // Group per table so registered multi-column stats can be exploited.
     let mut product = 1.0f64;
     let mut tables: Vec<TableId> = cols.iter().map(|(t, _)| *t).collect();
@@ -119,7 +123,9 @@ pub fn mv_estimated_rows(db: &Database, mv: &MvSpec) -> f64 {
 /// Exact MV row count, computed by evaluating the grouping over the data —
 /// the expensive ground truth the paper's sampling pipeline avoids.
 pub fn mv_true_rows(db: &Database, mv: &MvSpec) -> u64 {
-    crate::exec::materialize_mv(db, mv).map(|rows| rows.len() as u64).unwrap_or(0)
+    crate::exec::materialize_mv(db, mv)
+        .map(|rows| rows.len() as u64)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -215,7 +221,8 @@ mod tests {
             root: TableId(0),
             ..Default::default()
         };
-        q.predicates.push(Predicate::eq(TableId(0), ColumnId(2), Value::Int(3)));
+        q.predicates
+            .push(Predicate::eq(TableId(0), ColumnId(2), Value::Int(3)));
         let r = filtered_rows(&db, TableId(0), &q);
         assert!((r - 100.0).abs() < 20.0, "r={r}");
     }

@@ -8,8 +8,8 @@
 
 use crate::predicate::Predicate;
 use crate::stmt::JoinEdge;
-use cadb_compression::CompressionKind;
 use cadb_common::{ColumnId, TableId};
+use cadb_compression::CompressionKind;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -338,24 +338,33 @@ mod tests {
     fn configuration_replaces_compression_variant() {
         let mut cfg = Configuration::empty();
         cfg.add(priced(ix(&[1]), 100.0));
-        cfg.add(priced(ix(&[1]).with_compression(CompressionKind::Row), 60.0));
+        cfg.add(priced(
+            ix(&[1]).with_compression(CompressionKind::Row),
+            60.0,
+        ));
         assert_eq!(cfg.len(), 1);
-        assert_eq!(
-            cfg.structures()[0].spec.compression,
-            CompressionKind::Row
-        );
+        assert_eq!(cfg.structures()[0].spec.compression, CompressionKind::Row);
         assert_eq!(cfg.total_bytes(), 60.0);
     }
 
     #[test]
     fn one_clustered_index_per_table() {
         let mut cfg = Configuration::empty();
-        cfg.add(priced(IndexSpec::clustered(TableId(0), vec![ColumnId(0)]), 10.0));
-        cfg.add(priced(IndexSpec::clustered(TableId(0), vec![ColumnId(1)]), 20.0));
+        cfg.add(priced(
+            IndexSpec::clustered(TableId(0), vec![ColumnId(0)]),
+            10.0,
+        ));
+        cfg.add(priced(
+            IndexSpec::clustered(TableId(0), vec![ColumnId(1)]),
+            20.0,
+        ));
         assert_eq!(cfg.len(), 1);
         assert_eq!(cfg.structures()[0].spec.key_cols, vec![ColumnId(1)]);
         // A clustered index on another table coexists.
-        cfg.add(priced(IndexSpec::clustered(TableId(1), vec![ColumnId(0)]), 5.0));
+        cfg.add(priced(
+            IndexSpec::clustered(TableId(1), vec![ColumnId(0)]),
+            5.0,
+        ));
         assert_eq!(cfg.len(), 2);
     }
 

@@ -429,9 +429,11 @@ mod tests {
             &db,
             "SELECT label FROM fact JOIN dim ON fact.fk = dim.k GROUP BY label",
         );
-        query
-            .predicates
-            .push(Predicate::eq(TableId(1), ColumnId(1), Value::Str("d3".into())));
+        query.predicates.push(Predicate::eq(
+            TableId(1),
+            ColumnId(1),
+            Value::Str("d3".into()),
+        ));
         let rows = execute(&db, &query).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].values[0], Value::Str("d3".into()));

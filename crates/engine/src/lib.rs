@@ -22,6 +22,6 @@ pub mod whatif;
 pub use catalog::Database;
 pub use config::{Configuration, IndexSpec, MvSpec, PhysicalStructure, SizeEstimate};
 pub use cost::CostModel;
-pub use predicate::{Predicate, PredOp};
+pub use predicate::{PredOp, Predicate};
 pub use stmt::{BulkInsert, JoinEdge, Query, Statement, Workload};
 pub use whatif::WhatIfOptimizer;

@@ -180,7 +180,11 @@ pub fn lower_select(db: &Database, s: &SelectStmt) -> Result<Query> {
         let left = expr_single_column(db, &tables, &j.on_left)?;
         let right = expr_single_column(db, &tables, &j.on_right)?;
         // Normalize: fact side (earlier table) first.
-        let (l, r) = if left.0 == jt { (right, left) } else { (left, right) };
+        let (l, r) = if left.0 == jt {
+            (right, left)
+        } else {
+            (left, right)
+        };
         q.joins.push(JoinEdge { left: l, right: r });
         q.mark_used(l.0, l.1);
         q.mark_used(r.0, r.1);
@@ -230,10 +234,8 @@ pub fn lower_select(db: &Database, s: &SelectStmt) -> Result<Query> {
             Condition::InList { column, values } => {
                 let (t, c) = expr_single_column(db, &tables, column)?;
                 let dtype = db.schema(t).column(c).dtype;
-                let vals: Result<Vec<Value>> = values
-                    .iter()
-                    .map(|v| literal_to_value(v, &dtype))
-                    .collect();
+                let vals: Result<Vec<Value>> =
+                    values.iter().map(|v| literal_to_value(v, &dtype)).collect();
                 q.predicates.push(Predicate {
                     table: t,
                     column: c,
@@ -468,7 +470,10 @@ mod tests {
         };
         let (t, rows) = lower_insert_rows(&db, &parsed).unwrap();
         assert_eq!(t, TableId(0));
-        assert_eq!(rows[0].values[1], Value::Int(parse_date("2009-06-15").unwrap()));
+        assert_eq!(
+            rows[0].values[1],
+            Value::Int(parse_date("2009-06-15").unwrap())
+        );
         assert_eq!(rows[0].values[3], Value::Int(1250));
         assert_eq!(rows[0].values[4], Value::Int(5));
     }

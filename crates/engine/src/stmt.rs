@@ -84,7 +84,10 @@ impl Query {
 
     /// Predicates local to one table.
     pub fn predicates_on(&self, table: TableId) -> Vec<&Predicate> {
-        self.predicates.iter().filter(|p| p.table == table).collect()
+        self.predicates
+            .iter()
+            .filter(|p| p.table == table)
+            .collect()
     }
 
     /// Columns a covering structure on `table` must contain.

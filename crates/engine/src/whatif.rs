@@ -12,8 +12,8 @@ use crate::catalog::Database;
 use crate::config::{Configuration, IndexSpec, SizeEstimate};
 use crate::cost::CostModel;
 use crate::stmt::{BulkInsert, Statement, Workload};
-use cadb_compression::analyze::PAGE_PAYLOAD;
 use cadb_common::DataType;
+use cadb_compression::analyze::PAGE_PAYLOAD;
 
 /// Per-row overhead of a stored index row (slot + header). Public because
 /// the deduction framework must decompose size reductions into per-column
@@ -261,10 +261,8 @@ mod tests {
             ColumnId(2),
             Value::Str("name7".into()),
         ));
-        let c_full =
-            opt.insert_cost(&ins, &Configuration::new(vec![priced(&opt, full, 1.0)]));
-        let c_part =
-            opt.insert_cost(&ins, &Configuration::new(vec![priced(&opt, part, 1.0)]));
+        let c_full = opt.insert_cost(&ins, &Configuration::new(vec![priced(&opt, full, 1.0)]));
+        let c_part = opt.insert_cost(&ins, &Configuration::new(vec![priced(&opt, part, 1.0)]));
         assert!(c_part < c_full);
     }
 
@@ -272,10 +270,8 @@ mod tests {
     fn uncompressed_size_sane() {
         let db = db();
         let opt = WhatIfOptimizer::new(&db);
-        let narrow = opt.estimate_uncompressed_size(&IndexSpec::secondary(
-            TableId(0),
-            vec![ColumnId(0)],
-        ));
+        let narrow =
+            opt.estimate_uncompressed_size(&IndexSpec::secondary(TableId(0), vec![ColumnId(0)]));
         let wide = opt.estimate_uncompressed_size(
             &IndexSpec::secondary(TableId(0), vec![ColumnId(0)])
                 .with_includes(vec![ColumnId(1), ColumnId(2)]),
@@ -285,8 +281,8 @@ mod tests {
         // Clustered stores every column → wider than a narrow secondary,
         // but cheaper than a secondary storing all columns (which also
         // pays the 8-byte row locator).
-        let cix = opt
-            .estimate_uncompressed_size(&IndexSpec::clustered(TableId(0), vec![ColumnId(0)]));
+        let cix =
+            opt.estimate_uncompressed_size(&IndexSpec::clustered(TableId(0), vec![ColumnId(0)]));
         assert!(cix.bytes > narrow.bytes);
         assert!(cix.bytes < wide.bytes);
     }
@@ -303,7 +299,12 @@ mod tests {
             Value::Str("name7".into()),
         ));
         let part = opt.estimate_uncompressed_size(&spec);
-        assert!(part.bytes < full.bytes / 10.0, "{} vs {}", part.bytes, full.bytes);
+        assert!(
+            part.bytes < full.bytes / 10.0,
+            "{} vs {}",
+            part.bytes,
+            full.bytes
+        );
     }
 
     #[test]

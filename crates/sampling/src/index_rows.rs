@@ -44,8 +44,7 @@ pub fn index_row_stream(
     let mut rows: Vec<Row> = filtered
         .iter()
         .map(|(ordinal, r)| {
-            let mut vals: Vec<Value> =
-                stored.iter().map(|c| r.values[c.raw()].clone()).collect();
+            let mut vals: Vec<Value> = stored.iter().map(|c| r.values[c.raw()].clone()).collect();
             if !spec.clustered {
                 vals.push(Value::Int(*ordinal as i64)); // row locator
             }
@@ -186,7 +185,9 @@ mod tests {
         assert_eq!(n_key, 2);
         // Sorted by (b, a).
         for w in rows.windows(2) {
-            assert!(w[0].key_cmp(&w[1], &[ColumnId(0), ColumnId(1)]) != std::cmp::Ordering::Greater);
+            assert!(
+                w[0].key_cmp(&w[1], &[ColumnId(0), ColumnId(1)]) != std::cmp::Ordering::Greater
+            );
         }
     }
 
@@ -194,8 +195,7 @@ mod tests {
     fn clustered_stores_all_columns_no_locator() {
         let db = db();
         let spec = IndexSpec::clustered(TableId(0), vec![ColumnId(0)]);
-        let (rows, dtypes, _) =
-            index_row_stream(&db, &spec, db.table(TableId(0)).rows()).unwrap();
+        let (rows, dtypes, _) = index_row_stream(&db, &spec, db.table(TableId(0)).rows()).unwrap();
         assert_eq!(dtypes.len(), 3);
         assert_eq!(rows.len(), 3000);
     }

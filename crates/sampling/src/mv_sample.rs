@@ -31,11 +31,7 @@ pub struct MvSampleStats {
 
 /// Run `CreateMVSample` (Appendix B.3) for an MV over the sample manager's
 /// join synopsis at fraction `f`.
-pub fn create_mv_sample(
-    manager: &SampleManager<'_>,
-    mv: &MvSpec,
-    f: f64,
-) -> Result<MvSampleStats> {
+pub fn create_mv_sample(manager: &SampleManager<'_>, mv: &MvSpec, f: f64) -> Result<MvSampleStats> {
     if mv.group_by.is_empty() {
         return Err(CadbError::InvalidArgument(
             "MV sample requires GROUP BY columns".into(),
@@ -67,7 +63,10 @@ pub fn create_mv_sample(
 
     let mut groups: HashMap<Vec<Value>, (Vec<i64>, u64)> = HashMap::new();
     for row in &syn.rows {
-        let key: Vec<Value> = group_offsets.iter().map(|&o| row.values[o].clone()).collect();
+        let key: Vec<Value> = group_offsets
+            .iter()
+            .map(|&o| row.values[o].clone())
+            .collect();
         let entry = groups
             .entry(key)
             .or_insert_with(|| (vec![0i64; agg_offsets.len()], 0));
@@ -195,7 +194,11 @@ mod tests {
         let ae_err = (stats.estimated_groups - 2000.0).abs() / 2000.0;
         let mult = multiply_estimate(&stats);
         let mult_err = (mult - 2000.0).abs() / 2000.0;
-        assert!(ae_err < 0.30, "AE err {ae_err} (est {})", stats.estimated_groups);
+        assert!(
+            ae_err < 0.30,
+            "AE err {ae_err} (est {})",
+            stats.estimated_groups
+        );
         assert!(mult_err > 1.0, "Multiply err {mult_err} (est {mult})");
     }
 

@@ -1,0 +1,172 @@
+//! In-tree shim for the `criterion` benchmarking API this workspace uses.
+//!
+//! It keeps benchmark sources compiling and produces honest wall-clock
+//! medians, without criterion's statistical machinery (outlier analysis,
+//! HTML reports, regression detection). When invoked with `--test` (as
+//! `cargo test --benches` does), each benchmark body runs exactly once so
+//! test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Full timing run (`cargo bench`).
+    Bench { sample_size: usize },
+    /// Smoke-test run (`cargo test --benches` passes `--test`).
+    Test,
+}
+
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if test_mode {
+                Mode::Test
+            } else {
+                Mode::Bench { sample_size: 30 }
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// `&str` id to match real criterion's signature, so call sites written
+    /// against this shim compile unchanged against the registry crate.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if let Mode::Bench { sample_size } = &mut self.mode {
+            *sample_size = n.max(2);
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.mode, &full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(self.mode, &full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iterations {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, id: &str, mut f: F) {
+    let iterations = match mode {
+        Mode::Bench { sample_size } => sample_size,
+        Mode::Test => 1,
+    };
+    let mut b = Bencher {
+        samples: Vec::with_capacity(iterations),
+        iterations,
+    };
+    f(&mut b);
+    match mode {
+        Mode::Test => println!("bench {id}: ok (smoke)"),
+        Mode::Bench { .. } => {
+            b.samples.sort_unstable();
+            if b.samples.is_empty() {
+                println!("bench {id}: no samples");
+            } else {
+                let median = b.samples[b.samples.len() / 2];
+                let best = b.samples[0];
+                println!(
+                    "bench {id}: median {:>12.3?}  best {:>12.3?}  ({} samples)",
+                    median,
+                    best,
+                    b.samples.len()
+                );
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

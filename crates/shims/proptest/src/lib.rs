@@ -1,0 +1,111 @@
+//! In-tree shim providing the subset of the `proptest` API this workspace
+//! uses: the [`strategy::Strategy`] trait with `prop_map`, range / tuple /
+//! `&str`-regex strategies, [`collection::vec`], [`option::of`],
+//! [`arbitrary::any`], `ProptestConfig`, and the `proptest!` /
+//! `prop_assert*!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the normal assert message; there is no minimization pass.
+//! * **Deterministic seeding.** Every test derives its RNG seed from the
+//!   test's name, so a given binary fails (or passes) identically on every
+//!   run — which tier-1 reproducibility wants anyway.
+//! * **`&str` strategies** support the character-class subset of regex the
+//!   workspace uses (`[a-z ]{0,12}`-style, plus literals and `* + ?`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Top-level test macro. Matches real proptest's surface grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_prop(x in 0i64..10, mut v in collection::vec(any::<u8>(), 0..5)) { ... }
+/// }
+/// ```
+///
+/// Attributes on each fn (including `#[test]` itself) are re-emitted
+/// verbatim, so the expansion runs under the standard test harness.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategies = ( $( $strat, )+ );
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let ( $( $pat, )+ ) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                let _ = __case;
+                // Immediately-invoked closure so `prop_assume!`'s `return`
+                // skips the whole case even from inside a loop in the body.
+                #[allow(clippy::redundant_closure_call)]
+                (|| {
+                    $body
+                })();
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Without shrinking, a failed property is just a failed assert.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Each case body runs inside a closure, so this `return` abandons the
+/// whole case — matching real proptest's rejection semantics even when
+/// written inside a loop in the test body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -1,0 +1,167 @@
+//! `&str` patterns as string strategies.
+//!
+//! Real proptest accepts any regex; this shim implements the subset the
+//! workspace's tests use — sequences of literal characters and character
+//! classes (`[a-z0-9 ]`), each optionally followed by `{n}`, `{m,n}`, `*`,
+//! `+`, or `?`. Unsupported syntax panics loudly at generation time rather
+//! than silently producing wrong distributions.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    /// Candidate characters and a repeat range [min, max] (inclusive).
+    Class {
+        chars: Vec<char>,
+        min: u32,
+        max: u32,
+    },
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        match c {
+            ']' => return out,
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = prev.take().unwrap();
+                let hi = chars.next().unwrap();
+                assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+                // `lo` is already in `out`; append the rest of the span.
+                for u in (lo as u32 + 1)..=(hi as u32) {
+                    out.push(char::from_u32(u).expect("invalid char in class range"));
+                }
+            }
+            c => {
+                out.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}")),
+                    hi.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}")),
+                ),
+                None => {
+                    let n = body
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pattern:?}"));
+                    (n, n)
+                }
+            }
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                vec![esc]
+            }
+            '.' => (' '..='~').collect(),
+            '(' | ')' | '|' => panic!("unsupported regex syntax {c:?} in pattern {pattern:?}"),
+            c => vec![c],
+        };
+        let (min, max) = parse_repeat(&mut chars, pattern);
+        assert!(min <= max, "inverted repeat bound in pattern {pattern:?}");
+        pieces.push(Piece::Class {
+            chars: class,
+            min,
+            max,
+        });
+    }
+    pieces
+}
+
+fn generate_from(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for Piece::Class { chars, min, max } in parse(pattern) {
+        assert!(
+            !chars.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        let n = rng.uniform_i128(min as i128, max as i128 + 1) as u32;
+        for _ in 0..n {
+            out.push(chars[rng.uniform_usize(0, chars.len())]);
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repeat() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = "[a-z ]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literal_and_plus() {
+        let mut rng = TestRng::from_seed(2);
+        let s = "ab[0-9]+".generate(&mut rng);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+        assert!(!s[2..].is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-test configuration and the deterministic RNG behind every strategy.
+
+/// Subset of proptest's config: only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps tier-1 fast while still
+        // exercising the size/content space of every strategy.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// splitmix64 generator, seeded from the test's name so failures reproduce
+/// bit-identically across runs and machines.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[lo, hi)` over i128 (covers every integer width).
+    pub fn uniform_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "cannot sample empty range");
+        let span = (hi - lo) as u128;
+        let v = (((self.next_u64() as u128) << 64) | self.next_u64() as u128) % span;
+        lo + v as i128
+    }
+
+    pub fn uniform_usize(&mut self, lo: usize, hi_exclusive: usize) -> usize {
+        self.uniform_i128(lo as i128, hi_exclusive as i128) as usize
+    }
+}

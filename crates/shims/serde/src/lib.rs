@@ -1,0 +1,18 @@
+//! In-tree stand-in for `serde`'s derive macros.
+//!
+//! The workspace only uses serde in derive position (`#[derive(Serialize,
+//! Deserialize)]`) to mark types as wire-ready; nothing serializes yet.
+//! These derives expand to nothing, keeping the annotations compiling until
+//! the real serde is restored via the workspace manifest.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -249,9 +249,6 @@ mod tests {
                 }),
             }),
         };
-        assert_eq!(
-            e.columns(),
-            vec![(None, "price"), (Some("l"), "discount")]
-        );
+        assert_eq!(e.columns(), vec![(None, "price"), (Some("l"), "discount")]);
     }
 }

@@ -156,9 +156,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push(Token::Word(input[start..i].to_ascii_lowercase()));
@@ -194,10 +192,7 @@ mod tests {
     #[test]
     fn operators() {
         let t = tokenize("a<=b <> c >= d < e > f != g = h").unwrap();
-        let ops: Vec<&Token> = t
-            .iter()
-            .filter(|t| !matches!(t, Token::Word(_)))
-            .collect();
+        let ops: Vec<&Token> = t.iter().filter(|t| !matches!(t, Token::Word(_))).collect();
         assert_eq!(
             ops,
             vec![

@@ -381,9 +381,11 @@ impl Parser {
                 if self.eat(&Token::LParen) {
                     loop {
                         match self.next()? {
-                            Token::Number(n) => type_args.push(n.parse().map_err(|_| {
-                                CadbError::Parse(format!("bad type argument {n}"))
-                            })?),
+                            Token::Number(n) => {
+                                type_args.push(n.parse().map_err(|_| {
+                                    CadbError::Parse(format!("bad type argument {n}"))
+                                })?)
+                            }
                             other => {
                                 return Err(CadbError::Parse(format!(
                                     "expected type argument, found {other:?}"
@@ -477,10 +479,7 @@ mod tests {
         assert!(matches!(s.where_clause[0], Condition::Between { .. }));
         assert!(matches!(
             s.where_clause[1],
-            Condition::Compare {
-                op: CmpOp::Eq,
-                ..
-            }
+            Condition::Compare { op: CmpOp::Eq, .. }
         ));
     }
 
@@ -584,7 +583,13 @@ mod tests {
                 right,
                 ..
             }) => {
-                assert!(matches!(**right, Expr::Binary { op: ArithOp::Mul, .. }));
+                assert!(matches!(
+                    **right,
+                    Expr::Binary {
+                        op: ArithOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }

@@ -174,7 +174,11 @@ mod tests {
                 Row::new(vec![
                     Value::Int(i % 10),
                     Value::Str(format!("s{}", i % 4)),
-                    if i % 5 == 0 { Value::Null } else { Value::Int(i) },
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
                 ])
             })
             .collect()

@@ -117,7 +117,9 @@ mod tests {
 
     /// Population where each of `d` values appears `c` times.
     fn uniform_population(d: usize, c: usize) -> Vec<i64> {
-        (0..d).flat_map(|v| std::iter::repeat_n(v as i64, c)).collect()
+        (0..d)
+            .flat_map(|v| std::iter::repeat_n(v as i64, c))
+            .collect()
     }
 
     #[test]

@@ -78,10 +78,7 @@ mod tests {
 
     #[test]
     fn from_values_counts_correctly() {
-        let vals: Vec<Value> = [1, 1, 1, 2, 2, 3]
-            .iter()
-            .map(|i| Value::Int(*i))
-            .collect();
+        let vals: Vec<Value> = [1, 1, 1, 2, 2, 3].iter().map(|i| Value::Int(*i)).collect();
         let fv = FrequencyVector::from_values(&vals);
         assert_eq!(fv.f(1), 1); // value 3
         assert_eq!(fv.f(2), 1); // value 2

@@ -10,10 +10,10 @@
 //! accounting, matching how a real engine's non-leaf levels add a small
 //! (<1 %) overhead on top of the leaf level.
 
+use cadb_common::{CadbError, ColumnId, DataType, Result, Row, Value};
 use cadb_compression::analyze::{build_dictionaries, pack_pages, PAGE_SIZE};
 use cadb_compression::page::{decode_page, EncodedPage, PageContext};
 use cadb_compression::{CompressionKind, GlobalDictionary};
-use cadb_common::{CadbError, ColumnId, DataType, Result, Row, Value};
 use std::cmp::Ordering;
 
 /// Fanout of internal (separator) nodes.
@@ -202,7 +202,11 @@ impl PhysicalIndex {
     /// Range scan over a key-prefix interval `[lo, hi]` (inclusive, either
     /// side optional). Returns matching rows and the number of leaf pages
     /// touched (the real I/O).
-    pub fn range_scan(&self, lo: Option<&[Value]>, hi: Option<&[Value]>) -> Result<(Vec<Row>, usize)> {
+    pub fn range_scan(
+        &self,
+        lo: Option<&[Value]>,
+        hi: Option<&[Value]>,
+    ) -> Result<(Vec<Row>, usize)> {
         if self.leaves.is_empty() {
             return Ok((Vec::new(), 0));
         }
@@ -217,15 +221,17 @@ impl PhysicalIndex {
             pages += 1;
             for r in rows {
                 if let Some(l) = lo {
-                    let cols: Vec<ColumnId> =
-                        (0..l.len().min(self.n_key_cols) as u16).map(ColumnId).collect();
+                    let cols: Vec<ColumnId> = (0..l.len().min(self.n_key_cols) as u16)
+                        .map(ColumnId)
+                        .collect();
                     if r.key_cmp(&Row::new(l.to_vec()), &cols) == Ordering::Less {
                         continue;
                     }
                 }
                 if let Some(h) = hi {
-                    let cols: Vec<ColumnId> =
-                        (0..h.len().min(self.n_key_cols) as u16).map(ColumnId).collect();
+                    let cols: Vec<ColumnId> = (0..h.len().min(self.n_key_cols) as u16)
+                        .map(ColumnId)
+                        .collect();
                     if r.key_cmp(&Row::new(h.to_vec()), &cols) == Ordering::Greater {
                         break 'outer;
                     }
@@ -265,7 +271,11 @@ mod tests {
     #[test]
     fn build_and_scan_round_trips() {
         let rows = sorted_rows(3000);
-        for kind in [CompressionKind::None, CompressionKind::Page, CompressionKind::GlobalDict] {
+        for kind in [
+            CompressionKind::None,
+            CompressionKind::Page,
+            CompressionKind::GlobalDict,
+        ] {
             let ix = PhysicalIndex::build(&rows, &dtypes(), 1, kind).unwrap();
             assert_eq!(ix.scan().unwrap(), rows, "{kind}");
             assert_eq!(ix.n_rows(), 3000);
@@ -328,9 +338,7 @@ mod tests {
             .collect();
         rows.sort();
         let ix = PhysicalIndex::build(&rows, &dtypes(), 2, CompressionKind::Row).unwrap();
-        let hits = ix
-            .seek(&[Value::Int(2), Value::Str("k1".into())])
-            .unwrap();
+        let hits = ix.seek(&[Value::Int(2), Value::Str("k1".into())]).unwrap();
         assert!(!hits.is_empty());
         for h in &hits {
             assert_eq!(h.values[0], Value::Int(2));

@@ -5,8 +5,8 @@
 //! order accepted), kept as its own type so call sites say what they mean.
 
 use crate::btree::PhysicalIndex;
-use cadb_compression::CompressionKind;
 use cadb_common::{DataType, Result, Row};
+use cadb_compression::CompressionKind;
 
 /// An unordered, page-packed (optionally compressed) row store.
 #[derive(Debug, Clone)]

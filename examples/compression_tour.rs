@@ -55,8 +55,8 @@ fn main() {
 
     // Losslessness: a physical B+Tree over PAGE-compressed leaves returns
     // exactly the rows that went in.
-    let ix = PhysicalIndex::build(&rows, &dtypes, n_key, CompressionKind::Page)
-        .expect("build index");
+    let ix =
+        PhysicalIndex::build(&rows, &dtypes, n_key, CompressionKind::Page).expect("build index");
     assert_eq!(ix.scan().expect("scan"), rows);
     println!(
         "\nPAGE-compressed B+Tree: {} leaf pages, {} bytes, scan round-trips ✓",
@@ -71,7 +71,11 @@ fn main() {
     let (rows_rev, dtypes_rev, _) =
         index_row_stream(&db, &spec_rev, db.table(t).rows()).expect("index stream");
     println!("\nsame column set, reversed key order:");
-    for kind in [CompressionKind::Row, CompressionKind::Page, CompressionKind::Rle] {
+    for kind in [
+        CompressionKind::Row,
+        CompressionKind::Page,
+        CompressionKind::Rle,
+    ] {
         let a = compressed_index_size(&rows, &dtypes, kind).expect("measure");
         let b = compressed_index_size(&rows_rev, &dtypes_rev, kind).expect("measure");
         let delta = (a.compressed_bytes as f64 - b.compressed_bytes as f64).abs()

@@ -23,7 +23,10 @@ fn main() {
     for (mix, insert_weight) in [("SELECT-intensive", 0.1), ("INSERT-intensive", 100.0)] {
         let w = workload.with_insert_weight(insert_weight);
         println!("\n--- {mix} ---");
-        println!("{:>8} {:>10} {:>10} {:>14}", "budget", "DTAc", "DTA", "DTAc wins by");
+        println!(
+            "{:>8} {:>10} {:>10} {:>14}",
+            "budget", "DTAc", "DTA", "DTAc wins by"
+        );
         for frac in [0.1, 0.2, 0.4, 0.8] {
             let budget = base * frac;
             let dtac = Advisor::new(&db, AdvisorOptions::dtac(budget))
@@ -48,6 +51,10 @@ fn main() {
         .expect("DTAc");
     println!("\nDTAc design at 20% budget:");
     for s in rec.configuration.structures() {
-        println!("  {:<50} {:>8.1} KiB", s.spec.to_string(), s.size.bytes / 1024.0);
+        println!(
+            "  {:<50} {:>8.1} KiB",
+            s.spec.to_string(),
+            s.size.bytes / 1024.0
+        );
     }
 }

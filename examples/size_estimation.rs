@@ -6,11 +6,11 @@
 //! cargo run --release --example size_estimation
 //! ```
 
-use cadb::core::{EstimationPlanner, ErrorModel, PlannerOptions};
+use cadb::compression::CompressionKind;
+use cadb::core::{ErrorModel, EstimationPlanner, PlannerOptions};
 use cadb::datagen::TpchGen;
 use cadb::engine::{IndexSpec, WhatIfOptimizer};
 use cadb::sampling::{true_compression_fraction, SampleManager};
-use cadb::compression::CompressionKind;
 
 fn main() {
     let db = TpchGen::new(0.2).build().expect("generate database");
@@ -35,8 +35,10 @@ fn main() {
 
     let opt = WhatIfOptimizer::new(&db);
     let manager = SampleManager::new(&db, 7);
-    for (label, use_deduction) in [("SampleCF on every index", false), ("with deductions", true)]
-    {
+    for (label, use_deduction) in [
+        ("SampleCF on every index", false),
+        ("with deductions", true),
+    ] {
         let planner = EstimationPlanner::new(
             &opt,
             &manager,

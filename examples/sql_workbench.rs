@@ -7,10 +7,10 @@
 //! cargo run --release --example sql_workbench
 //! ```
 
-use cadb::engine::lower::{create_table, lower_statement};
-use cadb::engine::{exec, Configuration, Database, PhysicalStructure, Statement, WhatIfOptimizer};
-use cadb::engine::IndexSpec;
 use cadb::compression::CompressionKind;
+use cadb::engine::lower::{create_table, lower_statement};
+use cadb::engine::IndexSpec;
+use cadb::engine::{exec, Configuration, Database, PhysicalStructure, Statement, WhatIfOptimizer};
 use cadb::sql::parse_statement;
 
 fn main() {
@@ -85,8 +85,14 @@ fn main() {
     };
     for (label, cfg) in [
         ("no indexes".to_string(), Configuration::empty()),
-        (format!("I1 = {i1}"), Configuration::new(vec![price(&i1, 1.0)])),
-        (format!("I2c = {i2c}"), Configuration::new(vec![price(&i2c, 0.45)])),
+        (
+            format!("I1 = {i1}"),
+            Configuration::new(vec![price(&i1, 1.0)]),
+        ),
+        (
+            format!("I2c = {i2c}"),
+            Configuration::new(vec![price(&i2c, 0.45)]),
+        ),
     ] {
         println!(
             "cost under {:<55} {:>9.2}",

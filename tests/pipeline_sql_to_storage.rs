@@ -24,9 +24,14 @@ fn executor_answers_match_index_scans() {
     let ix = PhysicalIndex::build(&rows, &dtypes, n_key, CompressionKind::Page).unwrap();
 
     // Per-suppkey SUM(quantity) via the executor...
-    let stmt = lower_statement(&db, "SELECT suppkey, SUM(quantity) FROM lineitem GROUP BY suppkey")
-        .unwrap();
-    let Statement::Select(q) = &stmt else { unreachable!() };
+    let stmt = lower_statement(
+        &db,
+        "SELECT suppkey, SUM(quantity) FROM lineitem GROUP BY suppkey",
+    )
+    .unwrap();
+    let Statement::Select(q) = &stmt else {
+        unreachable!()
+    };
     let exec_rows = exec::execute(&db, q).unwrap();
 
     // ...and independently via seeks into the compressed physical index.
@@ -43,13 +48,13 @@ fn executor_answers_match_index_scans() {
 fn every_tpch_query_parses_lowers_and_executes() {
     let db = TpchGen::new(0.01).build().unwrap();
     for sql in cadb::datagen::tpch::QUERIES {
-        let stmt = lower_statement(&db, sql)
-            .unwrap_or_else(|e| panic!("lowering failed for {sql}: {e}"));
+        let stmt =
+            lower_statement(&db, sql).unwrap_or_else(|e| panic!("lowering failed for {sql}: {e}"));
         let Statement::Select(q) = &stmt else {
             panic!("expected SELECT: {sql}")
         };
-        let rows = exec::execute(&db, q)
-            .unwrap_or_else(|e| panic!("execution failed for {sql}: {e}"));
+        let rows =
+            exec::execute(&db, q).unwrap_or_else(|e| panic!("execution failed for {sql}: {e}"));
         // Grouped queries must produce at most the estimated group count's
         // order of magnitude; all queries must terminate with sane output.
         if q.is_grouping() && q.group_by.is_empty() {
@@ -103,7 +108,10 @@ fn example1_compressed_covering_index_fits_where_plain_does_not() {
 
     let plain_bytes = cadb::sampling::index_rows::true_index_bytes(&db, &i2).unwrap() as f64;
     let comp_bytes = cadb::sampling::index_rows::true_index_bytes(&db, &i2c).unwrap() as f64;
-    assert!(comp_bytes < 0.9 * plain_bytes, "{comp_bytes} vs {plain_bytes}");
+    assert!(
+        comp_bytes < 0.9 * plain_bytes,
+        "{comp_bytes} vs {plain_bytes}"
+    );
     let budget = (comp_bytes + plain_bytes) / 2.0;
     assert!(comp_bytes <= budget && plain_bytes > budget);
 }

@@ -16,18 +16,13 @@ use proptest::prelude::*;
 
 /// Strategy: a typed row for the fixed 3-column test schema.
 fn arb_row() -> impl Strategy<Value = Row> {
-    (
-        -50i64..50,
-        proptest::option::of("[a-z]{0,6}"),
-        any::<i32>(),
-    )
-        .prop_map(|(a, s, d)| {
-            Row::new(vec![
-                Value::Int(a),
-                s.map(Value::Str).unwrap_or(Value::Null),
-                Value::Int(d as i64),
-            ])
-        })
+    (-50i64..50, proptest::option::of("[a-z]{0,6}"), any::<i32>()).prop_map(|(a, s, d)| {
+        Row::new(vec![
+            Value::Int(a),
+            s.map(Value::Str).unwrap_or(Value::Null),
+            Value::Int(d as i64),
+        ])
+    })
 }
 
 fn dtypes() -> Vec<DataType> {
@@ -134,6 +129,136 @@ proptest! {
         distinct.dedup();
         let total: f64 = distinct.iter().map(|v| h.eq_selectivity(&Value::Int(*v))).sum();
         prop_assert!((total - 1.0).abs() < 0.35, "total eq mass {total}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cadb-core math invariants (§5.1 error model, §5.2/§D.3 graph search).
+// ---------------------------------------------------------------------------
+
+/// Strategy: a plausible per-action estimate distribution (mean near 1,
+/// modest spread), as produced by SampleCF / ColExt error models.
+fn arb_distribution() -> impl Strategy<Value = cadb::core::EstimateDistribution> {
+    (0.5f64..1.5, 0.0f64..0.3).prop_map(|(mean, sd)| cadb::core::EstimateDistribution { mean, sd })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn goodman_product_is_order_insensitive(
+        parts in proptest::collection::vec(arb_distribution(), 1..7),
+        rot in 0usize..7,
+    ) {
+        use cadb::core::EstimateDistribution;
+        let base = EstimateDistribution::product(&parts);
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        let mut rotated = parts.clone();
+        rotated.rotate_left(rot % parts.len().max(1));
+        for (label, perm) in [("reversed", reversed), ("rotated", rotated)] {
+            let p = EstimateDistribution::product(&perm);
+            prop_assert!(
+                (p.mean - base.mean).abs() <= 1e-9 * base.mean.abs().max(1.0),
+                "{label}: mean {} vs {}", p.mean, base.mean
+            );
+            prop_assert!(
+                (p.sd - base.sd).abs() <= 1e-9 * base.sd.abs().max(1.0),
+                "{label}: sd {} vs {}", p.sd, base.sd
+            );
+        }
+        // Goodman composition never conjures certainty: the product of a
+        // chain is at least as spread as none at all, and multiplying in an
+        // exact estimate changes nothing.
+        prop_assert!(base.sd >= 0.0);
+        let mut with_exact = parts.clone();
+        with_exact.push(EstimateDistribution::exact());
+        let same = EstimateDistribution::product(&with_exact);
+        prop_assert!((same.mean - base.mean).abs() <= 1e-9 * base.mean.abs().max(1.0));
+        prop_assert!((same.sd - base.sd).abs() <= 1e-9 * base.sd.abs().max(1.0));
+    }
+
+    #[test]
+    fn prob_within_is_a_probability_and_monotone_in_e(
+        d in arb_distribution(),
+        e_lo in 0.01f64..0.5,
+        e_step in 0.0f64..1.0,
+    ) {
+        let p_lo = d.prob_within(e_lo);
+        let p_hi = d.prob_within(e_lo + e_step);
+        prop_assert!((0.0..=1.0).contains(&p_lo), "p={p_lo}");
+        prop_assert!((0.0..=1.0).contains(&p_hi), "p={p_hi}");
+        prop_assert!(p_hi >= p_lo - 1e-9, "looser e lowered confidence: {p_lo} -> {p_hi}");
+    }
+}
+
+/// Shared tiny database for the (exponential) exact-search property — built
+/// once, not per case.
+fn graph_db() -> &'static cadb::engine::Database {
+    use std::sync::OnceLock;
+    static DB: OnceLock<cadb::engine::Database> = OnceLock::new();
+    DB.get_or_init(|| cadb::datagen::TpchGen::new(0.005).build().unwrap())
+}
+
+proptest! {
+    // Exact search is exponential by design; keep the case count low and the
+    // target sets tiny.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn greedy_between_exact_and_all_sampled(
+        raw_targets in proptest::collection::vec(
+            (proptest::collection::vec(0usize..6, 1..4), any::<bool>()), 1..5),
+        e in 0.4f64..1.2,
+        q in 0.7f64..0.9,
+    ) {
+        use cadb::core::{exact::exact_assign, greedy::{all_sampled, greedy_assign}};
+        use cadb::core::{ErrorModel, EstimationGraph};
+        use cadb::engine::{IndexSpec, WhatIfOptimizer};
+
+        let db = graph_db();
+        let t = db.table_id("lineitem").unwrap();
+        let mut targets: Vec<IndexSpec> = Vec::new();
+        for (cols, page) in &raw_targets {
+            let mut key: Vec<cadb_common::ColumnId> = Vec::new();
+            for &c in cols {
+                let id = cadb_common::ColumnId(c as u16);
+                if !key.contains(&id) {
+                    key.push(id);
+                }
+            }
+            let kind = if *page { CompressionKind::Page } else { CompressionKind::Row };
+            let spec = IndexSpec::secondary(t, key).with_compression(kind);
+            if !targets.contains(&spec) {
+                targets.push(spec);
+            }
+        }
+
+        let opt = WhatIfOptimizer::new(db);
+        let mut g_greedy = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let greedy_cost = greedy_assign(&mut g_greedy, &opt, e, q);
+
+        let mut g_all = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let all_cost = all_sampled(&mut g_all);
+
+        // Greedy never does worse than sampling everything…
+        prop_assert!(
+            greedy_cost <= all_cost + 1e-9,
+            "greedy {greedy_cost} > all-sampled {all_cost}"
+        );
+
+        // …and the exact optimum never exceeds greedy (greedy is a feasible
+        // assignment the optimum gets to improve on).
+        let mut g_exact = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+        let exact = exact_assign(&mut g_exact, &opt, e, q);
+        if let Some(exact_cost) = exact.best_cost {
+            prop_assert!(!exact.truncated);
+            prop_assert!(
+                exact_cost <= greedy_cost + 1e-9,
+                "exact {exact_cost} > greedy {greedy_cost}"
+            );
+            prop_assert!(g_exact.feasible(e, q));
+        }
     }
 }
 

@@ -1,8 +1,8 @@
 //! Integration tests for the size-estimation pipeline against ground truth
 //! on the TPC-H-like dataset.
 
-use cadb::core::{ErrorModel, EstimationPlanner, PlannerOptions};
 use cadb::compression::CompressionKind;
+use cadb::core::{ErrorModel, EstimationPlanner, PlannerOptions};
 use cadb::engine::{IndexSpec, WhatIfOptimizer};
 use cadb::sampling::{true_compression_fraction, SampleManager};
 
@@ -84,7 +84,10 @@ fn existing_indexes_make_estimation_cheaper() {
         .estimate_sizes(std::slice::from_ref(&target), &[])
         .unwrap();
     let warm = planner
-        .estimate_sizes(std::slice::from_ref(&target), std::slice::from_ref(&existing))
+        .estimate_sizes(
+            std::slice::from_ref(&target),
+            std::slice::from_ref(&existing),
+        )
         .unwrap();
     // With the permutation already materialized, ColSet deduces for free.
     assert!(warm.planned_cost < cold.planned_cost);
@@ -131,5 +134,9 @@ fn mv_index_size_uses_ae_rows() {
     let est = report.estimates[&spec];
     let true_groups = cadb::engine::cardinality::mv_true_rows(&db, &mv) as f64;
     let err = (est.rows - true_groups).abs() / true_groups;
-    assert!(err < 0.35, "MV rows est {} vs truth {true_groups}", est.rows);
+    assert!(
+        err < 0.35,
+        "MV rows est {} vs truth {true_groups}",
+        est.rows
+    );
 }
