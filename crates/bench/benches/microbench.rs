@@ -5,13 +5,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use cadb_common::Parallelism;
 use cadb_compression::analyze::compressed_index_size;
 use cadb_compression::page::{decode_page, encode_page, PageContext};
 use cadb_compression::CompressionKind;
 use cadb_core::greedy::greedy_assign;
 use cadb_core::{Advisor, AdvisorOptions, ErrorModel, EstimationGraph};
 use cadb_engine::WhatIfOptimizer;
-use cadb_sampling::{sample_cf, SampleManager};
+use cadb_sampling::{sample_cf, sample_cf_batch, SampleManager};
 
 fn bench_page_codec(c: &mut Criterion) {
     let db = cadb_datagen::TpchGen::new(0.05).build().unwrap();
@@ -68,6 +69,34 @@ fn bench_samplecf(c: &mut Criterion) {
     });
 }
 
+fn bench_samplecf_batch(c: &mut Criterion) {
+    // A full SampleCF round (fresh manager each iteration, as the advisor
+    // sees it): serial loop vs the worker-pool batch. Records the
+    // serial-vs-parallel wall time behind the `par` repro experiment.
+    let db = cadb_datagen::TpchGen::new(0.1).build().unwrap();
+    let specs = cadb_bench::experiments::lineitem_index_specs(
+        &db,
+        &[CompressionKind::Row, CompressionKind::Page],
+        2,
+    );
+    let mut group = c.benchmark_group("samplecf_round");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let mgr = SampleManager::new(&db, 1);
+            sample_cf_batch(black_box(&mgr), &specs, 0.05, Parallelism::Serial).unwrap()
+        })
+    });
+    let workers = Parallelism::Auto.effective_threads().max(4);
+    group.bench_function(&format!("threads_{workers}"), |b| {
+        b.iter(|| {
+            let mgr = SampleManager::new(&db, 1);
+            sample_cf_batch(black_box(&mgr), &specs, 0.05, Parallelism::Threads(workers)).unwrap()
+        })
+    });
+    group.finish();
+}
+
 fn bench_greedy_search(c: &mut Criterion) {
     let db = cadb_datagen::TpchGen::new(0.05).build().unwrap();
     let opt = WhatIfOptimizer::new(&db);
@@ -109,6 +138,7 @@ criterion_group!(
     benches,
     bench_page_codec,
     bench_samplecf,
+    bench_samplecf_batch,
     bench_greedy_search,
     bench_advisor
 );

@@ -17,6 +17,7 @@
 //!   fig16     TPC-H all features, SELECT-intensive, DTAc vs DTA
 //!   fig17     TPC-H all features, INSERT-intensive, DTAc vs DTA
 //!   motivating  §1 Examples 1–2 (staged vs integrated)
+//!   par       parallel estimation pipeline speedup (serial vs pool)
 //!   all       everything above (default)
 //! ```
 
@@ -24,7 +25,7 @@ use cadb_bench::experiments::designs::{
     design_figure, VariantSet, BUDGETS, INSERT_INTENSIVE, SELECT_INTENSIVE,
 };
 use cadb_bench::experiments::{
-    calibration, estimation_runtime, graph_quality, motivating, mv_rows,
+    calibration, estimation_runtime, graph_quality, motivating, mv_rows, par_speedup,
 };
 use cadb_core::FeatureSet;
 use std::time::Instant;
@@ -201,6 +202,10 @@ fn run(which: &str, scale: f64) {
         let (db, w) = tpch(scale);
         println!("{}", motivating::motivating(&db, &w).render());
     }
+    if all || which == "par" {
+        let (db, w) = tpch(scale);
+        println!("{}", par_speedup::par_speedup(&db, &w).render());
+    }
     let known = [
         "all",
         "table1",
@@ -216,6 +221,7 @@ fn run(which: &str, scale: f64) {
         "fig16",
         "fig17",
         "motivating",
+        "par",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment '{which}'; one of: {}", known.join(", "));

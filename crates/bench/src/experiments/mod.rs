@@ -6,6 +6,7 @@ pub mod estimation_runtime;
 pub mod graph_quality;
 pub mod motivating;
 pub mod mv_rows;
+pub mod par_speedup;
 
 use cadb_common::ColumnId;
 use cadb_engine::IndexSpec;

@@ -1,0 +1,169 @@
+//! Parallel-speedup experiment for the estimation pipeline (not a paper
+//! figure — the ROADMAP's scaling direction).
+//!
+//! Times the two hot batched paths serial vs parallel at several worker
+//! counts, verifying on the way that every parallel run is **bit-for-bit
+//! identical** to the serial reference (the determinism contract the
+//! `tests/parallel_equivalence.rs` suite pins):
+//!
+//! * **SampleCF phase** — the §5.1-dominant cost: one `sample_cf` per
+//!   compressed candidate over a fresh `SampleManager`, serial loop vs
+//!   [`cadb_sampling::sample_cf_batch`].
+//! * **What-if costing sweep** — pricing every candidate as a
+//!   single-structure configuration, serial loop vs
+//!   [`WhatIfOptimizer::cost_workload_for`].
+
+use crate::report::Table;
+use cadb_common::Parallelism;
+use cadb_engine::{Configuration, Database, PhysicalStructure, WhatIfOptimizer, Workload};
+use cadb_sampling::{sample_cf, sample_cf_batch, CfEstimate, SampleManager};
+use std::time::Instant;
+
+const FRACTION: f64 = 0.05;
+const SEED: u64 = 42;
+
+fn identical(a: &[CfEstimate], b: &[CfEstimate]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.cf.to_bits() == y.cf.to_bits()
+                && x.sample_rows == y.sample_rows
+                && x.cost_pages.to_bits() == y.cost_pages.to_bits()
+        })
+}
+
+/// Run the speedup comparison on a TPC-H-shaped database.
+pub fn par_speedup(db: &Database, workload: &Workload) -> Table {
+    let cores = Parallelism::Auto.effective_threads();
+    let mut t = Table::new(
+        format!("Parallel estimation pipeline: serial vs worker pool ({cores} cores detected)"),
+        &["phase", "threads", "seconds", "speedup", "identical"],
+    );
+    let specs = super::lineitem_index_specs(
+        db,
+        &[
+            cadb_compression::CompressionKind::Row,
+            cadb_compression::CompressionKind::Page,
+        ],
+        3,
+    );
+
+    // --- SampleCF phase ---
+    // Untimed warm-up round: pays one-time lazy costs (catalog statistics,
+    // allocator growth) so the timed serial reference is not penalized for
+    // running first.
+    {
+        let warm = SampleManager::new(db, SEED);
+        for s in &specs {
+            sample_cf(&warm, s, FRACTION).expect("samplecf warm-up");
+        }
+    }
+    let t0 = Instant::now();
+    let serial_mgr = SampleManager::new(db, SEED);
+    let reference: Vec<CfEstimate> = specs
+        .iter()
+        .map(|s| sample_cf(&serial_mgr, s, FRACTION).expect("samplecf"))
+        .collect();
+    let serial_s = t0.elapsed().as_secs_f64();
+    t.row(vec![
+        "samplecf".into(),
+        "serial".into(),
+        format!("{serial_s:.3}"),
+        "1.00".into(),
+        "ref".into(),
+    ]);
+    let mut counts = vec![2, 4];
+    if !counts.contains(&cores) {
+        counts.push(cores);
+    }
+    for n in counts.clone() {
+        let mgr = SampleManager::new(db, SEED);
+        let t0 = Instant::now();
+        let got = sample_cf_batch(&mgr, &specs, FRACTION, Parallelism::Threads(n))
+            .expect("samplecf batch");
+        let s = t0.elapsed().as_secs_f64();
+        t.row(vec![
+            "samplecf".into(),
+            n.to_string(),
+            format!("{s:.3}"),
+            format!("{:.2}", serial_s / s.max(1e-9)),
+            if identical(&got, &reference) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
+        ]);
+    }
+
+    // --- What-if costing sweep ---
+    let serial_opt = WhatIfOptimizer::new(db).with_parallelism(Parallelism::Serial);
+    let cfgs: Vec<Configuration> = specs
+        .iter()
+        .zip(&reference)
+        .map(|(spec, est)| {
+            let size = serial_opt
+                .estimate_uncompressed_size(spec)
+                .compressed(est.cf);
+            Configuration::new(vec![PhysicalStructure {
+                spec: spec.clone(),
+                size,
+            }])
+        })
+        .collect();
+    // Untimed warm-up sweep, for the same reason as above.
+    for c in &cfgs {
+        serial_opt.workload_cost(workload, c);
+    }
+    let t0 = Instant::now();
+    let ref_costs: Vec<f64> = cfgs
+        .iter()
+        .map(|c| serial_opt.workload_cost(workload, c))
+        .collect();
+    let serial_s = t0.elapsed().as_secs_f64();
+    t.row(vec![
+        "whatif_sweep".into(),
+        "serial".into(),
+        format!("{serial_s:.3}"),
+        "1.00".into(),
+        "ref".into(),
+    ]);
+    for n in counts {
+        let opt = WhatIfOptimizer::new(db).with_parallelism(Parallelism::Threads(n));
+        let t0 = Instant::now();
+        let got = opt.cost_workload_for(workload, &cfgs);
+        let s = t0.elapsed().as_secs_f64();
+        let same = got.len() == ref_costs.len()
+            && got
+                .iter()
+                .zip(&ref_costs)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        t.row(vec![
+            "whatif_sweep".into(),
+            n.to_string(),
+            format!("{s:.3}"),
+            format!("{:.2}", serial_s / s.max(1e-9)),
+            if same { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_table_reports_identical_results() {
+        let gen = cadb_datagen::TpchGen::new(0.02);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        let t = par_speedup(&db, &w);
+        // serial + ≥2 thread counts, for both phases.
+        assert!(t.rows.len() >= 6, "{}", t.rows.len());
+        for row in &t.rows {
+            assert_ne!(row[4], "NO", "parallel diverged from serial: {row:?}");
+            let speedup: f64 = row[3].parse().unwrap();
+            assert!(speedup > 0.0);
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! # cadb-common
 //!
 //! Shared foundation types for the `cadb` workspace: SQL values, data types,
-//! schemas, rows, error types, identifiers and deterministic RNG helpers.
+//! schemas, rows, error types, identifiers, deterministic RNG helpers, and
+//! the scoped-thread parallel runtime ([`par`]) the estimation pipeline
+//! batches work on.
 //!
 //! Every other crate in the workspace builds on these definitions, so this
 //! crate deliberately has no dependencies on the rest of the workspace.
@@ -10,6 +12,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod par;
 pub mod rng;
 pub mod row;
 pub mod schema;
@@ -18,6 +21,7 @@ pub mod value;
 
 pub use error::{CadbError, Result};
 pub use ids::{ColumnId, IndexId, TableId};
+pub use par::{par_map, try_par_map, Parallelism};
 pub use row::Row;
 pub use schema::{ColumnDef, TableSchema};
 pub use types::DataType;

@@ -1,0 +1,299 @@
+//! A small scoped-thread parallel runtime for the estimation pipeline.
+//!
+//! The workspace parallelizes *embarrassingly parallel batches* — a round of
+//! independent `SampleCF` builds, a sweep of what-if costings — not
+//! fine-grained dataflow. [`par_map`] is therefore deliberately simple: a
+//! worker pool of scoped threads pulling indices off an atomic counter, with
+//! every result placed back at its input's index. No external dependencies,
+//! no work stealing, no executor.
+//!
+//! # Determinism contract
+//!
+//! `par_map(par, items, f)` returns **exactly** `items.iter().enumerate()
+//! .map(f).collect()` for every [`Parallelism`] setting, provided `f` is a
+//! pure function of its arguments. Parallelism changes *who* computes each
+//! element and in what wall-clock order — never the result, its position, or
+//! the floating-point operation sequence inside one element. Code that needs
+//! bit-for-bit serial equivalence (all of the §5 estimation pipeline) gets
+//! it by construction: no cross-item accumulation happens off the main
+//! thread.
+//!
+//! [`Parallelism::Serial`] is the escape hatch: it runs every batch inline
+//! on the caller's thread, with no pool at all.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// How many worker threads batch operations may use.
+///
+/// The default, [`Parallelism::Auto`], sizes the pool from
+/// [`std::thread::available_parallelism`]. `Serial` forces every batch
+/// inline on the calling thread (the determinism *escape hatch* — results
+/// are identical either way, `Serial` just removes the threads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker per available hardware thread.
+    #[default]
+    Auto,
+    /// No threads: run batches inline on the caller.
+    Serial,
+    /// Exactly this many workers (clamped to ≥ 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The worker count this setting resolves to on this machine.
+    pub fn effective_threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Apply `f` to every item, possibly on a pool of scoped worker threads,
+/// returning the results in input order.
+///
+/// Equivalent to `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()`
+/// for pure `f` — see the module docs for the determinism contract. A panic
+/// in `f` is propagated to the caller after all workers finish.
+///
+/// Spawning costs tens of microseconds per worker, and `par_map` has **no
+/// built-in small-batch cutoff** because item weight is caller knowledge:
+/// a two-item SampleCF round is worth two threads, a thousand-item sweep
+/// of nanosecond math is not. Call sites batching micro-work gate on batch
+/// size themselves and fall back to [`Parallelism::Serial`] (see the
+/// greedy level scoring and skyline selection in `cadb-core`) — results
+/// are identical either way.
+///
+/// ```
+/// use cadb_common::par::{par_map, Parallelism};
+///
+/// let squares = par_map(Parallelism::Threads(4), &[1u64, 2, 3, 4], |_, x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = par.effective_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(p) => panic = Some(p),
+            }
+        }
+    });
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map: every index visited exactly once"))
+        .collect()
+}
+
+/// Fallible [`par_map`]: apply `f` to every item and collect into a single
+/// `Result`, returning the **first** error in *input order* (not completion
+/// order), exactly as the serial `collect::<Result<_, _>>()` would.
+///
+/// Short-circuits: once any worker observes an error, no further items are
+/// handed out (in-flight items still finish). Because the work queue hands
+/// indices out in ascending order, every item the serial loop would have
+/// reached before the returned error has still been computed — only work
+/// *after* the first error is skipped, never reordered.
+pub fn try_par_map<T, R, E, F>(par: Parallelism, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let workers = par.effective_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let mut slots: Vec<Option<Result<R, E>>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let r = f(i, &items[i]);
+                        if r.is_err() {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        local.push((i, r));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(p) => panic = Some(p),
+            }
+        }
+    });
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        match slot {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            // Indices are handed out in ascending order, so an unvisited
+            // slot can only follow an error at a smaller index — which the
+            // loop has already returned.
+            None => unreachable!("unvisited slot with no earlier error"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_for_all_settings() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Threads(1),
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+            Parallelism::Threads(64),
+        ] {
+            let got = par_map(par, &items, |_, x| x.wrapping_mul(2654435761));
+            assert_eq!(got, expect, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn index_is_passed_through() {
+        let items = vec!["a", "b", "c"];
+        let got = par_map(Parallelism::Threads(3), &items, |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(Parallelism::Auto, &none, |_, x| *x).is_empty());
+        assert_eq!(
+            par_map(Parallelism::Threads(8), &[7u32], |_, x| *x),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn effective_threads_floors_at_one() {
+        assert_eq!(Parallelism::Serial.effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(0).effective_threads(), 1);
+        assert_eq!(Parallelism::Threads(5).effective_threads(), 5);
+        assert!(Parallelism::Auto.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error_in_input_order() {
+        let items: Vec<i32> = (0..100).collect();
+        let r = try_par_map(Parallelism::Threads(4), &items, |_, &x| {
+            if x % 30 == 17 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "bad 17");
+        let ok = try_par_map(Parallelism::Threads(4), &items[..10], |_, &x| {
+            Ok::<_, String>(x + 1)
+        });
+        assert_eq!(ok.unwrap(), (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_par_map_short_circuits_after_error() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<i32> = (0..10_000).collect();
+        let calls = AtomicUsize::new(0);
+        let r = try_par_map(Parallelism::Threads(4), &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                Err("first item fails")
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                Ok(x)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "first item fails");
+        // With the very first item failing, the queue stops early: nowhere
+        // near the full 10k items should have been handed out.
+        assert!(
+            calls.load(Ordering::Relaxed) < items.len() / 2,
+            "no short-circuit: {} calls",
+            calls.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(Parallelism::Threads(4), &items, |_, &x| {
+                assert!(x != 33, "boom on 33");
+                x
+            })
+        }));
+        assert!(caught.is_err());
+    }
+}

@@ -56,10 +56,13 @@ fn enumerate_one(
     let mut current_cost = opt.workload_cost(workload, &current);
 
     loop {
-        let mut best_fit: Option<(f64, Configuration, f64)> = None; // (score, cfg, cost)
-        let mut best_oversized: Option<(f64, PhysicalStructure)> = None;
-
-        for s in pool {
+        // Build this round's candidate configurations (cheap clones), then
+        // price them all in one batched what-if sweep — the expensive part
+        // of every greedy round. Oversized candidates are only priced when
+        // backtracking needs their gain, exactly as the serial loop did.
+        let mut metas: Vec<(usize, f64, bool)> = Vec::new(); // (pool idx, bytes, over)
+        let mut cands: Vec<Configuration> = Vec::new();
+        for (pi, s) in pool.iter().enumerate() {
             if current.contains(&s.spec) {
                 continue;
             }
@@ -67,20 +70,27 @@ fn enumerate_one(
             cand.add(s.clone());
             let cand_bytes = cand.total_bytes();
             let over = cand_bytes > budget;
+            if over && !options.backtracking {
+                continue;
+            }
+            metas.push((pi, cand_bytes, over));
+            cands.push(cand);
+        }
+        let costs = opt.cost_workload_for(workload, &cands);
+
+        let mut best_fit: Option<(f64, usize, f64)> = None; // (score, cand idx, cost)
+        let mut best_oversized: Option<(f64, usize)> = None; // (gain, pool idx)
+        for (k, &(pi, cand_bytes, over)) in metas.iter().enumerate() {
+            let cost = costs[k];
+            let gain = current_cost - cost;
             if over {
-                if options.backtracking {
-                    // Remember the most promising oversized choice (by
-                    // gain, even though it doesn't fit).
-                    let cost = opt.workload_cost(workload, &cand);
-                    let gain = current_cost - cost;
-                    if gain > MIN_GAIN && best_oversized.as_ref().is_none_or(|(g, _)| gain > *g) {
-                        best_oversized = Some((gain, s.clone()));
-                    }
+                // Remember the most promising oversized choice (by gain,
+                // even though it doesn't fit).
+                if gain > MIN_GAIN && best_oversized.as_ref().is_none_or(|(g, _)| gain > *g) {
+                    best_oversized = Some((gain, pi));
                 }
                 continue;
             }
-            let cost = opt.workload_cost(workload, &cand);
-            let gain = current_cost - cost;
             if gain <= MIN_GAIN {
                 continue;
             }
@@ -91,7 +101,7 @@ fn enumerate_one(
                 gain
             };
             if best_fit.as_ref().is_none_or(|(bs, ..)| score > *bs) {
-                best_fit = Some((score, cand, cost));
+                best_fit = Some((score, k, cost));
             }
         }
 
@@ -100,9 +110,9 @@ fn enumerate_one(
         // variant. Compare the recovered configuration "with other greedy
         // choices as usual".
         let mut recovered: Option<(Configuration, f64)> = None;
-        if let Some((_, oversized)) = &best_oversized {
+        if let Some((_, pi)) = &best_oversized {
             let mut base = current.clone();
-            base.add(oversized.clone());
+            base.add(pool[*pi].clone());
             if let Some((cfg, cost)) = recover_oversized(opt, workload, &base, pool, budget) {
                 if current_cost - cost > MIN_GAIN {
                     recovered = Some((cfg, cost));
@@ -122,8 +132,8 @@ fn enumerate_one(
             continue;
         }
         match best_fit {
-            Some((_, cfg, cost)) => {
-                current = cfg;
+            Some((_, k, cost)) => {
+                current = cands.swap_remove(k);
                 current_cost = cost;
             }
             None => break,

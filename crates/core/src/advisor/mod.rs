@@ -14,7 +14,7 @@ use crate::error_model::ErrorModel;
 use crate::planner::{EstimationPlanner, PlannerOptions};
 use cadb_common::Result;
 use cadb_engine::{
-    Configuration, Database, IndexSpec, PhysicalStructure, WhatIfOptimizer, Workload,
+    Configuration, Database, IndexSpec, Parallelism, PhysicalStructure, WhatIfOptimizer, Workload,
 };
 use cadb_sampling::SampleManager;
 use std::collections::HashMap;
@@ -53,6 +53,13 @@ pub struct AdvisorOptions {
     pub estimation: PlannerOptions,
     /// RNG seed for sampling.
     pub seed: u64,
+    /// Worker-pool size for the advisor's own stages (candidate costing
+    /// sweeps in selection and enumeration). The size-estimation framework
+    /// reads `estimation.parallelism`; [`Self::with_parallelism`] sets
+    /// both knobs at once. The recommendation is identical for every
+    /// setting — [`Parallelism::Serial`] is the escape hatch that keeps
+    /// the whole run on the calling thread.
+    pub parallelism: Parallelism,
 }
 
 impl AdvisorOptions {
@@ -69,6 +76,7 @@ impl AdvisorOptions {
             merging: true,
             estimation: PlannerOptions::default(),
             seed: 7,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -97,6 +105,14 @@ impl AdvisorOptions {
     /// Enable all feature classes.
     pub fn with_features(mut self, features: FeatureSet) -> Self {
         self.features = features;
+        self
+    }
+
+    /// Set the worker-pool size for the whole pipeline (advisor stages and
+    /// the size-estimation framework alike).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self.estimation.parallelism = par;
         self
     }
 }
@@ -183,7 +199,7 @@ impl<'a> Advisor<'a> {
 
     /// Produce a recommendation for a workload under the storage bound.
     pub fn recommend(&self, workload: &Workload) -> Result<Recommendation> {
-        let opt = WhatIfOptimizer::new(self.db);
+        let opt = WhatIfOptimizer::new(self.db).with_parallelism(self.options.parallelism);
         let manager = SampleManager::new(self.db, self.options.seed);
         let t_start = Instant::now();
 

@@ -7,6 +7,7 @@
 //! over queries.
 
 use super::AdvisorOptions;
+use cadb_common::par::par_map;
 use cadb_engine::{Configuration, PhysicalStructure, WhatIfOptimizer, Workload};
 
 /// Minimum relative improvement for a structure to be considered relevant
@@ -31,13 +32,26 @@ pub fn select_candidates(
     let empty = Configuration::empty();
     for (q, _) in workload.queries() {
         let base = opt.query_cost(q, &empty);
+        // Per-candidate costing is the expensive part of selection: every
+        // relevant structure is priced as its own single-structure
+        // configuration, so the whole sweep goes out as one parallel batch
+        // (results in pool order — identical to the serial loop).
+        let relevant: Vec<&PhysicalStructure> = priced
+            .iter()
+            .filter(|s| q.tables().contains(&s.spec.table))
+            .collect();
+        // A handful of candidates costs less to price than to spawn
+        // workers for; results are identical either way.
+        let par = if relevant.len() >= 8 {
+            opt.parallelism()
+        } else {
+            cadb_engine::Parallelism::Serial
+        };
+        let costs = par_map(par, &relevant, |_, s| {
+            opt.query_cost(q, &Configuration::new(vec![(*s).clone()]))
+        });
         let mut points: Vec<Point> = Vec::new();
-        for s in priced {
-            if !q.tables().contains(&s.spec.table) {
-                continue;
-            }
-            let cfg = Configuration::new(vec![s.clone()]);
-            let cost = opt.query_cost(q, &cfg);
+        for (s, cost) in relevant.into_iter().zip(costs) {
             if cost < base * (1.0 - MIN_BENEFIT) {
                 points.push(Point {
                     structure: s.clone(),

@@ -5,67 +5,181 @@
 //! deduction whose unknown children can be sampled for less than sampling
 //! the target itself (least cost), and otherwise samples the target.
 //! Finishes with the wide → narrow prune of unused auxiliaries.
+//!
+//! # Level-synchronous parallel evaluation
+//!
+//! [`greedy_assign_with`] preserves the paper's narrow → wide processing
+//! order while batching the per-node evaluation work: targets of equal
+//! column-set width form a *level*, each level's deduction choices are
+//! materialized serially (so auxiliary node creation stays deterministic),
+//! the per-node decisions are then scored **in parallel** against the
+//! level-start snapshot, and finally applied serially in order. A node
+//! whose choice children were touched by an earlier application in the
+//! same level (a ColSet sibling getting decided, an auxiliary getting
+//! sampled) has its decision recomputed against the live state — exactly
+//! what the sequential algorithm would have seen. The assignment is
+//! therefore **identical** to the serial path for every [`Parallelism`]
+//! setting; `Parallelism::Serial` merely keeps the scoring inline.
 
 use crate::estimation_graph::{DeductionChoice, EstimationGraph, NodeState};
+use cadb_common::par::{par_map, Parallelism};
 use cadb_engine::WhatIfOptimizer;
+use std::collections::BTreeSet;
 
-/// Run the greedy assignment in place. Returns the total sampling cost.
-pub fn greedy_assign(g: &mut EstimationGraph, opt: &WhatIfOptimizer<'_>, e: f64, q: f64) -> f64 {
-    let order = g.targets_narrow_to_wide();
-    for id in order {
-        if g.known(id) {
-            continue;
-        }
-        let choices = g.deduction_choices(opt, id);
+/// What greedy does with one target node.
+#[derive(Debug, Clone, PartialEq)]
+enum Decision {
+    /// Lines 6–7: deduce from already-known children via this choice.
+    Deduce(DeductionChoice),
+    /// Lines 8–9: sample this choice's unknown children, then deduce.
+    Enable(DeductionChoice),
+    /// Line 11: SampleCF the target itself.
+    Sample,
+}
 
-        // Line 6–7: a deduction whose children are all known and which
-        // satisfies the constraint — pick the most probable.
-        let mut best_ready: Option<(f64, DeductionChoice)> = None;
-        for c in &choices {
-            if c.children.iter().all(|&ch| g.known(ch)) {
-                let p = g.hypothetical_distribution(id, c).prob_within(e);
-                if p >= q && best_ready.as_ref().is_none_or(|(bp, _)| p > *bp) {
-                    best_ready = Some((p, c.clone()));
-                }
-            }
-        }
-        if let Some((_, choice)) = best_ready {
-            g.nodes[id].state = NodeState::Deduced(choice);
-            continue;
-        }
-
-        // Line 8–9: enable a deduction by sampling its unknown children, if
-        // the children's combined sampling cost beats sampling the target —
-        // pick the least-cost eligible deduction.
-        let own_cost = g.nodes[id].sample_cost;
-        let mut best_enable: Option<(f64, DeductionChoice)> = None;
-        for c in &choices {
-            let extra: f64 = c
-                .children
-                .iter()
-                .filter(|&&ch| !g.known(ch))
-                .map(|&ch| g.nodes[ch].sample_cost)
-                .sum();
-            if extra >= own_cost {
-                continue;
-            }
+/// The per-node greedy decision, as a pure function of the current states.
+fn decide(g: &EstimationGraph, id: usize, choices: &[DeductionChoice], e: f64, q: f64) -> Decision {
+    // Line 6–7: a deduction whose children are all known and which
+    // satisfies the constraint — pick the most probable.
+    let mut best_ready: Option<(f64, &DeductionChoice)> = None;
+    for c in choices {
+        if c.children.iter().all(|&ch| g.known(ch)) {
             let p = g.hypothetical_distribution(id, c).prob_within(e);
-            if p >= q && best_enable.as_ref().is_none_or(|(bc, _)| extra < *bc) {
-                best_enable = Some((extra, c.clone()));
+            if p >= q && best_ready.as_ref().is_none_or(|(bp, _)| p > *bp) {
+                best_ready = Some((p, c));
             }
         }
-        if let Some((_, choice)) = best_enable {
+    }
+    if let Some((_, choice)) = best_ready {
+        return Decision::Deduce(choice.clone());
+    }
+
+    // Line 8–9: enable a deduction by sampling its unknown children, if
+    // the children's combined sampling cost beats sampling the target —
+    // pick the least-cost eligible deduction.
+    let own_cost = g.nodes[id].sample_cost;
+    let mut best_enable: Option<(f64, &DeductionChoice)> = None;
+    for c in choices {
+        let extra: f64 = c
+            .children
+            .iter()
+            .filter(|&&ch| !g.known(ch))
+            .map(|&ch| g.nodes[ch].sample_cost)
+            .sum();
+        if extra >= own_cost {
+            continue;
+        }
+        let p = g.hypothetical_distribution(id, c).prob_within(e);
+        if p >= q && best_enable.as_ref().is_none_or(|(bc, _)| extra < *bc) {
+            best_enable = Some((extra, c));
+        }
+    }
+    if let Some((_, choice)) = best_enable {
+        return Decision::Enable(choice.clone());
+    }
+
+    Decision::Sample
+}
+
+/// Apply a decision, recording every node whose state it sets.
+fn apply(g: &mut EstimationGraph, id: usize, d: Decision, changed: &mut BTreeSet<usize>) {
+    match d {
+        Decision::Deduce(choice) => {
+            g.nodes[id].state = NodeState::Deduced(choice);
+        }
+        Decision::Enable(choice) => {
             for &ch in &choice.children {
                 if !g.known(ch) {
                     g.nodes[ch].state = NodeState::Sampled;
+                    changed.insert(ch);
                 }
             }
             g.nodes[id].state = NodeState::Deduced(choice);
-            continue;
         }
+        Decision::Sample => {
+            g.nodes[id].state = NodeState::Sampled;
+        }
+    }
+    changed.insert(id);
+}
 
-        // Line 11: sample the target itself.
-        g.nodes[id].state = NodeState::Sampled;
+/// Run the greedy assignment in place, serially. Returns the total
+/// sampling cost. Equivalent to
+/// [`greedy_assign_with`]`(g, opt, e, q, Parallelism::Serial)`.
+pub fn greedy_assign(g: &mut EstimationGraph, opt: &WhatIfOptimizer<'_>, e: f64, q: f64) -> f64 {
+    greedy_assign_with(g, opt, e, q, Parallelism::Serial)
+}
+
+/// Run the greedy assignment in place, scoring each level's node decisions
+/// on a worker pool (see the module docs for why the result is identical
+/// to the serial path). Returns the total sampling cost.
+pub fn greedy_assign_with(
+    g: &mut EstimationGraph,
+    opt: &WhatIfOptimizer<'_>,
+    e: f64,
+    q: f64,
+    par: Parallelism,
+) -> f64 {
+    let order = g.targets_narrow_to_wide();
+    let width = |g: &EstimationGraph, id: usize| g.nodes[id].spec.column_set().len();
+    let mut i = 0;
+    while i < order.len() {
+        // One level: the maximal run of targets with equal width.
+        let w = width(g, order[i]);
+        let mut j = i;
+        while j < order.len() && width(g, order[j]) == w {
+            j += 1;
+        }
+        let level = &order[i..j];
+
+        // Phase 1 (serial): materialize deduction choices in level order,
+        // so auxiliary child nodes are created deterministically.
+        let level_choices: Vec<Vec<DeductionChoice>> = level
+            .iter()
+            .map(|&id| {
+                if g.known(id) {
+                    Vec::new()
+                } else {
+                    g.deduction_choices(opt, id)
+                }
+            })
+            .collect();
+
+        // Phase 2 (parallel): tentative decisions against the level-start
+        // snapshot. Read-only on the graph. `decide` is cheap float math,
+        // so small levels score inline — spawning a pool would cost more
+        // than it saves (results are identical either way).
+        let level_par = if level.len() >= 32 {
+            par
+        } else {
+            Parallelism::Serial
+        };
+        let snapshot: &EstimationGraph = g;
+        let prelim: Vec<Decision> = par_map(level_par, &level_choices, |k, choices| {
+            decide(snapshot, level[k], choices, e, q)
+        });
+
+        // Phase 3 (serial): apply in the paper's order. If an earlier
+        // application in this level touched a node among this node's
+        // choice children, its snapshot decision may be stale — recompute
+        // it against the live state, exactly as the sequential algorithm
+        // would.
+        let mut changed: BTreeSet<usize> = BTreeSet::new();
+        for (k, &id) in level.iter().enumerate() {
+            if g.known(id) {
+                continue;
+            }
+            let stale = level_choices[k]
+                .iter()
+                .any(|c| c.children.iter().any(|ch| changed.contains(ch)));
+            let d = if stale {
+                decide(g, id, &level_choices[k], e, q)
+            } else {
+                prelim[k].clone()
+            };
+            apply(g, id, d, &mut changed);
+        }
+        i = j;
     }
     g.prune_unused();
     g.total_cost()
@@ -181,6 +295,47 @@ mod tests {
         let (_, deduced, existing_n) = g.state_counts();
         assert_eq!(deduced, 1);
         assert_eq!(existing_n, 1);
+    }
+
+    #[test]
+    fn parallel_levels_identical_to_serial() {
+        let db = test_db();
+        let opt = cadb_engine::WhatIfOptimizer::new(&db);
+        let targets = vec![
+            spec(&[0]),
+            spec(&[1]),
+            spec(&[0, 1]),
+            spec(&[1, 0]),
+            spec(&[0, 2]),
+            spec(&[1, 2]),
+            spec(&[0, 1, 2]),
+            spec(&[0, 1, 3]),
+            spec(&[2, 1, 0]),
+        ];
+        for (e, q) in [(0.5, 0.9), (1.0, 0.8), (0.02, 0.99)] {
+            let mut g_ser = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+            let cost_ser = greedy_assign(&mut g_ser, &opt, e, q);
+            for par in [
+                cadb_common::Parallelism::Threads(2),
+                cadb_common::Parallelism::Threads(8),
+                cadb_common::Parallelism::Auto,
+            ] {
+                let mut g_par =
+                    EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &targets, &[]);
+                let cost_par = greedy_assign_with(&mut g_par, &opt, e, q, par);
+                assert_eq!(
+                    cost_par.to_bits(),
+                    cost_ser.to_bits(),
+                    "{par:?} e={e} q={q}"
+                );
+                assert_eq!(g_par.nodes.len(), g_ser.nodes.len());
+                for (a, b) in g_par.nodes.iter().zip(&g_ser.nodes) {
+                    assert_eq!(a.spec, b.spec);
+                    assert_eq!(a.state, b.state, "{par:?} e={e} q={q} node {}", a.spec);
+                    assert_eq!(a.sample_cost.to_bits(), b.sample_cost.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,25 @@
 //! `Advisor::recommend` with default options reproduces DTAc; switching
 //! the options off one by one yields the paper's ablations (DTA, "DTAc
 //! (None)", Skyline-only, Backtrack-only).
+//!
+//! # Parallelism model
+//!
+//! The expensive pipeline stages run as **batches on a scoped worker pool**
+//! (`cadb_common::par`): the planner's SampleCF execution round
+//! ([`cadb_sampling::sample_cf_batch`]), the greedy search's per-level
+//! decision scoring ([`greedy::greedy_assign_with`], level-synchronous so
+//! the paper's narrow → wide order is preserved), the advisor's per-query
+//! candidate costing (skyline/top-k selection) and each enumeration round's
+//! configuration sweep (`WhatIfOptimizer::cost_workload_for`).
+//!
+//! **Determinism contract:** every stage produces bit-for-bit the same
+//! output for every `Parallelism` setting — same CFs, same chosen
+//! deductions, same recommendation. Parallelism only changes wall-clock
+//! time. Force the serial path with
+//! [`cadb_engine::Parallelism::Serial`] via [`AdvisorOptions::parallelism`]
+//! / `PlannerOptions::parallelism` (the integration suite
+//! `tests/parallel_equivalence.rs` pins the equivalence on TPC-H and
+//! TPC-DS across thread counts and seeds).
 
 #![warn(missing_docs)]
 

@@ -9,10 +9,11 @@
 use crate::deduction::{deduce_size, KnownSize};
 use crate::error_model::{ErrorModel, EstimateDistribution};
 use crate::estimation_graph::{EstimationGraph, NodeState};
-use crate::greedy::{all_sampled, greedy_assign};
+use crate::greedy::{all_sampled, greedy_assign_with};
+use cadb_common::par::{try_par_map, Parallelism};
 use cadb_common::{CadbError, Result};
 use cadb_engine::{IndexSpec, SizeEstimate, WhatIfOptimizer};
-use cadb_sampling::{sample_cf, SampleManager};
+use cadb_sampling::{sample_cf_batch, SampleManager};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -28,6 +29,10 @@ pub struct PlannerOptions {
     /// When `false`, skip deductions entirely (the "w/o deduction"
     /// configuration of Figure 11) — every target is sampled.
     pub use_deduction: bool,
+    /// Worker-pool size for the greedy search and the SampleCF execution
+    /// phase. Estimates are identical for every setting;
+    /// [`Parallelism::Serial`] forces the whole pipeline onto one thread.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PlannerOptions {
@@ -37,6 +42,7 @@ impl Default for PlannerOptions {
             q: 0.9,
             fractions: vec![0.01, 0.025, 0.05, 0.075, 0.10],
             use_deduction: true,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -126,7 +132,13 @@ impl<'a> EstimationPlanner<'a> {
         for &f in &self.options.fractions {
             let mut g = EstimationGraph::new(self.opt, self.model.clone(), f, targets, existing);
             let cost = if self.options.use_deduction {
-                greedy_assign(&mut g, self.opt, self.options.e, self.options.q)
+                greedy_assign_with(
+                    &mut g,
+                    self.opt,
+                    self.options.e,
+                    self.options.q,
+                    self.options.parallelism,
+                )
             } else {
                 all_sampled(&mut g)
             };
@@ -158,50 +170,71 @@ impl<'a> EstimationPlanner<'a> {
         let t0 = Instant::now();
         let mut sampled = 0usize;
         let mut deduced = 0usize;
+        let par = self.options.parallelism;
 
-        // Pass 1: sampled + existing nodes.
-        for (i, node) in g.nodes.iter().enumerate() {
-            match &node.state {
-                NodeState::Sampled => {
-                    let est = sample_cf(self.manager, &node.spec, fraction)?;
-                    let mut unc = self.opt.estimate_uncompressed_size(&node.spec);
-                    // MV indexes: replace the optimizer's row guess with the
-                    // AE estimate delivered by the MV sample (App. B.3).
-                    if let Some(rows) = est.mv_estimated_rows {
-                        if unc.rows > 0.0 {
-                            let width = unc.bytes / unc.rows;
-                            unc = SizeEstimate::uncompressed(width * rows.max(1.0), rows.max(1.0));
-                        }
-                    }
-                    if node.is_target {
-                        sampled += 1;
-                    }
-                    known.insert(
-                        i,
-                        KnownSize {
-                            spec: node.spec.clone(),
-                            compressed_bytes: unc.bytes * est.cf,
-                            uncompressed: unc,
-                        },
-                    );
+        // Pass 1: sampled + existing nodes — the expensive index builds.
+        // Every SampleCF (and every existing-structure measurement) is
+        // independent, so the whole round goes out as one parallel batch;
+        // results come back in node order and the estimates are identical
+        // to the serial loop (see `sample_cf_batch`).
+        let sampled_ids: Vec<usize> = g
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state == NodeState::Sampled)
+            .map(|(i, _)| i)
+            .collect();
+        let sampled_specs: Vec<IndexSpec> = sampled_ids
+            .iter()
+            .map(|&i| g.nodes[i].spec.clone())
+            .collect();
+        let ests = sample_cf_batch(self.manager, &sampled_specs, fraction, par)?;
+        for (&i, est) in sampled_ids.iter().zip(&ests) {
+            let node = &g.nodes[i];
+            let mut unc = self.opt.estimate_uncompressed_size(&node.spec);
+            // MV indexes: replace the optimizer's row guess with the
+            // AE estimate delivered by the MV sample (App. B.3).
+            if let Some(rows) = est.mv_estimated_rows {
+                if unc.rows > 0.0 {
+                    let width = unc.bytes / unc.rows;
+                    unc = SizeEstimate::uncompressed(width * rows.max(1.0), rows.max(1.0));
                 }
-                NodeState::Existing => {
-                    // Exact: measure the real structure.
-                    let bytes =
-                        cadb_sampling::index_rows::true_index_bytes(self.opt.db(), &node.spec)?
-                            as f64;
-                    let unc = self.opt.estimate_uncompressed_size(&node.spec);
-                    known.insert(
-                        i,
-                        KnownSize {
-                            spec: node.spec.clone(),
-                            compressed_bytes: bytes,
-                            uncompressed: unc,
-                        },
-                    );
-                }
-                _ => {}
             }
+            if node.is_target {
+                sampled += 1;
+            }
+            known.insert(
+                i,
+                KnownSize {
+                    spec: node.spec.clone(),
+                    compressed_bytes: unc.bytes * est.cf,
+                    uncompressed: unc,
+                },
+            );
+        }
+
+        let existing_ids: Vec<usize> = g
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state == NodeState::Existing)
+            .map(|(i, _)| i)
+            .collect();
+        // Exact: measure the real structures, also batched.
+        let existing_bytes: Vec<usize> = try_par_map(par, &existing_ids, |_, &i| {
+            cadb_sampling::index_rows::true_index_bytes(self.opt.db(), &g.nodes[i].spec)
+        })?;
+        for (&i, &bytes) in existing_ids.iter().zip(&existing_bytes) {
+            let node = &g.nodes[i];
+            let unc = self.opt.estimate_uncompressed_size(&node.spec);
+            known.insert(
+                i,
+                KnownSize {
+                    spec: node.spec.clone(),
+                    compressed_bytes: bytes as f64,
+                    uncompressed: unc,
+                },
+            );
         }
         let samplecf_seconds = t0.elapsed().as_secs_f64();
 
@@ -356,6 +389,45 @@ mod tests {
         );
         assert!(!report.feasible);
         assert_eq!(report.estimates.len(), 1);
+    }
+
+    #[test]
+    fn parallel_execution_identical_estimates() {
+        let targets = vec![
+            spec(&[0]),
+            spec(&[1]),
+            spec(&[0, 1]),
+            spec(&[1, 0]),
+            spec(&[0, 1, 2]),
+        ];
+        let (serial, _) = planner_test(
+            targets.clone(),
+            PlannerOptions {
+                parallelism: Parallelism::Serial,
+                ..Default::default()
+            },
+        );
+        for par in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+            let (p, _) = planner_test(
+                targets.clone(),
+                PlannerOptions {
+                    parallelism: par,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(p.fraction.to_bits(), serial.fraction.to_bits());
+            assert_eq!(p.planned_cost.to_bits(), serial.planned_cost.to_bits());
+            assert_eq!((p.sampled, p.deduced), (serial.sampled, serial.deduced));
+            assert_eq!(p.estimates.len(), serial.estimates.len());
+            for (k, v) in &serial.estimates {
+                let pv = p.estimates.get(k).expect("same targets estimated");
+                assert_eq!(pv.bytes.to_bits(), v.bytes.to_bits(), "{par:?} {k}");
+                assert_eq!(
+                    pv.compression_fraction.to_bits(),
+                    v.compression_fraction.to_bits()
+                );
+            }
+        }
     }
 
     #[test]

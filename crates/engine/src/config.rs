@@ -13,6 +13,18 @@ use cadb_compression::CompressionKind;
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// How much thread-level parallelism the estimation pipeline may use.
+///
+/// Re-exported here because this is the configuration surface design tools
+/// program against: pass [`Parallelism::Serial`] to
+/// [`crate::WhatIfOptimizer::with_parallelism`] (or to the advisor/planner
+/// options in `cadb-core`) to force the entire pipeline onto one thread.
+/// Results are **identical** either way — the parallel runtime's
+/// determinism contract (see `cadb_common::par`) guarantees bit-for-bit
+/// equality with the serial path; `Serial` exists for debugging, profiling
+/// and environments where spawning threads is unwelcome.
+pub use cadb_common::par::Parallelism;
+
 /// A materialized-view definition: key–foreign-key joins over a root (fact)
 /// table, an optional filter, and grouping with COUNT/SUM aggregates
 /// (the class of MVs the paper's join-synopsis samples support, App. B).

@@ -20,7 +20,7 @@ pub mod stmt;
 pub mod whatif;
 
 pub use catalog::Database;
-pub use config::{Configuration, IndexSpec, MvSpec, PhysicalStructure, SizeEstimate};
+pub use config::{Configuration, IndexSpec, MvSpec, Parallelism, PhysicalStructure, SizeEstimate};
 pub use cost::CostModel;
 pub use predicate::{PredOp, Predicate};
 pub use stmt::{BulkInsert, JoinEdge, Query, Statement, Workload};

@@ -9,9 +9,10 @@
 use crate::access_path::query_plan_cost;
 use crate::cardinality::{mv_estimated_rows, predicate_selectivity};
 use crate::catalog::Database;
-use crate::config::{Configuration, IndexSpec, SizeEstimate};
+use crate::config::{Configuration, IndexSpec, Parallelism, SizeEstimate};
 use crate::cost::CostModel;
 use crate::stmt::{BulkInsert, Statement, Workload};
+use cadb_common::par::par_map;
 use cadb_common::DataType;
 use cadb_compression::analyze::PAGE_PAYLOAD;
 
@@ -27,6 +28,7 @@ const ROW_LOCATOR: f64 = 8.0;
 pub struct WhatIfOptimizer<'a> {
     db: &'a Database,
     model: CostModel,
+    parallelism: Parallelism,
 }
 
 impl<'a> WhatIfOptimizer<'a> {
@@ -35,12 +37,31 @@ impl<'a> WhatIfOptimizer<'a> {
         WhatIfOptimizer {
             db,
             model: CostModel::default(),
+            parallelism: Parallelism::Auto,
         }
     }
 
     /// With a custom cost model.
     pub fn with_model(db: &'a Database, model: CostModel) -> Self {
-        WhatIfOptimizer { db, model }
+        WhatIfOptimizer {
+            db,
+            model,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Same optimizer with a parallelism setting for batched entry points
+    /// ([`Self::cost_workload_for`] and the batch sweeps `cadb-core` runs).
+    /// Results never depend on this; `Parallelism::Serial` is the escape
+    /// hatch that keeps everything on the calling thread.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// The parallelism setting batched entry points use.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The database.
@@ -122,6 +143,21 @@ impl<'a> WhatIfOptimizer<'a> {
             .iter()
             .map(|(s, weight)| weight * self.statement_cost(s, cfg))
             .sum()
+    }
+
+    /// Batched what-if costing: price the workload under **many**
+    /// hypothetical configurations in one parallel sweep.
+    ///
+    /// This is the entry point the advisor's enumeration and candidate
+    /// selection stages drive: instead of pricing candidate configurations
+    /// one at a time, they hand the whole round here and the pool of worker
+    /// threads (sized by [`Self::parallelism`]) spreads the independent
+    /// costings out. Element `i` of the result is exactly
+    /// `self.workload_cost(w, &cfgs[i])` — each costing runs wholly inside
+    /// one worker, so the floating-point sequence per configuration is
+    /// unchanged and the result is bit-for-bit identical to the serial loop.
+    pub fn cost_workload_for(&self, w: &Workload, cfgs: &[Configuration]) -> Vec<f64> {
+        par_map(self.parallelism, cfgs, |_, cfg| self.workload_cost(w, cfg))
     }
 
     /// Estimated size of a structure *without* compression, from catalog
@@ -305,6 +341,41 @@ mod tests {
             part.bytes,
             full.bytes
         );
+    }
+
+    #[test]
+    fn batched_costing_matches_serial_loop() {
+        let db = db();
+        let ins = BulkInsert {
+            table: TableId(0),
+            n_rows: 1000,
+        };
+        let mut w = Workload::default();
+        w.push(Statement::Insert(ins), 2.0);
+        let mk = |opt: &WhatIfOptimizer<'_>| -> Vec<Configuration> {
+            let ix = IndexSpec::secondary(TableId(0), vec![ColumnId(1)]);
+            vec![
+                Configuration::empty(),
+                Configuration::new(vec![priced(opt, ix.clone(), 1.0)]),
+                Configuration::new(vec![priced(
+                    opt,
+                    ix.with_compression(CompressionKind::Page),
+                    0.4,
+                )]),
+            ]
+        };
+        let serial = WhatIfOptimizer::new(&db).with_parallelism(Parallelism::Serial);
+        let cfgs = mk(&serial);
+        let expect: Vec<f64> = cfgs.iter().map(|c| serial.workload_cost(&w, c)).collect();
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Threads(8),
+        ] {
+            let opt = WhatIfOptimizer::new(&db).with_parallelism(par);
+            let got = opt.cost_workload_for(&w, &cfgs);
+            assert_eq!(got, expect, "{par:?} diverged from serial");
+        }
     }
 
     #[test]

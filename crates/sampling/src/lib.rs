@@ -11,7 +11,10 @@
 //!   tables so FK joins always find their match (App. B.2, after [2]),
 //! * *MV samples* with COUNT(*) feeding the Adaptive Estimator (App. B.3),
 //! * [`sample_cf`] — the SampleCF estimator of [11] (§2.2): build the index
-//!   on the sample, compress it, return compressed/uncompressed.
+//!   on the sample, compress it, return compressed/uncompressed,
+//! * [`sample_cf_batch`] — a whole round of SampleCF builds on a worker
+//!   pool, bit-for-bit equal to the serial loop (the manager is `Sync` and
+//!   its caches/counters are race-safe; see [`manager`] for the contract).
 
 #![warn(missing_docs)]
 
@@ -23,4 +26,4 @@ pub mod samplecf;
 pub use index_rows::{index_row_stream, true_compression_fraction};
 pub use manager::{CostCounters, SampleManager};
 pub use mv_sample::MvSampleStats;
-pub use samplecf::{sample_cf, CfEstimate};
+pub use samplecf::{sample_cf, sample_cf_batch, CfEstimate};

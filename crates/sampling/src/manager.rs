@@ -4,12 +4,29 @@
 //! Cost accounting: the manager counts rows drawn for base samples and rows
 //! materialized for synopses — the numbers behind the "Sample" bars of the
 //! paper's Figure 11.
+//!
+//! # Concurrency
+//!
+//! The manager is `Sync`: every method takes `&self` and the caches sit
+//! behind `RwLock`s, so a round of [`crate::sample_cf`] calls can run on a
+//! worker pool sharing one manager. Sample *content* is deterministic — each
+//! sample's RNG is seeded from `(root seed, table, fraction)` — so two
+//! threads racing to fill the same cache slot compute identical rows; the
+//! insert is last-writer-wins on equal values, and each cost counter is
+//! bumped only by the thread that actually populated the slot, keeping the
+//! counters of a successful round bit-for-bit equal to a serial run (on an
+//! error, a parallel round may have counted in-flight samples a
+//! short-circuiting serial loop would not have reached). Use
+//! [`SampleManager::prewarm_base_samples`] (or the pre-build phase of
+//! [`crate::sample_cf_batch`]) to avoid the duplicated *work* of such races.
 
+use cadb_common::par::{try_par_map, Parallelism};
 use cadb_common::rng::rng_for;
 use cadb_common::{CadbError, ColumnId, Result, Row, TableId};
 use cadb_engine::{Database, JoinEdge, Predicate};
 use parking_lot::RwLock;
 use rand::seq::SliceRandom;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -105,13 +122,20 @@ impl<'a> SampleManager<'a> {
         idx.truncate(n);
         idx.sort_unstable(); // keep original order: a sample of a heap is a heap
         let sample: Arc<Vec<Row>> = Arc::new(idx.into_iter().map(|i| rows[i].clone()).collect());
-        {
-            let mut c = self.counters.write();
-            c.base_samples += 1;
-            c.base_rows += sample.len() as u64;
+        // Insert-once: when two threads raced on the same miss, only the
+        // winner counts the work, so counters match a serial run exactly.
+        let mut cache = self.base.write();
+        match cache.entry(key) {
+            Entry::Occupied(e) => Ok(Arc::clone(e.get())),
+            Entry::Vacant(v) => {
+                v.insert(Arc::clone(&sample));
+                drop(cache);
+                let mut c = self.counters.write();
+                c.base_samples += 1;
+                c.base_rows += sample.len() as u64;
+                Ok(sample)
+            }
         }
-        self.base.write().insert(key, Arc::clone(&sample));
-        Ok(sample)
     }
 
     /// Filtered sample for a partial index: the WHERE clause applied to the
@@ -129,9 +153,16 @@ impl<'a> SampleManager<'a> {
         let base = self.table_sample(table, f)?;
         let sample: Arc<Vec<Row>> =
             Arc::new(base.iter().filter(|r| filter.matches(r)).cloned().collect());
-        self.counters.write().filtered_samples += 1;
-        self.filtered.write().insert(key, Arc::clone(&sample));
-        Ok(sample)
+        let mut cache = self.filtered.write();
+        match cache.entry(key) {
+            Entry::Occupied(e) => Ok(Arc::clone(e.get())),
+            Entry::Vacant(v) => {
+                v.insert(Arc::clone(&sample));
+                drop(cache);
+                self.counters.write().filtered_samples += 1;
+                Ok(sample)
+            }
+        }
     }
 
     /// Join synopsis: sample the fact table, then join against the **full**
@@ -191,13 +222,37 @@ impl<'a> SampleManager<'a> {
             rows: wide,
             column_map,
         });
-        {
-            let mut c = self.counters.write();
-            c.synopses += 1;
-            c.synopsis_rows += syn.rows.len() as u64;
+        let mut cache = self.synopses.write();
+        match cache.entry(key) {
+            Entry::Occupied(e) => Ok(Arc::clone(e.get())),
+            Entry::Vacant(v) => {
+                v.insert(Arc::clone(&syn));
+                drop(cache);
+                let mut c = self.counters.write();
+                c.synopses += 1;
+                c.synopsis_rows += syn.rows.len() as u64;
+                Ok(syn)
+            }
         }
-        self.synopses.write().insert(key, Arc::clone(&syn));
-        Ok(syn)
+    }
+
+    /// Pre-build the base samples for a set of `(table, fraction)` pairs on
+    /// a worker pool — the *pre-build phase* that makes a subsequent
+    /// parallel round of [`crate::sample_cf`] calls all cache hits for their
+    /// base samples (no two workers redo the same shuffle). Duplicate pairs
+    /// are collapsed; each distinct sample is built exactly once.
+    pub fn prewarm_base_samples(&self, keys: &[(TableId, f64)], par: Parallelism) -> Result<()> {
+        let mut distinct: Vec<(TableId, f64)> = Vec::new();
+        for &(t, f) in keys {
+            if !distinct
+                .iter()
+                .any(|&(dt, df)| dt == t && fkey(df) == fkey(f))
+            {
+                distinct.push((t, f));
+            }
+        }
+        try_par_map(par, &distinct, |_, &(t, f)| self.table_sample(t, f))?;
+        Ok(())
     }
 }
 
@@ -324,6 +379,49 @@ mod tests {
             let fk = r.values[1].as_i64().unwrap();
             assert_eq!(r.values[label_off], Value::Str(format!("d{fk}")));
         }
+    }
+
+    #[test]
+    fn manager_is_sync_and_race_counts_once() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<SampleManager<'_>>();
+
+        // Many threads racing on the SAME miss: identical content, and the
+        // counters must equal a serial run's (one base sample).
+        let db = db();
+        let m = SampleManager::new(&db, 21);
+        let samples = cadb_common::par::par_map(
+            cadb_common::par::Parallelism::Threads(8),
+            &[(); 16],
+            |_, _| m.table_sample(TableId(0), 0.05).unwrap(),
+        );
+        for s in &samples {
+            assert_eq!(s[..], samples[0][..]);
+        }
+        assert_eq!(m.counters().base_samples, 1);
+        assert_eq!(m.counters().base_rows, 500);
+    }
+
+    #[test]
+    fn prewarm_dedups_and_fills_cache() {
+        let db = db();
+        let m = SampleManager::new(&db, 22);
+        m.prewarm_base_samples(
+            &[
+                (TableId(0), 0.05),
+                (TableId(0), 0.05),
+                (TableId(1), 0.5),
+                (TableId(0), 0.02),
+            ],
+            cadb_common::par::Parallelism::Threads(4),
+        )
+        .unwrap();
+        assert_eq!(m.counters().base_samples, 3);
+        // Subsequent calls are cache hits.
+        let before = m.counters();
+        m.table_sample(TableId(0), 0.05).unwrap();
+        m.table_sample(TableId(1), 0.5).unwrap();
+        assert_eq!(m.counters(), before);
     }
 
     #[test]

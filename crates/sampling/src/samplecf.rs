@@ -10,9 +10,10 @@
 use crate::index_rows::{index_row_stream, mv_index_row_stream};
 use crate::manager::SampleManager;
 use crate::mv_sample::create_mv_sample;
-use cadb_common::Result;
+use cadb_common::par::{try_par_map, Parallelism};
+use cadb_common::{Result, TableId};
 use cadb_compression::analyze::{compressed_index_size, PAGE_PAYLOAD};
-use cadb_engine::IndexSpec;
+use cadb_engine::{IndexSpec, JoinEdge, Predicate};
 
 /// Result of a SampleCF invocation.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +74,61 @@ pub fn sample_cf(manager: &SampleManager<'_>, spec: &IndexSpec, f: f64) -> Resul
         cost_pages: (m.uncompressed_bytes as f64 / PAGE_PAYLOAD as f64).max(1.0),
         mv_estimated_rows: mv_rows_est,
     })
+}
+
+/// Run SampleCF for a whole round of indexes at once, spreading the
+/// expensive per-index sample builds over a worker pool.
+///
+/// This is the batched form the §5 planner drives: a greedy plan's
+/// `Sampled` nodes are all independent, so their index builds (sort +
+/// compress, the dominant advisor cost per §5.1) parallelize perfectly.
+/// The sweep runs in two phases:
+///
+/// 1. **Pre-build.** Every distinct input the round shares — base table
+///    samples, filtered samples of partial indexes, join synopses of MV
+///    indexes — is built exactly once (in parallel across *distinct*
+///    inputs), so the main sweep never duplicates shared work.
+/// 2. **Sweep.** `sample_cf` runs for every spec on the pool; element `i`
+///    of the result is exactly `sample_cf(manager, &specs[i], f)`.
+///
+/// Results — estimates *and* the manager's cost counters — are bit-for-bit
+/// identical to calling [`sample_cf`] in a serial loop, for every
+/// [`Parallelism`] setting (sample content is seed-derived per input, and
+/// the manager counts cache fills insert-once).
+pub fn sample_cf_batch(
+    manager: &SampleManager<'_>,
+    specs: &[IndexSpec],
+    f: f64,
+    par: Parallelism,
+) -> Result<Vec<CfEstimate>> {
+    // Phase 1a: base samples (also the fact samples synopses draw from).
+    let base_keys: Vec<(TableId, f64)> = specs
+        .iter()
+        .map(|s| (s.mv.as_ref().map(|m| m.root).unwrap_or(s.table), f))
+        .collect();
+    manager.prewarm_base_samples(&base_keys, par)?;
+
+    // Phase 1b: distinct derived inputs (filtered samples, join synopses).
+    let mut filters: Vec<(TableId, Predicate)> = Vec::new();
+    let mut synopses: Vec<(TableId, Vec<JoinEdge>)> = Vec::new();
+    for s in specs {
+        if let Some(mv) = &s.mv {
+            let key = (mv.root, mv.joins.clone());
+            if !synopses.contains(&key) {
+                synopses.push(key);
+            }
+        } else if let Some(p) = &s.partial_filter {
+            let key = (s.table, p.clone());
+            if !filters.contains(&key) {
+                filters.push(key);
+            }
+        }
+    }
+    try_par_map(par, &filters, |_, (t, p)| manager.filtered_sample(*t, f, p))?;
+    try_par_map(par, &synopses, |_, (t, j)| manager.join_synopsis(*t, j, f))?;
+
+    // Phase 2: the SampleCF sweep itself.
+    try_par_map(par, specs, |_, s| sample_cf(manager, s, f))
 }
 
 #[cfg(test)]
@@ -214,5 +270,68 @@ mod tests {
         }
         // One base sample serves all four indexes (the §4.1 amortization).
         assert_eq!(m.counters().base_samples, 1);
+    }
+
+    #[test]
+    fn batch_matches_serial_loop_exactly() {
+        let db = db();
+        let mut specs: Vec<IndexSpec> = Vec::new();
+        for key in [0u16, 1, 2, 3] {
+            specs.push(
+                IndexSpec::secondary(TableId(0), vec![ColumnId(key)])
+                    .with_compression(CompressionKind::Row),
+            );
+            specs.push(
+                IndexSpec::secondary(TableId(0), vec![ColumnId(key)])
+                    .with_compression(CompressionKind::Page),
+            );
+        }
+        let mut partial = IndexSpec::secondary(TableId(0), vec![ColumnId(2)])
+            .with_compression(CompressionKind::Row);
+        partial.partial_filter = Some(Predicate::eq(
+            TableId(0),
+            ColumnId(1),
+            Value::Str("st3".into()),
+        ));
+        specs.push(partial);
+        specs.push(IndexSpec {
+            table: TableId(0),
+            key_cols: vec![ColumnId(0)],
+            include_cols: vec![],
+            clustered: false,
+            compression: CompressionKind::Row,
+            partial_filter: None,
+            mv: Some(MvSpec {
+                root: TableId(0),
+                joins: vec![],
+                group_by: vec![(TableId(0), ColumnId(3))],
+                agg_columns: vec![(TableId(0), ColumnId(2))],
+            }),
+        });
+
+        let serial_mgr = SampleManager::new(&db, 17);
+        let serial: Vec<CfEstimate> = specs
+            .iter()
+            .map(|s| sample_cf(&serial_mgr, s, 0.05).unwrap())
+            .collect();
+        for par in [
+            cadb_common::Parallelism::Serial,
+            cadb_common::Parallelism::Threads(2),
+            cadb_common::Parallelism::Threads(8),
+        ] {
+            let mgr = SampleManager::new(&db, 17);
+            let batch = sample_cf_batch(&mgr, &specs, 0.05, par).unwrap();
+            assert_eq!(batch.len(), serial.len());
+            for (b, s) in batch.iter().zip(&serial) {
+                assert_eq!(b.cf.to_bits(), s.cf.to_bits(), "{par:?}");
+                assert_eq!(b.sample_rows, s.sample_rows);
+                assert_eq!(b.cost_pages.to_bits(), s.cost_pages.to_bits());
+                assert_eq!(
+                    b.mv_estimated_rows.map(f64::to_bits),
+                    s.mv_estimated_rows.map(f64::to_bits)
+                );
+            }
+            assert_eq!(mgr.counters(), serial_mgr.counters(), "{par:?}");
+        }
     }
 }

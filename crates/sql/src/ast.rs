@@ -1,4 +1,14 @@
 //! Abstract syntax tree for the supported SQL subset.
+//!
+//! Every node implements [`std::fmt::Display`], rendering canonical SQL
+//! that [`crate::parse_statement`] accepts back: for any statement the
+//! parser produced, `parse(stmt.to_string())` returns an equal statement
+//! (parse → display → parse is a fixpoint; the property tests in
+//! `tests/parser_proptests.rs` pin this on generated ASTs). Identifiers
+//! are emitted verbatim — the lexer lower-cases them, so ASTs that came
+//! out of the parser round-trip exactly.
+
+use std::fmt;
 
 /// A literal value in SQL text.
 #[derive(Debug, Clone, PartialEq)]
@@ -226,6 +236,206 @@ pub enum Statement {
     CreateTable(CreateTableStmt),
     /// INSERT.
     Insert(InsertStmt),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            // Keep the decimal point so the literal lexes as a float again.
+            Literal::Float(v) if v.fract() == 0.0 && v.is_finite() => write!(f, "{v:.1}"),
+            Literal::Float(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column {
+                table: Some(t),
+                name,
+            } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Lit(l) => write!(f, "{l}"),
+            // Always parenthesized, so the printed tree re-parses with the
+            // same shape regardless of precedence.
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        })
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Expr(e) => write!(f, "{e}"),
+            SelectItem::Agg { func, arg: Some(a) } => write!(f, "{func}({a})"),
+            SelectItem::Agg { func, arg: None } => write!(f, "{func}(*)"),
+            SelectItem::Wildcard => write!(f, "*"),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Compare { column, op, value } => write!(f, "{column} {op} {value}"),
+            Condition::Between { column, lo, hi } => {
+                write!(f, "{column} BETWEEN {lo} AND {hi}")
+            }
+            Condition::InList { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Condition::ColumnEq { left, right } => write!(f, "{left} = {right}"),
+        }
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JOIN {} ON {} = {}",
+            self.table, self.on_left, self.on_right
+        )
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.from)?;
+        for j in &self.joins {
+            write!(f, " {j}")?;
+        }
+        for (i, c) in self.where_clause.iter().enumerate() {
+            write!(f, " {} {c}", if i == 0 { "WHERE" } else { "AND" })?;
+        }
+        for (i, g) in self.group_by.iter().enumerate() {
+            write!(f, "{}{g}", if i == 0 { " GROUP BY " } else { ", " })?;
+        }
+        for (i, o) in self.order_by.iter().enumerate() {
+            write!(f, "{}{o}", if i == 0 { " ORDER BY " } else { ", " })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CreateTableStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TABLE {} (", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.type_name)?;
+            if !c.type_args.is_empty() {
+                write!(f, "(")?;
+                for (j, a) in c.type_args.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")?;
+            }
+            if !c.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        if !self.primary_key.is_empty() {
+            write!(f, ", PRIMARY KEY (")?;
+            for (i, k) in self.primary_key.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for InsertStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {} VALUES ", self.table)?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::CreateTable(c) => write!(f, "{c}"),
+            Statement::Insert(i) => write!(f, "{i}"),
+        }
+    }
 }
 
 #[cfg(test)]

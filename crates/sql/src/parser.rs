@@ -4,10 +4,20 @@ use crate::ast::*;
 use crate::lexer::{tokenize, Token};
 use cadb_common::{CadbError, Result};
 
+/// Maximum parenthesis-nesting depth in expressions. Recursive descent
+/// spends stack per level, so unbounded nesting in hostile input would
+/// overflow the stack instead of returning an error; anything a real
+/// workload writes is far below this.
+const MAX_EXPR_DEPTH: usize = 64;
+
 /// Parse a single SQL statement (a trailing `;` is allowed).
 pub fn parse_statement(sql: &str) -> Result<Statement> {
     let toks = tokenize(sql)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let stmt = match p.peek_word() {
         Some("select") => Statement::Select(p.parse_select()?),
         Some("create") => Statement::CreateTable(p.parse_create_table()?),
@@ -31,6 +41,8 @@ pub fn parse_statement(sql: &str) -> Result<Statement> {
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    /// Current parenthesis-nesting depth inside an expression.
+    depth: usize,
 }
 
 impl Parser {
@@ -249,8 +261,15 @@ impl Parser {
 
     fn parse_factor(&mut self) -> Result<Expr> {
         if self.eat(&Token::LParen) {
+            self.depth += 1;
+            if self.depth > MAX_EXPR_DEPTH {
+                return Err(CadbError::Parse(format!(
+                    "expression nesting exceeds {MAX_EXPR_DEPTH} levels"
+                )));
+            }
             let e = self.parse_expr()?;
             self.expect(&Token::RParen)?;
+            self.depth -= 1;
             return Ok(e);
         }
         match self.peek() {
@@ -289,6 +308,13 @@ impl Parser {
                     let v: f64 = n
                         .parse()
                         .map_err(|_| CadbError::Parse(format!("bad number {n}")))?;
+                    // f64 FromStr saturates overflow to infinity, which has
+                    // no SQL literal form (it would Display as `inf` and
+                    // re-parse as a column) — reject it here so every
+                    // parser-produced literal round-trips through Display.
+                    if !v.is_finite() {
+                        return Err(CadbError::Parse(format!("number {n} out of range")));
+                    }
                     Ok(Literal::Float(if neg { -v } else { v }))
                 } else {
                     let v: i64 = n

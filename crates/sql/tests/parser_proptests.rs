@@ -1,0 +1,263 @@
+//! Robustness properties for the SQL front end.
+//!
+//! 1. The lexer and parser **never panic** — arbitrary byte soup, ASCII
+//!    soup and keyword soup all come back as `Ok`/`Err`, and hostile
+//!    parenthesis nesting returns a depth error instead of blowing the
+//!    stack.
+//! 2. parse → display → parse is a **fixpoint**: for generated ASTs `a`,
+//!    `parse(a.to_string())` equals `a` and re-displays to the same string.
+
+use cadb_sql::lexer::tokenize;
+use cadb_sql::{
+    parse_statement, AggFunc, ArithOp, CmpOp, ColumnSpec, Condition, CreateTableStmt, Expr,
+    InsertStmt, Join, Literal, SelectItem, SelectStmt, Statement,
+};
+use proptest::collection;
+use proptest::prelude::*;
+
+// ---------------- deterministic AST generator ----------------
+
+/// Tiny splitmix64 so the generator needs nothing beyond one seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn column(&mut self) -> String {
+        format!("c{}", self.below(8))
+    }
+
+    fn table(&mut self) -> String {
+        format!("t{}", self.below(4))
+    }
+
+    fn literal(&mut self) -> Literal {
+        match self.below(4) {
+            0 => Literal::Int(self.below(2_000) as i64 - 1_000),
+            // Quarters are binary-exact, so display → parse is lossless.
+            1 => Literal::Float(self.below(4_000) as f64 / 4.0),
+            2 => {
+                let strs = ["ca", "it''s fine", "1996-01-01", "", "x y z"];
+                Literal::Str(strs[self.below(strs.len())].replace("''", "'"))
+            }
+            _ => Literal::Null,
+        }
+    }
+
+    fn column_ref(&mut self) -> Expr {
+        Expr::Column {
+            table: if self.below(3) == 0 {
+                Some(self.table())
+            } else {
+                None
+            },
+            name: self.column(),
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> Expr {
+        match if depth == 0 {
+            self.below(2)
+        } else {
+            self.below(3)
+        } {
+            0 => self.column_ref(),
+            1 => Expr::Lit(self.literal()),
+            _ => Expr::Binary {
+                left: Box::new(self.expr(depth - 1)),
+                op: [ArithOp::Add, ArithOp::Sub, ArithOp::Mul, ArithOp::Div][self.below(4)],
+                right: Box::new(self.expr(depth - 1)),
+            },
+        }
+    }
+
+    fn condition(&mut self) -> Condition {
+        match self.below(4) {
+            0 => Condition::Compare {
+                column: self.column_ref(),
+                op: [
+                    CmpOp::Eq,
+                    CmpOp::Neq,
+                    CmpOp::Lt,
+                    CmpOp::Le,
+                    CmpOp::Gt,
+                    CmpOp::Ge,
+                ][self.below(6)],
+                value: self.literal(),
+            },
+            1 => Condition::Between {
+                column: self.column_ref(),
+                lo: self.literal(),
+                hi: self.literal(),
+            },
+            2 => Condition::InList {
+                column: self.column_ref(),
+                values: (0..1 + self.below(3)).map(|_| self.literal()).collect(),
+            },
+            _ => Condition::ColumnEq {
+                left: self.column_ref(),
+                right: self.column_ref(),
+            },
+        }
+    }
+
+    fn select(&mut self) -> SelectStmt {
+        let items = (0..1 + self.below(3))
+            .map(|_| match self.below(4) {
+                0 => SelectItem::Wildcard,
+                1 => SelectItem::Agg {
+                    func: [
+                        AggFunc::Sum,
+                        AggFunc::Count,
+                        AggFunc::Avg,
+                        AggFunc::Min,
+                        AggFunc::Max,
+                    ][self.below(5)],
+                    arg: Some(self.expr(2)),
+                },
+                2 => SelectItem::Agg {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+                _ => SelectItem::Expr(self.expr(2)),
+            })
+            .collect();
+        SelectStmt {
+            items,
+            from: self.table(),
+            joins: (0..self.below(3))
+                .map(|_| Join {
+                    table: self.table(),
+                    on_left: self.column_ref(),
+                    on_right: self.column_ref(),
+                })
+                .collect(),
+            where_clause: (0..self.below(4)).map(|_| self.condition()).collect(),
+            group_by: (0..self.below(3)).map(|_| self.column_ref()).collect(),
+            order_by: (0..self.below(3)).map(|_| self.column_ref()).collect(),
+        }
+    }
+
+    fn create(&mut self) -> CreateTableStmt {
+        let columns: Vec<ColumnSpec> = (0..1 + self.below(5))
+            .map(|i| {
+                let (type_name, max_args) = [
+                    ("int", 0),
+                    ("decimal", 1),
+                    ("date", 0),
+                    ("char", 1),
+                    ("varchar", 2),
+                ][self.below(5)];
+                ColumnSpec {
+                    name: format!("col{i}"),
+                    type_name: type_name.into(),
+                    type_args: (0..max_args).map(|_| 1 + self.below(60) as i64).collect(),
+                    nullable: self.below(2) == 0,
+                }
+            })
+            .collect();
+        let primary_key = if self.below(2) == 0 {
+            vec![columns[0].name.clone()]
+        } else {
+            Vec::new()
+        };
+        CreateTableStmt {
+            name: self.table(),
+            columns,
+            primary_key,
+        }
+    }
+
+    fn insert(&mut self) -> InsertStmt {
+        let arity = 1 + self.below(4);
+        InsertStmt {
+            table: self.table(),
+            rows: (0..1 + self.below(3))
+                .map(|_| (0..arity).map(|_| self.literal()).collect())
+                .collect(),
+        }
+    }
+
+    fn statement(&mut self) -> Statement {
+        match self.below(4) {
+            0 => Statement::CreateTable(self.create()),
+            1 => Statement::Insert(self.insert()),
+            _ => Statement::Select(self.select()),
+        }
+    }
+}
+
+// ---------------- properties ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = tokenize(&s);
+        let _ = parse_statement(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii_soup(s in "[a-zA-Z0-9_ (),*.<>=!;'+-]{0,120}") {
+        let _ = tokenize(&s);
+        let _ = parse_statement(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_keyword_soup(picks in collection::vec(0usize..24, 0..40)) {
+        const WORDS: [&str; 24] = [
+            "select", "from", "where", "and", "between", "in", "join", "on",
+            "group", "by", "order", "asc", "desc", "create", "table",
+            "primary", "key", "insert", "into", "values", "null", "not",
+            "count", "(",
+        ];
+        let soup: Vec<&str> = picks.iter().map(|&i| WORDS[i]).collect();
+        let s = soup.join(" ");
+        let _ = parse_statement(&s);
+    }
+
+    #[test]
+    fn parse_display_parse_is_fixpoint(seed in any::<u64>()) {
+        let ast = Gen(seed).statement();
+        let rendered = ast.to_string();
+        let parsed = parse_statement(&rendered)
+            .unwrap_or_else(|e| panic!("display produced unparsable SQL: {e}\n  {rendered}"));
+        prop_assert_eq!(&parsed, &ast, "round-trip changed the AST for: {}", rendered);
+        prop_assert_eq!(parsed.to_string(), rendered);
+    }
+}
+
+#[test]
+fn overflowing_float_literal_is_rejected_not_round_trip_broken() {
+    // f64 parsing saturates to infinity; a Float(inf) would Display as
+    // `inf` and re-parse as a column reference, silently breaking the
+    // fixpoint — so the parser must reject it instead.
+    let huge = format!("SELECT a FROM t WHERE a = {}.0", "9".repeat(310));
+    assert!(parse_statement(&huge).is_err());
+    // Large-but-finite still parses and round-trips.
+    let big = format!("SELECT a FROM t WHERE a = {}.5", "9".repeat(30));
+    let p1 = parse_statement(&big).unwrap();
+    let p2 = parse_statement(&p1.to_string()).unwrap();
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn hostile_nesting_errors_instead_of_overflowing() {
+    for (n, ok) in [(8usize, true), (64, true), (65, false), (20_000, false)] {
+        let sql = format!("SELECT {}a{} FROM t", "(".repeat(n), ")".repeat(n));
+        let r = parse_statement(&sql);
+        assert_eq!(r.is_ok(), ok, "nesting depth {n}: {r:?}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Serial-equivalence suite for the parallel estimation pipeline.
+//!
+//! The determinism contract (see `cadb_common::par` and the `cadb-core`
+//! crate docs) says parallelism may change **only** wall-clock time: the
+//! advisor, the greedy graph search, the §5 planner and batched SampleCF
+//! must produce byte-identical results for every `Parallelism` setting.
+//! This suite pins that contract on TPC-H and TPC-DS at scale 0.02, across
+//! worker counts 1 / 2 / 8 and three seeds, always against the
+//! `Parallelism::Serial` escape hatch as the reference.
+
+use cadb::common::Parallelism;
+use cadb::core::greedy::{greedy_assign, greedy_assign_with};
+use cadb::core::{
+    Advisor, AdvisorOptions, ErrorModel, EstimationGraph, EstimationPlanner, PlannerOptions,
+    Recommendation, SizeEstimationReport,
+};
+use cadb::datagen::{TpcdsGen, TpchGen};
+use cadb::engine::lower::lower_statement;
+use cadb::engine::{Database, IndexSpec, WhatIfOptimizer, Workload};
+use cadb::sampling::{sample_cf, sample_cf_batch, SampleManager};
+use cadb_common::{ColumnId, TableId};
+use cadb_compression::CompressionKind;
+
+const SCALE: f64 = 0.02;
+const SEEDS: [u64; 3] = [11, 12, 13];
+const THREADS: [Parallelism; 3] = [
+    Parallelism::Threads(1),
+    Parallelism::Threads(2),
+    Parallelism::Threads(8),
+];
+
+fn tpch() -> (Database, Workload) {
+    let gen = TpchGen::new(SCALE);
+    let db = gen.build().unwrap();
+    let w = gen.workload(&db).unwrap();
+    (db, w)
+}
+
+fn tpcds() -> (Database, Workload) {
+    let db = TpcdsGen::new(SCALE).build().unwrap();
+    let mut w = Workload::default();
+    for sql in [
+        "SELECT itemkey, SUM(qty) FROM store_sales \
+         WHERE discount BETWEEN 2 AND 7 GROUP BY itemkey",
+        "SELECT SUM(netpaid) FROM store_sales WHERE qty > 60",
+        "SELECT soldkey, SUM(salesprice) FROM store_sales \
+         WHERE listprice < 6000 GROUP BY soldkey",
+    ] {
+        w.push(lower_statement(&db, sql).unwrap(), 1.0);
+    }
+    (db, w)
+}
+
+/// Compressed index targets over a table's first `n` columns: every
+/// singleton plus both orders of adjacent pairs, in ROW and PAGE variants —
+/// enough colset/colext structure to exercise deductions.
+fn targets(t: TableId, n: u16) -> Vec<IndexSpec> {
+    let mut specs = Vec::new();
+    for kind in [CompressionKind::Row, CompressionKind::Page] {
+        for c in 0..n {
+            specs.push(IndexSpec::secondary(t, vec![ColumnId(c)]).with_compression(kind));
+        }
+        for c in 0..n - 1 {
+            specs.push(
+                IndexSpec::secondary(t, vec![ColumnId(c), ColumnId(c + 1)]).with_compression(kind),
+            );
+            specs.push(
+                IndexSpec::secondary(t, vec![ColumnId(c + 1), ColumnId(c)]).with_compression(kind),
+            );
+        }
+    }
+    specs
+}
+
+fn assert_bits(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} != {b}");
+}
+
+fn assert_recommendations_identical(a: &Recommendation, b: &Recommendation, ctx: &str) {
+    assert_bits(
+        a.initial_cost,
+        b.initial_cost,
+        &format!("{ctx} initial_cost"),
+    );
+    assert_bits(a.final_cost, b.final_cost, &format!("{ctx} final_cost"));
+    assert_eq!(a.pool_size, b.pool_size, "{ctx} pool_size");
+    let (sa, sb) = (a.configuration.structures(), b.configuration.structures());
+    assert_eq!(sa.len(), sb.len(), "{ctx} configuration size");
+    for (x, y) in sa.iter().zip(sb) {
+        assert_eq!(x.spec, y.spec, "{ctx} structure spec");
+        assert_bits(
+            x.size.bytes,
+            y.size.bytes,
+            &format!("{ctx} {} bytes", x.spec),
+        );
+        assert_bits(
+            x.size.compression_fraction,
+            y.size.compression_fraction,
+            &format!("{ctx} {} cf", x.spec),
+        );
+    }
+    // Timing fields are wall-clock and intentionally not compared, but the
+    // planned work they report must match.
+    assert_bits(
+        a.timings.estimation_cost_pages,
+        b.timings.estimation_cost_pages,
+        &format!("{ctx} estimation cost"),
+    );
+    assert_eq!(a.timings.sampled, b.timings.sampled, "{ctx} sampled");
+    assert_eq!(a.timings.deduced, b.timings.deduced, "{ctx} deduced");
+}
+
+fn assert_reports_identical(a: &SizeEstimationReport, b: &SizeEstimationReport, ctx: &str) {
+    assert_bits(a.fraction, b.fraction, &format!("{ctx} fraction"));
+    assert_bits(
+        a.planned_cost,
+        b.planned_cost,
+        &format!("{ctx} planned_cost"),
+    );
+    assert_eq!((a.sampled, a.deduced), (b.sampled, b.deduced), "{ctx}");
+    assert_eq!(a.feasible, b.feasible, "{ctx} feasible");
+    assert_eq!(a.estimates.len(), b.estimates.len(), "{ctx} estimate count");
+    for (spec, ea) in &a.estimates {
+        let eb = b
+            .estimates
+            .get(spec)
+            .unwrap_or_else(|| panic!("{ctx}: {spec} estimated in one run but not the other"));
+        assert_bits(ea.bytes, eb.bytes, &format!("{ctx} {spec} bytes"));
+        assert_bits(ea.rows, eb.rows, &format!("{ctx} {spec} rows"));
+        assert_bits(
+            ea.compression_fraction,
+            eb.compression_fraction,
+            &format!("{ctx} {spec} cf"),
+        );
+    }
+}
+
+fn advisor_equivalence(db: &Database, w: &Workload, bench: &str) {
+    let budget = 0.3 * db.base_data_bytes() as f64;
+    for seed in SEEDS {
+        let mut serial_opts = AdvisorOptions::dtac(budget).with_parallelism(Parallelism::Serial);
+        serial_opts.seed = seed;
+        let reference = Advisor::new(db, serial_opts).recommend(w).unwrap();
+        for par in THREADS {
+            let mut opts = AdvisorOptions::dtac(budget).with_parallelism(par);
+            opts.seed = seed;
+            let got = Advisor::new(db, opts).recommend(w).unwrap();
+            assert_recommendations_identical(
+                &got,
+                &reference,
+                &format!("{bench} advisor seed={seed} {par:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn tpch_advisor_output_identical_across_thread_counts_and_seeds() {
+    let (db, w) = tpch();
+    advisor_equivalence(&db, &w, "tpch");
+}
+
+#[test]
+fn tpcds_advisor_output_identical_across_thread_counts_and_seeds() {
+    let (db, w) = tpcds();
+    advisor_equivalence(&db, &w, "tpcds");
+}
+
+#[test]
+fn planner_reports_identical_on_both_benchmarks() {
+    for (name, db, table) in [
+        ("tpch", tpch().0, "lineitem"),
+        ("tpcds", tpcds().0, "store_sales"),
+    ] {
+        let t = db.table_id(table).unwrap();
+        let specs = targets(t, 4);
+        for seed in SEEDS {
+            let opt = WhatIfOptimizer::new(&db).with_parallelism(Parallelism::Serial);
+            let manager = SampleManager::new(&db, seed);
+            let planner = EstimationPlanner::new(
+                &opt,
+                &manager,
+                ErrorModel::default(),
+                PlannerOptions {
+                    parallelism: Parallelism::Serial,
+                    ..Default::default()
+                },
+            );
+            let reference = planner.estimate_sizes(&specs, &[]).unwrap();
+            for par in THREADS {
+                let opt = WhatIfOptimizer::new(&db).with_parallelism(par);
+                let manager = SampleManager::new(&db, seed);
+                let planner = EstimationPlanner::new(
+                    &opt,
+                    &manager,
+                    ErrorModel::default(),
+                    PlannerOptions {
+                        parallelism: par,
+                        ..Default::default()
+                    },
+                );
+                let got = planner.estimate_sizes(&specs, &[]).unwrap();
+                assert_reports_identical(
+                    &got,
+                    &reference,
+                    &format!("{name} planner seed={seed} {par:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn greedy_assignment_identical_on_both_benchmarks() {
+    for (name, db, table) in [
+        ("tpch", tpch().0, "lineitem"),
+        ("tpcds", tpcds().0, "store_sales"),
+    ] {
+        let t = db.table_id(table).unwrap();
+        let specs = targets(t, 5);
+        let opt = WhatIfOptimizer::new(&db);
+        for (e, q) in [(0.5, 0.9), (1.0, 0.8)] {
+            let mut g_ser = EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &specs, &[]);
+            let cost_ser = greedy_assign(&mut g_ser, &opt, e, q);
+            for par in THREADS {
+                let mut g_par =
+                    EstimationGraph::new(&opt, ErrorModel::default(), 0.05, &specs, &[]);
+                let cost_par = greedy_assign_with(&mut g_par, &opt, e, q, par);
+                assert_bits(cost_par, cost_ser, &format!("{name} greedy cost {par:?}"));
+                assert_eq!(g_par.nodes.len(), g_ser.nodes.len(), "{name} {par:?}");
+                for (a, b) in g_par.nodes.iter().zip(&g_ser.nodes) {
+                    assert_eq!(a.spec, b.spec, "{name} {par:?}");
+                    assert_eq!(a.state, b.state, "{name} {par:?} node {}", a.spec);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn samplecf_batch_identical_including_cost_counters() {
+    for (name, db, table) in [
+        ("tpch", tpch().0, "lineitem"),
+        ("tpcds", tpcds().0, "store_sales"),
+    ] {
+        let t = db.table_id(table).unwrap();
+        let specs = targets(t, 4);
+        for seed in SEEDS {
+            let serial_mgr = SampleManager::new(&db, seed);
+            let reference: Vec<_> = specs
+                .iter()
+                .map(|s| sample_cf(&serial_mgr, s, 0.05).unwrap())
+                .collect();
+            for par in THREADS {
+                let mgr = SampleManager::new(&db, seed);
+                let got = sample_cf_batch(&mgr, &specs, 0.05, par).unwrap();
+                for (g, r) in got.iter().zip(&reference) {
+                    assert_bits(g.cf, r.cf, &format!("{name} cf seed={seed} {par:?}"));
+                    assert_eq!(g.sample_rows, r.sample_rows);
+                    assert_bits(g.cost_pages, r.cost_pages, "cost_pages");
+                }
+                assert_eq!(
+                    mgr.counters(),
+                    serial_mgr.counters(),
+                    "{name} counters seed={seed} {par:?}"
+                );
+            }
+        }
+    }
+}
