@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [experiment] [--scale S]
+//! repro [experiment] [--scale S] [--json]
 //!
 //! experiments:
 //!   table1    MV row-count estimation errors (App. B.3)
@@ -18,14 +18,19 @@
 //!   fig17     TPC-H all features, INSERT-intensive, DTAc vs DTA
 //!   motivating  §1 Examples 1–2 (staged vs integrated)
 //!   par       parallel estimation pipeline speedup (serial vs pool)
+//!   advise    one DTAc tuning run (machine-readable with --json)
 //!   all       everything above (default)
+//!
+//! --json    emit machine-readable reports (Recommendation +
+//!           SizeEstimationReport JSON) for the experiments that produce
+//!           them (currently: advise)
 //! ```
 
 use cadb_bench::experiments::designs::{
     design_figure, VariantSet, BUDGETS, INSERT_INTENSIVE, SELECT_INTENSIVE,
 };
 use cadb_bench::experiments::{
-    calibration, estimation_runtime, graph_quality, motivating, mv_rows, par_speedup,
+    advise, calibration, estimation_runtime, graph_quality, motivating, mv_rows, par_speedup,
 };
 use cadb_core::FeatureSet;
 use std::time::Instant;
@@ -34,9 +39,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut scale = 0.2f64;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             "--scale" => {
                 scale = args
                     .get(i + 1)
@@ -54,7 +64,7 @@ fn main() {
         }
     }
     let t0 = Instant::now();
-    run(&which, scale);
+    run(&which, scale, json);
     eprintln!("[repro {which}: {:.1}s]", t0.elapsed().as_secs_f64());
 }
 
@@ -72,7 +82,7 @@ fn sales(scale: f64) -> (cadb_engine::Database, cadb_engine::Workload) {
     (db, w)
 }
 
-fn run(which: &str, scale: f64) {
+fn run(which: &str, scale: f64, json: bool) {
     let all = which == "all";
     if all || which == "table1" {
         let (db, _) = tpch((scale * 2.5).min(1.0));
@@ -206,6 +216,14 @@ fn run(which: &str, scale: f64) {
         let (db, w) = tpch(scale);
         println!("{}", par_speedup::par_speedup(&db, &w).render());
     }
+    if all || which == "advise" {
+        let (db, w) = tpch(scale);
+        if json {
+            println!("{}", advise::advise_json(&db, &w, scale));
+        } else {
+            println!("{}", advise::advise_text(&db, &w));
+        }
+    }
     let known = [
         "all",
         "table1",
@@ -222,6 +240,7 @@ fn run(which: &str, scale: f64) {
         "fig17",
         "motivating",
         "par",
+        "advise",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment '{which}'; one of: {}", known.join(", "));

@@ -1,0 +1,146 @@
+//! `advise` — one full DTAc tuning run with machine-readable output.
+//!
+//! Runs the advisor on the TPC-H workload at the requested scale and
+//! prints the [`Recommendation`]; with `--json` the recommendation and the
+//! [`SizeEstimationReport`] re-pricing the chosen compressed structures are
+//! emitted as one JSON object (the `to_json()` wire forms the downstream
+//! tooling consumes).
+
+use cadb_common::json::JsonObject;
+use cadb_core::strategy::{DeductionEstimator, EstimationContext, SizeEstimator};
+use cadb_core::{Advisor, AdvisorOptions, Recommendation, SizeEstimationReport};
+use cadb_engine::{Database, IndexSpec, WhatIfOptimizer, Workload};
+use cadb_sampling::SampleManager;
+
+/// Budget fraction the advise run tunes under.
+const BUDGET_FRACTION: f64 = 0.3;
+
+/// Run DTAc once; re-estimate the recommended compressed structures so the
+/// output carries both report types.
+pub fn advise(db: &Database, workload: &Workload) -> (Recommendation, SizeEstimationReport) {
+    let budget = BUDGET_FRACTION * db.base_data_bytes() as f64;
+    let options = AdvisorOptions::dtac(budget);
+    let rec = Advisor::new(db, options.clone())
+        .recommend(workload)
+        .expect("advisor run");
+
+    let compressed: Vec<IndexSpec> = rec
+        .configuration
+        .structures()
+        .iter()
+        .filter(|s| s.spec.compression.is_compressed())
+        .map(|s| s.spec.clone())
+        .collect();
+    let opt = WhatIfOptimizer::new(db).with_parallelism(options.parallelism);
+    let manager = SampleManager::new(db, options.seed);
+    let ctx = EstimationContext {
+        opt: &opt,
+        manager: &manager,
+    };
+    let report = DeductionEstimator::new(options.estimation)
+        .estimate_sizes(&ctx, &compressed, &[])
+        .expect("size estimation");
+    (rec, report)
+}
+
+/// The combined JSON document `repro -- advise --json` prints.
+pub fn advise_json(db: &Database, workload: &Workload, scale: f64) -> String {
+    let (rec, report) = advise(db, workload);
+    JsonObject::new()
+        .str("experiment", "advise")
+        .num("scale", scale)
+        .num("budget_fraction", BUDGET_FRACTION)
+        .raw("recommendation", &rec.to_json())
+        .raw("size_estimation", &report.to_json())
+        .finish()
+}
+
+/// Human-readable rendering of the same run.
+pub fn advise_text(db: &Database, workload: &Workload) -> String {
+    let (rec, report) = advise(db, workload);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "advise: DTAc at {:.0}% budget — {} structures, {:.1} KiB, improvement {:.1}%\n",
+        BUDGET_FRACTION * 100.0,
+        rec.configuration.len(),
+        rec.total_bytes() / 1024.0,
+        rec.improvement_percent()
+    ));
+    for s in rec.configuration.structures() {
+        out.push_str(&format!(
+            "  {:<55} {:>9.1} KiB (cf {:.2})\n",
+            s.spec.to_string(),
+            s.size.bytes / 1024.0,
+            s.size.compression_fraction
+        ));
+    }
+    out.push_str(&format!(
+        "size estimation: f={:.1}%, {} sampled / {} deduced, feasible={}\n",
+        report.fraction * 100.0,
+        report.sampled,
+        report.deduced,
+        report.feasible
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replace the wall-clock fields' values with `0` so two runs of the
+    /// same experiment can be compared for determinism.
+    fn mask_timings(s: &str) -> String {
+        let mut out = s.to_string();
+        for key in [
+            "\"other_seconds\":",
+            "\"sample_seconds\":",
+            "\"estimate_seconds\":",
+            "\"samplecf_seconds\":",
+        ] {
+            let mut from = 0;
+            while let Some(i) = out[from..].find(key) {
+                let start = from + i + key.len();
+                let end = out[start..]
+                    .find([',', '}'])
+                    .map(|e| start + e)
+                    .unwrap_or(out.len());
+                out.replace_range(start..end, "0");
+                from = start + 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn advise_json_is_wellformed_and_deterministic() {
+        let gen = cadb_datagen::TpchGen::new(0.01);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        let a = advise_json(&db, &w, 0.01);
+        let b = advise_json(&db, &w, 0.01);
+        assert_eq!(
+            mask_timings(&a),
+            mask_timings(&b),
+            "JSON output must be deterministic up to wall-clock timings"
+        );
+        // Cheap structural checks (no JSON parser in-tree): balanced
+        // braces, the expected top-level keys, no NaN/Infinity leakage.
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "unbalanced braces"
+        );
+        for key in [
+            "\"experiment\":\"advise\"",
+            "\"recommendation\":{",
+            "\"size_estimation\":{",
+            "\"improvement_percent\":",
+            "\"estimates\":[",
+        ] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+        assert!(!a.contains("NaN") && !a.contains("inf"), "{a}");
+    }
+}

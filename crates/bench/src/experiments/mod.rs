@@ -1,5 +1,6 @@
 //! Experiment implementations, one per paper table/figure.
 
+pub mod advise;
 pub mod calibration;
 pub mod designs;
 pub mod estimation_runtime;

@@ -1,0 +1,167 @@
+//! Minimal JSON emission helpers.
+//!
+//! The workspace marks its report types wire-ready with the (shim) serde
+//! derives, but the in-tree serde stand-in has no serializer, so
+//! machine-readable output is hand-assembled through these writers. They
+//! produce deterministic, valid JSON: object fields appear in insertion
+//! order, strings are escaped per RFC 8259, and non-finite floats become
+//! `null` (JSON has no NaN/Infinity).
+
+use std::fmt::Write;
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number (`null` for NaN/±∞ — JSON has neither).
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental writer for one JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+        &mut self.buf
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        let e = escape(v);
+        let _ = write!(self.key(k), "\"{e}\"");
+        self
+    }
+
+    /// Add a numeric field.
+    pub fn num(mut self, k: &str, v: f64) -> Self {
+        let n = num(v);
+        self.key(k).push_str(&n);
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, k: &str, v: i64) -> Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Add a field whose value is already-rendered JSON (an object, array,
+    /// or literal produced by another writer).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k).push_str(v);
+        self
+    }
+
+    /// Close the object and return its JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Incremental writer for one JSON array.
+#[derive(Debug, Default)]
+pub struct JsonArray {
+    buf: String,
+}
+
+impl JsonArray {
+    /// Start an empty array.
+    pub fn new() -> Self {
+        JsonArray::default()
+    }
+
+    /// Append an already-rendered JSON value.
+    pub fn push_raw(&mut self, v: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(v);
+    }
+
+    /// Close the array and return its JSON text.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_render_as_valid_json() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_and_array_compose() {
+        let mut arr = JsonArray::new();
+        arr.push_raw(&JsonObject::new().str("k", "v").finish());
+        arr.push_raw("2");
+        let obj = JsonObject::new()
+            .str("name", "x\"y")
+            .num("cost", 2.5)
+            .int("n", 7)
+            .bool("ok", true)
+            .raw("items", &arr.finish())
+            .finish();
+        assert_eq!(
+            obj,
+            "{\"name\":\"x\\\"y\",\"cost\":2.5,\"n\":7,\"ok\":true,\
+             \"items\":[{\"k\":\"v\"},2]}"
+        );
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod par;
 pub mod rng;
 pub mod row;

@@ -56,7 +56,7 @@ impl CompressionKind {
     /// Relative CPU cost per tuple *written* (the paper's `α`, Appendix A.1),
     /// in abstract cost units per tuple. PAGE-family methods cost more to
     /// compress than ROW-family ones; values calibrated against the relative
-    /// magnitudes reported in the SQL Server compression whitepaper [13].
+    /// magnitudes reported in the SQL Server compression whitepaper \[13\].
     pub fn alpha(self) -> f64 {
         match self {
             CompressionKind::None => 0.0,

@@ -1,6 +1,6 @@
 //! NULL/blank suppression (ROW compression).
 //!
-//! Mirrors SQL Server ROW compression (§2.1, [13]): each value is stored in
+//! Mirrors SQL Server ROW compression (§2.1, \[13\]): each value is stored in
 //! its minimal significant form —
 //!
 //! * numerics drop trailing sign-extension bytes of their little-endian

@@ -1,45 +1,129 @@
 //! Enumeration: choose the final configuration under the storage bound
-//! (§6.2).
+//! (§6.2), as [`EnumerationStrategy`] implementations.
 //!
-//! Plain greedy adds the structure with the largest workload-cost reduction
-//! each step; density mode divides the benefit by the added bytes; the
-//! Backtracking extension (Figure 8) recovers an oversized greedy choice by
-//! swapping structures in the provisional configuration for their
-//! compressed variants until it fits, then compares the recovered
-//! configuration against the in-budget alternatives.
+//! [`Greedy`] adds the structure with the largest workload-cost reduction
+//! each step (multi-start: one pass by absolute benefit, one by density,
+//! keeping the cheaper result); [`DensityGreedy`] runs the density pass
+//! alone (the \[15\]-style baseline of Figure 7); [`Backtracking`] extends
+//! the multi-start greedy with the Figure 8 recovery: an oversized greedy
+//! choice is rescued by swapping structures in the provisional
+//! configuration for their compressed variants until it fits, then compared
+//! against the in-budget alternatives.
 //!
 //! Adding a compressed variant of a structure already in the configuration
 //! *replaces* it (competing indexes — only one of `I_B` / `I^C_B` can
 //! exist), which is what lets Backtracking trade speed for space.
 
 use super::AdvisorOptions;
+use crate::strategy::{AdvisorContext, EnumerationStrategy};
+use cadb_common::Result;
 use cadb_engine::{Configuration, PhysicalStructure, WhatIfOptimizer, Workload};
 
 /// Minimum absolute benefit to keep iterating.
 const MIN_GAIN: f64 = 1e-6;
 
-/// Run enumeration over the selected pool.
-///
-/// Greedy is path-dependent, so the enumeration is multi-start: one pass
-/// scored by absolute benefit and one by density (benefit per byte), taking
-/// whichever final configuration prices lower. With `options.density` set,
-/// only the density pass runs (the [15]-style baseline the paper compares
-/// against in Figure 7).
+/// Multi-start greedy: one pass scored by absolute benefit and one by
+/// density (benefit per byte), taking whichever final configuration prices
+/// lower. Greedy is path-dependent, so the two starts genuinely differ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy;
+
+impl EnumerationStrategy for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn enumerate(
+        &self,
+        ctx: &AdvisorContext<'_>,
+        workload: &Workload,
+        pool: &[PhysicalStructure],
+    ) -> Result<Configuration> {
+        enumerate_multi_start(ctx.opt, workload, pool, ctx.storage_budget, false)
+    }
+}
+
+/// Density-only greedy (benefit divided by added bytes) — the literature
+/// baseline the paper compares against in Figure 7. Optionally combined
+/// with the Backtracking recovery.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DensityGreedy {
+    /// Run the Figure 8 oversized-choice recovery inside the density pass.
+    pub backtracking: bool,
+}
+
+impl EnumerationStrategy for DensityGreedy {
+    fn name(&self) -> &'static str {
+        "density-greedy"
+    }
+
+    fn enumerate(
+        &self,
+        ctx: &AdvisorContext<'_>,
+        workload: &Workload,
+        pool: &[PhysicalStructure],
+    ) -> Result<Configuration> {
+        enumerate_one(
+            ctx.opt,
+            workload,
+            pool,
+            ctx.storage_budget,
+            true,
+            self.backtracking,
+        )
+    }
+}
+
+/// Multi-start greedy with the Backtracking extension (§6.2, Figure 8):
+/// oversized greedy choices are recovered via compressed-variant swaps, and
+/// the final configuration gets one round of variant polishing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Backtracking;
+
+impl EnumerationStrategy for Backtracking {
+    fn name(&self) -> &'static str {
+        "backtracking"
+    }
+
+    fn enumerate(
+        &self,
+        ctx: &AdvisorContext<'_>,
+        workload: &Workload,
+        pool: &[PhysicalStructure],
+    ) -> Result<Configuration> {
+        enumerate_multi_start(ctx.opt, workload, pool, ctx.storage_budget, true)
+    }
+}
+
+/// Legacy flag-driven entry point: dispatches on `options.density` /
+/// `options.backtracking` exactly as [`crate::strategy::StrategySet`] does.
 pub fn enumerate(
     opt: &WhatIfOptimizer<'_>,
     workload: &Workload,
     pool: &[PhysicalStructure],
     options: &AdvisorOptions,
-) -> Configuration {
+) -> Result<Configuration> {
+    let budget = options.storage_budget;
     if options.density {
-        return enumerate_one(opt, workload, pool, options, true);
+        return enumerate_one(opt, workload, pool, budget, true, options.backtracking);
     }
-    let by_benefit = enumerate_one(opt, workload, pool, options, false);
-    let by_density = enumerate_one(opt, workload, pool, options, true);
+    enumerate_multi_start(opt, workload, pool, budget, options.backtracking)
+}
+
+/// The multi-start driver shared by [`Greedy`] and [`Backtracking`].
+fn enumerate_multi_start(
+    opt: &WhatIfOptimizer<'_>,
+    workload: &Workload,
+    pool: &[PhysicalStructure],
+    budget: f64,
+    backtracking: bool,
+) -> Result<Configuration> {
+    let by_benefit = enumerate_one(opt, workload, pool, budget, false, backtracking)?;
+    let by_density = enumerate_one(opt, workload, pool, budget, true, backtracking)?;
     if opt.workload_cost(workload, &by_density) < opt.workload_cost(workload, &by_benefit) {
-        by_density
+        Ok(by_density)
     } else {
-        by_benefit
+        Ok(by_benefit)
     }
 }
 
@@ -48,10 +132,10 @@ fn enumerate_one(
     opt: &WhatIfOptimizer<'_>,
     workload: &Workload,
     pool: &[PhysicalStructure],
-    options: &AdvisorOptions,
+    budget: f64,
     density: bool,
-) -> Configuration {
-    let budget = options.storage_budget;
+    backtracking: bool,
+) -> Result<Configuration> {
     let mut current = Configuration::empty();
     let mut current_cost = opt.workload_cost(workload, &current);
 
@@ -70,7 +154,7 @@ fn enumerate_one(
             cand.add(s.clone());
             let cand_bytes = cand.total_bytes();
             let over = cand_bytes > budget;
-            if over && !options.backtracking {
+            if over && !backtracking {
                 continue;
             }
             metas.push((pi, cand_bytes, over));
@@ -120,16 +204,19 @@ fn enumerate_one(
             }
         }
 
-        let take_recovered = match (&best_fit, &recovered) {
-            (Some((_, _, fit_cost)), Some((_, rec_cost))) => rec_cost < fit_cost,
-            (None, Some(_)) => true,
-            _ => false,
-        };
-        if take_recovered {
-            let (cfg, cost) = recovered.expect("checked");
-            current = cfg;
-            current_cost = cost;
-            continue;
+        // Take the recovered configuration when it beats every in-budget
+        // choice (moving it out of the Option directly — no re-check that
+        // could panic).
+        if let Some((cfg, cost)) = recovered {
+            let wins = match &best_fit {
+                Some((_, _, fit_cost)) => cost < *fit_cost,
+                None => true,
+            };
+            if wins {
+                current = cfg;
+                current_cost = cost;
+                continue;
+            }
         }
         match best_fit {
             Some((_, k, cost)) => {
@@ -139,7 +226,7 @@ fn enumerate_one(
             None => break,
         }
     }
-    if options.backtracking {
+    if backtracking {
         // Polish: greedy is path-dependent; one round of variant swaps on
         // the final configuration (each member against every compression
         // variant in the pool, within budget) recovers the "replace with
@@ -147,7 +234,7 @@ fn enumerate_one(
         // the greedy skeleton.
         polish_variants(opt, workload, &mut current, pool, budget);
     }
-    current
+    Ok(current)
 }
 
 /// Try replacing each member with a same-identity variant from the pool
@@ -306,7 +393,7 @@ mod tests {
             backtracking: false,
             ..AdvisorOptions::dtac(1e12)
         };
-        let cfg = enumerate(&opt, &w, &pool, &generous);
+        let cfg = enumerate(&opt, &w, &pool, &generous).unwrap();
         // With unlimited budget both uncompressed indexes win (faster).
         assert_eq!(cfg.len(), 2);
         assert!(cfg
@@ -320,18 +407,14 @@ mod tests {
         let (db, w) = setup();
         let opt = WhatIfOptimizer::new(&db);
         let pool = lineitem_pool(&db);
+        let ctx = |budget: f64| AdvisorContext {
+            opt: &opt,
+            storage_budget: budget,
+        };
         // Budget fits one uncompressed index, or two compressed ones.
         let one_plain = pool[0].size.bytes * 1.3;
-        let plain_opts = AdvisorOptions {
-            backtracking: false,
-            ..AdvisorOptions::dtac(one_plain)
-        };
-        let cfg_plain = enumerate(&opt, &w, &pool, &plain_opts);
-        let bt_opts = AdvisorOptions {
-            backtracking: true,
-            ..AdvisorOptions::dtac(one_plain)
-        };
-        let cfg_bt = enumerate(&opt, &w, &pool, &bt_opts);
+        let cfg_plain = Greedy.enumerate(&ctx(one_plain), &w, &pool).unwrap();
+        let cfg_bt = Backtracking.enumerate(&ctx(one_plain), &w, &pool).unwrap();
         let cost_plain = opt.workload_cost(&w, &cfg_plain);
         let cost_bt = opt.workload_cost(&w, &cfg_bt);
         assert!(cfg_bt.total_bytes() <= one_plain);
@@ -358,7 +441,7 @@ mod tests {
         let (db, w) = setup();
         let opt = WhatIfOptimizer::new(&db);
         let pool = lineitem_pool(&db);
-        let cfg = enumerate(&opt, &w, &pool, &AdvisorOptions::dtac(0.0));
+        let cfg = enumerate(&opt, &w, &pool, &AdvisorOptions::dtac(0.0)).unwrap();
         assert!(cfg.is_empty());
     }
 
@@ -367,12 +450,11 @@ mod tests {
         let (db, w) = setup();
         let opt = WhatIfOptimizer::new(&db);
         let pool = lineitem_pool(&db);
-        let density = AdvisorOptions {
-            density: true,
-            backtracking: false,
-            ..AdvisorOptions::dtac(pool[0].size.bytes * 1.1)
+        let ctx = AdvisorContext {
+            opt: &opt,
+            storage_budget: pool[0].size.bytes * 1.1,
         };
-        let cfg = enumerate(&opt, &w, &pool, &density);
+        let cfg = DensityGreedy::default().enumerate(&ctx, &w, &pool).unwrap();
         // Density under a tight budget lands on compressed (small) indexes.
         assert!(!cfg.is_empty());
         assert!(cfg
@@ -387,11 +469,44 @@ mod tests {
         let opt = WhatIfOptimizer::new(&db);
         let pool = lineitem_pool(&db);
         for budget in [0.0, 1e5, 5e5, 1e6, 1e12] {
-            let cfg = enumerate(&opt, &w, &pool, &AdvisorOptions::dtac(budget));
+            let cfg = enumerate(&opt, &w, &pool, &AdvisorOptions::dtac(budget)).unwrap();
             assert!(
                 cfg.total_bytes() <= budget.max(0.0) + 1e-6,
                 "budget {budget} exceeded: {}",
                 cfg.total_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn flag_path_matches_strategy_dispatch() {
+        // The legacy options entry point and the trait objects must walk
+        // the identical code path — pin it for every flag combination.
+        let (db, w) = setup();
+        let opt = WhatIfOptimizer::new(&db);
+        let pool = lineitem_pool(&db);
+        let budget = pool[0].size.bytes * 1.3;
+        let ctx = AdvisorContext {
+            opt: &opt,
+            storage_budget: budget,
+        };
+        for (density, backtracking) in [(false, false), (false, true), (true, false), (true, true)]
+        {
+            let opts = AdvisorOptions {
+                density,
+                backtracking,
+                ..AdvisorOptions::dtac(budget)
+            };
+            let legacy = enumerate(&opt, &w, &pool, &opts).unwrap();
+            let strategy: Box<dyn EnumerationStrategy> = match (density, backtracking) {
+                (true, bt) => Box::new(DensityGreedy { backtracking: bt }),
+                (false, true) => Box::new(Backtracking),
+                (false, false) => Box::new(Greedy),
+            };
+            let via_trait = strategy.enumerate(&ctx, &w, &pool).unwrap();
+            assert_eq!(
+                legacy, via_trait,
+                "flags (density={density}, backtracking={backtracking}) diverged"
             );
         }
     }

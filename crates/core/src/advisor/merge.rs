@@ -1,4 +1,4 @@
-//! Index merging ([8], §6.2 closing remarks).
+//! Index merging (\[8\], §6.2 closing remarks).
 //!
 //! Pairs of secondary candidates on the same table whose keys share a
 //! leading column are merged into one structure: the longer key, with the

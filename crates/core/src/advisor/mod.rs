@@ -4,19 +4,29 @@
 //! variants) → size estimation (the §5 framework) → candidate selection
 //! (top-k or Skyline) → index merging → enumeration (greedy / density /
 //! Backtracking) under the storage bound.
+//!
+//! The three variable stages — estimation, selection, enumeration — are
+//! dispatched through the strategy traits of [`crate::strategy`]:
+//! [`Advisor::recommend`] translates the legacy [`AdvisorOptions`] boolean
+//! knobs into a [`StrategySet`] (so the `dta`/`dtac`/`dtac_none` presets
+//! stay byte-identical), and [`Advisor::recommend_with`] accepts any
+//! user-assembled set, making new selection/estimation/enumeration variants
+//! a self-contained `impl` instead of another flag.
 
 pub mod candidates;
 pub mod enumerate;
 pub mod merge;
 pub mod skyline;
 
-use crate::error_model::ErrorModel;
-use crate::planner::{EstimationPlanner, PlannerOptions};
-use cadb_common::Result;
+use crate::planner::PlannerOptions;
+use crate::strategy::{AdvisorContext, EstimationContext, StrategySet};
+use cadb_common::json::{JsonArray, JsonObject};
+use cadb_common::{CadbError, Result};
 use cadb_engine::{
     Configuration, Database, IndexSpec, Parallelism, PhysicalStructure, WhatIfOptimizer, Workload,
 };
 use cadb_sampling::SampleManager;
+use serde::Serialize;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -47,7 +57,7 @@ pub struct AdvisorOptions {
     pub top_k: usize,
     /// Structure classes in play.
     pub features: FeatureSet,
-    /// Index merging (§6.2 end / [8]).
+    /// Index merging (§6.2 end / \[8\]).
     pub merging: bool,
     /// Size-estimation accuracy/fractions.
     pub estimation: PlannerOptions,
@@ -118,7 +128,7 @@ impl AdvisorOptions {
 }
 
 /// Timing breakdown of one advisor run (drives Figure 11).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize)]
 pub struct AdvisorTimings {
     /// Candidate generation + what-if costing + enumeration ("Other").
     pub other_seconds: f64,
@@ -135,7 +145,7 @@ pub struct AdvisorTimings {
 }
 
 /// The advisor's output.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Recommendation {
     /// Chosen configuration.
     pub configuration: Configuration,
@@ -163,6 +173,46 @@ impl Recommendation {
     pub fn total_bytes(&self) -> f64 {
         self.configuration.total_bytes()
     }
+
+    /// Machine-readable JSON form of the recommendation (structures sorted
+    /// as chosen, costs, timings) — what `repro --json` emits.
+    pub fn to_json(&self) -> String {
+        let mut structures = JsonArray::new();
+        for s in self.configuration.structures() {
+            structures.push_raw(&structure_json(s));
+        }
+        let timings = JsonObject::new()
+            .num("other_seconds", self.timings.other_seconds)
+            .num("sample_seconds", self.timings.sample_seconds)
+            .num("estimate_seconds", self.timings.estimate_seconds)
+            .num("estimation_cost_pages", self.timings.estimation_cost_pages)
+            .int("sampled", self.timings.sampled as i64)
+            .int("deduced", self.timings.deduced as i64)
+            .finish();
+        JsonObject::new()
+            .raw("configuration", &structures.finish())
+            .num("total_bytes", self.total_bytes())
+            .num("initial_cost", self.initial_cost)
+            .num("final_cost", self.final_cost)
+            .num("improvement_percent", self.improvement_percent())
+            .int("pool_size", self.pool_size as i64)
+            .raw("timings", &timings)
+            .finish()
+    }
+}
+
+/// JSON form of one priced structure (shared with the estimation report).
+pub(crate) fn structure_json(s: &PhysicalStructure) -> String {
+    JsonObject::new()
+        .str("spec", &s.spec.to_string())
+        .int("table", s.spec.table.0 as i64)
+        .bool("clustered", s.spec.clustered)
+        .str("compression", &s.spec.compression.to_string())
+        .num("bytes", s.size.bytes)
+        .num("pages", s.size.pages)
+        .num("rows", s.size.rows)
+        .num("compression_fraction", s.size.compression_fraction)
+        .finish()
 }
 
 /// The advisor.
@@ -198,7 +248,27 @@ impl<'a> Advisor<'a> {
     }
 
     /// Produce a recommendation for a workload under the storage bound.
+    ///
+    /// Translates the flag-style [`AdvisorOptions`] into a [`StrategySet`]
+    /// and dispatches through [`Self::recommend_with`] — the presets and
+    /// the trait path are literally the same code.
     pub fn recommend(&self, workload: &Workload) -> Result<Recommendation> {
+        self.recommend_with(workload, &StrategySet::from_options(&self.options))
+    }
+
+    /// Produce a recommendation using an explicit [`StrategySet`] —
+    /// the extension point for custom estimation/selection/enumeration
+    /// strategies (see [`crate::strategy`]).
+    ///
+    /// Non-strategy knobs (budget, feature classes, merging, seed,
+    /// parallelism) still come from [`AdvisorOptions`]; the `skyline` /
+    /// `backtracking` / `density` / `top_k` / `estimation.use_deduction`
+    /// flags are ignored in favour of `strategies`.
+    pub fn recommend_with(
+        &self,
+        workload: &Workload,
+        strategies: &StrategySet,
+    ) -> Result<Recommendation> {
         let opt = WhatIfOptimizer::new(self.db).with_parallelism(self.options.parallelism);
         let manager = SampleManager::new(self.db, self.options.seed);
         let t_start = Instant::now();
@@ -212,28 +282,39 @@ impl<'a> Advisor<'a> {
         }
 
         // 3. Size estimation: uncompressed sizes from statistics;
-        //    compressed sizes through the §5 framework.
+        //    compressed sizes through the estimation strategy (the §5
+        //    framework for the built-in estimators).
         let compressed_targets: Vec<IndexSpec> = pool
             .iter()
             .filter(|s| s.compression.is_compressed())
             .cloned()
             .collect();
         let t_est = Instant::now();
-        let planner = EstimationPlanner::new(
-            &opt,
-            &manager,
-            ErrorModel::default(),
-            self.options.estimation.clone(),
-        );
-        let report = planner.estimate_sizes(&compressed_targets, &[])?;
+        let ectx = EstimationContext {
+            opt: &opt,
+            manager: &manager,
+        };
+        let report = strategies
+            .estimator
+            .estimate_sizes(&ectx, &compressed_targets, &[])?;
         let estimate_seconds = t_est.elapsed().as_secs_f64();
 
         let mut priced: Vec<PhysicalStructure> = Vec::with_capacity(pool.len());
         for spec in pool {
             let size = if spec.compression.is_compressed() {
+                // Every compressed candidate was handed to the estimator;
+                // a missing estimate means the strategy broke its contract
+                // (pricing the candidate at its uncompressed size would
+                // silently distort selection and budget packing).
                 match report.estimates.get(&spec) {
                     Some(s) => *s,
-                    None => opt.estimate_uncompressed_size(&spec),
+                    None => {
+                        return Err(CadbError::InvalidArgument(format!(
+                            "size estimator '{}' returned no estimate for \
+                             compressed target {spec}",
+                            strategies.estimator.name()
+                        )))
+                    }
                 }
             } else {
                 opt.estimate_uncompressed_size(&spec)
@@ -241,14 +322,21 @@ impl<'a> Advisor<'a> {
             priced.push(PhysicalStructure { spec, size });
         }
 
-        // 4. Candidate selection: per query, keep the skyline (or top-k) of
+        let ctx = AdvisorContext {
+            opt: &opt,
+            storage_budget: self.options.storage_budget,
+        };
+
+        // 4. Candidate selection: per query, keep the strategy's choice of
         //    (size, cost) single-structure configurations.
-        let selected = skyline::select_candidates(&opt, workload, &priced, &self.options);
+        let selected = strategies.selection.select(&ctx, workload, &priced)?;
         let pool_size = selected.len();
 
         // 5. Enumeration under the budget.
         let initial_cost = opt.workload_cost(workload, &Configuration::empty());
-        let configuration = enumerate::enumerate(&opt, workload, &selected, &self.options);
+        let configuration = strategies
+            .enumeration
+            .enumerate(&ctx, workload, &selected)?;
         let final_cost = opt.workload_cost(workload, &configuration);
 
         let total_seconds = t_start.elapsed().as_secs_f64();

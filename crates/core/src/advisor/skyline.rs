@@ -1,13 +1,16 @@
-//! Candidate selection: best-per-query top-k vs the Skyline method (§6.1).
+//! Candidate selection: best-per-query top-k vs the Skyline method (§6.1),
+//! as [`CandidateSelection`] strategies.
 //!
 //! For each query, every relevant structure is priced as a single-structure
-//! configuration. Top-k keeps the k fastest; Skyline keeps every structure
-//! not dominated in (size, cost) — the fast-large ⟷ slow-small spectrum of
-//! Figure 5 that compressed indexes populate. The final pool is the union
-//! over queries.
+//! configuration. [`TopK`] keeps the k fastest; [`Skyline`] keeps every
+//! structure not dominated in (size, cost) — the fast-large ⟷ slow-small
+//! spectrum of Figure 5 that compressed indexes populate. The final pool is
+//! the union over queries.
 
 use super::AdvisorOptions;
+use crate::strategy::{AdvisorContext, CandidateSelection};
 use cadb_common::par::par_map;
+use cadb_common::Result;
 use cadb_engine::{Configuration, PhysicalStructure, WhatIfOptimizer, Workload};
 
 /// Minimum relative improvement for a structure to be considered relevant
@@ -21,12 +24,110 @@ struct Point {
     cost: f64,
 }
 
-/// Select the candidate pool (union over queries of per-query selections).
+/// Best-per-query selection: keep the `k` fastest relevant structures for
+/// each query (the original DTA behaviour).
+#[derive(Debug, Clone, Copy)]
+pub struct TopK {
+    /// Structures kept per query.
+    pub k: usize,
+}
+
+impl Default for TopK {
+    fn default() -> Self {
+        TopK { k: 2 }
+    }
+}
+
+impl CandidateSelection for TopK {
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+
+    fn select(
+        &self,
+        ctx: &AdvisorContext<'_>,
+        workload: &Workload,
+        priced: &[PhysicalStructure],
+    ) -> Result<Vec<PhysicalStructure>> {
+        Ok(select_pool(ctx.opt, workload, priced, &|points| {
+            top_k_of(points, self.k)
+        }))
+    }
+}
+
+/// Skyline selection (§6.1): keep every per-query point not dominated in
+/// (size, cost), plus the plain top-k as greedy seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct Skyline {
+    /// The plain top-k kept alongside the skyline (the skyline can in
+    /// principle drop a dominated point that is still the best greedy
+    /// seed).
+    pub top_k: usize,
+}
+
+impl Default for Skyline {
+    fn default() -> Self {
+        Skyline { top_k: 2 }
+    }
+}
+
+impl CandidateSelection for Skyline {
+    fn name(&self) -> &'static str {
+        "skyline"
+    }
+
+    fn select(
+        &self,
+        ctx: &AdvisorContext<'_>,
+        workload: &Workload,
+        priced: &[PhysicalStructure],
+    ) -> Result<Vec<PhysicalStructure>> {
+        Ok(select_pool(ctx.opt, workload, priced, &|points| {
+            skyline_plus_top_k(points, self.top_k)
+        }))
+    }
+}
+
+/// Legacy flag-driven entry point: dispatches to [`Skyline`] or [`TopK`]
+/// per `options.skyline`, exactly as [`crate::strategy::StrategySet`] does.
 pub fn select_candidates(
     opt: &WhatIfOptimizer<'_>,
     workload: &Workload,
     priced: &[PhysicalStructure],
     options: &AdvisorOptions,
+) -> Vec<PhysicalStructure> {
+    if options.skyline {
+        select_pool(opt, workload, priced, &|points| {
+            skyline_plus_top_k(points, options.top_k)
+        })
+    } else {
+        select_pool(opt, workload, priced, &|points| {
+            top_k_of(points, options.top_k)
+        })
+    }
+}
+
+/// The [`Skyline`] choice rule: the (size, cost) skyline, plus the plain
+/// top-k as greedy seeds.
+fn skyline_plus_top_k(points: Vec<Point>, top_k: usize) -> Vec<Point> {
+    let mut sky = skyline_of(points.clone());
+    for p in top_k_of(points, top_k) {
+        if !sky.iter().any(|s| s.structure.spec == p.structure.spec) {
+            sky.push(p);
+        }
+    }
+    sky
+}
+
+/// The shared per-query sweep: price every relevant structure as a
+/// single-structure configuration (one parallel batch per query), filter
+/// the ones that help at all, let `choose` pick the survivors, and union
+/// the per-query choices.
+fn select_pool(
+    opt: &WhatIfOptimizer<'_>,
+    workload: &Workload,
+    priced: &[PhysicalStructure],
+    choose: &dyn Fn(Vec<Point>) -> Vec<Point>,
 ) -> Vec<PhysicalStructure> {
     let mut selected: Vec<PhysicalStructure> = Vec::new();
     let empty = Configuration::empty();
@@ -59,21 +160,7 @@ pub fn select_candidates(
                 });
             }
         }
-        let chosen = if options.skyline {
-            // Skyline plus the plain top-k: the skyline can in principle
-            // drop a point that is (size, cost)-dominated yet still the
-            // best greedy seed, so always keep the k fastest as well.
-            let mut sky = skyline_of(points.clone());
-            for p in top_k_of(points, options.top_k) {
-                if !sky.iter().any(|s| s.structure.spec == p.structure.spec) {
-                    sky.push(p);
-                }
-            }
-            sky
-        } else {
-            top_k_of(points, options.top_k)
-        };
-        for p in chosen {
+        for p in choose(points) {
             if !selected.iter().any(|s| s.spec == p.structure.spec) {
                 selected.push(p.structure);
             }
@@ -189,19 +276,27 @@ mod tests {
                 spec: compressed.clone(),
             },
         ];
-        let mut sky_opts = AdvisorOptions::dtac(1e9);
-        sky_opts.skyline = true;
-        let sky = select_candidates(&opt, &w, &priced, &sky_opts);
+        let ctx = AdvisorContext {
+            opt: &opt,
+            storage_budget: 1e9,
+        };
+        let sky = Skyline::default().select(&ctx, &w, &priced).unwrap();
         assert!(
             sky.iter().any(|s| s.spec == compressed),
             "skyline dropped the compressed variant"
         );
         assert!(sky.iter().any(|s| s.spec == plain));
 
-        let mut topk = AdvisorOptions::dtac(1e9);
-        topk.skyline = false;
-        topk.top_k = 1;
-        let t1 = select_candidates(&opt, &w, &priced, &topk);
+        let t1 = TopK { k: 1 }.select(&ctx, &w, &priced).unwrap();
         assert_eq!(t1.len(), 1, "top-1 keeps a single candidate");
+
+        // The legacy flag entry point routes through the same code.
+        let mut sky_opts = AdvisorOptions::dtac(1e9);
+        sky_opts.skyline = true;
+        let legacy = select_candidates(&opt, &w, &priced, &sky_opts);
+        assert_eq!(legacy.len(), sky.len());
+        for (a, b) in legacy.iter().zip(&sky) {
+            assert_eq!(a.spec, b.spec);
+        }
     }
 }

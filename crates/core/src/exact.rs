@@ -22,7 +22,7 @@ pub struct ExactResult {
     pub best_cost: Option<f64>,
     /// Assignments explored.
     pub visited: u64,
-    /// Whether the search was truncated by [`MAX_VISITS`].
+    /// Whether the search was truncated by the internal visit cap.
     pub truncated: bool,
 }
 

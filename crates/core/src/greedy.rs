@@ -6,6 +6,11 @@
 //! the target itself (least cost), and otherwise samples the target.
 //! Finishes with the wide → narrow prune of unused auxiliaries.
 //!
+//! Callers normally reach this through the [`crate::strategy::SizeEstimator`]
+//! strategies: [`crate::strategy::DeductionEstimator`] drives
+//! [`greedy_assign_with`] via the planner, while
+//! [`crate::strategy::SampleCfEstimator`] bypasses it with [`all_sampled`].
+//!
 //! # Level-synchronous parallel evaluation
 //!
 //! [`greedy_assign_with`] preserves the paper's narrow → wide processing

@@ -17,6 +17,18 @@
 //! the options off one by one yields the paper's ablations (DTA, "DTAc
 //! (None)", Skyline-only, Backtrack-only).
 //!
+//! # Strategy architecture
+//!
+//! The pipeline's variable stages are trait-based extension points
+//! ([`strategy`]): [`strategy::SizeEstimator`] (deduction framework /
+//! SampleCF-only / exact measurement), [`strategy::CandidateSelection`]
+//! (top-k / Skyline) and [`strategy::EnumerationStrategy`] (greedy /
+//! density / Backtracking). `Advisor::recommend` maps the legacy
+//! [`AdvisorOptions`] flags onto a [`strategy::StrategySet`] and runs the
+//! same trait-dispatched path `Advisor::recommend_with` exposes for custom
+//! strategies, so the flag presets are byte-identical to trait dispatch and
+//! a new pipeline variant is one `impl` block, not a cross-cutting edit.
+//!
 //! # Parallelism model
 //!
 //! The expensive pipeline stages run as **batches on a scoped worker pool**
@@ -46,8 +58,14 @@ pub mod exact;
 pub mod greedy;
 pub mod math;
 pub mod planner;
+pub mod strategy;
 
 pub use advisor::{Advisor, AdvisorOptions, FeatureSet, Recommendation};
 pub use error_model::{ErrorModel, EstimateDistribution};
 pub use estimation_graph::{EstimationGraph, NodeState};
 pub use planner::{EstimationPlanner, PlannerOptions, SizeEstimationReport};
+pub use strategy::{
+    AdvisorContext, Backtracking, CandidateSelection, DeductionEstimator, DensityGreedy,
+    EnumerationStrategy, EstimationContext, ExactEstimator, Greedy, SampleCfEstimator,
+    SizeEstimator, Skyline, StrategySet, TopK,
+};

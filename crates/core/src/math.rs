@@ -2,7 +2,7 @@
 //!
 //! The §5.1 framework treats each size estimate as a random variable
 //! `X = estimate / truth`, composes products of such variables with
-//! Goodman's variance formula [9], and evaluates the probability that the
+//! Goodman's variance formula \[9\], and evaluates the probability that the
 //! final estimate is within tolerance `e` — the integral of a normal
 //! density over `[1/(1+e), 1+e]`.
 
@@ -38,7 +38,7 @@ pub fn normal_prob_between(mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
     normal_cdf((hi - mean) / sd) - normal_cdf((lo - mean) / sd)
 }
 
-/// Goodman's formula [9] for the variance of a product of independent
+/// Goodman's formula \[9\] for the variance of a product of independent
 /// random variables given as `(mean, variance)` pairs:
 /// `V(Π Xᵢ) = Π (σᵢ² + μᵢ²) − Π μᵢ²`.
 pub fn product_variance(vars: &[(f64, f64)]) -> f64 {

@@ -10,10 +10,12 @@ use crate::deduction::{deduce_size, KnownSize};
 use crate::error_model::{ErrorModel, EstimateDistribution};
 use crate::estimation_graph::{EstimationGraph, NodeState};
 use crate::greedy::{all_sampled, greedy_assign_with};
+use cadb_common::json::{JsonArray, JsonObject};
 use cadb_common::par::{try_par_map, Parallelism};
 use cadb_common::{CadbError, Result};
-use cadb_engine::{IndexSpec, SizeEstimate, WhatIfOptimizer};
+use cadb_engine::{IndexSpec, PhysicalStructure, SizeEstimate, WhatIfOptimizer};
 use cadb_sampling::{sample_cf_batch, SampleManager};
+use serde::Serialize;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -48,7 +50,7 @@ impl Default for PlannerOptions {
 }
 
 /// What the planner did and what it produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SizeEstimationReport {
     /// Chosen sampling fraction.
     pub fraction: f64,
@@ -67,6 +69,36 @@ pub struct SizeEstimationReport {
     pub predicted: HashMap<IndexSpec, EstimateDistribution>,
     /// Wall time spent executing SampleCF calls.
     pub samplecf_seconds: f64,
+}
+
+impl SizeEstimationReport {
+    /// Machine-readable JSON form of the report — what `repro --json`
+    /// emits. Estimates are sorted by their spec's display form so the
+    /// output is deterministic regardless of hash-map iteration order.
+    pub fn to_json(&self) -> String {
+        let mut entries: Vec<(String, &IndexSpec, &SizeEstimate)> = self
+            .estimates
+            .iter()
+            .map(|(spec, est)| (spec.to_string(), spec, est))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut estimates = JsonArray::new();
+        for (_, spec, est) in entries {
+            estimates.push_raw(&crate::advisor::structure_json(&PhysicalStructure {
+                spec: spec.clone(),
+                size: *est,
+            }));
+        }
+        JsonObject::new()
+            .num("fraction", self.fraction)
+            .num("planned_cost", self.planned_cost)
+            .int("sampled", self.sampled as i64)
+            .int("deduced", self.deduced as i64)
+            .bool("feasible", self.feasible)
+            .num("samplecf_seconds", self.samplecf_seconds)
+            .raw("estimates", &estimates.finish())
+            .finish()
+    }
 }
 
 /// The planner.
@@ -107,6 +139,13 @@ impl<'a> EstimationPlanner<'a> {
         targets: &[IndexSpec],
         existing: &[IndexSpec],
     ) -> Result<SizeEstimationReport> {
+        if self.options.fractions.is_empty() {
+            return Err(CadbError::InvalidArgument(
+                "PlannerOptions::fractions is empty — the fraction grid must \
+                 contain at least one sampling fraction"
+                    .to_string(),
+            ));
+        }
         if targets.is_empty() {
             return Ok(SizeEstimationReport {
                 fraction: self.options.fractions.first().copied().unwrap_or(0.05),
@@ -153,7 +192,11 @@ impl<'a> EstimationPlanner<'a> {
                 best = Some((f, g, cost, feasible));
             }
         }
-        let (fraction, graph, planned_cost, feasible) = best.expect("fraction grid is non-empty");
+        // The grid was checked non-empty above, so the loop ran at least
+        // once; propagate rather than panic if that invariant ever breaks.
+        let (fraction, graph, planned_cost, feasible) = best.ok_or_else(|| {
+            CadbError::Internal("fraction-grid sweep produced no plan".to_string())
+        })?;
 
         self.execute(graph, fraction, planned_cost, feasible)
     }

@@ -1,0 +1,467 @@
+//! Strategy traits: the pluggable extension points of the advisor pipeline.
+//!
+//! The paper's pipeline (Figure 1/4) is candidate generation → **size
+//! estimation** → **candidate selection** → merging → **enumeration**. The
+//! three bold stages are where every variant the paper evaluates (and every
+//! scenario the roadmap asks for) differs, so each is a trait:
+//!
+//! * [`SizeEstimator`] — how compressed candidate sizes are priced
+//!   ([`DeductionEstimator`], [`SampleCfEstimator`], [`ExactEstimator`]);
+//! * [`CandidateSelection`] — which priced candidates survive per query
+//!   ([`TopK`], [`Skyline`]);
+//! * [`EnumerationStrategy`] — how the final configuration is chosen under
+//!   the storage bound ([`Greedy`], [`DensityGreedy`], [`Backtracking`]).
+//!
+//! All three are object-safe and `Send + Sync`, so strategy objects can be
+//! shared across the scoped worker pools of the parallel pipeline (PR 2)
+//! and across concurrent advisor runs. A [`StrategySet`] bundles one
+//! implementation of each; [`StrategySet::from_options`] maps the legacy
+//! [`AdvisorOptions`] boolean knobs onto the equivalent strategy objects,
+//! which is what keeps `AdvisorOptions::{dta, dtac, dtac_none}` presets
+//! byte-identical to the trait-dispatched path — both routes run the exact
+//! same code.
+//!
+//! # Writing your own strategy
+//!
+//! Implement the trait and hand the object to
+//! `Advisor::recommend_with` (or the `cadb::TuningSession` builder in the
+//! facade crate). A custom strategy sees the same context the built-ins do:
+//! the what-if optimizer (which carries the parallelism setting), the
+//! sample manager, and the storage budget.
+//!
+//! ```
+//! use cadb_core::strategy::{AdvisorContext, EnumerationStrategy};
+//! use cadb_engine::{Configuration, PhysicalStructure, Workload};
+//!
+//! /// Take candidates in pool order while they fit — no search at all.
+//! #[derive(Debug)]
+//! struct FirstFit;
+//!
+//! impl EnumerationStrategy for FirstFit {
+//!     fn name(&self) -> &'static str {
+//!         "first-fit"
+//!     }
+//!     fn enumerate(
+//!         &self,
+//!         ctx: &AdvisorContext<'_>,
+//!         _workload: &Workload,
+//!         pool: &[PhysicalStructure],
+//!     ) -> cadb_common::Result<Configuration> {
+//!         let mut cfg = Configuration::empty();
+//!         for s in pool {
+//!             if cfg.total_bytes() + s.size.bytes <= ctx.storage_budget {
+//!                 cfg.add(s.clone());
+//!             }
+//!         }
+//!         Ok(cfg)
+//!     }
+//! }
+//! ```
+
+use crate::advisor::AdvisorOptions;
+use crate::error_model::ErrorModel;
+use crate::planner::{EstimationPlanner, PlannerOptions, SizeEstimationReport};
+use cadb_common::par::try_par_map;
+use cadb_common::{CadbError, Result};
+use cadb_engine::{Configuration, IndexSpec, PhysicalStructure, WhatIfOptimizer, Workload};
+use cadb_sampling::SampleManager;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+pub use crate::advisor::enumerate::{Backtracking, DensityGreedy, Greedy};
+pub use crate::advisor::skyline::{Skyline, TopK};
+
+/// Shared context for the advisor-side strategies (selection and
+/// enumeration): the what-if optimizer — which carries the parallelism
+/// setting its batched entry points use — and the storage bound.
+#[derive(Debug)]
+pub struct AdvisorContext<'a> {
+    /// What-if costing over the database under tuning.
+    pub opt: &'a WhatIfOptimizer<'a>,
+    /// Storage bound in bytes.
+    pub storage_budget: f64,
+}
+
+/// Context for size estimation: what-if costing plus the amortized sample
+/// store the §5 framework draws from.
+pub struct EstimationContext<'a> {
+    /// What-if costing over the database under tuning.
+    pub opt: &'a WhatIfOptimizer<'a>,
+    /// The amortized sample manager (seeded by the advisor).
+    pub manager: &'a SampleManager<'a>,
+}
+
+/// How compressed candidate sizes are estimated (pipeline stage 2, §5).
+///
+/// Implementations must be deterministic for a fixed context: the advisor's
+/// equivalence suites pin byte-identical recommendations across thread
+/// counts, and a nondeterministic estimator would break that contract.
+pub trait SizeEstimator: Send + Sync {
+    /// Short human-readable name (used in reports and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Estimate the sizes of `targets` (all compressed). `existing` are
+    /// indexes already materialized in the database whose exact sizes are
+    /// free (§5.1).
+    fn estimate_sizes(
+        &self,
+        ctx: &EstimationContext<'_>,
+        targets: &[IndexSpec],
+        existing: &[IndexSpec],
+    ) -> Result<SizeEstimationReport>;
+}
+
+/// Which priced candidates survive selection, per query (stage 3, §6.1).
+pub trait CandidateSelection: Send + Sync {
+    /// Short human-readable name (used in reports and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Select the candidate pool: the union over queries of the per-query
+    /// survivors among `priced`.
+    fn select(
+        &self,
+        ctx: &AdvisorContext<'_>,
+        workload: &Workload,
+        priced: &[PhysicalStructure],
+    ) -> Result<Vec<PhysicalStructure>>;
+}
+
+/// How the final configuration is chosen under the budget (stage 5, §6.2).
+pub trait EnumerationStrategy: Send + Sync {
+    /// Short human-readable name (used in reports and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Choose a configuration from the selected pool, staying within
+    /// `ctx.storage_budget` bytes.
+    fn enumerate(
+        &self,
+        ctx: &AdvisorContext<'_>,
+        workload: &Workload,
+        pool: &[PhysicalStructure],
+    ) -> Result<Configuration>;
+}
+
+/// The full §5 framework: plan a sampling fraction over the deduction
+/// graph, SampleCF the planned nodes, deduce the rest (the paper's primary
+/// contribution; what DTAc runs).
+///
+/// The worker-pool size comes from the context's optimizer
+/// ([`WhatIfOptimizer::parallelism`]), overriding `options.parallelism`,
+/// so a session-level [`cadb_engine::Parallelism::Serial`] reaches the
+/// sampling phase too. Estimates are identical for every setting.
+#[derive(Debug, Clone)]
+pub struct DeductionEstimator {
+    /// Accuracy/fraction knobs for the underlying [`EstimationPlanner`].
+    pub options: PlannerOptions,
+    /// Calibrated error model driving feasibility checks.
+    pub model: ErrorModel,
+}
+
+impl DeductionEstimator {
+    /// With explicit planner options (deduction is forced on).
+    pub fn new(options: PlannerOptions) -> Self {
+        DeductionEstimator {
+            options,
+            model: ErrorModel::default(),
+        }
+    }
+}
+
+impl Default for DeductionEstimator {
+    fn default() -> Self {
+        DeductionEstimator::new(PlannerOptions::default())
+    }
+}
+
+impl SizeEstimator for DeductionEstimator {
+    fn name(&self) -> &'static str {
+        "deduction"
+    }
+
+    fn estimate_sizes(
+        &self,
+        ctx: &EstimationContext<'_>,
+        targets: &[IndexSpec],
+        existing: &[IndexSpec],
+    ) -> Result<SizeEstimationReport> {
+        let options = PlannerOptions {
+            use_deduction: true,
+            parallelism: ctx.opt.parallelism(),
+            ..self.options.clone()
+        };
+        EstimationPlanner::new(ctx.opt, ctx.manager, self.model.clone(), options)
+            .estimate_sizes(targets, existing)
+    }
+}
+
+/// SampleCF on every target, no deductions — the "w/o deduction" baseline
+/// of Figure 11 (still samples, still amortized, just never reasons).
+///
+/// Like [`DeductionEstimator`], the worker-pool size comes from the
+/// context's optimizer, overriding `options.parallelism`.
+#[derive(Debug, Clone)]
+pub struct SampleCfEstimator {
+    /// Accuracy/fraction knobs for the underlying [`EstimationPlanner`].
+    pub options: PlannerOptions,
+    /// Calibrated error model (used for the feasibility report only).
+    pub model: ErrorModel,
+}
+
+impl SampleCfEstimator {
+    /// With explicit planner options (deduction is forced off).
+    pub fn new(options: PlannerOptions) -> Self {
+        SampleCfEstimator {
+            options,
+            model: ErrorModel::default(),
+        }
+    }
+}
+
+impl Default for SampleCfEstimator {
+    fn default() -> Self {
+        SampleCfEstimator::new(PlannerOptions::default())
+    }
+}
+
+impl SizeEstimator for SampleCfEstimator {
+    fn name(&self) -> &'static str {
+        "samplecf"
+    }
+
+    fn estimate_sizes(
+        &self,
+        ctx: &EstimationContext<'_>,
+        targets: &[IndexSpec],
+        existing: &[IndexSpec],
+    ) -> Result<SizeEstimationReport> {
+        let options = PlannerOptions {
+            use_deduction: false,
+            parallelism: ctx.opt.parallelism(),
+            ..self.options.clone()
+        };
+        EstimationPlanner::new(ctx.opt, ctx.manager, self.model.clone(), options)
+            .estimate_sizes(targets, existing)
+    }
+}
+
+/// Ground truth: actually build every target index and measure it. Exact
+/// and deterministic, but pays the full index-build cost the §5 framework
+/// exists to avoid — useful as a yardstick and in tests, not in tuning
+/// sessions over large databases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactEstimator;
+
+impl SizeEstimator for ExactEstimator {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn estimate_sizes(
+        &self,
+        ctx: &EstimationContext<'_>,
+        targets: &[IndexSpec],
+        _existing: &[IndexSpec],
+    ) -> Result<SizeEstimationReport> {
+        for t in targets {
+            if !t.compression.is_compressed() {
+                return Err(CadbError::InvalidArgument(format!(
+                    "size-estimation target {t} is not compressed"
+                )));
+            }
+        }
+        let t0 = Instant::now();
+        // Each measurement builds one full index — independent work, so the
+        // batch goes to the worker pool; results come back in target order.
+        let cfs: Vec<f64> = try_par_map(ctx.opt.parallelism(), targets, |_, spec| {
+            cadb_sampling::true_compression_fraction(ctx.opt.db(), spec)
+        })?;
+        let mut estimates = HashMap::new();
+        let mut planned_cost = 0.0;
+        for (spec, cf) in targets.iter().zip(cfs) {
+            let unc = ctx.opt.estimate_uncompressed_size(spec);
+            let est = unc.compressed(cf);
+            // Measuring is as expensive as sampling at fraction 1.0: the
+            // whole index is built, so account its uncompressed pages.
+            planned_cost += unc.pages;
+            estimates.insert(spec.clone(), est);
+        }
+        Ok(SizeEstimationReport {
+            fraction: 1.0,
+            planned_cost,
+            sampled: 0,
+            deduced: 0,
+            feasible: true,
+            estimates,
+            predicted: HashMap::new(),
+            samplecf_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// One implementation of each pipeline extension point — what an advisor
+/// run actually dispatches through. Cheap to clone (strategies are shared
+/// behind [`Arc`]s) and `Send + Sync`, so one set can serve concurrent
+/// advisor runs.
+#[derive(Clone)]
+pub struct StrategySet {
+    /// Stage 2: size estimation.
+    pub estimator: Arc<dyn SizeEstimator>,
+    /// Stage 3: candidate selection.
+    pub selection: Arc<dyn CandidateSelection>,
+    /// Stage 5: enumeration.
+    pub enumeration: Arc<dyn EnumerationStrategy>,
+}
+
+impl std::fmt::Debug for StrategySet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StrategySet")
+            .field("estimator", &self.estimator.name())
+            .field("selection", &self.selection.name())
+            .field("enumeration", &self.enumeration.name())
+            .finish()
+    }
+}
+
+impl StrategySet {
+    /// Map the legacy boolean knobs onto the equivalent strategy objects.
+    ///
+    /// This is the single translation point that keeps the flag-driven
+    /// presets (`AdvisorOptions::{dta, dtac, dtac_none}`) byte-identical to
+    /// strategy dispatch: `Advisor::recommend` calls this and then runs the
+    /// exact same trait path a custom [`StrategySet`] would.
+    pub fn from_options(options: &AdvisorOptions) -> Self {
+        let estimator: Arc<dyn SizeEstimator> = if options.estimation.use_deduction {
+            Arc::new(DeductionEstimator::new(options.estimation.clone()))
+        } else {
+            Arc::new(SampleCfEstimator::new(options.estimation.clone()))
+        };
+        let selection: Arc<dyn CandidateSelection> = if options.skyline {
+            Arc::new(Skyline {
+                top_k: options.top_k,
+            })
+        } else {
+            Arc::new(TopK { k: options.top_k })
+        };
+        let enumeration: Arc<dyn EnumerationStrategy> =
+            match (options.density, options.backtracking) {
+                (true, backtracking) => Arc::new(DensityGreedy { backtracking }),
+                (false, true) => Arc::new(Backtracking),
+                (false, false) => Arc::new(Greedy),
+            };
+        StrategySet {
+            estimator,
+            selection,
+            enumeration,
+        }
+    }
+
+    /// Replace the size estimator.
+    pub fn with_estimator(mut self, estimator: impl SizeEstimator + 'static) -> Self {
+        self.estimator = Arc::new(estimator);
+        self
+    }
+
+    /// Replace the candidate-selection strategy.
+    pub fn with_selection(mut self, selection: impl CandidateSelection + 'static) -> Self {
+        self.selection = Arc::new(selection);
+        self
+    }
+
+    /// Replace the enumeration strategy.
+    pub fn with_enumeration(mut self, enumeration: impl EnumerationStrategy + 'static) -> Self {
+        self.enumeration = Arc::new(enumeration);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::Parallelism;
+    use cadb_compression::CompressionKind;
+    use cadb_sampling::true_compression_fraction;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn strategy_objects_are_send_sync() {
+        assert_send_sync::<StrategySet>();
+        assert_send_sync::<Arc<dyn SizeEstimator>>();
+        assert_send_sync::<Arc<dyn CandidateSelection>>();
+        assert_send_sync::<Arc<dyn EnumerationStrategy>>();
+    }
+
+    #[test]
+    fn from_options_maps_flags_to_names() {
+        let dtac = StrategySet::from_options(&AdvisorOptions::dtac(1e9));
+        assert_eq!(dtac.estimator.name(), "deduction");
+        assert_eq!(dtac.selection.name(), "skyline");
+        assert_eq!(dtac.enumeration.name(), "backtracking");
+
+        let dta = StrategySet::from_options(&AdvisorOptions::dta(1e9));
+        assert_eq!(dta.selection.name(), "top-k");
+        assert_eq!(dta.enumeration.name(), "greedy");
+
+        let mut density = AdvisorOptions::dtac(1e9);
+        density.density = true;
+        density.backtracking = false;
+        density.estimation.use_deduction = false;
+        let set = StrategySet::from_options(&density);
+        assert_eq!(set.estimator.name(), "samplecf");
+        assert_eq!(set.enumeration.name(), "density-greedy");
+    }
+
+    #[test]
+    fn exact_estimator_matches_ground_truth() {
+        let db = crate::estimation_graph::tests::test_db();
+        let opt = WhatIfOptimizer::new(&db);
+        let manager = SampleManager::new(&db, 1);
+        let ctx = EstimationContext {
+            opt: &opt,
+            manager: &manager,
+        };
+        let targets = vec![
+            crate::estimation_graph::tests::spec(&[0]),
+            crate::estimation_graph::tests::spec(&[0, 1]),
+        ];
+        let report = ExactEstimator.estimate_sizes(&ctx, &targets, &[]).unwrap();
+        assert!(report.feasible);
+        assert_eq!(report.estimates.len(), 2);
+        for t in &targets {
+            let truth = true_compression_fraction(&db, t).unwrap();
+            let est = report.estimates[t];
+            assert!(
+                (est.compression_fraction - truth).abs() < 1e-12,
+                "{t}: {} vs {truth}",
+                est.compression_fraction
+            );
+        }
+        // Exact is exact for every parallelism setting.
+        let opt_par = WhatIfOptimizer::new(&db).with_parallelism(Parallelism::Threads(4));
+        let ctx_par = EstimationContext {
+            opt: &opt_par,
+            manager: &manager,
+        };
+        let par = ExactEstimator
+            .estimate_sizes(&ctx_par, &targets, &[])
+            .unwrap();
+        for (k, v) in &report.estimates {
+            assert_eq!(par.estimates[k].bytes.to_bits(), v.bytes.to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_estimator_rejects_uncompressed_targets() {
+        let db = crate::estimation_graph::tests::test_db();
+        let opt = WhatIfOptimizer::new(&db);
+        let manager = SampleManager::new(&db, 1);
+        let ctx = EstimationContext {
+            opt: &opt,
+            manager: &manager,
+        };
+        let bad =
+            crate::estimation_graph::tests::spec(&[0]).with_compression(CompressionKind::None);
+        assert!(ExactEstimator.estimate_sizes(&ctx, &[bad], &[]).is_err());
+    }
+}

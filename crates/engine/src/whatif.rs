@@ -5,6 +5,12 @@
 //! provides that API plus update costing and uncompressed size estimates
 //! for arbitrary [`IndexSpec`]s (compressed sizes come from the estimation
 //! framework in `cadb-core`, which prices the CF separately).
+//!
+//! The optimizer is `Sync` and its batched entry points are deterministic
+//! for every [`Parallelism`] setting, which is what lets the strategy
+//! objects layered on top in `cadb-core` (`SizeEstimator`,
+//! `CandidateSelection`, `EnumerationStrategy` — all `Send + Sync`) share
+//! one optimizer across worker pools and concurrent advisor runs.
 
 use crate::access_path::query_plan_cost;
 use crate::cardinality::{mv_estimated_rows, predicate_selectivity};

@@ -8,9 +8,9 @@
 //!   index is infeasible"),
 //! * *filtered samples* for partial indexes (App. B.1),
 //! * *join synopses* — fact-table samples pre-joined against full dimension
-//!   tables so FK joins always find their match (App. B.2, after [2]),
+//!   tables so FK joins always find their match (App. B.2, after \[2\]),
 //! * *MV samples* with COUNT(*) feeding the Adaptive Estimator (App. B.3),
-//! * [`sample_cf`] — the SampleCF estimator of [11] (§2.2): build the index
+//! * [`sample_cf`] — the SampleCF estimator of \[11\] (§2.2): build the index
 //!   on the sample, compress it, return compressed/uncompressed,
 //! * [`sample_cf_batch`] — a whole round of SampleCF builds on a worker
 //!   pool, bit-for-bit equal to the serial loop (the manager is `Sync` and

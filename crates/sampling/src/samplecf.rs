@@ -1,4 +1,4 @@
-//! SampleCF: the sampling-based compression-fraction estimator (§2.2, [11]).
+//! SampleCF: the sampling-based compression-fraction estimator (§2.2, \[11\]).
 //!
 //! `SampleCF(I, f)` builds index `I` on a fraction-`f` sample of its table
 //! (or on the filtered sample / MV sample for partial and MV indexes),

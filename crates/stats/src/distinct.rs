@@ -6,8 +6,8 @@
 //!
 //! * [`naive_scaleup`] — the paper's **Multiply** baseline: scale observed
 //!   distinct count by `1/f`. Overestimates wildly when values repeat.
-//! * [`gee`] — the Guaranteed-Error Estimator of Charikar et al. [6].
-//! * [`adaptive_estimator`] — the Adaptive Estimator (AE) of [6], which
+//! * [`gee`] — the Guaranteed-Error Estimator of Charikar et al. \[6\].
+//! * [`adaptive_estimator`] — the Adaptive Estimator (AE) of \[6\], which
 //!   splits values into high-frequency (reliably seen in the sample) and
 //!   low-frequency classes and corrects the low-frequency class with a
 //!   Poisson model matched on `f1`/`f2`. Under the Poisson model the unseen
@@ -42,7 +42,7 @@ pub fn gee(f: &FrequencyVector, r: u64, n: u64) -> f64 {
     ((n as f64 / r as f64).sqrt() * f1 + rest).clamp(f.distinct() as f64, n as f64)
 }
 
-/// Adaptive Estimator (AE) after Charikar, Chaudhuri, Motwani, Narasayya [6].
+/// Adaptive Estimator (AE) after Charikar, Chaudhuri, Motwani, Narasayya \[6\].
 ///
 /// Inputs mirror the paper's `AdaptiveEstimator(f, d, r, n)` call
 /// (Appendix B.3): frequency statistics `f`, observed distinct `d` (read

@@ -3,7 +3,7 @@
 //! Optimizer statistics for the mini engine: equi-depth histograms,
 //! frequency vectors, per-column and per-table statistics, and
 //! distinct-value estimators — including the Adaptive Estimator (AE) of
-//! Charikar et al. [6] that the paper's `CreateMVSample` algorithm uses to
+//! Charikar et al. \[6\] that the paper's `CreateMVSample` algorithm uses to
 //! estimate the number of groups in aggregation MVs (Appendix B.3).
 
 #![warn(missing_docs)]

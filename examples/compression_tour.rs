@@ -1,7 +1,8 @@
 //! A tour of the compression substrate: build the same index under every
 //! method, measure the real compressed sizes, verify lossless round-trips,
-//! and demonstrate the order-(in)dependence that drives the paper's
-//! deduction taxonomy (§4.2).
+//! demonstrate the order-(in)dependence that drives the paper's deduction
+//! taxonomy (§4.2), and cross-check the measurements through the
+//! [`ExactEstimator`] strategy.
 //!
 //! ```sh
 //! cargo run --release --example compression_tour
@@ -9,9 +10,12 @@
 
 use cadb::compression::analyze::compressed_index_size;
 use cadb::compression::CompressionKind;
+use cadb::core::strategy::{EstimationContext, SizeEstimator};
+use cadb::core::ExactEstimator;
 use cadb::datagen::TpchGen;
-use cadb::engine::IndexSpec;
+use cadb::engine::{IndexSpec, WhatIfOptimizer};
 use cadb::sampling::index_rows::index_row_stream;
+use cadb::sampling::SampleManager;
 use cadb::storage::PhysicalIndex;
 
 fn main() {
@@ -91,6 +95,36 @@ fn main() {
             } else {
                 "ORD-IND"
             }
+        );
+    }
+
+    // The same ground truth through the advisor's strategy surface:
+    // ExactEstimator is the SizeEstimator that builds and measures for
+    // real — the yardstick the sampling estimators are judged against.
+    let opt = WhatIfOptimizer::new(&db);
+    let manager = SampleManager::new(&db, 7);
+    let ctx = EstimationContext {
+        opt: &opt,
+        manager: &manager,
+    };
+    let targets = [
+        spec.with_compression(CompressionKind::Row),
+        spec.with_compression(CompressionKind::Page),
+    ];
+    let report = ExactEstimator
+        .estimate_sizes(&ctx, &targets, &[])
+        .expect("exact measurement");
+    println!(
+        "\nvia the {} SizeEstimator strategy:",
+        ExactEstimator.name()
+    );
+    for t in &targets {
+        let est = report.estimates[t];
+        println!(
+            "  {:<52} cf {:.3} ({:>8.1} KiB)",
+            t.to_string(),
+            est.compression_fraction,
+            est.bytes / 1024.0
         );
     }
 }

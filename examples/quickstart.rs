@@ -1,13 +1,14 @@
 //! Quickstart: tune a TPC-H-like workload with the compression-aware
-//! advisor (DTAc) and inspect the recommendation.
+//! advisor (DTAc) through the `TuningSession` entry point and inspect the
+//! recommendation.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use cadb::core::{Advisor, AdvisorOptions};
 use cadb::datagen::TpchGen;
 use cadb::engine::WhatIfOptimizer;
+use cadb::TuningSession;
 
 fn main() {
     // 1. A small TPC-H-shaped database (scale 0.05 ⇒ 3 000 lineitem rows)
@@ -22,10 +23,17 @@ fn main() {
         base_bytes / (1024.0 * 1024.0)
     );
 
-    // 2. Ask DTAc for a design within 25 % of the base data size.
+    // 2. Ask for a design within 25 % of the base data size. The session
+    //    defaults to full DTAc (Skyline selection + Backtracking
+    //    enumeration + the §5 deduction estimator); chain `.preset(...)`
+    //    or `.selection(...)`/`.enumeration(...)`/`.estimator(...)` to
+    //    swap any stage.
     let budget = 0.25 * base_bytes;
-    let advisor = Advisor::new(&db, AdvisorOptions::dtac(budget));
-    let rec = advisor.recommend(&workload).expect("advisor run");
+    let rec = TuningSession::new(&db)
+        .workload(&workload)
+        .budget(budget)
+        .run()
+        .expect("advisor run");
 
     println!(
         "\nrecommendation: {} structures, {:.1} KiB of {:.1} KiB budget",
@@ -48,7 +56,10 @@ fn main() {
         rec.improvement_percent()
     );
 
-    // 3. Inspect a query plan under the recommendation via the what-if API.
+    // 3. The recommendation is also available machine-readable.
+    println!("\nJSON: {}", rec.to_json());
+
+    // 4. Inspect a query plan under the recommendation via the what-if API.
     let opt = WhatIfOptimizer::new(&db);
     let mut queries = workload.queries();
     if let Some((q, _)) = queries.next() {

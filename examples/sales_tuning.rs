@@ -1,13 +1,14 @@
 //! Tuning the `Sales` customer workload (the paper's real-world dataset,
 //! Appendix D.2): DTAc vs the compression-blind DTA across storage budgets
-//! and workload mixes — a miniature of Figures 14–15.
+//! and workload mixes — a miniature of Figures 14–15, driven through
+//! `TuningSession` presets.
 //!
 //! ```sh
 //! cargo run --release --example sales_tuning
 //! ```
 
-use cadb::core::{Advisor, AdvisorOptions};
 use cadb::datagen::SalesGen;
+use cadb::{Preset, TuningSession};
 
 fn main() {
     let gen = SalesGen::new(0.1);
@@ -28,13 +29,16 @@ fn main() {
             "budget", "DTAc", "DTA", "DTAc wins by"
         );
         for frac in [0.1, 0.2, 0.4, 0.8] {
-            let budget = base * frac;
-            let dtac = Advisor::new(&db, AdvisorOptions::dtac(budget))
-                .recommend(&w)
-                .expect("DTAc");
-            let dta = Advisor::new(&db, AdvisorOptions::dta(budget))
-                .recommend(&w)
-                .expect("DTA");
+            let run = |preset: Preset| {
+                TuningSession::new(&db)
+                    .workload(&w)
+                    .budget_fraction(frac)
+                    .preset(preset)
+                    .run()
+                    .expect("advisor run")
+            };
+            let dtac = run(Preset::Dtac);
+            let dta = run(Preset::Dta);
             println!(
                 "{:>7.0}% {:>9.1}% {:>9.1}% {:>13.2}x",
                 frac * 100.0,
@@ -46,8 +50,10 @@ fn main() {
     }
 
     // Show what DTAc actually built at a tight budget.
-    let rec = Advisor::new(&db, AdvisorOptions::dtac(base * 0.2))
-        .recommend(&workload)
+    let rec = TuningSession::new(&db)
+        .workload(&workload)
+        .budget_fraction(0.2)
+        .run()
         .expect("DTAc");
     println!("\nDTAc design at 20% budget:");
     for s in rec.configuration.structures() {

@@ -1,13 +1,17 @@
-//! The §5 size-estimation framework, end to end: plan a sampling/deduction
-//! strategy for a batch of compressed indexes, execute it, and compare the
-//! estimates against ground truth (actually building every index).
+//! The §5 size-estimation framework, end to end, through the
+//! [`SizeEstimator`] strategy trait: estimate a batch of compressed indexes
+//! with SampleCF-only and with deductions, then compare both against
+//! ground truth (actually building every index).
 //!
 //! ```sh
 //! cargo run --release --example size_estimation
 //! ```
 
 use cadb::compression::CompressionKind;
-use cadb::core::{ErrorModel, EstimationPlanner, PlannerOptions};
+use cadb::core::strategy::{
+    DeductionEstimator, EstimationContext, SampleCfEstimator, SizeEstimator,
+};
+use cadb::core::PlannerOptions;
 use cadb::datagen::TpchGen;
 use cadb::engine::{IndexSpec, WhatIfOptimizer};
 use cadb::sampling::{true_compression_fraction, SampleManager};
@@ -35,26 +39,29 @@ fn main() {
 
     let opt = WhatIfOptimizer::new(&db);
     let manager = SampleManager::new(&db, 7);
-    for (label, use_deduction) in [
-        ("SampleCF on every index", false),
-        ("with deductions", true),
-    ] {
-        let planner = EstimationPlanner::new(
-            &opt,
-            &manager,
-            ErrorModel::default(),
-            PlannerOptions {
-                e: 0.5,
-                q: 0.9,
-                use_deduction,
-                ..Default::default()
-            },
-        );
-        let report = planner
-            .estimate_sizes(&targets, &[])
+    let ctx = EstimationContext {
+        opt: &opt,
+        manager: &manager,
+    };
+    let accuracy = PlannerOptions {
+        e: 0.5,
+        q: 0.9,
+        ..Default::default()
+    };
+    // The two built-in sampling estimators, as interchangeable trait
+    // objects (ExactEstimator would be the third — it *is* the ground
+    // truth we compare against below).
+    let estimators: [Box<dyn SizeEstimator>; 2] = [
+        Box::new(SampleCfEstimator::new(accuracy.clone())),
+        Box::new(DeductionEstimator::new(accuracy)),
+    ];
+    for estimator in &estimators {
+        let report = estimator
+            .estimate_sizes(&ctx, &targets, &[])
             .expect("estimation plan");
         println!(
-            "\n=== {label}: f={:.1}%, planned cost {:.0} pages, {} sampled / {} deduced ===",
+            "\n=== {}: f={:.1}%, planned cost {:.0} pages, {} sampled / {} deduced ===",
+            estimator.name(),
             report.fraction * 100.0,
             report.planned_cost,
             report.sampled,

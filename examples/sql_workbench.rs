@@ -1,7 +1,8 @@
 //! The SQL surface end to end: create tables, bulk-load with INSERT,
 //! run the paper's Example 1 query through the parser, the what-if
 //! optimizer and the executor — with and without the covering index the
-//! paper's example revolves around.
+//! paper's example revolves around — then let a `TuningSession` find the
+//! design on its own.
 //!
 //! ```sh
 //! cargo run --release --example sql_workbench
@@ -98,6 +99,30 @@ fn main() {
             "cost under {:<55} {:>9.2}",
             label,
             opt.query_cost(query, &cfg)
+        );
+    }
+
+    // Example 1's argument, automated: hand the workload to a tuning
+    // session with I2c's footprint as the budget and DTAc lands on a
+    // compressed covering design by itself.
+    let mut workload = cadb::engine::Workload::default();
+    workload.push(stmt.clone(), 1.0);
+    let budget = opt.estimate_uncompressed_size(&i2c).bytes * 0.5;
+    let rec = cadb::TuningSession::new(&db)
+        .workload(&workload)
+        .budget(budget)
+        .run()
+        .expect("tuning session");
+    println!(
+        "\nTuningSession at a {:.1} KiB budget ({:.1}% improvement):",
+        budget / 1024.0,
+        rec.improvement_percent()
+    );
+    for s in rec.configuration.structures() {
+        println!(
+            "  {:<55} {:>8.1} KiB",
+            s.spec.to_string(),
+            s.size.bytes / 1024.0
         );
     }
 }

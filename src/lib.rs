@@ -11,23 +11,101 @@
 //! (Skyline candidate selection, Backtracking enumeration).
 //!
 //! This crate is a facade: it re-exports the workspace crates under stable
-//! paths and hosts the runnable examples and integration tests.
+//! paths, hosts the [`TuningSession`] entry point, and carries the runnable
+//! examples and integration tests.
 //!
 //! ## Quick start
 //!
+//! [`TuningSession`] composes database, workload, budget, strategies and
+//! parallelism in one fluent chain:
+//!
 //! ```
 //! use cadb::datagen::TpchGen;
-//! use cadb::core::{Advisor, AdvisorOptions};
+//! use cadb::TuningSession;
 //!
 //! let gen = TpchGen::new(0.01);            // tiny TPC-H-like database
 //! let db = gen.build().unwrap();
 //! let workload = gen.workload(&db).unwrap();
-//! let budget = 0.3 * db.base_data_bytes() as f64;
-//! let advisor = Advisor::new(&db, AdvisorOptions::dtac(budget));
-//! let rec = advisor.recommend(&workload).unwrap();
+//!
+//! let rec = TuningSession::new(&db)
+//!     .workload(&workload)
+//!     .budget_fraction(0.3)                // 30 % of the base data size
+//!     .run()
+//!     .unwrap();
 //! assert!(rec.improvement_percent() > 0.0);
-//! assert!(rec.total_bytes() <= budget);
+//! assert!(rec.total_bytes() <= 0.3 * db.base_data_bytes() as f64);
 //! ```
+//!
+//! The defaults reproduce full DTAc; [`Preset`] switches to the paper's
+//! DTA / DTAc (None) ablations. The legacy `Advisor::new(&db,
+//! AdvisorOptions::dtac(budget)).recommend(&workload)` path still works and
+//! produces byte-identical output — the options presets are thin veneers
+//! over the strategy objects below.
+//!
+//! ## Extending the advisor
+//!
+//! The pipeline's three variable stages are trait-based extension points
+//! (defined in [`core::strategy`]):
+//!
+//! | Trait | Stage | Built-in implementations |
+//! |-------|-------|--------------------------|
+//! | [`SizeEstimator`](cadb_core::SizeEstimator) | compressed-size estimation (§5) | [`DeductionEstimator`](cadb_core::DeductionEstimator) (plan + SampleCF + deduce), [`SampleCfEstimator`](cadb_core::SampleCfEstimator) (sample everything), [`ExactEstimator`](cadb_core::ExactEstimator) (build + measure) |
+//! | [`CandidateSelection`](cadb_core::CandidateSelection) | per-query candidate survivors (§6.1) | [`TopK`](cadb_core::TopK), [`Skyline`](cadb_core::Skyline) |
+//! | [`EnumerationStrategy`](cadb_core::EnumerationStrategy) | final configuration under the budget (§6.2) | [`Greedy`](cadb_core::Greedy), [`DensityGreedy`](cadb_core::DensityGreedy), [`Backtracking`](cadb_core::Backtracking) |
+//!
+//! All three are object-safe and `Send + Sync`; implement one and hand it
+//! to the session (a custom strategy is ~100 lines, not a cross-cutting
+//! edit):
+//!
+//! ```
+//! use cadb::core::strategy::{AdvisorContext, EnumerationStrategy};
+//! use cadb::core::Skyline;
+//! use cadb::engine::{Configuration, PhysicalStructure, Workload};
+//! use cadb::TuningSession;
+//!
+//! /// Grab pool candidates in order while they fit the budget.
+//! struct FirstFit;
+//!
+//! impl EnumerationStrategy for FirstFit {
+//!     fn name(&self) -> &'static str {
+//!         "first-fit"
+//!     }
+//!     fn enumerate(
+//!         &self,
+//!         ctx: &AdvisorContext<'_>,
+//!         _workload: &Workload,
+//!         pool: &[PhysicalStructure],
+//!     ) -> cadb::common::Result<Configuration> {
+//!         let mut cfg = Configuration::empty();
+//!         for s in pool {
+//!             if cfg.total_bytes() + s.size.bytes <= ctx.storage_budget {
+//!                 cfg.add(s.clone());
+//!             }
+//!         }
+//!         Ok(cfg)
+//!     }
+//! }
+//!
+//! let gen = cadb::datagen::TpchGen::new(0.01);
+//! let db = gen.build().unwrap();
+//! let workload = gen.workload(&db).unwrap();
+//! let rec = TuningSession::new(&db)
+//!     .workload(&workload)
+//!     .budget_fraction(0.2)
+//!     .selection(Skyline::default())
+//!     .enumeration(FirstFit)
+//!     .run()
+//!     .unwrap();
+//! assert!(rec.total_bytes() <= 0.2 * db.base_data_bytes() as f64);
+//! ```
+//!
+//! Determinism contract: every built-in strategy produces bit-identical
+//! output for every [`engine::Parallelism`]
+//! setting; custom strategies should preserve that property (the
+//! what-if optimizer's batched entry points make it easy — see
+//! `cadb::common::par`).
+
+mod session;
 
 pub use cadb_common as common;
 pub use cadb_compression as compression;
@@ -38,3 +116,4 @@ pub use cadb_sampling as sampling;
 pub use cadb_sql as sql;
 pub use cadb_stats as stats;
 pub use cadb_storage as storage;
+pub use session::{Preset, TuningSession};

@@ -1,0 +1,250 @@
+//! [`TuningSession`] — the one-stop fluent entry point for physical design
+//! tuning.
+//!
+//! A session composes everything an advisor run needs — database, workload,
+//! storage budget, strategy objects, parallelism, seed — in one chain and
+//! returns a [`Recommendation`]:
+//!
+//! ```
+//! use cadb::datagen::TpchGen;
+//! use cadb::TuningSession;
+//!
+//! let gen = TpchGen::new(0.01);
+//! let db = gen.build().unwrap();
+//! let workload = gen.workload(&db).unwrap();
+//!
+//! let rec = TuningSession::new(&db)
+//!     .workload(&workload)
+//!     .budget_fraction(0.3)
+//!     .run()
+//!     .unwrap();
+//! assert!(rec.improvement_percent() > 0.0);
+//! ```
+//!
+//! The defaults reproduce full DTAc. [`TuningSession::preset`] switches to
+//! the paper's ablations, and the `estimator` / `selection` / `enumeration`
+//! methods accept any implementation of the strategy traits — including
+//! your own (see `cadb::core::strategy`).
+
+use cadb_core::strategy::{CandidateSelection, EnumerationStrategy, SizeEstimator, StrategySet};
+use cadb_core::{Advisor, AdvisorOptions, FeatureSet, PlannerOptions, Recommendation};
+use cadb_engine::{Database, Parallelism, Workload};
+use std::sync::Arc;
+
+use cadb_common::{CadbError, Result};
+
+/// The paper's named advisor configurations, as [`TuningSession`] presets.
+///
+/// A preset only sets the *strategy-shaping* knobs (compression, selection,
+/// enumeration); budget, seed, feature classes, parallelism and estimation
+/// accuracy set elsewhere on the session are preserved. Each preset is a
+/// thin veneer over the corresponding `AdvisorOptions::{dta, dtac,
+/// dtac_none}` constructor and produces byte-identical recommendations to
+/// the legacy flag path (pinned by `tests/preset_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// The original DTA: no compressed variants, top-k selection, plain
+    /// multi-start greedy enumeration.
+    Dta,
+    /// Full DTAc: compressed variants, Skyline selection, Backtracking
+    /// enumeration (the default).
+    Dtac,
+    /// DTAc (None): compressed candidates but neither Skyline nor
+    /// Backtracking — the ablation baseline of Figures 12–13.
+    DtacNone,
+}
+
+/// Fluent builder for one advisor run (see the module-level example).
+pub struct TuningSession<'a> {
+    db: &'a Database,
+    workload: Option<&'a Workload>,
+    options: AdvisorOptions,
+    estimator: Option<Arc<dyn SizeEstimator>>,
+    selection: Option<Arc<dyn CandidateSelection>>,
+    enumeration: Option<Arc<dyn EnumerationStrategy>>,
+}
+
+impl<'a> TuningSession<'a> {
+    /// Start a session over a database. Defaults: full DTAc with a zero
+    /// storage budget — set one with [`Self::budget`] or
+    /// [`Self::budget_fraction`].
+    pub fn new(db: &'a Database) -> Self {
+        TuningSession {
+            db,
+            workload: None,
+            options: AdvisorOptions::dtac(0.0),
+            estimator: None,
+            selection: None,
+            enumeration: None,
+        }
+    }
+
+    /// The workload to tune for (required).
+    pub fn workload(mut self, workload: &'a Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Storage bound in bytes.
+    pub fn budget(mut self, bytes: f64) -> Self {
+        self.options.storage_budget = bytes;
+        self
+    }
+
+    /// Storage bound as a fraction of the database's uncompressed base
+    /// data size (the paper's X-axes: 0.1 = a 10 % budget).
+    pub fn budget_fraction(mut self, fraction: f64) -> Self {
+        self.options.storage_budget = fraction * self.db.base_data_bytes() as f64;
+        self
+    }
+
+    /// Apply one of the paper's named configurations. Only the
+    /// strategy-shaping knobs change (compression, selection, enumeration
+    /// mode); budget, seed, features, parallelism, `top_k`, merging and
+    /// estimation accuracy already set on this session are preserved.
+    pub fn preset(mut self, preset: Preset) -> Self {
+        let budget = self.options.storage_budget;
+        let base = match preset {
+            Preset::Dta => AdvisorOptions::dta(budget),
+            Preset::Dtac => AdvisorOptions::dtac(budget),
+            Preset::DtacNone => AdvisorOptions::dtac_none(budget),
+        };
+        self.options = AdvisorOptions {
+            features: self.options.features,
+            seed: self.options.seed,
+            parallelism: self.options.parallelism,
+            top_k: self.options.top_k,
+            merging: self.options.merging,
+            estimation: self.options.estimation.clone(),
+            ..base
+        };
+        self
+    }
+
+    /// Structure classes the advisor may propose (simple indexes vs all
+    /// features — partial indexes, MV indexes).
+    pub fn features(mut self, features: FeatureSet) -> Self {
+        self.options.features = features;
+        self
+    }
+
+    /// RNG seed for the sampling infrastructure.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Worker-pool size for the whole pipeline (advisor stages and the
+    /// size-estimation framework alike). The recommendation is identical
+    /// for every setting; [`Parallelism::Serial`] keeps the run on the
+    /// calling thread.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.options = self.options.with_parallelism(par);
+        self
+    }
+
+    /// Size-estimation accuracy/fraction knobs (the `(e, q)` requirement
+    /// and the sampling-fraction grid of §5.1).
+    pub fn estimation(mut self, options: PlannerOptions) -> Self {
+        let par = self.options.estimation.parallelism;
+        self.options.estimation = PlannerOptions {
+            parallelism: par,
+            ..options
+        };
+        self
+    }
+
+    /// Structures kept per query by top-k selection (and alongside the
+    /// skyline).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.options.top_k = k;
+        self
+    }
+
+    /// Toggle index merging (§6.2 end).
+    pub fn merging(mut self, merging: bool) -> Self {
+        self.options.merging = merging;
+        self
+    }
+
+    /// Use a custom size-estimation strategy (overrides the preset's).
+    pub fn estimator(mut self, estimator: impl SizeEstimator + 'static) -> Self {
+        self.estimator = Some(Arc::new(estimator));
+        self
+    }
+
+    /// Use a custom candidate-selection strategy (overrides the preset's).
+    pub fn selection(mut self, selection: impl CandidateSelection + 'static) -> Self {
+        self.selection = Some(Arc::new(selection));
+        self
+    }
+
+    /// Use a custom enumeration strategy (overrides the preset's).
+    pub fn enumeration(mut self, enumeration: impl EnumerationStrategy + 'static) -> Self {
+        self.enumeration = Some(Arc::new(enumeration));
+        self
+    }
+
+    /// The advisor options this session resolves to (diagnostics).
+    pub fn options(&self) -> &AdvisorOptions {
+        &self.options
+    }
+
+    /// The strategy set this session will dispatch through: the preset's
+    /// strategies with any explicit overrides applied.
+    pub fn strategies(&self) -> StrategySet {
+        let mut strategies = StrategySet::from_options(&self.options);
+        if let Some(e) = &self.estimator {
+            strategies.estimator = Arc::clone(e);
+        }
+        if let Some(s) = &self.selection {
+            strategies.selection = Arc::clone(s);
+        }
+        if let Some(e) = &self.enumeration {
+            strategies.enumeration = Arc::clone(e);
+        }
+        strategies
+    }
+
+    /// Run the advisor pipeline and return its recommendation.
+    pub fn run(&self) -> Result<Recommendation> {
+        let workload = self.workload.ok_or_else(|| {
+            CadbError::InvalidArgument(
+                "TuningSession needs a workload — call .workload(&w) before .run()".to_string(),
+            )
+        })?;
+        Advisor::new(self.db, self.options.clone()).recommend_with(workload, &self.strategies())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_without_workload_is_an_error() {
+        let db = Database::new();
+        let err = TuningSession::new(&db).budget(1e6).run().unwrap_err();
+        assert!(matches!(err, CadbError::InvalidArgument(_)), "{err}");
+    }
+
+    #[test]
+    fn preset_preserves_session_knobs() {
+        let db = Database::new();
+        let s = TuningSession::new(&db)
+            .budget(123.0)
+            .seed(99)
+            .parallelism(Parallelism::Serial)
+            .top_k(5)
+            .merging(false)
+            .preset(Preset::Dta);
+        assert_eq!(s.options().storage_budget, 123.0);
+        assert_eq!(s.options().seed, 99);
+        assert_eq!(s.options().parallelism, Parallelism::Serial);
+        assert_eq!(s.options().top_k, 5);
+        assert!(!s.options().merging);
+        assert!(!s.options().compression);
+        assert_eq!(s.strategies().selection.name(), "top-k");
+        assert_eq!(s.strategies().enumeration.name(), "greedy");
+    }
+}

@@ -1,0 +1,271 @@
+//! Public-API snapshot test.
+//!
+//! Scans every library source file the `cadb` facade re-exports (plus the
+//! facade itself) for top-level `pub` declarations and diffs the result
+//! against the checked-in listing `tests/api_surface.txt`. An accidental
+//! rename, removal, or signature change of public API shows up as a test
+//! failure with a readable diff; an intentional change is recorded by
+//! regenerating the snapshot:
+//!
+//! ```sh
+//! CADB_UPDATE_API_SURFACE=1 cargo test --test api_surface
+//! ```
+//!
+//! The scanner is deliberately simple — it tracks brace depth (ignoring
+//! strings, chars and comments) and records `pub` items at file top level.
+//! Methods inside `impl` blocks are not part of the snapshot; the item
+//! level is where accidental breaks almost always happen (and what keeps
+//! the listing reviewable).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Library roots the facade exposes (shims and the bench harness are
+/// internal and deliberately excluded).
+const ROOTS: [&str; 10] = [
+    "src",
+    "crates/common/src",
+    "crates/compression/src",
+    "crates/storage/src",
+    "crates/stats/src",
+    "crates/sql/src",
+    "crates/engine/src",
+    "crates/sampling/src",
+    "crates/datagen/src",
+    "crates/core/src",
+];
+
+const SNAPSHOT: &str = "tests/api_surface.txt";
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Strip string literals, char literals and comments from one line of
+/// code, carrying block-comment state across lines, so brace counting
+/// can't be fooled by `'{'` or `"}"` or doc examples.
+fn code_only(line: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    let mut in_char = false;
+    while let Some(c) = chars.next() {
+        if *in_block_comment {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                *in_block_comment = false;
+            }
+            continue;
+        }
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        if in_char {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '\'' => in_char = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => break, // line comment
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                *in_block_comment = true;
+            }
+            '"' => in_string = true,
+            // A char literal (not a lifetime like `'a`): treat `'` as
+            // opening a char only when what follows ends in a closing
+            // quote soon — the cheap heuristic: next char + one more.
+            '\'' => {
+                let mut ahead = chars.clone();
+                match (ahead.next(), ahead.next(), ahead.next()) {
+                    (Some('\\'), _, _) => in_char = true,
+                    (Some(_), Some('\''), _) => in_char = true,
+                    _ => {} // lifetime — leave alone
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extract the top-level `pub` declarations of one file, joined into
+/// single normalized lines.
+fn public_items(source: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut depth: i64 = 0;
+    let mut in_block_comment = false;
+    let mut pending: Option<String> = None;
+    for raw in source.lines() {
+        // Both detection and capture work on the comment/string-stripped
+        // view, so `pub` text inside a block comment (or a string) can
+        // neither open a declaration nor leak into one.
+        let code = code_only(raw, &mut in_block_comment);
+        let trimmed = code.trim();
+        if depth == 0
+            && pending.is_none()
+            && trimmed.starts_with("pub ")
+            && !trimmed.starts_with("pub(")
+        {
+            pending = Some(String::new());
+        }
+        if let Some(sig) = &mut pending {
+            if !sig.is_empty() {
+                sig.push(' ');
+            }
+            sig.push_str(trimmed);
+            // A declaration ends at its body brace or semicolon (tracked
+            // on the comment/string-stripped view of the line).
+            let is_use = sig.starts_with("pub use");
+            let done = if is_use {
+                code.contains(';')
+            } else {
+                code.contains('{') || code.contains(';')
+            };
+            if done {
+                let sig = pending.take().unwrap_or_default();
+                // `pub use` lists keep their braces (a re-export removal is
+                // an API break); items with bodies are cut at the brace.
+                let cut = if is_use {
+                    sig.find(';').unwrap_or(sig.len())
+                } else {
+                    sig.find(" {")
+                        .or_else(|| sig.find('{'))
+                        .or_else(|| sig.find(';'))
+                        .unwrap_or(sig.len())
+                };
+                let norm: String = sig[..cut].split_whitespace().collect::<Vec<_>>().join(" ");
+                if !norm.is_empty() {
+                    items.push(norm);
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    items
+}
+
+fn current_surface(repo: &Path) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for root in ROOTS {
+        let mut files = Vec::new();
+        rust_files(&repo.join(root), &mut files);
+        for file in files {
+            let rel = file
+                .strip_prefix(repo)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = fs::read_to_string(&file).expect("read source file");
+            for item in public_items(&source) {
+                lines.push(format!("{rel}: {item}"));
+            }
+        }
+    }
+    lines.sort();
+    let mut out = String::new();
+    for l in &lines {
+        let _ = writeln!(out, "{l}");
+    }
+    out
+}
+
+#[test]
+fn public_api_matches_snapshot() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let surface = current_surface(repo);
+    let snapshot_path = repo.join(SNAPSHOT);
+    if std::env::var("CADB_UPDATE_API_SURFACE").is_ok() {
+        fs::write(&snapshot_path, &surface).expect("write snapshot");
+        return;
+    }
+    let snapshot = fs::read_to_string(&snapshot_path).unwrap_or_else(|_| {
+        panic!(
+            "missing {SNAPSHOT}; run CADB_UPDATE_API_SURFACE=1 cargo test \
+             --test api_surface to create it"
+        )
+    });
+    if surface != snapshot {
+        let cur: Vec<&str> = surface.lines().collect();
+        let old: Vec<&str> = snapshot.lines().collect();
+        let mut diff = String::new();
+        for l in &old {
+            if !cur.contains(l) {
+                let _ = writeln!(diff, "- {l}");
+            }
+        }
+        for l in &cur {
+            if !old.contains(l) {
+                let _ = writeln!(diff, "+ {l}");
+            }
+        }
+        panic!(
+            "public API surface changed:\n{diff}\nIf intentional, regenerate \
+             with: CADB_UPDATE_API_SURFACE=1 cargo test --test api_surface"
+        );
+    }
+}
+
+#[test]
+fn scanner_extracts_top_level_items_only() {
+    let src = r#"
+//! Doc with braces { } in a code block.
+pub struct Foo {
+    pub field: u32, // field inside braces — not top-level
+}
+pub fn bar(
+    x: u32,
+) -> u32 {
+    let s = "}{"; // strings must not confuse the depth tracker
+    let c = '{';
+    x
+}
+pub(crate) fn hidden() {}
+impl Foo {
+    pub fn method(&self) {} // method — not top-level
+}
+/*
+pub fn commented_out() {} — block comments must not open declarations
+*/
+pub use std::fmt;
+"#;
+    let items = public_items(src);
+    assert_eq!(
+        items,
+        vec![
+            "pub struct Foo".to_string(),
+            "pub fn bar( x: u32, ) -> u32".to_string(),
+            "pub use std::fmt".to_string(),
+        ]
+    );
+}

@@ -1,0 +1,139 @@
+//! Preset-equivalence suite for the strategy-trait redesign.
+//!
+//! The `TuningSession` presets (`Preset::{Dta, Dtac, DtacNone}`) are thin
+//! veneers over the strategy objects, and `AdvisorOptions::{dta, dtac,
+//! dtac_none}` are translated onto the same objects by
+//! `StrategySet::from_options` — so both routes must produce **byte
+//! identical** recommendations. This suite pins that on TPC-H and TPC-DS,
+//! across two seeds and both `Parallelism::Serial` and
+//! `Parallelism::Auto`.
+
+use cadb::common::Parallelism;
+use cadb::core::{Advisor, AdvisorOptions, Recommendation, StrategySet};
+use cadb::datagen::{TpcdsGen, TpchGen};
+use cadb::engine::lower::lower_statement;
+use cadb::engine::{Database, Workload};
+use cadb::{Preset, TuningSession};
+
+const SCALE: f64 = 0.02;
+const SEEDS: [u64; 2] = [11, 42];
+const PARS: [Parallelism; 2] = [Parallelism::Serial, Parallelism::Auto];
+/// A preset paired with the legacy `AdvisorOptions` constructor it must
+/// reproduce byte-for-byte.
+type PresetPair = (Preset, fn(f64) -> AdvisorOptions);
+const PRESETS: [PresetPair; 3] = [
+    (Preset::Dta, AdvisorOptions::dta),
+    (Preset::Dtac, AdvisorOptions::dtac),
+    (Preset::DtacNone, AdvisorOptions::dtac_none),
+];
+
+fn tpch() -> (Database, Workload) {
+    let gen = TpchGen::new(SCALE);
+    let db = gen.build().unwrap();
+    let w = gen.workload(&db).unwrap();
+    (db, w)
+}
+
+fn tpcds() -> (Database, Workload) {
+    let db = TpcdsGen::new(SCALE).build().unwrap();
+    let mut w = Workload::default();
+    for sql in [
+        "SELECT itemkey, SUM(qty) FROM store_sales \
+         WHERE discount BETWEEN 2 AND 7 GROUP BY itemkey",
+        "SELECT SUM(netpaid) FROM store_sales WHERE qty > 60",
+        "SELECT soldkey, SUM(salesprice) FROM store_sales \
+         WHERE listprice < 6000 GROUP BY soldkey",
+    ] {
+        w.push(lower_statement(&db, sql).unwrap(), 1.0);
+    }
+    (db, w)
+}
+
+fn assert_bits(a: f64, b: f64, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a} != {b}");
+}
+
+fn assert_recommendations_identical(a: &Recommendation, b: &Recommendation, ctx: &str) {
+    assert_bits(a.initial_cost, b.initial_cost, &format!("{ctx} initial"));
+    assert_bits(a.final_cost, b.final_cost, &format!("{ctx} final"));
+    assert_eq!(a.pool_size, b.pool_size, "{ctx} pool_size");
+    let (sa, sb) = (a.configuration.structures(), b.configuration.structures());
+    assert_eq!(sa.len(), sb.len(), "{ctx} configuration size");
+    for (x, y) in sa.iter().zip(sb) {
+        assert_eq!(x.spec, y.spec, "{ctx} structure spec");
+        assert_bits(
+            x.size.bytes,
+            y.size.bytes,
+            &format!("{ctx} {} bytes", x.spec),
+        );
+        assert_bits(
+            x.size.compression_fraction,
+            y.size.compression_fraction,
+            &format!("{ctx} {} cf", x.spec),
+        );
+    }
+    assert_bits(
+        a.timings.estimation_cost_pages,
+        b.timings.estimation_cost_pages,
+        &format!("{ctx} estimation cost"),
+    );
+    assert_eq!(a.timings.sampled, b.timings.sampled, "{ctx} sampled");
+    assert_eq!(a.timings.deduced, b.timings.deduced, "{ctx} deduced");
+    // The machine-readable forms must agree on everything but wall-clock
+    // timings (strip the timings object before comparing).
+    let strip = |j: &str| j[..j.find("\"timings\"").unwrap()].to_string();
+    assert_eq!(strip(&a.to_json()), strip(&b.to_json()), "{ctx} json");
+}
+
+fn preset_equivalence(db: &Database, w: &Workload, bench: &str) {
+    let budget = 0.3 * db.base_data_bytes() as f64;
+    for (preset, legacy_options) in PRESETS {
+        for seed in SEEDS {
+            for par in PARS {
+                let ctx = format!("{bench} {preset:?} seed={seed} {par:?}");
+
+                let mut opts = legacy_options(budget).with_parallelism(par);
+                opts.seed = seed;
+                let legacy = Advisor::new(db, opts).recommend(w).unwrap();
+
+                let session = TuningSession::new(db)
+                    .workload(w)
+                    .budget(budget)
+                    .preset(preset)
+                    .seed(seed)
+                    .parallelism(par)
+                    .run()
+                    .unwrap();
+
+                assert_recommendations_identical(&session, &legacy, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn tpch_presets_identical_to_legacy_flag_path() {
+    let (db, w) = tpch();
+    preset_equivalence(&db, &w, "tpch");
+}
+
+#[test]
+fn tpcds_presets_identical_to_legacy_flag_path() {
+    let (db, w) = tpcds();
+    preset_equivalence(&db, &w, "tpcds");
+}
+
+#[test]
+fn explicit_strategy_set_matches_flag_translation() {
+    // recommend_with(StrategySet::from_options(opts)) is what recommend()
+    // does internally; handing the same set explicitly must change nothing.
+    let (db, w) = tpch();
+    let budget = 0.25 * db.base_data_bytes() as f64;
+    let opts = AdvisorOptions::dtac(budget);
+    let advisor = Advisor::new(&db, opts.clone());
+    let implicit = advisor.recommend(&w).unwrap();
+    let explicit = advisor
+        .recommend_with(&w, &StrategySet::from_options(&opts))
+        .unwrap();
+    assert_recommendations_identical(&explicit, &implicit, "explicit set");
+}
