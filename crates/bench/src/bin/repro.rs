@@ -19,18 +19,21 @@
 //!   motivating  §1 Examples 1–2 (staged vs integrated)
 //!   par       parallel estimation pipeline speedup (serial vs pool)
 //!   advise    one DTAc tuning run (machine-readable with --json)
+//!   exec      estimated vs MEASURED: build + execute the recommendation
+//!             on TPC-H and TPC-DS (machine-readable with --json)
 //!   all       everything above (default)
 //!
 //! --json    emit machine-readable reports (Recommendation +
-//!           SizeEstimationReport JSON) for the experiments that produce
-//!           them (currently: advise)
+//!           SizeEstimationReport / MeasuredReport JSON) for the
+//!           experiments that produce them (currently: advise, exec)
 //! ```
 
 use cadb_bench::experiments::designs::{
     design_figure, VariantSet, BUDGETS, INSERT_INTENSIVE, SELECT_INTENSIVE,
 };
 use cadb_bench::experiments::{
-    advise, calibration, estimation_runtime, graph_quality, motivating, mv_rows, par_speedup,
+    advise, calibration, estimation_runtime, exec_actuals, graph_quality, motivating, mv_rows,
+    par_speedup,
 };
 use cadb_core::FeatureSet;
 use std::time::Instant;
@@ -224,6 +227,34 @@ fn run(which: &str, scale: f64, json: bool) {
             println!("{}", advise::advise_text(&db, &w));
         }
     }
+    if all || which == "exec" {
+        let (db, w) = tpch(scale);
+        let ds_gen = cadb_datagen::TpcdsGen::new(scale);
+        let ds_db = ds_gen.build().expect("TPC-DS generation");
+        let ds_w = ds_gen.workload(&ds_db).expect("TPC-DS workload");
+        if json {
+            println!(
+                "{}",
+                exec_actuals::exec_json(&[("tpch", &db, &w), ("tpcds", &ds_db, &ds_w)], scale)
+            );
+        } else {
+            let (_, report_h, fraction_h) = exec_actuals::measure(&db, &w);
+            let (_, report_ds, _) = exec_actuals::measure(&ds_db, &ds_w);
+            println!("{}", exec_actuals::exec_table("TPC-H", &report_h).render());
+            println!(
+                "{}",
+                exec_actuals::exec_table("TPC-DS", &report_ds).render()
+            );
+            println!(
+                "{}",
+                exec_actuals::shortcircuit_table("TPC-H", &db, &w).render()
+            );
+            println!(
+                "{}",
+                exec_actuals::calibration_table(&report_h, fraction_h).render()
+            );
+        }
+    }
     let known = [
         "all",
         "table1",
@@ -241,6 +272,7 @@ fn run(which: &str, scale: f64, json: bool) {
         "motivating",
         "par",
         "advise",
+        "exec",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment '{which}'; one of: {}", known.join(", "));

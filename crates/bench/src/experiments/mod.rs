@@ -4,6 +4,7 @@ pub mod advise;
 pub mod calibration;
 pub mod designs;
 pub mod estimation_runtime;
+pub mod exec_actuals;
 pub mod graph_quality;
 pub mod motivating;
 pub mod mv_rows;

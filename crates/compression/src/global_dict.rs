@@ -98,8 +98,10 @@ pub fn encode(values: &[Vec<u8>], dict: &GlobalDictionary) -> Result<Vec<u8>> {
     Ok(out)
 }
 
-/// Decode a page's column block using the global dictionary.
-pub fn decode(block: &[u8], dict: &GlobalDictionary) -> Result<Vec<Vec<u8>>> {
+/// Decode a page's column block into raw dictionary ids, **without**
+/// touching the dictionary — vectorized executors evaluate a predicate
+/// once per distinct id and then test each row by its code.
+pub fn decode_ids(block: &[u8]) -> Result<Vec<u32>> {
     let mut pos = 0usize;
     let n = read_u16(block, &mut pos)? as usize;
     let w = *block
@@ -114,13 +116,21 @@ pub fn decode(block: &[u8], dict: &GlobalDictionary) -> Result<Vec<Vec<u8>>> {
         let raw = read_slice(block, &mut pos, w)?;
         let mut id_bytes = [0u8; 4];
         id_bytes[..w].copy_from_slice(raw);
-        let id = u32::from_le_bytes(id_bytes);
-        let entry = dict
-            .entry(id)
-            .ok_or_else(|| CadbError::Storage(format!("gdict id {id} out of range")))?;
-        out.push(entry.to_vec());
+        out.push(u32::from_le_bytes(id_bytes));
     }
     Ok(out)
+}
+
+/// Decode a page's column block using the global dictionary.
+pub fn decode(block: &[u8], dict: &GlobalDictionary) -> Result<Vec<Vec<u8>>> {
+    decode_ids(block)?
+        .into_iter()
+        .map(|id| {
+            dict.entry(id)
+                .map(|e| e.to_vec())
+                .ok_or_else(|| CadbError::Storage(format!("gdict id {id} out of range")))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -163,6 +173,21 @@ mod tests {
             encode(&a, &dict).unwrap().len(),
             encode(&b, &dict).unwrap().len()
         );
+    }
+
+    #[test]
+    fn decode_ids_round_trips_through_dictionary() {
+        let vals: Vec<Vec<u8>> = (0..50).map(|i| vec![(i % 3) as u8; 4]).collect();
+        let dict = GlobalDictionary::build(vals.iter().map(|v| v.as_slice()));
+        let block = encode(&vals, &dict).unwrap();
+        let ids = decode_ids(&block).unwrap();
+        assert_eq!(ids.len(), 50);
+        assert!(ids.iter().all(|&id| id < dict.len() as u32));
+        let via_ids: Vec<Vec<u8>> = ids
+            .iter()
+            .map(|&id| dict.entry(id).unwrap().to_vec())
+            .collect();
+        assert_eq!(via_ids, vals);
     }
 
     #[test]

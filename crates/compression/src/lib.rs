@@ -34,4 +34,6 @@ pub mod rle;
 pub use analyze::{compressed_index_size, CompressionMeasurement};
 pub use global_dict::GlobalDictionary;
 pub use method::CompressionKind;
-pub use page::{decode_page, encode_page, EncodedPage, PageContext};
+pub use page::{
+    column_sections, decode_page, encode_page, ColumnSection, EncodedPage, PageContext,
+};

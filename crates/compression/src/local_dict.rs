@@ -77,8 +77,20 @@ pub fn encode(values: &[Vec<u8>]) -> Vec<u8> {
     out
 }
 
-/// Decode a local-dictionary block.
-pub fn decode(block: &[u8]) -> Result<Vec<Vec<u8>>> {
+/// One token of a local-dictionary block: either a pointer into the
+/// page-local dictionary or an inline literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Index into the dictionary returned alongside the tokens.
+    Code(u16),
+    /// A value stored inline because the dictionary did not pay for it.
+    Literal(Vec<u8>),
+}
+
+/// Decode a local-dictionary block into its `(dictionary, tokens)` parts
+/// **without** expanding tokens to values — vectorized executors evaluate a
+/// predicate once per dictionary entry and then test each row by its code.
+pub fn decode_parts(block: &[u8]) -> Result<(Vec<Vec<u8>>, Vec<Token>)> {
     let mut pos = 0usize;
     let n_dict = read_u16(block, &mut pos)? as usize;
     let mut dict = Vec::with_capacity(n_dict);
@@ -87,20 +99,34 @@ pub fn decode(block: &[u8]) -> Result<Vec<Vec<u8>>> {
         dict.push(read_slice(block, &mut pos, len)?.to_vec());
     }
     let n = read_u16(block, &mut pos)? as usize;
-    let mut out = Vec::with_capacity(n);
+    let mut tokens = Vec::with_capacity(n);
     for _ in 0..n {
         let tok = read_u16(block, &mut pos)?;
         if tok == LITERAL {
             let len = read_u16(block, &mut pos)? as usize;
-            out.push(read_slice(block, &mut pos, len)?.to_vec());
+            tokens.push(Token::Literal(read_slice(block, &mut pos, len)?.to_vec()));
         } else {
-            let entry = dict.get(tok as usize).ok_or_else(|| {
-                CadbError::Storage(format!("dictionary token {tok} out of range"))
-            })?;
-            out.push(entry.clone());
+            if tok as usize >= dict.len() {
+                return Err(CadbError::Storage(format!(
+                    "dictionary token {tok} out of range"
+                )));
+            }
+            tokens.push(Token::Code(tok));
         }
     }
-    Ok(out)
+    Ok((dict, tokens))
+}
+
+/// Decode a local-dictionary block.
+pub fn decode(block: &[u8]) -> Result<Vec<Vec<u8>>> {
+    let (dict, tokens) = decode_parts(block)?;
+    Ok(tokens
+        .into_iter()
+        .map(|t| match t {
+            Token::Code(c) => dict[c as usize].clone(),
+            Token::Literal(v) => v,
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -151,6 +177,24 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(decode(&encode(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decode_parts_exposes_codes_and_literals() {
+        let hot = bytes("a-long-repeated-value");
+        let mut vals: Vec<Vec<u8>> = (0..10).map(|_| hot.clone()).collect();
+        vals.push(bytes("once"));
+        let (dict, tokens) = decode_parts(&encode(&vals)).unwrap();
+        assert_eq!(dict, vec![hot.clone()]);
+        assert_eq!(tokens.len(), 11);
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|t| matches!(t, Token::Code(0)))
+                .count(),
+            10
+        );
+        assert_eq!(tokens[10], Token::Literal(bytes("once")));
     }
 
     #[test]

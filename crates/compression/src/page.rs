@@ -60,13 +60,85 @@ impl EncodedPage {
     }
 }
 
-/// Column encoding tags, stored per column in the page.
-mod tag {
+/// Column encoding tags, stored per column in the page. Public so that
+/// executors operating directly on encoded pages (see `cadb-exec`) can
+/// dispatch on the physical encoding each column actually used — which may
+/// differ from the page's [`CompressionKind`] (e.g. the GDICT → NS
+/// fallback).
+pub mod tag {
+    /// Raw canonical value bytes, back to back.
     pub const PLAIN: u8 = 0;
+    /// NULL-suppressed values, each with a 2-byte length prefix.
     pub const NS: u8 = 1;
+    /// The PAGE pipeline: anchor + prefix suppression + local dictionary.
     pub const PAGE: u8 = 2;
+    /// Index-wide dictionary ids.
     pub const GDICT: u8 = 3;
+    /// Run-length encoded NULL-suppressed values.
     pub const RLE: u8 = 4;
+}
+
+/// Borrowed view of one column's encoded section within a page: the tag it
+/// was actually stored with, its null bitmap and its value block. Produced
+/// by [`column_sections`]; the executor's per-column vectors are built from
+/// this without decoding the whole page.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSection<'a> {
+    /// Actual encoding of the block (one of the [`tag`] constants).
+    pub tag: u8,
+    /// Null bitmap, one bit per row (bit set = NULL).
+    pub bitmap: &'a [u8],
+    /// The encoded value block (non-null values only).
+    pub block: &'a [u8],
+}
+
+impl ColumnSection<'_> {
+    /// Number of non-NULL values in the first `n_rows` rows.
+    pub fn n_non_null(&self, n_rows: usize) -> usize {
+        (0..n_rows)
+            .filter(|i| self.bitmap[i / 8] & (1 << (i % 8)) == 0)
+            .count()
+    }
+
+    /// `true` when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.bitmap[i / 8] & (1 << (i % 8)) != 0
+    }
+}
+
+/// Split an encoded page into its per-column sections without decoding any
+/// values. Returns `(n_rows, sections)`; this is the page cursor the
+/// vectorized executor walks.
+pub fn column_sections(bytes: &[u8]) -> Result<(usize, Vec<ColumnSection<'_>>)> {
+    let mut pos = 0usize;
+    let n = read_u16(bytes, &mut pos)? as usize;
+    let n_cols = read_u16(bytes, &mut pos)? as usize;
+    let mut sections = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let used_tag = *bytes
+            .get(pos)
+            .ok_or_else(|| CadbError::Storage("page truncated at tag".into()))?;
+        pos += 1;
+        let bitmap = read_slice(bytes, &mut pos, n.div_ceil(8))?;
+        let block_len = read_u32(bytes, &mut pos)? as usize;
+        let block = read_slice(bytes, &mut pos, block_len)?;
+        sections.push(ColumnSection {
+            tag: used_tag,
+            bitmap,
+            block,
+        });
+    }
+    Ok((n, sections))
+}
+
+/// Split a [`tag::PAGE`] column block into its `(anchor, local-dict block)`
+/// parts. Each dictionary entry / literal in the sub-block is a
+/// prefix-encoded, NULL-suppressed value against the anchor.
+pub fn split_page_block(block: &[u8]) -> Result<(&[u8], &[u8])> {
+    let mut pos = 0usize;
+    let anchor_len = read_u16(block, &mut pos)? as usize;
+    let anchor = read_slice(block, &mut pos, anchor_len)?;
+    Ok((anchor, &block[pos..]))
 }
 
 /// Encode one page of rows.
@@ -199,28 +271,18 @@ fn encode_ns_block(canon: &[Vec<u8>], dtype: &DataType) -> Vec<u8> {
 
 /// Decode a page produced by [`encode_page`].
 pub fn decode_page(bytes: &[u8], ctx: &PageContext<'_>) -> Result<Vec<Row>> {
-    let mut pos = 0usize;
-    let n = read_u16(bytes, &mut pos)? as usize;
-    let n_cols = read_u16(bytes, &mut pos)? as usize;
-    if n_cols != ctx.dtypes.len() {
+    let (n, sections) = column_sections(bytes)?;
+    if sections.len() != ctx.dtypes.len() {
         return Err(CadbError::Schema(format!(
-            "page has {n_cols} columns, context has {}",
+            "page has {} columns, context has {}",
+            sections.len(),
             ctx.dtypes.len()
         )));
     }
-    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(n_cols);
-    for (c, dtype) in ctx.dtypes.iter().enumerate() {
-        let used_tag = *bytes
-            .get(pos)
-            .ok_or_else(|| CadbError::Storage("page truncated at tag".into()))?;
-        pos += 1;
-        let bitmap = read_slice(bytes, &mut pos, n.div_ceil(8))?.to_vec();
-        let block_len = read_u32(bytes, &mut pos)? as usize;
-        let block = read_slice(bytes, &mut pos, block_len)?;
-        let n_non_null = (0..n)
-            .filter(|i| bitmap[i / 8] & (1 << (i % 8)) == 0)
-            .count();
-        let canon = decode_column(block, used_tag, dtype, ctx, c, n_non_null)?;
+    let mut columns: Vec<Vec<Value>> = Vec::with_capacity(sections.len());
+    for (c, (sec, dtype)) in sections.iter().zip(ctx.dtypes).enumerate() {
+        let n_non_null = sec.n_non_null(n);
+        let canon = decode_column_values(sec.block, sec.tag, dtype, ctx, c, n_non_null)?;
         if canon.len() != n_non_null {
             return Err(CadbError::Storage(format!(
                 "column {c}: decoded {} values, expected {n_non_null}",
@@ -230,7 +292,7 @@ pub fn decode_page(bytes: &[u8], ctx: &PageContext<'_>) -> Result<Vec<Row>> {
         let mut vals = Vec::with_capacity(n);
         let mut it = canon.into_iter();
         for i in 0..n {
-            if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            if sec.is_null(i) {
                 vals.push(Value::Null);
             } else {
                 let b = it.next().expect("counted above");
@@ -252,7 +314,10 @@ pub fn decode_page(bytes: &[u8], ctx: &PageContext<'_>) -> Result<Vec<Row>> {
     Ok(rows)
 }
 
-fn decode_column(
+/// Decode one column block back into the canonical bytes of its non-null
+/// values. `used_tag` is the section's actual encoding (a [`tag`]
+/// constant), `col` the column ordinal (needed for GDICT dictionaries).
+pub fn decode_column_values(
     block: &[u8],
     used_tag: u8,
     dtype: &DataType,
@@ -273,14 +338,12 @@ fn decode_column(
             Ok(out)
         }
         tag::PAGE => {
-            let mut pos = 0usize;
-            let anchor_len = read_u16(block, &mut pos)? as usize;
-            let anchor = read_slice(block, &mut pos, anchor_len)?.to_vec();
-            let prefixed = local_dict::decode(&block[pos..])?;
+            let (anchor, dict_block) = split_page_block(block)?;
+            let prefixed = local_dict::decode(dict_block)?;
             prefixed
                 .iter()
                 .map(|enc| {
-                    let ns = prefix::decode_one(&anchor, enc)?;
+                    let ns = prefix::decode_one(anchor, enc)?;
                     Ok(null_suppress::expand(&ns, dtype))
                 })
                 .collect()
@@ -426,6 +489,35 @@ mod tests {
         assert_eq!(page.n_rows, 0);
         assert_eq!(page.uncompressed_bytes, 0);
         assert!(decode_page(&page.bytes, &ctx).unwrap().is_empty());
+    }
+
+    #[test]
+    fn column_sections_expose_layout_without_decoding() {
+        let d = dtypes();
+        let rs = rows(100);
+        let ctx = PageContext {
+            dtypes: &d,
+            kind: CompressionKind::Rle,
+            global_dicts: None,
+        };
+        let page = encode_page(&rs, &ctx).unwrap();
+        let (n, sections) = column_sections(&page.bytes).unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(sections.len(), d.len());
+        for sec in &sections {
+            assert_eq!(sec.tag, tag::RLE);
+        }
+        // Column 2 has NULLs every 7th row.
+        assert!(sections[2].n_non_null(n) < n);
+        assert!(sections[2].is_null(0));
+        // Decoding a single section reproduces that column of the rows.
+        let canon =
+            decode_column_values(sections[0].block, sections[0].tag, &d[0], &ctx, 0, n).unwrap();
+        assert_eq!(canon.len(), n);
+        assert_eq!(
+            value_from_bytes(&canon[5], &d[0]).unwrap(),
+            rs[5].values[0].clone()
+        );
     }
 
     #[test]

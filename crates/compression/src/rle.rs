@@ -38,18 +38,60 @@ pub fn encode(values: &[Vec<u8>]) -> Vec<u8> {
 
 /// Decode an RLE block.
 pub fn decode(block: &[u8]) -> Result<Vec<Vec<u8>>> {
-    let mut pos = 0usize;
-    let n_runs = read_u16(block, &mut pos)? as usize;
     let mut out = Vec::new();
-    for _ in 0..n_runs {
-        let run_len = read_u16(block, &mut pos)? as usize;
-        let val_len = read_u16(block, &mut pos)? as usize;
-        let val = read_slice(block, &mut pos, val_len)?.to_vec();
+    for run in runs(block)? {
+        let (run_len, val) = run?;
         for _ in 0..run_len {
-            out.push(val.clone());
+            out.push(val.to_vec());
         }
     }
     Ok(out)
+}
+
+/// Iterate the `(run_len, value)` pairs of an RLE block **without**
+/// materializing the repeated values — the entry point vectorized
+/// executors use to pay per-run (not per-row) decode and predicate cost.
+pub fn runs(block: &[u8]) -> Result<RunIter<'_>> {
+    let mut pos = 0usize;
+    let n_runs = read_u16(block, &mut pos)? as usize;
+    Ok(RunIter {
+        block,
+        pos,
+        remaining: n_runs,
+    })
+}
+
+/// Borrowing iterator over the runs of an RLE block (see [`runs`]).
+#[derive(Debug, Clone)]
+pub struct RunIter<'a> {
+    block: &'a [u8],
+    pos: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for RunIter<'a> {
+    type Item = Result<(usize, &'a [u8])>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let item = (|| {
+            let run_len = read_u16(self.block, &mut self.pos)? as usize;
+            let val_len = read_u16(self.block, &mut self.pos)? as usize;
+            let val = read_slice(self.block, &mut self.pos, val_len)?;
+            Ok((run_len, val))
+        })();
+        if item.is_err() {
+            self.remaining = 0; // corrupt block: stop after reporting
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining))
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +145,34 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(decode(&encode(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_iterator_matches_decode() {
+        let vals = vec![b("a"), b("a"), b("bb"), b("bb"), b("bb"), b("c")];
+        let block = encode(&vals);
+        let collected: Vec<(usize, Vec<u8>)> = runs(&block)
+            .unwrap()
+            .map(|r| r.map(|(n, v)| (n, v.to_vec())))
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(
+            collected,
+            vec![(2, b("a")), (3, b("bb")), (1, b("c"))],
+            "run structure"
+        );
+        let total: usize = collected.iter().map(|(n, _)| n).sum();
+        assert_eq!(total, vals.len());
+    }
+
+    #[test]
+    fn run_iterator_stops_on_corrupt_block() {
+        let vals = vec![b("abc"); 4];
+        let mut block = encode(&vals);
+        block.truncate(block.len() - 2); // chop the value tail
+        let results: Vec<_> = runs(&block).unwrap().collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
     }
 
     proptest! {

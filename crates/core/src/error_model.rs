@@ -42,6 +42,19 @@ impl EstimateDistribution {
     }
 }
 
+/// One measured residual of the estimation pipeline against ground truth:
+/// produced by actually building a recommended structure and comparing its
+/// measured size to the advisor's estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredResidual {
+    /// Compression method of the structure.
+    pub kind: CompressionKind,
+    /// Sampling fraction behind the estimate (the planner's chosen `f`).
+    pub fraction: f64,
+    /// Observed `estimated / measured` size ratio (1.0 = perfect).
+    pub ratio: f64,
+}
+
 /// Per-method error coefficients, in the paper's `c · ln(f)` /
 /// `c · a` forms.
 #[derive(Debug, Clone)]
@@ -123,6 +136,55 @@ impl ErrorModel {
             mean: 1.0 + b * a,
             sd: (s * a).abs(),
         }
+    }
+
+    /// Re-fit the SampleCF coefficients from **measured residuals** — the
+    /// estimated-vs-actual loop the execution harness closes: each residual
+    /// is an advisor size estimate divided by the size measured after
+    /// actually building the structure (`cadb-exec`'s `MeasuredRun`).
+    ///
+    /// Residuals are split by the method's order dependence; for each class
+    /// with data, the bias coefficient is the least-squares `c` of
+    /// `ratio − 1 = c · ln f` and the sd coefficient is fitted to the mean
+    /// absolute deviation around that line, scaled by `√(π/2)` (the
+    /// MAD→sd factor under the normal assumption §5.1 already makes).
+    /// Classes without observations keep their current coefficients.
+    pub fn calibrate_samplecf(&self, residuals: &[MeasuredResidual]) -> ErrorModel {
+        let mut model = self.clone();
+        for ord_dep in [false, true] {
+            let pts: Vec<&MeasuredResidual> = residuals
+                .iter()
+                .filter(|r| r.kind.is_compressed() && r.kind.order_dependent() == ord_dep)
+                .collect();
+            if pts.is_empty() {
+                continue;
+            }
+            let bias_pts: Vec<(f64, f64)> =
+                pts.iter().map(|r| (r.fraction, r.ratio - 1.0)).collect();
+            let bias_c = Self::fit_ln_coefficient(&bias_pts);
+            let sd_pts: Vec<(f64, f64)> = pts
+                .iter()
+                .map(|r| {
+                    let fitted = 1.0 + bias_c * r.fraction.clamp(1e-6, 1.0).ln();
+                    (
+                        r.fraction,
+                        (r.ratio - fitted).abs() * std::f64::consts::FRAC_PI_2.sqrt(),
+                    )
+                })
+                .collect();
+            // ln f ≤ 0, so a non-negative sd needs a non-positive
+            // coefficient; the fit can only produce one because the
+            // observations are non-negative.
+            let sd_c = Self::fit_ln_coefficient(&sd_pts);
+            if ord_dep {
+                model.samplecf_bias_ord_dep = bias_c;
+                model.samplecf_sd_ord_dep = sd_c;
+            } else {
+                model.samplecf_bias_ord_ind = bias_c;
+                model.samplecf_sd_ord_ind = sd_c;
+            }
+        }
+        model
     }
 
     /// Fit a `c · ln(f)` coefficient by least squares through the origin
@@ -222,6 +284,59 @@ mod tests {
         let p = EstimateDistribution::product(&[d, e]);
         assert!((p.mean - d.mean).abs() < 1e-12);
         assert!((p.sd - d.sd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_recovers_known_coefficients() {
+        // Residuals generated exactly on the line ratio = 1 + c·ln f must
+        // re-fit to c with zero spread; the other class keeps its defaults.
+        let c = -0.021;
+        let residuals: Vec<MeasuredResidual> = [0.01f64, 0.02, 0.05, 0.1]
+            .iter()
+            .map(|&f| MeasuredResidual {
+                kind: CompressionKind::Page, // ORD-DEP
+                fraction: f,
+                ratio: 1.0 + c * f.ln(),
+            })
+            .collect();
+        let base = ErrorModel::default();
+        let fitted = base.calibrate_samplecf(&residuals);
+        assert!((fitted.samplecf_bias_ord_dep - c).abs() < 1e-12);
+        assert!(fitted.samplecf_sd_ord_dep.abs() < 1e-12);
+        // ORD-IND untouched (no observations).
+        assert_eq!(fitted.samplecf_bias_ord_ind, base.samplecf_bias_ord_ind);
+        assert_eq!(fitted.samplecf_sd_ord_ind, base.samplecf_sd_ord_ind);
+    }
+
+    #[test]
+    fn calibration_with_spread_yields_positive_sd() {
+        // Alternate over/under residuals around an unbiased line: bias ≈ 0,
+        // sd > 0, and the resulting distribution must widen as f shrinks.
+        let residuals: Vec<MeasuredResidual> = [0.01f64, 0.02, 0.05, 0.1]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| MeasuredResidual {
+                kind: CompressionKind::Row, // ORD-IND
+                fraction: f,
+                ratio: 1.0 + if i % 2 == 0 { 0.02 } else { -0.02 } * f.ln(),
+            })
+            .collect();
+        let fitted = ErrorModel::default().calibrate_samplecf(&residuals);
+        let wide = fitted.samplecf(CompressionKind::Row, 0.01);
+        let narrow = fitted.samplecf(CompressionKind::Row, 0.10);
+        assert!(wide.sd > 0.0);
+        assert!(wide.sd > narrow.sd);
+        // Uncompressed residuals are ignored entirely.
+        let none = [MeasuredResidual {
+            kind: CompressionKind::None,
+            fraction: 0.05,
+            ratio: 5.0,
+        }];
+        let untouched = ErrorModel::default().calibrate_samplecf(&none);
+        assert_eq!(
+            untouched.samplecf_bias_ord_ind,
+            ErrorModel::default().samplecf_bias_ord_ind
+        );
     }
 
     #[test]

@@ -157,6 +157,36 @@ impl TpcdsGen {
         db.insert_rows(ss, rows)?;
         Ok(db)
     }
+
+    /// A small analytic workload over the subset: aggregation queries on
+    /// the `store_sales` fact (with and without a dimension join) plus one
+    /// bulk load — enough shape for the advisor and the execution harness
+    /// to exercise TPC-DS end to end.
+    pub fn workload(&self, db: &Database) -> Result<cadb_engine::Workload> {
+        use cadb_engine::lower::lower_statement;
+        let mut w = cadb_engine::Workload::default();
+        for sql in [
+            "SELECT itemkey, SUM(qty) FROM store_sales \
+             WHERE discount BETWEEN 2 AND 7 GROUP BY itemkey",
+            "SELECT SUM(netpaid) FROM store_sales WHERE qty > 60",
+            "SELECT COUNT(netprofit), MAX(netprofit) FROM store_sales \
+             WHERE listprice < 6000",
+            "SELECT category, SUM(salesprice) FROM store_sales \
+             JOIN item ON store_sales.itemkey = item.itemkey \
+             WHERE qty > 20 GROUP BY category",
+        ] {
+            w.push(lower_statement(db, sql)?, 1.0);
+        }
+        let ss = db.table_id("store_sales")?;
+        w.push(
+            cadb_engine::Statement::Insert(cadb_engine::BulkInsert {
+                table: ss,
+                n_rows: (self.n(40_000) / 100).max(1) as u64,
+            }),
+            1.0,
+        );
+        Ok(w)
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +210,17 @@ mod tests {
         let b = TpcdsGen::new(0.02).build().unwrap();
         let t = a.table_id("store_sales").unwrap();
         assert_eq!(a.table(t).rows()[..20], b.table(t).rows()[..20]);
+    }
+
+    #[test]
+    fn workload_lowers_and_has_inserts() {
+        let gen = TpcdsGen::new(0.05);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        assert_eq!(w.queries().count(), 4);
+        assert_eq!(w.inserts().count(), 1);
+        // The join query really touches two tables.
+        assert!(w.queries().any(|(q, _)| q.tables().len() == 2));
     }
 
     #[test]

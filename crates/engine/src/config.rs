@@ -212,6 +212,17 @@ impl SizeEstimate {
             compression_fraction: cf,
         }
     }
+
+    /// Signed relative error of this estimate against a measured size:
+    /// `(estimated − measured) / measured`. Positive = over-estimate.
+    /// This is the estimated-vs-actual bridge the execution harness
+    /// (`cadb-exec`) reports per structure.
+    pub fn relative_error(&self, measured_bytes: f64) -> f64 {
+        if measured_bytes <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes - measured_bytes) / measured_bytes
+    }
 }
 
 /// One priced physical structure.

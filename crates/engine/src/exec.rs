@@ -49,15 +49,44 @@ fn eval_scalar(e: &ScalarExpr, joined: &Joined<'_>) -> Option<f64> {
     }
 }
 
-/// Build the joined tuple stream for a query (filters applied).
-fn join_stream<'a>(db: &'a Database, q: &Query) -> Result<Vec<Joined<'a>>> {
-    // Filter root rows.
-    let root_preds = q.predicates_on(q.root);
-    let mut stream: Vec<Joined<'a>> = db
-        .table(q.root)
-        .rows()
+/// Execute a query, returning output rows.
+///
+/// Output shape: group-by columns (in order), then one value per aggregate;
+/// for non-grouping queries, the used columns of each table in table order.
+pub fn execute(db: &Database, q: &Query) -> Result<Vec<Row>> {
+    // Per-table filtered row streams, then the shared join/aggregate/sort
+    // stage — the same [`finish_query`] the compressed executor in
+    // `cadb-exec` drives, so both executors share semantics by
+    // construction.
+    let mut streams: HashMap<TableId, Vec<Row>> = HashMap::new();
+    for t in q.tables() {
+        let preds = q.predicates_on(t);
+        streams.insert(
+            t,
+            db.table(t)
+                .rows()
+                .iter()
+                .filter(|r| preds.iter().all(|p| p.matches(r)))
+                .cloned()
+                .collect(),
+        );
+    }
+    Ok(finish_query(q, &streams))
+}
+
+/// Join, group/aggregate and sort pre-filtered per-table row streams.
+///
+/// This is the execution stage downstream of scans, shared by this
+/// row-store executor and the compressed executor in `cadb-exec`: join
+/// edges apply in order with a hash lookup on the dimension side
+/// (last-wins on duplicate keys), grouped aggregation backfills one row
+/// for scalar aggregates over empty input, grouped output is fully
+/// sorted, and non-grouping output is sorted by ORDER BY positions.
+pub fn finish_query(q: &Query, streams: &HashMap<TableId, Vec<Row>>) -> Vec<Row> {
+    static EMPTY: Vec<Row> = Vec::new();
+    let rows_of = |t: TableId| streams.get(&t).unwrap_or(&EMPTY);
+    let mut stream: Vec<Joined<'_>> = rows_of(q.root)
         .iter()
-        .filter(|r| root_preds.iter().all(|p| p.matches(r)))
         .map(|r| {
             let mut j = HashMap::new();
             j.insert(q.root, r);
@@ -69,12 +98,9 @@ fn join_stream<'a>(db: &'a Database, q: &Query) -> Result<Vec<Joined<'a>>> {
     for edge in &q.joins {
         let (ft, fc) = edge.left;
         let (dt, dc) = edge.right;
-        let dim_preds = q.predicates_on(dt);
         let mut index: HashMap<&Value, &Row> = HashMap::new();
-        for r in db.table(dt).rows() {
-            if dim_preds.iter().all(|p| p.matches(r)) {
-                index.insert(&r.values[dc.raw()], r);
-            }
+        for r in rows_of(dt) {
+            index.insert(&r.values[dc.raw()], r);
         }
         stream = stream
             .into_iter()
@@ -87,15 +113,6 @@ fn join_stream<'a>(db: &'a Database, q: &Query) -> Result<Vec<Joined<'a>>> {
             })
             .collect();
     }
-    Ok(stream)
-}
-
-/// Execute a query, returning output rows.
-///
-/// Output shape: group-by columns (in order), then one value per aggregate;
-/// for non-grouping queries, the used columns of each table in table order.
-pub fn execute(db: &Database, q: &Query) -> Result<Vec<Row>> {
-    let stream = join_stream(db, q)?;
 
     if !q.is_grouping() {
         let mut out = Vec::with_capacity(stream.len());
@@ -111,7 +128,7 @@ pub fn execute(db: &Database, q: &Query) -> Result<Vec<Row>> {
             out.push(Row::new(vals));
         }
         sort_output(&mut out, q);
-        return Ok(out);
+        return out;
     }
 
     // Grouped aggregation.
@@ -141,7 +158,8 @@ pub fn execute(db: &Database, q: &Query) -> Result<Vec<Row>> {
         }
     }
     // SQL scalar-aggregate semantics: aggregates without GROUP BY yield
-    // exactly one row even over empty input (SUM -> NULL, COUNT -> 0).
+    // exactly one row even over empty input (SUM -> 0, COUNT -> 0,
+    // AVG/MIN/MAX -> NULL).
     if groups.is_empty() && q.group_by.is_empty() {
         groups.insert(
             Vec::new(),
@@ -157,7 +175,7 @@ pub fn execute(db: &Database, q: &Query) -> Result<Vec<Row>> {
         out.push(Row::new(vals));
     }
     out.sort();
-    Ok(out)
+    out
 }
 
 fn sort_output(out: &mut [Row], q: &Query) {

@@ -78,7 +78,13 @@ impl Predicate {
 
     /// Evaluate against a row of the predicate's table.
     pub fn matches(&self, row: &Row) -> bool {
-        let v = &row.values[self.column.raw()];
+        self.matches_value(&row.values[self.column.raw()])
+    }
+
+    /// Evaluate against a single column value — the form vectorized
+    /// executors use, where a value may stand for a whole RLE run or
+    /// dictionary entry rather than one row.
+    pub fn matches_value(&self, v: &Value) -> bool {
         if v.is_null() {
             return false; // SQL three-valued logic: NULL never matches
         }

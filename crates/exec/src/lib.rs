@@ -1,0 +1,50 @@
+//! # cadb-exec
+//!
+//! A vectorized execution engine that runs workload queries **directly
+//! over compressed pages**, plus the actuals harness that closes the
+//! estimated-vs-actual loop: everything upstream of this crate *estimates*
+//! (SampleCF, deductions, what-if costing); this crate *builds, executes
+//! and measures*.
+//!
+//! ## Compressed execution
+//!
+//! Scans read an index's encoded leaves through
+//! [`cadb_storage::PhysicalIndex::page_cursor`] and build per-column
+//! [`vector::ColumnVector`]s straight from the page's column sections —
+//! RLE columns stay as `(run_len, value)` pairs, dictionary columns (PAGE
+//! local dictionaries, index-wide global dictionaries) as decoded entries
+//! plus per-row codes. The kernels short-circuit on that structure:
+//! filters evaluate a predicate once per run or dictionary entry, gathers
+//! clone from the one decoded value, and scalar integer aggregates
+//! collapse a run to `run_len × value` with exact `i128` arithmetic.
+//!
+//! Every scan is also available as a `decompress-then-execute` reference
+//! ([`scan::ExecMode::Reference`]) that decodes whole pages and operates
+//! row at a time. The two paths are **bit-identical by contract** for all
+//! codecs and every [`cadb_common::Parallelism`] setting (leaves are
+//! batched over `cadb_common::par` with partials merged in leaf order);
+//! `tests/exec_equivalence.rs` and this crate's property tests pin it.
+//!
+//! ## Actuals
+//!
+//! [`MeasuredRun`] materializes a recommended
+//! [`cadb_engine::Configuration`] into real compressed structures (via the
+//! same row streams the estimators sample), executes the workload's
+//! queries over them in both modes, and reports measured size and row
+//! counts next to the advisor's estimates with relative error — the
+//! [`MeasuredReport`] the `repro -- exec` experiment prints and
+//! `cadb::TuningSession::execute` returns. Its residual ratios feed
+//! `cadb_core::ErrorModel::calibrate_samplecf`, so measurement flows back
+//! into the model that produced the estimates.
+
+#![warn(missing_docs)]
+
+pub mod measured;
+pub mod query;
+pub mod scan;
+pub mod vector;
+
+pub use measured::{MaterializedConfig, MeasuredReport, MeasuredRun, MeasuredStructure};
+pub use query::execute_query;
+pub use scan::{scan_aggregate, scan_filter, BoundPredicate, ExecMode, ExecStats};
+pub use vector::{ColumnVector, IntAggregate, VectorData};

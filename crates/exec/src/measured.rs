@@ -1,0 +1,325 @@
+//! The estimated-vs-actual harness: materialize a recommended
+//! configuration into **real** compressed structures, execute the workload
+//! over them, and report measured sizes and row counts next to the
+//! advisor's estimates.
+//!
+//! This closes the loop the paper leaves open in a reproduction that never
+//! executes: every number the advisor produced (structure sizes from
+//! SampleCF/deduction, what-if workload costs) can be placed beside a
+//! measurement from the same code path a real scan would take.
+//! [`MeasuredRun::execute`] runs every `SELECT` through **both** execution
+//! modes and records whether they agreed, so an actuals report doubles as
+//! an end-to-end check of the compressed executor.
+
+use crate::query::{execute_query, missing_base};
+use crate::scan::ExecMode;
+use cadb_common::json::{JsonArray, JsonObject};
+use cadb_common::{Parallelism, Result, Row, TableId};
+use cadb_compression::CompressionKind;
+use cadb_engine::exec::materialize_mv;
+use cadb_engine::{Configuration, Database, IndexSpec, SizeEstimate, WhatIfOptimizer, Workload};
+use cadb_sampling::index_rows::{index_row_stream, mv_index_row_stream};
+use cadb_storage::PhysicalIndex;
+use std::collections::BTreeMap;
+
+/// One recommended structure, actually built: the advisor's estimate next
+/// to the measured reality.
+#[derive(Debug, Clone)]
+pub struct MeasuredStructure {
+    /// What was built.
+    pub spec: IndexSpec,
+    /// The advisor's size estimate for it.
+    pub estimated: SizeEstimate,
+    /// Bytes the built structure actually occupies (leaf payloads +
+    /// dictionaries + internal pages).
+    pub measured_bytes: usize,
+    /// Rows the built structure actually holds.
+    pub measured_rows: usize,
+    /// Measured compression fraction of the leaf level.
+    pub measured_cf: f64,
+}
+
+impl MeasuredStructure {
+    /// Signed relative size error: `(estimated − measured) / measured`.
+    pub fn size_error(&self) -> f64 {
+        self.estimated.relative_error(self.measured_bytes as f64)
+    }
+
+    /// `estimated / measured` size ratio (1.0 = perfect) — the residual
+    /// the error model can be re-calibrated from.
+    pub fn size_ratio(&self) -> f64 {
+        if self.measured_bytes == 0 {
+            1.0
+        } else {
+            self.estimated.bytes / self.measured_bytes as f64
+        }
+    }
+}
+
+/// A configuration materialized into real compressed structures.
+///
+/// Every table gets a *base structure* queries scan: the configuration's
+/// clustered index when it has one (with that index's compression),
+/// otherwise an uncompressed heap. Secondary and MV structures are built
+/// too — their measured sizes are what the actuals report compares against
+/// the advisor's estimates.
+#[derive(Debug)]
+pub struct MaterializedConfig {
+    bases: BTreeMap<TableId, PhysicalIndex>,
+    measured: Vec<MeasuredStructure>,
+}
+
+impl MaterializedConfig {
+    /// Build every structure of `cfg` (and each table's base structure)
+    /// for real, via the same row streams the estimation framework samples.
+    pub fn build(db: &Database, cfg: &Configuration) -> Result<Self> {
+        let mut bases = BTreeMap::new();
+        let mut base_specs: BTreeMap<TableId, IndexSpec> = BTreeMap::new();
+        for t in db.table_ids() {
+            // A partial clustered index cannot serve as the scan base — it
+            // would silently drop the filtered-out rows from every query
+            // (and both execution modes would agree on the wrong answer).
+            let clustered = cfg.structures().iter().find(|s| {
+                s.spec.clustered
+                    && s.spec.table == t
+                    && s.spec.mv.is_none()
+                    && s.spec.partial_filter.is_none()
+            });
+            let ix = match clustered {
+                Some(s) => {
+                    let (rows, dtypes, n_key) = index_row_stream(db, &s.spec, db.table(t).rows())?;
+                    base_specs.insert(t, s.spec.clone());
+                    PhysicalIndex::build(&rows, &dtypes, n_key, s.spec.compression)?
+                }
+                None => PhysicalIndex::build(
+                    db.table(t).rows(),
+                    &db.dtypes(t),
+                    0,
+                    CompressionKind::None,
+                )?,
+            };
+            bases.insert(t, ix);
+        }
+        let mut measured = Vec::with_capacity(cfg.structures().len());
+        for s in cfg.structures() {
+            // The clustered base was already built above — measure it
+            // instead of materializing the full table a second time.
+            if base_specs.get(&s.spec.table) == Some(&s.spec) {
+                let ix = &bases[&s.spec.table];
+                measured.push(MeasuredStructure {
+                    spec: s.spec.clone(),
+                    estimated: s.size,
+                    measured_bytes: ix.size_bytes(),
+                    measured_rows: ix.n_rows(),
+                    measured_cf: ix.compression_fraction(),
+                });
+                continue;
+            }
+            let (rows, dtypes, n_key) = if let Some(mv) = &s.spec.mv {
+                let mv_rows = materialize_mv(db, mv)?;
+                mv_index_row_stream(db, &s.spec, &mv_rows)?
+            } else {
+                index_row_stream(db, &s.spec, db.table(s.spec.table).rows())?
+            };
+            let ix = PhysicalIndex::build(&rows, &dtypes, n_key, s.spec.compression)?;
+            measured.push(MeasuredStructure {
+                spec: s.spec.clone(),
+                estimated: s.size,
+                measured_bytes: ix.size_bytes(),
+                measured_rows: ix.n_rows(),
+                measured_cf: ix.compression_fraction(),
+            });
+        }
+        Ok(MaterializedConfig { bases, measured })
+    }
+
+    /// The base structure queries scan for a table.
+    pub fn base(&self, t: TableId) -> Result<&PhysicalIndex> {
+        self.bases.get(&t).ok_or_else(|| missing_base(t))
+    }
+
+    /// Every structure of the configuration, built and measured.
+    pub fn structures(&self) -> &[MeasuredStructure] {
+        &self.measured
+    }
+}
+
+/// Actuals of one executed query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryActual {
+    /// Output rows produced.
+    pub rows_out: usize,
+    /// Leaf pages the compressed path touched.
+    pub pages_scanned: usize,
+    /// Predicate evaluations on the compressed path (per run / per
+    /// dictionary entry).
+    pub predicate_evals_compressed: usize,
+    /// Predicate evaluations on the reference path (per row).
+    pub predicate_evals_reference: usize,
+    /// Whether compressed and reference output were bit-identical.
+    pub matches_reference: bool,
+}
+
+/// The estimated-vs-actual report of one [`MeasuredRun`].
+#[derive(Debug, Clone)]
+pub struct MeasuredReport {
+    /// Per-structure estimates vs measurements.
+    pub structures: Vec<MeasuredStructure>,
+    /// Sum of estimated structure sizes.
+    pub estimated_total_bytes: f64,
+    /// Sum of measured structure sizes.
+    pub measured_total_bytes: usize,
+    /// Per-query actuals, in workload order.
+    pub queries: Vec<QueryActual>,
+    /// What-if estimated workload cost under the configuration.
+    pub estimated_workload_cost: f64,
+    /// What-if estimated workload cost with no structures (baseline).
+    pub baseline_workload_cost: f64,
+}
+
+impl MeasuredReport {
+    /// Signed relative error of the configuration's total size.
+    pub fn total_size_error(&self) -> f64 {
+        if self.measured_total_bytes == 0 {
+            0.0
+        } else {
+            (self.estimated_total_bytes - self.measured_total_bytes as f64)
+                / self.measured_total_bytes as f64
+        }
+    }
+
+    /// `true` when every query's compressed output matched the reference.
+    pub fn all_queries_verified(&self) -> bool {
+        self.queries.iter().all(|q| q.matches_reference)
+    }
+
+    /// `(method, estimated/measured)` residual per compressed structure —
+    /// the raw material for re-calibrating the error model
+    /// (`cadb_core::ErrorModel::calibrate_samplecf`).
+    pub fn residual_ratios(&self) -> Vec<(CompressionKind, f64)> {
+        self.structures
+            .iter()
+            .filter(|s| s.spec.compression.is_compressed())
+            .map(|s| (s.spec.compression, s.size_ratio()))
+            .collect()
+    }
+
+    /// Machine-readable JSON form (same writer conventions as the
+    /// recommendation / estimation reports).
+    pub fn to_json(&self) -> String {
+        let mut structures = JsonArray::new();
+        for s in &self.structures {
+            structures.push_raw(
+                &JsonObject::new()
+                    .str("spec", &s.spec.to_string())
+                    .str("compression", &s.spec.compression.to_string())
+                    .num("estimated_bytes", s.estimated.bytes)
+                    .int("measured_bytes", s.measured_bytes as i64)
+                    .num("size_error", s.size_error())
+                    .num("estimated_rows", s.estimated.rows)
+                    .int("measured_rows", s.measured_rows as i64)
+                    .num("estimated_cf", s.estimated.compression_fraction)
+                    .num("measured_cf", s.measured_cf)
+                    .finish(),
+            );
+        }
+        let mut queries = JsonArray::new();
+        for q in &self.queries {
+            queries.push_raw(
+                &JsonObject::new()
+                    .int("rows_out", q.rows_out as i64)
+                    .int("pages_scanned", q.pages_scanned as i64)
+                    .int(
+                        "predicate_evals_compressed",
+                        q.predicate_evals_compressed as i64,
+                    )
+                    .int(
+                        "predicate_evals_reference",
+                        q.predicate_evals_reference as i64,
+                    )
+                    .bool("matches_reference", q.matches_reference)
+                    .finish(),
+            );
+        }
+        JsonObject::new()
+            .raw("structures", &structures.finish())
+            .num("estimated_total_bytes", self.estimated_total_bytes)
+            .int("measured_total_bytes", self.measured_total_bytes as i64)
+            .num("total_size_error", self.total_size_error())
+            .raw("queries", &queries.finish())
+            .bool("all_queries_verified", self.all_queries_verified())
+            .num("estimated_workload_cost", self.estimated_workload_cost)
+            .num("baseline_workload_cost", self.baseline_workload_cost)
+            .finish()
+    }
+}
+
+/// Materialize → execute → measure: the harness that turns a
+/// recommendation into ground truth.
+#[derive(Debug)]
+pub struct MeasuredRun<'a> {
+    db: &'a Database,
+    workload: &'a Workload,
+    parallelism: Parallelism,
+}
+
+impl<'a> MeasuredRun<'a> {
+    /// A run over a database and the workload whose queries will be
+    /// executed.
+    pub fn new(db: &'a Database, workload: &'a Workload) -> Self {
+        MeasuredRun {
+            db,
+            workload,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Worker-pool setting for the leaf-parallel scans (results identical
+    /// for every setting; [`Parallelism::Serial`] is the escape hatch).
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// Build every structure of `cfg`, execute every workload query over
+    /// the compressed structures (verifying each against the
+    /// decompress-then-execute reference), and report measured sizes and
+    /// row counts next to the estimates.
+    pub fn execute(&self, cfg: &Configuration) -> Result<MeasuredReport> {
+        let mat = MaterializedConfig::build(self.db, cfg)?;
+        let mut queries = Vec::new();
+        for (q, _) in self.workload.queries() {
+            let (rows_c, stats_c) = execute_query(&mat, q, self.parallelism, ExecMode::Compressed)?;
+            let (rows_r, stats_r) = execute_query(&mat, q, self.parallelism, ExecMode::Reference)?;
+            queries.push(QueryActual {
+                rows_out: rows_c.len(),
+                pages_scanned: stats_c.pages_scanned,
+                predicate_evals_compressed: stats_c.predicate_evals,
+                predicate_evals_reference: stats_r.predicate_evals,
+                matches_reference: rows_c == rows_r,
+            });
+        }
+        let opt = WhatIfOptimizer::new(self.db).with_parallelism(self.parallelism);
+        let estimated_total_bytes = cfg.total_bytes();
+        let measured_total_bytes = mat.structures().iter().map(|s| s.measured_bytes).sum();
+        Ok(MeasuredReport {
+            structures: mat.structures().to_vec(),
+            estimated_total_bytes,
+            measured_total_bytes,
+            queries,
+            estimated_workload_cost: opt.workload_cost(self.workload, cfg),
+            baseline_workload_cost: opt.workload_cost(self.workload, &Configuration::empty()),
+        })
+    }
+
+    /// Execute one query in a given mode (exposed for benchmarks and
+    /// equivalence tests). Returns the output rows and scan counters.
+    pub fn execute_query(
+        &self,
+        mat: &MaterializedConfig,
+        q: &cadb_engine::Query,
+        mode: ExecMode,
+    ) -> Result<(Vec<Row>, crate::scan::ExecStats)> {
+        execute_query(mat, q, self.parallelism, mode)
+    }
+}

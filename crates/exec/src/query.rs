@@ -1,0 +1,139 @@
+//! Whole-query execution over a materialized configuration.
+//!
+//! The planner is deliberately trivial — every table is read by a full
+//! filtered scan of its **base structure** (the configuration's clustered
+//! index when one exists, otherwise an uncompressed heap) — because the
+//! point of this executor is *actuals*, not plan search: the scan/filter
+//! stage is where compressed execution happens, and it is the stage the
+//! [`ExecMode::Compressed`] / [`ExecMode::Reference`] pair pins.
+//!
+//! Downstream of the scans, both modes share one pipeline (hash join in
+//! join-edge order, grouped aggregation, output sort) with the same
+//! semantics as `cadb_engine::exec::execute`, so the two modes agree bit
+//! for bit whenever their scans do, and the whole executor can be
+//! cross-checked against the engine's row-store executor.
+//!
+//! Single-table scalar aggregations over plain columns take the vectorized
+//! fast path ([`crate::scan::scan_aggregate`]): exact `i128` arithmetic
+//! that collapses RLE runs and dictionary codes without expanding rows.
+//! (Exactness is the one sanctioned deviation from the engine executor's
+//! `f64` accumulation: the two agree unless a sum's magnitude exceeds
+//! 2^53 — far beyond this workspace's scales — and where they differ the
+//! exact path is the correct one.)
+
+use crate::measured::MaterializedConfig;
+use crate::scan::{scan_aggregate, scan_filter, BoundPredicate, ExecMode, ExecStats};
+use cadb_common::{CadbError, Parallelism, Result, Row, TableId, Value};
+use cadb_engine::exec::finish_query;
+use cadb_engine::stmt::{Query, ScalarExpr};
+use cadb_sql::AggFunc;
+use std::collections::HashMap;
+
+/// Execute a query under a materialized configuration. Returns the output
+/// rows (same shape as `cadb_engine::exec::execute`: group-by columns then
+/// aggregates, or the used columns of each table in table order) and the
+/// scan counters.
+pub fn execute_query(
+    mat: &MaterializedConfig,
+    q: &Query,
+    par: Parallelism,
+    mode: ExecMode,
+) -> Result<(Vec<Row>, ExecStats)> {
+    if let Some(out) = try_scalar_fast_path(mat, q, par, mode)? {
+        return Ok(out);
+    }
+    let mut streams: HashMap<TableId, Vec<Row>> = HashMap::new();
+    let mut stats = ExecStats::default();
+    for t in q.tables() {
+        let base = mat.base(t)?;
+        let preds: Vec<BoundPredicate> = q
+            .predicates_on(t)
+            .iter()
+            .map(|p| BoundPredicate {
+                col: p.column.raw(),
+                pred: (*p).clone(),
+            })
+            .collect();
+        let (rows, s) = scan_filter(base, &preds, par, mode)?;
+        stats.merge(&s);
+        streams.insert(t, rows);
+    }
+    Ok((finish_query(q, &streams), stats))
+}
+
+/// The vectorized fast path: single table, no grouping, and every
+/// aggregate either `COUNT(*)` or a bare column reference. Returns `None`
+/// when the query does not qualify.
+fn try_scalar_fast_path(
+    mat: &MaterializedConfig,
+    q: &Query,
+    par: Parallelism,
+    mode: ExecMode,
+) -> Result<Option<(Vec<Row>, ExecStats)>> {
+    if !q.joins.is_empty() || !q.group_by.is_empty() || q.aggregates.is_empty() {
+        return Ok(None);
+    }
+    let mut cols = Vec::with_capacity(q.aggregates.len());
+    for a in &q.aggregates {
+        match &a.expr {
+            None => cols.push(None),
+            Some(ScalarExpr::Column(t, c)) if *t == q.root => cols.push(Some(c.raw())),
+            _ => return Ok(None), // arithmetic expression: general path
+        }
+    }
+    let base = mat.base(q.root)?;
+    let preds: Vec<BoundPredicate> = q
+        .predicates_on(q.root)
+        .iter()
+        .map(|p| BoundPredicate {
+            col: p.column.raw(),
+            pred: (*p).clone(),
+        })
+        .collect();
+    // One aggregation pass per distinct referenced column (or one pass on
+    // column 0 when only COUNT(*) is asked for), memoized.
+    let mut passes: HashMap<usize, (crate::vector::IntAggregate, u64)> = HashMap::new();
+    let mut stats = ExecStats::default();
+    let mut run_pass = |col: usize| -> Result<(crate::vector::IntAggregate, u64)> {
+        if let Some(hit) = passes.get(&col) {
+            return Ok(*hit);
+        }
+        let (agg, matched, s) = scan_aggregate(base, col, &preds, par, mode)?;
+        stats.merge(&s);
+        passes.insert(col, (agg, matched));
+        Ok((agg, matched))
+    };
+    let mut vals = Vec::with_capacity(q.aggregates.len());
+    for (a, col) in q.aggregates.iter().zip(&cols) {
+        let v = match col {
+            None => {
+                let (_, matched) = run_pass(cols.iter().flatten().next().copied().unwrap_or(0))?;
+                Value::Int(matched as i64)
+            }
+            Some(c) => {
+                let (agg, _) = run_pass(*c)?;
+                match a.func {
+                    AggFunc::Count => Value::Int(agg.count as i64),
+                    AggFunc::Sum => Value::Int(agg.sum as i64),
+                    AggFunc::Avg => {
+                        if agg.count == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int((agg.sum as f64 / agg.count as f64).round() as i64)
+                        }
+                    }
+                    AggFunc::Min => agg.min.map_or(Value::Null, Value::Int),
+                    AggFunc::Max => agg.max.map_or(Value::Null, Value::Int),
+                }
+            }
+        };
+        vals.push(v);
+    }
+    Ok(Some((vec![Row::new(vals)], stats)))
+}
+
+/// Convenience wrapper: the error type when the configuration has no base
+/// structure for a table the query touches.
+pub(crate) fn missing_base(t: TableId) -> CadbError {
+    CadbError::NotFound(format!("no materialized base structure for table {t}"))
+}

@@ -1,0 +1,604 @@
+//! Column vectors: the still-compressed, per-column representation the
+//! executor's kernels operate on.
+//!
+//! A [`ColumnVector`] is built from one column's encoded section of one leaf
+//! page (see `cadb_compression::page::column_sections`) **without expanding
+//! runs or dictionary codes**: an RLE column becomes a list of
+//! `(run_len, value)` pairs with each run's value decoded exactly once, and
+//! a dictionary column (PAGE's page-local dictionary or the index-wide
+//! global dictionary) becomes decoded dictionary entries plus one small code
+//! per row. Kernels then pay decode and predicate cost **per distinct
+//! value**, not per row:
+//!
+//! * [`ColumnVector::filter`] evaluates a predicate once per run / per
+//!   dictionary entry and fans the verdict out to rows through the run
+//!   lengths / codes;
+//! * [`ColumnVector::gather`] clones from the single decoded value of a run
+//!   or dictionary slot instead of re-decoding per row;
+//! * the aggregate kernels in [`crate::scan`] collapse `SUM` over a run to
+//!   `run_len × value`.
+//!
+//! NULLs live in the page's per-column bitmap and never enter the encoded
+//! blocks, so every kernel walks rows with a cursor over the non-null value
+//! stream; a NULL row fails every predicate (SQL three-valued logic) and
+//! gathers as [`Value::Null`].
+
+use cadb_common::{CadbError, DataType, Result, Value};
+use cadb_compression::bytesrepr::value_from_bytes;
+use cadb_compression::page::{split_page_block, tag, ColumnSection};
+use cadb_compression::{local_dict, null_suppress, prefix, rle, PageContext};
+use cadb_engine::Predicate;
+use std::collections::HashMap;
+
+/// The physical shape of one column of one page, decoded only as far as its
+/// compression structure allows without expanding.
+#[derive(Debug, Clone)]
+pub enum VectorData {
+    /// One decoded value per non-null row (NS / plain columns — nothing to
+    /// short-circuit on).
+    Plain(Vec<Value>),
+    /// RLE runs over the non-null rows: each value decoded once.
+    Runs(Vec<(usize, Value)>),
+    /// Dictionary-coded rows: distinct values decoded once, plus one code
+    /// per non-null row. Covers both the page-local dictionary (PAGE) and
+    /// the index-wide dictionary (GDICT); inline literals get appended
+    /// dictionary slots of their own.
+    Dict {
+        /// Decoded dictionary entries (and literals).
+        dict: Vec<Value>,
+        /// Per-row indexes into `dict`.
+        codes: Vec<u32>,
+    },
+}
+
+/// One column of one leaf page in vector form.
+#[derive(Debug, Clone)]
+pub struct ColumnVector {
+    n_rows: usize,
+    /// Null bitmap (bit set = NULL), one bit per row.
+    nulls: Vec<u8>,
+    data: VectorData,
+}
+
+impl ColumnVector {
+    /// Build the vector for one column section of a page.
+    ///
+    /// `col` is the column's ordinal within the page (needed to pick the
+    /// global dictionary when the section is GDICT-encoded).
+    pub fn from_section(
+        sec: &ColumnSection<'_>,
+        dtype: &DataType,
+        ctx: &PageContext<'_>,
+        col: usize,
+        n_rows: usize,
+    ) -> Result<Self> {
+        let n_non_null = sec.n_non_null(n_rows);
+        let data = match sec.tag {
+            tag::PLAIN | tag::NS => {
+                let canon = cadb_compression::page::decode_column_values(
+                    sec.block, sec.tag, dtype, ctx, col, n_non_null,
+                )?;
+                let mut vals = Vec::with_capacity(canon.len());
+                for b in &canon {
+                    vals.push(value_from_bytes(b, dtype)?);
+                }
+                VectorData::Plain(vals)
+            }
+            tag::RLE => {
+                let mut runs = Vec::new();
+                for run in rle::runs(sec.block)? {
+                    let (len, ns) = run?;
+                    let v = value_from_bytes(&null_suppress::expand(ns, dtype), dtype)?;
+                    runs.push((len, v));
+                }
+                VectorData::Runs(runs)
+            }
+            tag::PAGE => {
+                let (anchor, dict_block) = split_page_block(sec.block)?;
+                let (raw_dict, tokens) = local_dict::decode_parts(dict_block)?;
+                let decode_entry = |enc: &[u8]| -> Result<Value> {
+                    let ns = prefix::decode_one(anchor, enc)?;
+                    value_from_bytes(&null_suppress::expand(&ns, dtype), dtype)
+                };
+                let mut dict = Vec::with_capacity(raw_dict.len());
+                for e in &raw_dict {
+                    dict.push(decode_entry(e)?);
+                }
+                let mut codes = Vec::with_capacity(tokens.len());
+                for t in tokens {
+                    match t {
+                        local_dict::Token::Code(c) => codes.push(c as u32),
+                        local_dict::Token::Literal(enc) => {
+                            codes.push(dict.len() as u32);
+                            dict.push(decode_entry(&enc)?);
+                        }
+                    }
+                }
+                VectorData::Dict { dict, codes }
+            }
+            tag::GDICT => {
+                let dicts = ctx.global_dicts.ok_or_else(|| {
+                    CadbError::InvalidArgument("GDICT vector requires dictionaries".into())
+                })?;
+                let gdict = dicts.get(col).ok_or_else(|| {
+                    CadbError::InvalidArgument(format!("no global dictionary for column {col}"))
+                })?;
+                let ids = cadb_compression::global_dict::decode_ids(sec.block)?;
+                // Remap the index-wide ids onto a dense per-page dictionary
+                // of only the values that actually occur, decoded once
+                // each. Keyed by the ids this page really uses, so the
+                // work is proportional to the page — not to the whole
+                // index dictionary's cardinality.
+                let mut remap: HashMap<u32, u32> = HashMap::new();
+                let mut dict = Vec::new();
+                let mut codes = Vec::with_capacity(ids.len());
+                for id in ids {
+                    let code = match remap.get(&id) {
+                        Some(c) => *c,
+                        None => {
+                            let entry = gdict.entry(id).ok_or_else(|| {
+                                CadbError::Storage(format!("gdict id {id} out of range"))
+                            })?;
+                            let c = dict.len() as u32;
+                            dict.push(value_from_bytes(entry, dtype)?);
+                            remap.insert(id, c);
+                            c
+                        }
+                    };
+                    codes.push(code);
+                }
+                VectorData::Dict { dict, codes }
+            }
+            other => {
+                return Err(CadbError::Storage(format!("unknown column tag {other}")));
+            }
+        };
+        let vec = ColumnVector {
+            n_rows,
+            nulls: sec.bitmap.to_vec(),
+            data,
+        };
+        if vec.n_non_null() != n_non_null {
+            return Err(CadbError::Storage(format!(
+                "column {col}: vector has {} values, bitmap expects {n_non_null}",
+                vec.n_non_null()
+            )));
+        }
+        Ok(vec)
+    }
+
+    /// Rows in the page this vector covers.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// `true` when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Non-null values represented (expanded) by this vector.
+    pub fn n_non_null(&self) -> usize {
+        match &self.data {
+            VectorData::Plain(v) => v.len(),
+            VectorData::Runs(runs) => runs.iter().map(|(n, _)| n).sum(),
+            VectorData::Dict { codes, .. } => codes.len(),
+        }
+    }
+
+    /// The underlying vector data.
+    pub fn data(&self) -> &VectorData {
+        &self.data
+    }
+
+    /// Upper bound on the predicate evaluations [`Self::filter`] can
+    /// perform: one per run or dictionary entry, one per value on plain
+    /// columns. The compressed-path short-circuit is exactly this number
+    /// being smaller than the row count.
+    pub fn filter_cost(&self) -> usize {
+        match &self.data {
+            VectorData::Plain(v) => v.len(),
+            VectorData::Runs(runs) => runs.len(),
+            VectorData::Dict { dict, .. } => dict.len(),
+        }
+    }
+
+    /// AND the predicate's verdict into the selection vector: after the
+    /// call, `sel[i]` holds only where it held before **and** row `i`
+    /// matches. NULL rows never match. Returns the number of predicate
+    /// evaluations actually performed — verdicts are computed lazily, at
+    /// most once per run / per dictionary entry (never more than
+    /// [`Self::filter_cost`]), and only when a still-selected row needs
+    /// one; plain columns evaluate once per still-selected non-null row.
+    pub fn filter(&self, pred: &Predicate, sel: &mut [bool]) -> usize {
+        debug_assert_eq!(sel.len(), self.n_rows);
+        let mut evals = 0usize;
+        match &self.data {
+            VectorData::Plain(vals) => {
+                let mut cursor = 0usize;
+                for (i, s) in sel.iter_mut().enumerate() {
+                    if self.is_null(i) {
+                        *s = false;
+                    } else {
+                        // Plain columns evaluate per value; they have no
+                        // compression structure to share verdicts over.
+                        if *s {
+                            evals += 1;
+                            if !pred.matches_value(&vals[cursor]) {
+                                *s = false;
+                            }
+                        }
+                        cursor += 1;
+                    }
+                }
+            }
+            VectorData::Runs(runs) => {
+                let mut run_iter = runs.iter();
+                // (rows left in the current run, its verdict — computed on
+                // the first still-selected row that needs it).
+                let mut current: Option<(usize, &Value, Option<bool>)> = None;
+                for (i, s) in sel.iter_mut().enumerate() {
+                    if self.is_null(i) {
+                        *s = false;
+                        continue;
+                    }
+                    loop {
+                        match &mut current {
+                            Some((left, _, _)) if *left > 0 => break,
+                            _ => {
+                                let (len, val) = run_iter.next().expect("bitmap/run mismatch");
+                                current = Some((*len, val, None));
+                            }
+                        }
+                    }
+                    let (left, val, verdict) = current.as_mut().expect("set above");
+                    *left -= 1;
+                    if *s {
+                        let v = *verdict.get_or_insert_with(|| {
+                            evals += 1;
+                            pred.matches_value(val)
+                        });
+                        if !v {
+                            *s = false;
+                        }
+                    }
+                }
+            }
+            VectorData::Dict { dict, codes } => {
+                let mut verdicts: Vec<Option<bool>> = vec![None; dict.len()];
+                let mut cursor = 0usize;
+                for (i, s) in sel.iter_mut().enumerate() {
+                    if self.is_null(i) {
+                        *s = false;
+                    } else {
+                        if *s {
+                            let code = codes[cursor] as usize;
+                            let v = *verdicts[code].get_or_insert_with(|| {
+                                evals += 1;
+                                pred.matches_value(&dict[code])
+                            });
+                            if !v {
+                                *s = false;
+                            }
+                        }
+                        cursor += 1;
+                    }
+                }
+            }
+        }
+        evals
+    }
+
+    /// Values of the selected rows, in row order (`Value::Null` for a
+    /// selected NULL row). Clones from the per-run / per-dictionary decoded
+    /// value — no re-decoding.
+    pub fn gather(&self, sel: &[bool]) -> Vec<Value> {
+        debug_assert_eq!(sel.len(), self.n_rows);
+        let mut out = Vec::new();
+        self.for_each_value(|i, v| {
+            if sel[i] {
+                out.push(v.cloned().unwrap_or(Value::Null));
+            }
+        });
+        out
+    }
+
+    /// All `n_rows` values, NULLs included — the decompress-everything form.
+    pub fn materialize(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.n_rows);
+        self.for_each_value(|_, v| out.push(v.cloned().unwrap_or(Value::Null)));
+        out
+    }
+
+    /// Walk rows in order, handing `(row_index, Some(&value) | None-for-NULL)`
+    /// to `f`.
+    fn for_each_value<'a>(&'a self, mut f: impl FnMut(usize, Option<&'a Value>)) {
+        match &self.data {
+            VectorData::Plain(vals) => {
+                let mut cursor = 0usize;
+                for i in 0..self.n_rows {
+                    if self.is_null(i) {
+                        f(i, None);
+                    } else {
+                        f(i, Some(&vals[cursor]));
+                        cursor += 1;
+                    }
+                }
+            }
+            VectorData::Runs(runs) => {
+                let mut run_iter = runs.iter();
+                let mut current: Option<(usize, &Value)> = None;
+                for i in 0..self.n_rows {
+                    if self.is_null(i) {
+                        f(i, None);
+                        continue;
+                    }
+                    let (left, val) = loop {
+                        match current {
+                            Some((left, v)) if left > 0 => break (left, v),
+                            _ => {
+                                let (len, v) = run_iter.next().expect("bitmap/run mismatch");
+                                current = Some((*len, v));
+                            }
+                        }
+                    };
+                    current = Some((left - 1, val));
+                    f(i, Some(val));
+                }
+            }
+            VectorData::Dict { dict, codes } => {
+                let mut cursor = 0usize;
+                for i in 0..self.n_rows {
+                    if self.is_null(i) {
+                        f(i, None);
+                    } else {
+                        f(i, Some(&dict[codes[cursor] as usize]));
+                        cursor += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Integer aggregate of the selected rows in one pass: returns
+    /// `(count, sum, min, max)` over the non-null **integer** values of
+    /// selected rows (string values contribute nothing, mirroring SQL's
+    /// numeric aggregates over our executor's semantics).
+    ///
+    /// With `sel == None` (no predicates — every row selected) the kernel
+    /// short-circuits: a run contributes `run_len × value` to the sum with
+    /// one multiplication, and dictionary columns aggregate per-code counts
+    /// instead of touching rows. Sums use `i128`, so the result is exact
+    /// and independent of accumulation order — which is what lets the
+    /// compressed path and the row-at-a-time reference agree bit for bit.
+    pub fn aggregate_ints(&self, sel: Option<&[bool]>) -> IntAggregate {
+        let mut agg = IntAggregate::default();
+        match (sel, &self.data) {
+            (None, VectorData::Runs(runs)) => {
+                for (len, v) in runs {
+                    if let Value::Int(x) = v {
+                        agg.add_repeated(*x, *len as u64);
+                    }
+                }
+            }
+            (None, VectorData::Dict { dict, codes }) => {
+                let mut counts = vec![0u64; dict.len()];
+                for c in codes {
+                    counts[*c as usize] += 1;
+                }
+                for (v, n) in dict.iter().zip(counts) {
+                    if let (Value::Int(x), true) = (v, n > 0) {
+                        agg.add_repeated(*x, n);
+                    }
+                }
+            }
+            _ => {
+                self.for_each_value(|i, v| {
+                    if sel.map(|s| s[i]).unwrap_or(true) {
+                        if let Some(Value::Int(x)) = v {
+                            agg.add_repeated(*x, 1);
+                        }
+                    }
+                });
+            }
+        }
+        agg
+    }
+}
+
+/// Exact integer aggregate state: count / sum / min / max of `i64` values,
+/// accumulated in `i128` so the result never depends on evaluation order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntAggregate {
+    /// Values aggregated (NULLs and strings excluded).
+    pub count: u64,
+    /// Exact sum.
+    pub sum: i128,
+    /// Minimum, when any value was seen.
+    pub min: Option<i64>,
+    /// Maximum, when any value was seen.
+    pub max: Option<i64>,
+}
+
+impl IntAggregate {
+    /// Fold `n` copies of `x` in (the run shortcut).
+    pub fn add_repeated(&mut self, x: i64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += x as i128 * n as i128;
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Merge another partial aggregate (leaf partials combine in leaf
+    /// order; exactness makes the order irrelevant anyway).
+    pub fn merge(&mut self, other: &IntAggregate) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if let Some(m) = other.min {
+            self.min = Some(self.min.map_or(m, |x| x.min(m)));
+        }
+        if let Some(m) = other.max {
+            self.max = Some(self.max.map_or(m, |x| x.max(m)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::Row;
+    use cadb_common::{ColumnId, TableId};
+    use cadb_compression::analyze::build_dictionaries;
+    use cadb_compression::page::{column_sections, encode_page};
+    use cadb_compression::CompressionKind;
+    use cadb_engine::{PredOp, Predicate};
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int((i / 10) as i64),
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Str(format!("tag{}", i % 3))
+                    },
+                ])
+            })
+            .collect()
+    }
+
+    fn vectors(kind: CompressionKind) -> (Vec<ColumnVector>, Vec<Row>) {
+        let dtypes = vec![DataType::Int, DataType::Char { len: 8 }];
+        let rs = rows(100);
+        let dicts = build_dictionaries(&rs, &dtypes);
+        let ctx = PageContext {
+            dtypes: &dtypes,
+            kind,
+            global_dicts: Some(&dicts),
+        };
+        let page = encode_page(&rs, &ctx).unwrap();
+        let (n, sections) = column_sections(&page.bytes).unwrap();
+        let vecs = sections
+            .iter()
+            .enumerate()
+            .map(|(c, s)| ColumnVector::from_section(s, &dtypes[c], &ctx, c, n).unwrap())
+            .collect();
+        (vecs, rs)
+    }
+
+    #[test]
+    fn materialize_round_trips_every_kind() {
+        for kind in [CompressionKind::None, CompressionKind::Row]
+            .into_iter()
+            .chain(CompressionKind::ALL_COMPRESSED)
+        {
+            let (vecs, rs) = vectors(kind);
+            for (c, v) in vecs.iter().enumerate() {
+                let col: Vec<Value> = rs.iter().map(|r| r.values[c].clone()).collect();
+                assert_eq!(v.materialize(), col, "{kind} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn rle_and_dict_shortcircuit_filter_cost() {
+        let (vecs, _) = vectors(CompressionKind::Rle);
+        // Column 0 has 10 runs of 10 — far fewer predicate evals than rows.
+        assert!(matches!(vecs[0].data(), VectorData::Runs(_)));
+        assert_eq!(vecs[0].filter_cost(), 10);
+
+        let (vecs, _) = vectors(CompressionKind::Page);
+        // Column 1 has 3 distinct strings (plus literals at worst).
+        assert!(matches!(vecs[1].data(), VectorData::Dict { .. }));
+        assert!(vecs[1].filter_cost() <= 6, "{}", vecs[1].filter_cost());
+    }
+
+    #[test]
+    fn filter_matches_row_at_a_time_for_every_kind() {
+        let pred_int = Predicate {
+            table: TableId(0),
+            column: ColumnId(0),
+            op: PredOp::Between,
+            values: vec![Value::Int(2), Value::Int(6)],
+        };
+        let pred_str = Predicate::eq(TableId(0), ColumnId(1), Value::Str("tag1".into()));
+        for kind in [CompressionKind::None, CompressionKind::Row]
+            .into_iter()
+            .chain(CompressionKind::ALL_COMPRESSED)
+        {
+            let (vecs, rs) = vectors(kind);
+            let mut sel = vec![true; rs.len()];
+            vecs[0].filter(&pred_int, &mut sel);
+            vecs[1].filter(&pred_str, &mut sel);
+            let expect: Vec<bool> = rs
+                .iter()
+                .map(|r| {
+                    pred_int.matches_value(&r.values[0]) && pred_str.matches_value(&r.values[1])
+                })
+                .collect();
+            assert_eq!(sel, expect, "{kind}");
+            // Gather returns exactly the selected rows' values.
+            let gathered = vecs[0].gather(&sel);
+            let expect_vals: Vec<Value> = rs
+                .iter()
+                .zip(&expect)
+                .filter(|(_, s)| **s)
+                .map(|(r, _)| r.values[0].clone())
+                .collect();
+            assert_eq!(gathered, expect_vals, "{kind}");
+        }
+    }
+
+    #[test]
+    fn aggregate_shortcut_equals_row_loop() {
+        for kind in CompressionKind::ALL_COMPRESSED {
+            let (vecs, rs) = vectors(kind);
+            let fast = vecs[0].aggregate_ints(None);
+            let mut slow = IntAggregate::default();
+            for r in &rs {
+                if let Value::Int(x) = &r.values[0] {
+                    slow.add_repeated(*x, 1);
+                }
+            }
+            assert_eq!(fast, slow, "{kind}");
+            // Selected subset agrees too.
+            let sel: Vec<bool> = (0..rs.len()).map(|i| i % 2 == 0).collect();
+            let sub = vecs[0].aggregate_ints(Some(&sel));
+            let mut expect = IntAggregate::default();
+            for (r, s) in rs.iter().zip(&sel) {
+                if *s {
+                    if let Value::Int(x) = &r.values[0] {
+                        expect.add_repeated(*x, 1);
+                    }
+                }
+            }
+            assert_eq!(sub, expect, "{kind} selected");
+        }
+    }
+
+    #[test]
+    fn nulls_never_match_and_gather_as_null() {
+        let (vecs, rs) = vectors(CompressionKind::Row);
+        let pred = Predicate {
+            table: TableId(0),
+            column: ColumnId(1),
+            op: PredOp::Neq,
+            values: vec![Value::Str("zzz".into())],
+        };
+        let mut sel = vec![true; rs.len()];
+        vecs[1].filter(&pred, &mut sel);
+        for (i, r) in rs.iter().enumerate() {
+            if r.values[1].is_null() {
+                assert!(!sel[i], "NULL row {i} must not match <>");
+            }
+        }
+        // Gathering with an all-true selection surfaces NULLs as NULL.
+        let all = vec![true; rs.len()];
+        let vals = vecs[1].gather(&all);
+        assert_eq!(vals[0], Value::Null);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the compressed execution kernels: every operator
+//! over compressed pages must equal decompress-then-operate, across all
+//! codecs × 3 seeds, and across `Parallelism` settings.
+//!
+//! The codec paths covered per generated dataset: PLAIN (None), NS (Row),
+//! PAGE (prefix + local dictionary), GDICT (index-wide dictionary, which
+//! may fall back to NS per column), and RLE — the GDICT → NS fallback is
+//! additionally forced by a dedicated high-cardinality test below, so all
+//! six physical column codecs run under the same assertions.
+
+use cadb_common::rng::rng_for;
+use cadb_common::{ColumnId, DataType, Parallelism, Row, TableId, Value};
+use cadb_compression::CompressionKind;
+use cadb_engine::{PredOp, Predicate};
+use cadb_exec::{scan_aggregate, scan_filter, BoundPredicate, ExecMode};
+use cadb_storage::PhysicalIndex;
+use proptest::prelude::*;
+use rand::Rng;
+
+const SEEDS: [u64; 3] = [101, 202, 303];
+
+const KINDS: [CompressionKind; 5] = [
+    CompressionKind::None,
+    CompressionKind::Row,
+    CompressionKind::Page,
+    CompressionKind::GlobalDict,
+    CompressionKind::Rle,
+];
+
+fn dtypes() -> Vec<DataType> {
+    vec![DataType::Int, DataType::Char { len: 8 }, DataType::Int]
+}
+
+/// Seeded random rows: a skewed int column, a nullable low-cardinality
+/// string column, and a wide-range int column.
+fn gen_rows(seed: u64, n: usize, int_mod: i64, str_card: u64, null_every: usize) -> Vec<Row> {
+    let mut rng = rng_for(seed, "exec-prop");
+    let mut rows: Vec<Row> = (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(rng.gen_range(0..int_mod.max(1))),
+                if i % null_every == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(format!("s{}", rng.gen_range(0..str_card.max(1))))
+                },
+                Value::Int(rng.gen_range(-1000..1000)),
+            ])
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn predicate(pred_kind: usize, bound: i64) -> Predicate {
+    let (op, values) = match pred_kind {
+        0 => (PredOp::Eq, vec![Value::Int(bound)]),
+        1 => (PredOp::Lt, vec![Value::Int(bound)]),
+        2 => (PredOp::Ge, vec![Value::Int(bound)]),
+        3 => (
+            PredOp::Between,
+            vec![Value::Int(bound), Value::Int(bound + 5)],
+        ),
+        _ => (PredOp::Neq, vec![Value::Int(bound)]),
+    };
+    Predicate {
+        table: TableId(0),
+        column: ColumnId(0),
+        op,
+        values,
+    }
+}
+
+proptest! {
+    #[test]
+    fn filter_over_compressed_equals_decompress_then_filter(
+        n in 60usize..220,
+        int_mod in 1i64..40,
+        str_card in 1u64..6,
+        null_every in 2usize..12,
+        pred_kind in 0usize..5,
+        bound in 0i64..40,
+    ) {
+        for seed in SEEDS {
+            let rows = gen_rows(seed, n, int_mod, str_card, null_every);
+            let preds = vec![
+                BoundPredicate { col: 0, pred: predicate(pred_kind, bound) },
+                BoundPredicate {
+                    col: 1,
+                    pred: Predicate::eq(TableId(0), ColumnId(1), Value::Str("s1".into())),
+                },
+            ];
+            for kind in KINDS {
+                let ix = PhysicalIndex::build(&rows, &dtypes(), 1, kind).unwrap();
+                let (reference, _) =
+                    scan_filter(&ix, &preds, Parallelism::Serial, ExecMode::Reference).unwrap();
+                let (serial, _) =
+                    scan_filter(&ix, &preds, Parallelism::Serial, ExecMode::Compressed).unwrap();
+                prop_assert_eq!(&serial, &reference, "{} seed {}", kind, seed);
+                let (auto, _) =
+                    scan_filter(&ix, &preds, Parallelism::Auto, ExecMode::Compressed).unwrap();
+                prop_assert_eq!(&auto, &reference, "{} auto seed {}", kind, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_over_compressed_equals_decompress_then_aggregate(
+        n in 60usize..220,
+        int_mod in 1i64..12,
+        str_card in 1u64..5,
+        null_every in 2usize..9,
+        with_pred in 0usize..2,
+        bound in 0i64..12,
+    ) {
+        for seed in SEEDS {
+            let rows = gen_rows(seed, n, int_mod, str_card, null_every);
+            let preds: Vec<BoundPredicate> = if with_pred == 1 {
+                vec![BoundPredicate { col: 0, pred: predicate(1, bound) }]
+            } else {
+                Vec::new()
+            };
+            for kind in KINDS {
+                let ix = PhysicalIndex::build(&rows, &dtypes(), 1, kind).unwrap();
+                for col in [0usize, 2] {
+                    let (r_agg, r_n, _) = scan_aggregate(
+                        &ix, col, &preds, Parallelism::Serial, ExecMode::Reference,
+                    ).unwrap();
+                    let (c_agg, c_n, _) = scan_aggregate(
+                        &ix, col, &preds, Parallelism::Serial, ExecMode::Compressed,
+                    ).unwrap();
+                    prop_assert_eq!(c_agg, r_agg, "{} col {} seed {}", kind, col, seed);
+                    prop_assert_eq!(c_n, r_n);
+                    let (a_agg, a_n, _) = scan_aggregate(
+                        &ix, col, &preds, Parallelism::Auto, ExecMode::Compressed,
+                    ).unwrap();
+                    prop_assert_eq!(a_agg, r_agg, "{} col {} auto", kind, col);
+                    prop_assert_eq!(a_n, r_n);
+                }
+            }
+        }
+    }
+}
+
+/// Force the sixth codec path — GDICT's per-column fallback to NS — and
+/// hold the same equivalence: >255 distinct values push the id width to 2
+/// bytes while blank-suppressed values stay cheaper, so the encoder falls
+/// back per column.
+#[test]
+fn gdict_ns_fallback_path_is_equivalent() {
+    let dtypes = vec![DataType::Int, DataType::Char { len: 4 }];
+    // The first 600 rows carry 400 distinct strings (pushing the global
+    // dictionary's id width to 2 bytes); everything after is blank, so the
+    // later pages' NULL-suppressed blocks (2 bytes/value) undercut the
+    // dictionary ids (2 bytes/value + header) and the encoder falls back.
+    let rows: Vec<Row> = (0..4000)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                if i < 600 {
+                    Value::Str(format!("{:03}", i % 400))
+                } else {
+                    Value::Str(String::new())
+                },
+            ])
+        })
+        .collect();
+    let ix = PhysicalIndex::build(&rows, &dtypes, 1, CompressionKind::GlobalDict).unwrap();
+    // Confirm the fallback actually happened on at least one leaf/column.
+    let mut saw_ns_fallback = false;
+    for leaf in ix.page_cursor() {
+        let (_, sections) = cadb_compression::column_sections(leaf.bytes).unwrap();
+        if sections
+            .iter()
+            .any(|s| s.tag == cadb_compression::page::tag::NS)
+        {
+            saw_ns_fallback = true;
+            break;
+        }
+    }
+    assert!(saw_ns_fallback, "test data failed to trigger the fallback");
+    let preds = vec![BoundPredicate {
+        col: 1,
+        pred: Predicate::eq(TableId(0), ColumnId(1), Value::Str(String::new())),
+    }];
+    let (reference, _) =
+        scan_filter(&ix, &preds, Parallelism::Serial, ExecMode::Reference).unwrap();
+    assert!(!reference.is_empty());
+    for par in [Parallelism::Serial, Parallelism::Auto] {
+        let (compressed, _) = scan_filter(&ix, &preds, par, ExecMode::Compressed).unwrap();
+        assert_eq!(compressed, reference, "{par:?}");
+    }
+}

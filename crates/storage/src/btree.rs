@@ -168,6 +168,24 @@ impl PhysicalIndex {
         }
     }
 
+    /// The page-codec context of this index (column types, method,
+    /// dictionaries) — everything needed to interpret the encoded leaf
+    /// bytes a [`PageCursor`] yields.
+    pub fn page_context(&self) -> PageContext<'_> {
+        self.ctx()
+    }
+
+    /// Cursor over the **encoded** leaf pages in key order, without
+    /// decoding anything. This is the entry point for executors that
+    /// operate directly on compressed pages (see `cadb-exec`); pair each
+    /// leaf with [`Self::page_context`] to interpret it.
+    pub fn page_cursor(&self) -> PageCursor<'_> {
+        PageCursor {
+            leaves: &self.leaves,
+            next: 0,
+        }
+    }
+
     /// Decode and return all rows of one leaf page.
     pub fn decode_leaf(&self, leaf: usize) -> Result<Vec<Row>> {
         decode_page(&self.leaves[leaf].bytes, &self.ctx())
@@ -247,6 +265,48 @@ impl PhysicalIndex {
         Ok(self.range_scan(Some(key), Some(key))?.0)
     }
 }
+
+/// Borrowed view of one encoded leaf page, yielded by
+/// [`PhysicalIndex::page_cursor`].
+#[derive(Debug, Clone, Copy)]
+pub struct LeafPage<'a> {
+    /// Leaf ordinal within the index (key order).
+    pub ordinal: usize,
+    /// The encoded page bytes (interpret with
+    /// [`PhysicalIndex::page_context`]).
+    pub bytes: &'a [u8],
+    /// Rows stored in this leaf.
+    pub n_rows: usize,
+}
+
+/// Iterator over an index's encoded leaves in key order, without decoding.
+#[derive(Debug, Clone)]
+pub struct PageCursor<'a> {
+    leaves: &'a [EncodedPage],
+    next: usize,
+}
+
+impl<'a> Iterator for PageCursor<'a> {
+    type Item = LeafPage<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let leaf = self.leaves.get(self.next)?;
+        let ordinal = self.next;
+        self.next += 1;
+        Some(LeafPage {
+            ordinal,
+            bytes: &leaf.bytes,
+            n_rows: leaf.n_rows,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.leaves.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PageCursor<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -364,6 +424,23 @@ mod tests {
         rows.reverse();
         let ix = PhysicalIndex::build(&rows, &dtypes(), 0, CompressionKind::Row).unwrap();
         assert_eq!(ix.scan().unwrap(), rows);
+    }
+
+    #[test]
+    fn page_cursor_walks_every_leaf_without_decoding() {
+        let rows = sorted_rows(3000);
+        let ix = PhysicalIndex::build(&rows, &dtypes(), 1, CompressionKind::Rle).unwrap();
+        let cursor = ix.page_cursor();
+        assert_eq!(cursor.len(), ix.n_leaf_pages());
+        let mut total_rows = 0usize;
+        for (i, leaf) in ix.page_cursor().enumerate() {
+            assert_eq!(leaf.ordinal, i);
+            total_rows += leaf.n_rows;
+            // The raw bytes decode to exactly the rows decode_leaf reports.
+            let decoded = cadb_compression::decode_page(leaf.bytes, &ix.page_context()).unwrap();
+            assert_eq!(decoded, ix.decode_leaf(i).unwrap());
+        }
+        assert_eq!(total_rows, ix.n_rows());
     }
 
     #[test]

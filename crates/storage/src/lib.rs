@@ -13,6 +13,6 @@ pub mod btree;
 pub mod heap;
 pub mod table;
 
-pub use btree::PhysicalIndex;
+pub use btree::{LeafPage, PageCursor, PhysicalIndex};
 pub use heap::Heap;
 pub use table::Table;

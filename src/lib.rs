@@ -104,6 +104,48 @@
 //! setting; custom strategies should preserve that property (the
 //! what-if optimizer's batched entry points make it easy — see
 //! `cadb::common::par`).
+//!
+//! ## Executing a recommendation
+//!
+//! Everything above *estimates*. [`TuningSession::execute`] closes the
+//! loop: it materializes a [`core::Recommendation`]'s configuration into
+//! **real** compressed structures, runs the workload's queries over them
+//! with the vectorized compressed executor in [`exec`], and returns a
+//! [`exec::MeasuredReport`] placing measured sizes and row counts next to
+//! the advisor's estimates:
+//!
+//! ```
+//! use cadb::datagen::TpchGen;
+//! use cadb::TuningSession;
+//!
+//! let gen = TpchGen::new(0.01);
+//! let db = gen.build().unwrap();
+//! let workload = gen.workload(&db).unwrap();
+//!
+//! let session = TuningSession::new(&db)
+//!     .workload(&workload)
+//!     .budget_fraction(0.3);
+//! let rec = session.run().unwrap();
+//! let actuals = session.execute(&rec).unwrap();
+//!
+//! // Every query ran over compressed pages AND over the
+//! // decompress-then-execute reference, bit-identically:
+//! assert!(actuals.all_queries_verified());
+//! // Each recommended structure now has a measured size beside its
+//! // estimate:
+//! for s in &actuals.structures {
+//!     assert!(s.measured_rows > 0);
+//!     let _signed_relative_error = s.size_error();
+//! }
+//! ```
+//!
+//! The executor runs scan/filter/aggregate kernels **directly over
+//! compressed pages** — predicates are evaluated once per RLE run or
+//! dictionary entry instead of once per row — and every scan batches
+//! leaves over `cadb::common::par` under the same determinism contract as
+//! the estimation pipeline. The measured residuals feed back into the
+//! error model via [`core::ErrorModel::calibrate_samplecf`]; `repro --
+//! exec` prints the full estimated-vs-actual table.
 
 mod session;
 
@@ -112,6 +154,7 @@ pub use cadb_compression as compression;
 pub use cadb_core as core;
 pub use cadb_datagen as datagen;
 pub use cadb_engine as engine;
+pub use cadb_exec as exec;
 pub use cadb_sampling as sampling;
 pub use cadb_sql as sql;
 pub use cadb_stats as stats;

@@ -29,6 +29,7 @@
 use cadb_core::strategy::{CandidateSelection, EnumerationStrategy, SizeEstimator, StrategySet};
 use cadb_core::{Advisor, AdvisorOptions, FeatureSet, PlannerOptions, Recommendation};
 use cadb_engine::{Database, Parallelism, Workload};
+use cadb_exec::{MeasuredReport, MeasuredRun};
 use std::sync::Arc;
 
 use cadb_common::{CadbError, Result};
@@ -214,6 +215,39 @@ impl<'a> TuningSession<'a> {
             )
         })?;
         Advisor::new(self.db, self.options.clone()).recommend_with(workload, &self.strategies())
+    }
+
+    /// Materialize a recommendation into **real** compressed structures,
+    /// execute the session's workload over them with the vectorized
+    /// compressed executor (verified against the decompress-then-execute
+    /// reference), and report measured sizes and row counts next to the
+    /// advisor's estimates — the estimated-vs-actual loop, closed.
+    ///
+    /// ```
+    /// use cadb::datagen::TpchGen;
+    /// use cadb::TuningSession;
+    ///
+    /// let gen = TpchGen::new(0.01);
+    /// let db = gen.build().unwrap();
+    /// let workload = gen.workload(&db).unwrap();
+    ///
+    /// let session = TuningSession::new(&db)
+    ///     .workload(&workload)
+    ///     .budget_fraction(0.3);
+    /// let rec = session.run().unwrap();
+    /// let actuals = session.execute(&rec).unwrap();
+    /// assert!(actuals.all_queries_verified());
+    /// assert!(actuals.total_size_error().abs() < 1.0);
+    /// ```
+    pub fn execute(&self, rec: &Recommendation) -> Result<MeasuredReport> {
+        let workload = self.workload.ok_or_else(|| {
+            CadbError::InvalidArgument(
+                "TuningSession needs a workload — call .workload(&w) before .execute()".to_string(),
+            )
+        })?;
+        MeasuredRun::new(self.db, workload)
+            .with_parallelism(self.options.parallelism)
+            .execute(&rec.configuration)
     }
 }
 

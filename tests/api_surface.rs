@@ -23,7 +23,7 @@ use std::path::{Path, PathBuf};
 
 /// Library roots the facade exposes (shims and the bench harness are
 /// internal and deliberately excluded).
-const ROOTS: [&str; 10] = [
+const ROOTS: [&str; 11] = [
     "src",
     "crates/common/src",
     "crates/compression/src",
@@ -31,6 +31,7 @@ const ROOTS: [&str; 10] = [
     "crates/stats/src",
     "crates/sql/src",
     "crates/engine/src",
+    "crates/exec/src",
     "crates/sampling/src",
     "crates/datagen/src",
     "crates/core/src",
