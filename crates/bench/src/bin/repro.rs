@@ -21,6 +21,9 @@
 //!   advise    one DTAc tuning run (machine-readable with --json)
 //!   exec      estimated vs MEASURED: build + execute the recommendation
 //!             on TPC-H and TPC-DS (machine-readable with --json)
+//!   plan      access-path planner actuals: which path each query took
+//!             (base / covering-index seek / MV), estimated vs measured
+//!             rows per path class (machine-readable with --json)
 //!   all       everything above (default)
 //!
 //! --json    emit machine-readable reports (Recommendation +
@@ -33,7 +36,7 @@ use cadb_bench::experiments::designs::{
 };
 use cadb_bench::experiments::{
     advise, calibration, estimation_runtime, exec_actuals, graph_quality, motivating, mv_rows,
-    par_speedup,
+    par_speedup, plan,
 };
 use cadb_core::FeatureSet;
 use std::time::Instant;
@@ -255,6 +258,30 @@ fn run(which: &str, scale: f64, json: bool) {
             );
         }
     }
+    if all || which == "plan" {
+        let (db, w) = tpch(scale);
+        let ds_gen = cadb_datagen::TpcdsGen::new(scale);
+        let ds_db = ds_gen.build().expect("TPC-DS generation");
+        let ds_w = ds_gen.workload(&ds_db).expect("TPC-DS workload");
+        if json {
+            println!(
+                "{}",
+                plan::plan_json(&[("tpch", &db, &w), ("tpcds", &ds_db, &ds_w)], scale)
+            );
+        } else {
+            for (name, d, wl) in [("TPC-H", &db, &w), ("TPC-DS", &ds_db, &ds_w)] {
+                let dtac = plan::measure_plan(d, wl, &plan::dtac_config(d, wl));
+                let rich = plan::measure_plan(d, wl, &plan::index_rich_config(d, wl));
+                println!("{}", plan::plan_table(name, "DTAc rec", &dtac).render());
+                println!("{}", plan::plan_table(name, "index-rich", &rich).render());
+                println!(
+                    "{}",
+                    plan::path_bias_table(name, &[("DTAc rec", &dtac), ("index-rich", &rich)])
+                        .render()
+                );
+            }
+        }
+    }
     let known = [
         "all",
         "table1",
@@ -273,6 +300,7 @@ fn run(which: &str, scale: f64, json: bool) {
         "par",
         "advise",
         "exec",
+        "plan",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment '{which}'; one of: {}", known.join(", "));

@@ -9,6 +9,7 @@ pub mod graph_quality;
 pub mod motivating;
 pub mod mv_rows;
 pub mod par_speedup;
+pub mod plan;
 
 use cadb_common::ColumnId;
 use cadb_engine::IndexSpec;

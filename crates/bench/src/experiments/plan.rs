@@ -1,0 +1,275 @@
+//! `plan` — the access-path planner experiment: execute the workload under
+//! the DTAc recommendation **and** under an index-rich configuration, and
+//! record which access path each query actually took, with
+//! estimated-vs-measured output rows per path class.
+//!
+//! Two configurations per dataset:
+//!
+//! * the advisor's own DTAc recommendation at a 30 % budget (what
+//!   `repro -- exec` measures) — showing how often the advisor's
+//!   structures actually carry queries, and
+//! * an *index-rich* configuration (one compressed covering secondary
+//!   index per query, keyed on its predicate columns) — the planner's
+//!   showcase, where seeks and covering scans should dominate.
+//!
+//! Every execution stays verified against the decompress-then-execute
+//! reference; the planner is not allowed to buy speed with wrong answers.
+
+use crate::report::Table;
+use cadb_common::json::{JsonArray, JsonObject};
+use cadb_common::ColumnId;
+use cadb_compression::CompressionKind;
+use cadb_core::{Advisor, AdvisorOptions, ErrorModel, PathClass, QueryPathResidual};
+use cadb_engine::access_path::needed_columns;
+use cadb_engine::{
+    Configuration, Database, IndexSpec, PhysicalStructure, WhatIfOptimizer, Workload,
+};
+use cadb_exec::{MeasuredReport, MeasuredRun};
+
+/// Budget fraction for the advisor-recommendation variant (same as `exec`).
+const BUDGET_FRACTION: f64 = 0.3;
+
+/// One compressed covering secondary index per query, keyed on its
+/// predicate columns — a configuration in which the planner has a real
+/// choice for every query (mirrors `tests/plan_equivalence.rs`).
+pub fn index_rich_config(db: &Database, w: &Workload) -> Configuration {
+    let opt = WhatIfOptimizer::new(db);
+    let mut cfg = Configuration::empty();
+    for (q, _) in w.queries() {
+        let t = q.root;
+        let preds = q.predicates_on(t);
+        let Some(first) = preds.first() else { continue };
+        let mut key = vec![first.column];
+        for p in preds.iter().skip(1) {
+            if !key.contains(&p.column) {
+                key.push(p.column);
+            }
+        }
+        let includes: Vec<ColumnId> = needed_columns(q, t)
+            .into_iter()
+            .filter(|c| !key.contains(c))
+            .collect();
+        let spec = IndexSpec::secondary(t, key)
+            .with_includes(includes)
+            .with_compression(CompressionKind::Row);
+        let size = opt.estimate_uncompressed_size(&spec).compressed(0.5);
+        cfg.add(PhysicalStructure { spec, size });
+    }
+    cfg
+}
+
+/// Execute the workload under a configuration and report per-query paths.
+pub fn measure_plan(db: &Database, w: &Workload, cfg: &Configuration) -> MeasuredReport {
+    MeasuredRun::new(db, w).execute(cfg).expect("measured run")
+}
+
+/// The DTAc recommendation for a dataset (the `exec` experiment's config).
+pub fn dtac_config(db: &Database, w: &Workload) -> Configuration {
+    let budget = BUDGET_FRACTION * db.base_data_bytes() as f64;
+    Advisor::new(db, AdvisorOptions::dtac(budget))
+        .recommend(w)
+        .expect("advisor run")
+        .configuration
+}
+
+/// Map a report's per-query actuals onto path-class residuals for the
+/// error-model summary.
+pub fn path_residuals(report: &MeasuredReport) -> Vec<QueryPathResidual> {
+    report
+        .queries
+        .iter()
+        .map(|q| QueryPathResidual {
+            path: if !q.non_base {
+                PathClass::Base
+            } else if q.uses_mv {
+                PathClass::MaterializedView
+            } else {
+                PathClass::SecondaryIndex
+            },
+            estimated_rows: q.estimated_rows_out,
+            measured_rows: q.rows_out as f64,
+        })
+        .collect()
+}
+
+/// Per-query access-path table for one dataset × configuration.
+pub fn plan_table(name: &str, variant: &str, report: &MeasuredReport) -> Table {
+    let mut t = Table::new(
+        format!("plan: {name} per-query access paths ({variant})"),
+        &[
+            "q#",
+            "path",
+            "est rows",
+            "meas rows",
+            "err %",
+            "pages planned",
+            "pages base",
+            "verified",
+        ],
+    );
+    for (i, q) in report.queries.iter().enumerate() {
+        let mut path = q.path.clone();
+        if path.len() > 48 {
+            path.truncate(45);
+            path.push_str("...");
+        }
+        t.row(vec![
+            format!("q{i}"),
+            path,
+            format!("{:.0}", q.estimated_rows_out),
+            format!("{}", q.rows_out),
+            format!("{:+.0}", 100.0 * q.rows_error()),
+            format!("{}", q.pages_scanned),
+            format!("{}", q.pages_scanned_base),
+            if q.matches_reference { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    let non_base = report.queries.iter().filter(|q| q.non_base).count();
+    let pages_planned: usize = report.queries.iter().map(|q| q.pages_scanned).sum();
+    let pages_base: usize = report.queries.iter().map(|q| q.pages_scanned_base).sum();
+    t.row(vec![
+        format!(
+            "TOTAL: {}/{} non-base, pages {} planned vs {} forced-base ({:.2}x)",
+            non_base,
+            report.queries.len(),
+            pages_planned,
+            pages_base,
+            pages_base as f64 / pages_planned.max(1) as f64
+        ),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    let maintenance = match report.mv_maintenance_cost {
+        Some(c) => format!("MV maintenance (what-if): {c:.1}"),
+        None => {
+            "MV maintenance: n/a — workload has no INSERTs (reported as None, not 0)".to_string()
+        }
+    };
+    t.row(vec![
+        maintenance,
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+/// Row-estimate bias by path class (geometric mean of estimated/measured).
+pub fn path_bias_table(name: &str, reports: &[(&str, &MeasuredReport)]) -> Table {
+    let mut t = Table::new(
+        format!("plan: {name} row-estimate bias by chosen path class"),
+        &["variant", "path", "geomean est/meas", "queries"],
+    );
+    for (variant, report) in reports {
+        for (class, gm, n) in ErrorModel::rows_bias_by_path(&path_residuals(report)) {
+            t.row(vec![
+                variant.to_string(),
+                class.name().to_string(),
+                format!("{gm:.3}"),
+                format!("{n}"),
+            ]);
+        }
+    }
+    t
+}
+
+/// Machine-readable form of the whole experiment.
+pub fn plan_json(datasets: &[(&str, &Database, &Workload)], scale: f64) -> String {
+    let mut arr = JsonArray::new();
+    for (name, db, w) in datasets {
+        let mut variants = JsonArray::new();
+        for (variant, cfg) in [
+            ("dtac", dtac_config(db, w)),
+            ("index-rich", index_rich_config(db, w)),
+        ] {
+            let report = measure_plan(db, w, &cfg);
+            let mut bias = JsonArray::new();
+            for (class, gm, n) in ErrorModel::rows_bias_by_path(&path_residuals(&report)) {
+                bias.push_raw(
+                    &JsonObject::new()
+                        .str("path", class.name())
+                        .num("geomean_est_over_meas", gm)
+                        .int("queries", n as i64)
+                        .finish(),
+                );
+            }
+            variants.push_raw(
+                &JsonObject::new()
+                    .str("variant", variant)
+                    .int(
+                        "non_base_queries",
+                        report.queries.iter().filter(|q| q.non_base).count() as i64,
+                    )
+                    .raw("rows_bias_by_path", &bias.finish())
+                    .raw("measured", &report.to_json())
+                    .finish(),
+            );
+        }
+        arr.push_raw(
+            &JsonObject::new()
+                .str("dataset", name)
+                .raw("variants", &variants.finish())
+                .finish(),
+        );
+    }
+    JsonObject::new()
+        .str("experiment", "plan")
+        .num("scale", scale)
+        .num("budget_fraction", BUDGET_FRACTION)
+        .raw("datasets", &arr.finish())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_experiment_reports_non_base_paths_verified() {
+        let gen = cadb_datagen::TpchGen::new(0.01);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        let cfg = index_rich_config(&db, &w);
+        let report = measure_plan(&db, &w, &cfg);
+        assert!(report.all_queries_verified());
+        let non_base = report.queries.iter().filter(|q| q.non_base).count();
+        assert!(non_base >= 1, "index-rich config never used");
+        // TPC-H's workload has INSERTs → maintenance is measurable.
+        assert!(report.mv_maintenance_cost.is_some());
+        let table = plan_table("tpch", "index-rich", &report);
+        assert!(table.render().contains("non-base"));
+        let bias = path_bias_table("tpch", &[("index-rich", &report)]);
+        assert!(bias.render().contains("geomean"));
+        let json = plan_json(&[("tpch", &db, &w)], 0.01);
+        assert!(json.contains("\"experiment\":\"plan\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn select_only_workload_flags_unmeasured_mv_maintenance() {
+        let gen = cadb_datagen::TpchGen::new(0.01);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        // Strip the INSERTs: maintenance must come back as None, and the
+        // table must say so instead of printing a silent zero.
+        let mut select_only = Workload::default();
+        for (s, weight) in &w.statements {
+            if matches!(s, cadb_engine::Statement::Select(_)) {
+                select_only.push(s.clone(), *weight);
+            }
+        }
+        let report = measure_plan(&db, &select_only, &Configuration::empty());
+        assert!(report.mv_maintenance_cost.is_none());
+        let table = plan_table("tpch", "empty", &report);
+        assert!(table.render().contains("no INSERTs"));
+    }
+}

@@ -35,5 +35,6 @@ pub use analyze::{compressed_index_size, CompressionMeasurement};
 pub use global_dict::GlobalDictionary;
 pub use method::CompressionKind;
 pub use page::{
-    column_sections, decode_page, encode_page, ColumnSection, EncodedPage, PageContext,
+    column_sections, decode_column_values_range, decode_page, encode_page, ColumnSection,
+    EncodedPage, PageContext,
 };

@@ -55,6 +55,58 @@ pub struct MeasuredResidual {
     pub ratio: f64,
 }
 
+/// Which class of access path the compressed executor chose for a query —
+/// the path-choice axis of the measured residuals. The what-if optimizer's
+/// row estimates feed different cost terms depending on the path actually
+/// taken (full scan, index seek, MV scan), so calibration wants the
+/// residuals split this way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PathClass {
+    /// Full scan of the base structure.
+    Base,
+    /// Covering secondary index (scan or key-range seek).
+    SecondaryIndex,
+    /// A matching MV index answered the whole query.
+    MaterializedView,
+}
+
+impl PathClass {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathClass::Base => "base",
+            PathClass::SecondaryIndex => "index",
+            PathClass::MaterializedView => "mv",
+        }
+    }
+}
+
+/// One measured per-query residual of the optimizer's cardinality model
+/// against executed truth: estimated output rows vs the rows the chosen
+/// access path actually produced, tagged with the path class that
+/// produced them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryPathResidual {
+    /// The access path the executor's planner chose.
+    pub path: PathClass,
+    /// Optimizer-estimated output rows.
+    pub estimated_rows: f64,
+    /// Rows the executed query actually produced.
+    pub measured_rows: f64,
+}
+
+impl QueryPathResidual {
+    /// `estimated / measured` ratio (1.0 = perfect; 1.0 when nothing was
+    /// measured, so empty queries don't skew a geometric summary).
+    pub fn ratio(&self) -> f64 {
+        if self.measured_rows <= 0.0 {
+            1.0
+        } else {
+            self.estimated_rows / self.measured_rows
+        }
+    }
+}
+
 /// Per-method error coefficients, in the paper's `c · ln(f)` /
 /// `c · a` forms.
 #[derive(Debug, Clone)]
@@ -187,6 +239,32 @@ impl ErrorModel {
         model
     }
 
+    /// Summarize per-query row residuals by path class: for each class
+    /// with observations, the geometric-mean `estimated/measured` ratio
+    /// and the observation count, in [`PathClass`] order. The geometric
+    /// mean matches the multiplicative error model everywhere else in
+    /// this module (§5.1's `X = estimate/truth`).
+    pub fn rows_bias_by_path(residuals: &[QueryPathResidual]) -> Vec<(PathClass, f64, usize)> {
+        let mut out = Vec::new();
+        for class in [
+            PathClass::Base,
+            PathClass::SecondaryIndex,
+            PathClass::MaterializedView,
+        ] {
+            let ratios: Vec<f64> = residuals
+                .iter()
+                .filter(|r| r.path == class)
+                .map(|r| r.ratio().max(1e-12))
+                .collect();
+            if ratios.is_empty() {
+                continue;
+            }
+            let gm = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            out.push((class, gm, ratios.len()));
+        }
+        out
+    }
+
     /// Fit a `c · ln(f)` coefficient by least squares through the origin
     /// (in `ln f`), given `(f, observed)` pairs — the Appendix C
     /// calibration procedure, exposed so the Figure 9 experiment can re-fit
@@ -226,6 +304,46 @@ impl ErrorModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rows_bias_by_path_splits_and_averages_geometrically() {
+        let res = [
+            QueryPathResidual {
+                path: PathClass::Base,
+                estimated_rows: 20.0,
+                measured_rows: 10.0,
+            },
+            QueryPathResidual {
+                path: PathClass::Base,
+                estimated_rows: 5.0,
+                measured_rows: 10.0,
+            },
+            QueryPathResidual {
+                path: PathClass::SecondaryIndex,
+                estimated_rows: 30.0,
+                measured_rows: 10.0,
+            },
+            // Zero measured rows must not skew the summary.
+            QueryPathResidual {
+                path: PathClass::SecondaryIndex,
+                estimated_rows: 4.0,
+                measured_rows: 0.0,
+            },
+        ];
+        let summary = ErrorModel::rows_bias_by_path(&res);
+        assert_eq!(summary.len(), 2); // no MV observations
+        let (class, gm, n) = summary[0];
+        assert_eq!(class, PathClass::Base);
+        assert_eq!(n, 2);
+        // geomean(2.0, 0.5) = 1.0.
+        assert!((gm - 1.0).abs() < 1e-12, "{gm}");
+        let (class, gm, n) = summary[1];
+        assert_eq!(class, PathClass::SecondaryIndex);
+        assert_eq!(n, 2);
+        // geomean(3.0, 1.0) = √3.
+        assert!((gm - 3f64.sqrt()).abs() < 1e-12, "{gm}");
+        assert_eq!(class.name(), "index");
+    }
 
     #[test]
     fn samplecf_error_shrinks_with_f() {

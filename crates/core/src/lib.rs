@@ -61,7 +61,9 @@ pub mod planner;
 pub mod strategy;
 
 pub use advisor::{Advisor, AdvisorOptions, FeatureSet, Recommendation};
-pub use error_model::{ErrorModel, EstimateDistribution, MeasuredResidual};
+pub use error_model::{
+    ErrorModel, EstimateDistribution, MeasuredResidual, PathClass, QueryPathResidual,
+};
 pub use estimation_graph::{EstimationGraph, NodeState};
 pub use planner::{EstimationPlanner, PlannerOptions, SizeEstimationReport};
 pub use strategy::{

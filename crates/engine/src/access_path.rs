@@ -15,7 +15,7 @@ use crate::config::{Configuration, IndexSpec, PhysicalStructure};
 use crate::cost::CostModel;
 use crate::predicate::Predicate;
 use crate::stmt::Query;
-use cadb_common::{ColumnId, TableId};
+use cadb_common::{ColumnId, TableId, Value};
 use cadb_compression::CompressionKind;
 use std::collections::BTreeSet;
 
@@ -65,6 +65,93 @@ pub fn sargable_prefix(db: &Database, preds: &[&Predicate], key_cols: &[ColumnId
     (sel, used)
 }
 
+/// An inclusive lexicographic key-prefix interval `[lo, hi]` implied by a
+/// conjunction of predicates on an index's leading key columns — what an
+/// executor seeks with (see [`extract_key_range`]).
+///
+/// `lo` and `hi` are value prefixes over the index's key columns; they may
+/// have different lengths (an equality on the first key column followed by
+/// a one-sided range on the second yields e.g. `lo = [v0, b]`, `hi = [v0]`).
+/// An empty side means unbounded on that side. The interval is
+/// **conservative**: every row matching the consumed predicates lies inside
+/// it, but rows inside it may still fail the predicates (open bounds are
+/// widened to closed ones, IN-lists to their min/max span), so a scan must
+/// re-apply the predicates to the rows it reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyRange {
+    /// Inclusive lower-bound prefix (empty = unbounded below).
+    pub lo: Vec<Value>,
+    /// Inclusive upper-bound prefix (empty = unbounded above).
+    pub hi: Vec<Value>,
+    /// Number of predicates consumed into the range.
+    pub consumed: usize,
+}
+
+impl KeyRange {
+    /// `true` when neither side constrains the scan.
+    pub fn is_unbounded(&self) -> bool {
+        self.lo.is_empty() && self.hi.is_empty()
+    }
+}
+
+/// Extract the key-prefix range a conjunction of single-column predicates
+/// implies on `key_cols` (the leading key columns of an index, in order) —
+/// the predicate→key-range bridge the compressed executor's access-path
+/// planner pushes into [`cadb_storage`]-level range scans.
+///
+/// Walks the key columns left to right: a single-value equality pins the
+/// column and lets the prefix continue; a sargable range predicate (or a
+/// multi-value IN-list, widened to its min/max span) terminates the prefix.
+/// Returns `None` when no predicate constrains the leading key column.
+pub fn extract_key_range(preds: &[&Predicate], key_cols: &[ColumnId]) -> Option<KeyRange> {
+    let mut lo: Vec<Value> = Vec::new();
+    let mut hi: Vec<Value> = Vec::new();
+    let mut consumed = 0usize;
+    for key in key_cols {
+        // A single-value equality extends both bounds and continues.
+        if let Some(p) = preds
+            .iter()
+            .find(|p| p.column == *key && p.is_equality() && p.values.len() == 1)
+        {
+            lo.push(p.values[0].clone());
+            hi.push(p.values[0].clone());
+            consumed += 1;
+            continue;
+        }
+        // A multi-value IN-list: widen to its min/max span and stop
+        // (members between the bounds are re-checked by the filter).
+        if let Some(p) = preds
+            .iter()
+            .find(|p| p.column == *key && p.is_equality() && !p.values.is_empty())
+        {
+            lo.push(p.values.iter().min().expect("non-empty").clone());
+            hi.push(p.values.iter().max().expect("non-empty").clone());
+            consumed += 1;
+            break;
+        }
+        // A range predicate terminates the prefix; only the bounded sides
+        // extend (a one-sided range leaves the other side as-is).
+        if let Some(p) = preds
+            .iter()
+            .find(|p| p.column == *key && p.is_sargable() && !p.is_equality())
+        {
+            let (l, h) = p.bounds();
+            if let Some(l) = l {
+                lo.push(l.clone());
+            }
+            if let Some(h) = h {
+                hi.push(h.clone());
+            }
+            consumed += 1;
+        }
+        break;
+    }
+    if consumed == 0 {
+        return None;
+    }
+    Some(KeyRange { lo, hi, consumed })
+}
+
 /// Columns of `table` the query needs to read (projection + all predicate
 /// columns).
 pub fn needed_columns(q: &Query, table: TableId) -> BTreeSet<ColumnId> {
@@ -76,8 +163,10 @@ pub fn needed_columns(q: &Query, table: TableId) -> BTreeSet<ColumnId> {
 }
 
 /// Whether a partial index is usable for the query: its filter must be one
-/// of the query's own conjuncts (conservative implication check).
-fn partial_usable(spec: &IndexSpec, q: &Query) -> bool {
+/// of the query's own conjuncts (conservative implication check). Shared
+/// by the what-if pricing here and the compressed executor's access-path
+/// planner — the two must agree on partial-index eligibility.
+pub fn partial_usable(spec: &IndexSpec, q: &Query) -> bool {
     match &spec.partial_filter {
         None => true,
         Some(f) => q.predicates.iter().any(|p| p == f),
@@ -518,6 +607,62 @@ mod tests {
         let cfg = Configuration::new(vec![priced(&db, cix)]);
         let compressed = query_plan_cost(&db, &m, &q, &cfg).0;
         assert!(compressed < base, "{compressed} vs {base}");
+    }
+
+    #[test]
+    fn key_range_extraction() {
+        let db = db();
+        let q = q1(&db);
+        let preds = q.predicates_on(q.root);
+        // shipdate BETWEEN is the leading key → a closed range, 1 consumed.
+        let r = extract_key_range(&preds, &[ColumnId(1), ColumnId(2)]).unwrap();
+        assert_eq!(r.lo, vec![Value::Int(14_100)]);
+        assert_eq!(r.hi, vec![Value::Int(14_200)]);
+        assert_eq!(r.consumed, 1);
+        // state = 'CA' first → equality continues into the range.
+        let r = extract_key_range(&preds, &[ColumnId(2), ColumnId(1)]).unwrap();
+        assert_eq!(r.lo, vec![Value::Str("CA".into()), Value::Int(14_100)]);
+        assert_eq!(r.hi, vec![Value::Str("CA".into()), Value::Int(14_200)]);
+        assert_eq!(r.consumed, 2);
+        // No predicate on the leading key column → no range.
+        assert!(extract_key_range(&preds, &[ColumnId(3)]).is_none());
+        assert!(extract_key_range(&preds, &[]).is_none());
+    }
+
+    #[test]
+    fn key_range_in_list_and_one_sided() {
+        let t = TableId(0);
+        let inlist = Predicate {
+            table: t,
+            column: ColumnId(0),
+            op: crate::predicate::PredOp::Eq,
+            values: vec![Value::Int(9), Value::Int(2), Value::Int(5)],
+        };
+        let r = extract_key_range(&[&inlist], &[ColumnId(0), ColumnId(1)]).unwrap();
+        assert_eq!(r.lo, vec![Value::Int(2)]);
+        assert_eq!(r.hi, vec![Value::Int(9)]);
+        // The IN-list terminates the prefix even with a second key column.
+        assert_eq!(r.consumed, 1);
+
+        let lt = Predicate {
+            table: t,
+            column: ColumnId(0),
+            op: crate::predicate::PredOp::Lt,
+            values: vec![Value::Int(7)],
+        };
+        let r = extract_key_range(&[&lt], &[ColumnId(0)]).unwrap();
+        assert!(r.lo.is_empty());
+        assert_eq!(r.hi, vec![Value::Int(7)]);
+        assert!(!r.is_unbounded());
+
+        // Neq is not sargable: nothing to seek with.
+        let neq = Predicate {
+            table: t,
+            column: ColumnId(0),
+            op: crate::predicate::PredOp::Neq,
+            values: vec![Value::Int(7)],
+        };
+        assert!(extract_key_range(&[&neq], &[ColumnId(0)]).is_none());
     }
 
     #[test]

@@ -25,6 +25,19 @@
 //! batched over `cadb_common::par` with partials merged in leaf order);
 //! `tests/exec_equivalence.rs` and this crate's property tests pin it.
 //!
+//! ## Access-path planning
+//!
+//! [`planner`] picks, per query, the cheapest structure the materialized
+//! configuration holds: the base structure, a covering secondary index
+//! (seeking on a key range extracted from the query's sargable prefix
+//! predicates — [`cadb_engine::extract_key_range`] →
+//! [`cadb_storage::PhysicalIndex::page_cursor_range`]), or a matching MV
+//! index that answers a grouped query outright. Planned execution
+//! ([`scan::ExecMode::Compressed`]) is pinned bit-for-bit against
+//! [`scan::ExecMode::ForcedBase`] (full base scans, same kernels) and the
+//! reference by `tests/plan_equivalence.rs` and the metamorphic
+//! properties in `tests/planner_properties.rs`.
+//!
 //! ## Actuals
 //!
 //! [`MeasuredRun`] materializes a recommended
@@ -40,11 +53,16 @@
 #![warn(missing_docs)]
 
 pub mod measured;
+pub mod planner;
 pub mod query;
 pub mod scan;
 pub mod vector;
 
 pub use measured::{MaterializedConfig, MeasuredReport, MeasuredRun, MeasuredStructure};
-pub use query::execute_query;
-pub use scan::{scan_aggregate, scan_filter, BoundPredicate, ExecMode, ExecStats};
+pub use planner::{plan_query, PathKind, QueryPlan, TablePath};
+pub use query::{execute_planned, execute_query};
+pub use scan::{
+    scan_aggregate, scan_aggregate_range, scan_filter, scan_filter_range, BoundPredicate, ExecMode,
+    ExecStats,
+};
 pub use vector::{ColumnVector, IntAggregate, VectorData};

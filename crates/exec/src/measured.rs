@@ -11,11 +11,13 @@
 //! modes and records whether they agreed, so an actuals report doubles as
 //! an end-to-end check of the compressed executor.
 
-use crate::query::{execute_query, missing_base};
+use crate::planner::plan_query;
+use crate::query::{execute_planned, execute_query, missing_base};
 use crate::scan::ExecMode;
 use cadb_common::json::{JsonArray, JsonObject};
-use cadb_common::{Parallelism, Result, Row, TableId};
+use cadb_common::{ColumnId, Parallelism, Result, Row, TableId};
 use cadb_compression::CompressionKind;
+use cadb_engine::cardinality::query_output_rows;
 use cadb_engine::exec::materialize_mv;
 use cadb_engine::{Configuration, Database, IndexSpec, SizeEstimate, WhatIfOptimizer, Workload};
 use cadb_sampling::index_rows::{index_row_stream, mv_index_row_stream};
@@ -66,6 +68,17 @@ impl MeasuredStructure {
 #[derive(Debug)]
 pub struct MaterializedConfig {
     bases: BTreeMap<TableId, PhysicalIndex>,
+    base_specs: BTreeMap<TableId, IndexSpec>,
+    /// Advisor's estimated leaf pages for clustered bases (heaps have no
+    /// estimate), feeding the access-path planner's cost model.
+    base_est_pages: BTreeMap<TableId, f64>,
+    /// For clustered bases: insertion ordinal → position in base scan
+    /// order, so a secondary-index scan can restore base row order from
+    /// its stored locators (heaps are already in insertion order).
+    base_perm: BTreeMap<TableId, Vec<u32>>,
+    /// The secondary and MV structures, actually built — the access paths
+    /// the planner can choose beyond the bases.
+    built: BTreeMap<IndexSpec, PhysicalIndex>,
     measured: Vec<MeasuredStructure>,
 }
 
@@ -75,6 +88,8 @@ impl MaterializedConfig {
     pub fn build(db: &Database, cfg: &Configuration) -> Result<Self> {
         let mut bases = BTreeMap::new();
         let mut base_specs: BTreeMap<TableId, IndexSpec> = BTreeMap::new();
+        let mut base_est_pages: BTreeMap<TableId, f64> = BTreeMap::new();
+        let mut base_perm: BTreeMap<TableId, Vec<u32>> = BTreeMap::new();
         for t in db.table_ids() {
             // A partial clustered index cannot serve as the scan base — it
             // would silently drop the filtered-out rows from every query
@@ -87,8 +102,27 @@ impl MaterializedConfig {
             });
             let ix = match clustered {
                 Some(s) => {
-                    let (rows, dtypes, n_key) = index_row_stream(db, &s.spec, db.table(t).rows())?;
+                    let src = db.table(t).rows();
+                    let (rows, dtypes, n_key) = index_row_stream(db, &s.spec, src)?;
                     base_specs.insert(t, s.spec.clone());
+                    base_est_pages.insert(t, s.size.pages);
+                    // Replicate the clustered sort as a permutation of
+                    // insertion ordinals: clustered rows are the table rows
+                    // ordered by the leading key columns (stable on ties),
+                    // exactly what `index_row_stream` produced above.
+                    let n_key_cols = s.spec.key_cols.len().min(db.dtypes(t).len());
+                    let key: Vec<ColumnId> = (0..n_key_cols as u16).map(ColumnId).collect();
+                    let mut idx: Vec<u32> = (0..src.len() as u32).collect();
+                    idx.sort_by(|&a, &b| {
+                        src[a as usize]
+                            .key_cmp(&src[b as usize], &key)
+                            .then_with(|| src[a as usize].cmp(&src[b as usize]))
+                    });
+                    let mut perm = vec![0u32; src.len()];
+                    for (pos, &ord) in idx.iter().enumerate() {
+                        perm[ord as usize] = pos as u32;
+                    }
+                    base_perm.insert(t, perm);
                     PhysicalIndex::build(&rows, &dtypes, n_key, s.spec.compression)?
                 }
                 None => PhysicalIndex::build(
@@ -100,6 +134,7 @@ impl MaterializedConfig {
             };
             bases.insert(t, ix);
         }
+        let mut built: BTreeMap<IndexSpec, PhysicalIndex> = BTreeMap::new();
         let mut measured = Vec::with_capacity(cfg.structures().len());
         for s in cfg.structures() {
             // The clustered base was already built above — measure it
@@ -129,13 +164,49 @@ impl MaterializedConfig {
                 measured_rows: ix.n_rows(),
                 measured_cf: ix.compression_fraction(),
             });
+            built.insert(s.spec.clone(), ix);
         }
-        Ok(MaterializedConfig { bases, measured })
+        Ok(MaterializedConfig {
+            bases,
+            base_specs,
+            base_est_pages,
+            base_perm,
+            built,
+            measured,
+        })
     }
 
     /// The base structure queries scan for a table.
     pub fn base(&self, t: TableId) -> Result<&PhysicalIndex> {
         self.bases.get(&t).ok_or_else(|| missing_base(t))
+    }
+
+    /// The clustered spec serving as a table's base, when one exists.
+    pub fn base_spec(&self, t: TableId) -> Option<&IndexSpec> {
+        self.base_specs.get(&t)
+    }
+
+    /// The advisor's estimated leaf pages for a table's base structure
+    /// (`None` for plain heaps, which were never priced).
+    pub fn base_estimated_pages(&self, t: TableId) -> Option<f64> {
+        self.base_est_pages.get(&t).copied()
+    }
+
+    /// Position of insertion ordinal `ordinal` in the base structure's
+    /// scan order — identity for heaps, the clustered-sort permutation
+    /// otherwise. This is what lets a secondary-index scan restore exact
+    /// base row order from its stored locators.
+    pub fn base_position(&self, t: TableId, ordinal: usize) -> usize {
+        match self.base_perm.get(&t) {
+            Some(perm) => perm.get(ordinal).map(|p| *p as usize).unwrap_or(ordinal),
+            None => ordinal,
+        }
+    }
+
+    /// The built physical structure for a secondary or MV spec, when the
+    /// configuration holds one.
+    pub fn structure(&self, spec: &IndexSpec) -> Option<&PhysicalIndex> {
+        self.built.get(spec)
     }
 
     /// Every structure of the configuration, built and measured.
@@ -145,19 +216,46 @@ impl MaterializedConfig {
 }
 
 /// Actuals of one executed query.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct QueryActual {
     /// Output rows produced.
     pub rows_out: usize,
-    /// Leaf pages the compressed path touched.
+    /// Optimizer-estimated output rows (the estimate the chosen path's
+    /// measured `rows_out` is compared against).
+    pub estimated_rows_out: f64,
+    /// The access path the planner chose, human-readable.
+    pub path: String,
+    /// `true` when the plan uses any structure beyond the base scans
+    /// (covering index, seek, or MV) — the planner actually doing work.
+    pub non_base: bool,
+    /// `true` when the whole query was answered from an MV index (the
+    /// structured form of the path class; reports must not re-derive it
+    /// from the display string).
+    pub uses_mv: bool,
+    /// Leaf pages the planned compressed path touched.
     pub pages_scanned: usize,
-    /// Predicate evaluations on the compressed path (per run / per
-    /// dictionary entry).
+    /// Leaf pages a forced full base scan touches (the planner's win is
+    /// `pages_scanned` vs this).
+    pub pages_scanned_base: usize,
+    /// Predicate evaluations on the planned compressed path (per run /
+    /// per dictionary entry).
     pub predicate_evals_compressed: usize,
     /// Predicate evaluations on the reference path (per row).
     pub predicate_evals_reference: usize,
-    /// Whether compressed and reference output were bit-identical.
+    /// Whether planned and reference output were bit-identical.
     pub matches_reference: bool,
+}
+
+impl QueryActual {
+    /// Signed relative error of the optimizer's row estimate against the
+    /// measured output rows (0 when nothing was measured).
+    pub fn rows_error(&self) -> f64 {
+        if self.rows_out == 0 {
+            0.0
+        } else {
+            (self.estimated_rows_out - self.rows_out as f64) / self.rows_out as f64
+        }
+    }
 }
 
 /// The estimated-vs-actual report of one [`MeasuredRun`].
@@ -175,6 +273,13 @@ pub struct MeasuredReport {
     pub estimated_workload_cost: f64,
     /// What-if estimated workload cost with no structures (baseline).
     pub baseline_workload_cost: f64,
+    /// Weighted what-if maintenance cost the workload's INSERTs charge to
+    /// the configuration's MV structures. **`None` when the workload has
+    /// no INSERT statements** — maintenance is then unexercised, not free;
+    /// earlier versions reported `0` here, which understated update cost
+    /// for MV-heavy configurations (one of the two INSERT-heavy shape
+    /// mismatches flagged in EXPERIMENTS.md).
+    pub mv_maintenance_cost: Option<f64>,
 }
 
 impl MeasuredReport {
@@ -227,8 +332,14 @@ impl MeasuredReport {
         for q in &self.queries {
             queries.push_raw(
                 &JsonObject::new()
+                    .str("path", &q.path)
+                    .bool("non_base", q.non_base)
+                    .bool("uses_mv", q.uses_mv)
                     .int("rows_out", q.rows_out as i64)
+                    .num("estimated_rows_out", q.estimated_rows_out)
+                    .num("rows_error", q.rows_error())
                     .int("pages_scanned", q.pages_scanned as i64)
+                    .int("pages_scanned_base", q.pages_scanned_base as i64)
                     .int(
                         "predicate_evals_compressed",
                         q.predicate_evals_compressed as i64,
@@ -241,7 +352,7 @@ impl MeasuredReport {
                     .finish(),
             );
         }
-        JsonObject::new()
+        let mut out = JsonObject::new()
             .raw("structures", &structures.finish())
             .num("estimated_total_bytes", self.estimated_total_bytes)
             .int("measured_total_bytes", self.measured_total_bytes as i64)
@@ -250,7 +361,14 @@ impl MeasuredReport {
             .bool("all_queries_verified", self.all_queries_verified())
             .num("estimated_workload_cost", self.estimated_workload_cost)
             .num("baseline_workload_cost", self.baseline_workload_cost)
-            .finish()
+            .bool(
+                "mv_maintenance_measured",
+                self.mv_maintenance_cost.is_some(),
+            );
+        if let Some(c) = self.mv_maintenance_cost {
+            out = out.num("mv_maintenance_cost", c);
+        }
+        out.finish()
     }
 }
 
@@ -281,19 +399,25 @@ impl<'a> MeasuredRun<'a> {
         self
     }
 
-    /// Build every structure of `cfg`, execute every workload query over
-    /// the compressed structures (verifying each against the
-    /// decompress-then-execute reference), and report measured sizes and
-    /// row counts next to the estimates.
+    /// Build every structure of `cfg`, plan and execute every workload
+    /// query over the compressed structures (verifying each against the
+    /// decompress-then-execute reference), and report measured sizes, row
+    /// counts and chosen access paths next to the estimates.
     pub fn execute(&self, cfg: &Configuration) -> Result<MeasuredReport> {
         let mat = MaterializedConfig::build(self.db, cfg)?;
         let mut queries = Vec::new();
         for (q, _) in self.workload.queries() {
-            let (rows_c, stats_c) = execute_query(&mat, q, self.parallelism, ExecMode::Compressed)?;
+            let plan = plan_query(&mat, q)?;
+            let (rows_c, stats_c) = execute_planned(&mat, q, &plan, self.parallelism)?;
             let (rows_r, stats_r) = execute_query(&mat, q, self.parallelism, ExecMode::Reference)?;
             queries.push(QueryActual {
                 rows_out: rows_c.len(),
+                estimated_rows_out: query_output_rows(self.db, q),
+                path: plan.describe(),
+                non_base: !plan.is_base_only(),
+                uses_mv: plan.mv.is_some(),
                 pages_scanned: stats_c.pages_scanned,
+                pages_scanned_base: stats_r.pages_scanned,
                 predicate_evals_compressed: stats_c.predicate_evals,
                 predicate_evals_reference: stats_r.predicate_evals,
                 matches_reference: rows_c == rows_r,
@@ -302,6 +426,24 @@ impl<'a> MeasuredRun<'a> {
         let opt = WhatIfOptimizer::new(self.db).with_parallelism(self.parallelism);
         let estimated_total_bytes = cfg.total_bytes();
         let measured_total_bytes = mat.structures().iter().map(|s| s.measured_bytes).sum();
+        // MV maintenance: only measurable when the workload actually
+        // INSERTs. An explicit `None` replaces the old silent `0`.
+        let mv_maintenance_cost = if self.workload.inserts().next().is_some() {
+            let mut no_mv = Configuration::empty();
+            for s in cfg.structures() {
+                if s.spec.mv.is_none() {
+                    no_mv.add(s.clone());
+                }
+            }
+            Some(
+                self.workload
+                    .inserts()
+                    .map(|(ins, w)| w * (opt.insert_cost(ins, cfg) - opt.insert_cost(ins, &no_mv)))
+                    .sum(),
+            )
+        } else {
+            None
+        };
         Ok(MeasuredReport {
             structures: mat.structures().to_vec(),
             estimated_total_bytes,
@@ -309,6 +451,7 @@ impl<'a> MeasuredRun<'a> {
             queries,
             estimated_workload_cost: opt.workload_cost(self.workload, cfg),
             baseline_workload_cost: opt.workload_cost(self.workload, &Configuration::empty()),
+            mv_maintenance_cost,
         })
     }
 

@@ -2,10 +2,13 @@
 //! the decompress-then-execute reference path.
 //!
 //! Both paths walk the index's encoded leaves through
-//! [`PhysicalIndex::page_cursor`], batched over `cadb_common::par` — one
-//! task per leaf, partial results merged back **in leaf order** on the
-//! caller's thread, so every [`Parallelism`] setting produces bit-identical
-//! output (the same determinism contract as the estimation pipeline).
+//! [`PhysicalIndex::page_cursor`] — or, when the access-path planner
+//! pushed a key range down, through
+//! [`PhysicalIndex::page_cursor_range`]'s seek — batched over
+//! `cadb_common::par`: one task per leaf, partial results merged back
+//! **in leaf order** on the caller's thread, so every [`Parallelism`]
+//! setting produces bit-identical output (the same determinism contract
+//! as the estimation pipeline).
 //!
 //! * [`ExecMode::Compressed`] builds [`ColumnVector`]s from the raw column
 //!   sections and runs the vector kernels: predicates cost one evaluation
@@ -22,7 +25,23 @@ use cadb_common::par::par_map;
 use cadb_common::{CadbError, Parallelism, Result, Row};
 use cadb_compression::page::column_sections;
 use cadb_engine::Predicate;
-use cadb_storage::{LeafPage, PhysicalIndex};
+use cadb_storage::{LeafPage, PageCursor, PhysicalIndex};
+
+/// The leaf cursor a scan walks: every leaf, or — when a key range was
+/// pushed down — only the slice [`PhysicalIndex::page_cursor_range`]
+/// selects for the interval.
+fn range_cursor<'a>(
+    ix: &'a PhysicalIndex,
+    range: Option<&cadb_engine::KeyRange>,
+) -> PageCursor<'a> {
+    match range {
+        Some(r) if !r.is_unbounded() => ix.page_cursor_range(
+            (!r.lo.is_empty()).then_some(r.lo.as_slice()),
+            (!r.hi.is_empty()).then_some(r.hi.as_slice()),
+        ),
+        _ => ix.page_cursor(),
+    }
+}
 
 /// Validate that every referenced column ordinal exists in the scanned
 /// structure's stored layout — a confusion of table ordinals with index
@@ -50,10 +69,27 @@ fn check_columns(ix: &PhysicalIndex, preds: &[BoundPredicate], extra: Option<usi
 /// Which execution path to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
-    /// Operate directly on the compressed column blocks.
+    /// Planned execution on the compressed column blocks: the access-path
+    /// planner ([`crate::planner`]) picks the cheapest structure per table
+    /// (base, covering secondary index with a pushed-down key range, or a
+    /// matching MV index) and the vector kernels run over it.
     Compressed,
-    /// Decompress every page to rows, then operate row at a time.
+    /// Compressed kernels, but every table read as a full scan of its base
+    /// structure — the pre-planner behavior, kept as the differential
+    /// baseline the planned path is pinned against: planned ≡ forced-base,
+    /// bit for bit (`tests/plan_equivalence.rs`).
+    ForcedBase,
+    /// Decompress every page to rows, then operate row at a time over the
+    /// base structures — the decompress-then-execute oracle.
     Reference,
+}
+
+impl ExecMode {
+    /// `true` for the modes that run the compressed vector kernels at the
+    /// leaf level (planned and forced-base differ only in access paths).
+    pub fn uses_compressed_kernels(self) -> bool {
+        matches!(self, ExecMode::Compressed | ExecMode::ForcedBase)
+    }
 }
 
 /// Counters a scan reports — the measurable difference between the two
@@ -99,9 +135,26 @@ pub fn scan_filter(
     par: Parallelism,
     mode: ExecMode,
 ) -> Result<(Vec<Row>, ExecStats)> {
+    scan_filter_range(ix, preds, None, par, mode)
+}
+
+/// [`scan_filter`] with an optional pushed-down key range: when `range` is
+/// present, only the leaves [`PhysicalIndex::page_cursor_range`] selects
+/// for the interval are touched (the B+Tree seek), and the predicates are
+/// still applied to every row read — so the result is **identical** to the
+/// full scan whenever the range was extracted from the same predicates
+/// (`cadb_engine::extract_key_range`), only cheaper. The metamorphic suite
+/// in `tests/planner_properties.rs` pins that identity.
+pub fn scan_filter_range(
+    ix: &PhysicalIndex,
+    preds: &[BoundPredicate],
+    range: Option<&cadb_engine::KeyRange>,
+    par: Parallelism,
+    mode: ExecMode,
+) -> Result<(Vec<Row>, ExecStats)> {
     check_columns(ix, preds, None)?;
     let ctx = ix.page_context();
-    let leaves: Vec<LeafPage<'_>> = ix.page_cursor().collect();
+    let leaves: Vec<LeafPage<'_>> = range_cursor(ix, range).collect();
     let parts = par_map(par, &leaves, |_, leaf| -> Result<(Vec<Row>, ExecStats)> {
         let mut stats = ExecStats {
             pages_scanned: 1,
@@ -109,7 +162,7 @@ pub fn scan_filter(
             ..ExecStats::default()
         };
         let rows = match mode {
-            ExecMode::Compressed => {
+            ExecMode::Compressed | ExecMode::ForcedBase => {
                 let (n, sections) = column_sections(leaf.bytes)?;
                 let mut sel = vec![true; n];
                 let mut vectors: Vec<Option<ColumnVector>> = vec![None; sections.len()];
@@ -200,9 +253,23 @@ pub fn scan_aggregate(
     par: Parallelism,
     mode: ExecMode,
 ) -> Result<(IntAggregate, u64, ExecStats)> {
+    scan_aggregate_range(ix, col, preds, None, par, mode)
+}
+
+/// [`scan_aggregate`] with an optional pushed-down key range — the seek
+/// variant of the vectorized aggregation pass (see [`scan_filter_range`]
+/// for the range semantics).
+pub fn scan_aggregate_range(
+    ix: &PhysicalIndex,
+    col: usize,
+    preds: &[BoundPredicate],
+    range: Option<&cadb_engine::KeyRange>,
+    par: Parallelism,
+    mode: ExecMode,
+) -> Result<(IntAggregate, u64, ExecStats)> {
     check_columns(ix, preds, Some(col))?;
     let ctx = ix.page_context();
-    let leaves: Vec<LeafPage<'_>> = ix.page_cursor().collect();
+    let leaves: Vec<LeafPage<'_>> = range_cursor(ix, range).collect();
     let parts = par_map(
         par,
         &leaves,
@@ -213,7 +280,7 @@ pub fn scan_aggregate(
                 ..ExecStats::default()
             };
             match mode {
-                ExecMode::Compressed => {
+                ExecMode::Compressed | ExecMode::ForcedBase => {
                     let (n, sections) = column_sections(leaf.bytes)?;
                     let sel = if preds.is_empty() {
                         None

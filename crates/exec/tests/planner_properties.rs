@@ -1,0 +1,226 @@
+//! Metamorphic properties of the access-path planner.
+//!
+//! Beyond the differential suite (planned ≡ forced-base ≡ reference on the
+//! benchmarks), these properties pin the planner's *relational* behavior
+//! on randomized schemas and predicates:
+//!
+//! * **Unused-index invariance** — adding an index the query may or may
+//!   not use never changes the answer, whether the planner picks it up or
+//!   not.
+//! * **Range monotonicity** — tightening a pushed-down range predicate
+//!   returns a subset of the wider predicate's rows (and preserves their
+//!   order, since planned scans restore base row order).
+//! * **Seek/filter agreement** — a seek-based scan matches exactly the
+//!   rows the filter kernels select on the full scan: same rows, same
+//!   `rows_matched`, never more pages.
+
+use cadb_common::{ColumnDef, ColumnId, DataType, Parallelism, Row, TableId, TableSchema, Value};
+use cadb_compression::CompressionKind;
+use cadb_engine::{
+    extract_key_range, Configuration, Database, IndexSpec, PhysicalStructure, PredOp, Predicate,
+    Query, WhatIfOptimizer,
+};
+use cadb_exec::{
+    execute_query, plan_query, scan_filter, scan_filter_range, BoundPredicate, ExecMode,
+    MaterializedConfig,
+};
+use proptest::prelude::*;
+
+const KINDS: [CompressionKind; 3] = [
+    CompressionKind::Row,
+    CompressionKind::Page,
+    CompressionKind::Rle,
+];
+
+/// A small three-column table: a low-cardinality group column, a value
+/// column, and a wide id column, in insertion order scrambled by `stride`.
+fn build_db(n: usize, modulus: i64, stride: usize) -> (Database, TableId) {
+    let mut db = Database::new();
+    let t = db
+        .create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("g", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                    ColumnDef::new("id", DataType::Int),
+                ],
+                vec![ColumnId(2)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            let j = (i * stride.max(1)) % n;
+            Row::new(vec![
+                Value::Int(j as i64 % modulus.max(1)),
+                Value::Int((j as i64 * 13) % 997),
+                Value::Int(j as i64),
+            ])
+        })
+        .collect();
+    db.insert_rows(t, rows).unwrap();
+    (db, t)
+}
+
+/// Non-grouping projection query `SELECT g, v FROM t WHERE g BETWEEN lo
+/// AND hi`.
+fn range_query(t: TableId, lo: i64, hi: i64) -> Query {
+    let mut q = Query {
+        root: t,
+        ..Default::default()
+    };
+    q.predicates.push(Predicate::between(
+        t,
+        ColumnId(0),
+        Value::Int(lo),
+        Value::Int(hi),
+    ));
+    q.mark_used(t, ColumnId(0));
+    q.mark_used(t, ColumnId(1));
+    q
+}
+
+fn priced(db: &Database, spec: IndexSpec) -> PhysicalStructure {
+    let base = WhatIfOptimizer::new(db).estimate_uncompressed_size(&spec);
+    let size = if spec.compression.is_compressed() {
+        base.compressed(0.5)
+    } else {
+        base
+    };
+    PhysicalStructure { spec, size }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adding an index — covering (usable) or not — never changes planned
+    /// results, and the covering configuration must agree with the bare
+    /// one row for row.
+    #[test]
+    fn adding_an_unused_index_never_changes_results(
+        n in 120usize..400,
+        modulus in 2i64..40,
+        stride in 1usize..7,
+        lo in 0i64..20,
+        span in 0i64..20,
+    ) {
+        let (db, t) = build_db(n, modulus, stride);
+        let q = range_query(t, lo, lo + span);
+        let bare = Configuration::empty();
+        // A covering index the planner can use...
+        let covering = IndexSpec::secondary(t, vec![ColumnId(0)])
+            .with_includes(vec![ColumnId(1)])
+            .with_compression(CompressionKind::Row);
+        // ...and one it cannot (wrong leading key, not covering).
+        let useless = IndexSpec::secondary(t, vec![ColumnId(2)]);
+        let mat_bare = MaterializedConfig::build(&db, &bare).unwrap();
+        let (expect, _) =
+            execute_query(&mat_bare, &q, Parallelism::Serial, ExecMode::Reference).unwrap();
+        for cfg in [
+            Configuration::new(vec![priced(&db, covering.clone())]),
+            Configuration::new(vec![priced(&db, useless.clone())]),
+            Configuration::new(vec![priced(&db, covering), priced(&db, useless)]),
+        ] {
+            let mat = MaterializedConfig::build(&db, &cfg).unwrap();
+            for mode in [ExecMode::Compressed, ExecMode::ForcedBase] {
+                let (rows, _) = execute_query(&mat, &q, Parallelism::Auto, mode).unwrap();
+                prop_assert_eq!(&rows, &expect, "{:?}", mode);
+            }
+        }
+    }
+
+    /// Tightening the pushed-down range predicate returns a subset of the
+    /// wider result — in fact an ordered subsequence, because planned
+    /// scans restore base row order.
+    #[test]
+    fn tightening_a_pushed_down_range_returns_a_subset(
+        n in 1500usize..3000,
+        modulus in 4i64..40,
+        stride in 1usize..7,
+        lo in 0i64..20,
+        span in 2i64..20,
+        shrink_lo in 0i64..3,
+        shrink_hi in 0i64..3,
+    ) {
+        let (db, t) = build_db(n, modulus, stride);
+        let cfg = Configuration::new(vec![priced(
+            &db,
+            IndexSpec::secondary(t, vec![ColumnId(0)])
+                .with_includes(vec![ColumnId(1)])
+                .with_compression(CompressionKind::Row),
+        )]);
+        let mat = MaterializedConfig::build(&db, &cfg).unwrap();
+        let wide = range_query(t, lo, lo + span);
+        let tight = range_query(t, lo + shrink_lo, lo + span - shrink_hi);
+        // The planner must actually push the range down for the suite to
+        // mean anything (the index always covers {g, v}).
+        let plan = plan_query(&mat, &tight).unwrap();
+        prop_assert!(!plan.is_base_only(), "plan: {}", plan.describe());
+        let (wide_rows, _) =
+            execute_query(&mat, &wide, Parallelism::Serial, ExecMode::Compressed).unwrap();
+        let (tight_rows, _) =
+            execute_query(&mat, &tight, Parallelism::Serial, ExecMode::Compressed).unwrap();
+        // Ordered subsequence check.
+        let mut it = wide_rows.iter();
+        for r in &tight_rows {
+            prop_assert!(
+                it.any(|w| w == r),
+                "tightened result row not found in order in the wider result"
+            );
+        }
+    }
+
+    /// A seek (key-range cursor + filter kernels over the selected leaves)
+    /// agrees exactly with the filter kernels over the full scan: same
+    /// rows, same match count, never more pages.
+    #[test]
+    fn seek_rowcount_equals_full_scan_filter_count(
+        n in 200usize..600,
+        modulus in 2i64..60,
+        lo in 0i64..30,
+        span in 0i64..20,
+        pred_kind in 0usize..4,
+    ) {
+        let mut rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64 % modulus.max(1)),
+                    Value::Int((i as i64 * 31) % 701),
+                ])
+            })
+            .collect();
+        rows.sort();
+        let dtypes = vec![DataType::Int, DataType::Int];
+        let pred = match pred_kind {
+            0 => Predicate::between(TableId(0), ColumnId(0), Value::Int(lo), Value::Int(lo + span)),
+            1 => Predicate::eq(TableId(0), ColumnId(0), Value::Int(lo)),
+            2 => Predicate {
+                table: TableId(0),
+                column: ColumnId(0),
+                op: PredOp::Ge,
+                values: vec![Value::Int(lo)],
+            },
+            _ => Predicate {
+                table: TableId(0),
+                column: ColumnId(0),
+                op: PredOp::Le,
+                values: vec![Value::Int(lo)],
+            },
+        };
+        let range = extract_key_range(&[&pred], &[ColumnId(0)]).unwrap();
+        let bp = vec![BoundPredicate { col: 0, pred }];
+        for kind in KINDS {
+            let ix = cadb_storage::PhysicalIndex::build(&rows, &dtypes, 1, kind).unwrap();
+            let (full, full_stats) =
+                scan_filter(&ix, &bp, Parallelism::Serial, ExecMode::Compressed).unwrap();
+            let (seek, seek_stats) = scan_filter_range(
+                &ix, &bp, Some(&range), Parallelism::Serial, ExecMode::Compressed,
+            ).unwrap();
+            prop_assert_eq!(&seek, &full, "{}", kind);
+            prop_assert_eq!(seek_stats.rows_matched, full_stats.rows_matched, "{}", kind);
+            prop_assert!(seek_stats.pages_scanned <= full_stats.pages_scanned, "{}", kind);
+        }
+    }
+}

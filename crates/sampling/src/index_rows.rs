@@ -61,6 +61,22 @@ pub fn index_row_stream(
     Ok((rows, dtypes, n_key))
 }
 
+/// The stored-column permutation of an index over an MV: the spec's key
+/// columns first, then the remaining MV-layout columns in layout order.
+/// Entry `i` is the MV-layout ordinal (group-by columns, then SUM columns,
+/// then COUNT(*)) stored at position `i` of the index. Shared by the index
+/// build ([`mv_index_row_stream`]) and the compressed executor's MV scan,
+/// which must agree on the layout to read the right columns back.
+pub fn mv_layout_order(spec: &IndexSpec, n_stored: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = spec.key_cols.iter().map(|c| c.raw()).collect();
+    for i in 0..n_stored {
+        if !order.contains(&i) {
+            order.push(i);
+        }
+    }
+    order
+}
+
 /// The row stream of an index over an MV, from materialized MV rows.
 /// MV stored layout: group-by columns, SUM columns, COUNT(*); the spec's
 /// key columns are ordinals into that layout.
@@ -82,12 +98,7 @@ pub fn mv_index_row_stream(
 
     // Reorder so key columns come first.
     let n_stored = dtypes.len();
-    let mut order: Vec<usize> = spec.key_cols.iter().map(|c| c.raw()).collect();
-    for i in 0..n_stored {
-        if !order.contains(&i) {
-            order.push(i);
-        }
-    }
+    let order = mv_layout_order(spec, n_stored);
     for &i in &order {
         if i >= n_stored {
             return Err(CadbError::InvalidArgument(format!(

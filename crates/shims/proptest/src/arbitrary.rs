@@ -6,6 +6,12 @@ use std::marker::PhantomData;
 
 pub trait Arbitrary: Sized {
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Strictly-simpler candidates for a failing value (simplest first);
+    /// empty when the type has no meaningful shrink order.
+    fn shrink(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -14,9 +20,42 @@ macro_rules! impl_arbitrary_int {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
             }
+
+            fn shrink(value: &Self) -> Vec<Self> {
+                // Binary search toward 0 (saturating halves/steps keep
+                // signed minima well-defined).
+                let v = *value;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out: Vec<$t> = vec![0];
+                for c in [v / 2, v - v.abs_or_one()] {
+                    if c != v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
+
+/// `|v| / v` step helper so the macro works for both signed and unsigned
+/// widths without overflow on `MIN`.
+trait AbsOrOne {
+    fn abs_or_one(self) -> Self;
+}
+macro_rules! impl_abs_unsigned {
+    ($($t:ty),*) => {$(impl AbsOrOne for $t { fn abs_or_one(self) -> Self { 1 } })*};
+}
+macro_rules! impl_abs_signed {
+    ($($t:ty),*) => {$(impl AbsOrOne for $t {
+        fn abs_or_one(self) -> Self { if self < 0 { -1 } else { 1 } }
+    })*};
+}
+impl_abs_unsigned!(u8, u16, u32, u64, usize);
+impl_abs_signed!(i8, i16, i32, i64, isize);
+
 impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Arbitrary for u128 {
@@ -35,6 +74,14 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
     }
+
+    fn shrink(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for f64 {
@@ -43,6 +90,18 @@ impl Arbitrary for f64 {
         let mag = rng.unit_f64() * 2.0 - 1.0;
         let exp = rng.uniform_i128(-60, 61) as i32;
         mag * (exp as f64).exp2()
+    }
+
+    fn shrink(value: &Self) -> Vec<Self> {
+        if *value == 0.0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        let half = value / 2.0;
+        if half != *value {
+            out.push(half);
+        }
+        out
     }
 }
 
@@ -68,5 +127,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
     }
 }

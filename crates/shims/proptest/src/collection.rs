@@ -51,11 +51,38 @@ pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
     }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let n = rng.uniform_usize(self.size.min, self.size.max_exclusive);
         (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Length shrinks first (binary search toward the minimum size):
+        // the minimal prefix, the half-way prefix, one element less.
+        if value.len() > self.size.min {
+            let min = self.size.min;
+            let mid = min + (value.len() - min) / 2;
+            for n in [min, mid, value.len() - 1] {
+                if n < value.len() && !out.iter().any(|v: &Vec<S::Value>| v.len() == n) {
+                    out.push(value[..n].to_vec());
+                }
+            }
+        }
+        // Then element-wise shrinks, earliest element first.
+        for (i, elem) in value.iter().enumerate() {
+            for cand in self.elem.shrink(elem) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }

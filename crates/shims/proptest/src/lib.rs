@@ -6,8 +6,15 @@
 //!
 //! Differences from real proptest, by design:
 //!
-//! * **No shrinking.** A failing case panics with the generated inputs via
-//!   the normal assert message; there is no minimization pass.
+//! * **Greedy binary-search shrinking.** A failing case is minimized
+//!   before it is reported: each strategy proposes strictly-simpler
+//!   candidates ([`strategy::Strategy::shrink`] — range start, midpoint,
+//!   one step — i.e. a binary search toward the simplest value), the
+//!   runner adopts the first candidate that still fails, and the final
+//!   panic carries the locally-minimal input. `prop_map`ped strategies do
+//!   not shrink (the mapping is not invertible without real proptest's
+//!   value trees), and string patterns only shrink when shortening cannot
+//!   leave the pattern's language.
 //! * **Deterministic seeding.** Every test derives its RNG seed from the
 //!   test's name, so a given binary fails (or passes) identically on every
 //!   run — which tier-1 reproducibility wants anyway.
@@ -65,23 +72,28 @@ macro_rules! __proptest_fns {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
             let __strategies = ( $( $strat, )+ );
             let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-            for __case in 0..__config.cases {
-                let ( $( $pat, )+ ) =
-                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
-                let _ = __case;
-                // Immediately-invoked closure so `prop_assume!`'s `return`
-                // skips the whole case even from inside a loop in the body.
-                #[allow(clippy::redundant_closure_call)]
-                (|| {
-                    $body
-                })();
-            }
+            // One closure call = one case body run. The immediately-invoked
+            // inner closure makes `prop_assume!`'s `return` skip the whole
+            // case even from inside a loop in the body; the outer closure
+            // is what the runner replays while shrinking a failure.
+            #[allow(clippy::redundant_closure_call)]
+            $crate::test_runner::run_cases(
+                &__strategies,
+                &mut __rng,
+                __config.cases,
+                |( $( $pat, )+ )| {
+                    (|| {
+                        $body
+                    })();
+                },
+            );
         }
         $crate::__proptest_fns! { ($cfg) $($rest)* }
     };
 }
 
-/// Without shrinking, a failed property is just a failed assert.
+/// A failed property is a failed assert; the runner catches it, shrinks
+/// the inputs, and re-raises with the minimal case.
 #[macro_export]
 macro_rules! prop_assert {
     ($($t:tt)*) => { assert!($($t)*) };

@@ -22,4 +22,16 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             Some(self.inner.generate(rng))
         }
     }
+
+    fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+        match value {
+            None => Vec::new(),
+            Some(v) => {
+                // `None` is the simplest option, then the inner shrinks.
+                let mut out = vec![None];
+                out.extend(self.inner.shrink(v).into_iter().map(Some));
+                out
+            }
+        }
+    }
 }

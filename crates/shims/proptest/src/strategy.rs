@@ -1,5 +1,16 @@
 //! The [`Strategy`] trait and the built-in strategies for ranges, tuples,
-//! and constants. No shrinking: `generate` produces one value per call.
+//! and constants.
+//!
+//! Each strategy both *generates* values and proposes *shrink* candidates
+//! for a failing value: strictly-simpler replacements, most aggressive
+//! first. The runner ([`crate::test_runner::run_case`]) adopts the first
+//! candidate that still fails and re-shrinks from there, which makes the
+//! integer shrinkers below (propose the range start, then the midpoint,
+//! then one step down) a binary search toward the range start — the
+//! reported counterexample is locally minimal.
+//!
+//! `prop_map`ped strategies do not shrink (the mapping is not invertible
+//! in this shim; real proptest threads a value tree through the map).
 
 use crate::test_runner::TestRng;
 
@@ -7,6 +18,12 @@ pub trait Strategy {
     type Value;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Strictly-simpler candidate replacements for a failing `value`, most
+    /// aggressive first. The default is "cannot shrink".
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -35,6 +52,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 /// Constant strategy.
@@ -60,6 +81,7 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
     }
+    // No shrink: the map is not invertible.
 }
 
 pub struct Filter<S, F> {
@@ -80,6 +102,34 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter({}) rejected 1000 candidates", self.reason);
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        // Shrink through the inner strategy, keeping only candidates the
+        // filter still accepts.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.f)(v))
+            .collect()
+    }
+}
+
+/// Binary-search shrink candidates for an integer failing at `v`, toward
+/// `origin` (the simplest value the strategy can produce): origin first,
+/// then the midpoint, then one step closer — dedup'd, all ≠ `v`.
+pub(crate) fn shrink_int_toward(v: i128, origin: i128) -> Vec<i128> {
+    if v == origin {
+        return Vec::new();
+    }
+    let mid = origin + (v - origin) / 2;
+    let step = if v > origin { v - 1 } else { v + 1 };
+    let mut out = vec![origin];
+    for c in [mid, step] {
+        if c != v && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
 }
 
 macro_rules! impl_int_range_strategy {
@@ -90,6 +140,13 @@ macro_rules! impl_int_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.uniform_i128(self.start as i128, self.end as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*value as i128, self.start as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
 
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -97,6 +154,13 @@ macro_rules! impl_int_range_strategy {
 
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.uniform_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*value as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -110,6 +174,18 @@ impl Strategy for core::ops::Range<f64> {
         assert!(self.start < self.end, "cannot sample empty range");
         self.start + rng.unit_f64() * (self.end - self.start)
     }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value != self.start {
+            out.push(self.start);
+            let mid = self.start + (value - self.start) / 2.0;
+            if mid != *value && mid != self.start {
+                out.push(mid);
+            }
+        }
+        out
+    }
 }
 
 impl Strategy for core::ops::Range<f32> {
@@ -119,15 +195,43 @@ impl Strategy for core::ops::Range<f32> {
         assert!(self.start < self.end, "cannot sample empty range");
         self.start + (rng.unit_f64() as f32) * (self.end - self.start)
     }
+
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        let mut out = Vec::new();
+        if *value != self.start {
+            out.push(self.start);
+            let mid = self.start + (value - self.start) / 2.0;
+            if mid != *value && mid != self.start {
+                out.push(mid);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, earlier components first.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};

@@ -126,11 +126,42 @@ fn generate_from(pattern: &str, rng: &mut TestRng) -> String {
     out
 }
 
+/// Shrink a generated string by shortening, but only when the pattern is a
+/// single character class with `min == 0` (e.g. `"[a-z ]{0,12}"`) — any
+/// prefix of such a string is still in the pattern's language. Multi-piece
+/// patterns are left unshrunk rather than risk proposing out-of-language
+/// counterexamples that fail for unrelated reasons.
+fn shrink_from(pattern: &str, value: &str) -> Vec<String> {
+    let pieces = parse(pattern);
+    let [Piece::Class { min: 0, .. }] = pieces.as_slice() else {
+        return Vec::new();
+    };
+    let n = value.chars().count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let prefix = |k: usize| -> String { value.chars().take(k).collect() };
+    let mut out = vec![String::new()];
+    for k in [n / 2, n - 1] {
+        if k > 0 && k < n {
+            let cand = prefix(k);
+            if !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
 impl Strategy for &str {
     type Value = String;
 
     fn generate(&self, rng: &mut TestRng) -> String {
         generate_from(self, rng)
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        shrink_from(self, value)
     }
 }
 
@@ -139,6 +170,10 @@ impl Strategy for String {
 
     fn generate(&self, rng: &mut TestRng) -> String {
         generate_from(self, rng)
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        shrink_from(self, value)
     }
 }
 

@@ -1,4 +1,127 @@
-//! Per-test configuration and the deterministic RNG behind every strategy.
+//! Per-test configuration, the deterministic RNG behind every strategy,
+//! and the case runner that minimizes failing inputs before reporting.
+
+use crate::strategy::Strategy;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Hard cap on adopted shrink steps — a backstop far above what the
+/// binary-search shrinkers need to converge.
+const MAX_SHRINKS: usize = 10_000;
+
+thread_local! {
+    /// `true` while *this thread* is probing shrink candidates; the
+    /// process-wide wrapper hook consults it to silence only the probing
+    /// thread's panics.
+    static SHRINKING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once, permanently) a panic hook that delegates to whatever
+/// hook was active before, except for threads currently shrinking. The
+/// standard test harness runs tests on many threads, so a naive
+/// take-hook/set-hook/restore around the shrink loop would race: two
+/// concurrently-failing properties could leave the process with a
+/// silent hook forever, and unrelated tests failing mid-shrink would
+/// lose their messages. Thread-local silencing has neither problem.
+fn install_shrink_silencer() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SHRINKING.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run `f`, silencing panic output from this thread for the duration
+/// (even if `f`'s panic propagates past a `catch_unwind`).
+fn silenced<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            SHRINKING.with(|s| s.set(false));
+        }
+    }
+    install_shrink_silencer();
+    SHRINKING.with(|s| s.set(true));
+    let _reset = Reset;
+    f()
+}
+
+fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Drive a whole property: generate `cases` inputs and run each through
+/// [`run_case`]. Taking the body closure as a direct argument lets the
+/// compiler infer its parameter types from the strategy tuple (the
+/// `proptest!` macro relies on this).
+pub fn run_cases<S, F>(strategy: &S, rng: &mut TestRng, cases: u32, attempt: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value),
+{
+    for _ in 0..cases {
+        let vals = strategy.generate(rng);
+        run_case(strategy, vals, &attempt);
+    }
+}
+
+/// Run one generated case through the test body; on failure, minimize the
+/// inputs before reporting.
+///
+/// Minimization is greedy descent over [`Strategy::shrink`] candidates:
+/// adopt the first candidate that still fails and re-shrink from it, until
+/// no candidate fails — a local minimum. Because the integer shrinkers
+/// propose (origin, midpoint, one-step) in that order, the descent is a
+/// binary search toward each strategy's simplest value. The final panic
+/// message carries the **minimal** failing input (`{:?}`) and its
+/// assertion message; per-candidate panics during the search are silenced
+/// so a shrink run doesn't spray dozens of backtraces.
+pub fn run_case<S, F>(strategy: &S, vals: S::Value, attempt: &F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value),
+{
+    // First run under the normal hook: a failure prints the original
+    // (unminimized) assertion like any test would.
+    let Err(first) = panic::catch_unwind(AssertUnwindSafe(|| attempt(vals.clone()))) else {
+        return;
+    };
+    // Minimize quietly (only this thread's candidate panics are muted).
+    let (current, shrinks, minimal_msg) = silenced(|| {
+        let mut current = vals;
+        let mut shrinks = 0usize;
+        'descend: while shrinks < MAX_SHRINKS {
+            let candidates = strategy.shrink(&current);
+            for cand in candidates {
+                if panic::catch_unwind(AssertUnwindSafe(|| attempt(cand.clone()))).is_err() {
+                    current = cand;
+                    shrinks += 1;
+                    continue 'descend;
+                }
+            }
+            break; // local minimum: every candidate passes
+        }
+        let minimal_msg = panic::catch_unwind(AssertUnwindSafe(|| attempt(current.clone())))
+            .err()
+            .map(|p| payload_message(p.as_ref()))
+            .unwrap_or_else(|| payload_message(first.as_ref()));
+        (current, shrinks, minimal_msg)
+    });
+    panic!("proptest: minimal failing input: {current:?} (after {shrinks} shrinks): {minimal_msg}");
+}
 
 /// Subset of proptest's config: only `cases` is consulted.
 #[derive(Debug, Clone)]

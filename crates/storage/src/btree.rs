@@ -182,8 +182,112 @@ impl PhysicalIndex {
     pub fn page_cursor(&self) -> PageCursor<'_> {
         PageCursor {
             leaves: &self.leaves,
+            offset: 0,
             next: 0,
         }
+    }
+
+    /// Cursor over only the encoded leaves that can contain rows inside the
+    /// inclusive key-prefix interval `[lo, hi]` — the **seek** entry point
+    /// for executors: instead of walking every leaf, descend (binary search
+    /// over leaf low keys) to the first leaf that may hold `lo` and stop at
+    /// the first leaf whose low key exceeds `hi`.
+    ///
+    /// Every row matching the interval is guaranteed to live in a yielded
+    /// leaf; yielded boundary leaves may also hold rows *outside* the
+    /// interval, so callers re-apply their predicates to the rows they
+    /// decode (which the executor does anyway). Leaf ordinals are preserved
+    /// — `LeafPage::ordinal` still refers to the whole index's leaf order,
+    /// so partial-scan results merge deterministically with full scans.
+    ///
+    /// The leading boundary leaf is additionally trimmed by decoding only
+    /// its **last row's key columns** through the bounded column decode
+    /// (`cadb_compression::decode_column_values_range`); when that single
+    /// row already falls below `lo`, the leaf cannot contain a match and is
+    /// skipped without touching the rest of its payload. The trim is
+    /// best-effort: any decode irregularity (e.g. NULLs in key columns)
+    /// conservatively keeps the leaf.
+    pub fn page_cursor_range(&self, lo: Option<&[Value]>, hi: Option<&[Value]>) -> PageCursor<'_> {
+        if self.leaves.is_empty() {
+            return self.page_cursor();
+        }
+        let mut start = match lo {
+            Some(k) if !k.is_empty() => self.locate_leaf(k),
+            _ => 0,
+        };
+        let end = match hi {
+            Some(k) if !k.is_empty() => {
+                let cols: Vec<ColumnId> = (0..k.len().min(self.n_key_cols) as u16)
+                    .map(ColumnId)
+                    .collect();
+                let probe = Row::new(k.to_vec());
+                // First leaf whose low key is strictly greater than `hi`:
+                // every row at or after it exceeds the interval.
+                self.leaf_low_keys
+                    .partition_point(|low| low.key_cmp(&probe, &cols) != Ordering::Greater)
+            }
+            _ => self.leaves.len(),
+        };
+        let end = end.max(start);
+        // Boundary trim: the descent lands one leaf early whenever a run of
+        // `lo` could spill backwards; check that leaf's last key cheaply.
+        if let Some(k) = lo.filter(|k| !k.is_empty()) {
+            if start < end {
+                if let Ok(Some(last)) = self.leaf_last_key(start, k.len()) {
+                    let cols: Vec<ColumnId> = (0..k.len().min(self.n_key_cols) as u16)
+                        .map(ColumnId)
+                        .collect();
+                    if last.key_cmp(&Row::new(k.to_vec()), &cols) == Ordering::Less {
+                        start += 1;
+                    }
+                }
+            }
+        }
+        PageCursor {
+            leaves: &self.leaves[start..end],
+            offset: start,
+            next: 0,
+        }
+    }
+
+    /// The last row's leading `prefix_len` key columns of one leaf, decoded
+    /// through the bounded column decode — O(1) values materialized per key
+    /// column instead of the whole page. Returns `Ok(None)` when the leaf is
+    /// empty or a key column holds NULLs (the positions of the non-null
+    /// value stream then stop aligning with row positions, so the caller
+    /// must not draw conclusions from it).
+    pub fn leaf_last_key(&self, leaf: usize, prefix_len: usize) -> Result<Option<Row>> {
+        let page = &self.leaves[leaf];
+        let n = page.n_rows;
+        if n == 0 {
+            return Ok(None);
+        }
+        let ctx = self.ctx();
+        let (n_page, sections) = cadb_compression::column_sections(&page.bytes)?;
+        let n_cols = prefix_len.min(self.n_key_cols);
+        let mut vals = Vec::with_capacity(n_cols);
+        for (c, sec) in sections.iter().enumerate().take(n_cols) {
+            if sec.n_non_null(n_page) != n_page {
+                return Ok(None); // NULL in a key column: stay conservative
+            }
+            let canon = cadb_compression::decode_column_values_range(
+                sec.block,
+                sec.tag,
+                &self.dtypes[c],
+                &ctx,
+                c,
+                n_page,
+                n_page - 1..n_page,
+            )?;
+            match canon.into_iter().next() {
+                Some(b) => vals.push(cadb_compression::bytesrepr::value_from_bytes(
+                    &b,
+                    &self.dtypes[c],
+                )?),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(Row::new(vals)))
     }
 
     /// Decode and return all rows of one leaf page.
@@ -280,9 +384,14 @@ pub struct LeafPage<'a> {
 }
 
 /// Iterator over an index's encoded leaves in key order, without decoding.
+/// Produced by [`PhysicalIndex::page_cursor`] (all leaves) and
+/// [`PhysicalIndex::page_cursor_range`] (a key-range slice; ordinals keep
+/// referring to the whole index's leaf order).
 #[derive(Debug, Clone)]
 pub struct PageCursor<'a> {
     leaves: &'a [EncodedPage],
+    /// Ordinal of `leaves[0]` within the whole index.
+    offset: usize,
     next: usize,
 }
 
@@ -291,7 +400,7 @@ impl<'a> Iterator for PageCursor<'a> {
 
     fn next(&mut self) -> Option<Self::Item> {
         let leaf = self.leaves.get(self.next)?;
-        let ordinal = self.next;
+        let ordinal = self.offset + self.next;
         self.next += 1;
         Some(LeafPage {
             ordinal,
@@ -441,6 +550,66 @@ mod tests {
             assert_eq!(decoded, ix.decode_leaf(i).unwrap());
         }
         assert_eq!(total_rows, ix.n_rows());
+    }
+
+    #[test]
+    fn page_cursor_range_covers_exactly_the_matching_leaves() {
+        let rows = sorted_rows(4000);
+        for kind in [
+            CompressionKind::None,
+            CompressionKind::Row,
+            CompressionKind::Page,
+            CompressionKind::Rle,
+        ] {
+            let ix = PhysicalIndex::build(&rows, &dtypes(), 1, kind).unwrap();
+            let lo = [Value::Int(100)];
+            let hi = [Value::Int(180)];
+            let cursor = ix.page_cursor_range(Some(&lo), Some(&hi));
+            let ranged: Vec<LeafPage<'_>> = cursor.collect();
+            assert!(!ranged.is_empty());
+            assert!(
+                ranged.len() < ix.n_leaf_pages(),
+                "{kind}: seek touched every leaf"
+            );
+            // Ordinals are contiguous and refer to whole-index leaf order.
+            for w in ranged.windows(2) {
+                assert_eq!(w[0].ordinal + 1, w[1].ordinal);
+            }
+            // Every row in [lo, hi] lives inside the yielded leaves.
+            let mut in_range = 0usize;
+            for leaf in &ranged {
+                for r in cadb_compression::decode_page(leaf.bytes, &ix.page_context()).unwrap() {
+                    if r.values[0] >= lo[0] && r.values[0] <= hi[0] {
+                        in_range += 1;
+                    }
+                }
+            }
+            let truth = rows
+                .iter()
+                .filter(|r| r.values[0] >= lo[0] && r.values[0] <= hi[0])
+                .count();
+            assert_eq!(in_range, truth, "{kind}");
+            // Unbounded on both sides degenerates to the full cursor.
+            assert_eq!(ix.page_cursor_range(None, None).len(), ix.n_leaf_pages());
+            // A range past the data yields no leaves beyond the last one's
+            // boundary trim tolerance.
+            let above = ix.page_cursor_range(Some(&[Value::Int(1_000_000)]), None);
+            assert!(above.len() <= 1);
+            // Empty index: no leaves.
+            let empty = PhysicalIndex::build(&[], &dtypes(), 1, kind).unwrap();
+            assert_eq!(empty.page_cursor_range(Some(&lo), Some(&hi)).len(), 0);
+        }
+    }
+
+    #[test]
+    fn leaf_last_key_matches_decoded_leaf() {
+        let rows = sorted_rows(3000);
+        let ix = PhysicalIndex::build(&rows, &dtypes(), 1, CompressionKind::Page).unwrap();
+        for leaf in 0..ix.n_leaf_pages() {
+            let last = ix.leaf_last_key(leaf, 1).unwrap().unwrap();
+            let decoded = ix.decode_leaf(leaf).unwrap();
+            assert_eq!(last.values[0], decoded.last().unwrap().values[0]);
+        }
     }
 
     #[test]

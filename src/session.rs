@@ -220,8 +220,29 @@ impl<'a> TuningSession<'a> {
     /// Materialize a recommendation into **real** compressed structures,
     /// execute the session's workload over them with the vectorized
     /// compressed executor (verified against the decompress-then-execute
-    /// reference), and report measured sizes and row counts next to the
-    /// advisor's estimates — the estimated-vs-actual loop, closed.
+    /// reference), and report measured sizes, row counts and chosen access
+    /// paths next to the advisor's estimates — the estimated-vs-actual
+    /// loop, closed.
+    ///
+    /// # How a query picks its access path
+    ///
+    /// Each query is planned against the materialized configuration by
+    /// `cadb_exec::planner`: for every table it touches, the planner
+    /// enumerates the base structure (the recommendation's clustered
+    /// index, or an uncompressed heap), every covering secondary index —
+    /// with the query's sargable prefix predicates pushed down as a key
+    /// range so the scan *seeks* to the first qualifying leaf instead of
+    /// walking all of them — and, at whole-query level, a matching MV
+    /// index that answers the aggregation outright. Paths are priced in
+    /// estimated leaf pages (the advisor's own
+    /// [`SizeEstimate`](cadb_engine::SizeEstimate)s, scaled for seeks by
+    /// the real fraction of leaves the key range selects) and the
+    /// cheapest wins; ties go to the base structure. The returned
+    /// [`MeasuredReport`] records the chosen path and estimated-vs-
+    /// measured output rows per query, and every planned execution is
+    /// still verified bit-for-bit against the reference — the planner is
+    /// never allowed to change an answer (`tests/plan_equivalence.rs`
+    /// pins planned ≡ forced-base ≡ reference).
     ///
     /// ```
     /// use cadb::datagen::TpchGen;
