@@ -1,0 +1,81 @@
+//! Meta-tests of the shrinking runner: known-failing properties (defined
+//! *without* `#[test]` so they can be invoked and caught here) must report
+//! a **locally minimal** counterexample, not the first random failure.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Fails for every x ≥ 57; the minimal counterexample is exactly 57.
+    fn failing_int_property(x in 0i64..1000) {
+        prop_assert!(x < 57, "x was {}", x);
+    }
+
+    // Fails whenever the vector has ≥ 3 elements; minimal case is any
+    // 3-element vector of zeros (length shrinks + element shrinks).
+    fn failing_vec_property(v in proptest::collection::vec(0u8..250, 0..40)) {
+        prop_assert!(v.len() < 3);
+    }
+
+    // Fails when both coordinates are large; shrinking must minimize each
+    // component while keeping the conjunction failing.
+    fn failing_tuple_property(a in 0i64..500, b in 0i64..500) {
+        prop_assert!(a < 40 || b < 25);
+    }
+
+    // Passes everywhere — the runner must not report anything.
+    fn passing_property(x in 0i64..10) {
+        prop_assert!(x < 10);
+    }
+}
+
+fn failure_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+    let payload = std::panic::catch_unwind(f).expect_err("property should fail");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("string panic payload")
+}
+
+#[test]
+fn failing_property_reports_the_minimal_case() {
+    let msg = failure_message(failing_int_property);
+    assert!(
+        msg.contains("minimal failing input"),
+        "no shrink report: {msg}"
+    );
+    // Binary search over 0..1000 must land exactly on the boundary.
+    assert!(
+        msg.contains("(57,)"),
+        "counterexample not minimized to 57: {msg}"
+    );
+    // The minimal case's own assertion message is carried along.
+    assert!(msg.contains("x was 57"), "{msg}");
+}
+
+#[test]
+fn failing_vec_property_minimizes_length_and_elements() {
+    let msg = failure_message(failing_vec_property);
+    assert!(msg.contains("minimal failing input"), "{msg}");
+    assert!(
+        msg.contains("([0, 0, 0],)"),
+        "vector not minimized to three zeros: {msg}"
+    );
+}
+
+#[test]
+fn failing_tuple_property_minimizes_both_components() {
+    let msg = failure_message(failing_tuple_property);
+    assert!(msg.contains("minimal failing input"), "{msg}");
+    assert!(
+        msg.contains("(40, 25)"),
+        "tuple not minimized to the boundary (40, 25): {msg}"
+    );
+}
+
+#[test]
+fn passing_property_stays_silent() {
+    passing_property();
+}
