@@ -256,6 +256,63 @@ fn bench_advisor(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_store_concurrency(c: &mut Criterion) {
+    use cadb_engine::{BulkInsert, CostModel, Statement, Workload};
+    use cadb_exec::{MaterializedConfig, Store};
+
+    let gen = cadb_datagen::TpchGen::new(0.02);
+    let db = gen.build().unwrap();
+    let w = gen.workload(&db).unwrap();
+    let cfg = cadb_bench::experiments::plan::mv_rich_config(&db, &w);
+    let mat = MaterializedConfig::build(&db, &cfg).unwrap();
+    let t = db.table_id("lineitem").unwrap();
+
+    // N snapshot readers × M committing writers over the MVCC store: the
+    // single-log/multi-writer commit path under read pressure.
+    let mut group = c.benchmark_group("store_concurrency");
+    group.sample_size(10);
+    for (readers, writers) in [(0usize, 1usize), (2, 2), (4, 4)] {
+        let mut writes = Workload::default();
+        for _ in 0..writers * 2 {
+            writes.push(
+                Statement::Insert(BulkInsert {
+                    table: t,
+                    n_rows: 50,
+                }),
+                1.0,
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("readers_x_writers", format!("{readers}x{writers}")),
+            &writes,
+            |b, writes| {
+                b.iter(|| {
+                    let store = Store::open(&db, &mat, CostModel::default());
+                    store.warm_for_table(t).unwrap();
+                    std::thread::scope(|s| {
+                        for _ in 0..readers {
+                            s.spawn(|| {
+                                for _ in 0..8 {
+                                    let snap = store.snapshot();
+                                    black_box(snap.n_rows(t).unwrap());
+                                }
+                            });
+                        }
+                        store
+                            .apply_workload(
+                                black_box(writes),
+                                7,
+                                Parallelism::Threads(writers.max(1)),
+                            )
+                            .unwrap()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_page_codec,
@@ -264,6 +321,7 @@ criterion_group!(
     bench_samplecf,
     bench_samplecf_batch,
     bench_greedy_search,
-    bench_advisor
+    bench_advisor,
+    bench_store_concurrency
 );
 criterion_main!(benches);

@@ -24,6 +24,10 @@
 //!   plan      access-path planner actuals: which path each query took
 //!             (base / covering-index seek / MV), estimated vs measured
 //!             rows per path class (machine-readable with --json)
+//!   serve     WAL'd write path: commit the workload's INSERT/UPDATEs
+//!             through the snapshot-isolated store, measure maintenance
+//!             per statement, and verify crash recovery bit-for-bit
+//!             (machine-readable with --json)
 //!   all       everything above (default)
 //!
 //! --json    emit machine-readable reports (Recommendation +
@@ -36,7 +40,7 @@ use cadb_bench::experiments::designs::{
 };
 use cadb_bench::experiments::{
     advise, calibration, estimation_runtime, exec_actuals, graph_quality, motivating, mv_rows,
-    par_speedup, plan,
+    par_speedup, plan, serve,
 };
 use cadb_core::FeatureSet;
 use std::time::Instant;
@@ -272,13 +276,40 @@ fn run(which: &str, scale: f64, json: bool) {
             for (name, d, wl) in [("TPC-H", &db, &w), ("TPC-DS", &ds_db, &ds_w)] {
                 let dtac = plan::measure_plan(d, wl, &plan::dtac_config(d, wl));
                 let rich = plan::measure_plan(d, wl, &plan::index_rich_config(d, wl));
+                let mv_rich = plan::measure_plan(d, wl, &plan::mv_rich_config(d, wl));
                 println!("{}", plan::plan_table(name, "DTAc rec", &dtac).render());
                 println!("{}", plan::plan_table(name, "index-rich", &rich).render());
+                println!("{}", plan::plan_table(name, "mv-rich", &mv_rich).render());
                 println!(
                     "{}",
-                    plan::path_bias_table(name, &[("DTAc rec", &dtac), ("index-rich", &rich)])
-                        .render()
+                    plan::path_bias_table(
+                        name,
+                        &[
+                            ("DTAc rec", &dtac),
+                            ("index-rich", &rich),
+                            ("mv-rich", &mv_rich),
+                        ]
+                    )
+                    .render()
                 );
+            }
+        }
+    }
+    if all || which == "serve" {
+        let (db, w) = tpch(scale);
+        if json {
+            println!("{}", serve::serve_json(&[("tpch", &db, &w)], scale));
+        } else {
+            for (variant, cfg) in [
+                ("DTAc rec", plan::dtac_config(&db, &w)),
+                ("mv-rich", plan::mv_rich_config(&db, &w)),
+            ] {
+                let out = serve::serve_measure(&db, &w, &cfg);
+                assert!(
+                    out.recovery_verified,
+                    "serve: recovery diverged from the live store ({variant})"
+                );
+                println!("{}", serve::serve_table("TPC-H", variant, &out).render());
             }
         }
     }
@@ -301,6 +332,7 @@ fn run(which: &str, scale: f64, json: bool) {
         "advise",
         "exec",
         "plan",
+        "serve",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment '{which}'; one of: {}", known.join(", "));

@@ -10,6 +10,7 @@ pub mod motivating;
 pub mod mv_rows;
 pub mod par_speedup;
 pub mod plan;
+pub mod serve;
 
 use cadb_common::ColumnId;
 use cadb_engine::IndexSpec;

@@ -1,0 +1,174 @@
+//! A minimal, stable byte codec for [`Value`]s and [`Row`]s.
+//!
+//! This is the on-the-wire representation shared by the WAL frame payloads
+//! (`cadb_storage::wal`) and the page patch sections
+//! (`cadb_compression::patch`): tagged values, little-endian integers,
+//! length-prefixed strings. The format is deliberately simple — recovery
+//! correctness depends on it being unambiguous, not on it being small
+//! (compression happens at page level, not in the log).
+//!
+//! Layout per value: `[tag u8]` then
+//!
+//! * tag 0 — SQL NULL, no payload
+//! * tag 1 — `Int`, 8-byte little-endian `i64`
+//! * tag 2 — `Str`, `[len u32 LE][utf-8 bytes]`
+//!
+//! A row is its arity as `u32` followed by its values.
+
+use crate::error::{CadbError, Result};
+use crate::row::Row;
+use crate::value::Value;
+
+/// Append a `u32` in little-endian order.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian order.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u32` at `*off`, advancing it.
+pub fn get_u32(bytes: &[u8], off: &mut usize) -> Result<u32> {
+    let end = off
+        .checked_add(4)
+        .filter(|e| *e <= bytes.len())
+        .ok_or_else(|| truncated("u32"))?;
+    let v = u32::from_le_bytes(bytes[*off..end].try_into().unwrap());
+    *off = end;
+    Ok(v)
+}
+
+/// Read a `u64` at `*off`, advancing it.
+pub fn get_u64(bytes: &[u8], off: &mut usize) -> Result<u64> {
+    let end = off
+        .checked_add(8)
+        .filter(|e| *e <= bytes.len())
+        .ok_or_else(|| truncated("u64"))?;
+    let v = u64::from_le_bytes(bytes[*off..end].try_into().unwrap());
+    *off = end;
+    Ok(v)
+}
+
+fn truncated(what: &str) -> CadbError {
+    CadbError::Storage(format!("byte codec: truncated {what}"))
+}
+
+/// Append one tagged value.
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(i) => {
+            buf.push(1);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(2);
+            put_u32(buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Read one tagged value at `*off`, advancing it.
+pub fn get_value(bytes: &[u8], off: &mut usize) -> Result<Value> {
+    let tag = *bytes.get(*off).ok_or_else(|| truncated("value tag"))?;
+    *off += 1;
+    match tag {
+        0 => Ok(Value::Null),
+        1 => {
+            let end = off
+                .checked_add(8)
+                .filter(|e| *e <= bytes.len())
+                .ok_or_else(|| truncated("i64"))?;
+            let v = i64::from_le_bytes(bytes[*off..end].try_into().unwrap());
+            *off = end;
+            Ok(Value::Int(v))
+        }
+        2 => {
+            let len = get_u32(bytes, off)? as usize;
+            let end = off
+                .checked_add(len)
+                .filter(|e| *e <= bytes.len())
+                .ok_or_else(|| truncated("string payload"))?;
+            let s = std::str::from_utf8(&bytes[*off..end])
+                .map_err(|_| CadbError::Storage("byte codec: invalid utf-8".into()))?;
+            *off = end;
+            Ok(Value::Str(s.to_string()))
+        }
+        t => Err(CadbError::Storage(format!(
+            "byte codec: unknown value tag {t}"
+        ))),
+    }
+}
+
+/// Append a row (arity-prefixed values).
+pub fn put_row(buf: &mut Vec<u8>, row: &Row) {
+    put_u32(buf, row.arity() as u32);
+    for v in &row.values {
+        put_value(buf, v);
+    }
+}
+
+/// Read a row at `*off`, advancing it.
+pub fn get_row(bytes: &[u8], off: &mut usize) -> Result<Row> {
+    let arity = get_u32(bytes, off)? as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(get_value(bytes, off)?);
+    }
+    Ok(Row::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let vals = [
+            Value::Null,
+            Value::Int(0),
+            Value::Int(-123_456_789),
+            Value::Int(i64::MAX),
+            Value::Str(String::new()),
+            Value::Str("hello WAL".into()),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut off = 0;
+        for v in &vals {
+            assert_eq!(&get_value(&buf, &mut off).unwrap(), v);
+        }
+        assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let row = Row::new(vec![Value::Int(7), Value::Str("x".into()), Value::Null]);
+        let mut buf = Vec::new();
+        put_row(&mut buf, &row);
+        let mut off = 0;
+        assert_eq!(get_row(&buf, &mut off).unwrap(), row);
+        assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Str("truncate me".into()));
+        for cut in 0..buf.len() {
+            let mut off = 0;
+            assert!(get_value(&buf[..cut], &mut off).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut off = 0;
+        assert!(get_value(&[9], &mut off).is_err());
+    }
+}

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod error;
 pub mod ids;
 pub mod json;

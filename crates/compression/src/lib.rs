@@ -28,6 +28,7 @@ pub mod local_dict;
 pub mod method;
 pub mod null_suppress;
 pub mod page;
+pub mod patch;
 pub mod prefix;
 pub mod rle;
 
@@ -38,3 +39,4 @@ pub use page::{
     column_sections, decode_column_values_range, decode_page, encode_page, ColumnSection,
     EncodedPage, PageContext,
 };
+pub use patch::{append_patch, has_patch, split_patch};

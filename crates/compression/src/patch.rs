@@ -1,0 +1,155 @@
+//! Page *patch sections*: rows appended to an already-encoded page without
+//! re-running the page encoder.
+//!
+//! The live write path (`cadb_exec::store`) must fold freshly committed
+//! rows into compressed leaves whose encodings are immutable by design —
+//! local dictionaries, prefix anchors and RLE runs are all computed at
+//! bulk-build time. A patch section sidesteps the re-encode: the new rows
+//! are appended *after* the encoded block in the plain byte codec
+//! (`cadb_common::bytes`), terminated by a fixed trailer, and merged back
+//! in at decode time. A patched page therefore trades compression for
+//! append cost O(rows appended) — exactly the trade a checkpoint undoes
+//! when it rebuilds the leaf ([`crate::encode_page`] over the merged rows).
+//!
+//! Layout: `[encoded page block][patch rows][n_rows u32][payload_len u32]
+//! [PATCH_MAGIC u32]` — trailer-framed so it composes with any page
+//! encoding without touching the page header.
+
+use cadb_common::bytes::{get_row, get_u32, put_row, put_u32};
+use cadb_common::{CadbError, Result, Row};
+
+/// Trailer magic marking a patched page ("CTAP" little-endian).
+pub const PATCH_MAGIC: u32 = 0x5041_5443;
+
+/// Trailer bytes after the patch payload: n_rows, payload_len, magic.
+pub const PATCH_TRAILER_BYTES: usize = 12;
+
+/// Append rows to an encoded page block as a patch section. If the block
+/// already carries a patch, the sections are coalesced — a page holds at
+/// most one patch section.
+pub fn append_patch(block: &mut Vec<u8>, rows: &[Row]) -> Result<()> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let (base_len, mut all) = {
+        let (base, existing) = split_patch(block)?;
+        (base.len(), existing)
+    };
+    all.extend(rows.iter().cloned());
+    block.truncate(base_len);
+    let mut payload = Vec::new();
+    for r in &all {
+        put_row(&mut payload, r);
+    }
+    let payload_len = payload.len();
+    block.extend_from_slice(&payload);
+    put_u32(block, all.len() as u32);
+    put_u32(block, payload_len as u32);
+    put_u32(block, PATCH_MAGIC);
+    Ok(())
+}
+
+/// `true` when the block ends in a patch trailer.
+pub fn has_patch(block: &[u8]) -> bool {
+    if block.len() < PATCH_TRAILER_BYTES {
+        return false;
+    }
+    let mut off = block.len() - 4;
+    matches!(get_u32(block, &mut off), Ok(m) if m == PATCH_MAGIC)
+}
+
+/// Split a possibly-patched block into the encoded base page and the
+/// patch rows (empty when the block carries no patch).
+pub fn split_patch(block: &[u8]) -> Result<(&[u8], Vec<Row>)> {
+    if !has_patch(block) {
+        return Ok((block, Vec::new()));
+    }
+    let mut off = block.len() - PATCH_TRAILER_BYTES;
+    let n_rows = get_u32(block, &mut off)? as usize;
+    let payload_len = get_u32(block, &mut off)? as usize;
+    let trailer_start = block.len() - PATCH_TRAILER_BYTES;
+    let payload_start = trailer_start
+        .checked_sub(payload_len)
+        .ok_or_else(|| CadbError::Storage("patch: payload length exceeds block".into()))?;
+    let mut rows = Vec::with_capacity(n_rows);
+    let mut p = payload_start;
+    for _ in 0..n_rows {
+        rows.push(get_row(block, &mut p)?);
+    }
+    if p != trailer_start {
+        return Err(CadbError::Storage(
+            "patch: payload length does not match row count".into(),
+        ));
+    }
+    Ok((&block[..payload_start], rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::CompressionKind;
+    use crate::page::{decode_page, encode_page, PageContext};
+    use cadb_common::{DataType, Value};
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Str(format!("s{i}"))]))
+            .collect()
+    }
+
+    fn ctx(dtypes: &[DataType]) -> PageContext<'_> {
+        PageContext {
+            dtypes,
+            kind: CompressionKind::Row,
+            global_dicts: None,
+        }
+    }
+
+    #[test]
+    fn patch_roundtrip_preserves_base_and_rows() {
+        let dtypes = [DataType::Int, DataType::Varchar { max_len: 8 }];
+        let base = rows(20);
+        let page = encode_page(&base, &ctx(&dtypes)).unwrap();
+        let mut block = page.bytes.clone();
+        let extra = rows(3);
+        append_patch(&mut block, &extra).unwrap();
+        assert!(has_patch(&block));
+        let (base_bytes, patch_rows) = split_patch(&block).unwrap();
+        assert_eq!(base_bytes, &page.bytes[..]);
+        assert_eq!(patch_rows, extra);
+        // The base still decodes exactly.
+        assert_eq!(decode_page(base_bytes, &ctx(&dtypes)).unwrap(), base);
+    }
+
+    #[test]
+    fn patches_coalesce_into_one_section() {
+        let dtypes = [DataType::Int, DataType::Varchar { max_len: 8 }];
+        let page = encode_page(&rows(10), &ctx(&dtypes)).unwrap();
+        let mut block = page.bytes.clone();
+        append_patch(&mut block, &rows(2)).unwrap();
+        append_patch(&mut block, &rows(3)).unwrap();
+        let (base_bytes, patch_rows) = split_patch(&block).unwrap();
+        assert_eq!(base_bytes, &page.bytes[..]);
+        assert_eq!(patch_rows.len(), 5);
+        let (_, tail) = split_patch(base_bytes).unwrap();
+        assert!(tail.is_empty(), "base must not retain a patch");
+    }
+
+    #[test]
+    fn unpatched_block_is_returned_whole() {
+        let dtypes = [DataType::Int, DataType::Varchar { max_len: 8 }];
+        let page = encode_page(&rows(4), &ctx(&dtypes)).unwrap();
+        let (base, patch) = split_patch(&page.bytes).unwrap();
+        assert_eq!(base, &page.bytes[..]);
+        assert!(patch.is_empty());
+    }
+
+    #[test]
+    fn empty_patch_is_a_no_op() {
+        let dtypes = [DataType::Int, DataType::Varchar { max_len: 8 }];
+        let page = encode_page(&rows(4), &ctx(&dtypes)).unwrap();
+        let mut block = page.bytes.clone();
+        append_patch(&mut block, &[]).unwrap();
+        assert_eq!(block, page.bytes);
+    }
+}

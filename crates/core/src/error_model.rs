@@ -239,6 +239,27 @@ impl ErrorModel {
         model
     }
 
+    /// Summarize maintenance-cost residuals: the geometric-mean
+    /// `estimated / measured` ratio (and observation count) over per-write
+    /// `(estimated, measured)` cost pairs — the write-side analogue of
+    /// [`Self::rows_bias_by_path`], fed by actually committing every
+    /// INSERT/UPDATE through the store's WAL'd write path
+    /// (`cadb-exec`'s `MeasuredReport::maintenance_residuals`). Pairs
+    /// where nothing was measured are skipped, so no-op writes don't skew
+    /// the summary; `(1.0, 0)` when nothing remains.
+    pub fn maintenance_bias(pairs: &[(f64, f64)]) -> (f64, usize) {
+        let ratios: Vec<f64> = pairs
+            .iter()
+            .filter(|(_, measured)| *measured > 0.0)
+            .map(|(est, measured)| (est / measured).max(1e-12))
+            .collect();
+        if ratios.is_empty() {
+            return (1.0, 0);
+        }
+        let gm = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        (gm, ratios.len())
+    }
+
     /// Summarize per-query row residuals by path class: for each class
     /// with observations, the geometric-mean `estimated/measured` ratio
     /// and the observation count, in [`PathClass`] order. The geometric
@@ -343,6 +364,18 @@ mod tests {
         // geomean(3.0, 1.0) = √3.
         assert!((gm - 3f64.sqrt()).abs() < 1e-12, "{gm}");
         assert_eq!(class.name(), "index");
+    }
+
+    #[test]
+    fn maintenance_bias_is_geometric_and_skips_unmeasured() {
+        // geomean(4.0, 1.0) = 2.0; the zero-measured pair is skipped.
+        let pairs = [(40.0, 10.0), (10.0, 10.0), (5.0, 0.0)];
+        let (gm, n) = ErrorModel::maintenance_bias(&pairs);
+        assert_eq!(n, 2);
+        assert!((gm - 2.0).abs() < 1e-12, "{gm}");
+        // Nothing measured → neutral summary.
+        assert_eq!(ErrorModel::maintenance_bias(&[(3.0, 0.0)]), (1.0, 0));
+        assert_eq!(ErrorModel::maintenance_bias(&[]), (1.0, 0));
     }
 
     #[test]

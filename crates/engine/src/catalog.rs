@@ -18,6 +18,12 @@ pub struct Database {
     /// Extra multi-column sets (per table) registered for exact distinct
     /// counting — index-key prefixes the advisor cares about.
     multi_sets: RwLock<HashMap<TableId, Vec<Vec<ColumnId>>>>,
+    /// Cached sample-driven output-row estimates (see
+    /// `cardinality::query_output_rows`), keyed by query shape; cleared on
+    /// any data change because estimates can span tables through joins.
+    /// The bool distinguishes measured estimates from below-resolution
+    /// caps.
+    sample_estimates: RwLock<HashMap<(TableId, String), (bool, f64)>>,
 }
 
 impl Database {
@@ -70,7 +76,23 @@ impl Database {
     pub fn insert_rows(&mut self, id: TableId, rows: Vec<Row>) -> Result<usize> {
         let n = self.tables[id.raw() as usize].insert_many(rows)?;
         self.stats.write().remove(&id);
+        self.sample_estimates.write().clear();
         Ok(n)
+    }
+
+    /// Cached sample-driven row estimate for a query shape, if any.
+    pub(crate) fn sample_estimate_cached(&self, root: TableId, key: &str) -> Option<(bool, f64)> {
+        self.sample_estimates
+            .read()
+            .get(&(root, key.to_string()))
+            .copied()
+    }
+
+    /// Remember a sample-driven row estimate for a query shape.
+    pub(crate) fn sample_estimate_store(&self, root: TableId, key: String, measured: bool, v: f64) {
+        self.sample_estimates
+            .write()
+            .insert((root, key), (measured, v));
     }
 
     /// Register column combinations for exact multi-column distinct counts

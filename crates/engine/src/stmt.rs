@@ -115,6 +115,20 @@ pub struct BulkInsert {
     pub n_rows: u64,
 }
 
+/// A bulk UPDATE: rewrites one column of `n_rows` existing rows — the
+/// write-heavy mixes' in-place modification. Under MVCC each touched row
+/// becomes a new version (delete + insert), so every structure storing the
+/// column pays maintenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkUpdate {
+    /// Target table.
+    pub table: TableId,
+    /// Number of rows rewritten per execution.
+    pub n_rows: u64,
+    /// The column rewritten.
+    pub column: ColumnId,
+}
+
 /// A workload statement with its weight (execution frequency).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -122,6 +136,8 @@ pub enum Statement {
     Select(Query),
     /// A bulk INSERT.
     Insert(BulkInsert),
+    /// A bulk UPDATE.
+    Update(BulkUpdate),
 }
 
 /// A weighted workload, the input of the design tool.
@@ -153,16 +169,32 @@ impl Workload {
         })
     }
 
-    /// Scale the weight of every INSERT by `factor` — how the paper turns a
-    /// base workload into SELECT-intensive (low factor) or INSERT-intensive
-    /// (high factor) variants (Appendix D.2).
+    /// Iterate over the bulk updates with weights.
+    pub fn updates(&self) -> impl Iterator<Item = (&BulkUpdate, f64)> {
+        self.statements.iter().filter_map(|(s, w)| match s {
+            Statement::Update(u) => Some((u, *w)),
+            _ => None,
+        })
+    }
+
+    /// `true` when the workload contains any write statement (INSERT or
+    /// UPDATE) — the condition for maintenance cost being measurable.
+    pub fn has_writes(&self) -> bool {
+        self.statements
+            .iter()
+            .any(|(s, _)| matches!(s, Statement::Insert(_) | Statement::Update(_)))
+    }
+
+    /// Scale the weight of every INSERT/UPDATE by `factor` — how the paper
+    /// turns a base workload into SELECT-intensive (low factor) or
+    /// INSERT-intensive (high factor) variants (Appendix D.2).
     pub fn with_insert_weight(&self, factor: f64) -> Workload {
         Workload {
             statements: self
                 .statements
                 .iter()
                 .map(|(s, w)| match s {
-                    Statement::Insert(_) => (s.clone(), w * factor),
+                    Statement::Insert(_) | Statement::Update(_) => (s.clone(), w * factor),
                     _ => (s.clone(), *w),
                 })
                 .collect(),

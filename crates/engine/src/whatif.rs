@@ -17,7 +17,7 @@ use crate::cardinality::{mv_estimated_rows, predicate_selectivity};
 use crate::catalog::Database;
 use crate::config::{Configuration, IndexSpec, Parallelism, SizeEstimate};
 use crate::cost::CostModel;
-use crate::stmt::{BulkInsert, Statement, Workload};
+use crate::stmt::{BulkInsert, BulkUpdate, Statement, Workload};
 use cadb_common::par::par_map;
 use cadb_common::DataType;
 use cadb_compression::analyze::PAGE_PAYLOAD;
@@ -134,11 +134,61 @@ impl<'a> WhatIfOptimizer<'a> {
         cost
     }
 
+    /// Cost of a bulk update under a configuration: locate + rewrite the
+    /// base rows, plus maintenance of every structure that stores the
+    /// rewritten column. Under MVCC an update is a delete + insert of the
+    /// new row version, so affected secondary indexes pay a remove and a
+    /// re-insert, and an MV over the table pays a group re-aggregation.
+    pub fn update_cost(&self, upd: &BulkUpdate, cfg: &Configuration) -> f64 {
+        let n = upd.n_rows as f64;
+        let m = &self.model;
+        let base_kind = crate::access_path::base_structure(cfg, upd.table)
+            .map(|s| s.spec.compression)
+            .unwrap_or(cadb_compression::CompressionKind::None);
+        // Locate the row versions, decode the pages they live in, write
+        // the new versions back compressed.
+        let mut cost = n * m.cpu_per_tuple
+            + m.lookup_cost(n)
+            + m.decompress_cost(base_kind, n, 1.0)
+            + m.compress_cost(base_kind, n);
+        for s in cfg.structures() {
+            let spec = &s.spec;
+            let affected = match &spec.mv {
+                // An MV over this table re-aggregates the touched groups
+                // when the rewritten column is stored in the view.
+                Some(mv) if mv.root == upd.table => {
+                    let col = (upd.table, upd.column);
+                    if mv.group_by.contains(&col) || mv.agg_columns.contains(&col) {
+                        n
+                    } else {
+                        continue;
+                    }
+                }
+                Some(_) => continue,
+                // A secondary/clustered structure pays delete + re-insert
+                // when it stores the rewritten column.
+                None if spec.table == upd.table => {
+                    if spec.clustered || spec.stored_columns().contains(&upd.column) {
+                        n
+                    } else {
+                        continue;
+                    }
+                }
+                None => continue,
+            };
+            // Delete + insert of the new version: two index touches.
+            cost += affected * (m.cpu_per_tuple + 2.0 * m.insert_io_per_row)
+                + m.compress_cost(spec.compression, affected);
+        }
+        cost
+    }
+
     /// Cost of any workload statement.
     pub fn statement_cost(&self, stmt: &Statement, cfg: &Configuration) -> f64 {
         match stmt {
             Statement::Select(q) => self.query_cost(q, cfg),
             Statement::Insert(i) => self.insert_cost(i, cfg),
+            Statement::Update(u) => self.update_cost(u, cfg),
         }
     }
 

@@ -49,6 +49,19 @@
 //! `cadb::TuningSession::execute` returns. Its residual ratios feed
 //! `cadb_core::ErrorModel::calibrate_samplecf`, so measurement flows back
 //! into the model that produced the estimates.
+//!
+//! ## The write path
+//!
+//! [`store`] closes the *other* half of that loop: a snapshot-isolated
+//! MVCC [`Store`] over the same materialized configuration commits the
+//! workload's INSERT/UPDATE statements through a WAL'd single-log,
+//! multi-writer path with incremental secondary-index and MV maintenance
+//! — so `mv_maintenance_cost` and per-statement write costs in a
+//! [`MeasuredReport`] are *measured* (actual rows matched, columns
+//! changed, MV groups touched), not what-if guesses. Crash recovery
+//! replays the log into a fresh store and reproduces the committed state
+//! bit for bit; `tests/store_recovery.rs` tears the log at every sync
+//! point to prove it.
 
 #![warn(missing_docs)]
 
@@ -56,13 +69,20 @@ pub mod measured;
 pub mod planner;
 pub mod query;
 pub mod scan;
+pub mod store;
 pub mod vector;
 
-pub use measured::{MaterializedConfig, MeasuredReport, MeasuredRun, MeasuredStructure};
+pub use measured::{
+    MaterializedConfig, MeasuredReport, MeasuredRun, MeasuredStructure, WriteCostActual,
+    DEFAULT_WRITE_SEED,
+};
 pub use planner::{plan_query, PathKind, QueryPlan, TablePath};
 pub use query::{execute_planned, execute_query};
 pub use scan::{
     scan_aggregate, scan_aggregate_range, scan_filter, scan_filter_range, BoundPredicate, ExecMode,
     ExecStats,
+};
+pub use store::{
+    RecoveryReport, Snapshot, Store, StoreCheckpoint, StoreTotals, WriteActual, WriteKind,
 };
 pub use vector::{ColumnVector, IntAggregate, VectorData};

@@ -14,6 +14,7 @@
 use crate::planner::plan_query;
 use crate::query::{execute_planned, execute_query, missing_base};
 use crate::scan::ExecMode;
+use crate::store::{Store, WriteKind};
 use cadb_common::json::{JsonArray, JsonObject};
 use cadb_common::{ColumnId, Parallelism, Result, Row, TableId};
 use cadb_compression::CompressionKind;
@@ -258,6 +259,51 @@ impl QueryActual {
     }
 }
 
+/// Measured actuals of one executed write statement, next to the what-if
+/// estimate the advisor priced it with — the write-side counterpart of
+/// [`QueryActual`].
+#[derive(Debug, Clone)]
+pub struct WriteCostActual {
+    /// Index of the statement in the workload's statement list.
+    pub statement_index: usize,
+    /// INSERT or UPDATE.
+    pub kind: WriteKind,
+    /// Target table.
+    pub table: TableId,
+    /// Rows the statement wrote (or rewrote).
+    pub n_rows: u64,
+    /// The statement's workload weight.
+    pub weight: f64,
+    /// What-if estimated cost of the statement under the configuration
+    /// (unweighted, same units as `measured_cost`).
+    pub estimated_cost: f64,
+    /// Measured maintenance cost: the store actually ran the write through
+    /// the WAL'd commit path and counted the work (unweighted).
+    pub measured_cost: f64,
+    /// The MV-maintenance share of `measured_cost`.
+    pub measured_mv_cost: f64,
+    /// Distinct MV groups the write actually touched (what-if assumes
+    /// every inserted row lands in its own group).
+    pub mv_groups_touched: u64,
+    /// Secondary-index rows actually maintained (what-if assumes
+    /// `n · selectivity` for partial structures).
+    pub index_rows_touched: u64,
+    /// WAL bytes the commit appended.
+    pub wal_bytes: u64,
+}
+
+impl WriteCostActual {
+    /// `estimated / measured` cost ratio (1.0 = perfect; 1.0 when nothing
+    /// was measured) — the maintenance residual the error model summarizes.
+    pub fn cost_ratio(&self) -> f64 {
+        if self.measured_cost <= 0.0 {
+            1.0
+        } else {
+            self.estimated_cost / self.measured_cost
+        }
+    }
+}
+
 /// The estimated-vs-actual report of one [`MeasuredRun`].
 #[derive(Debug, Clone)]
 pub struct MeasuredReport {
@@ -269,17 +315,26 @@ pub struct MeasuredReport {
     pub measured_total_bytes: usize,
     /// Per-query actuals, in workload order.
     pub queries: Vec<QueryActual>,
+    /// Per-write-statement actuals, in workload order: each INSERT/UPDATE
+    /// was really committed through the store's WAL'd write path and its
+    /// maintenance work counted.
+    pub writes: Vec<WriteCostActual>,
     /// What-if estimated workload cost under the configuration.
     pub estimated_workload_cost: f64,
     /// What-if estimated workload cost with no structures (baseline).
     pub baseline_workload_cost: f64,
-    /// Weighted what-if maintenance cost the workload's INSERTs charge to
-    /// the configuration's MV structures. **`None` when the workload has
-    /// no INSERT statements** — maintenance is then unexercised, not free;
-    /// earlier versions reported `0` here, which understated update cost
-    /// for MV-heavy configurations (one of the two INSERT-heavy shape
-    /// mismatches flagged in EXPERIMENTS.md).
+    /// **Measured** weighted MV-maintenance cost of the workload's writes:
+    /// `Σ weight · measured_mv_cost` over [`Self::writes`], from actually
+    /// running every INSERT/UPDATE through incremental MV maintenance.
+    /// **`None` when the workload has no write statements** — maintenance
+    /// is then unexercised, not free; earlier versions reported `0` here,
+    /// which understated update cost for MV-heavy configurations (one of
+    /// the two INSERT-heavy shape mismatches flagged in EXPERIMENTS.md).
     pub mv_maintenance_cost: Option<f64>,
+    /// The what-if *estimate* of the same quantity (the weighted
+    /// `insert_cost` delta the advisor charged MV structures), kept beside
+    /// the measurement so the residual is visible. Same `None` gating.
+    pub mv_maintenance_whatif: Option<f64>,
 }
 
 impl MeasuredReport {
@@ -307,6 +362,25 @@ impl MeasuredReport {
             .filter(|s| s.spec.compression.is_compressed())
             .map(|s| (s.spec.compression, s.size_ratio()))
             .collect()
+    }
+
+    /// `(estimated, measured)` maintenance-cost pairs per write statement —
+    /// the raw material for `cadb_core::ErrorModel::maintenance_bias`.
+    pub fn maintenance_residuals(&self) -> Vec<(f64, f64)> {
+        self.writes
+            .iter()
+            .map(|w| (w.estimated_cost, w.measured_cost))
+            .collect()
+    }
+
+    /// Measured weighted maintenance cost of **all** writes (base + index
+    /// + MV), `None` when the workload has none.
+    pub fn measured_write_cost(&self) -> Option<f64> {
+        if self.writes.is_empty() {
+            None
+        } else {
+            Some(self.writes.iter().map(|w| w.weight * w.measured_cost).sum())
+        }
     }
 
     /// Machine-readable JSON form (same writer conventions as the
@@ -352,12 +426,38 @@ impl MeasuredReport {
                     .finish(),
             );
         }
+        let mut writes = JsonArray::new();
+        for w in &self.writes {
+            writes.push_raw(
+                &JsonObject::new()
+                    .int("statement_index", w.statement_index as i64)
+                    .str(
+                        "kind",
+                        match w.kind {
+                            WriteKind::Insert => "insert",
+                            WriteKind::Update => "update",
+                        },
+                    )
+                    .int("table", w.table.0 as i64)
+                    .int("n_rows", w.n_rows as i64)
+                    .num("weight", w.weight)
+                    .num("estimated_cost", w.estimated_cost)
+                    .num("measured_cost", w.measured_cost)
+                    .num("measured_mv_cost", w.measured_mv_cost)
+                    .num("cost_ratio", w.cost_ratio())
+                    .int("mv_groups_touched", w.mv_groups_touched as i64)
+                    .int("index_rows_touched", w.index_rows_touched as i64)
+                    .int("wal_bytes", w.wal_bytes as i64)
+                    .finish(),
+            );
+        }
         let mut out = JsonObject::new()
             .raw("structures", &structures.finish())
             .num("estimated_total_bytes", self.estimated_total_bytes)
             .int("measured_total_bytes", self.measured_total_bytes as i64)
             .num("total_size_error", self.total_size_error())
             .raw("queries", &queries.finish())
+            .raw("writes", &writes.finish())
             .bool("all_queries_verified", self.all_queries_verified())
             .num("estimated_workload_cost", self.estimated_workload_cost)
             .num("baseline_workload_cost", self.baseline_workload_cost)
@@ -367,6 +467,12 @@ impl MeasuredReport {
             );
         if let Some(c) = self.mv_maintenance_cost {
             out = out.num("mv_maintenance_cost", c);
+        }
+        if let Some(c) = self.mv_maintenance_whatif {
+            out = out.num("mv_maintenance_whatif", c);
+        }
+        if let Some(c) = self.measured_write_cost() {
+            out = out.num("measured_write_cost", c);
         }
         out.finish()
     }
@@ -379,7 +485,12 @@ pub struct MeasuredRun<'a> {
     db: &'a Database,
     workload: &'a Workload,
     parallelism: Parallelism,
+    seed: u64,
 }
+
+/// Default RNG seed for the synthetic rows write statements commit
+/// ([`MeasuredRun::with_seed`] overrides it).
+pub const DEFAULT_WRITE_SEED: u64 = 0xCADB;
 
 impl<'a> MeasuredRun<'a> {
     /// A run over a database and the workload whose queries will be
@@ -389,6 +500,7 @@ impl<'a> MeasuredRun<'a> {
             db,
             workload,
             parallelism: Parallelism::Auto,
+            seed: DEFAULT_WRITE_SEED,
         }
     }
 
@@ -396,6 +508,13 @@ impl<'a> MeasuredRun<'a> {
     /// for every setting; [`Parallelism::Serial`] is the escape hatch).
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.parallelism = par;
+        self
+    }
+
+    /// Seed for the synthetic rows the write statements commit (measured
+    /// write costs are a deterministic function of it).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -426,9 +545,42 @@ impl<'a> MeasuredRun<'a> {
         let opt = WhatIfOptimizer::new(self.db).with_parallelism(self.parallelism);
         let estimated_total_bytes = cfg.total_bytes();
         let measured_total_bytes = mat.structures().iter().map(|s| s.measured_bytes).sum();
-        // MV maintenance: only measurable when the workload actually
-        // INSERTs. An explicit `None` replaces the old silent `0`.
-        let mv_maintenance_cost = if self.workload.inserts().next().is_some() {
+        // Writes: actually commit every INSERT/UPDATE through the store's
+        // WAL'd write path and count the maintenance work, so the MV
+        // maintenance number below is a *measurement*, not the what-if
+        // guess it used to be. Only measurable when the workload writes;
+        // an explicit `None` replaces the old silent `0`.
+        let (writes, mv_maintenance_cost) = if self.workload.has_writes() {
+            let store = Store::open(self.db, &mat, opt.model().clone());
+            let actuals = store.apply_workload(self.workload, self.seed, self.parallelism)?;
+            let writes: Vec<WriteCostActual> = actuals
+                .iter()
+                .map(|a| {
+                    let (stmt, weight) = &self.workload.statements[a.statement_index];
+                    WriteCostActual {
+                        statement_index: a.statement_index,
+                        kind: a.kind,
+                        table: a.table,
+                        n_rows: a.n_rows,
+                        weight: *weight,
+                        estimated_cost: opt.statement_cost(stmt, cfg),
+                        measured_cost: a.measured_cost,
+                        measured_mv_cost: a.measured_mv_cost,
+                        mv_groups_touched: a.counters.mv_groups_touched,
+                        index_rows_touched: a.counters.index_rows_touched,
+                        wal_bytes: a.counters.wal_bytes,
+                    }
+                })
+                .collect();
+            let measured_mv: f64 = writes.iter().map(|w| w.weight * w.measured_mv_cost).sum();
+            (writes, Some(measured_mv))
+        } else {
+            (Vec::new(), None)
+        };
+        // Keep the what-if estimate of the same quantity beside the
+        // measurement: the weighted `insert_cost` delta MV structures are
+        // charged for, under the same gating.
+        let mv_maintenance_whatif = if self.workload.inserts().next().is_some() {
             let mut no_mv = Configuration::empty();
             for s in cfg.structures() {
                 if s.spec.mv.is_none() {
@@ -449,9 +601,11 @@ impl<'a> MeasuredRun<'a> {
             estimated_total_bytes,
             measured_total_bytes,
             queries,
+            writes,
             estimated_workload_cost: opt.workload_cost(self.workload, cfg),
             baseline_workload_cost: opt.workload_cost(self.workload, &Configuration::empty()),
             mv_maintenance_cost,
+            mv_maintenance_whatif,
         })
     }
 

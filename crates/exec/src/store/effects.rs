@@ -1,0 +1,174 @@
+//! Commit effects and their WAL payload encoding.
+//!
+//! A writer *prepares* a statement into a fully resolved [`CommitEffects`]
+//! — the exact rows appended and the exact row versions superseded — and
+//! the commit path logs that resolution, not the statement. Replay
+//! therefore never re-resolves anything: applying the decoded effects in
+//! LSN order reproduces the committed state bit for bit, regardless of
+//! how many writers raced during the original run.
+
+use cadb_common::bytes::{get_row, get_u32, put_row, put_u32};
+use cadb_common::{CadbError, Result, Row, TableId};
+
+/// Where an updated row version lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSlot {
+    /// Insertion ordinal into the immutable compressed base.
+    Base(u32),
+    /// Index into the table delta's appended slots.
+    Appended(u32),
+}
+
+/// One superseded row version: the slot it occupies, the version being
+/// superseded and the new version. Carrying the *old* row in the log makes
+/// replayed maintenance accounting byte-identical to the original run's
+/// even when writers raced: the maintainer never has to re-resolve a slot
+/// against state that may have moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowRewrite {
+    /// Target slot.
+    pub slot: RowSlot,
+    /// The row version being superseded.
+    pub old_row: Row,
+    /// The full new row version.
+    pub new_row: Row,
+}
+
+/// A resolved commit: everything needed to apply it deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitEffects {
+    /// Target table.
+    pub table: TableId,
+    /// Rows appended (INSERT).
+    pub appended: Vec<Row>,
+    /// Row versions superseded (UPDATE).
+    pub rewritten: Vec<RowRewrite>,
+}
+
+const SLOT_BASE: u32 = 0;
+const SLOT_APPENDED: u32 = 1;
+
+impl CommitEffects {
+    /// Encode as a WAL commit-frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.table.0);
+        put_u32(&mut out, self.appended.len() as u32);
+        for r in &self.appended {
+            put_row(&mut out, r);
+        }
+        put_u32(&mut out, self.rewritten.len() as u32);
+        for rw in &self.rewritten {
+            match rw.slot {
+                RowSlot::Base(o) => {
+                    put_u32(&mut out, SLOT_BASE);
+                    put_u32(&mut out, o);
+                }
+                RowSlot::Appended(s) => {
+                    put_u32(&mut out, SLOT_APPENDED);
+                    put_u32(&mut out, s);
+                }
+            }
+            put_row(&mut out, &rw.old_row);
+            put_row(&mut out, &rw.new_row);
+        }
+        out
+    }
+
+    /// Decode a WAL commit-frame payload.
+    pub fn decode(payload: &[u8]) -> Result<CommitEffects> {
+        let mut off = 0usize;
+        let table = TableId(get_u32(payload, &mut off)?);
+        let n_app = get_u32(payload, &mut off)? as usize;
+        let mut appended = Vec::with_capacity(n_app);
+        for _ in 0..n_app {
+            appended.push(get_row(payload, &mut off)?);
+        }
+        let n_rw = get_u32(payload, &mut off)? as usize;
+        let mut rewritten = Vec::with_capacity(n_rw);
+        for _ in 0..n_rw {
+            let tag = get_u32(payload, &mut off)?;
+            let idx = get_u32(payload, &mut off)?;
+            let slot = match tag {
+                SLOT_BASE => RowSlot::Base(idx),
+                SLOT_APPENDED => RowSlot::Appended(idx),
+                other => {
+                    return Err(CadbError::Storage(format!(
+                        "commit payload: unknown slot tag {other}"
+                    )))
+                }
+            };
+            rewritten.push(RowRewrite {
+                slot,
+                old_row: get_row(payload, &mut off)?,
+                new_row: get_row(payload, &mut off)?,
+            });
+        }
+        if off != payload.len() {
+            return Err(CadbError::Storage("commit payload: trailing bytes".into()));
+        }
+        Ok(CommitEffects {
+            table,
+            appended,
+            rewritten,
+        })
+    }
+
+    /// Rows touched (appended + rewritten).
+    pub fn n_rows(&self) -> usize {
+        self.appended.len() + self.rewritten.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadb_common::Value;
+
+    fn fx() -> CommitEffects {
+        CommitEffects {
+            table: TableId(3),
+            appended: vec![
+                Row::new(vec![Value::Int(1), Value::Str("a".into())]),
+                Row::new(vec![Value::Null, Value::Int(-9)]),
+            ],
+            rewritten: vec![
+                RowRewrite {
+                    slot: RowSlot::Base(17),
+                    old_row: Row::new(vec![Value::Int(1), Value::Str("b".into())]),
+                    new_row: Row::new(vec![Value::Int(2), Value::Str("b".into())]),
+                },
+                RowRewrite {
+                    slot: RowSlot::Appended(0),
+                    old_row: Row::new(vec![Value::Int(2), Value::Null]),
+                    new_row: Row::new(vec![Value::Int(3), Value::Null]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let e = fx();
+        assert_eq!(CommitEffects::decode(&e.encode()).unwrap(), e);
+        assert_eq!(e.n_rows(), 4);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = fx().encode();
+        bytes.push(0);
+        assert!(CommitEffects::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let bytes = fx().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                CommitEffects::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+}

@@ -1,0 +1,798 @@
+//! A snapshot-isolated, WAL'd store over the compressed
+//! [`MaterializedConfig`] — the subsystem that turns *what-if*
+//! INSERT/UPDATE maintenance costs into *measured* ones.
+//!
+//! ## Architecture
+//!
+//! The compressed structures a [`MaterializedConfig`] built stay
+//! **immutable**: the store layers [`delta::TableDelta`] version chains
+//! over each table's base (MVCC; a [`Snapshot`] pins a commit-LSN
+//! watermark and reads a consistent state without blocking writers) and
+//! per-MV aggregate overlays over the built MV structures. The write path
+//! is *single-log / multi-writer*: any number of writers prepare
+//! concurrently (resolve statements into [`effects::CommitEffects`], probe
+//! dimensions, price maintenance — all outside any lock), then commits
+//! serialize only on the short critical section that assigns the LSN,
+//! appends the frame to the shared [`cadb_storage::wal::WalSegment`] and
+//! applies the effects.
+//!
+//! ## Determinism contract
+//!
+//! * Per-statement measured costs are pure functions of the statement's
+//!   resolved effects and the immutable bases ([`maintain::maintain`]), so
+//!   the measured totals of a run are identical under
+//!   [`Parallelism::Serial`] and concurrent execution.
+//! * [`Store::state_digest`] hashes the visible row *multiset* (plus MV
+//!   overlays), so equal states digest equally however writers
+//!   interleaved.
+//! * Crash recovery ([`Store::recover`]) replays the WAL in LSN order;
+//!   the replayed prefix reproduces the original committed state — and its
+//!   measured totals — bit for bit (torn tails are truncated, duplicate
+//!   frames skipped, see [`cadb_storage::wal::replay`]).
+//!
+//! A [`Store::checkpoint`] folds the committed deltas back into real
+//! compressed structures: pure-append tables through O(delta) page
+//! *patches* ([`cadb_storage::PhysicalIndex::append_rows`]), updated
+//! tables through a leaf rebuild.
+
+pub mod delta;
+pub mod effects;
+pub mod maintain;
+
+use crate::measured::MaterializedConfig;
+use cadb_common::rng::rng_for;
+use cadb_common::{CadbError, ColumnId, Parallelism, Result, Row, TableId, Value};
+use cadb_compression::CompressionKind;
+use cadb_engine::{
+    BulkInsert, BulkUpdate, CostModel, Database, IndexSpec, MvSpec, Statement, Workload,
+};
+use cadb_storage::wal::{self, FrameType, WalFrame, WalSegment, FRAME_HEADER_BYTES};
+use cadb_storage::PhysicalIndex;
+use delta::TableDelta;
+use effects::{CommitEffects, RowRewrite, RowSlot};
+use maintain::{fnv1a, maintain, rows_digest, MaintenanceCounters, MvGroupDelta};
+use parking_lot::RwLock;
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Running totals of everything committed so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreTotals {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Summed work counters.
+    pub counters: MaintenanceCounters,
+    /// Summed measured maintenance cost (cost-model units).
+    pub measured_cost: f64,
+    /// The MV-maintenance share of `measured_cost`.
+    pub measured_mv_cost: f64,
+}
+
+/// What one commit reported back to its writer.
+#[derive(Debug, Clone)]
+pub struct CommitReceipt {
+    /// The commit's LSN.
+    pub lsn: u64,
+    /// Work counters of this commit alone.
+    pub counters: MaintenanceCounters,
+    /// Measured maintenance cost of this commit.
+    pub measured_cost: f64,
+    /// The MV share of it.
+    pub measured_mv_cost: f64,
+}
+
+/// Which write statement produced a [`WriteActual`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// A `BulkInsert`.
+    Insert,
+    /// A `BulkUpdate`.
+    Update,
+}
+
+/// Measured actuals of one executed write statement.
+#[derive(Debug, Clone)]
+pub struct WriteActual {
+    /// Index of the statement in the workload's statement list.
+    pub statement_index: usize,
+    /// Statement kind.
+    pub kind: WriteKind,
+    /// Target table.
+    pub table: TableId,
+    /// Rows the statement asked to write.
+    pub n_rows: u64,
+    /// LSN the commit received.
+    pub lsn: u64,
+    /// Measured maintenance cost (cost-model units).
+    pub measured_cost: f64,
+    /// The MV-maintenance share of it.
+    pub measured_mv_cost: f64,
+    /// Work counters.
+    pub counters: MaintenanceCounters,
+}
+
+/// What crash recovery found in the log.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// Commit frames applied.
+    pub frames_applied: usize,
+    /// Checkpoint markers seen.
+    pub checkpoints_seen: usize,
+    /// Unusable tail bytes truncated.
+    pub truncated_bytes: usize,
+    /// Duplicate frames skipped.
+    pub duplicates_skipped: usize,
+    /// Highest committed LSN after replay.
+    pub watermark: u64,
+}
+
+/// A checkpoint artifact: the committed state folded back into real
+/// compressed structures, one per table the log touched.
+#[derive(Debug)]
+pub struct StoreCheckpoint {
+    /// Watermark the checkpoint covers.
+    pub lsn: u64,
+    /// The folded base structure per touched table.
+    pub tables: BTreeMap<TableId, PhysicalIndex>,
+    /// Tables folded via O(delta) page patches (append-only deltas).
+    pub patched_tables: usize,
+    /// Tables that needed a full leaf rebuild (had updated rows).
+    pub rebuilt_tables: usize,
+}
+
+impl StoreCheckpoint {
+    /// Byte-level digest of the artifact — leaf bytes included, so two
+    /// checkpoints are equal iff their compressed structures are
+    /// bit-for-bit identical.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv1a(h, &self.lsn.to_le_bytes());
+        for (t, ix) in &self.tables {
+            h = fnv1a(h, &t.0.to_le_bytes());
+            for leaf in 0..ix.n_leaf_pages() {
+                h = fnv1a(h, ix.leaf_bytes(leaf));
+            }
+        }
+        h
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    wal: WalSegment,
+    next_lsn: u64,
+    watermark: u64,
+    deltas: BTreeMap<TableId, TableDelta>,
+    /// MV aggregate overlays, keyed by structure position in `specs`.
+    overlays: BTreeMap<usize, HashMap<Vec<Value>, MvGroupDelta>>,
+    totals: StoreTotals,
+}
+
+/// The snapshot-isolated store. See the module docs for the architecture.
+pub struct Store<'a> {
+    db: &'a Database,
+    mat: &'a MaterializedConfig,
+    specs: Vec<IndexSpec>,
+    model: CostModel,
+    /// Base rows decoded from the compressed base structures, per table,
+    /// in base scan order (= the store's row-slot addressing), cached on
+    /// first touch.
+    base_rows: RwLock<HashMap<TableId, Arc<Vec<Row>>>>,
+    /// Dimension key → base-row ordinal maps for MV join probing.
+    dim_maps: RwLock<DimMapCache>,
+    state: RwLock<StoreState>,
+}
+
+/// Cache of dimension-key → base-row-ordinal maps, per `(table, key col)`.
+type DimMapCache = HashMap<(TableId, ColumnId), Arc<HashMap<Value, u32>>>;
+
+impl<'a> Store<'a> {
+    /// Open a store over a materialized configuration.
+    pub fn open(db: &'a Database, mat: &'a MaterializedConfig, model: CostModel) -> Store<'a> {
+        Store {
+            db,
+            mat,
+            specs: mat.structures().iter().map(|s| s.spec.clone()).collect(),
+            model,
+            base_rows: RwLock::new(HashMap::new()),
+            dim_maps: RwLock::new(HashMap::new()),
+            state: RwLock::new(StoreState {
+                next_lsn: 1,
+                ..StoreState::default()
+            }),
+        }
+    }
+
+    /// The structure specs the store maintains.
+    pub fn specs(&self) -> &[IndexSpec] {
+        &self.specs
+    }
+
+    /// A table's base rows, decoded from its compressed base pages on
+    /// first use. Slot ordinals address into this order.
+    pub fn base_rows(&self, t: TableId) -> Result<Arc<Vec<Row>>> {
+        if let Some(rows) = self.base_rows.read().get(&t) {
+            return Ok(Arc::clone(rows));
+        }
+        let decoded = Arc::new(self.mat.base(t)?.scan()?);
+        let mut cache = self.base_rows.write();
+        Ok(Arc::clone(cache.entry(t).or_insert(decoded)))
+    }
+
+    /// The key→ordinal map for probing a dimension table by `key_col`.
+    fn dim_map(&self, t: TableId, key_col: ColumnId) -> Result<Arc<HashMap<Value, u32>>> {
+        if let Some(m) = self.dim_maps.read().get(&(t, key_col)) {
+            return Ok(Arc::clone(m));
+        }
+        let rows = self.base_rows(t)?;
+        let mut map = HashMap::with_capacity(rows.len());
+        for (i, r) in rows.iter().enumerate() {
+            if let Some(v) = r.values.get(key_col.raw()) {
+                map.insert(v.clone(), i as u32);
+            }
+        }
+        let arc = Arc::new(map);
+        let mut cache = self.dim_maps.write();
+        Ok(Arc::clone(cache.entry((t, key_col)).or_insert(arc)))
+    }
+
+    /// Warm every cache a commit on `t` will probe, so maintenance can run
+    /// with infallible lookups (and outside any store lock). Commits do
+    /// this on demand; benchmarks call it up front to take cache fills out
+    /// of the measured section.
+    pub fn warm_for_table(&self, t: TableId) -> Result<()> {
+        self.base_rows(t)?;
+        for spec in &self.specs {
+            let Some(mv) = &spec.mv else { continue };
+            if mv.root != t {
+                continue;
+            }
+            for e in &mv.joins {
+                self.base_rows(e.right.0)?;
+                self.dim_map(e.right.0, e.right.1)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve the value of `(table, column)` for a fact row under an MV's
+    /// join graph. Caches must be warm ([`Self::warm_for_table`]); a cold
+    /// cache or a missed foreign key resolves to `None`.
+    fn resolve_col(
+        &self,
+        mv: &MvSpec,
+        fact_row: &Row,
+        col: (TableId, ColumnId),
+        depth: usize,
+    ) -> Option<Value> {
+        if col.0 == mv.root {
+            return fact_row.values.get(col.1.raw()).cloned();
+        }
+        if depth > mv.joins.len() {
+            return None; // defensive: cyclic join metadata
+        }
+        let edge = mv.joins.iter().find(|e| e.right.0 == col.0)?;
+        let fk = self.resolve_col(mv, fact_row, edge.left, depth + 1)?;
+        let map = self.dim_maps.read().get(&(col.0, edge.right.1)).cloned()?;
+        let ordinal = *map.get(&fk)?;
+        let rows = self.base_rows.read().get(&col.0).cloned()?;
+        rows.get(ordinal as usize)?.values.get(col.1.raw()).cloned()
+    }
+
+    /// The compression kind of a table's base structure.
+    fn base_kind(&self, t: TableId) -> CompressionKind {
+        self.mat
+            .base_spec(t)
+            .map(|s| s.compression)
+            .unwrap_or(CompressionKind::None)
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Resolve a bulk INSERT into concrete rows: clones of existing base
+    /// rows at seeded offsets, so foreign keys keep resolving and value
+    /// distributions stay realistic. Deterministic in `(seed, label)`.
+    pub fn prepare_insert(
+        &self,
+        ins: &BulkInsert,
+        seed: u64,
+        label: &str,
+    ) -> Result<CommitEffects> {
+        let base = self.base_rows(ins.table)?;
+        let mut rng = rng_for(seed, label);
+        let mut appended = Vec::with_capacity(ins.n_rows as usize);
+        if !base.is_empty() {
+            for _ in 0..ins.n_rows {
+                appended.push(base[rng.gen_range(0..base.len())].clone());
+            }
+        }
+        Ok(CommitEffects {
+            table: ins.table,
+            appended,
+            rewritten: Vec::new(),
+        })
+    }
+
+    /// Resolve a bulk UPDATE into concrete row rewrites: `n_rows` distinct
+    /// base slots chosen by a seeded stride, each rewritten to a new
+    /// version with the statement's column deterministically perturbed.
+    ///
+    /// The rewrite is derived from the *immutable base* version of each
+    /// slot — never from the currently visible version chain — so the
+    /// logged `old_row`/`new_row` pair is a pure function of
+    /// `(statement, seed, label)` regardless of how concurrent commits
+    /// interleave. That is what makes per-statement WAL frames (and the
+    /// `wal_bytes` counter) bit-identical across `Parallelism` modes.
+    pub fn prepare_update(
+        &self,
+        upd: &BulkUpdate,
+        seed: u64,
+        label: &str,
+    ) -> Result<CommitEffects> {
+        let base = self.base_rows(upd.table)?;
+        let base_n = base.len();
+        let mut rewritten = Vec::new();
+        if base_n > 0 {
+            let n = (upd.n_rows as usize).min(base_n);
+            // `stride * n ≤ base_n`, so the n slots are distinct mod base_n.
+            let stride = (base_n / n).max(1);
+            let start = rng_for(seed, label).gen_range(0..base_n);
+            for j in 0..n {
+                let ordinal = ((start + j * stride) % base_n) as u32;
+                let old = base[ordinal as usize].clone();
+                let mut new_row = old.clone();
+                if let Some(v) = new_row.values.get_mut(upd.column.raw()) {
+                    *v = perturb(v);
+                }
+                rewritten.push(RowRewrite {
+                    slot: RowSlot::Base(ordinal),
+                    old_row: old,
+                    new_row,
+                });
+            }
+        }
+        Ok(CommitEffects {
+            table: upd.table,
+            appended: Vec::new(),
+            rewritten,
+        })
+    }
+
+    /// Commit resolved effects: price the maintenance (outside any lock),
+    /// then — in the single serialized critical section — assign the LSN,
+    /// append the WAL frame and apply the effects.
+    pub fn commit(&self, eff: CommitEffects) -> Result<CommitReceipt> {
+        self.warm_for_table(eff.table)?;
+        let base_n = self.base_rows(eff.table)?.len();
+        let payload = eff.encode();
+        let wal_bytes = (payload.len() + FRAME_HEADER_BYTES) as u64;
+        let run = maintain(
+            &eff,
+            &self.specs,
+            &self.model,
+            self.base_kind(eff.table),
+            wal_bytes,
+            &|mv, row, col| self.resolve_col(mv, row, col, 0),
+        );
+        let mut st = self.state.write();
+        let lsn = st.next_lsn;
+        st.next_lsn += 1;
+        st.wal.append(&WalFrame {
+            frame_type: FrameType::Commit,
+            lsn,
+            payload,
+        });
+        Self::apply(&mut st, &eff, lsn, base_n)?;
+        Self::absorb(&mut st, &run, lsn);
+        Ok(CommitReceipt {
+            lsn,
+            counters: run.counters,
+            measured_cost: run.measured_cost,
+            measured_mv_cost: run.measured_mv_cost,
+        })
+    }
+
+    /// Apply effects to the version chains at `lsn`.
+    fn apply(st: &mut StoreState, eff: &CommitEffects, lsn: u64, base_n: usize) -> Result<()> {
+        let d = st
+            .deltas
+            .entry(eff.table)
+            .or_insert_with(|| TableDelta::new(base_n));
+        for row in &eff.appended {
+            d.append(row.clone(), lsn);
+        }
+        for rw in &eff.rewritten {
+            match rw.slot {
+                RowSlot::Base(o) => {
+                    if (o as usize) >= d.base_n {
+                        return Err(CadbError::Storage(format!(
+                            "commit targets base slot {o} of a {}-row base",
+                            d.base_n
+                        )));
+                    }
+                    d.override_base(o, rw.new_row.clone(), lsn);
+                }
+                RowSlot::Appended(s) => {
+                    if (s as usize) >= d.appended.len() {
+                        return Err(CadbError::Storage(format!(
+                            "commit targets appended slot {s} of {}",
+                            d.appended.len()
+                        )));
+                    }
+                    d.override_appended(s as usize, rw.new_row.clone(), lsn);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold a maintenance run's counters and MV group deltas into state.
+    fn absorb(st: &mut StoreState, run: &maintain::MaintenanceRun, lsn: u64) {
+        for (pos, groups) in &run.mv_deltas {
+            let overlay = st.overlays.entry(*pos).or_default();
+            for (key, d) in groups {
+                let g = overlay.entry(key.clone()).or_insert_with(|| MvGroupDelta {
+                    count: 0,
+                    sums: vec![0; d.sums.len()],
+                });
+                g.count += d.count;
+                for (s, v) in g.sums.iter_mut().zip(&d.sums) {
+                    *s += v;
+                }
+            }
+        }
+        st.totals.commits += 1;
+        st.totals.counters.merge(&run.counters);
+        st.totals.measured_cost += run.measured_cost;
+        st.totals.measured_mv_cost += run.measured_mv_cost;
+        st.watermark = st.watermark.max(lsn);
+    }
+
+    /// Execute every write statement of a workload (INSERTs and UPDATEs)
+    /// and return per-statement measured actuals, in statement order.
+    /// Writers run under `par`; per-statement results are deterministic in
+    /// `seed` regardless of the parallelism mode.
+    pub fn apply_workload(
+        &self,
+        w: &Workload,
+        seed: u64,
+        par: Parallelism,
+    ) -> Result<Vec<WriteActual>> {
+        let writes: Vec<(usize, &Statement)> = w
+            .statements
+            .iter()
+            .enumerate()
+            .filter(|(_, (s, _))| matches!(s, Statement::Insert(_) | Statement::Update(_)))
+            .map(|(i, (s, _))| (i, s))
+            .collect();
+        let results =
+            cadb_common::par_map(par, &writes, |_, &(idx, stmt)| -> Result<WriteActual> {
+                let label = format!("write-{idx}");
+                let (kind, table, n_rows, eff) = match stmt {
+                    Statement::Insert(ins) => (
+                        WriteKind::Insert,
+                        ins.table,
+                        ins.n_rows,
+                        self.prepare_insert(ins, seed, &label)?,
+                    ),
+                    Statement::Update(upd) => (
+                        WriteKind::Update,
+                        upd.table,
+                        upd.n_rows,
+                        self.prepare_update(upd, seed, &label)?,
+                    ),
+                    Statement::Select(_) => unreachable!("filtered to writes"),
+                };
+                let receipt = self.commit(eff)?;
+                Ok(WriteActual {
+                    statement_index: idx,
+                    kind,
+                    table,
+                    n_rows,
+                    lsn: receipt.lsn,
+                    measured_cost: receipt.measured_cost,
+                    measured_mv_cost: receipt.measured_mv_cost,
+                    counters: receipt.counters,
+                })
+            });
+        results.into_iter().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// A snapshot pinned at the current committed watermark.
+    pub fn snapshot(&self) -> Snapshot<'_, 'a> {
+        Snapshot {
+            store: self,
+            lsn: self.state.read().watermark,
+        }
+    }
+
+    /// Highest committed LSN.
+    pub fn watermark(&self) -> u64 {
+        self.state.read().watermark
+    }
+
+    /// Running totals.
+    pub fn totals(&self) -> StoreTotals {
+        self.state.read().totals
+    }
+
+    /// The committed aggregate overlay of the MV structure at `pos` in
+    /// [`Self::specs`] — group key → COUNT/SUM deltas against the built MV.
+    pub fn mv_overlay(&self, pos: usize) -> HashMap<Vec<Value>, MvGroupDelta> {
+        self.state
+            .read()
+            .overlays
+            .get(&pos)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The WAL segment bytes (what would be on disk at the last sync).
+    pub fn wal_bytes(&self) -> Vec<u8> {
+        self.state.read().wal.bytes().to_vec()
+    }
+
+    /// The WAL's sync points — byte offsets a crash can land between.
+    pub fn wal_sync_points(&self) -> Vec<usize> {
+        self.state.read().wal.sync_points().to_vec()
+    }
+
+    /// Snapshot-atomicity check: re-derive, from the WAL alone, how many
+    /// appended rows each table must show at LSN `lsn`, and compare with
+    /// what the version chains make visible. Readers in the concurrency
+    /// tests call this against live writers.
+    pub fn snapshot_consistent(&self, lsn: u64) -> Result<bool> {
+        let st = self.state.read();
+        let rep = wal::replay(st.wal.bytes());
+        let mut expected: BTreeMap<TableId, usize> = BTreeMap::new();
+        for f in &rep.frames {
+            if f.frame_type != FrameType::Commit || f.lsn > lsn {
+                continue;
+            }
+            let eff = CommitEffects::decode(&f.payload)?;
+            *expected.entry(eff.table).or_default() += eff.appended.len();
+        }
+        for (t, want) in expected {
+            let got = st.deltas.get(&t).map_or(0, |d| d.appended_at(lsn).count());
+            if got != want {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Order-insensitive digest of the committed state: per-table visible
+    /// row multisets plus the MV overlays. Equal for any two stores whose
+    /// committed states agree, however their writers interleaved.
+    pub fn state_digest(&self) -> Result<u64> {
+        // Decode bases first (own locks) to keep the state lock short.
+        let tables: Vec<TableId> = self.state.read().deltas.keys().copied().collect();
+        let mut bases = BTreeMap::new();
+        for t in &tables {
+            bases.insert(*t, self.base_rows(*t)?);
+        }
+        let st = self.state.read();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (t, d) in &st.deltas {
+            let rows = visible_rows(d, &bases[t], st.watermark);
+            h = fnv1a(h, &t.0.to_le_bytes());
+            h = fnv1a(h, &rows_digest(&rows).to_le_bytes());
+        }
+        for (pos, overlay) in &st.overlays {
+            let mut entries: Vec<Vec<u8>> = overlay
+                .iter()
+                .filter(|(_, g)| g.count != 0 || g.sums.iter().any(|s| *s != 0))
+                .map(|(k, g)| {
+                    let mut buf = Vec::new();
+                    cadb_common::bytes::put_row(&mut buf, &Row::new(k.clone()));
+                    buf.extend_from_slice(&g.count.to_le_bytes());
+                    for s in &g.sums {
+                        buf.extend_from_slice(&s.to_le_bytes());
+                    }
+                    buf
+                })
+                .collect();
+            entries.sort_unstable();
+            h = fnv1a(h, &(*pos as u64).to_le_bytes());
+            for e in &entries {
+                h = fnv1a(h, e);
+            }
+        }
+        Ok(h)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint + recovery
+    // ------------------------------------------------------------------
+
+    /// Fold the committed deltas into real compressed structures and log a
+    /// checkpoint marker. Append-only tables are folded by patching leaf
+    /// pages in place (O(delta)); tables with updated rows get a full leaf
+    /// rebuild.
+    pub fn checkpoint(&self) -> Result<StoreCheckpoint> {
+        // Warm base caches outside the write lock.
+        let touched: Vec<TableId> = self.state.read().deltas.keys().copied().collect();
+        for t in &touched {
+            self.base_rows(*t)?;
+        }
+        let mut st = self.state.write();
+        let lsn = st.watermark;
+        let mut tables = BTreeMap::new();
+        let mut patched_tables = 0usize;
+        let mut rebuilt_tables = 0usize;
+        for (t, d) in &st.deltas {
+            let base_ix = self.mat.base(*t)?;
+            let base = self.base_rows(*t)?;
+            let ix = if d.overridden.is_empty() {
+                let rows: Vec<Row> = d.appended_at(lsn).cloned().collect();
+                let mut ix = base_ix.clone();
+                ix.append_rows(&rows)?;
+                patched_tables += 1;
+                ix
+            } else {
+                let mut rows = visible_rows(d, &base, lsn);
+                let (n_key, kind) = match self.mat.base_spec(*t) {
+                    Some(spec) => (
+                        spec.key_cols.len().min(self.db.dtypes(*t).len()),
+                        spec.compression,
+                    ),
+                    None => (0, CompressionKind::None),
+                };
+                let key: Vec<ColumnId> = (0..n_key as u16).map(ColumnId).collect();
+                rows.sort_by(|a, b| a.key_cmp(b, &key).then_with(|| a.cmp(b)));
+                rebuilt_tables += 1;
+                PhysicalIndex::build(&rows, &self.db.dtypes(*t), n_key, kind)?
+            };
+            tables.insert(*t, ix);
+        }
+        let marker_lsn = st.next_lsn;
+        st.next_lsn += 1;
+        st.wal.append(&WalFrame {
+            frame_type: FrameType::Checkpoint,
+            lsn: marker_lsn,
+            payload: lsn.to_le_bytes().to_vec(),
+        });
+        Ok(StoreCheckpoint {
+            lsn,
+            tables,
+            patched_tables,
+            rebuilt_tables,
+        })
+    }
+
+    /// Re-apply one logged commit during recovery. Counters and costs are
+    /// recomputed from the logged effects — the same pure function the
+    /// original commit priced — so recovered totals equal the originals.
+    fn replay_commit(&self, eff: &CommitEffects, lsn: u64) -> Result<()> {
+        self.warm_for_table(eff.table)?;
+        let base_n = self.base_rows(eff.table)?.len();
+        let payload = eff.encode();
+        let wal_bytes = (payload.len() + FRAME_HEADER_BYTES) as u64;
+        let run = maintain(
+            eff,
+            &self.specs,
+            &self.model,
+            self.base_kind(eff.table),
+            wal_bytes,
+            &|mv, row, col| self.resolve_col(mv, row, col, 0),
+        );
+        let mut st = self.state.write();
+        st.wal.append(&WalFrame {
+            frame_type: FrameType::Commit,
+            lsn,
+            payload,
+        });
+        st.next_lsn = st.next_lsn.max(lsn + 1);
+        Self::apply(&mut st, eff, lsn, base_n)?;
+        Self::absorb(&mut st, &run, lsn);
+        Ok(())
+    }
+
+    /// Crash recovery: open a fresh store over the same immutable bases
+    /// and replay a (possibly torn) WAL segment to the last consistent
+    /// committed state.
+    pub fn recover(
+        db: &'a Database,
+        mat: &'a MaterializedConfig,
+        model: CostModel,
+        wal_bytes: &[u8],
+    ) -> Result<(Store<'a>, RecoveryReport)> {
+        let store = Store::open(db, mat, model);
+        let rep = wal::replay(wal_bytes);
+        let mut frames_applied = 0usize;
+        let mut checkpoints_seen = 0usize;
+        for f in &rep.frames {
+            match f.frame_type {
+                FrameType::Checkpoint => {
+                    checkpoints_seen += 1;
+                    let mut st = store.state.write();
+                    st.next_lsn = st.next_lsn.max(f.lsn + 1);
+                }
+                FrameType::Commit => {
+                    let eff = CommitEffects::decode(&f.payload)?;
+                    store.replay_commit(&eff, f.lsn)?;
+                    frames_applied += 1;
+                }
+            }
+        }
+        let watermark = store.watermark();
+        Ok((
+            store,
+            RecoveryReport {
+                frames_applied,
+                checkpoints_seen,
+                truncated_bytes: rep.truncated_bytes,
+                duplicates_skipped: rep.duplicates_skipped,
+                watermark,
+            },
+        ))
+    }
+}
+
+/// A consistent read view pinned at a commit LSN.
+pub struct Snapshot<'s, 'a> {
+    store: &'s Store<'a>,
+    lsn: u64,
+}
+
+impl Snapshot<'_, '_> {
+    /// The pinned commit LSN.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Rows of `t` visible at this snapshot (base order, appends last).
+    pub fn table_rows(&self, t: TableId) -> Result<Vec<Row>> {
+        let base = self.store.base_rows(t)?;
+        let st = self.store.state.read();
+        Ok(match st.deltas.get(&t) {
+            None => base.as_ref().clone(),
+            Some(d) => visible_rows(d, &base, self.lsn),
+        })
+    }
+
+    /// Number of rows of `t` visible at this snapshot.
+    pub fn n_rows(&self, t: TableId) -> Result<usize> {
+        let base = self.store.base_rows(t)?;
+        let st = self.store.state.read();
+        Ok(match st.deltas.get(&t) {
+            None => base.len(),
+            Some(d) => d.n_visible_at(self.lsn),
+        })
+    }
+}
+
+/// The rows of a table visible at `lsn`: base rows with overrides applied,
+/// then visible appended rows.
+fn visible_rows(d: &TableDelta, base: &[Row], lsn: u64) -> Vec<Row> {
+    let mut out = Vec::with_capacity(d.n_visible_at(lsn));
+    for (i, r) in base.iter().enumerate() {
+        if let Some(row) = d.base_row_at(i as u32, r, lsn) {
+            out.push(row.clone());
+        }
+    }
+    out.extend(d.appended_at(lsn).cloned());
+    out
+}
+
+/// Deterministically perturb one value for a synthesized UPDATE: integers
+/// increment, strings rotate their first byte through the printable range
+/// (width-preserving, so fixed-width codecs stay valid), NULL stays NULL.
+fn perturb(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => Value::Int(i.wrapping_add(1)),
+        Value::Str(s) if !s.is_empty() => {
+            let mut bytes = s.clone().into_bytes();
+            bytes[0] = (bytes[0].wrapping_sub(b' ').wrapping_add(1) % 95) + b' ';
+            Value::Str(String::from_utf8_lossy(&bytes).into_owned())
+        }
+        other => other.clone(),
+    }
+}

@@ -1,0 +1,514 @@
+//! The store's determinism and crash-recovery contract, pinned:
+//!
+//! * per-statement measured maintenance actuals are identical under
+//!   `Serial`, `Auto` and `Threads(4)` execution (3 seeds);
+//! * the committed state digest is interleaving-independent;
+//! * WAL replay after a crash at **every sync point** — and at torn
+//!   offsets strictly inside a frame, with injected duplicate frames and
+//!   corrupted bytes — recovers exactly the last committed prefix;
+//! * a checkpoint of the recovered store is bit-for-bit identical to a
+//!   checkpoint of the original;
+//! * MV overlays agree with a brute-force recompute from visible rows;
+//! * snapshots stay consistent under concurrent writers.
+
+use cadb_common::{ColumnDef, ColumnId, DataType, Parallelism, Row, TableId, TableSchema, Value};
+use cadb_compression::CompressionKind;
+use cadb_engine::{
+    BulkInsert, BulkUpdate, Configuration, CostModel, Database, IndexSpec, JoinEdge, MvSpec,
+    PhysicalStructure, SizeEstimate, Statement, Workload,
+};
+use cadb_exec::store::effects::CommitEffects;
+use cadb_exec::{MaterializedConfig, Store, WriteActual};
+use std::collections::HashMap;
+
+const FACT: TableId = TableId(0);
+const DIM: TableId = TableId(1);
+const N_FACT: i64 = 600;
+const N_DIM: i64 = 20;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    let f = db
+        .create_table(
+            TableSchema::new(
+                "f",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("fk", DataType::Int),
+                    ColumnDef::new("val", DataType::Int),
+                    ColumnDef::new("cat", DataType::Varchar { max_len: 8 }),
+                ],
+                vec![ColumnId(0)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let d = db
+        .create_table(
+            TableSchema::new(
+                "d",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("grp", DataType::Varchar { max_len: 8 }),
+                ],
+                vec![ColumnId(0)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let fact_rows: Vec<Row> = (0..N_FACT)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % N_DIM),
+                Value::Int(i * 3 % 97),
+                Value::Str(format!("c{}", i % 4)),
+            ])
+        })
+        .collect();
+    db.insert_rows(f, fact_rows).unwrap();
+    let dim_rows: Vec<Row> = (0..N_DIM)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Str(format!("g{}", i % 5))]))
+        .collect();
+    db.insert_rows(d, dim_rows).unwrap();
+    db
+}
+
+fn est(rows: f64) -> SizeEstimate {
+    SizeEstimate {
+        bytes: rows * 40.0,
+        pages: (rows / 100.0).max(1.0),
+        rows,
+        compression_fraction: 1.0,
+    }
+}
+
+/// Clustered base on the fact table, a plain secondary, a partial
+/// secondary, and an MV over f ⋈ d grouped by the dimension attribute.
+fn config() -> Configuration {
+    let clustered = IndexSpec {
+        table: FACT,
+        key_cols: vec![ColumnId(0)],
+        include_cols: vec![],
+        clustered: true,
+        compression: CompressionKind::Page,
+        partial_filter: None,
+        mv: None,
+    };
+    let secondary = IndexSpec {
+        table: FACT,
+        key_cols: vec![ColumnId(1)],
+        include_cols: vec![ColumnId(2)],
+        clustered: false,
+        compression: CompressionKind::Row,
+        partial_filter: None,
+        mv: None,
+    };
+    let partial = IndexSpec {
+        table: FACT,
+        key_cols: vec![ColumnId(2)],
+        include_cols: vec![],
+        clustered: false,
+        compression: CompressionKind::None,
+        partial_filter: Some(cadb_engine::Predicate {
+            table: FACT,
+            column: ColumnId(3),
+            op: cadb_engine::PredOp::Eq,
+            values: vec![Value::Str("c1".into())],
+        }),
+        mv: None,
+    };
+    let mv = IndexSpec {
+        table: FACT,
+        key_cols: vec![ColumnId(0)],
+        include_cols: vec![ColumnId(1), ColumnId(2)],
+        clustered: false,
+        compression: CompressionKind::None,
+        partial_filter: None,
+        mv: Some(MvSpec {
+            root: FACT,
+            joins: vec![JoinEdge {
+                left: (FACT, ColumnId(1)),
+                right: (DIM, ColumnId(0)),
+            }],
+            group_by: vec![(DIM, ColumnId(1))],
+            agg_columns: vec![(FACT, ColumnId(2))],
+        }),
+    };
+    Configuration::new(vec![
+        PhysicalStructure {
+            spec: clustered,
+            size: est(N_FACT as f64),
+        },
+        PhysicalStructure {
+            spec: secondary,
+            size: est(N_FACT as f64),
+        },
+        PhysicalStructure {
+            spec: partial,
+            size: est(N_FACT as f64 / 4.0),
+        },
+        PhysicalStructure {
+            spec: mv,
+            size: est(5.0),
+        },
+    ])
+}
+
+/// Inserts on both tables, updates on the fact table only — so the two
+/// update statements can never race on the same row slot and the final
+/// state is interleaving-independent.
+fn workload() -> Workload {
+    let mut w = Workload::default();
+    w.push(
+        Statement::Insert(BulkInsert {
+            table: FACT,
+            n_rows: 50,
+        }),
+        2.0,
+    );
+    w.push(
+        Statement::Update(BulkUpdate {
+            table: FACT,
+            n_rows: 40,
+            column: ColumnId(2),
+        }),
+        1.0,
+    );
+    w.push(
+        Statement::Insert(BulkInsert {
+            table: DIM,
+            n_rows: 6,
+        }),
+        1.0,
+    );
+    w.push(
+        Statement::Insert(BulkInsert {
+            table: FACT,
+            n_rows: 25,
+        }),
+        0.5,
+    );
+    w
+}
+
+fn assert_actuals_eq(a: &[WriteActual], b: &[WriteActual], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: actual counts");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.statement_index, y.statement_index, "{ctx}");
+        assert_eq!(
+            x.counters, y.counters,
+            "{ctx}: counters of stmt {}",
+            x.statement_index
+        );
+        assert_eq!(
+            x.measured_cost.to_bits(),
+            y.measured_cost.to_bits(),
+            "{ctx}: measured cost of stmt {}",
+            x.statement_index
+        );
+        assert_eq!(
+            x.measured_mv_cost.to_bits(),
+            y.measured_mv_cost.to_bits(),
+            "{ctx}: mv cost of stmt {}",
+            x.statement_index
+        );
+    }
+}
+
+#[test]
+fn measured_actuals_identical_across_parallelism() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    for seed in [11u64, 22, 33] {
+        let mut per_mode: Vec<(Vec<WriteActual>, u64)> = Vec::new();
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Threads(4),
+        ] {
+            let store = Store::open(&db, &mat, CostModel::default());
+            let mut acts = store.apply_workload(&workload(), seed, par).unwrap();
+            acts.sort_by_key(|a| a.statement_index);
+            per_mode.push((acts, store.state_digest().unwrap()));
+        }
+        let (serial_acts, serial_digest) = &per_mode[0];
+        for (acts, digest) in &per_mode[1..] {
+            assert_actuals_eq(serial_acts, acts, &format!("seed {seed}"));
+            assert_eq!(digest, serial_digest, "seed {seed}: state digest");
+        }
+    }
+}
+
+#[test]
+fn replay_reproduces_state_and_totals_bit_for_bit() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    for seed in [11u64, 22, 33] {
+        for par in [Parallelism::Serial, Parallelism::Auto] {
+            let store = Store::open(&db, &mat, CostModel::default());
+            store.apply_workload(&workload(), seed, par).unwrap();
+            let (recovered, report) =
+                Store::recover(&db, &mat, CostModel::default(), &store.wal_bytes()).unwrap();
+            assert_eq!(report.truncated_bytes, 0);
+            assert_eq!(report.duplicates_skipped, 0);
+            assert_eq!(report.watermark, store.watermark());
+            assert_eq!(
+                recovered.state_digest().unwrap(),
+                store.state_digest().unwrap(),
+                "seed {seed} par {par:?}"
+            );
+            // Replay applies in LSN order = original commit order, so the
+            // float totals accumulate in the same order: exact equality.
+            let (t0, t1) = (store.totals(), recovered.totals());
+            assert_eq!(t0.commits, t1.commits);
+            assert_eq!(t0.counters, t1.counters);
+            assert_eq!(t0.measured_cost.to_bits(), t1.measured_cost.to_bits());
+            assert_eq!(t0.measured_mv_cost.to_bits(), t1.measured_mv_cost.to_bits());
+        }
+    }
+}
+
+/// Serial run, one commit at a time, recording the state digest after
+/// each; then crash the WAL at every sync point, at torn offsets strictly
+/// inside the tail frame, with a duplicated frame, and with a corrupted
+/// byte — recovery must always land on the last fully committed prefix.
+#[test]
+fn crash_at_every_sync_point_recovers_last_committed_prefix() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let store = Store::open(&db, &mat, CostModel::default());
+
+    let mut digests = vec![store.state_digest().unwrap()]; // after 0 commits
+    let mut totals = vec![store.totals()];
+    for (idx, (stmt, _)) in workload().statements.iter().enumerate() {
+        let label = format!("write-{idx}");
+        let eff = match stmt {
+            Statement::Insert(i) => store.prepare_insert(i, 7, &label).unwrap(),
+            Statement::Update(u) => store.prepare_update(u, 7, &label).unwrap(),
+            Statement::Select(_) => continue,
+        };
+        store.commit(eff).unwrap();
+        digests.push(store.state_digest().unwrap());
+        totals.push(store.totals());
+    }
+    let wal = store.wal_bytes();
+    let syncs = store.wal_sync_points();
+    assert_eq!(syncs.len() + 1, digests.len());
+
+    let recover_digest = |bytes: &[u8]| {
+        let (rec, rep) = Store::recover(&db, &mat, CostModel::default(), bytes).unwrap();
+        (rec.state_digest().unwrap(), rec.totals(), rep)
+    };
+
+    // Clean cut at every sync point: exactly k commits survive.
+    for (k, &cut) in [0usize].iter().chain(syncs.iter()).enumerate() {
+        let (digest, tot, rep) = recover_digest(&wal[..cut]);
+        assert_eq!(digest, digests[k], "sync point {k}");
+        assert_eq!(tot.commits, totals[k].commits);
+        assert_eq!(
+            tot.measured_cost.to_bits(),
+            totals[k].measured_cost.to_bits()
+        );
+        assert_eq!(rep.truncated_bytes, 0);
+    }
+
+    // Torn cut at every byte offset strictly inside the *last* frame, and
+    // a few offsets inside every earlier frame: the preceding prefix
+    // survives, the torn tail is truncated.
+    let mut prev = 0usize;
+    for (k, &end) in syncs.iter().enumerate() {
+        let cuts: Vec<usize> = if k + 1 == syncs.len() {
+            (prev + 1..end).collect()
+        } else {
+            vec![prev + 1, (prev + end) / 2, end - 1]
+        };
+        for cut in cuts {
+            let (digest, _, rep) = recover_digest(&wal[..cut]);
+            assert_eq!(digest, digests[k], "torn cut at {cut} in frame {k}");
+            assert_eq!(rep.truncated_bytes, cut - prev);
+        }
+        prev = end;
+    }
+
+    // Duplicate frame: replaying a twice-durable frame applies it once.
+    let first_frame = &wal[..syncs[0]];
+    let mut dup = first_frame.to_vec();
+    dup.extend_from_slice(&wal);
+    let (digest, tot, rep) = recover_digest(&dup);
+    assert_eq!(digest, *digests.last().unwrap());
+    assert_eq!(tot.commits, totals.last().unwrap().commits);
+    assert_eq!(rep.duplicates_skipped, 1);
+
+    // Corrupt one byte inside frame 2's payload: frames 0 and 1 survive.
+    let mut corrupt = wal.clone();
+    corrupt[syncs[1] + 20] ^= 0x10;
+    let (digest, _, rep) = recover_digest(&corrupt);
+    assert_eq!(digest, digests[2]);
+    assert!(rep.truncated_bytes > 0);
+}
+
+#[test]
+fn checkpoint_of_recovered_store_is_bit_identical() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let store = Store::open(&db, &mat, CostModel::default());
+    store
+        .apply_workload(&workload(), 5, Parallelism::Serial)
+        .unwrap();
+
+    let chk = store.checkpoint().unwrap();
+    // FACT saw updates → leaf rebuild; DIM is append-only → page patches.
+    assert_eq!(chk.rebuilt_tables, 1);
+    assert_eq!(chk.patched_tables, 1);
+    let folded_fact = chk.tables.get(&FACT).unwrap();
+    let snap = store.snapshot();
+    assert_eq!(folded_fact.n_rows(), snap.n_rows(FACT).unwrap());
+    // The rebuilt structure holds exactly the visible rows (as a multiset).
+    let mut want = snap.table_rows(FACT).unwrap();
+    let mut got = folded_fact.scan().unwrap();
+    want.sort();
+    got.sort();
+    assert_eq!(want, got);
+
+    let (recovered, report) =
+        Store::recover(&db, &mat, CostModel::default(), &store.wal_bytes()).unwrap();
+    assert_eq!(report.checkpoints_seen, 1);
+    let chk2 = recovered.checkpoint().unwrap();
+    assert_eq!(
+        chk.digest(),
+        chk2.digest(),
+        "checkpoint must be bit-identical"
+    );
+}
+
+/// The MV overlay must equal a brute-force group-delta recompute from the
+/// visible rows — an independent derivation that never touches the
+/// maintenance code path.
+#[test]
+fn mv_overlay_matches_brute_force_recompute() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let store = Store::open(&db, &mat, CostModel::default());
+    store
+        .apply_workload(&workload(), 9, Parallelism::Serial)
+        .unwrap();
+
+    let mv_pos = store
+        .specs()
+        .iter()
+        .position(|s| s.mv.is_some())
+        .expect("config has an MV");
+
+    // Brute force: contribution of a fact row = (group via dim probe, val).
+    let dim_rows = db.table(DIM).rows();
+    let grp_of_fk: HashMap<Value, Value> = dim_rows
+        .iter()
+        .map(|r| (r.values[0].clone(), r.values[1].clone()))
+        .collect();
+    let contributions = |rows: &[Row]| -> HashMap<Vec<Value>, (i64, i64)> {
+        let mut m: HashMap<Vec<Value>, (i64, i64)> = HashMap::new();
+        for r in rows {
+            let Some(g) = grp_of_fk.get(&r.values[1]) else {
+                continue;
+            };
+            let e = m.entry(vec![g.clone()]).or_default();
+            e.0 += 1;
+            e.1 += r.values[2].as_i64().unwrap_or(0);
+        }
+        m
+    };
+    let base = contributions(&store.base_rows(FACT).unwrap());
+    let visible = contributions(&store.snapshot().table_rows(FACT).unwrap());
+
+    let overlay = store.mv_overlay(mv_pos);
+    let mut keys: Vec<Vec<Value>> = base.keys().chain(visible.keys()).cloned().collect();
+    keys.extend(overlay.keys().cloned());
+    keys.sort_by(|a, b| Row::new(a.clone()).cmp(&Row::new(b.clone())));
+    keys.dedup();
+    for key in keys {
+        let b = base.get(&key).copied().unwrap_or((0, 0));
+        let v = visible.get(&key).copied().unwrap_or((0, 0));
+        let want = (v.0 - b.0, v.1 - b.1);
+        let got = overlay
+            .get(&key)
+            .map(|g| (g.count, g.sums[0]))
+            .unwrap_or((0, 0));
+        assert_eq!(got, want, "group {key:?}");
+    }
+}
+
+/// N reader × M writer threads: every snapshot a reader takes must be
+/// consistent (appended-row visibility matches what the WAL says for its
+/// LSN) and row counts must be monotone in the LSN.
+#[test]
+fn snapshots_stay_consistent_under_concurrent_writers() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let store = Store::open(&db, &mat, CostModel::default());
+    let n_writers = 3usize;
+    let commits_per_writer = 8usize;
+
+    std::thread::scope(|scope| {
+        for w in 0..n_writers {
+            let store = &store;
+            scope.spawn(move || {
+                for c in 0..commits_per_writer {
+                    let eff = store
+                        .prepare_insert(
+                            &BulkInsert {
+                                table: FACT,
+                                n_rows: 10,
+                            },
+                            99,
+                            &format!("w{w}-c{c}"),
+                        )
+                        .unwrap();
+                    store.commit(eff).unwrap();
+                }
+            });
+        }
+        for _ in 0..2 {
+            let store = &store;
+            scope.spawn(move || {
+                let mut last_n = 0usize;
+                let mut last_lsn = 0u64;
+                loop {
+                    let snap = store.snapshot();
+                    let n = snap.n_rows(FACT).unwrap();
+                    assert!(store.snapshot_consistent(snap.lsn()).unwrap());
+                    assert!(
+                        snap.lsn() < last_lsn || n >= last_n,
+                        "visible rows regressed: {n} < {last_n}"
+                    );
+                    if snap.lsn() >= last_lsn {
+                        last_n = n;
+                        last_lsn = snap.lsn();
+                    }
+                    if store.totals().commits as usize == n_writers * commits_per_writer {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    let expected = N_FACT as usize + n_writers * commits_per_writer * 10;
+    assert_eq!(store.snapshot().n_rows(FACT).unwrap(), expected);
+    // The full concurrent log replays to the same state.
+    let (recovered, _) =
+        Store::recover(&db, &mat, CostModel::default(), &store.wal_bytes()).unwrap();
+    assert_eq!(
+        recovered.state_digest().unwrap(),
+        store.state_digest().unwrap()
+    );
+}
+
+/// The WAL payload codec is exercised end-to-end by recovery; pin the
+/// decode error path for malformed commit payloads too.
+#[test]
+fn malformed_commit_payload_is_an_error_not_a_panic() {
+    assert!(CommitEffects::decode(&[1, 2, 3]).is_err());
+    assert!(CommitEffects::decode(&[]).is_err());
+}

@@ -1,8 +1,9 @@
 //! Collection strategies (`proptest::collection::vec`).
 
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
 
 /// Inclusive-min, exclusive-max size bound for collection strategies.
 #[derive(Debug, Clone, Copy)]
@@ -53,7 +54,7 @@ pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
 
 impl<S: Strategy> Strategy for VecStrategy<S>
 where
-    S::Value: Clone,
+    S::Value: Clone + 'static,
 {
     type Value = Vec<S::Value>;
 
@@ -85,4 +86,51 @@ where
         }
         out
     }
+
+    fn new_tree<'a>(&'a self, rng: &mut TestRng) -> ValueTree<'a, Vec<S::Value>>
+    where
+        Self: Sized,
+        Self::Value: Clone + 'static,
+    {
+        let n = rng.uniform_usize(self.size.min, self.size.max_exclusive);
+        let elems: Vec<ValueTree<'a, S::Value>> = (0..n).map(|_| self.elem.new_tree(rng)).collect();
+        vec_tree(elems, self.size.min)
+    }
+}
+
+/// Combine per-element trees into a vector tree: length shrinks first
+/// (minimal prefix, half-way prefix, one element less — the same binary
+/// search as the value-level shrinker), then element-wise tree shrinks,
+/// earliest element first. Keeping element *trees* (not values) is what
+/// lets a `prop_map`ped element strategy shrink inside a vector.
+fn vec_tree<'a, T: Clone + 'static>(
+    elems: Vec<ValueTree<'a, T>>,
+    min: usize,
+) -> ValueTree<'a, Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|t| t.value().clone()).collect();
+    ValueTree::new(
+        value,
+        Rc::new(move || {
+            let mut out = Vec::new();
+            let len = elems.len();
+            if len > min {
+                let mid = min + (len - min) / 2;
+                let mut seen_lens = Vec::new();
+                for n in [min, mid, len - 1] {
+                    if n < len && !seen_lens.contains(&n) {
+                        seen_lens.push(n);
+                        out.push(vec_tree(elems[..n].to_vec(), min));
+                    }
+                }
+            }
+            for i in 0..len {
+                for c in elems[i].children() {
+                    let mut next = elems.clone();
+                    next[i] = c;
+                    out.push(vec_tree(next, min));
+                }
+            }
+            out
+        }),
+    )
 }

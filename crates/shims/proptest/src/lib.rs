@@ -6,15 +6,16 @@
 //!
 //! Differences from real proptest, by design:
 //!
-//! * **Greedy binary-search shrinking.** A failing case is minimized
-//!   before it is reported: each strategy proposes strictly-simpler
-//!   candidates ([`strategy::Strategy::shrink`] — range start, midpoint,
-//!   one step — i.e. a binary search toward the simplest value), the
-//!   runner adopts the first candidate that still fails, and the final
-//!   panic carries the locally-minimal input. `prop_map`ped strategies do
-//!   not shrink (the mapping is not invertible without real proptest's
-//!   value trees), and string patterns only shrink when shortening cannot
-//!   leave the pattern's language.
+//! * **Greedy binary-search shrinking over value trees.** A failing case
+//!   is minimized before it is reported: each strategy generates a
+//!   [`strategy::ValueTree`] whose children are strictly-simpler candidate
+//!   trees (range start, midpoint, one step — i.e. a binary search toward
+//!   the simplest value), the runner adopts the first candidate that still
+//!   fails and descends into its children, and the final panic carries the
+//!   locally-minimal input. Because shrinking walks trees rather than
+//!   inverting output values, `prop_map`ped strategies shrink through
+//!   their pre-image, and string patterns shrink piece-by-piece with every
+//!   candidate re-validated against the pattern's language.
 //! * **Deterministic seeding.** Every test derives its RNG seed from the
 //!   test's name, so a given binary fails (or passes) identically on every
 //!   run — which tier-1 reproducibility wants anyway.
@@ -30,7 +31,7 @@ pub mod test_runner;
 
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Strategy, ValueTree};
     pub use crate::test_runner::{ProptestConfig, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }

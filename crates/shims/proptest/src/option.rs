@@ -1,7 +1,8 @@
 //! Option strategies (`proptest::option::of`).
 
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
 use crate::test_runner::TestRng;
+use std::rc::Rc;
 
 pub struct OptionStrategy<S> {
     inner: S,
@@ -12,7 +13,11 @@ pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
     OptionStrategy { inner }
 }
 
-impl<S: Strategy> Strategy for OptionStrategy<S> {
+impl<S> Strategy for OptionStrategy<S>
+where
+    S: Strategy,
+    S::Value: Clone + 'static,
+{
     type Value = Option<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
@@ -34,4 +39,29 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             }
         }
     }
+
+    fn new_tree<'a>(&'a self, rng: &mut TestRng) -> ValueTree<'a, Option<S::Value>>
+    where
+        Self: Sized,
+        Self::Value: Clone + 'static,
+    {
+        if rng.uniform_usize(0, 4) == 0 {
+            ValueTree::leaf(None)
+        } else {
+            some_tree(self.inner.new_tree(rng))
+        }
+    }
+}
+
+/// `None` is the simplest candidate, then the inner tree's shrinks.
+fn some_tree<'a, T: Clone + 'static>(inner: ValueTree<'a, T>) -> ValueTree<'a, Option<T>> {
+    let value = Some(inner.value().clone());
+    ValueTree::new(
+        value,
+        Rc::new(move || {
+            let mut out = vec![ValueTree::leaf(None)];
+            out.extend(inner.children().into_iter().map(some_tree));
+            out
+        }),
+    )
 }

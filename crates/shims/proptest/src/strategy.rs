@@ -1,18 +1,104 @@
-//! The [`Strategy`] trait and the built-in strategies for ranges, tuples,
-//! and constants.
+//! The [`Strategy`] trait, [`ValueTree`]s, and the built-in strategies for
+//! ranges, tuples, and constants.
 //!
-//! Each strategy both *generates* values and proposes *shrink* candidates
-//! for a failing value: strictly-simpler replacements, most aggressive
-//! first. The runner ([`crate::test_runner::run_case`]) adopts the first
-//! candidate that still fails and re-shrinks from there, which makes the
+//! Each strategy *generates* a [`ValueTree`]: a value plus a lazy list of
+//! strictly-simpler candidate trees, most aggressive first. The runner
+//! ([`crate::test_runner::run_cases`]) adopts the first candidate whose
+//! value still fails and descends into *its* children, which makes the
 //! integer shrinkers below (propose the range start, then the midpoint,
 //! then one step down) a binary search toward the range start — the
 //! reported counterexample is locally minimal.
 //!
-//! `prop_map`ped strategies do not shrink (the mapping is not invertible
-//! in this shim; real proptest threads a value tree through the map).
+//! Because shrinking flows through trees rather than re-deriving
+//! candidates from the output value, `prop_map`ped strategies shrink for
+//! real: the mapped tree keeps the *inner* strategy's tree and re-applies
+//! the (non-invertible) map to every shrunk inner value.
 
 use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A value-level shrink function: all strictly-simpler candidates of a
+/// value, most aggressive first (shared, so every subtree can re-apply it).
+pub type ShrinkFn<'a, T> = Rc<dyn Fn(&T) -> Vec<T> + 'a>;
+
+/// A generated value together with a lazy list of strictly-simpler
+/// candidate trees (most aggressive first). This is the shim's version of
+/// real proptest's `ValueTree`: shrinking walks trees, so combinators that
+/// cannot invert their output (like [`Map`]) still shrink by keeping the
+/// pre-image tree alive.
+///
+/// The `'a` lifetime ties a tree to the strategy that produced it (child
+/// closures borrow the strategy).
+pub struct ValueTree<'a, T> {
+    value: T,
+    children: Rc<dyn Fn() -> Vec<ValueTree<'a, T>> + 'a>,
+}
+
+impl<'a, T> Clone for ValueTree<'a, T>
+where
+    T: Clone,
+{
+    fn clone(&self) -> Self {
+        ValueTree {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<'a, T: Clone + 'static> ValueTree<'a, T> {
+    pub fn new(value: T, children: Rc<dyn Fn() -> Vec<ValueTree<'a, T>> + 'a>) -> Self {
+        ValueTree { value, children }
+    }
+
+    /// A tree with no simpler candidates.
+    pub fn leaf(value: T) -> Self {
+        ValueTree {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Strictly-simpler candidate trees, most aggressive first.
+    pub fn children(&self) -> Vec<ValueTree<'a, T>> {
+        (self.children)()
+    }
+
+    /// Build a tree from a value-level shrink function: every candidate's
+    /// own children come from the same function, recursively. This is how
+    /// [`Strategy::shrink`]-based strategies lift into tree shrinking.
+    pub fn from_shrink_fn(value: T, f: ShrinkFn<'a, T>) -> Self {
+        let v = value.clone();
+        let f2 = Rc::clone(&f);
+        ValueTree {
+            value,
+            children: Rc::new(move || {
+                f2(&v)
+                    .into_iter()
+                    .map(|c| ValueTree::from_shrink_fn(c, Rc::clone(&f2)))
+                    .collect()
+            }),
+        }
+    }
+
+    /// The tree that makes `prop_map` shrink: apply `f` to this tree's
+    /// value and, lazily, to every shrunk candidate of the *inner* tree.
+    pub fn map<U, F>(self, f: &'a F) -> ValueTree<'a, U>
+    where
+        U: Clone + 'static,
+        F: Fn(T) -> U,
+    {
+        let value = f(self.value.clone());
+        ValueTree {
+            value,
+            children: Rc::new(move || self.children().into_iter().map(|c| c.map(f)).collect()),
+        }
+    }
+}
 
 pub trait Strategy {
     type Value;
@@ -23,6 +109,18 @@ pub trait Strategy {
     /// aggressive first. The default is "cannot shrink".
     fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
         Vec::new()
+    }
+
+    /// Generate a [`ValueTree`] whose children shrink the generated value.
+    /// The default lifts [`Strategy::shrink`] recursively; combinators
+    /// that can do better (e.g. [`Map`], tuples) override it.
+    fn new_tree<'a>(&'a self, rng: &mut TestRng) -> ValueTree<'a, Self::Value>
+    where
+        Self: Sized,
+        Self::Value: Clone + 'static,
+    {
+        let value = self.generate(rng);
+        ValueTree::from_shrink_fn(value, Rc::new(move |v: &Self::Value| self.shrink(v)))
     }
 
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -75,19 +173,54 @@ pub struct Map<S, F> {
     f: F,
 }
 
-impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    S::Value: Clone + 'static,
+    F: Fn(S::Value) -> U,
+{
     type Value = U;
 
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
     }
-    // No shrink: the map is not invertible.
+
+    // `shrink` stays empty — the map is not invertible at the value level.
+    // Tree generation shrinks instead: the inner tree is kept alive and
+    // the map re-applied to each shrunk inner value.
+    fn new_tree<'a>(&'a self, rng: &mut TestRng) -> ValueTree<'a, U>
+    where
+        Self: Sized,
+        U: Clone + 'static,
+    {
+        self.inner.new_tree(rng).map(&self.f)
+    }
 }
 
 pub struct Filter<S, F> {
     inner: S,
     f: F,
     reason: &'static str,
+}
+
+/// Wrap a tree so every (transitive) child is re-checked against the
+/// filter predicate before being proposed.
+fn filtered_tree<'a, T, F>(tree: ValueTree<'a, T>, f: &'a F) -> ValueTree<'a, T>
+where
+    T: Clone + 'static,
+    F: Fn(&T) -> bool,
+{
+    let value = tree.value().clone();
+    ValueTree::new(
+        value,
+        Rc::new(move || {
+            tree.children()
+                .into_iter()
+                .filter(|c| f(c.value()))
+                .map(|c| filtered_tree(c, f))
+                .collect()
+        }),
+    )
 }
 
 impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
@@ -111,6 +244,20 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             .into_iter()
             .filter(|v| (self.f)(v))
             .collect()
+    }
+
+    fn new_tree<'a>(&'a self, rng: &mut TestRng) -> ValueTree<'a, Self::Value>
+    where
+        Self: Sized,
+        Self::Value: Clone + 'static,
+    {
+        for _ in 0..1000 {
+            let tree = self.inner.new_tree(rng);
+            if (self.f)(tree.value()) {
+                return filtered_tree(tree, &self.f);
+            }
+        }
+        panic!("prop_filter({}) rejected 1000 candidates", self.reason);
     }
 }
 
@@ -213,7 +360,7 @@ macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+)
         where
-            $($s::Value: Clone,)+
+            $($s::Value: Clone + 'static,)+
         {
             type Value = ($($s::Value,)+);
 
@@ -232,6 +379,36 @@ macro_rules! impl_tuple_strategy {
                     }
                 )+
                 out
+            }
+
+            fn new_tree<'a>(&'a self, rng: &mut TestRng) -> ValueTree<'a, Self::Value>
+            where
+                Self: Sized,
+                Self::Value: Clone + 'static,
+            {
+                // Combine per-component trees: candidates replace one
+                // component's tree at a time (earlier components first), so
+                // a mapped component shrinks through its own tree.
+                fn combine<'a, $($s: Clone + 'static),+>(
+                    trees: ($(ValueTree<'a, $s>,)+),
+                ) -> ValueTree<'a, ($($s,)+)> {
+                    let value = ($(trees.$idx.value().clone(),)+);
+                    ValueTree::new(
+                        value,
+                        Rc::new(move || {
+                            let mut out = Vec::new();
+                            $(
+                                for c in trees.$idx.children() {
+                                    let mut next = trees.clone();
+                                    next.$idx = c;
+                                    out.push(combine(next));
+                                }
+                            )+
+                            out
+                        }),
+                    )
+                }
+                combine(($(self.$idx.new_tree(rng),)+))
             }
         }
     )*};

@@ -126,27 +126,107 @@ fn generate_from(pattern: &str, rng: &mut TestRng) -> String {
     out
 }
 
-/// Shrink a generated string by shortening, but only when the pattern is a
-/// single character class with `min == 0` (e.g. `"[a-z ]{0,12}"`) — any
-/// prefix of such a string is still in the pattern's language. Multi-piece
-/// patterns are left unshrunk rather than risk proposing out-of-language
-/// counterexamples that fail for unrelated reasons.
+/// Segment `s` against the piece list: return per-piece match lengths, or
+/// `None` when `s` is not in the pattern's language. Greedy with
+/// backtracking (each piece takes as many characters as it can, then gives
+/// them back one at a time until the rest of the pattern matches).
+fn segment(pieces: &[Piece], s: &[char]) -> Option<Vec<usize>> {
+    fn go(pieces: &[Piece], s: &[char], i: usize, pos: usize, acc: &mut Vec<usize>) -> bool {
+        if i == pieces.len() {
+            return pos == s.len();
+        }
+        let Piece::Class { chars, min, max } = &pieces[i];
+        let mut k = 0usize;
+        while k < *max as usize && pos + k < s.len() && chars.contains(&s[pos + k]) {
+            k += 1;
+        }
+        let mut n = k as i64;
+        while n >= *min as i64 {
+            acc.push(n as usize);
+            if go(pieces, s, i + 1, pos + n as usize, acc) {
+                return true;
+            }
+            acc.pop();
+            n -= 1;
+        }
+        false
+    }
+    let mut acc = Vec::with_capacity(pieces.len());
+    go(pieces, s, 0, 0, &mut acc).then_some(acc)
+}
+
+/// Is `s` in the language of the parsed pattern?
+fn matches_pieces(pieces: &[Piece], s: &str) -> bool {
+    let cs: Vec<char> = s.chars().collect();
+    segment(pieces, &cs).is_some()
+}
+
+/// Shrink a generated string *within the pattern's language*: segment the
+/// value against the pattern's pieces, then propose (a) per-piece
+/// shortening toward each piece's minimum repeat count (binary search:
+/// min, midpoint, one-less) and (b) per-character simplification to the
+/// piece's first class character. Every candidate is re-validated against
+/// the pattern before being proposed, so shrinking can never escape the
+/// language and fail the property for an unrelated reason.
 fn shrink_from(pattern: &str, value: &str) -> Vec<String> {
     let pieces = parse(pattern);
-    let [Piece::Class { min: 0, .. }] = pieces.as_slice() else {
+    let cs: Vec<char> = value.chars().collect();
+    let Some(segs) = segment(&pieces, &cs) else {
+        // Out-of-language value (shouldn't happen for generated strings):
+        // refuse to shrink rather than guess.
         return Vec::new();
     };
-    let n = value.chars().count();
-    if n == 0 {
-        return Vec::new();
+    // Per-piece segment boundaries.
+    let mut starts = Vec::with_capacity(segs.len());
+    let mut pos = 0usize;
+    for &n in &segs {
+        starts.push(pos);
+        pos += n;
     }
-    let prefix = |k: usize| -> String { value.chars().take(k).collect() };
-    let mut out = vec![String::new()];
-    for k in [n / 2, n - 1] {
-        if k > 0 && k < n {
-            let cand = prefix(k);
-            if !out.contains(&cand) {
-                out.push(cand);
+    let rebuild = |piece_idx: usize, keep: usize, replace: Option<(usize, char)>| -> String {
+        let mut out = String::with_capacity(cs.len());
+        for (i, &n) in segs.iter().enumerate() {
+            let lo = starts[i];
+            let take = if i == piece_idx { keep } else { n };
+            for j in 0..take {
+                let c = match replace {
+                    Some((at, r)) if lo + j == at => r,
+                    _ => cs[lo + j],
+                };
+                out.push(c);
+            }
+        }
+        out
+    };
+    let mut out: Vec<String> = Vec::new();
+    let mut push = |cand: String| {
+        if cand != value && !out.contains(&cand) && matches_pieces(&pieces, &cand) {
+            out.push(cand);
+        }
+    };
+    // Length shrinks, earliest piece first: cut each segment toward its
+    // piece's minimum (most aggressive first).
+    for (i, &n) in segs.iter().enumerate() {
+        let Piece::Class { min, .. } = &pieces[i];
+        let min = *min as usize;
+        if n > min {
+            let mid = min + (n - min) / 2;
+            for keep in [min, mid, n - 1] {
+                if keep < n {
+                    push(rebuild(i, keep, None));
+                }
+            }
+        }
+    }
+    // Character simplification: replace each character with its piece's
+    // simplest (first) class character.
+    for (i, &n) in segs.iter().enumerate() {
+        let Piece::Class { chars, .. } = &pieces[i];
+        let simplest = chars[0];
+        for j in 0..n {
+            let at = starts[i] + j;
+            if cs[at] != simplest {
+                push(rebuild(i, n, Some((at, simplest))));
             }
         }
     }

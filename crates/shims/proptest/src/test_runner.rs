@@ -1,7 +1,7 @@
 //! Per-test configuration, the deterministic RNG behind every strategy,
 //! and the case runner that minimizes failing inputs before reporting.
 
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
@@ -68,45 +68,47 @@ fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
 pub fn run_cases<S, F>(strategy: &S, rng: &mut TestRng, cases: u32, attempt: F)
 where
     S: Strategy,
-    S::Value: Clone + std::fmt::Debug,
+    S::Value: Clone + std::fmt::Debug + 'static,
     F: Fn(S::Value),
 {
     for _ in 0..cases {
-        let vals = strategy.generate(rng);
-        run_case(strategy, vals, &attempt);
+        let tree = strategy.new_tree(rng);
+        run_tree(tree, &attempt);
     }
 }
 
 /// Run one generated case through the test body; on failure, minimize the
 /// inputs before reporting.
 ///
-/// Minimization is greedy descent over [`Strategy::shrink`] candidates:
-/// adopt the first candidate that still fails and re-shrink from it, until
-/// no candidate fails — a local minimum. Because the integer shrinkers
-/// propose (origin, midpoint, one-step) in that order, the descent is a
-/// binary search toward each strategy's simplest value. The final panic
-/// message carries the **minimal** failing input (`{:?}`) and its
-/// assertion message; per-candidate panics during the search are silenced
-/// so a shrink run doesn't spray dozens of backtraces.
-pub fn run_case<S, F>(strategy: &S, vals: S::Value, attempt: &F)
+/// Minimization is greedy descent over the [`ValueTree`]'s candidate
+/// children: adopt the first candidate whose value still fails and descend
+/// into *its* children, until no candidate fails — a local minimum.
+/// Because the integer shrinkers propose (origin, midpoint, one-step) in
+/// that order, the descent is a binary search toward each strategy's
+/// simplest value; because candidates are trees (not values), mapped
+/// strategies shrink through their pre-image. The final panic message
+/// carries the **minimal** failing input (`{:?}`) and its assertion
+/// message; per-candidate panics during the search are silenced so a
+/// shrink run doesn't spray dozens of backtraces.
+pub fn run_tree<T, F>(tree: ValueTree<'_, T>, attempt: &F)
 where
-    S: Strategy,
-    S::Value: Clone + std::fmt::Debug,
-    F: Fn(S::Value),
+    T: Clone + std::fmt::Debug + 'static,
+    F: Fn(T),
 {
     // First run under the normal hook: a failure prints the original
     // (unminimized) assertion like any test would.
-    let Err(first) = panic::catch_unwind(AssertUnwindSafe(|| attempt(vals.clone()))) else {
+    let Err(first) = panic::catch_unwind(AssertUnwindSafe(|| attempt(tree.value().clone()))) else {
         return;
     };
     // Minimize quietly (only this thread's candidate panics are muted).
     let (current, shrinks, minimal_msg) = silenced(|| {
-        let mut current = vals;
+        let mut current = tree;
         let mut shrinks = 0usize;
         'descend: while shrinks < MAX_SHRINKS {
-            let candidates = strategy.shrink(&current);
+            let candidates = current.children();
             for cand in candidates {
-                if panic::catch_unwind(AssertUnwindSafe(|| attempt(cand.clone()))).is_err() {
+                if panic::catch_unwind(AssertUnwindSafe(|| attempt(cand.value().clone()))).is_err()
+                {
                     current = cand;
                     shrinks += 1;
                     continue 'descend;
@@ -114,13 +116,30 @@ where
             }
             break; // local minimum: every candidate passes
         }
-        let minimal_msg = panic::catch_unwind(AssertUnwindSafe(|| attempt(current.clone())))
-            .err()
-            .map(|p| payload_message(p.as_ref()))
-            .unwrap_or_else(|| payload_message(first.as_ref()));
-        (current, shrinks, minimal_msg)
+        let minimal_msg =
+            panic::catch_unwind(AssertUnwindSafe(|| attempt(current.value().clone())))
+                .err()
+                .map(|p| payload_message(p.as_ref()))
+                .unwrap_or_else(|| payload_message(first.as_ref()));
+        (current.value().clone(), shrinks, minimal_msg)
     });
     panic!("proptest: minimal failing input: {current:?} (after {shrinks} shrinks): {minimal_msg}");
+}
+
+/// Value-level variant of [`run_tree`], kept for callers that hold a raw
+/// generated value: minimization runs over [`Strategy::shrink`] only (no
+/// tree, so `prop_map`ped strategies will not shrink through this path).
+pub fn run_case<S, F>(strategy: &S, vals: S::Value, attempt: &F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug + 'static,
+    F: Fn(S::Value),
+{
+    let tree = ValueTree::from_shrink_fn(
+        vals,
+        std::rc::Rc::new(move |v: &S::Value| strategy.shrink(v)),
+    );
+    run_tree(tree, attempt);
 }
 
 /// Subset of proptest's config: only `cases` is consulted.

@@ -28,6 +28,41 @@ proptest! {
     fn passing_property(x in 0i64..10) {
         prop_assert!(x < 10);
     }
+
+    // prop_map shrinks through its pre-image tree: fails for v ≥ 114,
+    // i.e. inner x ≥ 57; the minimal counterexample is v = 114 exactly.
+    fn failing_mapped_property(v in (0i64..1000).prop_map(|x| x * 2)) {
+        prop_assert!(v < 114, "v was {}", v);
+    }
+
+    // A mapped tuple: each mapped component must minimize independently
+    // while the conjunction keeps failing (a = 3·30, b = 23 + 7).
+    fn failing_mapped_pair_property(
+        (a, b) in (0i64..500, 0i64..500).prop_map(|(a, b)| (a * 3, b + 7))
+    ) {
+        prop_assert!(a < 90 || b < 30);
+    }
+
+    // A vector of mapped elements: length shrinks and element shrinks
+    // both flow through the element strategy's tree.
+    fn failing_mapped_vec_property(
+        v in proptest::collection::vec((0u16..300).prop_map(|x| x * 2), 0..12)
+    ) {
+        prop_assert!(v.len() < 2);
+    }
+
+    // String pattern shrinking: fails when len ≥ 4; the minimal case is
+    // the 4-char string of the class's simplest character.
+    fn failing_string_property(s in "[a-z]{2,8}") {
+        prop_assert!(s.len() < 4, "s was {:?}", s);
+    }
+
+    // Multi-piece pattern: the literal prefix "ab" must survive shrinking
+    // (candidates are re-validated against the pattern), so the minimal
+    // failing string keeps the prefix and minimizes only the digits.
+    fn failing_multipiece_string_property(s in "ab[0-9]{1,6}") {
+        prop_assert!(s.len() < 5, "s was {:?}", s);
+    }
 }
 
 fn failure_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
@@ -78,4 +113,58 @@ fn failing_tuple_property_minimizes_both_components() {
 #[test]
 fn passing_property_stays_silent() {
     passing_property();
+}
+
+#[test]
+fn mapped_property_shrinks_through_the_map() {
+    let msg = failure_message(failing_mapped_property);
+    assert!(msg.contains("minimal failing input"), "{msg}");
+    // x shrinks to 57 through the map, so the reported value is 114.
+    assert!(
+        msg.contains("(114,)"),
+        "mapped value not minimized to 114: {msg}"
+    );
+    assert!(msg.contains("v was 114"), "{msg}");
+}
+
+#[test]
+fn mapped_pair_minimizes_both_components() {
+    let msg = failure_message(failing_mapped_pair_property);
+    assert!(msg.contains("minimal failing input"), "{msg}");
+    assert!(
+        msg.contains("((90, 30),)"),
+        "mapped pair not minimized to (90, 30): {msg}"
+    );
+}
+
+#[test]
+fn mapped_vec_minimizes_length_and_elements() {
+    let msg = failure_message(failing_mapped_vec_property);
+    assert!(msg.contains("minimal failing input"), "{msg}");
+    assert!(
+        msg.contains("([0, 0],)"),
+        "mapped vector not minimized to two zeros: {msg}"
+    );
+}
+
+#[test]
+fn string_property_minimizes_length_and_characters() {
+    let msg = failure_message(failing_string_property);
+    assert!(msg.contains("minimal failing input"), "{msg}");
+    assert!(
+        msg.contains("(\"aaaa\",)"),
+        "string not minimized to \"aaaa\": {msg}"
+    );
+}
+
+#[test]
+fn multipiece_string_shrinks_stay_in_language() {
+    let msg = failure_message(failing_multipiece_string_property);
+    assert!(msg.contains("minimal failing input"), "{msg}");
+    // The minimal failing string is 5 chars: the mandatory "ab" literal
+    // plus three of the digit class's simplest character.
+    assert!(
+        msg.contains("(\"ab000\",)"),
+        "multi-piece string not minimized in-language to \"ab000\": {msg}"
+    );
 }

@@ -36,6 +36,9 @@ pub struct PhysicalIndex {
     n_rows: usize,
     compressed_bytes: usize,
     uncompressed_bytes: usize,
+    /// Rows living in leaf patch sections (see [`Self::append_rows`]),
+    /// not yet folded into clean page encodings by [`Self::rebuilt`].
+    patched_rows: usize,
 }
 
 impl PhysicalIndex {
@@ -111,6 +114,7 @@ impl PhysicalIndex {
             n_rows: rows.len(),
             compressed_bytes: leaf_bytes + dict_bytes + internal_pages * PAGE_SIZE,
             uncompressed_bytes: uncompressed,
+            patched_rows: 0,
             leaves,
         })
     }
@@ -138,6 +142,12 @@ impl PhysicalIndex {
     /// Leaf page count.
     pub fn n_leaf_pages(&self) -> usize {
         self.leaves.len()
+    }
+
+    /// The raw encoded bytes of one leaf page (patch section included) —
+    /// what a byte-level artifact digest hashes.
+    pub fn leaf_bytes(&self, leaf: usize) -> &[u8] {
+        &self.leaves[leaf].bytes
     }
 
     /// Total size in bytes (leaf payloads + dictionaries + internal pages).
@@ -290,9 +300,32 @@ impl PhysicalIndex {
         Ok(Some(Row::new(vals)))
     }
 
-    /// Decode and return all rows of one leaf page.
+    /// Decode and return all rows of one leaf page, patch-aware: rows
+    /// appended via [`Self::append_rows`] are merged back into key order
+    /// (stable — originally packed rows sort before equal-keyed appends).
     pub fn decode_leaf(&self, leaf: usize) -> Result<Vec<Row>> {
-        decode_page(&self.leaves[leaf].bytes, &self.ctx())
+        let (base, patch) = cadb_compression::split_patch(&self.leaves[leaf].bytes)?;
+        let mut rows = decode_page(base, &self.ctx())?;
+        if !patch.is_empty() {
+            let key: Vec<ColumnId> = (0..self.n_key_cols as u16).map(ColumnId).collect();
+            let mut extra = patch;
+            extra.sort_by(|a, b| a.key_cmp(b, &key));
+            let mut merged = Vec::with_capacity(rows.len() + extra.len());
+            let mut it = extra.into_iter().peekable();
+            for r in rows.drain(..) {
+                while let Some(e) = it.peek() {
+                    if e.key_cmp(&r, &key) == Ordering::Less {
+                        merged.push(it.next().unwrap());
+                    } else {
+                        break;
+                    }
+                }
+                merged.push(r);
+            }
+            merged.extend(it);
+            rows = merged;
+        }
+        Ok(rows)
     }
 
     /// Full scan: decode every leaf in key order.
@@ -367,6 +400,88 @@ impl PhysicalIndex {
     /// Point lookup on a full or prefix key.
     pub fn seek(&self, key: &[Value]) -> Result<Vec<Row>> {
         Ok(self.range_scan(Some(key), Some(key))?.0)
+    }
+
+    /// Rows appended via patch sections and not yet folded into clean
+    /// page encodings. While this is non-zero, the decode paths
+    /// ([`Self::scan`], [`Self::decode_leaf`], [`Self::range_scan`],
+    /// [`Self::seek`]) see every row, but the raw-page cursors the
+    /// vectorized executor walks ([`Self::page_cursor`]) do **not** — a
+    /// patched index must go through [`Self::rebuilt`] before being handed
+    /// back to compressed execution.
+    pub fn patched_rows(&self) -> usize {
+        self.patched_rows
+    }
+
+    /// Append rows by patching the leaf each row's key routes to — the
+    /// incremental write path a checkpoint uses to fold committed deltas
+    /// into compressed structures without re-encoding every page. Cost is
+    /// O(rows appended), not O(index size). Returns the number of leaves
+    /// patched. Rows must have the index's stored arity; key order within
+    /// `rows` is not required.
+    pub fn append_rows(&mut self, rows: &[Row]) -> Result<usize> {
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        for r in rows {
+            if r.arity() != self.dtypes.len() {
+                return Err(CadbError::Schema(format!(
+                    "append arity {} != stored arity {}",
+                    r.arity(),
+                    self.dtypes.len()
+                )));
+            }
+        }
+        if self.leaves.is_empty() {
+            // Degenerate empty index: bulk-build from scratch.
+            let key: Vec<ColumnId> = (0..self.n_key_cols as u16).map(ColumnId).collect();
+            let mut sorted = rows.to_vec();
+            sorted.sort_by(|a, b| a.key_cmp(b, &key));
+            *self = PhysicalIndex::build(&sorted, &self.dtypes, self.n_key_cols, self.kind)?;
+            return Ok(self.leaves.len());
+        }
+        // Route each row to its target leaf: the B+Tree descent for keyed
+        // indexes, the last (append) leaf for heaps.
+        let mut by_leaf: std::collections::BTreeMap<usize, Vec<Row>> =
+            std::collections::BTreeMap::new();
+        for r in rows {
+            let leaf = if self.n_key_cols == 0 {
+                self.leaves.len() - 1
+            } else {
+                let key: Vec<Value> = r.values[..self.n_key_cols].to_vec();
+                self.locate_leaf(&key)
+            };
+            by_leaf.entry(leaf).or_default().push(r.clone());
+        }
+        let n_patched = by_leaf.len();
+        for (leaf, group) in by_leaf {
+            let before = self.leaves[leaf].bytes.len();
+            cadb_compression::append_patch(&mut self.leaves[leaf].bytes, &group)?;
+            let added = self.leaves[leaf].bytes.len() - before;
+            self.leaves[leaf].n_rows += group.len();
+            // Patch rows are stored uncompressed; account the growth on
+            // both sides so the measured compression fraction stays honest.
+            self.leaves[leaf].uncompressed_bytes += added;
+            self.compressed_bytes += added;
+            self.uncompressed_bytes += added;
+            self.n_rows += group.len();
+            self.patched_rows += group.len();
+        }
+        Ok(n_patched)
+    }
+
+    /// Fold every patch section into clean page encodings: decode all
+    /// leaves (patch-aware), re-sort, and bulk-build a fresh index — the
+    /// *leaf rebuild* a checkpoint runs once patches accumulate. The result
+    /// has `patched_rows() == 0` and is safe for vectorized execution.
+    pub fn rebuilt(&self) -> Result<PhysicalIndex> {
+        let key: Vec<ColumnId> = (0..self.n_key_cols as u16).map(ColumnId).collect();
+        let mut rows = self.scan()?;
+        // decode_leaf merges per leaf; a global stable sort restores the
+        // cross-leaf invariant in the (edge) cases where appended keys
+        // straddle leaf boundaries.
+        rows.sort_by(|a, b| a.key_cmp(b, &key));
+        PhysicalIndex::build(&rows, &self.dtypes, self.n_key_cols, self.kind)
     }
 }
 
@@ -610,6 +725,79 @@ mod tests {
             let decoded = ix.decode_leaf(leaf).unwrap();
             assert_eq!(last.values[0], decoded.last().unwrap().values[0]);
         }
+    }
+
+    #[test]
+    fn append_rows_patches_and_rebuild_folds() {
+        let rows = sorted_rows(3000);
+        for kind in [
+            CompressionKind::None,
+            CompressionKind::Page,
+            CompressionKind::GlobalDict,
+        ] {
+            let mut ix = PhysicalIndex::build(&rows, &dtypes(), 1, kind).unwrap();
+            let extra: Vec<Row> = (0..40)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int((i * 17) as i64),
+                        Value::Str("new".into()),
+                        Value::Int(100_000 + i as i64),
+                    ])
+                })
+                .collect();
+            let patched = ix.append_rows(&extra).unwrap();
+            assert!(patched >= 1, "{kind}");
+            assert_eq!(ix.patched_rows(), 40);
+            assert_eq!(ix.n_rows(), 3040);
+            // Decode paths see every row, in key order.
+            let scanned = ix.scan().unwrap();
+            assert_eq!(scanned.len(), 3040, "{kind}");
+            let key = [ColumnId(0)];
+            for w in scanned.windows(2) {
+                assert_ne!(w[0].key_cmp(&w[1], &key), Ordering::Greater, "{kind}");
+            }
+            // Rebuild folds the patches into clean encodings.
+            let clean = ix.rebuilt().unwrap();
+            assert_eq!(clean.patched_rows(), 0);
+            assert_eq!(clean.n_rows(), 3040);
+            assert_eq!(clean.scan().unwrap(), scanned, "{kind}");
+        }
+    }
+
+    #[test]
+    fn append_to_heap_goes_to_the_tail() {
+        let rows = sorted_rows(500);
+        let mut ix = PhysicalIndex::build(&rows, &dtypes(), 0, CompressionKind::None).unwrap();
+        let extra = vec![Row::new(vec![
+            Value::Int(-1),
+            Value::Str("tail".into()),
+            Value::Int(9),
+        ])];
+        ix.append_rows(&extra).unwrap();
+        let scanned = ix.scan().unwrap();
+        assert_eq!(scanned.last().unwrap(), &extra[0]);
+        assert_eq!(scanned.len(), 501);
+    }
+
+    #[test]
+    fn append_to_empty_index_bulk_builds() {
+        let mut ix = PhysicalIndex::build(&[], &dtypes(), 1, CompressionKind::Page).unwrap();
+        let mut extra = sorted_rows(100);
+        extra.reverse(); // append does not require sorted input
+        ix.append_rows(&extra).unwrap();
+        assert_eq!(ix.n_rows(), 100);
+        assert_eq!(ix.patched_rows(), 0);
+        let mut expected = extra.clone();
+        expected.sort_by(|a, b| a.key_cmp(b, &[ColumnId(0)]));
+        assert_eq!(ix.scan().unwrap(), expected);
+    }
+
+    #[test]
+    fn append_wrong_arity_rejected() {
+        let mut ix =
+            PhysicalIndex::build(&sorted_rows(10), &dtypes(), 1, CompressionKind::None).unwrap();
+        let bad = vec![Row::new(vec![Value::Int(1)])];
+        assert!(ix.append_rows(&bad).is_err());
     }
 
     #[test]

@@ -12,7 +12,9 @@
 pub mod btree;
 pub mod heap;
 pub mod table;
+pub mod wal;
 
 pub use btree::{LeafPage, PageCursor, PhysicalIndex};
 pub use heap::Heap;
 pub use table::Table;
+pub use wal::{FrameType, WalFrame, WalReplay, WalSegment};

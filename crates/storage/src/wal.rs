@@ -1,0 +1,281 @@
+//! The write-ahead-log segment format.
+//!
+//! A segment is a flat byte sequence of self-delimiting *frames*:
+//!
+//! ```text
+//! [payload_len u32 LE][crc32 u32 LE][frame_type u8][lsn u64 LE][payload …]
+//! ```
+//!
+//! The CRC covers everything after it (type byte, LSN, payload), so any
+//! torn or bit-flipped tail is detected. Replay follows the classic
+//! ARIES-style discipline restricted to redo:
+//!
+//! * frames are applied in order until the first frame that is incomplete
+//!   (*torn tail*) or fails its CRC (*partial frame*) — everything from
+//!   that offset on is truncated, never applied;
+//! * a frame whose LSN was already seen is skipped (*duplicate frame*,
+//!   e.g. a retried append that was made durable twice).
+//!
+//! The byte format lives in the storage crate — next to the page formats —
+//! so the store (`cadb_exec::store`) and the fault-injection tests share
+//! one definition of what a sync point is: the segment records the byte
+//! offset after every appended frame, and a crash can be simulated by
+//! cutting the segment at (or anywhere between) those offsets.
+
+use cadb_common::bytes::{get_u32, get_u64, put_u32, put_u64};
+use cadb_common::{CadbError, Result};
+
+/// Fixed bytes before a frame's payload: length, CRC, type, LSN.
+pub const FRAME_HEADER_BYTES: usize = 4 + 4 + 1 + 8;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// One committed transaction's effects.
+    Commit,
+    /// A checkpoint marker: every LSN ≤ this frame's is folded into the
+    /// checkpointed structures; replay may start after it.
+    Checkpoint,
+}
+
+impl FrameType {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameType::Commit => 1,
+            FrameType::Checkpoint => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<FrameType> {
+        match b {
+            1 => Ok(FrameType::Commit),
+            2 => Ok(FrameType::Checkpoint),
+            b => Err(CadbError::Storage(format!("WAL: unknown frame type {b}"))),
+        }
+    }
+}
+
+/// One decoded WAL frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalFrame {
+    /// Kind of record.
+    pub frame_type: FrameType,
+    /// Log sequence number — strictly increasing per committed frame.
+    pub lsn: u64,
+    /// Frame body (commit frames: the byte-codec'd effects).
+    pub payload: Vec<u8>,
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bitwise — no table needed
+/// for the frame sizes a WAL sees.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encode one frame into its segment bytes.
+pub fn encode_frame(frame: &WalFrame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + 8 + frame.payload.len());
+    body.push(frame.frame_type.to_byte());
+    put_u64(&mut body, frame.lsn);
+    body.extend_from_slice(&frame.payload);
+    let mut out = Vec::with_capacity(8 + body.len());
+    put_u32(&mut out, frame.payload.len() as u32);
+    put_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// An in-memory WAL segment: append-only bytes plus the offset after each
+/// durably appended frame (the *sync points* fault injection cuts at).
+#[derive(Debug, Default, Clone)]
+pub struct WalSegment {
+    bytes: Vec<u8>,
+    sync_points: Vec<usize>,
+}
+
+impl WalSegment {
+    /// Empty segment.
+    pub fn new() -> Self {
+        WalSegment::default()
+    }
+
+    /// Append one frame; returns the sync point (byte offset after it).
+    pub fn append(&mut self, frame: &WalFrame) -> usize {
+        self.bytes.extend_from_slice(&encode_frame(frame));
+        let point = self.bytes.len();
+        self.sync_points.push(point);
+        point
+    }
+
+    /// The raw segment bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Byte offsets after each appended frame, in append order.
+    pub fn sync_points(&self) -> &[usize] {
+        &self.sync_points
+    }
+
+    /// Number of appended frames.
+    pub fn n_frames(&self) -> usize {
+        self.sync_points.len()
+    }
+}
+
+/// The outcome of scanning a (possibly torn) segment.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Frames to apply, in log order, duplicates already dropped.
+    pub frames: Vec<WalFrame>,
+    /// Bytes of unusable tail that were truncated (0 for a clean segment).
+    pub truncated_bytes: usize,
+    /// Frames dropped because their LSN was already applied.
+    pub duplicates_skipped: usize,
+}
+
+/// Scan a segment's bytes into applicable frames, truncating the tail at
+/// the first incomplete or corrupt frame and skipping duplicate LSNs.
+pub fn replay(bytes: &[u8]) -> WalReplay {
+    let mut frames: Vec<WalFrame> = Vec::new();
+    let mut duplicates_skipped = 0usize;
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let Some(frame_end) = frame_at(bytes, off) else {
+            break; // torn or corrupt tail — truncate from here
+        };
+        let mut p = off;
+        let payload_len = get_u32(bytes, &mut p).expect("validated") as usize;
+        let _crc = get_u32(bytes, &mut p).expect("validated");
+        let ty = FrameType::from_byte(bytes[p]).expect("validated");
+        p += 1;
+        let lsn = get_u64(bytes, &mut p).expect("validated");
+        let payload = bytes[p..p + payload_len].to_vec();
+        if frames.iter().any(|f| f.lsn == lsn) {
+            duplicates_skipped += 1;
+        } else {
+            frames.push(WalFrame {
+                frame_type: ty,
+                lsn,
+                payload,
+            });
+        }
+        off = frame_end;
+    }
+    WalReplay {
+        frames,
+        truncated_bytes: bytes.len() - off,
+        duplicates_skipped,
+    }
+}
+
+/// End offset of a complete, CRC-valid frame starting at `off`, else None.
+fn frame_at(bytes: &[u8], off: usize) -> Option<usize> {
+    let mut p = off;
+    let payload_len = get_u32(bytes, &mut p).ok()? as usize;
+    let stored_crc = get_u32(bytes, &mut p).ok()?;
+    let body_end = p.checked_add(1 + 8 + payload_len)?;
+    if body_end > bytes.len() {
+        return None;
+    }
+    let body = &bytes[p..body_end];
+    if crc32(body) != stored_crc {
+        return None;
+    }
+    FrameType::from_byte(body[0]).ok()?;
+    Some(body_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(lsn: u64, payload: &[u8]) -> WalFrame {
+        WalFrame {
+            frame_type: FrameType::Commit,
+            lsn,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_in_order() {
+        let mut seg = WalSegment::new();
+        for i in 0..5u64 {
+            seg.append(&frame(i, &[i as u8; 3]));
+        }
+        let r = replay(seg.bytes());
+        assert_eq!(r.frames.len(), 5);
+        assert_eq!(r.truncated_bytes, 0);
+        assert_eq!(r.duplicates_skipped, 0);
+        assert_eq!(r.frames[3], frame(3, &[3; 3]));
+    }
+
+    #[test]
+    fn torn_tail_truncates_only_the_tail() {
+        let mut seg = WalSegment::new();
+        for i in 0..4u64 {
+            seg.append(&frame(i, b"payload"));
+        }
+        // Cut anywhere strictly inside the last frame: the first three
+        // frames must survive, the tail must be truncated.
+        let third = seg.sync_points()[2];
+        for cut in third + 1..seg.bytes().len() {
+            let r = replay(&seg.bytes()[..cut]);
+            assert_eq!(r.frames.len(), 3, "cut at {cut}");
+            assert_eq!(r.truncated_bytes, cut - third);
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_stops_replay() {
+        let mut seg = WalSegment::new();
+        seg.append(&frame(1, b"aaaa"));
+        seg.append(&frame(2, b"bbbb"));
+        let mut bytes = seg.bytes().to_vec();
+        // Flip one payload bit of the second frame.
+        let p = seg.sync_points()[0] + FRAME_HEADER_BYTES;
+        bytes[p] ^= 0x40;
+        let r = replay(&bytes);
+        assert_eq!(r.frames.len(), 1);
+        assert!(r.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn duplicate_lsn_is_skipped() {
+        let mut seg = WalSegment::new();
+        seg.append(&frame(1, b"a"));
+        seg.append(&frame(1, b"a"));
+        seg.append(&frame(2, b"b"));
+        let r = replay(seg.bytes());
+        assert_eq!(r.frames.len(), 2);
+        assert_eq!(r.duplicates_skipped, 1);
+        assert_eq!(r.frames[1].lsn, 2);
+    }
+
+    #[test]
+    fn checkpoint_frames_roundtrip() {
+        let mut seg = WalSegment::new();
+        seg.append(&WalFrame {
+            frame_type: FrameType::Checkpoint,
+            lsn: 9,
+            payload: Vec::new(),
+        });
+        let r = replay(seg.bytes());
+        assert_eq!(r.frames[0].frame_type, FrameType::Checkpoint);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -159,4 +159,4 @@ pub use cadb_sampling as sampling;
 pub use cadb_sql as sql;
 pub use cadb_stats as stats;
 pub use cadb_storage as storage;
-pub use session::{Preset, TuningSession};
+pub use session::{Preset, ServeReport, TuningSession};
