@@ -268,7 +268,11 @@ fn bench_store_concurrency(c: &mut Criterion) {
     let t = db.table_id("lineitem").unwrap();
 
     // N snapshot readers × M committing writers over the MVCC store: the
-    // single-log/multi-writer commit path under read pressure.
+    // single-log/multi-writer commit path under read pressure. Readers
+    // come in two flavors — the gen-1 row-cache view (`n_rows` over the
+    // version chains) and the gen-2 snapshot page cache (`pages`, a folded
+    // compressed image shared between modifications) — so the cache's
+    // before/after effect is one report apart.
     let mut group = c.benchmark_group("store_concurrency");
     group.sample_size(10);
     for (readers, writers) in [(0usize, 1usize), (2, 2), (4, 4)] {
@@ -282,30 +286,82 @@ fn bench_store_concurrency(c: &mut Criterion) {
                 1.0,
             );
         }
+        for pages in [false, true] {
+            let label = if pages { "page_cache" } else { "row_view" };
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{readers}x{writers}")),
+                &writes,
+                |b, writes| {
+                    b.iter(|| {
+                        let store = Store::open(&db, &mat, CostModel::default());
+                        store.warm_for_table(t).unwrap();
+                        std::thread::scope(|s| {
+                            for _ in 0..readers {
+                                s.spawn(|| {
+                                    for _ in 0..8 {
+                                        let snap = store.snapshot();
+                                        if pages {
+                                            black_box(snap.pages(t).unwrap().n_rows());
+                                        } else {
+                                            black_box(snap.n_rows(t).unwrap());
+                                        }
+                                    }
+                                });
+                            }
+                            store
+                                .apply_workload(
+                                    black_box(writes),
+                                    7,
+                                    Parallelism::Threads(writers.max(1)),
+                                )
+                                .unwrap()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_wal_batch(c: &mut Criterion) {
+    use cadb_engine::{BulkInsert, CostModel, Statement, Workload};
+    use cadb_exec::{MaterializedConfig, Store};
+
+    let gen = cadb_datagen::TpchGen::new(0.02);
+    let db = gen.build().unwrap();
+    let w = gen.workload(&db).unwrap();
+    let cfg = cadb_bench::experiments::plan::mv_rich_config(&db, &w);
+    let mat = MaterializedConfig::build(&db, &cfg).unwrap();
+    let t = db.table_id("lineitem").unwrap();
+
+    // Commit throughput vs group-commit batch size: the same 16 prepared
+    // INSERT statements, one coalesced WAL append (sync point) per batch.
+    // The logged bytes are bit-identical across rows by the store's
+    // group-commit contract; only the number of sync points differs.
+    let mut writes = Workload::default();
+    for _ in 0..16 {
+        writes.push(
+            Statement::Insert(BulkInsert {
+                table: t,
+                n_rows: 25,
+            }),
+            1.0,
+        );
+    }
+    let mut group = c.benchmark_group("wal_batch");
+    group.sample_size(10);
+    for batch in [1usize, 4, 16] {
         group.bench_with_input(
-            BenchmarkId::new("readers_x_writers", format!("{readers}x{writers}")),
+            BenchmarkId::new("commit_batch", batch),
             &writes,
             |b, writes| {
                 b.iter(|| {
                     let store = Store::open(&db, &mat, CostModel::default());
                     store.warm_for_table(t).unwrap();
-                    std::thread::scope(|s| {
-                        for _ in 0..readers {
-                            s.spawn(|| {
-                                for _ in 0..8 {
-                                    let snap = store.snapshot();
-                                    black_box(snap.n_rows(t).unwrap());
-                                }
-                            });
-                        }
-                        store
-                            .apply_workload(
-                                black_box(writes),
-                                7,
-                                Parallelism::Threads(writers.max(1)),
-                            )
-                            .unwrap()
-                    })
+                    store
+                        .apply_workload_batched(black_box(writes), 7, Parallelism::Serial, batch)
+                        .unwrap()
                 })
             },
         );
@@ -322,6 +378,7 @@ criterion_group!(
     bench_samplecf_batch,
     bench_greedy_search,
     bench_advisor,
-    bench_store_concurrency
+    bench_store_concurrency,
+    bench_wal_batch
 );
 criterion_main!(benches);

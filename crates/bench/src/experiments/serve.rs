@@ -108,6 +108,7 @@ pub fn serve_table(name: &str, variant: &str, out: &ServeOutcome) -> Table {
         let kind = match kind {
             WriteKind::Insert => "INSERT",
             WriteKind::Update => "UPDATE",
+            WriteKind::Delete => "DELETE",
         };
         let ratio = if *meas > 0.0 { est / meas } else { 1.0 };
         t.row(vec![
@@ -183,6 +184,7 @@ pub fn serve_json(datasets: &[(&str, &Database, &Workload)], scale: f64) -> Stri
                             match kind {
                                 WriteKind::Insert => "insert",
                                 WriteKind::Update => "update",
+                                WriteKind::Delete => "delete",
                             },
                         )
                         .int("n_rows", *n_rows as i64)

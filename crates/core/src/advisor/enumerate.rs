@@ -376,11 +376,14 @@ mod tests {
         let qt = db.schema(t).column_id("quantity").unwrap();
         let a = IndexSpec::secondary(t, vec![sd]).with_includes(vec![ep, di]);
         let b = IndexSpec::secondary(t, vec![sd]).with_includes(vec![sk, qt]);
+        // A strong CF keeps the compressed variants clearly the denser
+        // choice even after `compressed()` charges the internal separator
+        // page, which is a large share of these tiny test structures.
         vec![
             priced(&opt, a.clone(), 1.0),
-            priced(&opt, a.with_compression(CompressionKind::Page), 0.4),
+            priced(&opt, a.with_compression(CompressionKind::Page), 0.25),
             priced(&opt, b.clone(), 1.0),
-            priced(&opt, b.with_compression(CompressionKind::Page), 0.4),
+            priced(&opt, b.with_compression(CompressionKind::Page), 0.25),
         ]
     }
 

@@ -317,7 +317,9 @@ impl<'a> Advisor<'a> {
                     }
                 }
             } else {
-                opt.estimate_uncompressed_size(&spec)
+                // Stored size, not row footprint: the columnar leaf layout
+                // is cheaper than the footprint even without compression.
+                opt.estimate_stored_size(&spec)
             };
             priced.push(PhysicalStructure { spec, size });
         }

@@ -192,8 +192,31 @@ pub struct SizeEstimate {
     pub compression_fraction: f64,
 }
 
+/// Fan-out of the storage layer's B+Tree separator levels (mirrors
+/// `cadb_storage`'s geometry; the engine layer cannot depend on storage).
+const INTERNAL_FANOUT: f64 = 256.0;
+
+/// Internal (separator-level) page overhead in bytes above `leaf_pages`
+/// leaves: the geometric ceil-series `⌈l/256⌉ + ⌈⌈l/256⌉/256⌉ + …`, each
+/// level a full physical page. A single-leaf structure has no internal
+/// level; everything larger pays at least one page — a double-digit share
+/// of small structures and part of the estimators' old systematic
+/// under-estimate (the leaf-only estimate never charged the tree).
+pub(crate) fn internal_overhead_bytes(leaf_pages: f64) -> f64 {
+    let mut level = leaf_pages.ceil().max(1.0);
+    let mut pages = 0.0;
+    while level > 1.0 {
+        level = (level / INTERNAL_FANOUT).ceil();
+        pages += level;
+    }
+    pages * cadb_compression::analyze::PAGE_SIZE as f64
+}
+
 impl SizeEstimate {
-    /// Estimate for an uncompressed structure from bytes and rows.
+    /// Estimate for an uncompressed structure from bytes and rows. `bytes`
+    /// is the pure row footprint — the denominator compression fractions
+    /// are measured against — with no tree overhead; deduction arithmetic
+    /// relies on footprints staying proportional to row bytes.
     pub fn uncompressed(bytes: f64, rows: f64) -> Self {
         SizeEstimate {
             bytes,
@@ -203,11 +226,16 @@ impl SizeEstimate {
         }
     }
 
-    /// Apply a compression fraction to this estimate.
+    /// Apply a compression fraction to this estimate, producing the
+    /// estimated **stored** size: the CF scales the leaf level, and the
+    /// B+Tree's internal separator pages — which the storage layer's
+    /// `size_bytes()` includes but a leaf-footprint × CF product misses —
+    /// are charged on top from the compressed leaf count.
     pub fn compressed(&self, cf: f64) -> Self {
+        let pages = (self.pages * cf).max(1.0);
         SizeEstimate {
-            bytes: self.bytes * cf,
-            pages: (self.pages * cf).max(1.0),
+            bytes: self.bytes * cf + internal_overhead_bytes(pages),
+            pages,
             rows: self.rows,
             compression_fraction: cf,
         }

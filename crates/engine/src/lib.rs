@@ -24,5 +24,5 @@ pub use catalog::Database;
 pub use config::{Configuration, IndexSpec, MvSpec, Parallelism, PhysicalStructure, SizeEstimate};
 pub use cost::CostModel;
 pub use predicate::{PredOp, Predicate};
-pub use stmt::{BulkInsert, BulkUpdate, JoinEdge, Query, Statement, Workload};
+pub use stmt::{BulkDelete, BulkInsert, BulkUpdate, JoinEdge, Query, Statement, Workload};
 pub use whatif::WhatIfOptimizer;

@@ -129,6 +129,18 @@ pub struct BulkUpdate {
     pub column: ColumnId,
 }
 
+/// A bulk DELETE: removes `n_rows` existing rows. Under MVCC a delete is
+/// an end-of-chain tombstone (the version's `end` watermark is set) — no
+/// new version is written, but every structure storing the table pays the
+/// locator removal, and grouped MVs pay a −1 group delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkDelete {
+    /// Target table.
+    pub table: TableId,
+    /// Number of rows deleted per execution.
+    pub n_rows: u64,
+}
+
 /// A workload statement with its weight (execution frequency).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -138,6 +150,8 @@ pub enum Statement {
     Insert(BulkInsert),
     /// A bulk UPDATE.
     Update(BulkUpdate),
+    /// A bulk DELETE.
+    Delete(BulkDelete),
 }
 
 /// A weighted workload, the input of the design tool.
@@ -177,24 +191,38 @@ impl Workload {
         })
     }
 
-    /// `true` when the workload contains any write statement (INSERT or
-    /// UPDATE) — the condition for maintenance cost being measurable.
-    pub fn has_writes(&self) -> bool {
-        self.statements
-            .iter()
-            .any(|(s, _)| matches!(s, Statement::Insert(_) | Statement::Update(_)))
+    /// Iterate over the bulk deletes with weights.
+    pub fn deletes(&self) -> impl Iterator<Item = (&BulkDelete, f64)> {
+        self.statements.iter().filter_map(|(s, w)| match s {
+            Statement::Delete(d) => Some((d, *w)),
+            _ => None,
+        })
     }
 
-    /// Scale the weight of every INSERT/UPDATE by `factor` — how the paper
-    /// turns a base workload into SELECT-intensive (low factor) or
-    /// INSERT-intensive (high factor) variants (Appendix D.2).
+    /// `true` when the workload contains any write statement (INSERT,
+    /// UPDATE or DELETE) — the condition for maintenance cost being
+    /// measurable.
+    pub fn has_writes(&self) -> bool {
+        self.statements.iter().any(|(s, _)| {
+            matches!(
+                s,
+                Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)
+            )
+        })
+    }
+
+    /// Scale the weight of every INSERT/UPDATE/DELETE by `factor` — how
+    /// the paper turns a base workload into SELECT-intensive (low factor)
+    /// or INSERT-intensive (high factor) variants (Appendix D.2).
     pub fn with_insert_weight(&self, factor: f64) -> Workload {
         Workload {
             statements: self
                 .statements
                 .iter()
                 .map(|(s, w)| match s {
-                    Statement::Insert(_) | Statement::Update(_) => (s.clone(), w * factor),
+                    Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {
+                        (s.clone(), w * factor)
+                    }
                     _ => (s.clone(), *w),
                 })
                 .collect(),

@@ -17,7 +17,7 @@ use crate::cardinality::{mv_estimated_rows, predicate_selectivity};
 use crate::catalog::Database;
 use crate::config::{Configuration, IndexSpec, Parallelism, SizeEstimate};
 use crate::cost::CostModel;
-use crate::stmt::{BulkInsert, BulkUpdate, Statement, Workload};
+use crate::stmt::{BulkDelete, BulkInsert, BulkUpdate, Statement, Workload};
 use cadb_common::par::par_map;
 use cadb_common::DataType;
 use cadb_compression::analyze::PAGE_PAYLOAD;
@@ -183,12 +183,52 @@ impl<'a> WhatIfOptimizer<'a> {
         cost
     }
 
+    /// Cost of a bulk delete under a configuration: locate the victim
+    /// versions and stamp their end watermarks (no new version is written,
+    /// so no compression on the base), plus one locator removal per
+    /// structure over the table and a group re-aggregation (−1 deltas) per
+    /// MV rooted at it.
+    pub fn delete_cost(&self, del: &BulkDelete, cfg: &Configuration) -> f64 {
+        let n = del.n_rows as f64;
+        let m = &self.model;
+        let base_kind = crate::access_path::base_structure(cfg, del.table)
+            .map(|s| s.spec.compression)
+            .unwrap_or(cadb_compression::CompressionKind::None);
+        // Locate the victims and decode the pages their versions live in
+        // to stamp the tombstone; nothing is re-compressed.
+        let mut cost =
+            n * m.cpu_per_tuple + m.lookup_cost(n) + m.decompress_cost(base_kind, n, 1.0);
+        for s in cfg.structures() {
+            let spec = &s.spec;
+            let affected = match &spec.mv {
+                // Every deleted fact row retracts from exactly one group.
+                Some(mv) if mv.root == del.table => n,
+                Some(_) => continue,
+                // Any structure over the table drops the row's locator,
+                // partial structures only for rows passing their filter.
+                None if spec.table == del.table => {
+                    let sel = spec
+                        .partial_filter
+                        .as_ref()
+                        .map(|f| predicate_selectivity(self.db, f))
+                        .unwrap_or(1.0);
+                    n * sel
+                }
+                None => continue,
+            };
+            // One index touch per removal — half an update's delete+insert.
+            cost += affected * (m.cpu_per_tuple + m.insert_io_per_row);
+        }
+        cost
+    }
+
     /// Cost of any workload statement.
     pub fn statement_cost(&self, stmt: &Statement, cfg: &Configuration) -> f64 {
         match stmt {
             Statement::Select(q) => self.query_cost(q, cfg),
             Statement::Insert(i) => self.insert_cost(i, cfg),
             Statement::Update(u) => self.update_cost(u, cfg),
+            Statement::Delete(d) => self.delete_cost(d, cfg),
         }
     }
 
@@ -221,6 +261,45 @@ impl<'a> WhatIfOptimizer<'a> {
     /// compressed variant is estimated elsewhere (SampleCF / deduction) and
     /// applied via [`SizeEstimate::compressed`].
     pub fn estimate_uncompressed_size(&self, spec: &IndexSpec) -> SizeEstimate {
+        let (rows, width, ..) = self.row_footprint(spec);
+        SizeEstimate::uncompressed(rows * width, rows)
+    }
+
+    /// Estimated **stored** size of an uncompressed (`NONE`) structure: what
+    /// the storage layer's `size_bytes()` will measure, not the row
+    /// footprint. The columnar leaf layout drops the per-row header the
+    /// footprint charges and keeps one null bit per column per row (the
+    /// footprint rounds the bitmap up to whole bytes per row); each leaf
+    /// pays the fixed encode header, and internal separator pages are
+    /// charged on top. Without this, `NONE` candidates were priced at their
+    /// footprint and systematically over-estimated.
+    pub fn estimate_stored_size(&self, spec: &IndexSpec) -> SizeEstimate {
+        let (rows, width, n_cols, bitmap) = self.row_footprint(spec);
+        let footprint = rows * width;
+        let c = n_cols as f64;
+        // Swap the footprint's per-row charges (header + rounded bitmap)
+        // for the leaf layout's exact one-bit-per-column bitmaps.
+        let stored_width = (width - ROW_OVERHEAD - bitmap + c / 8.0).max(1.0);
+        // Fixed per-leaf encode header: page header + per-column tag and
+        // block-length words, amortized at the full-page packing rate.
+        let fixed = 4.0 + 5.0 * c;
+        let payload = PAGE_PAYLOAD as f64;
+        let leaf_bytes = rows * stored_width * payload / (payload - fixed);
+        let pages = leaf_bytes / payload;
+        SizeEstimate {
+            bytes: leaf_bytes + crate::config::internal_overhead_bytes(pages),
+            pages,
+            rows,
+            // The layout fraction: stored leaf bytes over the footprint —
+            // comparable to a measured `compressed/uncompressed` fraction.
+            compression_fraction: leaf_bytes / footprint,
+        }
+    }
+
+    /// Estimated rows, per-row footprint width, stored column count (row
+    /// locator included), and the footprint's per-row bitmap charge of a
+    /// structure — the shared base of both size estimates.
+    fn row_footprint(&self, spec: &IndexSpec) -> (f64, f64, usize, f64) {
         if let Some(mv) = &spec.mv {
             let rows = mv_estimated_rows(self.db, mv).max(1.0);
             // Group-by columns at their native widths + 8 bytes per SUM
@@ -230,7 +309,8 @@ impl<'a> WhatIfOptimizer<'a> {
                 width += self.avg_col_width(*t, self.db.dtypes(*t)[c.raw()], c.raw());
             }
             width += 8.0 * (mv.agg_columns.len() as f64 + 1.0);
-            return SizeEstimate::uncompressed(rows * width, rows);
+            let n_cols = mv.group_by.len() + mv.agg_columns.len() + 1;
+            return (rows, width, n_cols, 0.0);
         }
         let stats = self.db.stats(spec.table);
         let filter_sel = spec
@@ -245,14 +325,17 @@ impl<'a> WhatIfOptimizer<'a> {
         } else {
             spec.stored_columns().iter().map(|c| c.raw()).collect()
         };
-        let mut width = ROW_OVERHEAD + (cols.len() as f64 / 8.0).ceil();
+        let bitmap = (cols.len() as f64 / 8.0).ceil();
+        let mut width = ROW_OVERHEAD + bitmap;
         for c in &cols {
             width += self.avg_col_width(spec.table, dtypes[*c], *c);
         }
+        let mut n_cols = cols.len();
         if !spec.clustered {
             width += ROW_LOCATOR;
+            n_cols += 1;
         }
-        SizeEstimate::uncompressed(rows * width, rows)
+        (rows, width, n_cols, bitmap)
     }
 
     fn avg_col_width(&self, table: cadb_common::TableId, dtype: DataType, col: usize) -> f64 {

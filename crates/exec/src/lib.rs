@@ -83,6 +83,7 @@ pub use scan::{
     ExecStats,
 };
 pub use store::{
-    RecoveryReport, Snapshot, Store, StoreCheckpoint, StoreTotals, WriteActual, WriteKind,
+    CommitReceipt, PageCacheStats, RecoveryReport, Snapshot, Store, StoreCheckpoint, StoreTotals,
+    WriteActual, WriteKind,
 };
 pub use vector::{ColumnVector, IntAggregate, VectorData};

@@ -266,7 +266,7 @@ impl QueryActual {
 pub struct WriteCostActual {
     /// Index of the statement in the workload's statement list.
     pub statement_index: usize,
-    /// INSERT or UPDATE.
+    /// INSERT, UPDATE or DELETE.
     pub kind: WriteKind,
     /// Target table.
     pub table: TableId,
@@ -436,6 +436,7 @@ impl MeasuredReport {
                         match w.kind {
                             WriteKind::Insert => "insert",
                             WriteKind::Update => "update",
+                            WriteKind::Delete => "delete",
                         },
                     )
                     .int("table", w.table.0 as i64)

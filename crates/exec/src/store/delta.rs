@@ -82,10 +82,47 @@ impl TableDelta {
         });
     }
 
+    /// Tombstone a base row at `lsn`: end the currently-live version with
+    /// no successor. When no override chain exists yet, the implicit base
+    /// row is materialized as a `[0, lsn)` version so older snapshots keep
+    /// seeing it while `lsn` and later see the ordinal as deleted.
+    pub fn tombstone_base(&mut self, ordinal: u32, base_row: &Row, lsn: u64) {
+        let chain = self.overridden.entry(ordinal).or_default();
+        match chain.last_mut() {
+            Some(last) if last.end == LIVE => last.end = lsn,
+            Some(_) => {} // already dead: deleting a tombstone is a no-op
+            None => chain.push(Versioned {
+                row: base_row.clone(),
+                begin: 0,
+                end: lsn,
+            }),
+        }
+    }
+
+    /// Tombstone an appended slot's live version at `lsn` (end-of-chain,
+    /// no successor pushed).
+    pub fn tombstone_appended(&mut self, slot: usize, lsn: u64) {
+        if let Some(last) = self.appended[slot].iter_mut().rfind(|v| v.end == LIVE) {
+            last.end = lsn;
+        }
+    }
+
+    /// Whether a snapshot at `lsn` sees any version of base ordinal
+    /// `ordinal` (the implicit base row counts before the chain begins).
+    pub fn base_visible_at(&self, ordinal: u32, lsn: u64) -> bool {
+        match self.overridden.get(&ordinal) {
+            None => true,
+            Some(chain) => {
+                chain.iter().any(|v| v.visible_at(lsn))
+                    || chain.first().is_none_or(|v| lsn < v.begin)
+            }
+        }
+    }
+
     /// The row a snapshot at `lsn` sees for base ordinal `ordinal`, given
-    /// the base row — `None` only when an override chain exists but no
-    /// version (nor the base) is visible, which cannot happen for
-    /// insert/update-only workloads.
+    /// the base row — `None` when an override chain exists but no
+    /// version (nor the base) is visible, i.e. the ordinal was deleted at
+    /// or before `lsn`.
     pub fn base_row_at<'r>(&'r self, ordinal: u32, base_row: &'r Row, lsn: u64) -> Option<&'r Row> {
         match self.overridden.get(&ordinal) {
             None => Some(base_row),
@@ -110,10 +147,17 @@ impl TableDelta {
             .filter_map(move |chain| chain.iter().find(|v| v.visible_at(lsn)).map(|v| &v.row))
     }
 
-    /// Number of rows visible at `lsn` (base minus nothing — updates keep
-    /// cardinality — plus visible appends).
+    /// Number of rows visible at `lsn`: base rows not hidden by a
+    /// tombstone (updates keep cardinality, deletes shrink it), plus
+    /// visible appends. Only overridden ordinals can be hidden, so the
+    /// scan is O(overridden + appended), not O(base).
     pub fn n_visible_at(&self, lsn: u64) -> usize {
-        self.base_n + self.appended_at(lsn).count()
+        let hidden = self
+            .overridden
+            .keys()
+            .filter(|&&o| !self.base_visible_at(o, lsn))
+            .count();
+        self.base_n - hidden + self.appended_at(lsn).count()
     }
 
     /// The currently-live row of an appended slot (for update targeting).
@@ -170,6 +214,38 @@ mod tests {
         assert_eq!(d.base_row_at(2, &base, 5), Some(&row(70)));
         assert_eq!(d.base_row_at(2, &base, 6), Some(&row(700)));
         assert_eq!(d.base_row_at(2, &base, u64::MAX - 1), Some(&row(700)));
+    }
+
+    #[test]
+    fn tombstones_end_chains_without_successor() {
+        let mut d = TableDelta::new(3);
+        let base = row(7);
+        // Delete a never-overridden base row: older snapshots still see it.
+        d.tombstone_base(1, &base, 5);
+        assert_eq!(d.base_row_at(1, &base, 4), Some(&base));
+        assert_eq!(d.base_row_at(1, &base, 5), None);
+        assert!(d.base_visible_at(1, 4));
+        assert!(!d.base_visible_at(1, 5));
+        assert_eq!(d.n_visible_at(4), 3);
+        assert_eq!(d.n_visible_at(5), 2);
+        // Delete an updated base row: the update stays visible in between.
+        d.override_base(0, row(70), 3);
+        d.tombstone_base(0, &base, 6);
+        assert_eq!(d.base_row_at(0, &base, 2), Some(&base));
+        assert_eq!(d.base_row_at(0, &base, 5), Some(&row(70)));
+        assert_eq!(d.base_row_at(0, &base, 6), None);
+        assert_eq!(d.n_visible_at(6), 1);
+        // Deleting twice is a no-op.
+        d.tombstone_base(0, &base, 7);
+        assert_eq!(d.n_visible_at(7), 1);
+        // Delete an appended row.
+        let slot = d.append(row(100), 8);
+        assert_eq!(d.n_visible_at(8), 2);
+        d.tombstone_appended(slot, 9);
+        assert_eq!(d.appended_at(8).count(), 1);
+        assert_eq!(d.appended_at(9).count(), 0);
+        assert_eq!(d.appended_live(slot), None);
+        assert_eq!(d.n_visible_at(9), 1);
     }
 
     #[test]

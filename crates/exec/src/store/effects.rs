@@ -34,6 +34,17 @@ pub struct RowRewrite {
     pub new_row: Row,
 }
 
+/// One deleted row version: the slot whose chain ends and the version
+/// being tombstoned. As with [`RowRewrite`], the *old* row travels in the
+/// log so replayed maintenance accounting never re-resolves a slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowTombstone {
+    /// Target slot whose version chain ends here.
+    pub slot: RowSlot,
+    /// The row version being tombstoned.
+    pub old_row: Row,
+}
+
 /// A resolved commit: everything needed to apply it deterministically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommitEffects {
@@ -43,6 +54,8 @@ pub struct CommitEffects {
     pub appended: Vec<Row>,
     /// Row versions superseded (UPDATE).
     pub rewritten: Vec<RowRewrite>,
+    /// Row versions tombstoned (DELETE): end-of-chain, no successor.
+    pub deleted: Vec<RowTombstone>,
 }
 
 const SLOT_BASE: u32 = 0;
@@ -71,6 +84,20 @@ impl CommitEffects {
             }
             put_row(&mut out, &rw.old_row);
             put_row(&mut out, &rw.new_row);
+        }
+        put_u32(&mut out, self.deleted.len() as u32);
+        for ts in &self.deleted {
+            match ts.slot {
+                RowSlot::Base(o) => {
+                    put_u32(&mut out, SLOT_BASE);
+                    put_u32(&mut out, o);
+                }
+                RowSlot::Appended(s) => {
+                    put_u32(&mut out, SLOT_APPENDED);
+                    put_u32(&mut out, s);
+                }
+            }
+            put_row(&mut out, &ts.old_row);
         }
         out
     }
@@ -104,6 +131,25 @@ impl CommitEffects {
                 new_row: get_row(payload, &mut off)?,
             });
         }
+        let n_del = get_u32(payload, &mut off)? as usize;
+        let mut deleted = Vec::with_capacity(n_del);
+        for _ in 0..n_del {
+            let tag = get_u32(payload, &mut off)?;
+            let idx = get_u32(payload, &mut off)?;
+            let slot = match tag {
+                SLOT_BASE => RowSlot::Base(idx),
+                SLOT_APPENDED => RowSlot::Appended(idx),
+                other => {
+                    return Err(CadbError::Storage(format!(
+                        "commit payload: unknown slot tag {other}"
+                    )))
+                }
+            };
+            deleted.push(RowTombstone {
+                slot,
+                old_row: get_row(payload, &mut off)?,
+            });
+        }
         if off != payload.len() {
             return Err(CadbError::Storage("commit payload: trailing bytes".into()));
         }
@@ -111,12 +157,13 @@ impl CommitEffects {
             table,
             appended,
             rewritten,
+            deleted,
         })
     }
 
-    /// Rows touched (appended + rewritten).
+    /// Rows touched (appended + rewritten + deleted).
     pub fn n_rows(&self) -> usize {
-        self.appended.len() + self.rewritten.len()
+        self.appended.len() + self.rewritten.len() + self.deleted.len()
     }
 }
 
@@ -144,6 +191,10 @@ mod tests {
                     new_row: Row::new(vec![Value::Int(3), Value::Null]),
                 },
             ],
+            deleted: vec![RowTombstone {
+                slot: RowSlot::Base(4),
+                old_row: Row::new(vec![Value::Int(9), Value::Str("c".into())]),
+            }],
         }
     }
 
@@ -151,7 +202,7 @@ mod tests {
     fn payload_roundtrip() {
         let e = fx();
         assert_eq!(CommitEffects::decode(&e.encode()).unwrap(), e);
-        assert_eq!(e.n_rows(), 4);
+        assert_eq!(e.n_rows(), 5);
     }
 
     #[test]

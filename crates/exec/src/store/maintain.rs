@@ -38,6 +38,8 @@ pub struct MaintenanceCounters {
     pub rows_appended: u64,
     /// Row versions superseded.
     pub rows_rewritten: u64,
+    /// Row versions tombstoned (end-of-chain, no successor).
+    pub rows_deleted: u64,
     /// WAL bytes made durable (frame header + payload).
     pub wal_bytes: u64,
     /// Row writes into secondary / clustered index structures.
@@ -53,6 +55,7 @@ impl MaintenanceCounters {
     pub fn merge(&mut self, other: &MaintenanceCounters) {
         self.rows_appended += other.rows_appended;
         self.rows_rewritten += other.rows_rewritten;
+        self.rows_deleted += other.rows_deleted;
         self.wal_bytes += other.wal_bytes;
         self.index_rows_touched += other.index_rows_touched;
         self.mv_rows_probed += other.mv_rows_probed;
@@ -129,17 +132,20 @@ pub fn maintain(
     let m = model;
     let n_app = effects.appended.len() as f64;
     let n_rw = effects.rewritten.len() as f64;
+    let n_del = effects.deleted.len() as f64;
 
     let mut counters = MaintenanceCounters {
         rows_appended: effects.appended.len() as u64,
         rows_rewritten: effects.rewritten.len() as u64,
+        rows_deleted: effects.deleted.len() as u64,
         wal_bytes,
         ..MaintenanceCounters::default()
     };
 
     // Base-table write: append CPU + WAL I/O + re-compression of the
     // appended rows; updates additionally pay the version lookup and the
-    // old version's decode.
+    // old version's decode. Deletes pay the lookup and decode to stamp
+    // the tombstone but write no new version, so nothing re-compresses.
     let mut cost = n_app * m.cpu_per_tuple
         + m.bytes_to_pages(wal_bytes as f64) * m.seq_page_io
         + m.compress_cost(base_kind, n_app);
@@ -148,6 +154,11 @@ pub fn maintain(
             + m.lookup_cost(n_rw)
             + m.decompress_cost(base_kind, n_rw, 1.0)
             + m.compress_cost(base_kind, n_rw);
+    }
+    if n_del > 0.0 {
+        cost += n_del * m.cpu_per_tuple
+            + m.lookup_cost(n_del)
+            + m.decompress_cost(base_kind, n_del, 1.0);
     }
 
     let rewrite_changes: Vec<Vec<ColumnId>> = effects
@@ -187,11 +198,24 @@ pub fn maintain(
                         stores && in_filter
                     })
                     .count() as f64;
-                counters.index_rows_touched += (aff_ins + aff_upd) as u64;
+                // Deletes: every structure holding the row drops its
+                // locator — one index touch per victim the partial filter
+                // admitted, whatever columns the structure stores.
+                let aff_del = effects
+                    .deleted
+                    .iter()
+                    .filter(|ts| {
+                        spec.partial_filter
+                            .as_ref()
+                            .is_none_or(|f| f.matches(&ts.old_row))
+                    })
+                    .count() as f64;
+                counters.index_rows_touched += (aff_ins + aff_upd + aff_del) as u64;
                 cost += aff_ins * (m.cpu_per_tuple + m.insert_io_per_row)
                     + m.compress_cost(spec.compression, aff_ins)
                     + aff_upd * (m.cpu_per_tuple + 2.0 * m.insert_io_per_row)
-                    + m.compress_cost(spec.compression, aff_upd);
+                    + m.compress_cost(spec.compression, aff_upd)
+                    + aff_del * (m.cpu_per_tuple + m.insert_io_per_row);
             }
             Some(mv) => {
                 if mv.root != effects.table {
@@ -231,6 +255,21 @@ pub fn maintain(
                             for (s, v) in g.sums.iter_mut().zip(&sums) {
                                 *s += sign * v;
                             }
+                        }
+                    }
+                }
+                // Deletes retract the tombstoned version from its group.
+                for ts in &effects.deleted {
+                    probed += 1;
+                    rewrote = true;
+                    if let Some((key, sums)) = mv_contribution(mv, &ts.old_row, resolve) {
+                        let g = groups.entry(key).or_insert_with(|| MvGroupDelta {
+                            count: 0,
+                            sums: vec![0; mv.agg_columns.len()],
+                        });
+                        g.count -= 1;
+                        for (s, v) in g.sums.iter_mut().zip(&sums) {
+                            *s -= v;
                         }
                     }
                 }

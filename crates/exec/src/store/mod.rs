@@ -1,6 +1,6 @@
 //! A snapshot-isolated, WAL'd store over the compressed
 //! [`MaterializedConfig`] — the subsystem that turns *what-if*
-//! INSERT/UPDATE maintenance costs into *measured* ones.
+//! INSERT/UPDATE/DELETE maintenance costs into *measured* ones.
 //!
 //! ## Architecture
 //!
@@ -8,13 +8,29 @@
 //! **immutable**: the store layers [`delta::TableDelta`] version chains
 //! over each table's base (MVCC; a [`Snapshot`] pins a commit-LSN
 //! watermark and reads a consistent state without blocking writers) and
-//! per-MV aggregate overlays over the built MV structures. The write path
-//! is *single-log / multi-writer*: any number of writers prepare
-//! concurrently (resolve statements into [`effects::CommitEffects`], probe
-//! dimensions, price maintenance — all outside any lock), then commits
-//! serialize only on the short critical section that assigns the LSN,
-//! appends the frame to the shared [`cadb_storage::wal::WalSegment`] and
-//! applies the effects.
+//! per-MV aggregate overlays over the built MV structures. DELETEs are
+//! end-of-chain tombstones: the live version's interval is closed with no
+//! successor, so older snapshots keep seeing the row. The write path is
+//! *single-log / multi-writer*: any number of writers prepare concurrently
+//! (resolve statements into [`effects::CommitEffects`], probe dimensions,
+//! price maintenance — all outside any lock), then commits serialize only
+//! on the short critical section that assigns the LSN, appends the frame
+//! to the shared [`cadb_storage::wal::WalSegment`] and applies the
+//! effects. [`Store::commit_batch`] is the **group-commit** form of that
+//! section: a batch of prepared effects gets consecutive LSNs and one
+//! coalesced multi-frame append with a *single* sync point — batching
+//! changes durability granularity only, never the logged bytes.
+//!
+//! ## Snapshot page cache
+//!
+//! Readers don't have to re-derive row caches per snapshot:
+//! [`Snapshot::pages`] serves a *page image* — the table's compressed
+//! leaves with the snapshot's visible delta folded in (O(delta) page patch
+//! for append-only deltas, leaf rebuild otherwise) — from a cache keyed by
+//! `(table, effective LSN)`, where the effective LSN is the last commit
+//! that actually modified the table. Every snapshot between two
+//! modifications shares one image; [`Snapshot::seek`] runs the planner's
+//! B+Tree seek-cursor descent directly over it.
 //!
 //! ## Determinism contract
 //!
@@ -22,6 +38,10 @@
 //!   resolved effects and the immutable bases ([`maintain::maintain`]), so
 //!   the measured totals of a run are identical under
 //!   [`Parallelism::Serial`] and concurrent execution.
+//! * [`Store::apply_workload_batched`] prepares in parallel but commits in
+//!   statement order, so recovered state, per-statement actuals **and the
+//!   raw WAL bytes** ([`Store::wal_frame_digest`]) are bit-identical
+//!   across every batch size and every [`Parallelism`] mode.
 //! * [`Store::state_digest`] hashes the visible row *multiset* (plus MV
 //!   overlays), so equal states digest equally however writers
 //!   interleaved.
@@ -30,10 +50,15 @@
 //!   measured totals — bit for bit (torn tails are truncated, duplicate
 //!   frames skipped, see [`cadb_storage::wal::replay`]).
 //!
+//! ## Checkpoint-anchored truncation
+//!
 //! A [`Store::checkpoint`] folds the committed deltas back into real
-//! compressed structures: pure-append tables through O(delta) page
-//! *patches* ([`cadb_storage::PhysicalIndex::append_rows`]), updated
-//! tables through a leaf rebuild.
+//! compressed structures (pure-append tables through O(delta) page
+//! *patches* via [`cadb_storage::PhysicalIndex::append_rows`], updated or
+//! deleted-from tables through a leaf rebuild), then **truncates the WAL**
+//! to the checkpoint marker: the artifact plus the post-checkpoint tail is
+//! the whole persistent state. [`Store::recover_with_checkpoint`] restarts
+//! from the artifact and replays only the tail frames.
 
 pub mod delta;
 pub mod effects;
@@ -44,12 +69,12 @@ use cadb_common::rng::rng_for;
 use cadb_common::{CadbError, ColumnId, Parallelism, Result, Row, TableId, Value};
 use cadb_compression::CompressionKind;
 use cadb_engine::{
-    BulkInsert, BulkUpdate, CostModel, Database, IndexSpec, MvSpec, Statement, Workload,
+    BulkDelete, BulkInsert, BulkUpdate, CostModel, Database, IndexSpec, MvSpec, Statement, Workload,
 };
 use cadb_storage::wal::{self, FrameType, WalFrame, WalSegment, FRAME_HEADER_BYTES};
 use cadb_storage::PhysicalIndex;
 use delta::TableDelta;
-use effects::{CommitEffects, RowRewrite, RowSlot};
+use effects::{CommitEffects, RowRewrite, RowSlot, RowTombstone};
 use maintain::{fnv1a, maintain, rows_digest, MaintenanceCounters, MvGroupDelta};
 use parking_lot::RwLock;
 use rand::Rng;
@@ -89,6 +114,8 @@ pub enum WriteKind {
     Insert,
     /// A `BulkUpdate`.
     Update,
+    /// A `BulkDelete`.
+    Delete,
 }
 
 /// Measured actuals of one executed write statement.
@@ -127,18 +154,46 @@ pub struct RecoveryReport {
     pub watermark: u64,
 }
 
+/// Hit/miss counters of the snapshot page cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Reads served from a cached page image (or straight from the
+    /// unmodified base structure).
+    pub hits: u64,
+    /// Reads that had to fold a page image (`patched + rebuilt`).
+    pub misses: u64,
+    /// Images folded by an O(delta) page patch (append-only delta).
+    pub patched: u64,
+    /// Images folded by a full leaf rebuild (updates or deletes present).
+    pub rebuilt: u64,
+}
+
 /// A checkpoint artifact: the committed state folded back into real
-/// compressed structures, one per table the log touched.
+/// compressed structures, one per table the log touched, plus everything
+/// recovery needs to restart *without* the pre-checkpoint log —
+/// [`Store::recover_with_checkpoint`] consumes it.
 #[derive(Debug)]
 pub struct StoreCheckpoint {
     /// Watermark the checkpoint covers.
     pub lsn: u64,
+    /// The LSN counter at checkpoint time (one past the marker frame).
+    pub next_lsn: u64,
     /// The folded base structure per touched table.
     pub tables: BTreeMap<TableId, PhysicalIndex>,
+    /// MV aggregate overlays at the watermark, keyed like
+    /// [`Store::mv_overlay`].
+    pub overlays: BTreeMap<usize, HashMap<Vec<Value>, MvGroupDelta>>,
+    /// Running totals at the watermark.
+    pub totals: StoreTotals,
     /// Tables folded via O(delta) page patches (append-only deltas).
     pub patched_tables: usize,
-    /// Tables that needed a full leaf rebuild (had updated rows).
+    /// Tables that needed a full leaf rebuild (had updated/deleted rows).
     pub rebuilt_tables: usize,
+    /// WAL bytes the checkpoint truncated from the head of the log
+    /// (everything before the checkpoint marker). Distinct from
+    /// [`RecoveryReport::truncated_bytes`], which counts *unusable tail*
+    /// bytes a crash tore.
+    pub truncated_wal_bytes: usize,
 }
 
 impl StoreCheckpoint {
@@ -167,6 +222,24 @@ struct StoreState {
     /// MV aggregate overlays, keyed by structure position in `specs`.
     overlays: BTreeMap<usize, HashMap<Vec<Value>, MvGroupDelta>>,
     totals: StoreTotals,
+    /// Commit LSNs that modified each table, ascending — the page cache's
+    /// effective-LSN index.
+    mod_lsns: BTreeMap<TableId, Vec<u64>>,
+    /// Watermark of the last checkpoint that truncated the WAL head; the
+    /// log cannot answer questions about LSNs before it.
+    log_anchor: u64,
+    /// Visible appended-row counts per table at the anchor — the baseline
+    /// `snapshot_consistent` adds to what the (truncated) log says.
+    anchor_appends: BTreeMap<TableId, i64>,
+}
+
+/// The snapshot page cache: folded page images keyed by
+/// `(table, effective LSN)`, bounded to the two most recent effective
+/// LSNs per table.
+#[derive(Debug, Default)]
+struct PageCache {
+    entries: HashMap<(TableId, u64), Arc<PhysicalIndex>>,
+    stats: PageCacheStats,
 }
 
 /// The snapshot-isolated store. See the module docs for the architecture.
@@ -175,12 +248,18 @@ pub struct Store<'a> {
     mat: &'a MaterializedConfig,
     specs: Vec<IndexSpec>,
     model: CostModel,
+    /// The physical base structure reads go through, per table: the
+    /// materialized config's, unless recovery installed a checkpoint
+    /// artifact for the table. Cached as `Arc`s so page images and row
+    /// decodes share one copy.
+    base_ix: RwLock<HashMap<TableId, Arc<PhysicalIndex>>>,
     /// Base rows decoded from the compressed base structures, per table,
     /// in base scan order (= the store's row-slot addressing), cached on
     /// first touch.
     base_rows: RwLock<HashMap<TableId, Arc<Vec<Row>>>>,
     /// Dimension key → base-row ordinal maps for MV join probing.
     dim_maps: RwLock<DimMapCache>,
+    page_cache: RwLock<PageCache>,
     state: RwLock<StoreState>,
 }
 
@@ -195,8 +274,10 @@ impl<'a> Store<'a> {
             mat,
             specs: mat.structures().iter().map(|s| s.spec.clone()).collect(),
             model,
+            base_ix: RwLock::new(HashMap::new()),
             base_rows: RwLock::new(HashMap::new()),
             dim_maps: RwLock::new(HashMap::new()),
+            page_cache: RwLock::new(PageCache::default()),
             state: RwLock::new(StoreState {
                 next_lsn: 1,
                 ..StoreState::default()
@@ -209,13 +290,24 @@ impl<'a> Store<'a> {
         &self.specs
     }
 
+    /// The physical base structure of a table — the materialized config's,
+    /// or the checkpoint artifact recovery installed over it.
+    fn base_pages(&self, t: TableId) -> Result<Arc<PhysicalIndex>> {
+        if let Some(ix) = self.base_ix.read().get(&t) {
+            return Ok(Arc::clone(ix));
+        }
+        let built = Arc::new(self.mat.base(t)?.clone());
+        let mut cache = self.base_ix.write();
+        Ok(Arc::clone(cache.entry(t).or_insert(built)))
+    }
+
     /// A table's base rows, decoded from its compressed base pages on
     /// first use. Slot ordinals address into this order.
     pub fn base_rows(&self, t: TableId) -> Result<Arc<Vec<Row>>> {
         if let Some(rows) = self.base_rows.read().get(&t) {
             return Ok(Arc::clone(rows));
         }
-        let decoded = Arc::new(self.mat.base(t)?.scan()?);
+        let decoded = Arc::new(self.base_pages(t)?.scan()?);
         let mut cache = self.base_rows.write();
         Ok(Arc::clone(cache.entry(t).or_insert(decoded)))
     }
@@ -313,6 +405,7 @@ impl<'a> Store<'a> {
             table: ins.table,
             appended,
             rewritten: Vec::new(),
+            deleted: Vec::new(),
         })
     }
 
@@ -358,41 +451,115 @@ impl<'a> Store<'a> {
             table: upd.table,
             appended: Vec::new(),
             rewritten,
+            deleted: Vec::new(),
+        })
+    }
+
+    /// Resolve a bulk DELETE into concrete tombstones: `n_rows` distinct
+    /// base slots chosen by the same seeded-stride discipline as
+    /// [`Self::prepare_update`], each ending its version chain with no
+    /// successor. The logged `old_row` is the slot's *immutable base*
+    /// version, so the frame is a pure function of
+    /// `(statement, seed, label)` however concurrent commits interleave.
+    pub fn prepare_delete(
+        &self,
+        del: &BulkDelete,
+        seed: u64,
+        label: &str,
+    ) -> Result<CommitEffects> {
+        let base = self.base_rows(del.table)?;
+        let base_n = base.len();
+        let mut deleted = Vec::new();
+        if base_n > 0 {
+            let n = (del.n_rows as usize).min(base_n);
+            let stride = (base_n / n).max(1);
+            let start = rng_for(seed, label).gen_range(0..base_n);
+            for j in 0..n {
+                let ordinal = ((start + j * stride) % base_n) as u32;
+                deleted.push(RowTombstone {
+                    slot: RowSlot::Base(ordinal),
+                    old_row: base[ordinal as usize].clone(),
+                });
+            }
+        }
+        Ok(CommitEffects {
+            table: del.table,
+            appended: Vec::new(),
+            rewritten: Vec::new(),
+            deleted,
         })
     }
 
     /// Commit resolved effects: price the maintenance (outside any lock),
     /// then — in the single serialized critical section — assign the LSN,
-    /// append the WAL frame and apply the effects.
+    /// append the WAL frame and apply the effects. Equivalent to a
+    /// [`Self::commit_batch`] of one.
     pub fn commit(&self, eff: CommitEffects) -> Result<CommitReceipt> {
-        self.warm_for_table(eff.table)?;
-        let base_n = self.base_rows(eff.table)?.len();
-        let payload = eff.encode();
-        let wal_bytes = (payload.len() + FRAME_HEADER_BYTES) as u64;
-        let run = maintain(
-            &eff,
-            &self.specs,
-            &self.model,
-            self.base_kind(eff.table),
-            wal_bytes,
-            &|mv, row, col| self.resolve_col(mv, row, col, 0),
-        );
+        let mut receipts = self.commit_batch(std::slice::from_ref(&eff))?;
+        Ok(receipts.pop().expect("one effect yields one receipt"))
+    }
+
+    /// **Group commit**: price every effect outside any lock, then — in
+    /// one critical section — assign consecutive LSNs, append all frames
+    /// as a single coalesced durable write (one sync point for the whole
+    /// batch, [`WalSegment::append_batch`]) and apply them in order.
+    ///
+    /// The logged bytes are identical to committing the effects one by
+    /// one; only the sync-point granularity — where a crash can land —
+    /// changes. That is the group-commit equivalence the recovery tests
+    /// pin across batch sizes.
+    pub fn commit_batch(&self, effs: &[CommitEffects]) -> Result<Vec<CommitReceipt>> {
+        if effs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Phase 1, outside any lock: warm caches, encode payloads, price
+        // maintenance (a pure function of effects + immutable bases).
+        let mut base_ns = Vec::with_capacity(effs.len());
+        let mut payloads = Vec::with_capacity(effs.len());
+        let mut runs = Vec::with_capacity(effs.len());
+        for eff in effs {
+            self.warm_for_table(eff.table)?;
+            base_ns.push(self.base_rows(eff.table)?.len());
+            let payload = eff.encode();
+            let wal_bytes = (payload.len() + FRAME_HEADER_BYTES) as u64;
+            runs.push(maintain(
+                eff,
+                &self.specs,
+                &self.model,
+                self.base_kind(eff.table),
+                wal_bytes,
+                &|mv, row, col| self.resolve_col(mv, row, col, 0),
+            ));
+            payloads.push(payload);
+        }
+        // Phase 2, the critical section: consecutive LSNs, one coalesced
+        // append, in-order apply.
         let mut st = self.state.write();
-        let lsn = st.next_lsn;
-        st.next_lsn += 1;
-        st.wal.append(&WalFrame {
-            frame_type: FrameType::Commit,
-            lsn,
-            payload,
-        });
-        Self::apply(&mut st, &eff, lsn, base_n)?;
-        Self::absorb(&mut st, &run, lsn);
-        Ok(CommitReceipt {
-            lsn,
-            counters: run.counters,
-            measured_cost: run.measured_cost,
-            measured_mv_cost: run.measured_mv_cost,
-        })
+        let first = st.next_lsn;
+        st.next_lsn += effs.len() as u64;
+        let frames: Vec<WalFrame> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| WalFrame {
+                frame_type: FrameType::Commit,
+                lsn: first + i as u64,
+                payload,
+            })
+            .collect();
+        st.wal.append_batch(&frames);
+        let mut receipts = Vec::with_capacity(effs.len());
+        for (i, (eff, run)) in effs.iter().zip(&runs).enumerate() {
+            let lsn = first + i as u64;
+            Self::apply(&mut st, eff, lsn, base_ns[i])?;
+            Self::absorb(&mut st, run, lsn);
+            receipts.push(CommitReceipt {
+                lsn,
+                counters: run.counters,
+                measured_cost: run.measured_cost,
+                measured_mv_cost: run.measured_mv_cost,
+            });
+        }
+        Ok(receipts)
     }
 
     /// Apply effects to the version chains at `lsn`.
@@ -426,6 +593,31 @@ impl<'a> Store<'a> {
                 }
             }
         }
+        for ts in &eff.deleted {
+            match ts.slot {
+                RowSlot::Base(o) => {
+                    if (o as usize) >= d.base_n {
+                        return Err(CadbError::Storage(format!(
+                            "delete targets base slot {o} of a {}-row base",
+                            d.base_n
+                        )));
+                    }
+                    d.tombstone_base(o, &ts.old_row, lsn);
+                }
+                RowSlot::Appended(s) => {
+                    if (s as usize) >= d.appended.len() {
+                        return Err(CadbError::Storage(format!(
+                            "delete targets appended slot {s} of {}",
+                            d.appended.len()
+                        )));
+                    }
+                    d.tombstone_appended(s as usize, lsn);
+                }
+            }
+        }
+        if eff.n_rows() > 0 {
+            st.mod_lsns.entry(eff.table).or_default().push(lsn);
+        }
         Ok(())
     }
 
@@ -451,27 +643,54 @@ impl<'a> Store<'a> {
         st.watermark = st.watermark.max(lsn);
     }
 
-    /// Execute every write statement of a workload (INSERTs and UPDATEs)
-    /// and return per-statement measured actuals, in statement order.
-    /// Writers run under `par`; per-statement results are deterministic in
-    /// `seed` regardless of the parallelism mode.
+    /// Execute every write statement of a workload (INSERTs, UPDATEs and
+    /// DELETEs) and return per-statement measured actuals, in statement
+    /// order. Equivalent to [`Self::apply_workload_batched`] with batch
+    /// size 1.
     pub fn apply_workload(
         &self,
         w: &Workload,
         seed: u64,
         par: Parallelism,
     ) -> Result<Vec<WriteActual>> {
+        self.apply_workload_batched(w, seed, par, 1)
+    }
+
+    /// The group-commit form of [`Self::apply_workload`]: prepare every
+    /// write in parallel under `par` (preparation is a pure function of
+    /// `(statement, seed)` and the immutable bases), then commit them **in
+    /// statement order** in durable batches of `batch` — each batch one
+    /// coalesced WAL append with a single sync point.
+    ///
+    /// LSNs equal statement positions regardless of `par` and `batch`, so
+    /// the logged bytes ([`Self::wal_frame_digest`]), the recovered state
+    /// and every per-statement actual are bit-identical across batch sizes
+    /// and parallelism modes; batching only coarsens the durability
+    /// boundaries a crash can land between.
+    pub fn apply_workload_batched(
+        &self,
+        w: &Workload,
+        seed: u64,
+        par: Parallelism,
+        batch: usize,
+    ) -> Result<Vec<WriteActual>> {
+        let batch = batch.max(1);
         let writes: Vec<(usize, &Statement)> = w
             .statements
             .iter()
             .enumerate()
-            .filter(|(_, (s, _))| matches!(s, Statement::Insert(_) | Statement::Update(_)))
+            .filter(|(_, (s, _))| {
+                matches!(
+                    s,
+                    Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)
+                )
+            })
             .map(|(i, (s, _))| (i, s))
             .collect();
-        let results =
-            cadb_common::par_map(par, &writes, |_, &(idx, stmt)| -> Result<WriteActual> {
+        let prepared: Vec<(WriteKind, TableId, u64, CommitEffects)> =
+            cadb_common::par_map(par, &writes, |_, &(idx, stmt)| {
                 let label = format!("write-{idx}");
-                let (kind, table, n_rows, eff) = match stmt {
+                Ok(match stmt {
                     Statement::Insert(ins) => (
                         WriteKind::Insert,
                         ins.table,
@@ -484,21 +703,35 @@ impl<'a> Store<'a> {
                         upd.n_rows,
                         self.prepare_update(upd, seed, &label)?,
                     ),
+                    Statement::Delete(del) => (
+                        WriteKind::Delete,
+                        del.table,
+                        del.n_rows,
+                        self.prepare_delete(del, seed, &label)?,
+                    ),
                     Statement::Select(_) => unreachable!("filtered to writes"),
-                };
-                let receipt = self.commit(eff)?;
-                Ok(WriteActual {
-                    statement_index: idx,
-                    kind,
-                    table,
-                    n_rows,
-                    lsn: receipt.lsn,
-                    measured_cost: receipt.measured_cost,
-                    measured_mv_cost: receipt.measured_mv_cost,
-                    counters: receipt.counters,
                 })
-            });
-        results.into_iter().collect()
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
+        let mut out = Vec::with_capacity(prepared.len());
+        for (stmts, preps) in writes.chunks(batch).zip(prepared.chunks(batch)) {
+            let effs: Vec<CommitEffects> = preps.iter().map(|p| p.3.clone()).collect();
+            let receipts = self.commit_batch(&effs)?;
+            for ((&(idx, _), p), r) in stmts.iter().zip(preps).zip(receipts) {
+                out.push(WriteActual {
+                    statement_index: idx,
+                    kind: p.0,
+                    table: p.1,
+                    n_rows: p.2,
+                    lsn: r.lsn,
+                    measured_cost: r.measured_cost,
+                    measured_mv_cost: r.measured_mv_cost,
+                    counters: r.counters,
+                });
+            }
+        }
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -544,23 +777,110 @@ impl<'a> Store<'a> {
         self.state.read().wal.sync_points().to_vec()
     }
 
+    /// FNV-1a digest over the raw WAL bytes — frame headers, LSNs and
+    /// payloads included. The group-commit equivalence tests' witness that
+    /// batching changes durability granularity only, never the log.
+    pub fn wal_frame_digest(&self) -> u64 {
+        fnv1a(0xcbf2_9ce4_8422_2325, self.state.read().wal.bytes())
+    }
+
+    /// Snapshot page-cache counters.
+    pub fn page_cache_stats(&self) -> PageCacheStats {
+        self.page_cache.read().stats
+    }
+
+    /// The page image of `t` at snapshot LSN `lsn`: the base's compressed
+    /// leaves with the visible delta folded in, shared by every snapshot
+    /// between the same two modifications of the table. Backs
+    /// [`Snapshot::pages`].
+    fn pages_at(&self, t: TableId, lsn: u64) -> Result<Arc<PhysicalIndex>> {
+        // Effective LSN: the last commit ≤ `lsn` that modified the table.
+        let eff = {
+            let st = self.state.read();
+            match st.mod_lsns.get(&t) {
+                None => 0,
+                Some(v) => match v.partition_point(|&l| l <= lsn) {
+                    0 => 0,
+                    i => v[i - 1],
+                },
+            }
+        };
+        if eff == 0 {
+            // Unmodified at this LSN: the base structure *is* the image.
+            self.page_cache.write().stats.hits += 1;
+            return self.base_pages(t);
+        }
+        // Clone out of the read guard before taking the write lock for
+        // the stats bump — the scrutinee's guard must not outlive the
+        // lookup.
+        let cached = self.page_cache.read().entries.get(&(t, eff)).cloned();
+        if let Some(ix) = cached {
+            self.page_cache.write().stats.hits += 1;
+            return Ok(ix);
+        }
+        // Miss: fold an image outside the cache lock. Folding at `eff`
+        // equals folding at `lsn` — no commit touched the table between.
+        let (ix, patched) = {
+            let st = self.state.read();
+            match st.deltas.get(&t) {
+                None => (self.base_pages(t)?.as_ref().clone(), true),
+                Some(d) => self.fold_table(t, d, eff)?,
+            }
+        };
+        let ix = Arc::new(ix);
+        let mut pc = self.page_cache.write();
+        pc.stats.misses += 1;
+        if patched {
+            pc.stats.patched += 1;
+        } else {
+            pc.stats.rebuilt += 1;
+        }
+        pc.entries.insert((t, eff), Arc::clone(&ix));
+        // Bound the cache: keep the two most recent images per table.
+        let mut lsns: Vec<u64> = pc
+            .entries
+            .keys()
+            .filter(|(tt, _)| *tt == t)
+            .map(|(_, l)| *l)
+            .collect();
+        if lsns.len() > 2 {
+            lsns.sort_unstable();
+            for stale in &lsns[..lsns.len() - 2] {
+                pc.entries.remove(&(t, *stale));
+            }
+        }
+        Ok(ix)
+    }
+
     /// Snapshot-atomicity check: re-derive, from the WAL alone, how many
-    /// appended rows each table must show at LSN `lsn`, and compare with
-    /// what the version chains make visible. Readers in the concurrency
-    /// tests call this against live writers.
+    /// appended rows each table must show at LSN `lsn` (appends minus
+    /// appended-slot tombstones, on top of the truncation anchor's
+    /// baseline), and compare with what the version chains make visible.
+    /// Readers in the concurrency tests call this against live writers.
+    /// LSNs before the truncation anchor are vacuously consistent — the
+    /// log that could answer for them was folded into a checkpoint.
     pub fn snapshot_consistent(&self, lsn: u64) -> Result<bool> {
         let st = self.state.read();
+        if lsn < st.log_anchor {
+            return Ok(true);
+        }
         let rep = wal::replay(st.wal.bytes());
-        let mut expected: BTreeMap<TableId, usize> = BTreeMap::new();
+        let mut expected: BTreeMap<TableId, i64> = st.anchor_appends.clone();
         for f in &rep.frames {
-            if f.frame_type != FrameType::Commit || f.lsn > lsn {
+            if f.frame_type != FrameType::Commit || f.lsn > lsn || f.lsn <= st.log_anchor {
                 continue;
             }
             let eff = CommitEffects::decode(&f.payload)?;
-            *expected.entry(eff.table).or_default() += eff.appended.len();
+            let e = expected.entry(eff.table).or_default();
+            *e += eff.appended.len() as i64;
+            for ts in &eff.deleted {
+                if matches!(ts.slot, RowSlot::Appended(_)) {
+                    *e -= 1;
+                }
+            }
         }
         for (t, want) in expected {
-            let got = st.deltas.get(&t).map_or(0, |d| d.appended_at(lsn).count());
+            let got = st.deltas.get(&t).map_or(0, |d| d.appended_at(lsn).count()) as i64;
             if got != want {
                 return Ok(false);
             }
@@ -612,10 +932,52 @@ impl<'a> Store<'a> {
     // Checkpoint + recovery
     // ------------------------------------------------------------------
 
-    /// Fold the committed deltas into real compressed structures and log a
-    /// checkpoint marker. Append-only tables are folded by patching leaf
-    /// pages in place (O(delta)); tables with updated rows get a full leaf
-    /// rebuild.
+    /// Fold one table's delta into a compressed structure at `lsn`:
+    /// append-only deltas patch the base's leaf pages in place (O(delta));
+    /// overridden chains (updates or deletes) force a full leaf rebuild.
+    /// Shared by [`Self::checkpoint`] and the snapshot page cache.
+    fn fold_table(&self, t: TableId, d: &TableDelta, lsn: u64) -> Result<(PhysicalIndex, bool)> {
+        let base_ix = self.base_pages(t)?;
+        if d.overridden.is_empty() {
+            let rows: Vec<Row> = d.appended_at(lsn).cloned().collect();
+            let mut ix = base_ix.as_ref().clone();
+            ix.append_rows(&rows)?;
+            Ok((ix, true))
+        } else {
+            let base = self.base_rows(t)?;
+            let mut rows = visible_rows(d, &base, lsn);
+            let (n_key, kind) = match self.mat.base_spec(t) {
+                Some(spec) => (
+                    spec.key_cols.len().min(self.db.dtypes(t).len()),
+                    spec.compression,
+                ),
+                None => (0, CompressionKind::None),
+            };
+            let key: Vec<ColumnId> = (0..n_key as u16).map(ColumnId).collect();
+            rows.sort_by(|a, b| a.key_cmp(b, &key).then_with(|| a.cmp(b)));
+            Ok((
+                PhysicalIndex::build(&rows, &self.db.dtypes(t), n_key, kind)?,
+                false,
+            ))
+        }
+    }
+
+    /// Fold the committed deltas into real compressed structures, log a
+    /// checkpoint marker, and **truncate the WAL** to the marker: the
+    /// returned artifact plus the post-checkpoint tail is the entire
+    /// persistent state, and [`Store::recover_with_checkpoint`] restarts
+    /// from exactly that pair. Append-only tables are folded by patching
+    /// leaf pages in place (O(delta)); tables with updated or deleted rows
+    /// get a full leaf rebuild.
+    ///
+    /// A checkpoint is an **epoch boundary**: the folded structures become
+    /// the live base (slot ordinals re-address to the artifact's scan
+    /// order), the deltas reset to empty, and every derived cache — row
+    /// decodes, dimension maps, page images — is invalidated. Commits
+    /// prepared after the checkpoint therefore log slots in the same
+    /// ordinal space recovery rebuilds; effects prepared *before* the
+    /// checkpoint (and snapshots pinned before it) must not be used across
+    /// the boundary.
     pub fn checkpoint(&self) -> Result<StoreCheckpoint> {
         // Warm base caches outside the write lock.
         let touched: Vec<TableId> = self.state.read().deltas.keys().copied().collect();
@@ -628,42 +990,57 @@ impl<'a> Store<'a> {
         let mut patched_tables = 0usize;
         let mut rebuilt_tables = 0usize;
         for (t, d) in &st.deltas {
-            let base_ix = self.mat.base(*t)?;
-            let base = self.base_rows(*t)?;
-            let ix = if d.overridden.is_empty() {
-                let rows: Vec<Row> = d.appended_at(lsn).cloned().collect();
-                let mut ix = base_ix.clone();
-                ix.append_rows(&rows)?;
+            let (ix, patched) = self.fold_table(*t, d, lsn)?;
+            if patched {
                 patched_tables += 1;
-                ix
             } else {
-                let mut rows = visible_rows(d, &base, lsn);
-                let (n_key, kind) = match self.mat.base_spec(*t) {
-                    Some(spec) => (
-                        spec.key_cols.len().min(self.db.dtypes(*t).len()),
-                        spec.compression,
-                    ),
-                    None => (0, CompressionKind::None),
-                };
-                let key: Vec<ColumnId> = (0..n_key as u16).map(ColumnId).collect();
-                rows.sort_by(|a, b| a.key_cmp(b, &key).then_with(|| a.cmp(b)));
                 rebuilt_tables += 1;
-                PhysicalIndex::build(&rows, &self.db.dtypes(*t), n_key, kind)?
-            };
+            }
             tables.insert(*t, ix);
         }
         let marker_lsn = st.next_lsn;
         st.next_lsn += 1;
+        // Truncate everything before the marker: the artifact carries the
+        // pre-checkpoint history now, so only the marker + later frames
+        // need to survive.
+        let head = st.wal.bytes().len();
         st.wal.append(&WalFrame {
             frame_type: FrameType::Checkpoint,
             lsn: marker_lsn,
             payload: lsn.to_le_bytes().to_vec(),
         });
+        let truncated_wal_bytes = st.wal.truncate_head(head);
+        // Epoch switch: install the folded structures as the live base
+        // and reset the per-epoch state.
+        {
+            let mut base_ix = self.base_ix.write();
+            for (t, ix) in &tables {
+                base_ix.insert(*t, Arc::new(ix.clone()));
+            }
+        }
+        {
+            let mut rows = self.base_rows.write();
+            for t in tables.keys() {
+                rows.remove(t);
+            }
+        }
+        self.dim_maps.write().clear();
+        self.page_cache.write().entries.clear();
+        for (t, ix) in &tables {
+            st.deltas.insert(*t, TableDelta::new(ix.n_rows()));
+        }
+        st.mod_lsns.clear();
+        st.log_anchor = lsn;
+        st.anchor_appends = BTreeMap::new();
         Ok(StoreCheckpoint {
             lsn,
+            next_lsn: st.next_lsn,
             tables,
+            overlays: st.overlays.clone(),
+            totals: st.totals,
             patched_tables,
             rebuilt_tables,
+            truncated_wal_bytes,
         })
     }
 
@@ -697,7 +1074,9 @@ impl<'a> Store<'a> {
 
     /// Crash recovery: open a fresh store over the same immutable bases
     /// and replay a (possibly torn) WAL segment to the last consistent
-    /// committed state.
+    /// committed state. Use [`Self::recover_with_checkpoint`] when the log
+    /// was truncated by a [`Self::checkpoint`] — a truncated log alone no
+    /// longer carries the pre-checkpoint history.
     pub fn recover(
         db: &'a Database,
         mat: &'a MaterializedConfig,
@@ -720,6 +1099,76 @@ impl<'a> Store<'a> {
                     store.replay_commit(&eff, f.lsn)?;
                     frames_applied += 1;
                 }
+            }
+        }
+        let watermark = store.watermark();
+        Ok((
+            store,
+            RecoveryReport {
+                frames_applied,
+                checkpoints_seen,
+                truncated_bytes: rep.truncated_bytes,
+                duplicates_skipped: rep.duplicates_skipped,
+                watermark,
+            },
+        ))
+    }
+
+    /// Checkpoint-anchored crash recovery: install the artifact's folded
+    /// structures as the tables' base pages, restore the overlays, totals
+    /// and LSN counter the checkpoint carried, and replay **only the
+    /// post-checkpoint tail frames** of the (truncated, possibly torn)
+    /// WAL. Recovery work is O(tail), independent of how much history the
+    /// checkpoint folded.
+    pub fn recover_with_checkpoint(
+        db: &'a Database,
+        mat: &'a MaterializedConfig,
+        model: CostModel,
+        ckpt: &StoreCheckpoint,
+        wal_bytes: &[u8],
+    ) -> Result<(Store<'a>, RecoveryReport)> {
+        let store = Store::open(db, mat, model);
+        {
+            let mut base_ix = store.base_ix.write();
+            for (t, ix) in &ckpt.tables {
+                base_ix.insert(*t, Arc::new(ix.clone()));
+            }
+        }
+        {
+            let mut st = store.state.write();
+            st.next_lsn = ckpt.next_lsn;
+            st.watermark = ckpt.lsn;
+            st.log_anchor = ckpt.lsn;
+            st.overlays = ckpt.overlays.clone();
+            st.totals = ckpt.totals;
+        }
+        // Fresh (empty) deltas over the artifact bases, so the recovered
+        // store's state digest covers every folded table.
+        for t in ckpt.tables.keys() {
+            let n = store.base_rows(*t)?.len();
+            store.state.write().deltas.insert(*t, TableDelta::new(n));
+        }
+        let rep = wal::replay(wal_bytes);
+        let mut frames_applied = 0usize;
+        let mut checkpoints_seen = 0usize;
+        for f in &rep.frames {
+            match f.frame_type {
+                FrameType::Checkpoint => {
+                    checkpoints_seen += 1;
+                    let mut st = store.state.write();
+                    st.next_lsn = st.next_lsn.max(f.lsn + 1);
+                    // Keep the marker in the recovered log so its bytes
+                    // stay a consistent prefix of the input tail.
+                    st.wal.append(f);
+                }
+                FrameType::Commit if f.lsn > ckpt.lsn => {
+                    let eff = CommitEffects::decode(&f.payload)?;
+                    store.replay_commit(&eff, f.lsn)?;
+                    frames_applied += 1;
+                }
+                // A pre-anchor commit frame is already folded into the
+                // artifact; applying it again would double the write.
+                FrameType::Commit => {}
             }
         }
         let watermark = store.watermark();
@@ -766,6 +1215,25 @@ impl Snapshot<'_, '_> {
             None => base.len(),
             Some(d) => d.n_visible_at(self.lsn),
         })
+    }
+
+    /// The table's **page image** at this snapshot: its compressed leaves
+    /// with the visible delta folded in, served from the store's snapshot
+    /// page cache — every snapshot between two modifications of the table
+    /// shares one image instead of re-deriving a row cache. Patched
+    /// (append-only) images route each appended row into the leaf its key
+    /// belongs to; rebuilt images (updates or deletes present) are in the
+    /// base structure's key order. Either way the image scans to exactly
+    /// the visible row multiset.
+    pub fn pages(&self, t: TableId) -> Result<Arc<PhysicalIndex>> {
+        self.store.pages_at(t, self.lsn)
+    }
+
+    /// Key-equality seek over the snapshot's page image — the same B+Tree
+    /// descent the planner's seek cursors use, running directly on the
+    /// patched compressed leaves.
+    pub fn seek(&self, t: TableId, key: &[Value]) -> Result<Vec<Row>> {
+        self.pages(t)?.seek(key)
     }
 }
 

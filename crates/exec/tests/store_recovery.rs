@@ -3,23 +3,34 @@
 //! * per-statement measured maintenance actuals are identical under
 //!   `Serial`, `Auto` and `Threads(4)` execution (3 seeds);
 //! * the committed state digest is interleaving-independent;
+//! * group commit is a pure durability knob: WAL bytes, recovered state
+//!   and per-statement actuals are bit-identical across batch sizes
+//!   {1, 4, 16} and every `Parallelism` mode;
 //! * WAL replay after a crash at **every sync point** — and at torn
 //!   offsets strictly inside a frame, with injected duplicate frames and
 //!   corrupted bytes — recovers exactly the last committed prefix;
-//! * a checkpoint of the recovered store is bit-for-bit identical to a
-//!   checkpoint of the original;
+//! * a checkpoint truncates the WAL to the marker and
+//!   `recover_with_checkpoint` restarts from the artifact plus the tail
+//!   alone, torn at every tail sync point;
+//! * DELETEs are end-of-chain tombstones: invisible to newer snapshots,
+//!   still visible to older ones, replayed by recovery, folded by
+//!   checkpoints, and reflected in the MV overlay;
+//! * snapshot page images come from the page cache (patched for
+//!   append-only deltas, rebuilt when rows were rewritten or deleted) and
+//!   agree with the row-visibility view;
 //! * MV overlays agree with a brute-force recompute from visible rows;
 //! * snapshots stay consistent under concurrent writers.
 
 use cadb_common::{ColumnDef, ColumnId, DataType, Parallelism, Row, TableId, TableSchema, Value};
 use cadb_compression::CompressionKind;
 use cadb_engine::{
-    BulkInsert, BulkUpdate, Configuration, CostModel, Database, IndexSpec, JoinEdge, MvSpec,
-    PhysicalStructure, SizeEstimate, Statement, Workload,
+    BulkDelete, BulkInsert, BulkUpdate, Configuration, CostModel, Database, IndexSpec, JoinEdge,
+    MvSpec, PhysicalStructure, SizeEstimate, Statement, Workload,
 };
 use cadb_exec::store::effects::CommitEffects;
 use cadb_exec::{MaterializedConfig, Store, WriteActual};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const FACT: TableId = TableId(0);
 const DIM: TableId = TableId(1);
@@ -286,6 +297,7 @@ fn crash_at_every_sync_point_recovers_last_committed_prefix() {
         let eff = match stmt {
             Statement::Insert(i) => store.prepare_insert(i, 7, &label).unwrap(),
             Statement::Update(u) => store.prepare_update(u, 7, &label).unwrap(),
+            Statement::Delete(d) => store.prepare_delete(d, 7, &label).unwrap(),
             Statement::Select(_) => continue,
         };
         store.commit(eff).unwrap();
@@ -346,54 +358,203 @@ fn crash_at_every_sync_point_recovers_last_committed_prefix() {
     let (digest, _, rep) = recover_digest(&corrupt);
     assert_eq!(digest, digests[2]);
     assert!(rep.truncated_bytes > 0);
+
+    // Duplicate the first frame, then tear strictly inside the second:
+    // the skipped duplicate's bytes must not inflate the torn-tail count.
+    let frame1 = &wal[syncs[0]..syncs[1]];
+    let cut = frame1.len() / 2;
+    let mut dup_torn = wal[..syncs[0]].to_vec();
+    dup_torn.extend_from_slice(&wal[..syncs[0]]);
+    dup_torn.extend_from_slice(&frame1[..cut]);
+    let (digest, _, rep) = recover_digest(&dup_torn);
+    assert_eq!(digest, digests[1]);
+    assert_eq!(rep.duplicates_skipped, 1);
+    assert_eq!(rep.truncated_bytes, cut, "torn tail counted exactly once");
 }
 
+/// The post-checkpoint "tail" epoch: writes of all three kinds against the
+/// folded artifact bases.
+fn tail_workload() -> Workload {
+    let mut w = Workload::default();
+    w.push(
+        Statement::Insert(BulkInsert {
+            table: FACT,
+            n_rows: 30,
+        }),
+        1.0,
+    );
+    w.push(
+        Statement::Update(BulkUpdate {
+            table: FACT,
+            n_rows: 20,
+            column: ColumnId(2),
+        }),
+        1.0,
+    );
+    w.push(
+        Statement::Delete(BulkDelete {
+            table: FACT,
+            n_rows: 15,
+        }),
+        1.0,
+    );
+    w.push(
+        Statement::Insert(BulkInsert {
+            table: DIM,
+            n_rows: 3,
+        }),
+        1.0,
+    );
+    w
+}
+
+/// A checkpoint folds the deltas into compressed structures, truncates the
+/// WAL to the marker, and anchors recovery: `recover_with_checkpoint`
+/// restarts from the artifact plus the post-checkpoint tail alone, and a
+/// second checkpoint of the recovered store is bit-identical to the live
+/// one's.
 #[test]
-fn checkpoint_of_recovered_store_is_bit_identical() {
+fn checkpoint_truncates_wal_and_anchors_recovery() {
     let db = db();
     let mat = MaterializedConfig::build(&db, &config()).unwrap();
     let store = Store::open(&db, &mat, CostModel::default());
     store
         .apply_workload(&workload(), 5, Parallelism::Serial)
         .unwrap();
+    let pre_checkpoint_wal = store.wal_bytes().len();
+    let pre_checkpoint_digest = store.state_digest().unwrap();
 
     let chk = store.checkpoint().unwrap();
     // FACT saw updates → leaf rebuild; DIM is append-only → page patches.
     assert_eq!(chk.rebuilt_tables, 1);
     assert_eq!(chk.patched_tables, 1);
+    // The whole pre-checkpoint log is gone; only the marker survives.
+    assert_eq!(chk.truncated_wal_bytes, pre_checkpoint_wal);
+    let replayed = cadb_storage::wal::replay(&store.wal_bytes());
+    assert_eq!(replayed.frames.len(), 1);
+    assert_eq!(
+        replayed.frames[0].frame_type,
+        cadb_storage::FrameType::Checkpoint
+    );
+    // The epoch switch preserves the committed state bit for bit…
+    assert_eq!(store.state_digest().unwrap(), pre_checkpoint_digest);
+    // …and the folded structure holds exactly the visible rows.
     let folded_fact = chk.tables.get(&FACT).unwrap();
     let snap = store.snapshot();
     assert_eq!(folded_fact.n_rows(), snap.n_rows(FACT).unwrap());
-    // The rebuilt structure holds exactly the visible rows (as a multiset).
     let mut want = snap.table_rows(FACT).unwrap();
     let mut got = folded_fact.scan().unwrap();
     want.sort();
     got.sort();
     assert_eq!(want, got);
 
+    // Write a post-checkpoint tail, then recover from artifact + tail.
+    store
+        .apply_workload(&tail_workload(), 6, Parallelism::Serial)
+        .unwrap();
     let (recovered, report) =
-        Store::recover(&db, &mat, CostModel::default(), &store.wal_bytes()).unwrap();
+        Store::recover_with_checkpoint(&db, &mat, CostModel::default(), &chk, &store.wal_bytes())
+            .unwrap();
     assert_eq!(report.checkpoints_seen, 1);
-    let chk2 = recovered.checkpoint().unwrap();
+    // Only the tail frames are replayed — recovery is O(tail).
+    assert_eq!(report.frames_applied, tail_workload().statements.len());
+    assert_eq!(report.truncated_bytes, 0);
+    assert_eq!(report.watermark, store.watermark());
     assert_eq!(
-        chk.digest(),
-        chk2.digest(),
-        "checkpoint must be bit-identical"
+        recovered.state_digest().unwrap(),
+        store.state_digest().unwrap()
+    );
+    let (t0, t1) = (store.totals(), recovered.totals());
+    assert_eq!(t0.commits, t1.commits);
+    assert_eq!(t0.counters, t1.counters);
+    assert_eq!(t0.measured_cost.to_bits(), t1.measured_cost.to_bits());
+    assert_eq!(t0.measured_mv_cost.to_bits(), t1.measured_mv_cost.to_bits());
+
+    // A second checkpoint of the recovered store is bit-identical.
+    let chk_live = store.checkpoint().unwrap();
+    let chk_rec = recovered.checkpoint().unwrap();
+    assert_eq!(
+        chk_live.digest(),
+        chk_rec.digest(),
+        "second checkpoint must be bit-identical"
     );
 }
 
-/// The MV overlay must equal a brute-force group-delta recompute from the
-/// visible rows — an independent derivation that never touches the
-/// maintenance code path.
+/// Tear the post-checkpoint WAL tail at every sync point, and at torn
+/// offsets strictly inside tail frames (including inside the marker
+/// itself): `recover_with_checkpoint` always lands on the last fully
+/// committed tail prefix on top of the artifact.
 #[test]
-fn mv_overlay_matches_brute_force_recompute() {
+fn crash_in_post_checkpoint_tail_recovers_from_artifact_plus_prefix() {
     let db = db();
     let mat = MaterializedConfig::build(&db, &config()).unwrap();
     let store = Store::open(&db, &mat, CostModel::default());
     store
-        .apply_workload(&workload(), 9, Parallelism::Serial)
+        .apply_workload(&workload(), 5, Parallelism::Serial)
         .unwrap();
+    let chk = store.checkpoint().unwrap();
 
+    // Commit the tail one statement at a time, recording digests.
+    let mut digests = vec![store.state_digest().unwrap()]; // after 0 tail commits
+    for (idx, (stmt, _)) in tail_workload().statements.iter().enumerate() {
+        let label = format!("write-{idx}");
+        let eff = match stmt {
+            Statement::Insert(i) => store.prepare_insert(i, 6, &label).unwrap(),
+            Statement::Update(u) => store.prepare_update(u, 6, &label).unwrap(),
+            Statement::Delete(d) => store.prepare_delete(d, 6, &label).unwrap(),
+            Statement::Select(_) => continue,
+        };
+        store.commit(eff).unwrap();
+        digests.push(store.state_digest().unwrap());
+    }
+    let wal = store.wal_bytes();
+    let syncs = store.wal_sync_points();
+    // syncs[0] ends the checkpoint marker; syncs[1..] end the tail frames.
+    assert_eq!(syncs.len(), digests.len());
+
+    let recover = |bytes: &[u8]| {
+        Store::recover_with_checkpoint(&db, &mat, CostModel::default(), &chk, bytes).unwrap()
+    };
+
+    // Clean cut at every sync point: artifact + k tail commits survive.
+    for (i, &cut) in syncs.iter().enumerate() {
+        let (rec, rep) = recover(&wal[..cut]);
+        assert_eq!(rec.state_digest().unwrap(), digests[i], "sync point {i}");
+        assert_eq!(rep.frames_applied, i);
+        assert_eq!(rep.checkpoints_seen, 1);
+        assert_eq!(rep.truncated_bytes, 0);
+    }
+
+    // Torn strictly inside the marker: the artifact alone survives.
+    let (rec, rep) = recover(&wal[..syncs[0] / 2]);
+    assert_eq!(rec.state_digest().unwrap(), digests[0]);
+    assert_eq!(rep.checkpoints_seen, 0);
+    assert_eq!(rep.truncated_bytes, syncs[0] / 2);
+    assert_eq!(rec.watermark(), chk.lsn);
+
+    // Torn strictly inside every tail frame: the preceding prefix
+    // survives, the torn bytes are counted exactly once.
+    let mut prev = syncs[0];
+    for (k, &end) in syncs[1..].iter().enumerate() {
+        for cut in [prev + 1, (prev + end) / 2, end - 1] {
+            let (rec, rep) = recover(&wal[..cut]);
+            assert_eq!(
+                rec.state_digest().unwrap(),
+                digests[k],
+                "torn cut at {cut} in tail frame {k}"
+            );
+            assert_eq!(rep.truncated_bytes, cut - prev);
+        }
+        prev = end;
+    }
+}
+
+/// Assert the store's MV overlay equals a brute-force group-delta
+/// recompute from the visible rows — an independent derivation that never
+/// touches the maintenance code path. Valid for workloads that touch each
+/// base slot at most once (the store's logged `old_row` is always the
+/// immutable-base version).
+fn assert_mv_overlay_matches_brute_force(db: &Database, store: &Store<'_>) {
     let mv_pos = store
         .specs()
         .iter()
@@ -436,6 +597,231 @@ fn mv_overlay_matches_brute_force_recompute() {
             .unwrap_or((0, 0));
         assert_eq!(got, want, "group {key:?}");
     }
+}
+
+#[test]
+fn mv_overlay_matches_brute_force_recompute() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let store = Store::open(&db, &mat, CostModel::default());
+    store
+        .apply_workload(&workload(), 9, Parallelism::Serial)
+        .unwrap();
+    assert_mv_overlay_matches_brute_force(&db, &store);
+}
+
+/// Group commit is a pure durability knob: WAL bytes, recovered state and
+/// per-statement actuals (LSNs included) are bit-identical across batch
+/// sizes {1, 4, 16} and every `Parallelism` mode — only the sync-point
+/// count (where a crash can land) changes.
+#[test]
+fn group_commit_equivalence_across_batch_sizes_and_modes() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let mut w = workload();
+    w.push(
+        Statement::Delete(BulkDelete {
+            table: FACT,
+            n_rows: 30,
+        }),
+        1.0,
+    );
+    w.push(
+        Statement::Insert(BulkInsert {
+            table: FACT,
+            n_rows: 10,
+        }),
+        1.0,
+    );
+    let n_writes = w.statements.len();
+
+    let mut reference: Option<(u64, u64, Vec<WriteActual>)> = None;
+    for batch in [1usize, 4, 16] {
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Threads(4),
+        ] {
+            let ctx = format!("batch {batch} par {par:?}");
+            let store = Store::open(&db, &mat, CostModel::default());
+            let acts = store.apply_workload_batched(&w, 13, par, batch).unwrap();
+            // Batching coalesces durability: ⌈n/batch⌉ sync points.
+            assert_eq!(
+                store.wal_sync_points().len(),
+                n_writes.div_ceil(batch),
+                "{ctx}: sync points"
+            );
+            let wal_digest = store.wal_frame_digest();
+            let state = store.state_digest().unwrap();
+            // The full log replays to the same state under plain recovery.
+            let (rec, rep) =
+                Store::recover(&db, &mat, CostModel::default(), &store.wal_bytes()).unwrap();
+            assert_eq!(rep.frames_applied, n_writes, "{ctx}");
+            assert_eq!(rec.state_digest().unwrap(), state, "{ctx}");
+            match &reference {
+                None => reference = Some((wal_digest, state, acts)),
+                Some((wd, sd, ra)) => {
+                    assert_eq!(wal_digest, *wd, "{ctx}: WAL bytes diverged");
+                    assert_eq!(state, *sd, "{ctx}: state digest diverged");
+                    assert_actuals_eq(ra, &acts, &ctx);
+                    for (x, y) in ra.iter().zip(&acts) {
+                        assert_eq!(x.lsn, y.lsn, "{ctx}: LSN of stmt {}", x.statement_index);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// DELETE is an end-of-chain tombstone: older snapshots keep seeing the
+/// rows, newer ones don't; maintenance counters charge the secondary
+/// structures; the MV overlay subtracts the deleted contributions; and
+/// replaying the log reproduces the post-delete state bit for bit.
+#[test]
+fn deletes_tombstone_without_disturbing_older_snapshots() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let store = Store::open(&db, &mat, CostModel::default());
+
+    let pre = store.snapshot();
+    let n0 = pre.n_rows(FACT).unwrap();
+    let before = pre.table_rows(FACT).unwrap();
+
+    let eff = store
+        .prepare_delete(
+            &BulkDelete {
+                table: FACT,
+                n_rows: 30,
+            },
+            3,
+            "del-0",
+        )
+        .unwrap();
+    assert_eq!(eff.deleted.len(), 30);
+    let deleted_rows: Vec<Row> = eff.deleted.iter().map(|t| t.old_row.clone()).collect();
+    let receipt = store.commit(eff).unwrap();
+    assert_eq!(receipt.counters.rows_deleted, 30);
+    assert!(
+        receipt.counters.index_rows_touched >= 30,
+        "secondary index maintenance must be charged"
+    );
+    assert!(receipt.measured_cost > 0.0);
+
+    // The old snapshot is undisturbed; the new one shrank by exactly the
+    // tombstoned rows (as a multiset).
+    let post = store.snapshot();
+    assert_eq!(pre.n_rows(FACT).unwrap(), n0);
+    assert_eq!(pre.table_rows(FACT).unwrap(), before);
+    assert_eq!(post.n_rows(FACT).unwrap(), n0 - 30);
+    let mut after_plus_deleted = post.table_rows(FACT).unwrap();
+    after_plus_deleted.extend(deleted_rows);
+    let mut before_sorted = before.clone();
+    before_sorted.sort();
+    after_plus_deleted.sort();
+    assert_eq!(after_plus_deleted, before_sorted);
+
+    // The MV overlay subtracted the deleted contributions.
+    assert_mv_overlay_matches_brute_force(&db, &store);
+
+    // Recovery replays the tombstones.
+    let (recovered, rep) =
+        Store::recover(&db, &mat, CostModel::default(), &store.wal_bytes()).unwrap();
+    assert_eq!(rep.frames_applied, 1);
+    assert_eq!(recovered.snapshot().n_rows(FACT).unwrap(), n0 - 30);
+    assert_eq!(
+        recovered.state_digest().unwrap(),
+        store.state_digest().unwrap()
+    );
+    assert_eq!(
+        recovered.totals().counters.rows_deleted,
+        store.totals().counters.rows_deleted
+    );
+}
+
+/// The snapshot page cache serves the base structure for unmodified
+/// tables, an O(delta) patched image for append-only deltas, a rebuilt
+/// image once rows were rewritten or deleted — shared (same `Arc`) by
+/// snapshots between the same two modifications — and the images always
+/// agree with the row-visibility view.
+#[test]
+fn snapshot_page_cache_serves_patched_and_rebuilt_images() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let store = Store::open(&db, &mat, CostModel::default());
+
+    // Unmodified table: the base structure is the image (a cache hit, no
+    // fold).
+    let snap0 = store.snapshot();
+    let p0 = snap0.pages(FACT).unwrap();
+    assert_eq!(p0.n_rows(), N_FACT as usize);
+    let s = store.page_cache_stats();
+    assert_eq!((s.hits, s.misses), (1, 0));
+
+    // Append-only delta: the image is the base patched with the appended
+    // rows — each routed into the leaf its key belongs to.
+    let ins = store
+        .prepare_insert(
+            &BulkInsert {
+                table: FACT,
+                n_rows: 20,
+            },
+            17,
+            "cache-ins",
+        )
+        .unwrap();
+    let appended_ids: Vec<Value> = ins.appended.iter().map(|r| r.values[0].clone()).collect();
+    store.commit(ins).unwrap();
+    let snap1 = store.snapshot();
+    let p1 = snap1.pages(FACT).unwrap();
+    assert_eq!(p1.n_rows(), N_FACT as usize + 20);
+    let s = store.page_cache_stats();
+    assert_eq!((s.misses, s.patched, s.rebuilt), (1, 1, 0));
+    let mut want = snap1.table_rows(FACT).unwrap();
+    let mut got = p1.scan().unwrap();
+    want.sort();
+    got.sort();
+    assert_eq!(got, want, "patched image holds exactly the visible rows");
+
+    // A second snapshot at the same visibility shares the image.
+    let p1b = store.snapshot().pages(FACT).unwrap();
+    assert!(Arc::ptr_eq(&p1, &p1b), "same image, no re-fold");
+    // The older snapshot still reads the unpatched base.
+    assert_eq!(snap0.pages(FACT).unwrap().n_rows(), N_FACT as usize);
+
+    // An update forces a rebuilt image (base key order), and seeking it
+    // finds the new version through the B+Tree descent.
+    let upd = BulkUpdate {
+        table: FACT,
+        n_rows: 10,
+        column: ColumnId(2),
+    };
+    let eff = store.prepare_update(&upd, 17, "cache-upd").unwrap();
+    let rewritten = eff.rewritten.clone();
+    store.commit(eff).unwrap();
+    let snap2 = store.snapshot();
+    let p2 = snap2.pages(FACT).unwrap();
+    assert_eq!(store.page_cache_stats().rebuilt, 1);
+    assert_eq!(p2.n_rows(), N_FACT as usize + 20);
+    let mut want = snap2.table_rows(FACT).unwrap();
+    let mut got = p2.scan().unwrap();
+    want.sort();
+    got.sort();
+    assert_eq!(want, got, "rebuilt image holds exactly the visible rows");
+    // Seek on a key the inserted clones didn't duplicate, so the hit set
+    // is exactly the one version chain.
+    let rw = rewritten
+        .iter()
+        .find(|rw| !appended_ids.contains(&rw.old_row.values[0]))
+        .expect("an updated slot no insert cloned");
+    let hits = snap2.seek(FACT, &[rw.new_row.values[0].clone()]).unwrap();
+    assert!(
+        hits.contains(&rw.new_row),
+        "seek over the rebuilt image must find the updated version"
+    );
+    assert!(
+        !hits.contains(&rw.old_row),
+        "the superseded version must be invisible to the seek"
+    );
 }
 
 /// N reader × M writer threads: every snapshot a reader takes must be

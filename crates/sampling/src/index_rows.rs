@@ -17,6 +17,28 @@ pub fn index_row_stream(
     spec: &IndexSpec,
     source: &[Row],
 ) -> Result<(Vec<Row>, Vec<DataType>, usize)> {
+    index_row_stream_spread(db, spec, source, source.len())
+}
+
+/// Like [`index_row_stream`], but spreads secondary-index row locators
+/// evenly over a `domain`-row base table instead of using positions into
+/// `source` directly.
+///
+/// SampleCF builds on a fraction-`f` sample, and under ROW-family null
+/// suppression a locator's stored width depends on its magnitude:
+/// sample-local ordinals (`0..n·f`) suppress to fewer bytes than the full
+/// build's locators (`0..n`), which made sampled fractions systematically
+/// optimistic — worst on narrow indexes, where the locator is a large share
+/// of the stored row. Scaling ordinals by `domain / source.len()` gives the
+/// sample's locator column the full build's byte-width distribution while
+/// keeping locators distinct and ordered. `domain ≤ source.len()` (the full
+/// build) degenerates to the identity.
+pub fn index_row_stream_spread(
+    db: &Database,
+    spec: &IndexSpec,
+    source: &[Row],
+    domain: usize,
+) -> Result<(Vec<Row>, Vec<DataType>, usize)> {
     if spec.mv.is_some() {
         return Err(CadbError::InvalidArgument(
             "MV index rows come from the MV sample, not the base table".into(),
@@ -41,12 +63,17 @@ pub fn index_row_stream(
         })
         .collect();
 
+    let stride = if source.is_empty() {
+        1
+    } else {
+        (domain / source.len()).max(1)
+    };
     let mut rows: Vec<Row> = filtered
         .iter()
         .map(|(ordinal, r)| {
             let mut vals: Vec<Value> = stored.iter().map(|c| r.values[c.raw()].clone()).collect();
             if !spec.clustered {
-                vals.push(Value::Int(*ordinal as i64)); // row locator
+                vals.push(Value::Int((*ordinal * stride) as i64)); // row locator
             }
             Row::new(vals)
         })

@@ -23,7 +23,7 @@ pub mod manager;
 pub mod mv_sample;
 pub mod samplecf;
 
-pub use index_rows::{index_row_stream, true_compression_fraction};
+pub use index_rows::{index_row_stream, index_row_stream_spread, true_compression_fraction};
 pub use manager::{CostCounters, SampleManager};
 pub use mv_sample::MvSampleStats;
 pub use samplecf::{sample_cf, sample_cf_batch, CfEstimate};

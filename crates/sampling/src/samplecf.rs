@@ -7,12 +7,13 @@
 //! expensive part — its cost (uncompressed data pages indexed, per the
 //! paper's cost unit in §5.1) is reported alongside the estimate.
 
-use crate::index_rows::{index_row_stream, mv_index_row_stream};
+use crate::index_rows::{index_row_stream_spread, mv_index_row_stream};
 use crate::manager::SampleManager;
 use crate::mv_sample::create_mv_sample;
 use cadb_common::par::{try_par_map, Parallelism};
 use cadb_common::{Result, TableId};
-use cadb_compression::analyze::{compressed_index_size, PAGE_PAYLOAD};
+use cadb_compression::analyze::{compressed_index_size, CompressionMeasurement, PAGE_PAYLOAD};
+use cadb_compression::CompressionKind;
 use cadb_engine::{IndexSpec, JoinEdge, Predicate};
 
 /// Result of a SampleCF invocation.
@@ -49,6 +50,9 @@ pub struct CfEstimate {
 /// ```
 pub fn sample_cf(manager: &SampleManager<'_>, spec: &IndexSpec, f: f64) -> Result<CfEstimate> {
     let db = manager.db();
+    // Locators of the sample build are spread over the full table's row
+    // domain so their null-suppressed widths match the full build's.
+    let domain = db.stats(spec.table).n_rows as usize;
     let (rows, dtypes, mv_rows_est) = if let Some(mv) = &spec.mv {
         let stats = create_mv_sample(manager, mv, f)?;
         let (rows, dtypes, _) = mv_index_row_stream(db, spec, &stats.rows)?;
@@ -59,21 +63,55 @@ pub fn sample_cf(manager: &SampleManager<'_>, spec: &IndexSpec, f: f64) -> Resul
         // not filter twice (harmless but wasteful).
         let mut inner = spec.clone();
         inner.partial_filter = None;
-        let (rows, dtypes, _) = index_row_stream(db, &inner, &sample)?;
+        let (rows, dtypes, _) = index_row_stream_spread(db, &inner, &sample, domain)?;
         (rows, dtypes, None)
     } else {
         let sample = manager.table_sample(spec.table, f)?;
-        let (rows, dtypes, _) = index_row_stream(db, spec, &sample)?;
+        let (rows, dtypes, _) = index_row_stream_spread(db, spec, &sample, domain)?;
         (rows, dtypes, None)
     };
 
     let m = compressed_index_size(&rows, &dtypes, spec.compression)?;
     Ok(CfEstimate {
-        cf: m.compression_fraction(),
+        cf: full_build_fraction(&m, dtypes.len(), spec.compression),
         sample_rows: rows.len(),
         cost_pages: (m.uncompressed_bytes as f64 / PAGE_PAYLOAD as f64).max(1.0),
         mv_estimated_rows: mv_rows_est,
     })
+}
+
+/// Fixed encode-header bytes every leaf page pays regardless of its row
+/// count: the page header (row count + column count) plus, per stored
+/// column, the section tag and block-length word — and for PAGE
+/// compression the anchor-length word. Null bitmaps and anchor payloads
+/// scale with rows/data and are representative in a sample already.
+fn fixed_page_header_bytes(n_cols: usize, kind: CompressionKind) -> f64 {
+    let per_col = match kind {
+        CompressionKind::Page => 7.0,
+        _ => 5.0,
+    };
+    4.0 + per_col * n_cols as f64
+}
+
+/// Correct a sample measurement's fraction for page geometry: the raw
+/// `compressed / uncompressed` of the sample amortizes the fixed per-page
+/// header bytes over however many rows the (possibly single, underfull)
+/// sample pages hold, while the full build packs leaves to
+/// [`PAGE_PAYLOAD`]. Strip the sample's fixed header bytes from the leaf
+/// payload and charge them back at the full build's rows-per-page rate.
+/// A sample that already packs full pages is (almost) a fixed point.
+fn full_build_fraction(m: &CompressionMeasurement, n_cols: usize, kind: CompressionKind) -> f64 {
+    if m.n_rows == 0 || m.uncompressed_bytes == 0 || m.avg_rows_per_page <= 0.0 {
+        return m.compression_fraction();
+    }
+    let fixed = fixed_page_header_bytes(n_cols, kind);
+    let sample_pages = m.n_rows as f64 / m.avg_rows_per_page;
+    let leaf = (m.compressed_bytes - m.dict_bytes) as f64;
+    let payload = (leaf - fixed * sample_pages).max(0.0);
+    // Full leaves hold `r` rows with `r·b + fixed = PAGE_PAYLOAD`, so the
+    // header charge per payload byte is `fixed / (PAGE_PAYLOAD − fixed)`.
+    let full_leaf = payload * PAGE_PAYLOAD as f64 / (PAGE_PAYLOAD as f64 - fixed);
+    (full_leaf + m.dict_bytes as f64) / m.uncompressed_bytes as f64
 }
 
 /// Run SampleCF for a whole round of indexes at once, spreading the

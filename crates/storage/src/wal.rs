@@ -115,6 +115,40 @@ impl WalSegment {
         point
     }
 
+    /// Append a batch of frames as **one coalesced durable write**: all
+    /// frame bytes go in back to back and a single sync point is recorded
+    /// after the last — the group-commit discipline, where one fsync makes
+    /// a whole batch durable and a crash can only land between batches
+    /// (or tear the batch's tail, which replay truncates frame by frame).
+    /// Returns the sync point. Appending an empty batch records nothing.
+    pub fn append_batch(&mut self, frames: &[WalFrame]) -> usize {
+        if frames.is_empty() {
+            return self.bytes.len();
+        }
+        for frame in frames {
+            self.bytes.extend_from_slice(&encode_frame(frame));
+        }
+        let point = self.bytes.len();
+        self.sync_points.push(point);
+        point
+    }
+
+    /// Drop every byte before `offset` (which must be a frame boundary —
+    /// in practice the start offset of a checkpoint marker frame): the
+    /// checkpoint-anchored truncation that keeps the log bounded. Sync
+    /// points at or before the cut disappear (a point *at* the cut would
+    /// be the new segment's degenerate empty prefix); the rest shift down.
+    /// Returns the number of bytes dropped.
+    pub fn truncate_head(&mut self, offset: usize) -> usize {
+        let offset = offset.min(self.bytes.len());
+        self.bytes.drain(..offset);
+        self.sync_points.retain(|&p| p > offset);
+        for p in &mut self.sync_points {
+            *p -= offset;
+        }
+        offset
+    }
+
     /// The raw segment bytes.
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
@@ -259,6 +293,62 @@ mod tests {
         assert_eq!(r.frames.len(), 2);
         assert_eq!(r.duplicates_skipped, 1);
         assert_eq!(r.frames[1].lsn, 2);
+    }
+
+    #[test]
+    fn duplicate_skip_then_torn_tail_counts_tail_once() {
+        // Regression guard for the tail accounting: a duplicate-LSN frame
+        // advances the scan offset like any applied frame, so the torn
+        // bytes after it must be counted exactly once — not once for the
+        // skipped frame and again for the tail.
+        let mut seg = WalSegment::new();
+        seg.append(&frame(1, b"first"));
+        seg.append(&frame(1, b"first")); // duplicated append
+        seg.append(&frame(2, b"second"));
+        let after_dup = seg.sync_points()[1];
+        for cut in after_dup + 1..seg.bytes().len() {
+            let r = replay(&seg.bytes()[..cut]);
+            assert_eq!(r.frames.len(), 1, "cut at {cut}");
+            assert_eq!(r.duplicates_skipped, 1, "cut at {cut}");
+            assert_eq!(r.truncated_bytes, cut - after_dup, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn batch_append_records_one_sync_point() {
+        let mut seg = WalSegment::new();
+        let frames: Vec<WalFrame> = (1..=3u64).map(|i| frame(i, &[i as u8; 4])).collect();
+        let point = seg.append_batch(&frames);
+        assert_eq!(point, seg.bytes().len());
+        assert_eq!(seg.sync_points(), &[seg.bytes().len()]);
+        assert_eq!(seg.n_frames(), 1); // one durable unit
+        let r = replay(seg.bytes());
+        assert_eq!(r.frames.len(), 3);
+        assert_eq!(r.truncated_bytes, 0);
+        // Byte stream is identical to three singleton appends.
+        let mut singles = WalSegment::new();
+        for f in &frames {
+            singles.append(f);
+        }
+        assert_eq!(seg.bytes(), singles.bytes());
+        assert_eq!(seg.append_batch(&[]), seg.bytes().len());
+    }
+
+    #[test]
+    fn truncate_head_drops_prefix_and_shifts_sync_points() {
+        let mut seg = WalSegment::new();
+        for i in 0..4u64 {
+            seg.append(&frame(i, b"payload"));
+        }
+        let keep_from = seg.sync_points()[1];
+        let tail_len = seg.bytes().len() - keep_from;
+        assert_eq!(seg.truncate_head(keep_from), keep_from);
+        assert_eq!(seg.bytes().len(), tail_len);
+        assert_eq!(seg.n_frames(), 2);
+        let r = replay(seg.bytes());
+        assert_eq!(r.frames.len(), 2);
+        assert_eq!(r.frames[0].lsn, 2);
+        assert_eq!(r.truncated_bytes, 0);
     }
 
     #[test]

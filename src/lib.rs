@@ -146,6 +146,77 @@
 //! the estimation pipeline. The measured residuals feed back into the
 //! error model via [`core::ErrorModel::calibrate_samplecf`]; `repro --
 //! exec` prints the full estimated-vs-actual table.
+//!
+//! ## How a write commits
+//!
+//! [`TuningSession::serve`] measures the write path the way `execute`
+//! measures reads: against a real store ([`exec::Store`]) — snapshot
+//! isolation via MVCC version chains over the immutable compressed bases,
+//! durability via a write-ahead log. One commit walks four steps:
+//!
+//! 1. **Prepare.** `prepare_insert` / `prepare_update` / `prepare_delete`
+//!    resolve a statement against the current snapshot into
+//!    `CommitEffects`: appended rows, rewritten slots, and — for DELETE —
+//!    end-of-chain tombstones that close a version's `[begin, end)`
+//!    validity without touching the row bytes older snapshots still read.
+//!    Preparation only reads, so many statements prepare in parallel.
+//! 2. **Price.** Maintenance for every affected structure (secondary and
+//!    partial indexes, MV overlays) is priced *outside* the commit lock —
+//!    a pure function of the effects and the immutable bases, which is
+//!    what keeps the measured [`exec::WriteActual`]s independent of
+//!    commit-time interleaving.
+//! 3. **Log.** The critical section assigns the LSN and appends one WAL
+//!    frame per statement; `commit_batch` appends a whole batch
+//!    back-to-back under a **single sync point** (group commit). Frame
+//!    bytes depend only on statement order, so replayed state, WAL-frame
+//!    digests and per-statement actuals are bit-identical across batch
+//!    sizes and [`engine::Parallelism`] modes — only the sync-point count
+//!    changes.
+//! 4. **Apply.** Version chains gain their new entries and the committed
+//!    watermark advances. Readers never block: old snapshots keep their
+//!    view, and a snapshot-keyed page cache serves patched compressed
+//!    leaf images to new readers without re-decoding row caches.
+//!
+//! `Store::checkpoint` folds the committed overlays into fresh compressed
+//! structures, logs a checkpoint marker, and truncates the WAL to it;
+//! `Store::recover_with_checkpoint` restarts from the artifact plus the
+//! post-checkpoint tail, making recovery O(tail) instead of O(history):
+//!
+//! ```
+//! use cadb::datagen::TpchGen;
+//! use cadb::engine::{CostModel, Parallelism};
+//! use cadb::exec::{MaterializedConfig, Store, DEFAULT_WRITE_SEED};
+//! use cadb::TuningSession;
+//!
+//! let gen = TpchGen::new(0.01);
+//! let db = gen.build().unwrap();
+//! let workload = gen.workload(&db).unwrap();
+//! let rec = TuningSession::new(&db)
+//!     .workload(&workload)
+//!     .budget_fraction(0.3)
+//!     .run()
+//!     .unwrap();
+//!
+//! let mat = MaterializedConfig::build(&db, &rec.configuration).unwrap();
+//! let store = Store::open(&db, &mat, CostModel::default());
+//! // Group commit: prepare in parallel, sync once per batch of 4 —
+//! // bit-identical state and actuals to serial singleton commits.
+//! store
+//!     .apply_workload_batched(&workload, DEFAULT_WRITE_SEED, Parallelism::Auto, 4)
+//!     .unwrap();
+//!
+//! // Checkpoint: fold, truncate the WAL, anchor recovery.
+//! let chk = store.checkpoint().unwrap();
+//! let (recovered, report) =
+//!     Store::recover_with_checkpoint(&db, &mat, CostModel::default(), &chk, &store.wal_bytes())
+//!         .unwrap();
+//! assert_eq!(report.checkpoints_seen, 1);
+//! assert_eq!(report.frames_applied, 0); // no post-checkpoint tail yet
+//! assert_eq!(
+//!     recovered.state_digest().unwrap(),
+//!     store.state_digest().unwrap()
+//! );
+//! ```
 
 mod session;
 

@@ -277,11 +277,13 @@ impl<'a> TuningSession<'a> {
     }
 
     /// Materialize a recommendation and **serve** the workload's writes
-    /// through the snapshot-isolated store: every INSERT/UPDATE is
+    /// through the snapshot-isolated store: every INSERT/UPDATE/DELETE is
     /// committed through the WAL'd write path (with incremental
     /// secondary-index and MV maintenance), then the run's WAL is replayed
     /// into a fresh store and the recovered state is verified byte-for-byte
     /// against the live one — the durability half of the actuals loop.
+    /// (See the crate-level *How a write commits* section for the commit
+    /// pipeline itself.)
     ///
     /// The workload's SELECTs are ignored here ([`Self::execute`] measures
     /// those); a workload without writes is an error, since there would be
@@ -311,7 +313,8 @@ impl<'a> TuningSession<'a> {
         })?;
         if !workload.has_writes() {
             return Err(CadbError::InvalidArgument(
-                "TuningSession::serve needs a workload with INSERT/UPDATE statements".to_string(),
+                "TuningSession::serve needs a workload with INSERT/UPDATE/DELETE statements"
+                    .to_string(),
             ));
         }
         let mat = MaterializedConfig::build(self.db, &rec.configuration)?;

@@ -4,7 +4,18 @@
 use cadb::compression::CompressionKind;
 use cadb::core::{ErrorModel, EstimationPlanner, PlannerOptions};
 use cadb::engine::{IndexSpec, WhatIfOptimizer};
-use cadb::sampling::{true_compression_fraction, SampleManager};
+use cadb::sampling::{index_row_stream, SampleManager};
+use cadb::storage::PhysicalIndex;
+
+/// Ground truth: actually build the physical index and measure it,
+/// internal separator pages and all — the same artifact the estimates
+/// are priced against since the estimator sweep.
+fn built_bytes(db: &cadb::engine::Database, spec: &IndexSpec) -> f64 {
+    let source = db.table(spec.table).rows();
+    let (rows, dtypes, n_key) = index_row_stream(db, spec, source).unwrap();
+    let ix = PhysicalIndex::build(&rows, &dtypes, n_key, spec.compression).unwrap();
+    ix.size_bytes() as f64
+}
 
 fn targets(db: &cadb::engine::Database) -> Vec<IndexSpec> {
     let t = db.table_id("lineitem").unwrap();
@@ -47,8 +58,7 @@ fn estimates_within_requested_accuracy_most_of_the_time() {
     let mut within = 0usize;
     for spec in &targets {
         let est = report.estimates[spec];
-        let truth_cf = true_compression_fraction(&db, spec).unwrap();
-        let truth_bytes = opt.estimate_uncompressed_size(spec).bytes * truth_cf;
+        let truth_bytes = built_bytes(&db, spec);
         let ratio = est.bytes / truth_bytes;
         if ratio <= 1.0 + e && ratio >= 1.0 / (1.0 + e) {
             within += 1;
@@ -94,8 +104,7 @@ fn existing_indexes_make_estimation_cheaper() {
     assert_eq!(warm.deduced, 1);
     assert_eq!(warm.sampled, 0);
     // And the deduced estimate is excellent (existing sizes are exact).
-    let truth_cf = true_compression_fraction(&db, &target).unwrap();
-    let truth = opt.estimate_uncompressed_size(&target).bytes * truth_cf;
+    let truth = built_bytes(&db, &target);
     let err = (warm.estimates[&target].bytes - truth).abs() / truth;
     assert!(err < 0.15, "err {err}");
 }
