@@ -369,6 +369,56 @@ fn bench_wal_batch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sharded_build(c: &mut Criterion) {
+    use cadb_shard::{BuildOptions, Partitioning, ShardSpec, ShardedIndex};
+
+    // Partitioned keyed build over streamed lineitem rows: the monolithic
+    // single-shard path vs range/hash sharding with parallel workers. Every
+    // variant produces bit-identical bytes (pinned by crates/shard tests);
+    // this bench tracks what the sharding costs or saves in wall time.
+    let gen = cadb_datagen::TpchGen::new(0.05);
+    let db = gen.build().unwrap();
+    let t = db.table_id("lineitem").unwrap();
+    let dtypes = db.dtypes(t);
+    let rows: Vec<_> = gen
+        .stream_table("lineitem")
+        .unwrap()
+        .flat_map(|c| c.rows)
+        .collect();
+
+    let mut group = c.benchmark_group("sharded_build");
+    group.sample_size(10);
+    for (label, spec, par) in [
+        ("mono", ShardSpec::range(1), Parallelism::Serial),
+        ("range8/serial", ShardSpec::range(8), Parallelism::Serial),
+        ("range8/auto", ShardSpec::range(8), Parallelism::Auto),
+        (
+            "hash8/auto",
+            ShardSpec {
+                shards: 8,
+                partitioning: Partitioning::Hash,
+            },
+            Parallelism::Auto,
+        ),
+    ] {
+        let opts = BuildOptions::default().with_parallelism(par);
+        group.bench_with_input(BenchmarkId::new("lineitem", label), &rows, |b, rows| {
+            b.iter(|| {
+                ShardedIndex::build(
+                    black_box(rows),
+                    &dtypes,
+                    1,
+                    cadb_compression::CompressionKind::Page,
+                    spec,
+                    &opts,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_page_codec,
@@ -379,6 +429,7 @@ criterion_group!(
     bench_greedy_search,
     bench_advisor,
     bench_store_concurrency,
-    bench_wal_batch
+    bench_wal_batch,
+    bench_sharded_build
 );
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [experiment] [--scale S] [--json]
+//! repro [experiment] [--scale S] [--json] [--mem-budget MiB]
 //!
 //! experiments:
 //!   table1    MV row-count estimation errors (App. B.3)
@@ -28,11 +28,18 @@
 //!             through the snapshot-isolated store, measure maintenance
 //!             per statement, and verify crash recovery bit-for-bit
 //!             (machine-readable with --json)
+//!   shard     out-of-core sharded data path: stream-generate tables in
+//!             chunks, build partitioned structures under the memory
+//!             budget, verify shard-count invariance, report peak bytes
 //!   all       everything above (default)
 //!
 //! --json    emit machine-readable reports (Recommendation +
 //!           SizeEstimationReport / MeasuredReport JSON) for the
 //!           experiments that produce them (currently: advise, exec)
+//! --mem-budget MiB
+//!           run materializations through the striped out-of-core build
+//!           path under a hard memory cap (default: unlimited, metering
+//!           only); exceeded budgets fail loudly instead of thrashing
 //! ```
 
 use cadb_bench::experiments::designs::{
@@ -40,7 +47,7 @@ use cadb_bench::experiments::designs::{
 };
 use cadb_bench::experiments::{
     advise, calibration, estimation_runtime, exec_actuals, graph_quality, motivating, mv_rows,
-    par_speedup, plan, serve,
+    par_speedup, plan, serve, shard_path,
 };
 use cadb_core::FeatureSet;
 use std::time::Instant;
@@ -50,6 +57,7 @@ fn main() {
     let mut which = "all".to_string();
     let mut scale = 0.2f64;
     let mut json = false;
+    let mut mem_budget_mib: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -67,6 +75,15 @@ fn main() {
                     });
                 i += 2;
             }
+            "--mem-budget" => {
+                mem_budget_mib = Some(args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(
+                    || {
+                        eprintln!("--mem-budget needs a size in MiB");
+                        std::process::exit(2);
+                    },
+                ));
+                i += 2;
+            }
             other => {
                 which = other.to_string();
                 i += 1;
@@ -74,8 +91,19 @@ fn main() {
         }
     }
     let t0 = Instant::now();
-    run(&which, scale, json);
+    run(&which, scale, json, mem_budget_mib);
     eprintln!("[repro {which}: {:.1}s]", t0.elapsed().as_secs_f64());
+}
+
+/// Build options for the measured materializations: striped + budgeted
+/// when `--mem-budget` was given, the byte-identical monolithic path
+/// otherwise (but still metering, so peak bytes are always reported).
+fn build_options(mem_budget_mib: Option<usize>) -> cadb_shard::BuildOptions {
+    match mem_budget_mib {
+        Some(mib) => cadb_shard::BuildOptions::default()
+            .with_budget(cadb_common::MemoryBudget::limited(mib << 20)),
+        None => cadb_shard::BuildOptions::default().with_stripe_rows(usize::MAX),
+    }
 }
 
 fn tpch(scale: f64) -> (cadb_engine::Database, cadb_engine::Workload) {
@@ -92,7 +120,7 @@ fn sales(scale: f64) -> (cadb_engine::Database, cadb_engine::Workload) {
     (db, w)
 }
 
-fn run(which: &str, scale: f64, json: bool) {
+fn run(which: &str, scale: f64, json: bool, mem_budget_mib: Option<usize>) {
     let all = which == "all";
     if all || which == "table1" {
         let (db, _) = tpch((scale * 2.5).min(1.0));
@@ -245,8 +273,9 @@ fn run(which: &str, scale: f64, json: bool) {
                 exec_actuals::exec_json(&[("tpch", &db, &w), ("tpcds", &ds_db, &ds_w)], scale)
             );
         } else {
-            let (_, report_h, fraction_h) = exec_actuals::measure(&db, &w);
-            let (_, report_ds, _) = exec_actuals::measure(&ds_db, &ds_w);
+            let build = build_options(mem_budget_mib);
+            let (rec_h, report_h, fraction_h) = exec_actuals::measure_with_build(&db, &w, &build);
+            let (_, report_ds, _) = exec_actuals::measure_with_build(&ds_db, &ds_w, &build);
             println!("{}", exec_actuals::exec_table("TPC-H", &report_h).render());
             println!(
                 "{}",
@@ -259,6 +288,18 @@ fn run(which: &str, scale: f64, json: bool) {
             println!(
                 "{}",
                 exec_actuals::calibration_table(&report_h, fraction_h).render()
+            );
+            let (mt, _, _, _) =
+                exec_actuals::maintenance_feedback(&db, &w, &rec_h.configuration, &report_h);
+            println!("{}", mt.render());
+            println!(
+                "exec: build peak memory {:.1} MiB (TPC-H) / {:.1} MiB (TPC-DS){}",
+                report_h.build_peak_bytes as f64 / (1 << 20) as f64,
+                report_ds.build_peak_bytes as f64 / (1 << 20) as f64,
+                match mem_budget_mib {
+                    Some(mib) => format!(", hard budget {mib} MiB"),
+                    None => ", unbudgeted".to_string(),
+                }
             );
         }
     }
@@ -313,6 +354,12 @@ fn run(which: &str, scale: f64, json: bool) {
             }
         }
     }
+    if all || which == "shard" {
+        println!(
+            "{}",
+            shard_path::shard_table(scale, mem_budget_mib).render()
+        );
+    }
     let known = [
         "all",
         "table1",
@@ -333,6 +380,7 @@ fn run(which: &str, scale: f64, json: bool) {
         "exec",
         "plan",
         "serve",
+        "shard",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment '{which}'; one of: {}", known.join(", "));

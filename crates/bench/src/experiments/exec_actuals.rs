@@ -15,9 +15,10 @@ use crate::report::Table;
 use cadb_common::json::{JsonArray, JsonObject};
 use cadb_core::strategy::{DeductionEstimator, EstimationContext, SizeEstimator};
 use cadb_core::{Advisor, AdvisorOptions, ErrorModel, MeasuredResidual, Recommendation};
-use cadb_engine::{Database, IndexSpec, WhatIfOptimizer, Workload};
+use cadb_engine::{Configuration, Database, IndexSpec, WhatIfOptimizer, Workload};
 use cadb_exec::{MeasuredReport, MeasuredRun};
 use cadb_sampling::SampleManager;
+use cadb_shard::BuildOptions;
 
 /// Budget fraction the exec run tunes under (same as `advise`).
 const BUDGET_FRACTION: f64 = 0.3;
@@ -28,12 +29,30 @@ const BUDGET_FRACTION: f64 = 0.3;
 /// (recovered by re-planning their estimation, as `advise` does) — the
 /// `f` the calibration residuals are fitted against.
 pub fn measure(db: &Database, workload: &Workload) -> (Recommendation, MeasuredReport, f64) {
+    measure_with_build(
+        db,
+        workload,
+        &BuildOptions::default().with_stripe_rows(usize::MAX),
+    )
+}
+
+/// [`measure`] with explicit out-of-core build options: the
+/// materialization runs striped under `build.budget` (structure bytes are
+/// identical for every option; only working-set shape and the reported
+/// peak change), so `repro --mem-budget` can run the whole experiment
+/// under a hard memory cap.
+pub fn measure_with_build(
+    db: &Database,
+    workload: &Workload,
+    build: &BuildOptions,
+) -> (Recommendation, MeasuredReport, f64) {
     let budget = BUDGET_FRACTION * db.base_data_bytes() as f64;
     let options = AdvisorOptions::dtac(budget);
     let rec = Advisor::new(db, options.clone())
         .recommend(workload)
         .expect("advisor run");
     let report = MeasuredRun::new(db, workload)
+        .with_build(build.clone())
         .execute(&rec.configuration)
         .expect("measured run");
     let compressed: Vec<IndexSpec> = rec
@@ -240,16 +259,61 @@ pub fn calibration_table(report: &MeasuredReport, fraction: f64) -> Table {
     t
 }
 
+/// Feed the measured maintenance residuals back into the what-if write
+/// model ([`WhatIfOptimizer::with_maintenance_bias`]) and report the
+/// residual bias before and after — the write-cost analogue of
+/// [`calibration_table`]. Returns the summary table plus the
+/// `(before, after, n)` biases so callers (and tests) can check the loop
+/// actually closed.
+pub fn maintenance_feedback(
+    db: &Database,
+    workload: &Workload,
+    cfg: &Configuration,
+    report: &MeasuredReport,
+) -> (Table, f64, f64, usize) {
+    let (before, n) = ErrorModel::maintenance_bias(&report.maintenance_residuals());
+    let corrected = WhatIfOptimizer::new(db).with_maintenance_bias(before);
+    let recosted: Vec<(f64, f64)> = report
+        .writes
+        .iter()
+        .map(|w| {
+            let (stmt, _) = &workload.statements[w.statement_index];
+            (corrected.statement_cost(stmt, cfg), w.measured_cost)
+        })
+        .collect();
+    let (after, _) = ErrorModel::maintenance_bias(&recosted);
+    let mut t = Table::new(
+        format!("exec: maintenance-cost bias fed back into what-if ({n} measured writes)"),
+        &["quantity", "before feedback", "after feedback"],
+    );
+    t.row(vec![
+        "geomean estimated/measured".to_string(),
+        format!("{before:.3}"),
+        format!("{after:.3}"),
+    ]);
+    t.row(vec![
+        "|log bias|".to_string(),
+        format!("{:.4}", before.ln().abs()),
+        format!("{:.4}", after.ln().abs()),
+    ]);
+    (t, before, after, n)
+}
+
 /// Machine-readable form of the whole experiment: one document with the
 /// recommendation and the measured report per dataset.
 pub fn exec_json(datasets: &[(&str, &Database, &Workload)], scale: f64) -> String {
     let mut arr = JsonArray::new();
     for (name, db, w) in datasets {
         let (rec, report, fraction) = measure(db, w);
+        let (_, bias_before, bias_after, bias_n) =
+            maintenance_feedback(db, w, &rec.configuration, &report);
         arr.push_raw(
             &JsonObject::new()
                 .str("dataset", name)
                 .num("planner_fraction", fraction)
+                .num("maintenance_bias_before", bias_before)
+                .num("maintenance_bias_after", bias_after)
+                .int("maintenance_bias_n", bias_n as i64)
                 .raw("recommendation", &rec.to_json())
                 .raw("measured", &report.to_json())
                 .finish(),
@@ -285,6 +349,13 @@ mod tests {
         assert!(calibration_table(&report, fraction)
             .render()
             .contains("measured fit"));
+        // Feeding the measured maintenance bias back must re-center the
+        // what-if write costs: the residual bias collapses to ~1.
+        let (mt, before, after, n) = maintenance_feedback(&db, &w, &rec.configuration, &report);
+        assert!(n > 0, "tpch workload has measured writes");
+        assert!(after.ln().abs() <= before.ln().abs() + 1e-9);
+        assert!((after - 1.0).abs() < 0.05, "after-feedback bias {after}");
+        assert!(mt.render().contains("after feedback"));
         let json = exec_json(&[("tpch", &db, &w)], 0.01);
         assert!(json.contains("\"all_queries_verified\":true"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -11,6 +11,7 @@ pub mod mv_rows;
 pub mod par_speedup;
 pub mod plan;
 pub mod serve;
+pub mod shard_path;
 
 use cadb_common::ColumnId;
 use cadb_engine::IndexSpec;

@@ -1,0 +1,192 @@
+//! `shard` — the out-of-core sharded data path, end to end: stream-generate
+//! tables in fixed-grid chunks (never holding a full table of raw rows),
+//! build partitioned physical structures under a memory budget, and verify
+//! the two invariances the subsystem promises:
+//!
+//! 1. **Datagen shard invariance** — generating a table in 1, 2 or 8 shard
+//!    ranges yields byte-identical rows, because every chunk's RNG is
+//!    seeded from `(seed, table, global row range)`, not from the shard id.
+//! 2. **Build shard invariance** — a `ShardedIndex` built with any shard
+//!    count, partitioning policy and parallelism mode produces the same
+//!    physical bytes, because page boundaries come from the stripe grid and
+//!    the merge re-establishes one global total order.
+//!
+//! The table reports peak metered bytes next to the raw table footprint —
+//! the working-set reduction that makes `--scale 1` runs fit a budget.
+
+use crate::report::Table;
+use cadb_common::{rows_footprint, MemoryBudget, Parallelism, Row};
+use cadb_compression::CompressionKind;
+use cadb_datagen::{shard_ranges, TpchGen};
+use cadb_engine::Database;
+use cadb_shard::{BuildOptions, Partitioning, ShardSpec, ShardedIndex, ShardedTable};
+
+/// FNV-1a digest over every leaf of a built structure — the byte-identity
+/// probe the invariance rows report.
+fn digest(ix: &cadb_storage::PhysicalIndex) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for leaf in 0..ix.n_leaf_pages() {
+        for &b in ix.leaf_bytes(leaf) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Stream one table's rows through `shards` independent range streams and
+/// concatenate — the parallel-datagen read path.
+fn streamed_rows(gen: &TpchGen, table: &str, shards: usize) -> Vec<Row> {
+    let n = gen.stream_row_count(table).expect("table");
+    let mut rows = Vec::new();
+    for r in shard_ranges(n, shards) {
+        for chunk in gen.stream_range(table, r).expect("range stream") {
+            rows.extend(chunk.rows);
+        }
+    }
+    rows
+}
+
+/// The shard experiment for one scale. `mem_budget_mib` caps every build
+/// when given; builds always meter and report their peaks.
+pub fn shard_table(scale: f64, mem_budget_mib: Option<usize>) -> Table {
+    let gen = TpchGen::new(scale);
+    let mut t = Table::new(
+        format!(
+            "shard: out-of-core data path at scale {scale} ({})",
+            match mem_budget_mib {
+                Some(mib) => format!("hard budget {mib} MiB"),
+                None => "metering only".to_string(),
+            }
+        ),
+        &[
+            "stage",
+            "rows",
+            "raw KiB",
+            "built KiB",
+            "peak KiB",
+            "invariant",
+        ],
+    );
+    let budget_for = |_: &str| match mem_budget_mib {
+        Some(mib) => MemoryBudget::limited(mib << 20),
+        None => MemoryBudget::unlimited(),
+    };
+
+    // 1. Datagen shard invariance on the two big tables.
+    for table in ["lineitem", "orders"] {
+        let whole = streamed_rows(&gen, table, 1);
+        let ok = [2usize, 8]
+            .iter()
+            .all(|&s| streamed_rows(&gen, table, s) == whole);
+        t.row(vec![
+            format!("stream {table} x{{1,2,8}} shards"),
+            format!("{}", whole.len()),
+            format!("{:.0}", rows_footprint(&whole) as f64 / 1024.0),
+            String::new(),
+            String::new(),
+            if ok {
+                "identical".into()
+            } else {
+                "DIVERGED".into()
+            },
+        ]);
+    }
+
+    // 2. Chunked ingestion into a sharded heap table under the budget.
+    let li = gen.stream_table("lineitem").expect("lineitem stream");
+    let dtypes: Vec<_> = {
+        // Types come from the engine schema, so the experiment can't drift
+        // from the DDL.
+        let db: Database = gen.build().expect("tpch build");
+        let t = db.table_id("lineitem").expect("lineitem");
+        db.dtypes(t)
+    };
+    let budget = budget_for("table");
+    let table = ShardedTable::from_chunks(
+        &dtypes,
+        CompressionKind::Page,
+        8192,
+        li.map(|c| c.rows),
+        &BuildOptions::default().with_budget(budget.clone()),
+    )
+    .expect("sharded ingestion within budget");
+    let raw = streamed_rows(&gen, "lineitem", 1);
+    t.row(vec![
+        format!("ingest lineitem -> {} heap shards", table.n_shards()),
+        format!("{}", table.n_rows()),
+        format!("{:.0}", rows_footprint(&raw) as f64 / 1024.0),
+        format!("{:.0}", table.size_bytes() as f64 / 1024.0),
+        format!("{:.0}", table.stats().peak_bytes as f64 / 1024.0),
+        if table.scan(Parallelism::Auto).expect("scan") == raw {
+            "scan=stream".into()
+        } else {
+            "DIVERGED".into()
+        },
+    ]);
+
+    // 3. Build shard invariance: a keyed index over the streamed rows,
+    //    every shard count x partitioning x parallelism mode.
+    let reference = ShardedIndex::build(
+        &raw,
+        &dtypes,
+        1,
+        CompressionKind::Page,
+        ShardSpec::range(1),
+        &BuildOptions::default().with_parallelism(Parallelism::Serial),
+    )
+    .expect("reference build");
+    let want = digest(reference.index());
+    let mut all_equal = true;
+    let mut peak = 0usize;
+    for shards in [2usize, 8] {
+        for partitioning in [Partitioning::Range, Partitioning::Hash] {
+            for par in [Parallelism::Serial, Parallelism::Auto] {
+                let budget = budget_for("index");
+                let built = ShardedIndex::build(
+                    &raw,
+                    &dtypes,
+                    1,
+                    CompressionKind::Page,
+                    ShardSpec {
+                        shards,
+                        partitioning,
+                    },
+                    &BuildOptions::default()
+                        .with_parallelism(par)
+                        .with_budget(budget),
+                )
+                .expect("sharded build within budget");
+                all_equal &= digest(built.index()) == want;
+                peak = peak.max(built.stats().peak_bytes);
+            }
+        }
+    }
+    t.row(vec![
+        "index(orderkey) x{2,8} shards x{Range,Hash} x{Serial,Auto}".into(),
+        format!("{}", raw.len()),
+        format!("{:.0}", rows_footprint(&raw) as f64 / 1024.0),
+        format!("{:.0}", reference.index().size_bytes() as f64 / 1024.0),
+        format!("{:.0}", peak as f64 / 1024.0),
+        if all_equal {
+            "bit-identical".into()
+        } else {
+            "DIVERGED".into()
+        },
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_experiment_reports_invariance() {
+        let t = shard_table(0.05, Some(512)).render();
+        assert!(t.contains("identical"), "{t}");
+        assert!(t.contains("bit-identical"), "{t}");
+        assert!(t.contains("scan=stream"), "{t}");
+        assert!(!t.contains("DIVERGED"), "{t}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Memory budget accounting for out-of-core builds.
+//!
+//! A [`MemoryBudget`] is a shared, thread-safe byte meter with an optional
+//! hard limit. Build pipelines (sharded index builds, sample
+//! materialization, streaming datagen buffers) reserve bytes before
+//! materializing data and release them when the data is dropped; the budget
+//! tracks the **peak** concurrent reservation so reports can state how much
+//! memory a run actually needed.
+//!
+//! Reservations are RAII: [`MemoryBudget::try_reserve`] returns a
+//! [`Reservation`] that releases its bytes on drop, so early returns and
+//! panics cannot leak accounting. Exceeding a hard limit yields
+//! [`CadbError::Budget`], which callers surface instead of silently
+//! swapping — the out-of-core path is expected to *shrink its working set*
+//! (smaller stripes, per-shard spill) rather than ask for more.
+
+use crate::error::{CadbError, Result};
+use crate::row::Row;
+use crate::value::Value;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Approximate resident footprint of a row batch, the unit budgets meter:
+/// value payloads plus per-row/per-value bookkeeping.
+pub fn rows_footprint(rows: &[Row]) -> usize {
+    rows.iter()
+        .map(|r| {
+            24 + r
+                .values
+                .iter()
+                .map(|v| match v {
+                    Value::Null => 8,
+                    Value::Int(_) => 8,
+                    Value::Str(s) => 24 + s.len(),
+                })
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+/// A shared byte meter with an optional hard limit and peak tracking.
+///
+/// Cloning is cheap and all clones share the same counters, so a budget can
+/// be threaded through parallel workers.
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Hard limit in bytes; `usize::MAX` means unlimited.
+    limit: usize,
+    /// Currently reserved bytes.
+    current: AtomicUsize,
+    /// High-water mark of `current`.
+    peak: AtomicUsize,
+}
+
+impl MemoryBudget {
+    /// A budget with a hard limit of `limit_bytes`.
+    pub fn limited(limit_bytes: usize) -> Self {
+        MemoryBudget {
+            inner: Arc::new(Inner {
+                limit: limit_bytes,
+                current: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// A budget that only meters (never rejects a reservation).
+    pub fn unlimited() -> Self {
+        MemoryBudget::limited(usize::MAX)
+    }
+
+    /// The hard limit, or `None` when the budget only meters.
+    pub fn limit_bytes(&self) -> Option<usize> {
+        if self.inner.limit == usize::MAX {
+            None
+        } else {
+            Some(self.inner.limit)
+        }
+    }
+
+    /// Bytes currently reserved.
+    pub fn current_bytes(&self) -> usize {
+        self.inner.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrent reservations since creation.
+    pub fn peak_bytes(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `bytes`, failing with [`CadbError::Budget`] if the limit
+    /// would be exceeded. The returned [`Reservation`] releases the bytes
+    /// when dropped.
+    pub fn try_reserve(&self, bytes: usize) -> Result<Reservation> {
+        let mut cur = self.inner.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if next > self.inner.limit {
+                return Err(CadbError::Budget(format!(
+                    "memory budget exceeded: {} + {} reserved bytes > limit {}",
+                    cur, bytes, self.inner.limit
+                )));
+            }
+            match self.inner.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(Reservation {
+                        budget: self.clone(),
+                        bytes,
+                    });
+                }
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+/// RAII handle for reserved bytes; dropping it releases the reservation.
+#[derive(Debug)]
+pub struct Reservation {
+    budget: MemoryBudget,
+    bytes: usize,
+}
+
+impl Reservation {
+    /// Bytes held by this reservation.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Grow this reservation by `extra` bytes (same limit check as
+    /// [`MemoryBudget::try_reserve`]). On error the reservation is
+    /// unchanged.
+    pub fn grow(&mut self, extra: usize) -> Result<()> {
+        let r = self.budget.try_reserve(extra)?;
+        self.bytes += r.bytes;
+        std::mem::forget(r);
+        Ok(())
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.budget
+            .inner
+            .current
+            .fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meters_and_tracks_peak() {
+        let b = MemoryBudget::unlimited();
+        let r1 = b.try_reserve(100).unwrap();
+        let r2 = b.try_reserve(50).unwrap();
+        assert_eq!(b.current_bytes(), 150);
+        drop(r1);
+        assert_eq!(b.current_bytes(), 50);
+        assert_eq!(b.peak_bytes(), 150);
+        drop(r2);
+        assert_eq!(b.current_bytes(), 0);
+        assert_eq!(b.peak_bytes(), 150);
+        assert_eq!(b.limit_bytes(), None);
+    }
+
+    #[test]
+    fn limit_rejects_oversize() {
+        let b = MemoryBudget::limited(1000);
+        assert_eq!(b.limit_bytes(), Some(1000));
+        let _r = b.try_reserve(900).unwrap();
+        let err = b.try_reserve(200).unwrap_err();
+        assert_eq!(err.category(), "budget");
+        // Rejected reservations must not leak into the meter.
+        assert_eq!(b.current_bytes(), 900);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let b = MemoryBudget::limited(100);
+        let c = b.clone();
+        let _r = c.try_reserve(80).unwrap();
+        assert_eq!(b.current_bytes(), 80);
+        assert!(b.try_reserve(30).is_err());
+    }
+
+    #[test]
+    fn grow_extends_in_place() {
+        let b = MemoryBudget::limited(100);
+        let mut r = b.try_reserve(40).unwrap();
+        r.grow(30).unwrap();
+        assert_eq!(r.bytes(), 70);
+        assert_eq!(b.current_bytes(), 70);
+        assert!(r.grow(50).is_err());
+        assert_eq!(b.current_bytes(), 70);
+        drop(r);
+        assert_eq!(b.current_bytes(), 0);
+        assert_eq!(b.peak_bytes(), 70);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_limit() {
+        let b = MemoryBudget::limited(10 * 64);
+        let slots: Vec<usize> = (0..64).collect();
+        crate::par::par_map(crate::par::Parallelism::Threads(8), &slots, |_, _| {
+            for _ in 0..100 {
+                if let Ok(r) = b.try_reserve(10) {
+                    assert!(b.current_bytes() <= 10 * 64);
+                    drop(r);
+                }
+            }
+        });
+        assert_eq!(b.current_bytes(), 0);
+        assert!(b.peak_bytes() <= 10 * 64);
+    }
+}

@@ -28,6 +28,9 @@ pub enum CadbError {
     /// The optimizer / advisor hit an unsatisfiable constraint
     /// (e.g. no feasible size-estimation plan for the requested accuracy).
     Infeasible(String),
+    /// A memory-budget reservation would exceed the configured hard limit
+    /// (see [`crate::budget::MemoryBudget`]).
+    Budget(String),
     /// Internal invariant violation. Indicates a bug in this workspace.
     Internal(String),
 }
@@ -43,6 +46,7 @@ impl CadbError {
             CadbError::Storage(_) => "storage",
             CadbError::Parse(_) => "parse",
             CadbError::Infeasible(_) => "infeasible",
+            CadbError::Budget(_) => "budget",
             CadbError::Internal(_) => "internal",
         }
     }
@@ -58,6 +62,7 @@ impl fmt::Display for CadbError {
             CadbError::Storage(m) => write!(f, "storage error: {m}"),
             CadbError::Parse(m) => write!(f, "parse error: {m}"),
             CadbError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            CadbError::Budget(m) => write!(f, "budget exceeded: {m}"),
             CadbError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -85,6 +90,7 @@ mod tests {
             CadbError::Storage(String::new()),
             CadbError::Parse(String::new()),
             CadbError::Infeasible(String::new()),
+            CadbError::Budget(String::new()),
             CadbError::Internal(String::new()),
         ];
         let mut cats: Vec<_> = all.iter().map(|e| e.category()).collect();

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod bytes;
 pub mod error;
 pub mod ids;
@@ -21,6 +22,7 @@ pub mod schema;
 pub mod types;
 pub mod value;
 
+pub use budget::{rows_footprint, MemoryBudget, Reservation};
 pub use error::{CadbError, Result};
 pub use ids::{ColumnId, IndexId, TableId};
 pub use par::{par_map, try_par_map, Parallelism};

@@ -11,18 +11,24 @@
 //!   used only for size-estimation error calibration (Table 2).
 //! * [`sales`] — a synthetic stand-in for the paper's customer Sales
 //!   database: a wide fact table with 50 analytic queries and 2 bulk loads.
+//! * [`stream`] — chunked/streaming variants of the TPC-H and TPC-DS
+//!   generators for the out-of-core path: row chunks on a fixed grid whose
+//!   RNGs are seeded by `(seed, table, global_row_range)`, so sharding
+//!   never changes the bytes.
 //!
 //! All generators are seeded and fully deterministic.
 
 #![warn(missing_docs)]
 
 pub mod sales;
+pub mod stream;
 pub mod text;
 pub mod tpcds;
 pub mod tpch;
 pub mod zipf;
 
 pub use sales::SalesGen;
+pub use stream::{orderdate_for, shard_ranges, RowChunk, TableStream, CHUNK_ROWS};
 pub use tpcds::TpcdsGen;
 pub use tpch::TpchGen;
 pub use zipf::Zipf;

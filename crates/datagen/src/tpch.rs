@@ -26,6 +26,49 @@ pub struct TpchGen {
     pub seed: u64,
 }
 
+/// Categorical vocabularies shared by the materializing ([`TpchGen::build`])
+/// and streaming (`stream_range`) generators.
+pub(crate) const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"];
+pub(crate) const NATIONS: usize = 25;
+pub(crate) const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+pub(crate) const CONTAINERS: [&str; 5] = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"];
+pub(crate) const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
+pub(crate) const PART_TYPES: [&str; 6] = [
+    "STANDARD ANODIZED",
+    "SMALL PLATED",
+    "MEDIUM POLISHED",
+    "LARGE BRUSHED",
+    "ECONOMY BURNISHED",
+    "PROMO ANODIZED",
+];
+pub(crate) const ORDER_STATUSES: [&str; 3] = ["O", "F", "P"];
+pub(crate) const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
+pub(crate) const RETURN_FLAGS: [&str; 3] = ["N", "R", "A"];
+pub(crate) const LINE_STATUS: [&str; 2] = ["O", "F"];
+pub(crate) const INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+pub(crate) const SHIP_MODES: [&str; 7] = ["AIR", "TRUCK", "MAIL", "SHIP", "RAIL", "REG AIR", "FOB"];
+
+/// The coarse ship group `shipgroup` is a deterministic function of the
+/// ship mode (a correlated categorical, as in real TPC-H data).
+pub(crate) fn ship_group(mode: &str) -> &'static str {
+    match mode {
+        "AIR" | "REG AIR" => "FAST",
+        "TRUCK" | "MAIL" | "FOB" => "LAND",
+        _ => "SLOW",
+    }
+}
+
 impl TpchGen {
     /// Uniform (Z=0) generator at the given scale.
     pub fn new(scale: f64) -> Self {
@@ -87,8 +130,7 @@ impl TpchGen {
     fn populate(&self, db: &mut Database) -> Result<()> {
         let (n_li, n_ord, n_cust, n_part, n_supp) = self.row_counts();
         let mut rng = rng_for(self.seed, "tpch");
-        let regions = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"];
-        let nations = 25usize;
+        let nations = NATIONS;
 
         let region = db.table_id("region")?;
         db.insert_rows(
@@ -97,7 +139,7 @@ impl TpchGen {
                 .map(|i| {
                     Row::new(vec![
                         Value::Int(i as i64),
-                        Value::Str(regions[i].into()),
+                        Value::Str(REGIONS[i].into()),
                         Value::Str(text::comment(&mut rng, 60)),
                     ])
                 })
@@ -139,13 +181,7 @@ impl TpchGen {
         )?;
 
         let customer = db.table_id("customer")?;
-        let segments = [
-            "AUTOMOBILE",
-            "BUILDING",
-            "FURNITURE",
-            "MACHINERY",
-            "HOUSEHOLD",
-        ];
+        let segments = SEGMENTS;
         db.insert_rows(
             customer,
             (0..n_cust)
@@ -166,16 +202,9 @@ impl TpchGen {
         )?;
 
         let part = db.table_id("part")?;
-        let containers = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"];
-        let brands = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
-        let types = [
-            "STANDARD ANODIZED",
-            "SMALL PLATED",
-            "MEDIUM POLISHED",
-            "LARGE BRUSHED",
-            "ECONOMY BURNISHED",
-            "PROMO ANODIZED",
-        ];
+        let containers = CONTAINERS;
+        let brands = BRANDS;
+        let types = PART_TYPES;
         db.insert_rows(
             part,
             (0..n_part)
@@ -200,8 +229,8 @@ impl TpchGen {
         let d1 = date_to_days(1998, 8, 2);
         let orders = db.table_id("orders")?;
         let cust_zipf = Zipf::new(n_cust, self.zipf_theta);
-        let statuses = ["O", "F", "P"];
-        let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
+        let statuses = ORDER_STATUSES;
+        let priorities = PRIORITIES;
         let mut order_dates = Vec::with_capacity(n_ord);
         db.insert_rows(
             orders,
@@ -229,15 +258,10 @@ impl TpchGen {
         let part_zipf = Zipf::new(n_part, self.zipf_theta);
         let supp_zipf = Zipf::new(n_supp, self.zipf_theta);
         let disc_zipf = Zipf::new(11, self.zipf_theta); // discounts 0.00..0.10
-        let flags = ["N", "R", "A"];
-        let status = ["O", "F"];
-        let instructs = [
-            "DELIVER IN PERSON",
-            "COLLECT COD",
-            "NONE",
-            "TAKE BACK RETURN",
-        ];
-        let modes = ["AIR", "TRUCK", "MAIL", "SHIP", "RAIL", "REG AIR", "FOB"];
+        let flags = RETURN_FLAGS;
+        let status = LINE_STATUS;
+        let instructs = INSTRUCTS;
+        let modes = SHIP_MODES;
         let rows: Vec<Row> = (0..n_li)
             .map(|i| {
                 let ok = (i % n_ord) as i64;
@@ -258,11 +282,7 @@ impl TpchGen {
                     "F"
                 };
                 let mode = modes[rng.gen_range(0..7usize)];
-                let group = match mode {
-                    "AIR" | "REG AIR" => "FAST",
-                    "TRUCK" | "MAIL" | "FOB" => "LAND",
-                    _ => "SLOW",
-                };
+                let group = ship_group(mode);
                 Row::new(vec![
                     Value::Int(ok),
                     Value::Int(part_zipf.sample(&mut rng) as i64),

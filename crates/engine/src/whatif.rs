@@ -35,6 +35,13 @@ pub struct WhatIfOptimizer<'a> {
     db: &'a Database,
     model: CostModel,
     parallelism: Parallelism,
+    /// Multiplicative correction for write-maintenance estimates: the
+    /// geometric-mean `estimated / measured` ratio of a measured run
+    /// (`ErrorModel::maintenance_bias`). Raw estimates are divided by it,
+    /// so feeding a measured bias back re-centers the what-if write costs
+    /// on the measurement — the same closed loop `calibrate_samplecf`
+    /// gives the size estimates. 1.0 (the default) leaves costs untouched.
+    maintenance_bias: f64,
 }
 
 impl<'a> WhatIfOptimizer<'a> {
@@ -44,6 +51,7 @@ impl<'a> WhatIfOptimizer<'a> {
             db,
             model: CostModel::default(),
             parallelism: Parallelism::Auto,
+            maintenance_bias: 1.0,
         }
     }
 
@@ -53,7 +61,24 @@ impl<'a> WhatIfOptimizer<'a> {
             db,
             model,
             parallelism: Parallelism::Auto,
+            maintenance_bias: 1.0,
         }
+    }
+
+    /// Same optimizer with a measured maintenance bias (geometric-mean
+    /// `estimated / measured` over a run's write statements) fed back into
+    /// the write-cost model: every INSERT/UPDATE/DELETE estimate is divided
+    /// by it. Non-finite or non-positive biases are ignored.
+    pub fn with_maintenance_bias(mut self, bias: f64) -> Self {
+        if bias.is_finite() && bias > 0.0 {
+            self.maintenance_bias = bias;
+        }
+        self
+    }
+
+    /// The maintenance-bias correction in effect (1.0 = uncorrected).
+    pub fn maintenance_bias(&self) -> f64 {
+        self.maintenance_bias
     }
 
     /// Same optimizer with a parallelism setting for batched entry points
@@ -131,7 +156,7 @@ impl<'a> WhatIfOptimizer<'a> {
             cost += affected * (m.cpu_per_tuple + m.insert_io_per_row)
                 + m.compress_cost(spec.compression, affected);
         }
-        cost
+        cost / self.maintenance_bias
     }
 
     /// Cost of a bulk update under a configuration: locate + rewrite the
@@ -180,7 +205,7 @@ impl<'a> WhatIfOptimizer<'a> {
             cost += affected * (m.cpu_per_tuple + 2.0 * m.insert_io_per_row)
                 + m.compress_cost(spec.compression, affected);
         }
-        cost
+        cost / self.maintenance_bias
     }
 
     /// Cost of a bulk delete under a configuration: locate the victim
@@ -219,7 +244,7 @@ impl<'a> WhatIfOptimizer<'a> {
             // One index touch per removal — half an update's delete+insert.
             cost += affected * (m.cpu_per_tuple + m.insert_io_per_row);
         }
-        cost
+        cost / self.maintenance_bias
     }
 
     /// Cost of any workload statement.
@@ -419,6 +444,57 @@ mod tests {
         )]);
         let c2 = opt.insert_cost(&ins, &cfg2);
         assert!(c2 > c1, "compressed index must cost more to maintain");
+    }
+
+    #[test]
+    fn maintenance_bias_rescales_write_costs_only() {
+        let db = db();
+        let ins = BulkInsert {
+            table: TableId(0),
+            n_rows: 5_000,
+        };
+        let upd = crate::stmt::BulkUpdate {
+            table: TableId(0),
+            column: ColumnId(1),
+            n_rows: 500,
+        };
+        let del = crate::stmt::BulkDelete {
+            table: TableId(0),
+            n_rows: 500,
+        };
+        let ix = IndexSpec::secondary(TableId(0), vec![ColumnId(1)]);
+        let raw = WhatIfOptimizer::new(&db);
+        let cfg = Configuration::new(vec![priced(&raw, ix, 1.0)]);
+        let corrected = WhatIfOptimizer::new(&db).with_maintenance_bias(2.0);
+        assert_eq!(corrected.maintenance_bias(), 2.0);
+        // A bias of 2 (estimates ran 2x hot) halves every write estimate…
+        for (a, b) in [
+            (
+                raw.insert_cost(&ins, &cfg),
+                corrected.insert_cost(&ins, &cfg),
+            ),
+            (
+                raw.update_cost(&upd, &cfg),
+                corrected.update_cost(&upd, &cfg),
+            ),
+            (
+                raw.delete_cost(&del, &cfg),
+                corrected.delete_cost(&del, &cfg),
+            ),
+        ] {
+            assert!((a / b - 2.0).abs() < 1e-12, "{a} vs {b}");
+        }
+        // …and leaves query costs untouched.
+        let q = crate::stmt::Query {
+            root: TableId(0),
+            ..Default::default()
+        };
+        assert_eq!(raw.query_cost(&q, &cfg), corrected.query_cost(&q, &cfg));
+        // Degenerate biases are ignored.
+        let nop = WhatIfOptimizer::new(&db)
+            .with_maintenance_bias(0.0)
+            .with_maintenance_bias(f64::NAN);
+        assert_eq!(nop.maintenance_bias(), 1.0);
     }
 
     #[test]

@@ -16,12 +16,13 @@ use crate::query::{execute_planned, execute_query, missing_base};
 use crate::scan::ExecMode;
 use crate::store::{Store, WriteKind};
 use cadb_common::json::{JsonArray, JsonObject};
-use cadb_common::{ColumnId, Parallelism, Result, Row, TableId};
+use cadb_common::{rows_footprint, ColumnId, Parallelism, Reservation, Result, Row, TableId};
 use cadb_compression::CompressionKind;
 use cadb_engine::cardinality::query_output_rows;
 use cadb_engine::exec::materialize_mv;
 use cadb_engine::{Configuration, Database, IndexSpec, SizeEstimate, WhatIfOptimizer, Workload};
 use cadb_sampling::index_rows::{index_row_stream, mv_index_row_stream};
+use cadb_shard::{BuildOptions, BuildStats, ShardSpec, ShardedIndex};
 use cadb_storage::PhysicalIndex;
 use std::collections::BTreeMap;
 
@@ -81,12 +82,47 @@ pub struct MaterializedConfig {
     /// the planner can choose beyond the bases.
     built: BTreeMap<IndexSpec, PhysicalIndex>,
     measured: Vec<MeasuredStructure>,
+    /// Aggregate counters of the (sharded) build that materialized the
+    /// configuration, including the budget's peak bytes.
+    build_stats: BuildStats,
+    /// Budget reservations for the resident built structures; released when
+    /// the materialization is dropped.
+    _held: Vec<Reservation>,
 }
 
 impl MaterializedConfig {
     /// Build every structure of `cfg` (and each table's base structure)
     /// for real, via the same row streams the estimation framework samples.
+    ///
+    /// Equivalent to [`Self::build_with`] under a monolithic (single-stripe,
+    /// unlimited-budget) [`BuildOptions`]; the built bytes are identical.
     pub fn build(db: &Database, cfg: &Configuration) -> Result<Self> {
+        Self::build_with(
+            db,
+            cfg,
+            &BuildOptions::default().with_stripe_rows(usize::MAX),
+        )
+    }
+
+    /// Build every structure of `cfg` through the sharded out-of-core path:
+    /// row streams are stripe-encoded on `opts.parallelism` workers, every
+    /// working set and resident structure is charged to `opts.budget`, and
+    /// the build fails (rather than thrashes) past a hard limit. The built
+    /// bytes depend only on `opts.stripe_rows` — never on the parallelism
+    /// mode — and with a single stripe they equal [`Self::build`] exactly.
+    pub fn build_with(db: &Database, cfg: &Configuration, opts: &BuildOptions) -> Result<Self> {
+        let mut held: Vec<Reservation> = Vec::new();
+        let mut stats = BuildStats::default();
+        let mut track =
+            |held: &mut Vec<Reservation>, sharded: ShardedIndex| -> Result<PhysicalIndex> {
+                let s = *sharded.stats();
+                stats.shards += s.shards;
+                stats.stripes += s.stripes;
+                stats.rows += s.rows;
+                let ix = sharded.into_index();
+                held.push(opts.budget.try_reserve(ix.size_bytes())?);
+                Ok(ix)
+            };
         let mut bases = BTreeMap::new();
         let mut base_specs: BTreeMap<TableId, IndexSpec> = BTreeMap::new();
         let mut base_est_pages: BTreeMap<TableId, f64> = BTreeMap::new();
@@ -124,13 +160,29 @@ impl MaterializedConfig {
                         perm[ord as usize] = pos as u32;
                     }
                     base_perm.insert(t, perm);
-                    PhysicalIndex::build(&rows, &dtypes, n_key, s.spec.compression)?
+                    let _ws = opts.budget.try_reserve(rows_footprint(&rows))?;
+                    track(
+                        &mut held,
+                        ShardedIndex::build_presorted(
+                            &rows,
+                            &dtypes,
+                            n_key,
+                            s.spec.compression,
+                            ShardSpec::range(1),
+                            opts,
+                        )?,
+                    )?
                 }
-                None => PhysicalIndex::build(
-                    db.table(t).rows(),
-                    &db.dtypes(t),
-                    0,
-                    CompressionKind::None,
+                None => track(
+                    &mut held,
+                    ShardedIndex::build_presorted(
+                        db.table(t).rows(),
+                        &db.dtypes(t),
+                        0,
+                        CompressionKind::None,
+                        ShardSpec::range(1),
+                        opts,
+                    )?,
                 )?,
             };
             bases.insert(t, ix);
@@ -157,7 +209,18 @@ impl MaterializedConfig {
             } else {
                 index_row_stream(db, &s.spec, db.table(s.spec.table).rows())?
             };
-            let ix = PhysicalIndex::build(&rows, &dtypes, n_key, s.spec.compression)?;
+            let _ws = opts.budget.try_reserve(rows_footprint(&rows))?;
+            let ix = track(
+                &mut held,
+                ShardedIndex::build_presorted(
+                    &rows,
+                    &dtypes,
+                    n_key,
+                    s.spec.compression,
+                    ShardSpec::range(1),
+                    opts,
+                )?,
+            )?;
             measured.push(MeasuredStructure {
                 spec: s.spec.clone(),
                 estimated: s.size,
@@ -167,6 +230,7 @@ impl MaterializedConfig {
             });
             built.insert(s.spec.clone(), ix);
         }
+        stats.peak_bytes = opts.budget.peak_bytes();
         Ok(MaterializedConfig {
             bases,
             base_specs,
@@ -174,6 +238,8 @@ impl MaterializedConfig {
             base_perm,
             built,
             measured,
+            build_stats: stats,
+            _held: held,
         })
     }
 
@@ -213,6 +279,13 @@ impl MaterializedConfig {
     /// Every structure of the configuration, built and measured.
     pub fn structures(&self) -> &[MeasuredStructure] {
         &self.measured
+    }
+
+    /// Aggregate counters of the build that materialized this
+    /// configuration: stripes encoded, rows built, and the peak bytes the
+    /// build's memory budget metered.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
     }
 }
 
@@ -335,6 +408,10 @@ pub struct MeasuredReport {
     /// `insert_cost` delta the advisor charged MV structures), kept beside
     /// the measurement so the residual is visible. Same `None` gating.
     pub mv_maintenance_whatif: Option<f64>,
+    /// Peak bytes the materialization's memory budget metered (build
+    /// working sets + resident structures) — the out-of-core path's
+    /// headline number.
+    pub build_peak_bytes: usize,
 }
 
 impl MeasuredReport {
@@ -462,6 +539,7 @@ impl MeasuredReport {
             .bool("all_queries_verified", self.all_queries_verified())
             .num("estimated_workload_cost", self.estimated_workload_cost)
             .num("baseline_workload_cost", self.baseline_workload_cost)
+            .int("build_peak_bytes", self.build_peak_bytes as i64)
             .bool(
                 "mv_maintenance_measured",
                 self.mv_maintenance_cost.is_some(),
@@ -487,6 +565,7 @@ pub struct MeasuredRun<'a> {
     workload: &'a Workload,
     parallelism: Parallelism,
     seed: u64,
+    build: BuildOptions,
 }
 
 /// Default RNG seed for the synthetic rows write statements commit
@@ -502,7 +581,17 @@ impl<'a> MeasuredRun<'a> {
             workload,
             parallelism: Parallelism::Auto,
             seed: DEFAULT_WRITE_SEED,
+            build: BuildOptions::default().with_stripe_rows(usize::MAX),
         }
+    }
+
+    /// Build options for the materialization (stripe size, memory budget,
+    /// build parallelism). The default is the monolithic single-stripe
+    /// build; pass a budgeted, striped [`BuildOptions`] to run the
+    /// out-of-core path and surface its peak bytes in the report.
+    pub fn with_build(mut self, build: BuildOptions) -> Self {
+        self.build = build;
+        self
     }
 
     /// Worker-pool setting for the leaf-parallel scans (results identical
@@ -524,7 +613,7 @@ impl<'a> MeasuredRun<'a> {
     /// decompress-then-execute reference), and report measured sizes, row
     /// counts and chosen access paths next to the estimates.
     pub fn execute(&self, cfg: &Configuration) -> Result<MeasuredReport> {
-        let mat = MaterializedConfig::build(self.db, cfg)?;
+        let mat = MaterializedConfig::build_with(self.db, cfg, &self.build)?;
         let mut queries = Vec::new();
         for (q, _) in self.workload.queries() {
             let plan = plan_query(&mat, q)?;
@@ -607,6 +696,7 @@ impl<'a> MeasuredRun<'a> {
             baseline_workload_cost: opt.workload_cost(self.workload, &Configuration::empty()),
             mv_maintenance_cost,
             mv_maintenance_whatif,
+            build_peak_bytes: mat.build_stats().peak_bytes,
         })
     }
 

@@ -22,7 +22,9 @@
 
 use cadb_common::par::{try_par_map, Parallelism};
 use cadb_common::rng::rng_for;
-use cadb_common::{CadbError, ColumnId, Result, Row, TableId};
+use cadb_common::{
+    rows_footprint, CadbError, ColumnId, MemoryBudget, Reservation, Result, Row, TableId,
+};
 use cadb_engine::{Database, JoinEdge, Predicate};
 use parking_lot::RwLock;
 use rand::seq::SliceRandom;
@@ -77,11 +79,24 @@ pub struct SampleManager<'a> {
     filtered: RwLock<FilteredCache>,
     synopses: RwLock<SynopsisCache>,
     counters: RwLock<CostCounters>,
+    /// Byte meter charged for every cached materialization (base samples,
+    /// filtered samples, synopsis wide rows). With a hard limit, a cache
+    /// miss whose materialization would exceed it fails with a budget error
+    /// instead of growing the cache.
+    budget: MemoryBudget,
+    /// Reservations backing the resident caches; released when the manager
+    /// is dropped.
+    held: RwLock<Vec<Reservation>>,
 }
 
 impl<'a> SampleManager<'a> {
-    /// New manager over a database.
+    /// New manager over a database, metering (but never limiting) memory.
     pub fn new(db: &'a Database, seed: u64) -> Self {
+        Self::with_budget(db, seed, MemoryBudget::unlimited())
+    }
+
+    /// New manager whose cached materializations are charged to `budget`.
+    pub fn with_budget(db: &'a Database, seed: u64, budget: MemoryBudget) -> Self {
         SampleManager {
             db,
             seed,
@@ -89,6 +104,8 @@ impl<'a> SampleManager<'a> {
             filtered: RwLock::new(HashMap::new()),
             synopses: RwLock::new(HashMap::new()),
             counters: RwLock::new(CostCounters::default()),
+            budget,
+            held: RwLock::new(Vec::new()),
         }
     }
 
@@ -100,6 +117,13 @@ impl<'a> SampleManager<'a> {
     /// Snapshot of the cost counters.
     pub fn counters(&self) -> CostCounters {
         *self.counters.read()
+    }
+
+    /// The byte meter charged for cached materializations. Its
+    /// `peak_bytes()` is the sampling layer's contribution to a run's peak
+    /// memory accounting.
+    pub fn budget(&self) -> &MemoryBudget {
+        &self.budget
     }
 
     /// Uniform random sample (without replacement) of a table at fraction
@@ -122,14 +146,17 @@ impl<'a> SampleManager<'a> {
         idx.truncate(n);
         idx.sort_unstable(); // keep original order: a sample of a heap is a heap
         let sample: Arc<Vec<Row>> = Arc::new(idx.into_iter().map(|i| rows[i].clone()).collect());
+        let res = self.budget.try_reserve(rows_footprint(&sample))?;
         // Insert-once: when two threads raced on the same miss, only the
-        // winner counts the work, so counters match a serial run exactly.
+        // winner counts the work (and keeps its reservation), so counters
+        // and the byte meter match a serial run exactly.
         let mut cache = self.base.write();
         match cache.entry(key) {
             Entry::Occupied(e) => Ok(Arc::clone(e.get())),
             Entry::Vacant(v) => {
                 v.insert(Arc::clone(&sample));
                 drop(cache);
+                self.held.write().push(res);
                 let mut c = self.counters.write();
                 c.base_samples += 1;
                 c.base_rows += sample.len() as u64;
@@ -153,12 +180,14 @@ impl<'a> SampleManager<'a> {
         let base = self.table_sample(table, f)?;
         let sample: Arc<Vec<Row>> =
             Arc::new(base.iter().filter(|r| filter.matches(r)).cloned().collect());
+        let res = self.budget.try_reserve(rows_footprint(&sample))?;
         let mut cache = self.filtered.write();
         match cache.entry(key) {
             Entry::Occupied(e) => Ok(Arc::clone(e.get())),
             Entry::Vacant(v) => {
                 v.insert(Arc::clone(&sample));
                 drop(cache);
+                self.held.write().push(res);
                 self.counters.write().filtered_samples += 1;
                 Ok(sample)
             }
@@ -222,12 +251,14 @@ impl<'a> SampleManager<'a> {
             rows: wide,
             column_map,
         });
+        let res = self.budget.try_reserve(rows_footprint(&syn.rows))?;
         let mut cache = self.synopses.write();
         match cache.entry(key) {
             Entry::Occupied(e) => Ok(Arc::clone(e.get())),
             Entry::Vacant(v) => {
                 v.insert(Arc::clone(&syn));
                 drop(cache);
+                self.held.write().push(res);
                 let mut c = self.counters.write();
                 c.synopses += 1;
                 c.synopsis_rows += syn.rows.len() as u64;
@@ -422,6 +453,34 @@ mod tests {
         m.table_sample(TableId(0), 0.05).unwrap();
         m.table_sample(TableId(1), 0.5).unwrap();
         assert_eq!(m.counters(), before);
+    }
+
+    #[test]
+    fn budget_meters_caches_and_limits_misses() {
+        let db = db();
+        let budget = MemoryBudget::unlimited();
+        let m = SampleManager::with_budget(&db, 30, budget.clone());
+        let s = m.table_sample(TableId(0), 0.05).unwrap();
+        let expect = rows_footprint(&s);
+        assert_eq!(budget.current_bytes(), expect);
+        // Cache hits charge nothing new.
+        m.table_sample(TableId(0), 0.05).unwrap();
+        assert_eq!(budget.current_bytes(), expect);
+        // Derived materializations are charged too.
+        let pred = Predicate::eq(TableId(0), ColumnId(1), Value::Int(3));
+        m.filtered_sample(TableId(0), 0.05, &pred).unwrap();
+        assert!(budget.current_bytes() > expect);
+        assert_eq!(budget.peak_bytes(), budget.current_bytes());
+        let at_peak = budget.current_bytes();
+        drop(m);
+        assert_eq!(budget.current_bytes(), 0);
+        assert_eq!(budget.peak_bytes(), at_peak);
+
+        // A hard limit turns an oversized miss into a budget error.
+        let m = SampleManager::with_budget(&db, 30, MemoryBudget::limited(64));
+        let err = m.table_sample(TableId(0), 0.5).unwrap_err();
+        assert_eq!(err.category(), "budget");
+        assert_eq!(m.counters().base_samples, 0);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! # cadb-shard
+//!
+//! The sharded, out-of-core data path: hash/range partitioning, parallel
+//! per-shard builds with a deterministic merge, and memory-budgeted
+//! ingestion of chunked row streams.
+//!
+//! The crate's contract is the workspace's determinism discipline applied
+//! to physical structure builds: **sharding is an execution strategy, not a
+//! data layout**. A [`ShardedIndex`] build produces bytes that depend only
+//! on the logical input and the stripe grid — never on the shard count, the
+//! partitioning policy, or the [`cadb_common::par::Parallelism`] mode — so
+//! every downstream consumer (executor, planner, actuals harness) sees the
+//! exact structure a monolithic build would have produced.
+//!
+//! * [`ShardedIndex`] — partition → per-shard sort → k-way merge →
+//!   striped leaf packing ([`cadb_storage::PhysicalIndex::build_striped`]'s
+//!   grid), bit-identical across shard counts and parallelism modes.
+//! * [`ShardedTable`] — chunked ingestion (e.g. from
+//!   `cadb_datagen::stream`) into consecutive compressed heap shards with a
+//!   bounded raw-row buffer.
+//! * [`BuildOptions`] / [`cadb_common::MemoryBudget`] — every build meters
+//!   its working sets and resident pages, surfaces the peak in
+//!   [`BuildStats`], and fails (rather than thrashes) when a hard limit
+//!   would be exceeded.
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod partition;
+pub mod table;
+
+pub use index::{scan_leaves_parallel, ShardedIndex};
+pub use partition::{BuildOptions, BuildStats, Partitioning, ShardSpec, DEFAULT_STRIPE_ROWS};
+pub use table::ShardedTable;

@@ -1,0 +1,161 @@
+//! Partitioning policy and build options for sharded builds.
+
+use cadb_common::par::Parallelism;
+use cadb_common::{MemoryBudget, Row, Value};
+
+pub use cadb_common::rows_footprint;
+
+/// How rows are routed to shards before the per-shard build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Contiguous ranges of input positions. The only policy valid for
+    /// heaps (`n_key_cols == 0`), where input order must be preserved.
+    Range,
+    /// A stable hash of the key-column values. Spreads skewed keys evenly;
+    /// the merge re-establishes global key order.
+    Hash,
+}
+
+/// Shard layout of a build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of shards (≥ 1; 1 degenerates to the monolithic build).
+    pub shards: usize,
+    /// Routing policy.
+    pub partitioning: Partitioning,
+}
+
+impl ShardSpec {
+    /// Range-partition into `shards` shards.
+    pub fn range(shards: usize) -> Self {
+        ShardSpec {
+            shards: shards.max(1),
+            partitioning: Partitioning::Range,
+        }
+    }
+
+    /// Hash-partition into `shards` shards.
+    pub fn hash(shards: usize) -> Self {
+        ShardSpec {
+            shards: shards.max(1),
+            partitioning: Partitioning::Hash,
+        }
+    }
+}
+
+/// Knobs of a sharded build.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Worker-pool setting. The built bytes are identical for every mode.
+    pub parallelism: Parallelism,
+    /// Rows per leaf-packing stripe. The stripe grid — not the shard count
+    /// — determines page boundaries, so two builds agree byte-for-byte iff
+    /// they use the same `stripe_rows`.
+    pub stripe_rows: usize,
+    /// Byte meter (and optional hard limit) charged for build working sets
+    /// and resident encoded pages.
+    pub budget: MemoryBudget,
+}
+
+/// Default rows per stripe (matches the datagen chunk grid).
+pub const DEFAULT_STRIPE_ROWS: usize = 4096;
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            parallelism: Parallelism::Auto,
+            stripe_rows: DEFAULT_STRIPE_ROWS,
+            budget: MemoryBudget::unlimited(),
+        }
+    }
+}
+
+impl BuildOptions {
+    /// Replace the worker-pool setting.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
+    /// Replace the stripe size (clamped to ≥ 1).
+    pub fn with_stripe_rows(mut self, rows: usize) -> Self {
+        self.stripe_rows = rows.max(1);
+        self
+    }
+
+    /// Replace the memory budget.
+    pub fn with_budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Counters of one sharded build, surfaced in reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Shards the input was partitioned into.
+    pub shards: usize,
+    /// Leaf-packing stripes encoded.
+    pub stripes: usize,
+    /// Rows built.
+    pub rows: usize,
+    /// Peak bytes the build's budget metered (working sets + encoded
+    /// pages resident at once).
+    pub peak_bytes: usize,
+}
+
+/// Stable FNV-1a hash of a row's leading `n_key_cols` values — the Hash
+/// partitioning router. Independent of platform and shard count.
+pub fn key_hash(row: &Row, n_key_cols: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for v in row.values.iter().take(n_key_cols) {
+        match v {
+            Value::Null => eat(0),
+            Value::Int(i) => {
+                eat(1);
+                for b in i.to_le_bytes() {
+                    eat(b);
+                }
+            }
+            Value::Str(s) => {
+                eat(2);
+                for b in s.as_bytes() {
+                    eat(*b);
+                }
+                eat(0xff);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_hash_is_stable_and_prefix_sensitive() {
+        let a = Row::new(vec![Value::Int(7), Value::Str("x".into())]);
+        let b = Row::new(vec![Value::Int(7), Value::Str("y".into())]);
+        assert_eq!(key_hash(&a, 1), key_hash(&b, 1));
+        assert_ne!(key_hash(&a, 2), key_hash(&b, 2));
+        assert_ne!(key_hash(&a, 1), key_hash(&Row::new(vec![Value::Null]), 1));
+    }
+
+    #[test]
+    fn footprint_counts_payloads() {
+        let rows = vec![Row::new(vec![Value::Int(1), Value::Str("abcd".into())])];
+        let f = rows_footprint(&rows);
+        assert!(f >= 4 + 8, "{f}");
+    }
+
+    #[test]
+    fn spec_clamps_to_one_shard() {
+        assert_eq!(ShardSpec::range(0).shards, 1);
+        assert_eq!(ShardSpec::hash(8).partitioning, Partitioning::Hash);
+    }
+}

@@ -1,0 +1,146 @@
+//! Sharded tables: chunked ingestion into per-shard compressed heaps.
+//!
+//! A [`ShardedTable`] is built from a chunk stream (e.g.
+//! `cadb_datagen::stream`) without ever holding the full table as raw
+//! rows: chunks accumulate into a bounded buffer, and every
+//! `rows_per_shard` rows the buffer is flushed into a compressed heap
+//! shard. Shards are consecutive row ranges, so concatenating shard scans
+//! reproduces the input order exactly.
+
+use crate::index::{pack_striped, scan_leaves_parallel};
+use crate::partition::{rows_footprint, BuildOptions, BuildStats};
+use cadb_common::par::{try_par_map, Parallelism};
+use cadb_common::{CadbError, DataType, Reservation, Result, Row};
+use cadb_compression::CompressionKind;
+use cadb_storage::PhysicalIndex;
+
+/// A table partitioned into consecutive compressed heap shards.
+#[derive(Debug)]
+pub struct ShardedTable {
+    shards: Vec<PhysicalIndex>,
+    dtypes: Vec<DataType>,
+    n_rows: usize,
+    stats: BuildStats,
+    /// Budget reservations for the resident encoded shards; released when
+    /// the table is dropped.
+    _held: Vec<Reservation>,
+}
+
+impl ShardedTable {
+    /// Ingest a chunk stream into heap shards of up to `rows_per_shard`
+    /// rows each. At most one shard's worth of raw rows is buffered at a
+    /// time; `opts.budget` meters the buffer and the resident encoded
+    /// pages, and fails the build if a hard limit would be exceeded.
+    pub fn from_chunks<I>(
+        dtypes: &[DataType],
+        kind: CompressionKind,
+        rows_per_shard: usize,
+        chunks: I,
+        opts: &BuildOptions,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<Row>>,
+    {
+        let rows_per_shard = rows_per_shard.max(1);
+        let budget = &opts.budget;
+        let mut shards = Vec::new();
+        let mut held = Vec::new();
+        let mut stripes = 0usize;
+        let mut n_rows = 0usize;
+        let mut buf: Vec<Row> = Vec::new();
+        let mut buf_res = budget.try_reserve(0)?;
+        let flush = |buf: &mut Vec<Row>,
+                     buf_res: &mut Reservation,
+                     shards: &mut Vec<PhysicalIndex>,
+                     held: &mut Vec<Reservation>,
+                     stripes: &mut usize|
+         -> Result<()> {
+            let take: Vec<Row> = buf.drain(..rows_per_shard.min(buf.len())).collect();
+            let (ix, s) = pack_striped(&take, dtypes, 0, kind, opts)?;
+            *stripes += s;
+            held.push(budget.try_reserve(ix.size_bytes())?);
+            shards.push(ix);
+            drop(take);
+            // Re-meter the (now smaller) raw buffer.
+            *buf_res = budget.try_reserve(rows_footprint(buf))?;
+            Ok(())
+        };
+        for chunk in chunks {
+            for r in &chunk {
+                if r.arity() != dtypes.len() {
+                    return Err(CadbError::Schema(format!(
+                        "chunk row arity {} != table arity {}",
+                        r.arity(),
+                        dtypes.len()
+                    )));
+                }
+            }
+            buf_res.grow(rows_footprint(&chunk))?;
+            n_rows += chunk.len();
+            buf.extend(chunk);
+            while buf.len() >= rows_per_shard {
+                flush(&mut buf, &mut buf_res, &mut shards, &mut held, &mut stripes)?;
+            }
+        }
+        if !buf.is_empty() {
+            flush(&mut buf, &mut buf_res, &mut shards, &mut held, &mut stripes)?;
+        }
+        let stats = BuildStats {
+            shards: shards.len(),
+            stripes,
+            rows: n_rows,
+            peak_bytes: budget.peak_bytes(),
+        };
+        Ok(ShardedTable {
+            shards,
+            dtypes: dtypes.to_vec(),
+            n_rows,
+            stats,
+            _held: held,
+        })
+    }
+
+    /// Total rows across shards.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of heap shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's physical structure.
+    pub fn shard(&self, s: usize) -> &PhysicalIndex {
+        &self.shards[s]
+    }
+
+    /// Stored column types.
+    pub fn dtypes(&self) -> &[DataType] {
+        &self.dtypes
+    }
+
+    /// Encoded bytes across all shards.
+    pub fn size_bytes(&self) -> usize {
+        self.shards.iter().map(PhysicalIndex::size_bytes).sum()
+    }
+
+    /// Counters of the ingestion build.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Scan all shards (each decoded on the worker pool) and concatenate in
+    /// shard order — the original ingestion order, for every
+    /// [`Parallelism`] mode.
+    pub fn scan(&self, par: Parallelism) -> Result<Vec<Row>> {
+        let parts: Vec<Vec<Row>> = try_par_map(par, &self.shards, |_, shard| {
+            scan_leaves_parallel(shard, Parallelism::Serial)
+        })?;
+        let mut out = Vec::with_capacity(self.n_rows);
+        for p in parts {
+            out.extend(p);
+        }
+        Ok(out)
+    }
+}

@@ -10,6 +10,7 @@
 //! accounting, matching how a real engine's non-leaf levels add a small
 //! (<1 %) overhead on top of the leaf level.
 
+use cadb_common::par::{try_par_map, Parallelism};
 use cadb_common::{CadbError, ColumnId, DataType, Result, Row, Value};
 use cadb_compression::analyze::{build_dictionaries, pack_pages, PAGE_SIZE};
 use cadb_compression::page::{decode_page, EncodedPage, PageContext};
@@ -117,6 +118,160 @@ impl PhysicalIndex {
             patched_rows: 0,
             leaves,
         })
+    }
+
+    /// Encode one **stripe** of a striped bulk build: pack a contiguous,
+    /// key-sorted slice of the global row stream into leaf pages. Pure and
+    /// `Sync`-friendly, so stripes encode on a worker pool. For
+    /// [`CompressionKind::GlobalDict`] the caller passes dictionaries built
+    /// over the **whole** input (see [`Self::build_striped`]) so codes are
+    /// identical no matter how the stream is striped.
+    ///
+    /// Page boundaries restart at each stripe, so the resulting index is a
+    /// pure function of the stripe grid — independent of how many workers
+    /// encode it or how the input was sharded, as long as stripe boundaries
+    /// land on the same global row offsets.
+    pub fn encode_stripe(
+        rows: &[Row],
+        dtypes: &[DataType],
+        n_key_cols: usize,
+        kind: CompressionKind,
+        dicts: Option<&[GlobalDictionary]>,
+    ) -> Result<StripePages> {
+        if n_key_cols > dtypes.len() {
+            return Err(CadbError::InvalidArgument(format!(
+                "{n_key_cols} key columns but only {} stored columns",
+                dtypes.len()
+            )));
+        }
+        if kind == CompressionKind::GlobalDict && dicts.is_none() {
+            return Err(CadbError::InvalidArgument(
+                "GlobalDict stripe encode requires whole-input dictionaries".into(),
+            ));
+        }
+        let key_cols: Vec<ColumnId> = (0..n_key_cols as u16).map(ColumnId).collect();
+        for w in rows.windows(2) {
+            if w[0].key_cmp(&w[1], &key_cols) == Ordering::Greater {
+                return Err(CadbError::InvalidArgument(
+                    "stripe encode requires key-sorted input".into(),
+                ));
+            }
+        }
+        let ctx = PageContext {
+            dtypes,
+            kind,
+            global_dicts: dicts,
+        };
+        let leaves = pack_pages(rows, &ctx)?;
+        let mut low_keys = Vec::with_capacity(leaves.len());
+        let mut off = 0usize;
+        for leaf in &leaves {
+            if leaf.n_rows > 0 {
+                low_keys.push(rows[off].project(&key_cols));
+            } else {
+                low_keys.push(Row::new(vec![]));
+            }
+            off += leaf.n_rows;
+        }
+        Ok(StripePages {
+            first_key: rows.first().map(|r| r.project(&key_cols)),
+            last_key: rows.last().map(|r| r.project(&key_cols)),
+            n_rows: rows.len(),
+            leaves,
+            low_keys,
+        })
+    }
+
+    /// Assemble an index from stripes encoded by [`Self::encode_stripe`],
+    /// in global key order. Validates that consecutive stripes do not
+    /// overlap in key space (which, combined with the per-stripe sort
+    /// check, re-establishes the whole-input sortedness [`Self::build`]
+    /// enforces), then concatenates leaves and stacks internal levels
+    /// exactly as the monolithic build does.
+    pub fn from_stripes(
+        stripes: Vec<StripePages>,
+        dtypes: &[DataType],
+        n_key_cols: usize,
+        kind: CompressionKind,
+        dicts: Option<Vec<GlobalDictionary>>,
+    ) -> Result<Self> {
+        let key_cols: Vec<ColumnId> = (0..n_key_cols as u16).map(ColumnId).collect();
+        let mut prev_last: Option<&Row> = None;
+        for s in &stripes {
+            if let (Some(prev), Some(first)) = (prev_last, s.first_key.as_ref()) {
+                if prev.key_cmp(first, &key_cols) == Ordering::Greater {
+                    return Err(CadbError::InvalidArgument(
+                        "stripes are not in global key order".into(),
+                    ));
+                }
+            }
+            if s.last_key.is_some() {
+                prev_last = s.last_key.as_ref();
+            }
+        }
+        let mut leaves = Vec::with_capacity(stripes.iter().map(|s| s.leaves.len()).sum());
+        let mut leaf_low_keys = Vec::with_capacity(leaves.capacity());
+        let mut n_rows = 0usize;
+        for s in stripes {
+            n_rows += s.n_rows;
+            leaves.extend(s.leaves);
+            leaf_low_keys.extend(s.low_keys);
+        }
+        let mut internal_pages = 0usize;
+        let mut level = leaves.len();
+        while level > 1 {
+            level = level.div_ceil(INTERNAL_FANOUT);
+            internal_pages += level;
+        }
+        let dict_bytes: usize = dicts
+            .as_deref()
+            .map(|ds| ds.iter().map(GlobalDictionary::storage_bytes).sum())
+            .unwrap_or(0);
+        let leaf_bytes: usize = leaves.iter().map(|p| p.bytes.len()).sum();
+        let uncompressed: usize = leaves.iter().map(|p| p.uncompressed_bytes).sum();
+        Ok(PhysicalIndex {
+            dtypes: dtypes.to_vec(),
+            n_key_cols,
+            kind,
+            leaf_low_keys,
+            internal_pages,
+            dicts,
+            n_rows,
+            compressed_bytes: leaf_bytes + dict_bytes + internal_pages * PAGE_SIZE,
+            uncompressed_bytes: uncompressed,
+            patched_rows: 0,
+            leaves,
+        })
+    }
+
+    /// Striped bulk build: cut the sorted input into `stripe_rows`-row
+    /// stripes, encode them on a worker pool, and assemble. With a single
+    /// stripe (`stripe_rows >= rows.len()`) the result is **byte-identical**
+    /// to [`Self::build`]; with any fixed stripe size the result is a pure
+    /// function of `(rows, stripe_rows)` — identical for every
+    /// [`Parallelism`] mode and for every upstream sharding whose shard
+    /// boundaries align to the stripe grid.
+    pub fn build_striped(
+        rows: &[Row],
+        dtypes: &[DataType],
+        n_key_cols: usize,
+        kind: CompressionKind,
+        stripe_rows: usize,
+        par: Parallelism,
+    ) -> Result<Self> {
+        // Dictionaries are built over the whole input first — the same
+        // first-seen interning order as the monolithic build — so stripe
+        // encodes agree on every code no matter the grid.
+        let dicts = if kind == CompressionKind::GlobalDict {
+            Some(build_dictionaries(rows, dtypes))
+        } else {
+            None
+        };
+        let chunks: Vec<&[Row]> = rows.chunks(stripe_rows.max(1)).collect();
+        let stripes = try_par_map(par, &chunks, |_, chunk| {
+            Self::encode_stripe(chunk, dtypes, n_key_cols, kind, dicts.as_deref())
+        })?;
+        Self::from_stripes(stripes, dtypes, n_key_cols, kind, dicts)
     }
 
     /// Compression method of this index.
@@ -485,6 +640,38 @@ impl PhysicalIndex {
     }
 }
 
+/// Leaf pages of one stripe of a striped bulk build — the unit of parallel
+/// work produced by [`PhysicalIndex::encode_stripe`] and consumed by
+/// [`PhysicalIndex::from_stripes`].
+#[derive(Debug, Clone)]
+pub struct StripePages {
+    leaves: Vec<EncodedPage>,
+    low_keys: Vec<Row>,
+    n_rows: usize,
+    /// Key projection of the stripe's first / last row (None when empty),
+    /// used to validate global key order when stripes are assembled.
+    first_key: Option<Row>,
+    last_key: Option<Row>,
+}
+
+impl StripePages {
+    /// Rows encoded into this stripe.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Leaf pages in this stripe.
+    pub fn n_pages(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Encoded payload bytes of this stripe's leaves — what a memory
+    /// budget charges for holding the stripe resident.
+    pub fn encoded_bytes(&self) -> usize {
+        self.leaves.iter().map(|p| p.bytes.len()).sum()
+    }
+}
+
 /// Borrowed view of one encoded leaf page, yielded by
 /// [`PhysicalIndex::page_cursor`].
 #[derive(Debug, Clone, Copy)]
@@ -798,6 +985,129 @@ mod tests {
             PhysicalIndex::build(&sorted_rows(10), &dtypes(), 1, CompressionKind::None).unwrap();
         let bad = vec![Row::new(vec![Value::Int(1)])];
         assert!(ix.append_rows(&bad).is_err());
+    }
+
+    fn assert_bit_identical(a: &PhysicalIndex, b: &PhysicalIndex, what: &str) {
+        assert_eq!(a.n_leaf_pages(), b.n_leaf_pages(), "{what}: leaf count");
+        for i in 0..a.n_leaf_pages() {
+            assert_eq!(a.leaf_bytes(i), b.leaf_bytes(i), "{what}: leaf {i}");
+        }
+        assert_eq!(a.size_bytes(), b.size_bytes(), "{what}: size");
+        assert_eq!(
+            a.uncompressed_bytes(),
+            b.uncompressed_bytes(),
+            "{what}: uncompressed"
+        );
+        assert_eq!(a.n_rows(), b.n_rows(), "{what}: rows");
+    }
+
+    #[test]
+    fn single_stripe_build_is_bit_identical_to_monolithic() {
+        let rows = sorted_rows(3000);
+        for kind in [
+            CompressionKind::None,
+            CompressionKind::Page,
+            CompressionKind::GlobalDict,
+            CompressionKind::Rle,
+        ] {
+            let mono = PhysicalIndex::build(&rows, &dtypes(), 1, kind).unwrap();
+            let striped = PhysicalIndex::build_striped(
+                &rows,
+                &dtypes(),
+                1,
+                kind,
+                usize::MAX,
+                Parallelism::Serial,
+            )
+            .unwrap();
+            assert_bit_identical(&mono, &striped, &format!("{kind}"));
+            assert_eq!(striped.scan().unwrap(), rows, "{kind}");
+        }
+    }
+
+    #[test]
+    fn striped_build_is_parallelism_invariant() {
+        let rows = sorted_rows(5000);
+        for kind in [CompressionKind::Page, CompressionKind::GlobalDict] {
+            let serial =
+                PhysicalIndex::build_striped(&rows, &dtypes(), 1, kind, 512, Parallelism::Serial)
+                    .unwrap();
+            for par in [Parallelism::Auto, Parallelism::Threads(4)] {
+                let p = PhysicalIndex::build_striped(&rows, &dtypes(), 1, kind, 512, par).unwrap();
+                assert_bit_identical(&serial, &p, &format!("{kind}/{par:?}"));
+            }
+            assert_eq!(serial.scan().unwrap(), rows, "{kind}");
+            // A striped index still seeks correctly.
+            let hits = serial.seek(&[Value::Int(100)]).unwrap();
+            assert_eq!(hits.len(), 4, "{kind}");
+        }
+    }
+
+    #[test]
+    fn stripes_assemble_manually() {
+        let rows = sorted_rows(2000);
+        let dt = dtypes();
+        let halves: Vec<&[Row]> = rows.chunks(1000).collect();
+        let stripes: Vec<StripePages> = halves
+            .iter()
+            .map(|c| PhysicalIndex::encode_stripe(c, &dt, 1, CompressionKind::Page, None).unwrap())
+            .collect();
+        assert!(stripes[0].n_pages() > 0);
+        assert_eq!(stripes[0].n_rows() + stripes[1].n_rows(), 2000);
+        assert!(stripes[0].encoded_bytes() > 0);
+        let ix = PhysicalIndex::from_stripes(stripes, &dt, 1, CompressionKind::Page, None).unwrap();
+        assert_eq!(ix.scan().unwrap(), rows);
+        let direct = PhysicalIndex::build_striped(
+            &rows,
+            &dt,
+            1,
+            CompressionKind::Page,
+            1000,
+            Parallelism::Serial,
+        )
+        .unwrap();
+        assert_bit_identical(&ix, &direct, "manual assembly");
+    }
+
+    #[test]
+    fn out_of_order_stripes_rejected() {
+        let rows = sorted_rows(2000);
+        let dt = dtypes();
+        let lo = PhysicalIndex::encode_stripe(&rows[..1000], &dt, 1, CompressionKind::None, None)
+            .unwrap();
+        let hi = PhysicalIndex::encode_stripe(&rows[1000..], &dt, 1, CompressionKind::None, None)
+            .unwrap();
+        assert!(
+            PhysicalIndex::from_stripes(vec![hi, lo], &dt, 1, CompressionKind::None, None).is_err()
+        );
+        // Unsorted rows inside a stripe are rejected too.
+        let mut bad = rows[..100].to_vec();
+        bad.swap(0, 99);
+        assert!(PhysicalIndex::encode_stripe(&bad, &dt, 1, CompressionKind::None, None).is_err());
+        // GlobalDict stripes need whole-input dictionaries.
+        assert!(PhysicalIndex::encode_stripe(
+            &rows[..100],
+            &dt,
+            1,
+            CompressionKind::GlobalDict,
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_striped_build() {
+        let ix = PhysicalIndex::build_striped(
+            &[],
+            &dtypes(),
+            1,
+            CompressionKind::Page,
+            4096,
+            Parallelism::Auto,
+        )
+        .unwrap();
+        assert_eq!(ix.n_rows(), 0);
+        assert!(ix.scan().unwrap().is_empty());
     }
 
     #[test]

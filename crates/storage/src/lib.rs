@@ -14,7 +14,7 @@ pub mod heap;
 pub mod table;
 pub mod wal;
 
-pub use btree::{LeafPage, PageCursor, PhysicalIndex};
+pub use btree::{LeafPage, PageCursor, PhysicalIndex, StripePages};
 pub use heap::Heap;
 pub use table::Table;
 pub use wal::{FrameType, WalFrame, WalReplay, WalSegment};

@@ -217,6 +217,75 @@
 //!     store.state_digest().unwrap()
 //! );
 //! ```
+//!
+//! ## How data flows out-of-core
+//!
+//! Everything above holds whole tables in memory. At real scale
+//! (`repro -- all --scale 1`) the [`shard`] crate threads a chunked,
+//! budgeted data path through the same stack without changing a single
+//! byte of what gets built:
+//!
+//! 1. **Stream.** [`datagen::TableStream`] generates rows in fixed
+//!    4096-row grid cells; each cell's RNG is seeded from
+//!    `(seed, table, global row range)`, so any shard split of a table
+//!    ([`datagen::shard_ranges`]) yields byte-identical rows in parallel.
+//! 2. **Ingest.** [`shard::ShardedTable::from_chunks`] flushes the stream
+//!    into compressed heap shards, buffering at most one shard of raw rows;
+//!    a [`common::MemoryBudget`] meters every working set and fails loudly
+//!    past its hard limit instead of thrashing.
+//! 3. **Build.** [`shard::ShardedIndex`] partitions (hash or range), sorts
+//!    per shard on workers, k-way merges under one total order, and packs
+//!    leaves on a fixed stripe grid — so the built bytes never depend on
+//!    the shard count, the partitioning policy, or the
+//!    [`engine::Parallelism`] mode.
+//! 4. **Measure.** `MaterializedConfig::build_with` routes the actuals
+//!    harness through the same path; the peak metered bytes surface in
+//!    [`exec::MeasuredReport::build_peak_bytes`] (and `repro
+//!    --mem-budget` caps them).
+//!
+//! ```
+//! use cadb::common::{MemoryBudget, Parallelism};
+//! use cadb::compression::CompressionKind;
+//! use cadb::datagen::TpchGen;
+//! use cadb::shard::{BuildOptions, ShardSpec, ShardedIndex, ShardedTable};
+//!
+//! let gen = TpchGen::new(0.02);
+//! let db = gen.build().unwrap();
+//! let dtypes = db.dtypes(db.table_id("lineitem").unwrap());
+//!
+//! // Chunked generation -> sharded ingestion, metered end to end.
+//! let budget = MemoryBudget::unlimited();
+//! let table = ShardedTable::from_chunks(
+//!     &dtypes,
+//!     CompressionKind::Page,
+//!     512,
+//!     gen.stream_table("lineitem").unwrap().map(|c| c.rows),
+//!     &BuildOptions::default().with_budget(budget.clone()),
+//! )
+//! .unwrap();
+//! assert_eq!(table.n_rows() as u64, gen.stream_row_count("lineitem").unwrap());
+//! assert!(budget.peak_bytes() > 0); // the run's memory story, measured
+//!
+//! // Sharded builds are an execution strategy, not a layout: any shard
+//! // count produces the same physical bytes.
+//! let rows = table.scan(Parallelism::Auto).unwrap();
+//! let one = ShardedIndex::build(
+//!     &rows, &dtypes, 1, CompressionKind::Page,
+//!     ShardSpec::range(1), &BuildOptions::default(),
+//! )
+//! .unwrap();
+//! let eight = ShardedIndex::build(
+//!     &rows, &dtypes, 1, CompressionKind::Page,
+//!     ShardSpec::hash(8), &BuildOptions::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(one.index().size_bytes(), eight.index().size_bytes());
+//! assert_eq!(one.index().n_leaf_pages(), eight.index().n_leaf_pages());
+//! assert_eq!(
+//!     one.scan(Parallelism::Auto).unwrap(),
+//!     eight.scan(Parallelism::Serial).unwrap()
+//! );
+//! ```
 
 mod session;
 
@@ -227,6 +296,7 @@ pub use cadb_datagen as datagen;
 pub use cadb_engine as engine;
 pub use cadb_exec as exec;
 pub use cadb_sampling as sampling;
+pub use cadb_shard as shard;
 pub use cadb_sql as sql;
 pub use cadb_stats as stats;
 pub use cadb_storage as storage;

@@ -23,11 +23,12 @@ use std::path::{Path, PathBuf};
 
 /// Library roots the facade exposes (shims and the bench harness are
 /// internal and deliberately excluded).
-const ROOTS: [&str; 11] = [
+const ROOTS: [&str; 12] = [
     "src",
     "crates/common/src",
     "crates/compression/src",
     "crates/storage/src",
+    "crates/shard/src",
     "crates/stats/src",
     "crates/sql/src",
     "crates/engine/src",
