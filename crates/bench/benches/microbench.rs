@@ -175,6 +175,64 @@ fn bench_planned_scan(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    use cadb_common::obs::{self, TraceRecorder};
+    use std::sync::Arc;
+
+    // Cost of the observability layer on the hottest instrumented path,
+    // the compressed filtered scan (spans scan.filter + one ExecStats
+    // publish per call):
+    //  * `noop`      — no recorder installed; every instrumentation point
+    //                  is one predicted branch. Must stay within 2% of
+    //                  historical compressed_scan numbers — this is the
+    //                  price every user pays.
+    //  * `recording` — a TraceRecorder installed; spans and counters land
+    //                  in mutex-guarded tables. Allowed to cost more; it
+    //                  only runs when a trace was asked for.
+    let db = cadb_datagen::TpchGen::new(0.05).build().unwrap();
+    let t = db.table_id("lineitem").unwrap();
+    let spec = cadb_engine::IndexSpec::clustered(t, vec![cadb_common::ColumnId(0)]);
+    let (rows, dtypes, n_key) =
+        cadb_sampling::index_rows::index_row_stream(&db, &spec, db.table(t).rows()).unwrap();
+    let preds = vec![BoundPredicate {
+        col: 8,
+        pred: cadb_engine::Predicate::eq(
+            t,
+            cadb_common::ColumnId(8),
+            cadb_common::Value::Str("R".into()),
+        ),
+    }];
+    let ix = PhysicalIndex::build(&rows, &dtypes, n_key, CompressionKind::Page).unwrap();
+    let scan = |ix: &PhysicalIndex| {
+        scan_filter(
+            black_box(ix),
+            &preds,
+            Parallelism::Serial,
+            ExecMode::Compressed,
+        )
+        .unwrap()
+    };
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_with_input(BenchmarkId::new("compressed_scan", "noop"), &ix, |b, ix| {
+        assert!(!obs::recording());
+        b.iter(|| scan(ix))
+    });
+    {
+        let rec = Arc::new(TraceRecorder::new());
+        let _guard = obs::install(rec);
+        group.bench_with_input(
+            BenchmarkId::new("compressed_scan", "recording"),
+            &ix,
+            |b, ix| {
+                assert!(obs::recording());
+                b.iter(|| scan(ix))
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_samplecf(c: &mut Criterion) {
     let db = cadb_datagen::TpchGen::new(0.1).build().unwrap();
     let t = db.table_id("lineitem").unwrap();
@@ -424,6 +482,7 @@ criterion_group!(
     bench_page_codec,
     bench_compressed_scan,
     bench_planned_scan,
+    bench_obs_overhead,
     bench_samplecf,
     bench_samplecf_batch,
     bench_greedy_search,

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [experiment] [--scale S] [--json] [--mem-budget MiB]
+//! repro [experiment] [--scale S] [--json] [--mem-budget MiB] [--trace FILE]
 //!
 //! experiments:
 //!   table1    MV row-count estimation errors (App. B.3)
@@ -31,15 +31,22 @@
 //!   shard     out-of-core sharded data path: stream-generate tables in
 //!             chunks, build partitioned structures under the memory
 //!             budget, verify shard-count invariance, report peak bytes
+//!   obs       traced advise → execute → serve pass (span tree + metrics)
+//!             plus the store's group-commit latency/throughput curve
+//!             across batch sizes (machine-readable with --json)
 //!   all       everything above (default)
 //!
 //! --json    emit machine-readable reports (Recommendation +
 //!           SizeEstimationReport / MeasuredReport JSON) for the
-//!           experiments that produce them (currently: advise, exec)
+//!           experiments that produce them (currently: advise, exec,
+//!           plan, serve, obs)
 //! --mem-budget MiB
 //!           run materializations through the striped out-of-core build
 //!           path under a hard memory cap (default: unlimited, metering
 //!           only); exceeded budgets fail loudly instead of thrashing
+//! --trace FILE
+//!           record the whole run under a TraceRecorder and write the
+//!           span-tree + metrics JSON (TraceReport::to_json) to FILE
 //! ```
 
 use cadb_bench::experiments::designs::{
@@ -47,8 +54,9 @@ use cadb_bench::experiments::designs::{
 };
 use cadb_bench::experiments::{
     advise, calibration, estimation_runtime, exec_actuals, graph_quality, motivating, mv_rows,
-    par_speedup, plan, serve, shard_path,
+    obs as obs_exp, par_speedup, plan, serve, shard_path,
 };
+use cadb_common::obs;
 use cadb_core::FeatureSet;
 use std::time::Instant;
 
@@ -58,6 +66,7 @@ fn main() {
     let mut scale = 0.2f64;
     let mut json = false;
     let mut mem_budget_mib: Option<usize> = None;
+    let mut trace_file: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -84,6 +93,13 @@ fn main() {
                 ));
                 i += 2;
             }
+            "--trace" => {
+                trace_file = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace needs an output file path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             other => {
                 which = other.to_string();
                 i += 1;
@@ -91,7 +107,24 @@ fn main() {
         }
     }
     let t0 = Instant::now();
-    run(&which, scale, json, mem_budget_mib);
+    match trace_file {
+        Some(path) => {
+            // Trace the whole run: every experiment's spans/metrics land in
+            // one report. Recording is observational only — the printed
+            // tables are bit-identical to an untraced run.
+            let ((), report) = obs::record(|| run(&which, scale, json, mem_budget_mib));
+            std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+                eprintln!("--trace: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "[trace: {} root spans, {} metrics -> {path}]",
+                report.roots.len(),
+                report.metric_count()
+            );
+        }
+        None => run(&which, scale, json, mem_budget_mib),
+    }
     eprintln!("[repro {which}: {:.1}s]", t0.elapsed().as_secs_f64());
 }
 
@@ -292,10 +325,12 @@ fn run(which: &str, scale: f64, json: bool, mem_budget_mib: Option<usize>) {
             let (mt, _, _, _) =
                 exec_actuals::maintenance_feedback(&db, &w, &rec_h.configuration, &report_h);
             println!("{}", mt.render());
+            #[allow(deprecated)]
+            let (peak_h, peak_ds) = (report_h.build_peak_bytes, report_ds.build_peak_bytes);
             println!(
                 "exec: build peak memory {:.1} MiB (TPC-H) / {:.1} MiB (TPC-DS){}",
-                report_h.build_peak_bytes as f64 / (1 << 20) as f64,
-                report_ds.build_peak_bytes as f64 / (1 << 20) as f64,
+                peak_h as f64 / (1 << 20) as f64,
+                peak_ds as f64 / (1 << 20) as f64,
                 match mem_budget_mib {
                     Some(mib) => format!(", hard budget {mib} MiB"),
                     None => ", unbudgeted".to_string(),
@@ -360,6 +395,18 @@ fn run(which: &str, scale: f64, json: bool, mem_budget_mib: Option<usize>) {
             shard_path::shard_table(scale, mem_budget_mib).render()
         );
     }
+    if all || which == "obs" {
+        let (db, w) = tpch(scale);
+        if json {
+            println!("{}", obs_exp::obs_json(&db, &w, scale));
+        } else {
+            let trace = obs_exp::traced_pipeline(&db, &w);
+            println!("obs: traced advise -> execute -> serve (TPC-H)");
+            println!("{}", trace.render());
+            let points = obs_exp::wal_batch_curve(&db, &plan::dtac_config(&db, &w));
+            println!("{}", obs_exp::wal_batch_table("TPC-H", &points).render());
+        }
+    }
     let known = [
         "all",
         "table1",
@@ -381,6 +428,7 @@ fn run(which: &str, scale: f64, json: bool, mem_budget_mib: Option<usize>) {
         "plan",
         "serve",
         "shard",
+        "obs",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment '{which}'; one of: {}", known.join(", "));

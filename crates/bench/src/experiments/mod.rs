@@ -8,6 +8,7 @@ pub mod exec_actuals;
 pub mod graph_quality;
 pub mod motivating;
 pub mod mv_rows;
+pub mod obs;
 pub mod par_speedup;
 pub mod plan;
 pub mod serve;

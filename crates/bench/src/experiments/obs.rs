@@ -1,0 +1,283 @@
+//! `obs` — the observability experiment: run one traced
+//! advise → plan → execute → serve pass and print the recorded span tree
+//! and metrics, then sweep the store's group-commit batch size to surface
+//! the WAL batching latency/throughput curve from the recorded
+//! `store.group_commit_ns` histograms.
+//!
+//! Two things are demonstrated here. First, coverage: a single
+//! [`cadb_common::obs::TraceRecorder`] installed around the whole pipeline
+//! sees spans from every subsystem (advisor, sampling, what-if, planner,
+//! executor, shard builds, store) without any layer knowing a trace is on.
+//! Second, neutrality: recording never changes results — the sweep asserts
+//! the store's state digest is bit-identical across every batch size and
+//! parallelism mode, traced or not (the same contract
+//! `tests/obs_equivalence.rs` pins for the read side).
+
+use crate::report::Table;
+use cadb_common::json::{JsonArray, JsonObject};
+use cadb_common::obs::{self, HistogramSummary, TraceRecorder, TraceReport};
+use cadb_common::Parallelism;
+use cadb_core::{Advisor, AdvisorOptions};
+use cadb_engine::{BulkInsert, Configuration, CostModel, Database, Statement, Workload};
+use cadb_exec::{MaterializedConfig, MeasuredRun, Store};
+use std::sync::Arc;
+use std::time::Instant;
+
+use super::plan::dtac_config;
+
+/// Seed for the synthetic rows write statements commit (same value the
+/// `serve` experiment uses, so measured write work is comparable).
+const OBS_SEED: u64 = 0xCADB;
+
+/// Group-commit batch sizes the latency/throughput sweep visits.
+pub const WAL_BATCH_SIZES: [usize; 4] = [1, 4, 16, 64];
+
+/// Statements in the synthetic write burst each sweep cell commits.
+pub const WAL_BURST_STATEMENTS: usize = 128;
+
+/// Rows each burst statement inserts.
+pub const WAL_BURST_ROWS: u64 = 25;
+
+/// The write workload the group-commit sweep commits:
+/// [`WAL_BURST_STATEMENTS`] prepared INSERTs of [`WAL_BURST_ROWS`] rows
+/// each into the database's largest table. The benchmark workload's own
+/// writes are too few to differentiate batch sizes (TPC-H carries a
+/// handful of statements), so the sweep uses a burst of identical commits
+/// — every batch size then produces its full complement of sync points
+/// and the latency histograms have real mass.
+pub fn write_burst(db: &Database) -> Workload {
+    let table = db
+        .table_ids()
+        .into_iter()
+        .max_by_key(|&t| db.table(t).n_rows())
+        .expect("non-empty database");
+    let mut w = Workload::default();
+    for _ in 0..WAL_BURST_STATEMENTS {
+        w.push(
+            Statement::Insert(BulkInsert {
+                table,
+                n_rows: WAL_BURST_ROWS,
+            }),
+            1.0,
+        );
+    }
+    w
+}
+
+/// Run one full traced pipeline — DTAc advise, materialize + execute the
+/// recommendation, then serve the workload's writes through the WAL'd
+/// store with a checkpoint — and return the recorded trace.
+pub fn traced_pipeline(db: &Database, w: &Workload) -> TraceReport {
+    let budget = 0.3 * db.base_data_bytes() as f64;
+    let ((), trace) = obs::record(|| {
+        let rec = Advisor::new(db, AdvisorOptions::dtac(budget))
+            .recommend(w)
+            .expect("advise");
+        let report = MeasuredRun::new(db, w)
+            .execute(&rec.configuration)
+            .expect("execute recommendation");
+        assert!(report.all_queries_verified(), "executor must verify");
+        if w.has_writes() {
+            let mat = MaterializedConfig::build(db, &rec.configuration).expect("materialize");
+            let store = Store::open(db, &mat, CostModel::default());
+            store
+                .apply_workload_batched(w, OBS_SEED, Parallelism::Auto, 4)
+                .expect("serve writes");
+            store.checkpoint().expect("checkpoint");
+        }
+    });
+    trace
+}
+
+/// One cell of the group-commit sweep: a batch size × parallelism mode,
+/// with the recorded per-batch commit latency and derived throughput.
+#[derive(Debug, Clone)]
+pub struct WalBatchPoint {
+    /// Statements per group commit.
+    pub batch: usize,
+    /// Worker-pool mode the statements prepared under.
+    pub par: &'static str,
+    /// Statements committed.
+    pub commits: u64,
+    /// Group-commit batches (sync points) the run needed.
+    pub batches: u64,
+    /// Wall-clock of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Committed statements per second.
+    pub commits_per_sec: f64,
+    /// Recorded `store.group_commit_ns` distribution (one sample per
+    /// batch: latency from first prepare to post-apply).
+    pub latency: HistogramSummary,
+    /// Order-insensitive digest of the committed state — must be equal in
+    /// every cell, or batching/recording changed results.
+    pub state_digest: u64,
+}
+
+/// Sweep group-commit batch sizes × parallelism over a [`write_burst`],
+/// reading latency from the installed recorder's histograms. Panics if
+/// any cell's committed state diverges — the sweep doubles as a
+/// determinism check.
+pub fn wal_batch_curve(db: &Database, cfg: &Configuration) -> Vec<WalBatchPoint> {
+    let w = write_burst(db);
+    let w = &w;
+    let mat = MaterializedConfig::build(db, cfg).expect("materialize config");
+    let mut out = Vec::new();
+    for (par_name, par) in [("serial", Parallelism::Serial), ("auto", Parallelism::Auto)] {
+        for batch in WAL_BATCH_SIZES {
+            let rec = Arc::new(TraceRecorder::new());
+            let store = Store::open(db, &mat, CostModel::default());
+            let guard = obs::install(rec.clone());
+            let t0 = Instant::now();
+            store
+                .apply_workload_batched(w, OBS_SEED, par, batch)
+                .expect("serve writes");
+            let wall = t0.elapsed();
+            drop(guard);
+            let report = rec.report();
+            let commits = report.counter("store.commits").unwrap_or(0);
+            let batches = report.counter("store.commit_batches").unwrap_or(0);
+            let latency = rec
+                .histogram("store.group_commit_ns")
+                .expect("group-commit latency recorded");
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            out.push(WalBatchPoint {
+                batch,
+                par: par_name,
+                commits,
+                batches,
+                wall_ms,
+                commits_per_sec: commits as f64 / wall.as_secs_f64().max(1e-9),
+                latency,
+                state_digest: store.state_digest().expect("state digest"),
+            });
+        }
+    }
+    let d0 = out[0].state_digest;
+    assert!(
+        out.iter().all(|p| p.state_digest == d0),
+        "group-commit batching or recording changed the committed state"
+    );
+    out
+}
+
+/// The latency/throughput table of one sweep.
+pub fn wal_batch_table(name: &str, points: &[WalBatchPoint]) -> Table {
+    let mut t = Table::new(
+        format!("obs: {name} group-commit latency/throughput vs batch size"),
+        &[
+            "batch",
+            "par",
+            "commits",
+            "syncs",
+            "wall ms",
+            "commits/s",
+            "p50 µs",
+            "p95 µs",
+            "p99 µs",
+            "max µs",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{}", p.batch),
+            p.par.to_string(),
+            format!("{}", p.commits),
+            format!("{}", p.batches),
+            format!("{:.1}", p.wall_ms),
+            format!("{:.0}", p.commits_per_sec),
+            format!("{:.1}", p.latency.p50 / 1e3),
+            format!("{:.1}", p.latency.p95 / 1e3),
+            format!("{:.1}", p.latency.p99 / 1e3),
+            format!("{:.1}", p.latency.max as f64 / 1e3),
+        ]);
+    }
+    t.row(vec![
+        format!(
+            "state digest identical across all {} cells: {:#x}",
+            points.len(),
+            points.first().map(|p| p.state_digest).unwrap_or(0)
+        ),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+/// Machine-readable form of the obs experiment: the full trace JSON plus
+/// the group-commit sweep.
+pub fn obs_json(db: &Database, w: &Workload, scale: f64) -> String {
+    let trace = traced_pipeline(db, w);
+    let points = wal_batch_curve(db, &dtac_config(db, w));
+    let mut curve = JsonArray::new();
+    for p in &points {
+        curve.push_raw(
+            &JsonObject::new()
+                .int("batch", p.batch as i64)
+                .str("parallelism", p.par)
+                .int("commits", p.commits as i64)
+                .int("sync_points", p.batches as i64)
+                .num("wall_ms", p.wall_ms)
+                .num("commits_per_sec", p.commits_per_sec)
+                .raw("group_commit_ns", &p.latency.to_json())
+                .finish(),
+        );
+    }
+    JsonObject::new()
+        .str("experiment", "obs")
+        .num("scale", scale)
+        .raw("trace", &trace.to_json())
+        .raw("wal_batch", &curve.finish())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_pipeline_covers_subsystems_and_sweep_is_deterministic() {
+        let gen = cadb_datagen::TpchGen::new(0.01);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        let trace = traced_pipeline(&db, &w);
+        // ≥ 5 subsystems show up in the one span tree…
+        for name in [
+            "advise",
+            "sampling.samplecf_batch",
+            "whatif.batch",
+            "planner.plan_query",
+            "shard.build_presorted",
+            "store.commit_batch",
+        ] {
+            assert!(trace.find_span(name).is_some(), "missing span {name}");
+        }
+        // …with ≥ 10 named metrics alongside.
+        assert!(trace.metric_count() >= 10, "{}", trace.metric_count());
+        assert!(trace.counter("store.commits").unwrap_or(0) > 0);
+
+        let points = wal_batch_curve(&db, &dtac_config(&db, &w));
+        assert_eq!(points.len(), 2 * WAL_BATCH_SIZES.len());
+        for p in &points {
+            // Every cell commits the full burst, and each batch size gets
+            // its full complement of sync points.
+            assert_eq!(p.commits, WAL_BURST_STATEMENTS as u64);
+            assert_eq!(p.batches, WAL_BURST_STATEMENTS.div_ceil(p.batch) as u64);
+            assert_eq!(p.latency.count, p.batches);
+            assert!(p.latency.p50 <= p.latency.p99 + 1e-9);
+        }
+        // Bigger batches mean strictly fewer sync points.
+        assert!(points[0].batches > points[WAL_BATCH_SIZES.len() - 1].batches);
+
+        let json = obs_json(&db, &w, 0.01);
+        assert!(json.contains("\"experiment\":\"obs\""));
+        assert!(json.contains("\"wal_batch\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

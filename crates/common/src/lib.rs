@@ -15,6 +15,7 @@ pub mod bytes;
 pub mod error;
 pub mod ids;
 pub mod json;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod row;
@@ -25,6 +26,7 @@ pub mod value;
 pub use budget::{rows_footprint, MemoryBudget, Reservation};
 pub use error::{CadbError, Result};
 pub use ids::{ColumnId, IndexId, TableId};
+pub use obs::{Recorder, TraceRecorder, TraceReport};
 pub use par::{par_map, try_par_map, Parallelism};
 pub use row::Row;
 pub use schema::{ColumnDef, TableSchema};

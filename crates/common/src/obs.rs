@@ -1,0 +1,1086 @@
+//! Workspace observability: hierarchical spans, counters/gauges, and
+//! log-scale latency histograms behind a pluggable [`Recorder`].
+//!
+//! Every layer of the workspace (sampling, advisor search, what-if costing,
+//! executor scans, shard builds, the MVCC store) calls the free functions
+//! here — [`span`], [`counter_add`], [`gauge_set`], [`observe`] — at its
+//! interesting points. When no recorder is installed each call is **one
+//! relaxed atomic load and a branch**, so instrumentation can sit on hot
+//! paths. Installing a recorder (usually via [`record`]) turns the same
+//! call sites into a trace.
+//!
+//! **Recording never influences results.** The instrumentation describes
+//! computations; it must not (and cannot, by construction: no call site
+//! branches on [`recording`] to change its work) alter any produced bytes.
+//! `tests/obs_equivalence.rs` pins advisor/planner/executor/store outputs
+//! bit-identical with the recorder on and off.
+//!
+//! # Model
+//!
+//! - **Spans** nest per thread through a thread-local current-span cell;
+//!   [`crate::par::par_map`] workers adopt the caller's span so parallel
+//!   fan-outs stay under their logical parent. Durations come from the
+//!   monotonic clock ([`Instant`]); sibling spans with the same name are
+//!   merged in the final [`TraceReport`] (count / total / min / max), so a
+//!   10 000-leaf scan folds to one tree node.
+//! - **Counters** are monotonically increasing `u64`s ("scan.rows_scanned").
+//! - **Gauges** are last-write-wins `f64` snapshots ("store.wal_bytes").
+//! - **Histograms** are fixed-bucket log-scale distributions (4 sub-buckets
+//!   per power-of-two octave, ≤ 12.5 % relative error) with exact
+//!   count/sum/min/max and p50/p95/p99 readouts — see [`Histogram`].
+//!
+//! # Exclusive installation
+//!
+//! The recorder slot is global (threading a handle through every layer
+//! would contaminate dozens of signatures), so installation is exclusive:
+//! [`install`] blocks until the previous [`InstallGuard`] drops. An epoch
+//! counter ties open spans to the recorder that created them, so a guard
+//! outliving its recorder exits silently instead of corrupting a successor.
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
+
+use crate::json::{num, JsonArray, JsonObject};
+
+/// Identifier of one span within the installed recorder. `0` means "no
+/// span" (a root, or no recorder installed).
+pub type SpanId = u64;
+
+/// Sink for instrumentation events. Implementations must be cheap and
+/// thread-safe: events arrive concurrently from every worker thread.
+pub trait Recorder: Send + Sync {
+    /// A span opened: `parent` is the opener's current span (`0` for a
+    /// root), `thread` a small dense ordinal identifying the opening
+    /// thread. Returns the new span's id (`0` to decline the span).
+    fn span_enter(&self, name: &'static str, parent: SpanId, thread: u64) -> SpanId;
+    /// The span `id` closed after `dur_ns` nanoseconds on the monotonic
+    /// clock.
+    fn span_exit(&self, id: SpanId, dur_ns: u64);
+    /// Add `delta` to the counter `name`.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Set the gauge `name` to `value`.
+    fn gauge_set(&self, name: &'static str, value: f64);
+    /// Record one sample into the histogram `name`.
+    fn observe(&self, name: &'static str, value: u64);
+}
+
+/// A [`Recorder`] that drops every event. Installing it is equivalent to
+/// installing nothing except that call sites pay the (tiny) dispatch cost,
+/// which makes it the baseline for the `obs_overhead` bench and the
+/// recording-vs-no-op equivalence suite.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn span_enter(&self, _name: &'static str, _parent: SpanId, _thread: u64) -> SpanId {
+        0
+    }
+    fn span_exit(&self, _id: SpanId, _dur_ns: u64) {}
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+    fn gauge_set(&self, _name: &'static str, _value: f64) {}
+    fn observe(&self, _name: &'static str, _value: u64) {}
+}
+
+// ---------------------------------------------------------------------------
+// Global recorder slot.
+// ---------------------------------------------------------------------------
+
+/// Fast-path flag: the one branch the zero-instrumentation path costs.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// The installed recorder. Read-locked per event while recording; never
+/// touched when [`ACTIVE`] is clear.
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+/// Serializes installations so concurrent [`record`] calls (e.g. parallel
+/// tests) queue instead of interleaving their traces. Held by the
+/// *outermost* guard on a thread only; nested installs on the same thread
+/// swap the recorder instead of re-locking (see [`install`]).
+static INSTALL: Mutex<()> = Mutex::new(());
+/// Bumped on every install *and* uninstall; span guards and the
+/// thread-local current-span cell carry the epoch they were minted in, so
+/// state from a dead recorder can never leak into a live one.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+/// Dense thread ordinals for `span_enter`'s `thread` argument.
+static THREAD_SEQ: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(epoch, span)` — the opener for new spans on this thread. The
+    /// epoch tag invalidates the cell when the recorder changes.
+    static CURRENT: Cell<(u64, SpanId)> = const { Cell::new((0, 0)) };
+    /// This thread's ordinal (0 = not yet assigned).
+    static THREAD_ORD: Cell<u64> = const { Cell::new(0) };
+    /// How many [`InstallGuard`]s this thread currently holds. Non-zero
+    /// means this thread owns the [`INSTALL`] lock, so a further
+    /// [`install`] here must swap recorders rather than re-lock.
+    static INSTALL_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn thread_ord() -> u64 {
+    THREAD_ORD.with(|c| {
+        let v = c.get();
+        if v != 0 {
+            v
+        } else {
+            let v = THREAD_SEQ.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+            v
+        }
+    })
+}
+
+fn with<T>(f: impl FnOnce(&dyn Recorder) -> T) -> Option<T> {
+    if !recording() {
+        return None;
+    }
+    let g = RECORDER.read().unwrap_or_else(|e| e.into_inner());
+    g.as_deref().map(f)
+}
+
+/// Is a recorder installed? Call sites may use this to skip *event
+/// assembly* (formatting, aggregation) — never to change the computation
+/// being described.
+#[inline]
+pub fn recording() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Keeps the recorder installed; dropping it uninstalls (restoring the
+/// enclosing recorder, if this was a nested install). Returned by
+/// [`install`]. Guards are thread-bound and must drop in LIFO order.
+#[must_use = "dropping the guard uninstalls the recorder"]
+pub struct InstallGuard {
+    /// Held by the outermost guard on this thread; `None` for nested ones.
+    _lock: Option<MutexGuard<'static, ()>>,
+    /// The recorder this install displaced, restored on drop.
+    prev: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for InstallGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("InstallGuard")
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let restored = self.prev.take();
+        if restored.is_none() {
+            ACTIVE.store(false, Ordering::SeqCst);
+        }
+        *RECORDER.write().unwrap_or_else(|e| e.into_inner()) = restored;
+        EPOCH.fetch_add(1, Ordering::Relaxed);
+        INSTALL_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Install `rec` as the process-wide recorder until the returned guard
+/// drops. Blocks while another thread has a recorder installed
+/// (installation is exclusive), so concurrent recordings serialize rather
+/// than mix. On a thread that already holds a guard — e.g. a scoped
+/// [`TraceRecorder`] inside an outer [`record`] — the install nests
+/// instead: the new recorder temporarily displaces the outer one and the
+/// guard's drop restores it, so events in the nested window go to the
+/// inner recorder only.
+pub fn install(rec: Arc<dyn Recorder>) -> InstallGuard {
+    let lock = if INSTALL_DEPTH.with(Cell::get) == 0 {
+        Some(INSTALL.lock().unwrap_or_else(|e| e.into_inner()))
+    } else {
+        None
+    };
+    INSTALL_DEPTH.with(|d| d.set(d.get() + 1));
+    EPOCH.fetch_add(1, Ordering::Relaxed);
+    let prev = RECORDER
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .replace(rec);
+    ACTIVE.store(true, Ordering::SeqCst);
+    InstallGuard { _lock: lock, prev }
+}
+
+/// Run `f` with a fresh [`TraceRecorder`] installed and return its result
+/// alongside the assembled [`TraceReport`]. The recorder uninstalls before
+/// the report is built, even if `f` panics (the panic propagates).
+pub fn record<R>(f: impl FnOnce() -> R) -> (R, TraceReport) {
+    let rec = Arc::new(TraceRecorder::new());
+    let guard = install(rec.clone());
+    let out = f();
+    drop(guard);
+    (out, rec.report())
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------------------
+
+/// The span this thread would attach new spans to (`0` if none, or if the
+/// recorder changed since the cell was written).
+pub fn current_span() -> SpanId {
+    let e = EPOCH.load(Ordering::Relaxed);
+    CURRENT.with(|c| {
+        let (ce, id) = c.get();
+        if ce == e {
+            id
+        } else {
+            0
+        }
+    })
+}
+
+/// Open a span. The returned guard closes it (recording the monotonic
+/// duration) on drop; spans opened on this thread while the guard lives
+/// become its children. With no recorder installed this is one branch.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !recording() {
+        return SpanGuard {
+            id: 0,
+            prev: 0,
+            epoch: 0,
+            start: None,
+        };
+    }
+    let epoch = EPOCH.load(Ordering::Relaxed);
+    let parent = current_span();
+    let id = with(|r| r.span_enter(name, parent, thread_ord())).unwrap_or(0);
+    if id == 0 {
+        return SpanGuard {
+            id: 0,
+            prev: 0,
+            epoch: 0,
+            start: None,
+        };
+    }
+    let prev = CURRENT.with(|c| {
+        let (_, prev) = c.get();
+        c.set((epoch, id));
+        prev
+    });
+    SpanGuard {
+        id,
+        prev,
+        epoch,
+        start: Some(Instant::now()),
+    }
+}
+
+/// Closes its span on drop. Created by [`span`].
+#[must_use = "dropping the guard ends the span immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: SpanId,
+    prev: SpanId,
+    epoch: u64,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        if EPOCH.load(Ordering::Relaxed) == self.epoch {
+            CURRENT.with(|c| c.set((self.epoch, self.prev)));
+            with(|r| r.span_exit(self.id, dur_ns));
+        }
+    }
+}
+
+/// Make `parent` the current span on *this* thread until the guard drops.
+/// Worker threads (see [`crate::par::par_map`]) adopt the dispatching
+/// thread's span so spans they open nest under the logical parent.
+pub fn adopt_parent(parent: SpanId) -> ParentGuard {
+    let epoch = EPOCH.load(Ordering::Relaxed);
+    let prev = CURRENT.with(|c| {
+        let prev = c.get();
+        c.set((epoch, parent));
+        prev
+    });
+    ParentGuard { prev }
+}
+
+/// Restores the thread's previous current span on drop. Created by
+/// [`adopt_parent`].
+#[must_use = "dropping the guard restores the previous span"]
+#[derive(Debug)]
+pub struct ParentGuard {
+    prev: (u64, SpanId),
+}
+
+impl Drop for ParentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------------
+
+/// Add `delta` to the counter `name` (no-op unless recording).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if recording() {
+        with(|r| r.counter_add(name, delta));
+    }
+}
+
+/// Set the gauge `name` to `value` (no-op unless recording).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if recording() {
+        with(|r| r.gauge_set(name, value));
+    }
+}
+
+/// Record one sample into the histogram `name` (no-op unless recording).
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if recording() {
+        with(|r| r.observe(name, value));
+    }
+}
+
+/// Add every `(name, delta)` pair as a counter — the bridge the legacy
+/// stat structs' `as_metrics()` views publish through.
+#[inline]
+pub fn publish_counters(metrics: &[(&'static str, u64)]) {
+    if recording() {
+        with(|r| {
+            for &(name, delta) in metrics {
+                r.counter_add(name, delta);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+/// Number of fixed buckets: values 0–7 exact, then 4 sub-buckets per
+/// power-of-two octave up to `u64::MAX` (octaves 3..=63).
+pub const HISTOGRAM_BUCKETS: usize = 4 + 61 * 4 + 4;
+
+/// Fixed-bucket log-scale histogram.
+///
+/// Values 0–7 land in exact unit buckets; above that each power-of-two
+/// octave splits into 4 sub-buckets, bounding the relative quantile error
+/// at 12.5 % (half a sub-bucket width against the bucket midpoint). The
+/// exact `count`, `sum`, `min` and `max` are tracked alongside, so means
+/// are precise and quantile readouts clamp into the observed range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < 8 {
+            return value as usize;
+        }
+        let m = 63 - value.leading_zeros() as usize; // floor(log2 value) >= 3
+        let sub = ((value >> (m - 2)) & 3) as usize;
+        4 + (m - 2) * 4 + sub
+    }
+
+    /// Inclusive lower bound of bucket `index`.
+    pub fn bucket_low(index: usize) -> u64 {
+        if index < 8 {
+            return index as u64;
+        }
+        let m = (index - 4) / 4 + 2;
+        let sub = (index - 4) % 4;
+        ((4 + sub) as u64) << (m - 2)
+    }
+
+    /// Exclusive upper bound of bucket `index` (`u64::MAX` for the last).
+    pub fn bucket_high(index: usize) -> u64 {
+        if index + 1 >= HISTOGRAM_BUCKETS {
+            u64::MAX
+        } else {
+            Self::bucket_low(index + 1)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of recorded samples (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the midpoint of the bucket
+    /// holding the `ceil(q·count)`-th sample, clamped into `[min, max]`.
+    /// Relative error ≤ 12.5 % by the bucket geometry.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let lo = Self::bucket_low(i);
+                let hi = Self::bucket_high(i);
+                let mid = lo as f64 + (hi.saturating_sub(lo)) as f64 / 2.0;
+                return mid.clamp(self.min() as f64, self.max() as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Snapshot the standard readouts.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time readout of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u128,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .int("count", self.count as i64)
+            .num("sum", self.sum as f64)
+            .int("min", self.min as i64)
+            .int("max", self.max as i64)
+            .num("mean", self.mean)
+            .num("p50", self.p50)
+            .num("p95", self.p95)
+            .num("p99", self.p99)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder + TraceReport.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct SpanRec {
+    name: &'static str,
+    parent: SpanId,
+    thread: u64,
+    dur_ns: u64,
+}
+
+/// In-memory [`Recorder`] collecting every event for a [`TraceReport`].
+/// Usually driven through [`record`]; install directly to span multiple
+/// closures.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    spans: Mutex<Vec<SpanRec>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    hists: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Assemble the report from everything recorded so far. Sibling spans
+    /// sharing a name merge into one [`SpanNode`]; spans still open
+    /// contribute zero duration.
+    pub fn report(&self) -> TraceReport {
+        let spans = Self::lock(&self.spans).clone();
+        // kids[id] = indices of spans whose parent is `id` (0 = roots).
+        let mut kids: Vec<Vec<usize>> = vec![Vec::new(); spans.len() + 1];
+        for (i, s) in spans.iter().enumerate() {
+            let p = if (s.parent as usize) < kids.len() {
+                s.parent as usize
+            } else {
+                0
+            };
+            kids[p].push(i);
+        }
+        let root_ids = kids[0].clone();
+        let roots = merge_siblings(&spans, &kids, &root_ids);
+        TraceReport {
+            roots,
+            counters: Self::lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: Self::lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: Self::lock(&self.hists)
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.summary()))
+                .collect(),
+        }
+    }
+
+    /// Read one histogram's current summary (`None` if never observed).
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        Self::lock(&self.hists).get(name).map(|h| h.summary())
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn span_enter(&self, name: &'static str, parent: SpanId, thread: u64) -> SpanId {
+        let mut spans = Self::lock(&self.spans);
+        spans.push(SpanRec {
+            name,
+            parent,
+            thread,
+            dur_ns: 0,
+        });
+        spans.len() as SpanId
+    }
+
+    fn span_exit(&self, id: SpanId, dur_ns: u64) {
+        let mut spans = Self::lock(&self.spans);
+        if let Some(s) = spans.get_mut((id as usize).wrapping_sub(1)) {
+            s.dur_ns = dur_ns;
+        }
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        *Self::lock(&self.counters).entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &'static str, value: f64) {
+        Self::lock(&self.gauges).insert(name, value);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        Self::lock(&self.hists)
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+}
+
+fn merge_siblings(spans: &[SpanRec], kids: &[Vec<usize>], ids: &[usize]) -> Vec<SpanNode> {
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut groups: HashMap<&'static str, Vec<usize>> = HashMap::new();
+    for &i in ids {
+        let name = spans[i].name;
+        groups.entry(name).or_insert_with(|| {
+            order.push(name);
+            Vec::new()
+        });
+        groups.get_mut(name).expect("just inserted").push(i);
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let g = &groups[name];
+            let mut total_ns = 0u64;
+            let mut min_ns = u64::MAX;
+            let mut max_ns = 0u64;
+            let mut threads = BTreeSet::new();
+            let mut child_ids = Vec::new();
+            for &i in g {
+                let s = &spans[i];
+                total_ns += s.dur_ns;
+                min_ns = min_ns.min(s.dur_ns);
+                max_ns = max_ns.max(s.dur_ns);
+                threads.insert(s.thread);
+                child_ids.extend_from_slice(&kids[i + 1]);
+            }
+            SpanNode {
+                name: name.to_string(),
+                count: g.len() as u64,
+                total_ns,
+                min_ns,
+                max_ns,
+                threads: threads.len() as u64,
+                children: merge_siblings(spans, kids, &child_ids),
+            }
+        })
+        .collect()
+}
+
+/// One node of the merged span tree: all sibling spans sharing a name,
+/// folded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name ("store.commit.append").
+    pub name: String,
+    /// How many sibling spans merged into this node.
+    pub count: u64,
+    /// Total duration across the merged spans, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest merged span, nanoseconds.
+    pub min_ns: u64,
+    /// Longest merged span, nanoseconds.
+    pub max_ns: u64,
+    /// Number of distinct threads the merged spans ran on.
+    pub threads: u64,
+    /// Child nodes, merged recursively.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn to_json(&self) -> String {
+        let mut ch = JsonArray::new();
+        for c in &self.children {
+            ch.push_raw(&c.to_json());
+        }
+        JsonObject::new()
+            .str("name", &self.name)
+            .int("count", self.count as i64)
+            .int("total_ns", self.total_ns as i64)
+            .int("min_ns", self.min_ns as i64)
+            .int("max_ns", self.max_ns as i64)
+            .int("threads", self.threads as i64)
+            .raw("children", &ch.finish())
+            .finish()
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let ms = self.total_ns as f64 / 1e6;
+        out.push_str(&format!(
+            "{:indent$}{}  ×{}  {:.3} ms{}\n",
+            "",
+            self.name,
+            self.count,
+            ms,
+            if self.threads > 1 {
+                format!("  ({} threads)", self.threads)
+            } else {
+                String::new()
+            },
+            indent = depth * 2
+        ));
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// Everything one recording captured: the merged span tree plus final
+/// counter/gauge/histogram readouts. Built by [`TraceRecorder::report`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Top-level spans (no recorded parent), merged by name.
+    pub roots: Vec<SpanNode>,
+    /// Final counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl TraceReport {
+    /// Depth-first search for the first span node called `name`.
+    pub fn find_span(&self, name: &str) -> Option<&SpanNode> {
+        fn dfs<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+            for n in nodes {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(hit) = dfs(&n.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        dfs(&self.roots, name)
+    }
+
+    /// Every distinct span name in the tree, depth-first discovery order.
+    pub fn span_names(&self) -> Vec<String> {
+        fn dfs(nodes: &[SpanNode], seen: &mut BTreeSet<String>, out: &mut Vec<String>) {
+            for n in nodes {
+                if seen.insert(n.name.clone()) {
+                    out.push(n.name.clone());
+                }
+                dfs(&n.children, seen, out);
+            }
+        }
+        let mut out = Vec::new();
+        dfs(&self.roots, &mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    /// Final value of the counter `name`.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Total number of named metrics (counters + gauges + histograms).
+    pub fn metric_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Render as one JSON object:
+    /// `{"spans":[…],"counters":{…},"gauges":{…},"histograms":{…}}`.
+    pub fn to_json(&self) -> String {
+        let mut spans = JsonArray::new();
+        for r in &self.roots {
+            spans.push_raw(&r.to_json());
+        }
+        let mut counters = String::from("{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                counters.push(',');
+            }
+            counters.push_str(&format!("\"{}\":{}", crate::json::escape(k), v));
+        }
+        counters.push('}');
+        let mut gauges = String::from("{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                gauges.push(',');
+            }
+            gauges.push_str(&format!("\"{}\":{}", crate::json::escape(k), num(*v)));
+        }
+        gauges.push('}');
+        let mut hists = String::from("{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                hists.push(',');
+            }
+            hists.push_str(&format!("\"{}\":{}", crate::json::escape(k), h.to_json()));
+        }
+        hists.push('}');
+        JsonObject::new()
+            .raw("spans", &spans.finish())
+            .raw("counters", &counters)
+            .raw("gauges", &gauges)
+            .raw("histograms", &hists)
+            .finish()
+    }
+
+    /// Render a human-readable text summary (span tree + metrics).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("spans:\n");
+        for r in &self.roots {
+            r.render_into(&mut out, 1);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {k}: n={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={}\n",
+                    h.count, h.mean, h.p50, h.p95, h.p99, h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_path_records_nothing_and_returns_inert_guards() {
+        assert!(!recording());
+        let g = span("nothing");
+        assert_eq!(current_span(), 0);
+        drop(g);
+        counter_add("nope", 3);
+        observe("nope_ns", 5);
+    }
+
+    #[test]
+    fn nested_install_swaps_and_restores_the_outer_recorder() {
+        let ((), outer) = record(|| {
+            counter_add("outer.before", 1);
+            // A scoped recorder inside an active recording must not
+            // deadlock; it captures the nested window exclusively and
+            // hands the outer recorder back on drop.
+            let ((), inner) = record(|| counter_add("inner.only", 7));
+            assert_eq!(inner.counter("inner.only"), Some(7));
+            assert_eq!(inner.counter("outer.before"), None);
+            assert!(recording(), "outer recorder must be restored");
+            counter_add("outer.after", 2);
+        });
+        assert_eq!(outer.counter("outer.before"), Some(1));
+        assert_eq!(outer.counter("outer.after"), Some(2));
+        assert_eq!(outer.counter("inner.only"), None);
+        assert!(!recording());
+    }
+
+    #[test]
+    fn histogram_buckets_are_contiguous_and_monotone() {
+        // Exact unit buckets below 8.
+        for v in 0..8u64 {
+            assert_eq!(Histogram::bucket_index(v), v as usize);
+        }
+        // Every bucket's low bound maps back to that bucket, and bounds
+        // tile the line: high(i) == low(i+1).
+        let mut prev_index = 0;
+        for v in [
+            8u64,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1000,
+            4095,
+            4096,
+            1 << 20,
+            (1 << 20) + 1,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_low(i) <= v, "low({i}) > {v}");
+            assert!(v < Histogram::bucket_high(i) || i == HISTOGRAM_BUCKETS - 1);
+            assert!(i >= prev_index, "index not monotone at {v}");
+            prev_index = i;
+        }
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(Histogram::bucket_high(i), Histogram::bucket_low(i + 1));
+            assert_eq!(
+                Histogram::bucket_index(Histogram::bucket_low(i)),
+                i,
+                "low({i}) maps elsewhere"
+            );
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_relative_error() {
+        let mut h = Histogram::new();
+        // 1..=1000 uniformly: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990.
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500500);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        for (q, exact) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel <= 0.125, "q={q}: est {est} vs {exact} (rel {rel:.3})");
+        }
+        // Quantiles clamp into the observed range.
+        let mut one = Histogram::new();
+        one.record(1_000_000);
+        assert_eq!(one.quantile(0.5), 1_000_000.0);
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn spans_nest_and_merge_by_name() {
+        let ((), report) = record(|| {
+            let _outer = span("outer");
+            for _ in 0..3 {
+                let _inner = span("inner");
+                counter_add("iters", 1);
+            }
+            let _other = span("other");
+        });
+        let outer = report.find_span("outer").expect("outer span");
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.children.len(), 2, "inner merged + other");
+        let inner = report.find_span("inner").expect("inner span");
+        assert_eq!(inner.count, 3);
+        assert_eq!(report.counter("iters"), Some(3));
+        assert!(report.to_json().contains("\"name\":\"outer\""));
+        assert!(report.render().contains("inner"));
+    }
+
+    #[test]
+    fn gauges_and_histograms_reach_the_report() {
+        let ((), report) = record(|| {
+            gauge_set("g", 2.5);
+            for v in [10u64, 20, 30] {
+                observe("h", v);
+            }
+        });
+        assert_eq!(report.gauges.get("g"), Some(&2.5));
+        let h = report.histograms.get("h").expect("histogram");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 60);
+        assert_eq!(report.metric_count(), 2);
+    }
+
+    #[test]
+    fn adopt_parent_nests_cross_thread_spans() {
+        let ((), report) = record(|| {
+            let root = span("root");
+            let parent = current_span();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _adopt = adopt_parent(parent);
+                    let _child = span("child");
+                });
+            });
+            drop(root);
+        });
+        let root = report.find_span("root").expect("root");
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "child");
+    }
+
+    #[test]
+    fn par_map_workers_nest_under_caller_span() {
+        use crate::par::{par_map, Parallelism};
+        let items: Vec<u64> = (0..64).collect();
+        let (sum, report) = record(|| {
+            let _batch = span("batch");
+            let parts = par_map(Parallelism::Threads(4), &items, |_, &x| {
+                let _s = span("item");
+                counter_add("items", 1);
+                x
+            });
+            parts.iter().sum::<u64>()
+        });
+        assert_eq!(sum, items.iter().sum::<u64>());
+        let batch = report.find_span("batch").expect("batch span");
+        let item = batch
+            .children
+            .iter()
+            .find(|c| c.name == "item")
+            .expect("items nest under batch");
+        assert_eq!(item.count, 64);
+        assert_eq!(report.counter("items"), Some(64));
+        // Serial mode produces the same tree shape inline.
+        let ((), serial) = record(|| {
+            let _batch = span("batch");
+            par_map(Parallelism::Serial, &items, |_, _| {
+                let _s = span("item");
+            });
+        });
+        let sb = serial.find_span("batch").expect("serial batch");
+        assert_eq!(sb.children.len(), 1);
+        assert_eq!(sb.children[0].count, 64);
+    }
+
+    #[test]
+    fn stale_epoch_guard_does_not_pollute_next_recording() {
+        let rec1 = Arc::new(TraceRecorder::new());
+        let g1 = install(rec1.clone());
+        let stale = span("stale");
+        drop(g1);
+        // New recording; dropping the stale guard now must not emit into
+        // it, nor corrupt the current-span cell.
+        let ((), report) = record(|| {
+            drop(stale);
+            let _s = span("fresh");
+        });
+        assert!(report.find_span("stale").is_none());
+        let fresh = report.find_span("fresh").expect("fresh");
+        assert_eq!(fresh.count, 1);
+        assert!(report.roots.iter().any(|r| r.name == "fresh"));
+    }
+}

@@ -86,6 +86,10 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
+    // Workers adopt the dispatching thread's span so anything `f`
+    // instruments nests under the caller's span (purely observational —
+    // see `obs`; a no-op unless a recorder is installed).
+    let obs_parent = crate::obs::current_span();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
@@ -93,6 +97,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _adopt = crate::obs::adopt_parent(obs_parent);
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -147,6 +152,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
+    let obs_parent = crate::obs::current_span();
     let mut slots: Vec<Option<Result<R, E>>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
@@ -154,6 +160,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _adopt = crate::obs::adopt_parent(obs_parent);
                     let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
                     while !stop.load(Ordering::Relaxed) {
                         let i = next.fetch_add(1, Ordering::Relaxed);

@@ -16,7 +16,7 @@
 
 use super::AdvisorOptions;
 use crate::strategy::{AdvisorContext, EnumerationStrategy};
-use cadb_common::Result;
+use cadb_common::{obs, Result};
 use cadb_engine::{Configuration, PhysicalStructure, WhatIfOptimizer, Workload};
 
 /// Minimum absolute benefit to keep iterating.
@@ -136,10 +136,13 @@ fn enumerate_one(
     density: bool,
     backtracking: bool,
 ) -> Result<Configuration> {
+    let _span = obs::span("search.greedy");
     let mut current = Configuration::empty();
     let mut current_cost = opt.workload_cost(workload, &current);
 
     loop {
+        let _round = obs::span("search.greedy_round");
+        obs::counter_add("search.greedy_rounds", 1);
         // Build this round's candidate configurations (cheap clones), then
         // price them all in one batched what-if sweep — the expensive part
         // of every greedy round. Oversized candidates are only priced when
@@ -161,6 +164,7 @@ fn enumerate_one(
             cands.push(cand);
         }
         let costs = opt.cost_workload_for(workload, &cands);
+        obs::counter_add("search.configs_scored", cands.len() as u64);
 
         let mut best_fit: Option<(f64, usize, f64)> = None; // (score, cand idx, cost)
         let mut best_oversized: Option<(f64, usize)> = None; // (gain, pool idx)

@@ -21,7 +21,7 @@ pub mod skyline;
 use crate::planner::PlannerOptions;
 use crate::strategy::{AdvisorContext, EstimationContext, StrategySet};
 use cadb_common::json::{JsonArray, JsonObject};
-use cadb_common::{CadbError, Result};
+use cadb_common::{obs, CadbError, Result};
 use cadb_engine::{
     Configuration, Database, IndexSpec, Parallelism, PhysicalStructure, WhatIfOptimizer, Workload,
 };
@@ -269,17 +269,23 @@ impl<'a> Advisor<'a> {
         workload: &Workload,
         strategies: &StrategySet,
     ) -> Result<Recommendation> {
+        let _span = obs::span("advise");
         let opt = WhatIfOptimizer::new(self.db).with_parallelism(self.options.parallelism);
         let manager = SampleManager::new(self.db, self.options.seed);
         let t_start = Instant::now();
 
         // 1. Candidate generation (per query, incl. compressed variants).
-        let mut pool = candidates::generate_candidates(&opt, workload, &self.options);
+        let mut pool = {
+            let _s = obs::span("advise.candidates");
+            candidates::generate_candidates(&opt, workload, &self.options)
+        };
 
         // 2. Index merging over the raw pool.
         if self.options.merging {
+            let _s = obs::span("advise.merge");
             merge::add_merged_candidates(&opt, workload, &mut pool, &self.options);
         }
+        obs::counter_add("advise.pool_candidates", pool.len() as u64);
 
         // 3. Size estimation: uncompressed sizes from statistics;
         //    compressed sizes through the estimation strategy (the §5
@@ -294,10 +300,15 @@ impl<'a> Advisor<'a> {
             opt: &opt,
             manager: &manager,
         };
-        let report = strategies
-            .estimator
-            .estimate_sizes(&ectx, &compressed_targets, &[])?;
+        let report = {
+            let _s = obs::span("advise.estimate_sizes");
+            strategies
+                .estimator
+                .estimate_sizes(&ectx, &compressed_targets, &[])?
+        };
         let estimate_seconds = t_est.elapsed().as_secs_f64();
+        obs::counter_add("advise.sampled_nodes", report.sampled as u64);
+        obs::counter_add("advise.deduced_nodes", report.deduced as u64);
 
         let mut priced: Vec<PhysicalStructure> = Vec::with_capacity(pool.len());
         for spec in pool {
@@ -331,15 +342,23 @@ impl<'a> Advisor<'a> {
 
         // 4. Candidate selection: per query, keep the strategy's choice of
         //    (size, cost) single-structure configurations.
-        let selected = strategies.selection.select(&ctx, workload, &priced)?;
+        let selected = {
+            let _s = obs::span("advise.selection");
+            strategies.selection.select(&ctx, workload, &priced)?
+        };
         let pool_size = selected.len();
+        obs::counter_add("advise.selected_candidates", pool_size as u64);
 
         // 5. Enumeration under the budget.
         let initial_cost = opt.workload_cost(workload, &Configuration::empty());
-        let configuration = strategies
-            .enumeration
-            .enumerate(&ctx, workload, &selected)?;
+        let configuration = {
+            let _s = obs::span("advise.enumerate");
+            strategies
+                .enumeration
+                .enumerate(&ctx, workload, &selected)?
+        };
         let final_cost = opt.workload_cost(workload, &configuration);
+        obs::counter_add("advise.chosen_structures", configuration.len() as u64);
 
         let total_seconds = t_start.elapsed().as_secs_f64();
         let timings = AdvisorTimings {

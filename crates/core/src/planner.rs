@@ -12,7 +12,7 @@ use crate::estimation_graph::{EstimationGraph, NodeState};
 use crate::greedy::{all_sampled, greedy_assign_with};
 use cadb_common::json::{JsonArray, JsonObject};
 use cadb_common::par::{try_par_map, Parallelism};
-use cadb_common::{CadbError, Result};
+use cadb_common::{obs, CadbError, Result};
 use cadb_engine::{IndexSpec, PhysicalStructure, SizeEstimate, WhatIfOptimizer};
 use cadb_sampling::{sample_cf_batch, SampleManager};
 use serde::Serialize;
@@ -167,7 +167,10 @@ impl<'a> EstimationPlanner<'a> {
         }
 
         // Pick the cheapest feasible (f, plan) across the fraction grid.
+        let _span = obs::span("planner.estimate_sizes");
+        obs::counter_add("planner.targets", targets.len() as u64);
         let mut best: Option<(f64, EstimationGraph, f64, bool)> = None;
+        let plan_span = obs::span("planner.fraction_grid");
         for &f in &self.options.fractions {
             let mut g = EstimationGraph::new(self.opt, self.model.clone(), f, targets, existing);
             let cost = if self.options.use_deduction {
@@ -192,6 +195,7 @@ impl<'a> EstimationPlanner<'a> {
                 best = Some((f, g, cost, feasible));
             }
         }
+        drop(plan_span);
         // The grid was checked non-empty above, so the loop ran at least
         // once; propagate rather than panic if that invariant ever breaks.
         let (fraction, graph, planned_cost, feasible) = best.ok_or_else(|| {
@@ -209,6 +213,7 @@ impl<'a> EstimationPlanner<'a> {
         planned_cost: f64,
         feasible: bool,
     ) -> Result<SizeEstimationReport> {
+        let _span = obs::span("planner.execute");
         let mut known: HashMap<usize, KnownSize> = HashMap::new();
         let t0 = Instant::now();
         let mut sampled = 0usize;

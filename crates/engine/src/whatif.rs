@@ -278,6 +278,8 @@ impl<'a> WhatIfOptimizer<'a> {
     /// one worker, so the floating-point sequence per configuration is
     /// unchanged and the result is bit-for-bit identical to the serial loop.
     pub fn cost_workload_for(&self, w: &Workload, cfgs: &[Configuration]) -> Vec<f64> {
+        let _span = cadb_common::obs::span("whatif.batch");
+        cadb_common::obs::counter_add("whatif.configs_costed", cfgs.len() as u64);
         par_map(self.parallelism, cfgs, |_, cfg| self.workload_cost(w, cfg))
     }
 

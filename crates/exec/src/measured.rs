@@ -16,7 +16,7 @@ use crate::query::{execute_planned, execute_query, missing_base};
 use crate::scan::ExecMode;
 use crate::store::{Store, WriteKind};
 use cadb_common::json::{JsonArray, JsonObject};
-use cadb_common::{rows_footprint, ColumnId, Parallelism, Reservation, Result, Row, TableId};
+use cadb_common::{obs, rows_footprint, ColumnId, Parallelism, Reservation, Result, Row, TableId};
 use cadb_compression::CompressionKind;
 use cadb_engine::cardinality::query_output_rows;
 use cadb_engine::exec::materialize_mv;
@@ -111,6 +111,7 @@ impl MaterializedConfig {
     /// bytes depend only on `opts.stripe_rows` — never on the parallelism
     /// mode — and with a single stripe they equal [`Self::build`] exactly.
     pub fn build_with(db: &Database, cfg: &Configuration, opts: &BuildOptions) -> Result<Self> {
+        let _span = obs::span("exec.build_config");
         let mut held: Vec<Reservation> = Vec::new();
         let mut stats = BuildStats::default();
         let mut track =
@@ -411,6 +412,12 @@ pub struct MeasuredReport {
     /// Peak bytes the materialization's memory budget metered (build
     /// working sets + resident structures) — the out-of-core path's
     /// headline number.
+    #[deprecated(
+        since = "0.9.0",
+        note = "duplicate of `BuildStats::peak_bytes`; read \
+                `MaterializedConfig::build_stats().peak_bytes` (or the \
+                `shard.build_peak_bytes` observability gauge) instead"
+    )]
     pub build_peak_bytes: usize,
 }
 
@@ -529,6 +536,8 @@ impl MeasuredReport {
                     .finish(),
             );
         }
+        #[allow(deprecated)]
+        let build_peak_bytes = self.build_peak_bytes;
         let mut out = JsonObject::new()
             .raw("structures", &structures.finish())
             .num("estimated_total_bytes", self.estimated_total_bytes)
@@ -539,7 +548,7 @@ impl MeasuredReport {
             .bool("all_queries_verified", self.all_queries_verified())
             .num("estimated_workload_cost", self.estimated_workload_cost)
             .num("baseline_workload_cost", self.baseline_workload_cost)
-            .int("build_peak_bytes", self.build_peak_bytes as i64)
+            .int("build_peak_bytes", build_peak_bytes as i64)
             .bool(
                 "mv_maintenance_measured",
                 self.mv_maintenance_cost.is_some(),
@@ -613,9 +622,11 @@ impl<'a> MeasuredRun<'a> {
     /// decompress-then-execute reference), and report measured sizes, row
     /// counts and chosen access paths next to the estimates.
     pub fn execute(&self, cfg: &Configuration) -> Result<MeasuredReport> {
+        let _span = obs::span("exec.measured_run");
         let mat = MaterializedConfig::build_with(self.db, cfg, &self.build)?;
         let mut queries = Vec::new();
         for (q, _) in self.workload.queries() {
+            let _qspan = obs::span("exec.run_query");
             let plan = plan_query(&mat, q)?;
             let (rows_c, stats_c) = execute_planned(&mat, q, &plan, self.parallelism)?;
             let (rows_r, stats_r) = execute_query(&mat, q, self.parallelism, ExecMode::Reference)?;
@@ -686,6 +697,7 @@ impl<'a> MeasuredRun<'a> {
         } else {
             None
         };
+        #[allow(deprecated)]
         Ok(MeasuredReport {
             structures: mat.structures().to_vec(),
             estimated_total_bytes,

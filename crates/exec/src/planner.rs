@@ -37,7 +37,7 @@
 //! [`SizeEstimate`]: cadb_engine::SizeEstimate
 
 use crate::measured::MaterializedConfig;
-use cadb_common::{Result, TableId};
+use cadb_common::{obs, Result, TableId};
 use cadb_engine::access_path::{mv_matches, needed_columns, partial_usable};
 use cadb_engine::stmt::ScalarExpr;
 use cadb_engine::{extract_key_range, IndexSpec, KeyRange, MvSpec, Query};
@@ -131,6 +131,7 @@ fn mv_answers_aggregates(q: &Query, mv: &MvSpec) -> bool {
 /// Plan one query over a materialized configuration: per-table cheapest
 /// paths, then a whole-query MV path when one matches and undercuts them.
 pub fn plan_query(mat: &MaterializedConfig, q: &Query) -> Result<QueryPlan> {
+    let _span = obs::span("planner.plan_query");
     let mut tables = Vec::new();
     for t in q.tables() {
         tables.push(best_table_path(mat, q, t)?);
@@ -138,7 +139,26 @@ pub fn plan_query(mat: &MaterializedConfig, q: &Query) -> Result<QueryPlan> {
     let mv = best_mv_path(mat, q);
     let per_table_pages: f64 = tables.iter().map(|p| p.est_pages).sum();
     let mv = mv.filter(|m| m.est_pages < per_table_pages);
-    Ok(QueryPlan { mv, tables })
+    let plan = QueryPlan { mv, tables };
+    obs::counter_add("planner.plans", 1);
+    if let Some(m) = &plan.mv {
+        obs::counter_add(path_metric(m.kind), 1);
+    } else {
+        for p in &plan.tables {
+            obs::counter_add(path_metric(p.kind), 1);
+        }
+    }
+    Ok(plan)
+}
+
+/// Counter name for one chosen path class.
+fn path_metric(kind: PathKind) -> &'static str {
+    match kind {
+        PathKind::BaseScan => "planner.path.base_scan",
+        PathKind::IndexScan => "planner.path.index_scan",
+        PathKind::IndexSeek => "planner.path.index_seek",
+        PathKind::MvScan => "planner.path.mv_scan",
+    }
 }
 
 /// Cheapest way to read one table, by estimated leaf pages touched.

@@ -21,6 +21,7 @@
 //!   in this crate).
 
 use crate::vector::{ColumnVector, IntAggregate};
+use cadb_common::obs;
 use cadb_common::par::par_map;
 use cadb_common::{CadbError, Parallelism, Result, Row};
 use cadb_compression::page::column_sections;
@@ -116,6 +117,26 @@ impl ExecStats {
         self.rows_matched += other.rows_matched;
         self.predicate_evals += other.predicate_evals;
     }
+
+    /// View as named observability metrics (the totals [`publish`] streams
+    /// to the installed recorder once per scan call).
+    ///
+    /// [`publish`]: ExecStats::publish
+    pub fn as_metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("scan.pages_scanned", self.pages_scanned as u64),
+            ("scan.rows_scanned", self.rows_scanned as u64),
+            ("scan.rows_matched", self.rows_matched as u64),
+            ("scan.predicate_evals", self.predicate_evals as u64),
+        ]
+    }
+
+    /// Add these counters to the installed recorder (one branch when no
+    /// recorder is installed). Called once per scan, after the per-leaf
+    /// merge, so hot leaf loops stay uninstrumented.
+    pub fn publish(&self) {
+        obs::publish_counters(&self.as_metrics());
+    }
 }
 
 /// A predicate bound to a stored-column ordinal of the scanned structure.
@@ -152,6 +173,7 @@ pub fn scan_filter_range(
     par: Parallelism,
     mode: ExecMode,
 ) -> Result<(Vec<Row>, ExecStats)> {
+    let _span = obs::span("scan.filter");
     check_columns(ix, preds, None)?;
     let ctx = ix.page_context();
     let leaves: Vec<LeafPage<'_>> = range_cursor(ix, range).collect();
@@ -236,6 +258,7 @@ pub fn scan_filter_range(
         stats.merge(&s);
         all.extend(rows);
     }
+    stats.publish();
     Ok((all, stats))
 }
 
@@ -267,6 +290,7 @@ pub fn scan_aggregate_range(
     par: Parallelism,
     mode: ExecMode,
 ) -> Result<(IntAggregate, u64, ExecStats)> {
+    let _span = obs::span("scan.aggregate");
     check_columns(ix, preds, Some(col))?;
     let ctx = ix.page_context();
     let leaves: Vec<LeafPage<'_>> = range_cursor(ix, range).collect();
@@ -352,6 +376,7 @@ pub fn scan_aggregate_range(
         matched += m;
         stats.merge(&s);
     }
+    stats.publish();
     Ok((agg, matched, stats))
 }
 

@@ -66,7 +66,7 @@ pub mod maintain;
 
 use crate::measured::MaterializedConfig;
 use cadb_common::rng::rng_for;
-use cadb_common::{CadbError, ColumnId, Parallelism, Result, Row, TableId, Value};
+use cadb_common::{obs, CadbError, ColumnId, Parallelism, Result, Row, TableId, Value};
 use cadb_compression::CompressionKind;
 use cadb_engine::{
     BulkDelete, BulkInsert, BulkUpdate, CostModel, Database, IndexSpec, MvSpec, Statement, Workload,
@@ -80,6 +80,7 @@ use parking_lot::RwLock;
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Running totals of everything committed so far.
 #[derive(Debug, Clone, Copy, Default)]
@@ -166,6 +167,41 @@ pub struct PageCacheStats {
     pub patched: u64,
     /// Images folded by a full leaf rebuild (updates or deletes present).
     pub rebuilt: u64,
+}
+
+impl PageCacheStats {
+    /// View as named observability metrics — the same totals the cache's
+    /// live bump sites stream to the installed recorder.
+    pub fn as_metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("store.page_cache.hits", self.hits),
+            ("store.page_cache.misses", self.misses),
+            ("store.page_cache.patched", self.patched),
+            ("store.page_cache.rebuilt", self.rebuilt),
+        ]
+    }
+}
+
+impl RecoveryReport {
+    /// View as named observability metrics (also published by
+    /// [`Store::recover`] / [`Store::recover_with_checkpoint`]).
+    pub fn as_metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("store.recovery.frames_applied", self.frames_applied as u64),
+            (
+                "store.recovery.checkpoints_seen",
+                self.checkpoints_seen as u64,
+            ),
+            (
+                "store.recovery.truncated_bytes",
+                self.truncated_bytes as u64,
+            ),
+            (
+                "store.recovery.duplicates_skipped",
+                self.duplicates_skipped as u64,
+            ),
+        ]
+    }
 }
 
 /// A checkpoint artifact: the committed state folded back into real
@@ -512,6 +548,11 @@ impl<'a> Store<'a> {
         if effs.is_empty() {
             return Ok(Vec::new());
         }
+        let _span = obs::span("store.commit_batch");
+        // `recording()` gates only the clock reads feeding the latency
+        // histograms — never the commit work itself.
+        let t_batch = obs::recording().then(Instant::now);
+        let prepare_span = obs::span("store.commit.prepare");
         // Phase 1, outside any lock: warm caches, encode payloads, price
         // maintenance (a pure function of effects + immutable bases).
         let mut base_ns = Vec::with_capacity(effs.len());
@@ -532,6 +573,7 @@ impl<'a> Store<'a> {
             ));
             payloads.push(payload);
         }
+        drop(prepare_span);
         // Phase 2, the critical section: consecutive LSNs, one coalesced
         // append, in-order apply.
         let mut st = self.state.write();
@@ -546,7 +588,14 @@ impl<'a> Store<'a> {
                 payload,
             })
             .collect();
+        let append_span = obs::span("store.commit.append");
+        let t_append = obs::recording().then(Instant::now);
         st.wal.append_batch(&frames);
+        if let Some(t0) = t_append {
+            obs::observe("store.wal_append_ns", t0.elapsed().as_nanos() as u64);
+        }
+        drop(append_span);
+        let apply_span = obs::span("store.commit.apply");
         let mut receipts = Vec::with_capacity(effs.len());
         for (i, (eff, run)) in effs.iter().zip(&runs).enumerate() {
             let lsn = first + i as u64;
@@ -558,6 +607,15 @@ impl<'a> Store<'a> {
                 measured_cost: run.measured_cost,
                 measured_mv_cost: run.measured_mv_cost,
             });
+        }
+        drop(apply_span);
+        obs::counter_add("store.commits", effs.len() as u64);
+        obs::counter_add("store.commit_batches", 1);
+        obs::gauge_set("store.wal_bytes", st.wal.bytes().len() as f64);
+        if let Some(t0) = t_batch {
+            let ns = t0.elapsed().as_nanos() as u64;
+            obs::observe("store.group_commit_ns", ns);
+            obs::observe("store.commit_batch_rows", effs.len() as u64);
         }
         Ok(receipts)
     }
@@ -674,6 +732,7 @@ impl<'a> Store<'a> {
         par: Parallelism,
         batch: usize,
     ) -> Result<Vec<WriteActual>> {
+        let _span = obs::span("store.apply_workload");
         let batch = batch.max(1);
         let writes: Vec<(usize, &Statement)> = w
             .statements
@@ -808,6 +867,7 @@ impl<'a> Store<'a> {
         if eff == 0 {
             // Unmodified at this LSN: the base structure *is* the image.
             self.page_cache.write().stats.hits += 1;
+            obs::counter_add("store.page_cache.hits", 1);
             return self.base_pages(t);
         }
         // Clone out of the read guard before taking the write lock for
@@ -816,6 +876,7 @@ impl<'a> Store<'a> {
         let cached = self.page_cache.read().entries.get(&(t, eff)).cloned();
         if let Some(ix) = cached {
             self.page_cache.write().stats.hits += 1;
+            obs::counter_add("store.page_cache.hits", 1);
             return Ok(ix);
         }
         // Miss: fold an image outside the cache lock. Folding at `eff`
@@ -830,10 +891,13 @@ impl<'a> Store<'a> {
         let ix = Arc::new(ix);
         let mut pc = self.page_cache.write();
         pc.stats.misses += 1;
+        obs::counter_add("store.page_cache.misses", 1);
         if patched {
             pc.stats.patched += 1;
+            obs::counter_add("store.page_cache.patched", 1);
         } else {
             pc.stats.rebuilt += 1;
+            obs::counter_add("store.page_cache.rebuilt", 1);
         }
         pc.entries.insert((t, eff), Arc::clone(&ix));
         // Bound the cache: keep the two most recent images per table.
@@ -979,6 +1043,7 @@ impl<'a> Store<'a> {
     /// checkpoint (and snapshots pinned before it) must not be used across
     /// the boundary.
     pub fn checkpoint(&self) -> Result<StoreCheckpoint> {
+        let _span = obs::span("store.checkpoint");
         // Warm base caches outside the write lock.
         let touched: Vec<TableId> = self.state.read().deltas.keys().copied().collect();
         for t in &touched {
@@ -1032,6 +1097,13 @@ impl<'a> Store<'a> {
         st.mod_lsns.clear();
         st.log_anchor = lsn;
         st.anchor_appends = BTreeMap::new();
+        obs::counter_add("store.checkpoints", 1);
+        obs::counter_add("store.checkpoint.patched_tables", patched_tables as u64);
+        obs::counter_add("store.checkpoint.rebuilt_tables", rebuilt_tables as u64);
+        obs::counter_add(
+            "store.checkpoint.truncated_wal_bytes",
+            truncated_wal_bytes as u64,
+        );
         Ok(StoreCheckpoint {
             lsn,
             next_lsn: st.next_lsn,
@@ -1083,6 +1155,7 @@ impl<'a> Store<'a> {
         model: CostModel,
         wal_bytes: &[u8],
     ) -> Result<(Store<'a>, RecoveryReport)> {
+        let _span = obs::span("store.recover");
         let store = Store::open(db, mat, model);
         let rep = wal::replay(wal_bytes);
         let mut frames_applied = 0usize;
@@ -1102,16 +1175,15 @@ impl<'a> Store<'a> {
             }
         }
         let watermark = store.watermark();
-        Ok((
-            store,
-            RecoveryReport {
-                frames_applied,
-                checkpoints_seen,
-                truncated_bytes: rep.truncated_bytes,
-                duplicates_skipped: rep.duplicates_skipped,
-                watermark,
-            },
-        ))
+        let report = RecoveryReport {
+            frames_applied,
+            checkpoints_seen,
+            truncated_bytes: rep.truncated_bytes,
+            duplicates_skipped: rep.duplicates_skipped,
+            watermark,
+        };
+        obs::publish_counters(&report.as_metrics());
+        Ok((store, report))
     }
 
     /// Checkpoint-anchored crash recovery: install the artifact's folded
@@ -1127,6 +1199,7 @@ impl<'a> Store<'a> {
         ckpt: &StoreCheckpoint,
         wal_bytes: &[u8],
     ) -> Result<(Store<'a>, RecoveryReport)> {
+        let _span = obs::span("store.recover");
         let store = Store::open(db, mat, model);
         {
             let mut base_ix = store.base_ix.write();
@@ -1172,16 +1245,15 @@ impl<'a> Store<'a> {
             }
         }
         let watermark = store.watermark();
-        Ok((
-            store,
-            RecoveryReport {
-                frames_applied,
-                checkpoints_seen,
-                truncated_bytes: rep.truncated_bytes,
-                duplicates_skipped: rep.duplicates_skipped,
-                watermark,
-            },
-        ))
+        let report = RecoveryReport {
+            frames_applied,
+            checkpoints_seen,
+            truncated_bytes: rep.truncated_bytes,
+            duplicates_skipped: rep.duplicates_skipped,
+            watermark,
+        };
+        obs::publish_counters(&report.as_metrics());
+        Ok((store, report))
     }
 }
 

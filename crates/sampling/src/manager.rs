@@ -20,6 +20,7 @@
 //! [`SampleManager::prewarm_base_samples`] (or the pre-build phase of
 //! [`crate::sample_cf_batch`]) to avoid the duplicated *work* of such races.
 
+use cadb_common::obs;
 use cadb_common::par::{try_par_map, Parallelism};
 use cadb_common::rng::rng_for;
 use cadb_common::{
@@ -45,6 +46,20 @@ pub struct CostCounters {
     pub synopses: u64,
     /// Rows materialized into synopses.
     pub synopsis_rows: u64,
+}
+
+impl CostCounters {
+    /// View as named observability metrics — the same totals the live
+    /// bump sites stream to the installed [`obs::Recorder`].
+    pub fn as_metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("sampling.base_samples", self.base_samples),
+            ("sampling.base_rows", self.base_rows),
+            ("sampling.filtered_samples", self.filtered_samples),
+            ("sampling.synopses", self.synopses),
+            ("sampling.synopsis_rows", self.synopsis_rows),
+        ]
+    }
 }
 
 /// Key identifying a cached sample: table + fraction in basis points.
@@ -138,6 +153,7 @@ impl<'a> SampleManager<'a> {
         if let Some(s) = self.base.read().get(&key) {
             return Ok(Arc::clone(s));
         }
+        let _span = obs::span("sampling.table_sample");
         let rows = self.db.table(table).rows();
         let n = ((rows.len() as f64 * f).round() as usize).clamp(1.min(rows.len()), rows.len());
         let mut idx: Vec<usize> = (0..rows.len()).collect();
@@ -160,6 +176,8 @@ impl<'a> SampleManager<'a> {
                 let mut c = self.counters.write();
                 c.base_samples += 1;
                 c.base_rows += sample.len() as u64;
+                obs::counter_add("sampling.base_samples", 1);
+                obs::counter_add("sampling.base_rows", sample.len() as u64);
                 Ok(sample)
             }
         }
@@ -189,6 +207,7 @@ impl<'a> SampleManager<'a> {
                 drop(cache);
                 self.held.write().push(res);
                 self.counters.write().filtered_samples += 1;
+                obs::counter_add("sampling.filtered_samples", 1);
                 Ok(sample)
             }
         }
@@ -209,6 +228,7 @@ impl<'a> SampleManager<'a> {
         if let Some(s) = self.synopses.read().get(&key) {
             return Ok(Arc::clone(s));
         }
+        let _span = obs::span("sampling.join_synopsis");
         let fact = self.table_sample(root, f)?;
 
         // Column map: root columns first.
@@ -262,6 +282,8 @@ impl<'a> SampleManager<'a> {
                 let mut c = self.counters.write();
                 c.synopses += 1;
                 c.synopsis_rows += syn.rows.len() as u64;
+                obs::counter_add("sampling.synopses", 1);
+                obs::counter_add("sampling.synopsis_rows", syn.rows.len() as u64);
                 Ok(syn)
             }
         }
@@ -273,6 +295,7 @@ impl<'a> SampleManager<'a> {
     /// base samples (no two workers redo the same shuffle). Duplicate pairs
     /// are collapsed; each distinct sample is built exactly once.
     pub fn prewarm_base_samples(&self, keys: &[(TableId, f64)], par: Parallelism) -> Result<()> {
+        let _span = obs::span("sampling.prewarm");
         let mut distinct: Vec<(TableId, f64)> = Vec::new();
         for &(t, f) in keys {
             if !distinct

@@ -10,6 +10,7 @@
 use crate::index_rows::{index_row_stream_spread, mv_index_row_stream};
 use crate::manager::SampleManager;
 use crate::mv_sample::create_mv_sample;
+use cadb_common::obs;
 use cadb_common::par::{try_par_map, Parallelism};
 use cadb_common::{Result, TableId};
 use cadb_compression::analyze::{compressed_index_size, CompressionMeasurement, PAGE_PAYLOAD};
@@ -49,6 +50,8 @@ pub struct CfEstimate {
 /// assert!(est.cf > 0.0 && est.cf < 1.0);
 /// ```
 pub fn sample_cf(manager: &SampleManager<'_>, spec: &IndexSpec, f: f64) -> Result<CfEstimate> {
+    let _span = obs::span("sampling.sample_cf");
+    obs::counter_add("sampling.sample_cf_calls", 1);
     let db = manager.db();
     // Locators of the sample build are spread over the full table's row
     // domain so their null-suppressed widths match the full build's.
@@ -139,6 +142,7 @@ pub fn sample_cf_batch(
     f: f64,
     par: Parallelism,
 ) -> Result<Vec<CfEstimate>> {
+    let _span = obs::span("sampling.samplecf_batch");
     // Phase 1a: base samples (also the fact samples synopses draw from).
     let base_keys: Vec<(TableId, f64)> = specs
         .iter()
@@ -166,6 +170,7 @@ pub fn sample_cf_batch(
     try_par_map(par, &synopses, |_, (t, j)| manager.join_synopsis(*t, j, f))?;
 
     // Phase 2: the SampleCF sweep itself.
+    let _sweep = obs::span("sampling.sweep");
     try_par_map(par, specs, |_, s| sample_cf(manager, s, f))
 }
 

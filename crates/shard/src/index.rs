@@ -19,6 +19,7 @@
 use crate::partition::{
     key_hash, rows_footprint, BuildOptions, BuildStats, Partitioning, ShardSpec,
 };
+use cadb_common::obs;
 use cadb_common::par::{try_par_map, Parallelism};
 use cadb_common::{CadbError, ColumnId, DataType, Result, Row};
 use cadb_compression::analyze::build_dictionaries;
@@ -47,6 +48,7 @@ pub(crate) fn pack_striped(
     kind: CompressionKind,
     opts: &BuildOptions,
 ) -> Result<(PhysicalIndex, usize)> {
+    let _span = obs::span("shard.stripe_pack");
     let dicts = if kind == CompressionKind::GlobalDict {
         Some(build_dictionaries(rows, dtypes))
     } else {
@@ -89,6 +91,7 @@ impl ShardedIndex {
         spec: ShardSpec,
         opts: &BuildOptions,
     ) -> Result<Self> {
+        let _span = obs::span("shard.build");
         if n_key_cols == 0 {
             if spec.partitioning == Partitioning::Hash {
                 return Err(CadbError::InvalidArgument(
@@ -128,15 +131,18 @@ impl ShardedIndex {
                 .then_with(|| rows[a].cmp(&rows[b]))
                 .then(a.cmp(&b))
         };
+        let sort_span = obs::span("shard.sort_shards");
         let runs: Vec<Vec<usize>> = try_par_map(opts.parallelism, &assigned, |_, idxs| {
             let _ws = budget.try_reserve(idxs.len() * std::mem::size_of::<usize>())?;
             let mut run = idxs.clone();
             run.sort_unstable_by(|&a, &b| total(a, b));
             Ok::<Vec<usize>, CadbError>(run)
         })?;
+        drop(sort_span);
 
         // K-way merge: always pick the globally least (row, position). The
         // result is exactly the one global sort, whatever the routing was.
+        let merge_span = obs::span("shard.merge");
         let mut heads = vec![0usize; runs.len()];
         let mut merged_idx = Vec::with_capacity(rows.len());
         loop {
@@ -158,19 +164,20 @@ impl ShardedIndex {
             }
         }
 
+        drop(merge_span);
+
         // Materialize the merged stream and stripe-pack it.
         let _merged_ws = budget.try_reserve(rows_footprint(rows))?;
         let merged: Vec<Row> = merged_idx.into_iter().map(|i| rows[i].clone()).collect();
         let (index, stripes) = pack_striped(&merged, dtypes, n_key_cols, kind, opts)?;
-        Ok(ShardedIndex {
-            index,
-            stats: BuildStats {
-                shards,
-                stripes,
-                rows: rows.len(),
-                peak_bytes: budget.peak_bytes(),
-            },
-        })
+        let stats = BuildStats {
+            shards,
+            stripes,
+            rows: rows.len(),
+            peak_bytes: budget.peak_bytes(),
+        };
+        stats.publish();
+        Ok(ShardedIndex { index, stats })
     }
 
     /// Build from input **already in final order** (key-sorted for indexes,
@@ -185,16 +192,16 @@ impl ShardedIndex {
         spec: ShardSpec,
         opts: &BuildOptions,
     ) -> Result<Self> {
+        let _span = obs::span("shard.build_presorted");
         let (index, stripes) = pack_striped(rows, dtypes, n_key_cols, kind, opts)?;
-        Ok(ShardedIndex {
-            index,
-            stats: BuildStats {
-                shards: spec.shards.max(1),
-                stripes,
-                rows: rows.len(),
-                peak_bytes: opts.budget.peak_bytes(),
-            },
-        })
+        let stats = BuildStats {
+            shards: spec.shards.max(1),
+            stripes,
+            rows: rows.len(),
+            peak_bytes: opts.budget.peak_bytes(),
+        };
+        stats.publish();
+        Ok(ShardedIndex { index, stats })
     }
 
     /// The finished physical structure.

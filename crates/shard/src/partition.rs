@@ -104,6 +104,26 @@ pub struct BuildStats {
     pub peak_bytes: usize,
 }
 
+impl BuildStats {
+    /// View as named observability metrics; `peak_bytes` is a high-water
+    /// mark, so builds publish it as a gauge rather than through these
+    /// counter deltas.
+    pub fn as_metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("shard.shards", self.shards as u64),
+            ("shard.stripes", self.stripes as u64),
+            ("shard.rows", self.rows as u64),
+        ]
+    }
+
+    /// Stream these counters (and the peak-bytes gauge) to the installed
+    /// recorder — called once per finished build.
+    pub fn publish(&self) {
+        cadb_common::obs::publish_counters(&self.as_metrics());
+        cadb_common::obs::gauge_set("shard.build_peak_bytes", self.peak_bytes as f64);
+    }
+}
+
 /// Stable FNV-1a hash of a row's leading `n_key_cols` values — the Hash
 /// partitioning router. Independent of platform and shard count.
 pub fn key_hash(row: &Row, n_key_cols: usize) -> u64 {

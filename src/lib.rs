@@ -240,7 +240,8 @@
 //!    [`engine::Parallelism`] mode.
 //! 4. **Measure.** `MaterializedConfig::build_with` routes the actuals
 //!    harness through the same path; the peak metered bytes surface in
-//!    [`exec::MeasuredReport::build_peak_bytes`] (and `repro
+//!    [`exec::MaterializedConfig::build_stats`] and the
+//!    `shard.build_peak_bytes` observability gauge (and `repro
 //!    --mem-budget` caps them).
 //!
 //! ```
@@ -286,6 +287,54 @@
 //!     eight.scan(Parallelism::Serial).unwrap()
 //! );
 //! ```
+//!
+//! ## Observing a tuning session
+//!
+//! Every layer above is instrumented through [`common::obs`] — hierarchical
+//! spans, counters, gauges and log-scale latency histograms behind one
+//! [`common::obs::Recorder`] trait. Nothing records by default: with no
+//! recorder installed each instrumentation point is a single predicted
+//! branch, and recording **never changes results** — all the bit-identical
+//! contracts above hold with observability on or off
+//! (`tests/obs_equivalence.rs` pins this on TPC-H and TPC-DS).
+//!
+//! [`TuningSession::observe`] wraps any session work in a
+//! [`common::obs::TraceRecorder`] and hands back the merged span tree and
+//! metrics as a [`common::obs::TraceReport`]:
+//!
+//! ```
+//! use cadb::datagen::TpchGen;
+//! use cadb::TuningSession;
+//!
+//! let gen = TpchGen::new(0.01);
+//! let db = gen.build().unwrap();
+//! let workload = gen.workload(&db).unwrap();
+//!
+//! let session = TuningSession::new(&db)
+//!     .workload(&workload)
+//!     .budget_fraction(0.3);
+//! let (rec, trace) = session.observe(|s| s.run().unwrap());
+//!
+//! // The span tree is non-empty: the advisor run decomposes into its
+//! // pipeline stages, down to sampling and what-if batches.
+//! assert!(!trace.roots.is_empty());
+//! let advise = trace.find_span("advise").unwrap();
+//! assert!(!advise.children.is_empty());
+//! assert!(trace.find_span("whatif.batch").is_some());
+//! // Named metrics ride along (candidate counts, configs costed, …).
+//! assert!(trace.metric_count() >= 10);
+//! assert_eq!(
+//!     trace.counter("advise.chosen_structures"),
+//!     Some(rec.configuration.len() as u64)
+//! );
+//! // `trace.to_json()` is what `repro --trace <file>` writes;
+//! // `trace.render()` pretty-prints the tree.
+//! # let _ = rec;
+//! ```
+//!
+//! `repro -- obs` runs a traced advise → execute → serve pass and prints
+//! the store's group-commit latency/throughput curve from the recorded
+//! `store.group_commit_ns` histograms.
 
 mod session;
 

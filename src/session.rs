@@ -26,6 +26,7 @@
 //! methods accept any implementation of the strategy traits — including
 //! your own (see `cadb::core::strategy`).
 
+use cadb_common::obs::{self, TraceReport};
 use cadb_core::strategy::{CandidateSelection, EnumerationStrategy, SizeEstimator, StrategySet};
 use cadb_core::{Advisor, AdvisorOptions, FeatureSet, PlannerOptions, Recommendation};
 use cadb_engine::{CostModel, Database, Parallelism, Workload};
@@ -207,6 +208,45 @@ impl<'a> TuningSession<'a> {
             strategies.enumeration = Arc::clone(e);
         }
         strategies
+    }
+
+    /// Run any session work under an installed trace recorder and return
+    /// the result **plus** the recorded [`TraceReport`]: the hierarchical
+    /// span tree (advise → plan → execute → serve phase timings, merged by
+    /// name across workers) and every named counter, gauge and latency
+    /// histogram the run streamed out.
+    ///
+    /// Recording is purely observational — the closure's outputs are
+    /// bit-identical to running it without `observe` (pinned by
+    /// `tests/obs_equivalence.rs`), and when nothing is installed every
+    /// instrumentation point in the workspace costs one predicted branch.
+    /// The report serializes with [`TraceReport::to_json`] (the `repro
+    /// --trace <file>` flag writes exactly that) and pretty-prints with
+    /// [`TraceReport::render`].
+    ///
+    /// ```
+    /// use cadb::datagen::TpchGen;
+    /// use cadb::TuningSession;
+    ///
+    /// let gen = TpchGen::new(0.01);
+    /// let db = gen.build().unwrap();
+    /// let workload = gen.workload(&db).unwrap();
+    ///
+    /// let session = TuningSession::new(&db)
+    ///     .workload(&workload)
+    ///     .budget_fraction(0.3);
+    /// let (rec, trace) = session.observe(|s| s.run().unwrap());
+    /// assert!(rec.improvement_percent() > 0.0);
+    /// // The span tree is non-empty and rooted at the advisor run…
+    /// assert!(!trace.roots.is_empty());
+    /// assert!(trace.find_span("advise").is_some());
+    /// assert!(trace.find_span("search.greedy").is_some());
+    /// // …and the run published named metrics alongside it.
+    /// assert!(trace.metric_count() >= 10);
+    /// assert!(trace.counter("whatif.configs_costed").unwrap_or(0) > 0);
+    /// ```
+    pub fn observe<R>(&self, f: impl FnOnce(&Self) -> R) -> (R, TraceReport) {
+        obs::record(|| f(self))
     }
 
     /// Run the advisor pipeline and return its recommendation.
