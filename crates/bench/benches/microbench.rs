@@ -378,6 +378,44 @@ fn bench_store_concurrency(c: &mut Criterion) {
                 },
             );
         }
+        // The same contention cell through the sharded serving layer:
+        // per-shard WAL streams under the global commit order. Identical
+        // committed state by the equivalence contract; this measures what
+        // the order record + fan-out cost under read pressure.
+        for shards in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("sharded", format!("{readers}x{writers}x{shards}")),
+                &writes,
+                |b, writes| {
+                    b.iter(|| {
+                        let store = cadb_exec::ShardedStore::open(
+                            &db,
+                            &mat,
+                            CostModel::default(),
+                            cadb_shard::ShardSpec::hash(shards),
+                        )
+                        .unwrap();
+                        store.warm_for_table(t).unwrap();
+                        std::thread::scope(|s| {
+                            for _ in 0..readers {
+                                s.spawn(|| {
+                                    for _ in 0..8 {
+                                        black_box(store.snapshot().n_rows(t).unwrap());
+                                    }
+                                });
+                            }
+                            store
+                                .apply_workload(
+                                    black_box(writes),
+                                    7,
+                                    Parallelism::Threads(writers.max(1)),
+                                )
+                                .unwrap()
+                        })
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

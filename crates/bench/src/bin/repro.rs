@@ -27,7 +27,9 @@
 //!   serve     WAL'd write path: commit the workload's INSERT/UPDATEs
 //!             through the snapshot-isolated store, measure maintenance
 //!             per statement, and verify crash recovery bit-for-bit
-//!             (machine-readable with --json)
+//!             (machine-readable with --json); with --shards N, also
+//!             sweep the sharded serving layer (per-shard WAL streams
+//!             under a global commit order) over shard counts up to N
 //!   shard     out-of-core sharded data path: stream-generate tables in
 //!             chunks, build partitioned structures under the memory
 //!             budget, verify shard-count invariance, report peak bytes
@@ -44,6 +46,11 @@
 //!           run materializations through the striped out-of-core build
 //!           path under a hard memory cap (default: unlimited, metering
 //!           only); exceeded budgets fail loudly instead of thrashing
+//! --shards N
+//!           serve experiment only: commit the write burst through the
+//!           sharded store at power-of-two shard counts up to N (plus the
+//!           monolithic baseline), asserting digest identity and recovery
+//!           at every count
 //! --trace FILE
 //!           record the whole run under a TraceRecorder and write the
 //!           span-tree + metrics JSON (TraceReport::to_json) to FILE
@@ -66,6 +73,7 @@ fn main() {
     let mut scale = 0.2f64;
     let mut json = false;
     let mut mem_budget_mib: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut trace_file: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -93,6 +101,17 @@ fn main() {
                 ));
                 i += 2;
             }
+            "--shards" => {
+                shards = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--shards needs a shard count");
+                            std::process::exit(2);
+                        }),
+                );
+                i += 2;
+            }
             "--trace" => {
                 trace_file = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
                     eprintln!("--trace needs an output file path");
@@ -112,7 +131,7 @@ fn main() {
             // Trace the whole run: every experiment's spans/metrics land in
             // one report. Recording is observational only — the printed
             // tables are bit-identical to an untraced run.
-            let ((), report) = obs::record(|| run(&which, scale, json, mem_budget_mib));
+            let ((), report) = obs::record(|| run(&which, scale, json, mem_budget_mib, shards));
             std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
                 eprintln!("--trace: cannot write {path}: {e}");
                 std::process::exit(2);
@@ -123,7 +142,7 @@ fn main() {
                 report.metric_count()
             );
         }
-        None => run(&which, scale, json, mem_budget_mib),
+        None => run(&which, scale, json, mem_budget_mib, shards),
     }
     eprintln!("[repro {which}: {:.1}s]", t0.elapsed().as_secs_f64());
 }
@@ -153,7 +172,7 @@ fn sales(scale: f64) -> (cadb_engine::Database, cadb_engine::Workload) {
     (db, w)
 }
 
-fn run(which: &str, scale: f64, json: bool, mem_budget_mib: Option<usize>) {
+fn run(which: &str, scale: f64, json: bool, mem_budget_mib: Option<usize>, shards: Option<usize>) {
     let all = which == "all";
     if all || which == "table1" {
         let (db, _) = tpch((scale * 2.5).min(1.0));
@@ -306,9 +325,26 @@ fn run(which: &str, scale: f64, json: bool, mem_budget_mib: Option<usize>) {
                 exec_actuals::exec_json(&[("tpch", &db, &w), ("tpcds", &ds_db, &ds_w)], scale)
             );
         } else {
-            let build = build_options(mem_budget_mib);
-            let (rec_h, report_h, fraction_h) = exec_actuals::measure_with_build(&db, &w, &build);
-            let (_, report_ds, _) = exec_actuals::measure_with_build(&ds_db, &ds_w, &build);
+            // One budget handle per dataset: the meter is shared state, so
+            // a per-dataset clone keeps each peak readable on its own.
+            let budget_h = match mem_budget_mib {
+                Some(mib) => cadb_common::MemoryBudget::limited(mib << 20),
+                None => cadb_common::MemoryBudget::unlimited(),
+            };
+            let budget_ds = match mem_budget_mib {
+                Some(mib) => cadb_common::MemoryBudget::limited(mib << 20),
+                None => cadb_common::MemoryBudget::unlimited(),
+            };
+            let (rec_h, report_h, fraction_h) = exec_actuals::measure_with_build(
+                &db,
+                &w,
+                &build_options(mem_budget_mib).with_budget(budget_h.clone()),
+            );
+            let (_, report_ds, _) = exec_actuals::measure_with_build(
+                &ds_db,
+                &ds_w,
+                &build_options(mem_budget_mib).with_budget(budget_ds.clone()),
+            );
             println!("{}", exec_actuals::exec_table("TPC-H", &report_h).render());
             println!(
                 "{}",
@@ -325,8 +361,7 @@ fn run(which: &str, scale: f64, json: bool, mem_budget_mib: Option<usize>) {
             let (mt, _, _, _) =
                 exec_actuals::maintenance_feedback(&db, &w, &rec_h.configuration, &report_h);
             println!("{}", mt.render());
-            #[allow(deprecated)]
-            let (peak_h, peak_ds) = (report_h.build_peak_bytes, report_ds.build_peak_bytes);
+            let (peak_h, peak_ds) = (budget_h.peak_bytes(), budget_ds.peak_bytes());
             println!(
                 "exec: build peak memory {:.1} MiB (TPC-H) / {:.1} MiB (TPC-DS){}",
                 peak_h as f64 / (1 << 20) as f64,
@@ -387,6 +422,19 @@ fn run(which: &str, scale: f64, json: bool, mem_budget_mib: Option<usize>) {
                 );
                 println!("{}", serve::serve_table("TPC-H", variant, &out).render());
             }
+        }
+        if let Some(max) = shards {
+            // Power-of-two shard counts up to --shards N, N always last.
+            let mut counts: Vec<usize> = std::iter::successors(Some(1usize), |n| n.checked_mul(2))
+                .take_while(|n| *n < max)
+                .collect();
+            counts.push(max.max(1));
+            let points = serve::sharded_serve_curve(&db, &plan::mv_rich_config(&db, &w), &counts);
+            assert!(
+                points.iter().all(|p| p.recovery_verified),
+                "serve --shards: a sharded log set failed to recover"
+            );
+            println!("{}", serve::sharded_serve_table("TPC-H", &points).render());
         }
     }
     if all || which == "shard" {

@@ -13,11 +13,16 @@
 
 use crate::report::Table;
 use cadb_common::json::{JsonArray, JsonObject};
+use cadb_common::obs::{self, HistogramSummary, TraceRecorder};
 use cadb_common::Parallelism;
 use cadb_core::ErrorModel;
 use cadb_engine::{Configuration, CostModel, Database, WhatIfOptimizer, Workload};
-use cadb_exec::{MaterializedConfig, Store, WriteKind};
+use cadb_exec::{MaterializedConfig, ShardedStore, Store, WriteKind};
+use cadb_shard::ShardSpec;
+use std::sync::Arc;
+use std::time::Instant;
 
+use super::obs::write_burst;
 use super::plan::{dtac_config, mv_rich_config};
 
 /// Seed for the synthetic rows the write statements commit (kept distinct
@@ -222,6 +227,177 @@ pub fn serve_json(datasets: &[(&str, &Database, &Workload)], scale: f64) -> Stri
         .finish()
 }
 
+/// One cell of the sharded-serve sweep: a [`write_burst`] committed
+/// through `shards` per-shard WAL streams under the global commit order
+/// (`shards == 0` marks the monolithic single-log baseline).
+#[derive(Debug, Clone)]
+pub struct ShardedServePoint {
+    /// Shard count; `0` = the monolithic [`Store`].
+    pub shards: usize,
+    /// Statements committed.
+    pub commits: u64,
+    /// Wall-clock of the whole burst, milliseconds.
+    pub wall_ms: f64,
+    /// Committed statements per second.
+    pub commits_per_sec: f64,
+    /// Recorded `store.group_commit_ns` distribution.
+    pub latency: HistogramSummary,
+    /// Total log-set bytes: the single WAL, or order log + all shard
+    /// segments.
+    pub wal_bytes: usize,
+    /// Order-insensitive digest of the committed state — equal in every
+    /// cell by the sharded-store equivalence contract.
+    pub state_digest: u64,
+    /// Whether replaying the cell's log set reproduced the live digest
+    /// with nothing discarded.
+    pub recovery_verified: bool,
+}
+
+/// Batch size the sharded-serve sweep group-commits with; large enough
+/// that the order record amortizes over several statements per sync.
+const SHARDED_SERVE_BATCH: usize = 8;
+
+/// Sweep shard counts over a [`write_burst`]: commit the same statements
+/// through the monolithic store and through hash-sharded stores, reading
+/// group-commit latency from the installed recorder and verifying each
+/// cell's recovery. Panics if any cell's committed state diverges — the
+/// sweep doubles as the sharded-equivalence check at bench scale.
+pub fn sharded_serve_curve(
+    db: &Database,
+    cfg: &Configuration,
+    shard_counts: &[usize],
+) -> Vec<ShardedServePoint> {
+    let w = write_burst(db);
+    let mat = MaterializedConfig::build(db, cfg).expect("materialize config");
+    let mut out = Vec::new();
+    // Monolithic baseline: same burst, same batch size, one WAL.
+    {
+        let rec = Arc::new(TraceRecorder::new());
+        let store = Store::open(db, &mat, CostModel::default());
+        let guard = obs::install(rec.clone());
+        let t0 = Instant::now();
+        store
+            .apply_workload_batched(&w, SERVE_SEED, Parallelism::Auto, SHARDED_SERVE_BATCH)
+            .expect("serve burst");
+        let wall = t0.elapsed();
+        drop(guard);
+        let report = rec.report();
+        let wal = store.wal_bytes();
+        let digest = store.state_digest().expect("state digest");
+        let (recovered, rep) =
+            Store::recover(db, &mat, CostModel::default(), &wal).expect("recovery");
+        out.push(ShardedServePoint {
+            shards: 0,
+            commits: report.counter("store.commits").unwrap_or(0),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            commits_per_sec: report.counter("store.commits").unwrap_or(0) as f64
+                / wall.as_secs_f64().max(1e-9),
+            latency: rec
+                .histogram("store.group_commit_ns")
+                .expect("group-commit latency recorded"),
+            wal_bytes: wal.len(),
+            state_digest: digest,
+            recovery_verified: recovered.state_digest().expect("recovered digest") == digest
+                && rep.truncated_bytes == 0
+                && rep.duplicates_skipped == 0,
+        });
+    }
+    for &n in shard_counts {
+        let spec = ShardSpec::hash(n);
+        let rec = Arc::new(TraceRecorder::new());
+        let store =
+            ShardedStore::open(db, &mat, CostModel::default(), spec).expect("open sharded store");
+        let guard = obs::install(rec.clone());
+        let t0 = Instant::now();
+        store
+            .apply_workload_batched(&w, SERVE_SEED, Parallelism::Auto, SHARDED_SERVE_BATCH)
+            .expect("serve burst sharded");
+        let wall = t0.elapsed();
+        drop(guard);
+        let report = rec.report();
+        let order = store.order_bytes();
+        let shard_logs = store.all_shard_wal_bytes();
+        let digest = store.state_digest().expect("state digest");
+        let (recovered, rep) =
+            ShardedStore::recover(db, &mat, CostModel::default(), spec, &order, &shard_logs)
+                .expect("sharded recovery");
+        out.push(ShardedServePoint {
+            shards: n,
+            commits: report.counter("store.commits").unwrap_or(0),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            commits_per_sec: report.counter("store.commits").unwrap_or(0) as f64
+                / wall.as_secs_f64().max(1e-9),
+            latency: rec
+                .histogram("store.group_commit_ns")
+                .expect("group-commit latency recorded"),
+            wal_bytes: order.len() + shard_logs.iter().map(Vec::len).sum::<usize>(),
+            state_digest: digest,
+            recovery_verified: recovered.state_digest().expect("recovered digest") == digest
+                && rep.commits_discarded == 0,
+        });
+    }
+    let d0 = out[0].state_digest;
+    assert!(
+        out.iter().all(|p| p.state_digest == d0),
+        "sharding changed the committed state"
+    );
+    out
+}
+
+/// The sharded-serve sweep as a table: throughput and group-commit
+/// latency vs shard count, with the monolithic baseline first.
+pub fn sharded_serve_table(name: &str, points: &[ShardedServePoint]) -> Table {
+    let mut t = Table::new(
+        format!("serve: {name} commit throughput/latency vs shard count"),
+        &[
+            "shards",
+            "commits",
+            "wall ms",
+            "commits/s",
+            "p50 µs",
+            "p95 µs",
+            "log-set B",
+            "recovered",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            if p.shards == 0 {
+                "mono".to_string()
+            } else {
+                format!("{}", p.shards)
+            },
+            format!("{}", p.commits),
+            format!("{:.1}", p.wall_ms),
+            format!("{:.0}", p.commits_per_sec),
+            format!("{:.1}", p.latency.p50 / 1e3),
+            format!("{:.1}", p.latency.p95 / 1e3),
+            format!("{}", p.wal_bytes),
+            if p.recovery_verified {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+            .to_string(),
+        ]);
+    }
+    t.row(vec![
+        format!(
+            "state digest identical across all {} cells: {:#x}",
+            points.len(),
+            points.first().map(|p| p.state_digest).unwrap_or(0)
+        ),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
 /// Differential check behind the `serve` smoke test: the measured write
 /// totals must be bitwise identical under serial and pooled execution (the
 /// store's determinism contract), and both runs must recover.
@@ -270,6 +446,23 @@ mod tests {
         assert!(json.contains("\"experiment\":\"serve\""));
         assert!(json.contains("\"recovery_verified\":true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn sharded_serve_sweep_is_equivalent_and_recovers() {
+        let gen = cadb_datagen::TpchGen::new(0.01);
+        let db = gen.build().unwrap();
+        let w = gen.workload(&db).unwrap();
+        let cfg = mv_rich_config(&db, &w);
+        let points = sharded_serve_curve(&db, &cfg, &[1, 4]);
+        assert_eq!(points.len(), 3); // mono + 2 shard counts
+        assert!(points.iter().all(|p| p.recovery_verified));
+        assert!(points.iter().all(|p| p.commits == points[0].commits));
+        // The sweep itself asserts digest identity; the table shows it.
+        let table = sharded_serve_table("tpch", &points);
+        let rendered = table.render();
+        assert!(rendered.contains("mono"));
+        assert!(rendered.contains("state digest identical"));
     }
 
     /// The measured MV-maintenance number `MeasuredRun` now reports must

@@ -62,6 +62,14 @@
 //! replays the log into a fresh store and reproduces the committed state
 //! bit for bit; `tests/store_recovery.rs` tears the log at every sync
 //! point to prove it.
+//!
+//! [`store::sharded::ShardedStore`] serves the same write path in
+//! **sharded mode**: per-shard WAL segments routed by the build path's
+//! [`cadb_shard::Partitioning`] policies, stitched into one total order
+//! by a commit-order log — with snapshots, digests and per-statement
+//! actuals bit-identical to the monolithic store for every shard count,
+//! parallelism mode and batch size
+//! (`tests/sharded_store_equivalence.rs`).
 
 #![warn(missing_docs)]
 
@@ -81,6 +89,9 @@ pub use query::{execute_planned, execute_query};
 pub use scan::{
     scan_aggregate, scan_aggregate_range, scan_filter, scan_filter_range, BoundPredicate, ExecMode,
     ExecStats,
+};
+pub use store::sharded::{
+    ShardStats, ShardedCheckpoint, ShardedRecoveryReport, ShardedStore, MAX_SERVE_SHARDS,
 };
 pub use store::{
     CommitReceipt, PageCacheStats, RecoveryReport, Snapshot, Store, StoreCheckpoint, StoreTotals,

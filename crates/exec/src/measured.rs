@@ -409,16 +409,6 @@ pub struct MeasuredReport {
     /// `insert_cost` delta the advisor charged MV structures), kept beside
     /// the measurement so the residual is visible. Same `None` gating.
     pub mv_maintenance_whatif: Option<f64>,
-    /// Peak bytes the materialization's memory budget metered (build
-    /// working sets + resident structures) — the out-of-core path's
-    /// headline number.
-    #[deprecated(
-        since = "0.9.0",
-        note = "duplicate of `BuildStats::peak_bytes`; read \
-                `MaterializedConfig::build_stats().peak_bytes` (or the \
-                `shard.build_peak_bytes` observability gauge) instead"
-    )]
-    pub build_peak_bytes: usize,
 }
 
 impl MeasuredReport {
@@ -536,8 +526,6 @@ impl MeasuredReport {
                     .finish(),
             );
         }
-        #[allow(deprecated)]
-        let build_peak_bytes = self.build_peak_bytes;
         let mut out = JsonObject::new()
             .raw("structures", &structures.finish())
             .num("estimated_total_bytes", self.estimated_total_bytes)
@@ -548,7 +536,6 @@ impl MeasuredReport {
             .bool("all_queries_verified", self.all_queries_verified())
             .num("estimated_workload_cost", self.estimated_workload_cost)
             .num("baseline_workload_cost", self.baseline_workload_cost)
-            .int("build_peak_bytes", build_peak_bytes as i64)
             .bool(
                 "mv_maintenance_measured",
                 self.mv_maintenance_cost.is_some(),
@@ -697,7 +684,6 @@ impl<'a> MeasuredRun<'a> {
         } else {
             None
         };
-        #[allow(deprecated)]
         Ok(MeasuredReport {
             structures: mat.structures().to_vec(),
             estimated_total_bytes,
@@ -708,7 +694,6 @@ impl<'a> MeasuredRun<'a> {
             baseline_workload_cost: opt.workload_cost(self.workload, &Configuration::empty()),
             mv_maintenance_cost,
             mv_maintenance_whatif,
-            build_peak_bytes: mat.build_stats().peak_bytes,
         })
     }
 

@@ -63,6 +63,7 @@
 pub mod delta;
 pub mod effects;
 pub mod maintain;
+pub mod sharded;
 
 use crate::measured::MaterializedConfig;
 use cadb_common::rng::rng_for;
@@ -118,6 +119,11 @@ pub enum WriteKind {
     /// A `BulkDelete`.
     Delete,
 }
+
+/// One prepared write statement: `(statement index, kind, table, n_rows,
+/// resolved effects)` — the unit [`Store::prepare_writes`] hands the
+/// group-commit drivers.
+pub(crate) type PreparedWrite = (usize, WriteKind, TableId, u64, CommitEffects);
 
 /// Measured actuals of one executed write statement.
 #[derive(Debug, Clone)]
@@ -734,6 +740,39 @@ impl<'a> Store<'a> {
     ) -> Result<Vec<WriteActual>> {
         let _span = obs::span("store.apply_workload");
         let batch = batch.max(1);
+        let prepared = self.prepare_writes(w, seed, par)?;
+        let mut out = Vec::with_capacity(prepared.len());
+        for preps in prepared.chunks(batch) {
+            let effs: Vec<CommitEffects> = preps.iter().map(|p| p.4.clone()).collect();
+            let receipts = self.commit_batch(&effs)?;
+            for (p, r) in preps.iter().zip(receipts) {
+                out.push(WriteActual {
+                    statement_index: p.0,
+                    kind: p.1,
+                    table: p.2,
+                    n_rows: p.3,
+                    lsn: r.lsn,
+                    measured_cost: r.measured_cost,
+                    measured_mv_cost: r.measured_mv_cost,
+                    counters: r.counters,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolve every write statement of a workload into commit effects,
+    /// preparing in parallel under `par`. Preparation is a pure function
+    /// of `(statement, seed)` and the immutable bases, so the prepared
+    /// effects — and everything committed from them — are identical for
+    /// every parallelism mode. Shared by the monolithic and the sharded
+    /// ([`sharded::ShardedStore`]) workload drivers.
+    pub(crate) fn prepare_writes(
+        &self,
+        w: &Workload,
+        seed: u64,
+        par: Parallelism,
+    ) -> Result<Vec<PreparedWrite>> {
         let writes: Vec<(usize, &Statement)> = w
             .statements
             .iter()
@@ -746,51 +785,35 @@ impl<'a> Store<'a> {
             })
             .map(|(i, (s, _))| (i, s))
             .collect();
-        let prepared: Vec<(WriteKind, TableId, u64, CommitEffects)> =
-            cadb_common::par_map(par, &writes, |_, &(idx, stmt)| {
-                let label = format!("write-{idx}");
-                Ok(match stmt {
-                    Statement::Insert(ins) => (
-                        WriteKind::Insert,
-                        ins.table,
-                        ins.n_rows,
-                        self.prepare_insert(ins, seed, &label)?,
-                    ),
-                    Statement::Update(upd) => (
-                        WriteKind::Update,
-                        upd.table,
-                        upd.n_rows,
-                        self.prepare_update(upd, seed, &label)?,
-                    ),
-                    Statement::Delete(del) => (
-                        WriteKind::Delete,
-                        del.table,
-                        del.n_rows,
-                        self.prepare_delete(del, seed, &label)?,
-                    ),
-                    Statement::Select(_) => unreachable!("filtered to writes"),
-                })
+        cadb_common::par_map(par, &writes, |_, &(idx, stmt)| {
+            let label = format!("write-{idx}");
+            Ok(match stmt {
+                Statement::Insert(ins) => (
+                    idx,
+                    WriteKind::Insert,
+                    ins.table,
+                    ins.n_rows,
+                    self.prepare_insert(ins, seed, &label)?,
+                ),
+                Statement::Update(upd) => (
+                    idx,
+                    WriteKind::Update,
+                    upd.table,
+                    upd.n_rows,
+                    self.prepare_update(upd, seed, &label)?,
+                ),
+                Statement::Delete(del) => (
+                    idx,
+                    WriteKind::Delete,
+                    del.table,
+                    del.n_rows,
+                    self.prepare_delete(del, seed, &label)?,
+                ),
+                Statement::Select(_) => unreachable!("filtered to writes"),
             })
-            .into_iter()
-            .collect::<Result<Vec<_>>>()?;
-        let mut out = Vec::with_capacity(prepared.len());
-        for (stmts, preps) in writes.chunks(batch).zip(prepared.chunks(batch)) {
-            let effs: Vec<CommitEffects> = preps.iter().map(|p| p.3.clone()).collect();
-            let receipts = self.commit_batch(&effs)?;
-            for ((&(idx, _), p), r) in stmts.iter().zip(preps).zip(receipts) {
-                out.push(WriteActual {
-                    statement_index: idx,
-                    kind: p.0,
-                    table: p.1,
-                    n_rows: p.2,
-                    lsn: r.lsn,
-                    measured_cost: r.measured_cost,
-                    measured_mv_cost: r.measured_mv_cost,
-                    counters: r.counters,
-                });
-            }
-        }
-        Ok(out)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()
     }
 
     // ------------------------------------------------------------------

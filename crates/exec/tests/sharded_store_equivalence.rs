@@ -1,0 +1,351 @@
+//! The sharded serving layer's equivalence contract, pinned on real
+//! benchmark shapes: a [`ShardedStore`] must be **bit-identical** to the
+//! monolithic [`Store`] — same state digests, same per-statement
+//! [`WriteActual`]s (LSNs, measured costs, counters), same recovered
+//! state, same checkpoint artifacts — for every cell of
+//!
+//! > shards {1, 2, 8} × partitioning {Hash, Range} ×
+//! > parallelism {Serial, Auto} × batch size {1, 16}
+//!
+//! over TPC-H and TPC-DS databases whose workloads mix INSERT, UPDATE and
+//! DELETE against a configuration with a clustered base, a covering
+//! secondary and workload-derived materialized views. Per-shard WAL
+//! streams are additionally pinned *within* a shard layout: the sharded
+//! log-set digest depends only on the statement order, never on the
+//! parallelism mode or the batch size.
+
+use cadb_common::{ColumnId, Parallelism};
+use cadb_compression::CompressionKind;
+use cadb_engine::stmt::ScalarExpr;
+use cadb_engine::{
+    BulkDelete, BulkUpdate, Configuration, CostModel, Database, IndexSpec, MvSpec,
+    PhysicalStructure, Statement, WhatIfOptimizer, Workload,
+};
+use cadb_exec::{MaterializedConfig, ShardedStore, Store, WriteActual};
+use cadb_shard::ShardSpec;
+use cadb_sql::AggFunc;
+
+/// Write seed (same constant the serve experiment uses).
+const SEED: u64 = 0xCADB;
+
+/// Add an UPDATE and a DELETE on the dataset's fact table, so the matrix
+/// exercises base-slot routing (contiguous ranges / old-row hashes), not
+/// just append routing.
+fn add_update_delete(w: &mut Workload, db: &Database, fact: &str, column: u16) {
+    let t = db.table_id(fact).expect("fact table");
+    w.push(
+        Statement::Update(BulkUpdate {
+            table: t,
+            n_rows: 60,
+            column: ColumnId(column),
+        }),
+        1.0,
+    );
+    w.push(
+        Statement::Delete(BulkDelete {
+            table: t,
+            n_rows: 30,
+        }),
+        1.0,
+    );
+}
+
+/// A serving configuration mirroring the bench harness's `mv_rich_config`
+/// idiom: one MV per MV-answerable grouped query (residual predicates on
+/// grouping columns, COUNT/SUM aggregates only), plus a clustered
+/// compressed base and a covering secondary on the fact table so
+/// incremental maintenance touches every structure kind.
+fn rich_config(db: &Database, w: &Workload, fact: &str) -> Configuration {
+    let t = db.table_id(fact).expect("fact table");
+    let opt = WhatIfOptimizer::new(db);
+    let mut cfg = Configuration::empty();
+    let clustered = IndexSpec {
+        table: t,
+        key_cols: vec![ColumnId(0)],
+        include_cols: vec![],
+        clustered: true,
+        compression: CompressionKind::Page,
+        partial_filter: None,
+        mv: None,
+    };
+    let size = opt.estimate_uncompressed_size(&clustered).compressed(0.5);
+    cfg.add(PhysicalStructure {
+        spec: clustered,
+        size,
+    });
+    let secondary = IndexSpec {
+        table: t,
+        key_cols: vec![ColumnId(1)],
+        include_cols: vec![ColumnId(2), ColumnId(3)],
+        clustered: false,
+        compression: CompressionKind::Row,
+        partial_filter: None,
+        mv: None,
+    };
+    let size = opt.estimate_uncompressed_size(&secondary).compressed(0.5);
+    cfg.add(PhysicalStructure {
+        spec: secondary,
+        size,
+    });
+    let mut seen: Vec<MvSpec> = Vec::new();
+    for (q, _) in w.queries() {
+        if q.group_by.is_empty()
+            || !q
+                .predicates
+                .iter()
+                .all(|p| q.group_by.contains(&(p.table, p.column)))
+        {
+            continue;
+        }
+        let serveable = q.aggregates.iter().all(|a| {
+            matches!(
+                (&a.func, &a.expr),
+                (AggFunc::Count, None) | (AggFunc::Sum, Some(ScalarExpr::Column(..)))
+            )
+        });
+        if !serveable {
+            continue;
+        }
+        let agg_columns = {
+            let mut v: Vec<_> = q
+                .aggregates
+                .iter()
+                .flat_map(|a| a.columns.iter().copied())
+                .filter(|tc| !q.group_by.contains(tc))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mv = MvSpec {
+            root: q.root,
+            joins: {
+                let mut j = q.joins.clone();
+                j.sort_unstable();
+                j
+            },
+            group_by: q.group_by.clone(),
+            agg_columns,
+        };
+        if seen.contains(&mv) {
+            continue;
+        }
+        seen.push(mv.clone());
+        let n_stored = mv.stored_columns();
+        let spec = IndexSpec {
+            table: q.root,
+            key_cols: (0..q.group_by.len().min(n_stored) as u16)
+                .map(ColumnId)
+                .collect(),
+            include_cols: (q.group_by.len() as u16..n_stored as u16)
+                .map(ColumnId)
+                .collect(),
+            clustered: false,
+            compression: CompressionKind::None,
+            partial_filter: None,
+            mv: Some(mv),
+        };
+        let size = opt.estimate_uncompressed_size(&spec).compressed(0.5);
+        cfg.add(PhysicalStructure { spec, size });
+    }
+    cfg
+}
+
+fn tpch() -> (Database, Workload, Configuration) {
+    let gen = cadb_datagen::TpchGen::new(0.01);
+    let db = gen.build().unwrap();
+    let mut w = gen.workload(&db).unwrap();
+    add_update_delete(&mut w, &db, "lineitem", 4);
+    let cfg = rich_config(&db, &w, "lineitem");
+    (db, w, cfg)
+}
+
+fn tpcds() -> (Database, Workload, Configuration) {
+    let gen = cadb_datagen::TpcdsGen::new(0.01);
+    let db = gen.build().unwrap();
+    let mut w = gen.workload(&db).unwrap();
+    add_update_delete(&mut w, &db, "store_sales", 3);
+    let cfg = rich_config(&db, &w, "store_sales");
+    (db, w, cfg)
+}
+
+fn assert_actuals_eq(a: &[WriteActual], b: &[WriteActual], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: actual counts");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.statement_index, y.statement_index, "{ctx}");
+        assert_eq!(x.lsn, y.lsn, "{ctx}: lsn of stmt {}", x.statement_index);
+        assert_eq!(
+            x.counters, y.counters,
+            "{ctx}: counters of stmt {}",
+            x.statement_index
+        );
+        assert_eq!(
+            x.measured_cost.to_bits(),
+            y.measured_cost.to_bits(),
+            "{ctx}: measured cost of stmt {}",
+            x.statement_index
+        );
+        assert_eq!(
+            x.measured_mv_cost.to_bits(),
+            y.measured_mv_cost.to_bits(),
+            "{ctx}: mv cost of stmt {}",
+            x.statement_index
+        );
+    }
+}
+
+/// The full matrix on one dataset: every sharded cell must reproduce the
+/// monolithic baseline bit for bit, live and recovered.
+fn matrix(db: &Database, w: &Workload, cfg: &Configuration, name: &str) {
+    let mat = MaterializedConfig::build(db, cfg).unwrap();
+    // Monolithic baseline.
+    let mono = Store::open(db, &mat, CostModel::default());
+    let mut mono_acts = mono.apply_workload(w, SEED, Parallelism::Serial).unwrap();
+    mono_acts.sort_by_key(|a| a.statement_index);
+    let mono_digest = mono.state_digest().unwrap();
+    let mono_totals = mono.totals();
+
+    for shards in [1usize, 2, 8] {
+        for spec in [ShardSpec::hash(shards), ShardSpec::range(shards)] {
+            // The per-shard logged bytes must not depend on parallelism
+            // or batch size.
+            let mut log_digest: Option<u64> = None;
+            for par in [Parallelism::Serial, Parallelism::Auto] {
+                for batch in [1usize, 16] {
+                    let ctx = format!("{name}: {spec:?} par={par:?} batch={batch}");
+                    let store = ShardedStore::open(db, &mat, CostModel::default(), spec).unwrap();
+                    let mut acts = store.apply_workload_batched(w, SEED, par, batch).unwrap();
+                    acts.sort_by_key(|a| a.statement_index);
+                    assert_actuals_eq(&mono_acts, &acts, &ctx);
+                    assert_eq!(store.state_digest().unwrap(), mono_digest, "{ctx}: digest");
+                    let totals = store.totals();
+                    assert_eq!(totals.counters, mono_totals.counters, "{ctx}: counters");
+                    assert_eq!(
+                        totals.measured_cost.to_bits(),
+                        mono_totals.measured_cost.to_bits(),
+                        "{ctx}: totals cost"
+                    );
+                    let d = store.wal_frame_digest();
+                    assert_eq!(*log_digest.get_or_insert(d), d, "{ctx}: log-set digest");
+                    // Full-log recovery reproduces the live state.
+                    let (rec, report) = ShardedStore::recover(
+                        db,
+                        &mat,
+                        CostModel::default(),
+                        spec,
+                        &store.order_bytes(),
+                        &store.all_shard_wal_bytes(),
+                    )
+                    .unwrap();
+                    assert_eq!(report.commits_discarded, 0, "{ctx}: clean log");
+                    assert_eq!(report.watermark, store.watermark(), "{ctx}");
+                    assert_eq!(rec.state_digest().unwrap(), mono_digest, "{ctx}: recovered");
+                    assert_eq!(rec.wal_frame_digest(), d, "{ctx}: recovered log set");
+                    for (s, r) in report.per_shard.iter().enumerate() {
+                        assert_eq!(r.truncated_bytes, 0, "{ctx}: shard {s}");
+                        assert_eq!(r.duplicates_skipped, 0, "{ctx}: shard {s}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tpch_sharded_matrix_matches_monolithic() {
+    let (db, w, cfg) = tpch();
+    matrix(&db, &w, &cfg, "tpch");
+}
+
+#[test]
+fn tpcds_sharded_matrix_matches_monolithic() {
+    let (db, w, cfg) = tpcds();
+    matrix(&db, &w, &cfg, "tpcds");
+}
+
+/// Checkpoint equivalence: the sharded checkpoint's folded artifact is
+/// bit-identical to the monolithic store's at the same watermark, every
+/// log in the set truncates to its marker, and checkpoint-anchored
+/// recovery from the artifact + tails reproduces the final state.
+#[test]
+fn sharded_checkpoint_matches_monolithic_and_recovers() {
+    let (db, w, cfg) = tpch();
+    let mat = MaterializedConfig::build(&db, &cfg).unwrap();
+    let mono = Store::open(&db, &mat, CostModel::default());
+    mono.apply_workload(&w, SEED, Parallelism::Serial).unwrap();
+    let mono_ckpt = mono.checkpoint().unwrap();
+
+    for spec in [ShardSpec::hash(4), ShardSpec::range(4)] {
+        let store = ShardedStore::open(&db, &mat, CostModel::default(), spec).unwrap();
+        store
+            .apply_workload_batched(&w, SEED, Parallelism::Auto, 4)
+            .unwrap();
+        let ckpt = store.checkpoint().unwrap();
+        assert_eq!(ckpt.store.lsn, mono_ckpt.lsn, "{spec:?}");
+        assert_eq!(
+            ckpt.store.digest(),
+            mono_ckpt.digest(),
+            "{spec:?}: artifact"
+        );
+        assert_eq!(ckpt.shard_next_lsns.len(), 4, "{spec:?}");
+        // Every log truncated to its marker: exactly one checkpoint frame
+        // remains at the head of each.
+        let order = cadb_storage::wal::replay(&store.order_bytes());
+        assert_eq!(order.frames.len(), 1, "{spec:?}: order truncated");
+
+        // Write a tail past the checkpoint, then recover from artifact +
+        // truncated logs.
+        store
+            .apply_workload_batched(&w, SEED + 1, Parallelism::Serial, 2)
+            .unwrap();
+        let live = store.state_digest().unwrap();
+        let (rec, report) = ShardedStore::recover_with_checkpoint(
+            &db,
+            &mat,
+            CostModel::default(),
+            spec,
+            &ckpt,
+            &store.order_bytes(),
+            &store.all_shard_wal_bytes(),
+        )
+        .unwrap();
+        assert_eq!(report.commits_discarded, 0, "{spec:?}: clean tail");
+        assert_eq!(rec.state_digest().unwrap(), live, "{spec:?}: tail replay");
+        assert_eq!(rec.watermark(), store.watermark(), "{spec:?}");
+    }
+}
+
+/// The shard layout really spreads work: with 8 shards on TPC-H, more
+/// than one shard log receives frames, the per-shard stats add up to the
+/// workload's routed rows, and `shard_stats` mirrors the log set.
+#[test]
+fn shard_stats_account_for_routed_rows() {
+    let (db, w, cfg) = tpch();
+    let mat = MaterializedConfig::build(&db, &cfg).unwrap();
+    for spec in [ShardSpec::hash(8), ShardSpec::range(8)] {
+        let store = ShardedStore::open(&db, &mat, CostModel::default(), spec).unwrap();
+        let acts = store
+            .apply_workload_batched(&w, SEED, Parallelism::Auto, 4)
+            .unwrap();
+        let routed: u64 = acts
+            .iter()
+            .map(|a| a.counters.rows_appended + a.counters.rows_rewritten + a.counters.rows_deleted)
+            .sum();
+        let stats = store.shard_stats();
+        assert_eq!(stats.len(), 8, "{spec:?}");
+        let by_shard: u64 = stats.iter().map(|s| s.rows_routed).sum();
+        assert_eq!(by_shard, routed, "{spec:?}: every row routed exactly once");
+        let active = stats.iter().filter(|s| s.frames > 0).count();
+        assert!(
+            active > 1,
+            "{spec:?}: workload spread over {active} shard(s)"
+        );
+        for (s, st) in stats.iter().enumerate() {
+            assert_eq!(
+                st.wal_bytes as usize,
+                store.shard_wal_bytes(s).len(),
+                "{spec:?}: shard {s} byte accounting"
+            );
+        }
+    }
+}

@@ -19,7 +19,15 @@
 //!   append-only deltas, rebuilt when rows were rewritten or deleted) and
 //!   agree with the row-visibility view;
 //! * MV overlays agree with a brute-force recompute from visible rows;
-//! * snapshots stay consistent under concurrent writers.
+//! * snapshots stay consistent under concurrent writers;
+//! * **sharded serving** converges to the committed prefix when crashed at
+//!   every per-shard WAL sync point (a torn shard tail ends the total
+//!   order at the first commit referencing a lost frame) and at the
+//!   global commit-order record (durable shard frames without an order
+//!   record are uncommitted), with group commit preserving whole batches
+//!   and random torn log sets pinned by a proptest;
+//! * sharded snapshots stay consistent under N readers × M writers × K
+//!   shards — no reader observes a partially applied cross-shard batch.
 
 use cadb_common::{ColumnDef, ColumnId, DataType, Parallelism, Row, TableId, TableSchema, Value};
 use cadb_compression::CompressionKind;
@@ -897,4 +905,373 @@ fn snapshots_stay_consistent_under_concurrent_writers() {
 fn malformed_commit_payload_is_an_error_not_a_panic() {
     assert!(CommitEffects::decode(&[1, 2, 3]).is_err());
     assert!(CommitEffects::decode(&[]).is_err());
+}
+
+// ===================== sharded serving crash matrix =====================
+
+use cadb_exec::ShardedStore;
+use cadb_shard::ShardSpec;
+use cadb_storage::wal::{replay as wal_replay, CommitOrderRecord, FrameType};
+
+/// Oracle: the monolithic state digest after each committed write prefix
+/// (`digests[k]` = digest after the first `k` writes). The sharded store
+/// is bit-identical to the monolithic one, so these are exactly the
+/// states a sharded crash may legally recover to.
+fn prefix_digests(db: &Database, mat: &MaterializedConfig, w: &Workload, seed: u64) -> Vec<u64> {
+    let store = Store::open(db, mat, CostModel::default());
+    let mut digests = vec![store.state_digest().unwrap()];
+    for (idx, (stmt, _)) in w.statements.iter().enumerate() {
+        let label = format!("write-{idx}");
+        let eff = match stmt {
+            Statement::Insert(i) => store.prepare_insert(i, seed, &label).unwrap(),
+            Statement::Update(u) => store.prepare_update(u, seed, &label).unwrap(),
+            Statement::Delete(d) => store.prepare_delete(d, seed, &label).unwrap(),
+            Statement::Select(_) => continue,
+        };
+        store.commit(eff).unwrap();
+        digests.push(store.state_digest().unwrap());
+    }
+    digests
+}
+
+/// How many leading order records are fully durable in a (possibly torn)
+/// log set: the committed prefix ends at the first record referencing a
+/// shard frame that did not survive.
+fn durable_prefix(order_bytes: &[u8], shard_bytes: &[Vec<u8>]) -> usize {
+    let shard_lsns: Vec<std::collections::HashSet<u64>> = shard_bytes
+        .iter()
+        .map(|b| {
+            wal_replay(b)
+                .frames
+                .iter()
+                .filter(|f| f.frame_type == FrameType::Commit)
+                .map(|f| f.lsn)
+                .collect()
+        })
+        .collect();
+    let mut n = 0;
+    for f in &wal_replay(order_bytes).frames {
+        if f.frame_type != FrameType::Commit {
+            continue;
+        }
+        let rec = CommitOrderRecord::decode(&f.payload).unwrap();
+        if rec
+            .entries
+            .iter()
+            .all(|(s, l)| shard_lsns[*s as usize].contains(l))
+        {
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n
+}
+
+/// Crash at **every per-shard WAL sync point** (clean and torn cuts) with
+/// the order log intact, and at **every order-log sync point** with the
+/// shard logs intact: recovery is byte-identical to the committed prefix
+/// the surviving log set proves, with per-shard `truncated_bytes` /
+/// `duplicates_skipped` accounting exact.
+#[test]
+fn sharded_crash_at_every_sync_point_recovers_committed_prefix() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let w = workload();
+    let digests = prefix_digests(&db, &mat, &w, 7);
+
+    for spec in [ShardSpec::hash(3), ShardSpec::range(3)] {
+        let store = ShardedStore::open(&db, &mat, CostModel::default(), spec).unwrap();
+        store.apply_workload(&w, 7, Parallelism::Serial).unwrap();
+        let order = store.order_bytes();
+        let full = store.all_shard_wal_bytes();
+        let n_commits = durable_prefix(&order, &full);
+        assert_eq!(n_commits + 1, digests.len(), "{spec:?}: clean log set");
+
+        // Tear each shard's tail: clean cut at every sync point plus torn
+        // offsets strictly inside frames.
+        for s in 0..3usize {
+            let syncs = store.shard_sync_points(s);
+            let mut cuts: Vec<usize> = vec![0];
+            cuts.extend(syncs.iter().copied());
+            let mut prev = 0usize;
+            for &end in &syncs {
+                if end > prev + 2 {
+                    cuts.push(prev + 1);
+                    cuts.push((prev + end) / 2);
+                }
+                prev = end;
+            }
+            for cut in cuts {
+                let mut bytes = full.clone();
+                bytes[s].truncate(cut);
+                let j = durable_prefix(&order, &bytes);
+                let (rec, rep) =
+                    ShardedStore::recover(&db, &mat, CostModel::default(), spec, &order, &bytes)
+                        .unwrap();
+                let ctx = format!("{spec:?}: shard {s} cut at {cut}");
+                assert_eq!(rec.state_digest().unwrap(), digests[j], "{ctx}");
+                assert_eq!(rep.order.frames_applied, j, "{ctx}");
+                assert_eq!(rep.commits_discarded, n_commits - j, "{ctx}");
+                assert_eq!(rep.watermark, j as u64, "{ctx}");
+                let base = syncs
+                    .iter()
+                    .copied()
+                    .filter(|&x| x <= cut)
+                    .max()
+                    .unwrap_or(0);
+                assert_eq!(rep.per_shard[s].truncated_bytes, cut - base, "{ctx}");
+                for (o, r) in rep.per_shard.iter().enumerate() {
+                    assert_eq!(r.duplicates_skipped, 0, "{ctx}: shard {o}");
+                    if o != s {
+                        assert_eq!(r.truncated_bytes, 0, "{ctx}: shard {o}");
+                    }
+                }
+            }
+        }
+
+        // Tear the order log: the order record is the commit point, so
+        // exactly k commits survive a cut at sync point k even though
+        // every shard frame is durable — and nothing is "discarded",
+        // the lost commits never reached the log.
+        let osyncs = store.order_sync_points();
+        assert_eq!(
+            osyncs.len(),
+            n_commits,
+            "{spec:?}: one order sync per commit"
+        );
+        for (k, &cut) in [0usize].iter().chain(osyncs.iter()).enumerate() {
+            let (rec, rep) =
+                ShardedStore::recover(&db, &mat, CostModel::default(), spec, &order[..cut], &full)
+                    .unwrap();
+            let ctx = format!("{spec:?}: order cut at sync {k}");
+            assert_eq!(rec.state_digest().unwrap(), digests[k], "{ctx}");
+            assert_eq!(rep.order.frames_applied, k, "{ctx}");
+            assert_eq!(rep.commits_discarded, 0, "{ctx}");
+            assert_eq!(rep.order.truncated_bytes, 0, "{ctx}");
+            for r in &rep.per_shard {
+                assert_eq!(r.truncated_bytes, 0, "{ctx}");
+            }
+        }
+        // Torn order tail inside the last record: the preceding prefix
+        // survives and the torn bytes are counted.
+        let last = *osyncs.last().unwrap();
+        let prev = osyncs[osyncs.len() - 2];
+        for cut in [prev + 1, (prev + last) / 2, last - 1] {
+            let (rec, rep) =
+                ShardedStore::recover(&db, &mat, CostModel::default(), spec, &order[..cut], &full)
+                    .unwrap();
+            assert_eq!(
+                rec.state_digest().unwrap(),
+                digests[n_commits - 1],
+                "{spec:?}: torn order tail at {cut}"
+            );
+            assert_eq!(rep.order.truncated_bytes, cut - prev);
+        }
+    }
+}
+
+/// Group commit changes durability granularity only: with batches of 2
+/// and 4, an order-log crash at a sync point preserves whole batches —
+/// never a partial one — and the recovered state matches the monolithic
+/// prefix digest at the batch boundary.
+#[test]
+fn sharded_group_commit_crash_preserves_whole_batches() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let w = workload();
+    let digests = prefix_digests(&db, &mat, &w, 7);
+    let n_writes = digests.len() - 1;
+
+    for spec in [ShardSpec::hash(3), ShardSpec::range(2)] {
+        for batch in [2usize, 4] {
+            let store = ShardedStore::open(&db, &mat, CostModel::default(), spec).unwrap();
+            store
+                .apply_workload_batched(&w, 7, Parallelism::Auto, batch)
+                .unwrap();
+            let order = store.order_bytes();
+            let full = store.all_shard_wal_bytes();
+            let osyncs = store.order_sync_points();
+            assert_eq!(
+                osyncs.len(),
+                n_writes.div_ceil(batch),
+                "{spec:?} batch {batch}"
+            );
+            for (k, &cut) in [0usize].iter().chain(osyncs.iter()).enumerate() {
+                let survived = (k * batch).min(n_writes);
+                let (rec, rep) = ShardedStore::recover(
+                    &db,
+                    &mat,
+                    CostModel::default(),
+                    spec,
+                    &order[..cut],
+                    &full,
+                )
+                .unwrap();
+                assert_eq!(
+                    rec.state_digest().unwrap(),
+                    digests[survived],
+                    "{spec:?} batch {batch}: cut after batch {k}"
+                );
+                assert_eq!(rep.order.frames_applied, survived);
+            }
+            // A shard-tail crash at a batch sync point likewise discards
+            // from the first commit of the lost batch on.
+            for s in 0..spec.shards {
+                for &cut in store.shard_sync_points(s).iter() {
+                    let mut bytes = full.clone();
+                    bytes[s].truncate(cut);
+                    let j = durable_prefix(&order, &bytes);
+                    let (rec, _) = ShardedStore::recover(
+                        &db,
+                        &mat,
+                        CostModel::default(),
+                        spec,
+                        &order,
+                        &bytes,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        rec.state_digest().unwrap(),
+                        digests[j],
+                        "{spec:?} batch {batch}: shard {s} cut {cut}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+mod sharded_crash_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Any torn log set — a random byte cut in a random member of the
+        /// log set, under a random shard layout and batch size — recovers
+        /// exactly the committed prefix the surviving bytes prove.
+        #[test]
+        fn random_torn_log_set_recovers_a_committed_prefix(
+            shards in 1usize..5,
+            hash in any::<bool>(),
+            batch in 1usize..4,
+            victim in 0usize..6,
+            frac in 0.0f64..1.0,
+        ) {
+            let db = db();
+            let mat = MaterializedConfig::build(&db, &config()).unwrap();
+            let w = workload();
+            let digests = prefix_digests(&db, &mat, &w, 7);
+            let spec = if hash { ShardSpec::hash(shards) } else { ShardSpec::range(shards) };
+            let store = ShardedStore::open(&db, &mat, CostModel::default(), spec).unwrap();
+            store.apply_workload_batched(&w, 7, Parallelism::Serial, batch).unwrap();
+            let mut order = store.order_bytes();
+            let mut bytes = store.all_shard_wal_bytes();
+            // Cut either the order log or one shard's log at a random
+            // byte offset.
+            if victim % (shards + 1) == shards {
+                let cut = (order.len() as f64 * frac) as usize;
+                order.truncate(cut);
+            } else {
+                let s = victim % (shards + 1);
+                let cut = (bytes[s].len() as f64 * frac) as usize;
+                bytes[s].truncate(cut);
+            }
+            let j = durable_prefix(&order, &bytes);
+            let (rec, rep) = ShardedStore::recover(
+                &db, &mat, CostModel::default(), spec, &order, &bytes,
+            ).unwrap();
+            prop_assert_eq!(rec.state_digest().unwrap(), digests[j]);
+            prop_assert_eq!(rep.watermark, j as u64);
+            // Recovery rebuilt exactly the committed prefix: recovering
+            // the recovered store's own log set is a fixed point.
+            let (rec2, rep2) = ShardedStore::recover(
+                &db, &mat, CostModel::default(), spec,
+                &rec.order_bytes(), &rec.all_shard_wal_bytes(),
+            ).unwrap();
+            prop_assert_eq!(rec2.state_digest().unwrap(), digests[j]);
+            prop_assert_eq!(rep2.commits_discarded, 0);
+            prop_assert_eq!(rec2.wal_frame_digest(), rec.wal_frame_digest());
+        }
+    }
+}
+
+/// N readers × M writers × K shards: every snapshot a reader takes must
+/// be internally consistent against the sharded log set — no reader ever
+/// observes a partially applied cross-shard batch — and the full
+/// concurrent log set replays to the live state.
+#[test]
+fn sharded_snapshots_stay_consistent_under_concurrent_writers() {
+    let db = db();
+    let mat = MaterializedConfig::build(&db, &config()).unwrap();
+    let n_writers = 3usize;
+    let commits_per_writer = 6usize;
+
+    for spec in [ShardSpec::hash(4), ShardSpec::range(4)] {
+        let store = ShardedStore::open(&db, &mat, CostModel::default(), spec).unwrap();
+        std::thread::scope(|scope| {
+            for wr in 0..n_writers {
+                let store = &store;
+                scope.spawn(move || {
+                    for c in 0..commits_per_writer {
+                        let eff = store
+                            .prepare_insert(
+                                &BulkInsert {
+                                    table: FACT,
+                                    n_rows: 10,
+                                },
+                                99,
+                                &format!("w{wr}-c{c}"),
+                            )
+                            .unwrap();
+                        store.commit(eff).unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut last_n = 0usize;
+                    let mut last_lsn = 0u64;
+                    loop {
+                        let snap = store.snapshot();
+                        let n = snap.n_rows(FACT).unwrap();
+                        assert!(store.snapshot_consistent(snap.lsn()).unwrap());
+                        assert!(
+                            snap.lsn() < last_lsn || n >= last_n,
+                            "visible rows regressed: {n} < {last_n}"
+                        );
+                        if snap.lsn() >= last_lsn {
+                            last_n = n;
+                            last_lsn = snap.lsn();
+                        }
+                        if store.totals().commits as usize == n_writers * commits_per_writer {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+
+        let expected = N_FACT as usize + n_writers * commits_per_writer * 10;
+        assert_eq!(store.snapshot().n_rows(FACT).unwrap(), expected);
+        let (recovered, rep) = ShardedStore::recover(
+            &db,
+            &mat,
+            CostModel::default(),
+            spec,
+            &store.order_bytes(),
+            &store.all_shard_wal_bytes(),
+        )
+        .unwrap();
+        assert_eq!(rep.commits_discarded, 0, "{spec:?}");
+        assert_eq!(
+            recovered.state_digest().unwrap(),
+            store.state_digest().unwrap(),
+            "{spec:?}"
+        );
+    }
 }

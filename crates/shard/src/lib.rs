@@ -30,5 +30,7 @@ pub mod partition;
 pub mod table;
 
 pub use index::{scan_leaves_parallel, ShardedIndex};
-pub use partition::{BuildOptions, BuildStats, Partitioning, ShardSpec, DEFAULT_STRIPE_ROWS};
+pub use partition::{
+    BuildOptions, BuildStats, Partitioning, ShardRouter, ShardSpec, DEFAULT_STRIPE_ROWS,
+};
 pub use table::ShardedTable;

@@ -124,6 +124,76 @@ impl BuildStats {
     }
 }
 
+/// Routes the **serving path**'s writes to shards — the write-side
+/// counterpart of the build-side partitioner. The same [`Partitioning`]
+/// policies apply, translated to row-at-a-time routing:
+///
+/// * [`Partitioning::Hash`]: a row routes by [`key_hash`] of its leading
+///   key columns (all columns when the base is an unkeyed heap), whether
+///   it is an appended row or the base version an update/delete targets.
+/// * [`Partitioning::Range`]: base slots route by contiguous ranges of
+///   their base ordinal (mirroring the build's position ranges); appended
+///   rows, whose ordinal space grows without bound, route round-robin by
+///   their append sequence number.
+///
+/// Routing is a pure function of `(policy, shards, base_n, n_key_cols)`
+/// and the routed row/slot — independent of parallelism mode, batch size
+/// and platform — so the same commit always shards the same way.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    spec: ShardSpec,
+    /// Leading key columns [`Partitioning::Hash`] hashes (0 = whole row).
+    n_key_cols: usize,
+    /// Base-table row count [`Partitioning::Range`] splits into ranges.
+    base_n: usize,
+}
+
+impl ShardRouter {
+    /// A router for one table's writes.
+    pub fn new(spec: ShardSpec, n_key_cols: usize, base_n: usize) -> Self {
+        ShardRouter {
+            spec,
+            n_key_cols,
+            base_n,
+        }
+    }
+
+    /// Number of shards routed across.
+    pub fn shards(&self) -> usize {
+        self.spec.shards
+    }
+
+    fn hash_route(&self, row: &Row) -> usize {
+        let n_key = if self.n_key_cols == 0 {
+            row.values.len()
+        } else {
+            self.n_key_cols
+        };
+        (key_hash(row, n_key) % self.spec.shards as u64) as usize
+    }
+
+    /// Shard of an appended row; `seq` is the row's append sequence number
+    /// within its statement (the Range policy's round-robin counter —
+    /// statement-local, so routing never depends on commit interleaving).
+    pub fn route_append(&self, row: &Row, seq: u64) -> usize {
+        match self.spec.partitioning {
+            Partitioning::Hash => self.hash_route(row),
+            Partitioning::Range => (seq % self.spec.shards as u64) as usize,
+        }
+    }
+
+    /// Shard of a base slot an update or delete targets; `old_row` is the
+    /// slot's immutable base version (what the Hash policy hashes).
+    pub fn route_base_slot(&self, ordinal: u32, old_row: &Row) -> usize {
+        match self.spec.partitioning {
+            Partitioning::Hash => self.hash_route(old_row),
+            Partitioning::Range => (ordinal as usize * self.spec.shards)
+                .checked_div(self.base_n)
+                .map_or(0, |s| s.min(self.spec.shards - 1)),
+        }
+    }
+}
+
 /// Stable FNV-1a hash of a row's leading `n_key_cols` values — the Hash
 /// partitioning router. Independent of platform and shard count.
 pub fn key_hash(row: &Row, n_key_cols: usize) -> u64 {
@@ -177,5 +247,48 @@ mod tests {
     fn spec_clamps_to_one_shard() {
         assert_eq!(ShardSpec::range(0).shards, 1);
         assert_eq!(ShardSpec::hash(8).partitioning, Partitioning::Hash);
+    }
+
+    #[test]
+    fn router_is_deterministic_and_in_range() {
+        let rows: Vec<Row> = (0..40)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Str(format!("s{i}"))]))
+            .collect();
+        for spec in [ShardSpec::hash(4), ShardSpec::range(4)] {
+            let r = ShardRouter::new(spec, 1, rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                let s = r.route_append(row, i as u64);
+                assert!(s < 4);
+                assert_eq!(s, r.route_append(row, i as u64));
+                let b = r.route_base_slot(i as u32, row);
+                assert!(b < 4);
+                assert_eq!(b, r.route_base_slot(i as u32, row));
+            }
+        }
+    }
+
+    #[test]
+    fn range_router_splits_base_ordinals_contiguously() {
+        let r = ShardRouter::new(ShardSpec::range(4), 1, 100);
+        let row = Row::new(vec![Value::Int(0)]);
+        let shards: Vec<usize> = (0..100).map(|o| r.route_base_slot(o, &row)).collect();
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]), "contiguous ranges");
+        assert_eq!(shards[0], 0);
+        assert_eq!(shards[99], 3);
+        // Appends round-robin.
+        assert_eq!(r.route_append(&row, 0), 0);
+        assert_eq!(r.route_append(&row, 5), 1);
+    }
+
+    #[test]
+    fn hash_router_with_no_key_cols_hashes_the_whole_row() {
+        let r = ShardRouter::new(ShardSpec::hash(8), 0, 10);
+        let a = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Row::new(vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(r.route_append(&a, 0), r.route_append(&a, 99));
+        // A single-shard router degenerates to shard 0 either way.
+        let one = ShardRouter::new(ShardSpec::hash(1), 0, 10);
+        assert_eq!(one.route_append(&b, 0), 0);
+        assert_eq!(one.route_base_slot(3, &b), 0);
     }
 }

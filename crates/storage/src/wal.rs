@@ -165,6 +165,118 @@ impl WalSegment {
     }
 }
 
+/// The **global commit-order record** of a sharded log set: the payload of
+/// one `Commit` frame in the *order log* that stitches a committed
+/// statement's per-shard WAL frames back into the single total order.
+///
+/// A sharded commit splits its effects by the partitioning policy: every
+/// participating shard appends one frame (its sub-effects, under a
+/// shard-local LSN) to its own segment, then the order log appends this
+/// record under the **global** LSN. The record carries
+///
+/// * which `(shard, shard-local LSN)` frames the commit is made of, and
+/// * the *route bytes*: for every appended / rewritten / deleted row of
+///   the original statement, in original order, the shard it was routed
+///   to — so recovery can re-interleave the per-shard sub-effects into
+///   exactly the bytes the monolithic store would have logged.
+///
+/// A commit is durable **iff its order record is durable and every frame
+/// it references is**; the order append is the commit point (shard
+/// segments sync first). Recovery that finds an order record referencing
+/// a missing shard frame discards that commit and everything after it —
+/// the total order admits no gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitOrderRecord {
+    /// Raw id of the table the statement wrote.
+    pub table: u32,
+    /// `(shard, shard-local LSN)` per participating shard, ascending by
+    /// shard. Empty for a commit that wrote no rows.
+    pub entries: Vec<(u32, u64)>,
+    /// Shard id per appended row of the original statement, in order.
+    pub appended_routes: Vec<u8>,
+    /// Shard id per rewritten row of the original statement, in order.
+    pub rewritten_routes: Vec<u8>,
+    /// Shard id per deleted row of the original statement, in order.
+    pub deleted_routes: Vec<u8>,
+}
+
+impl CommitOrderRecord {
+    /// Encode into an order-log frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            4 + 4
+                + self.entries.len() * 12
+                + 12
+                + self.appended_routes.len()
+                + self.rewritten_routes.len()
+                + self.deleted_routes.len(),
+        );
+        put_u32(&mut out, self.table);
+        put_u32(&mut out, self.entries.len() as u32);
+        for (shard, lsn) in &self.entries {
+            put_u32(&mut out, *shard);
+            put_u64(&mut out, *lsn);
+        }
+        for routes in [
+            &self.appended_routes,
+            &self.rewritten_routes,
+            &self.deleted_routes,
+        ] {
+            put_u32(&mut out, routes.len() as u32);
+            out.extend_from_slice(routes);
+        }
+        out
+    }
+
+    /// Decode an order-log frame payload; rejects trailing bytes and
+    /// entries out of shard order (both would mean a corrupt record the
+    /// CRC happened to miss).
+    pub fn decode(bytes: &[u8]) -> Result<CommitOrderRecord> {
+        let mut p = 0usize;
+        let table = get_u32(bytes, &mut p)?;
+        let n_entries = get_u32(bytes, &mut p)? as usize;
+        let mut entries = Vec::with_capacity(n_entries.min(1024));
+        for _ in 0..n_entries {
+            let shard = get_u32(bytes, &mut p)?;
+            let lsn = get_u64(bytes, &mut p)?;
+            if entries.last().is_some_and(|(s, _)| *s >= shard) {
+                return Err(CadbError::Storage(
+                    "order record: shard entries out of order".to_string(),
+                ));
+            }
+            entries.push((shard, lsn));
+        }
+        let mut sections = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let n = get_u32(bytes, &mut p)? as usize;
+            let end = p
+                .checked_add(n)
+                .filter(|e| *e <= bytes.len())
+                .ok_or_else(|| {
+                    CadbError::Storage("order record: truncated route bytes".to_string())
+                })?;
+            sections.push(bytes[p..end].to_vec());
+            p = end;
+        }
+        if p != bytes.len() {
+            return Err(CadbError::Storage(format!(
+                "order record: {} trailing bytes",
+                bytes.len() - p
+            )));
+        }
+        let deleted_routes = sections.pop().expect("three sections");
+        let rewritten_routes = sections.pop().expect("three sections");
+        let appended_routes = sections.pop().expect("three sections");
+        Ok(CommitOrderRecord {
+            table,
+            entries,
+            appended_routes,
+            rewritten_routes,
+            deleted_routes,
+        })
+    }
+}
+
 /// The outcome of scanning a (possibly torn) segment.
 #[derive(Debug)]
 pub struct WalReplay {
@@ -367,5 +479,47 @@ mod tests {
     fn crc32_known_vector() {
         // The canonical IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn order_record_roundtrips() {
+        let rec = CommitOrderRecord {
+            table: 7,
+            entries: vec![(0, 3), (2, 9)],
+            appended_routes: vec![0, 2, 0],
+            rewritten_routes: vec![2],
+            deleted_routes: Vec::new(),
+        };
+        let bytes = rec.encode();
+        assert_eq!(CommitOrderRecord::decode(&bytes).unwrap(), rec);
+        // An empty commit (no rows, no shards) still roundtrips.
+        let empty = CommitOrderRecord {
+            table: 1,
+            entries: Vec::new(),
+            appended_routes: Vec::new(),
+            rewritten_routes: Vec::new(),
+            deleted_routes: Vec::new(),
+        };
+        assert_eq!(CommitOrderRecord::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn order_record_rejects_corruption() {
+        let rec = CommitOrderRecord {
+            table: 7,
+            entries: vec![(1, 3)],
+            appended_routes: vec![1, 1],
+            rewritten_routes: Vec::new(),
+            deleted_routes: Vec::new(),
+        };
+        let mut bytes = rec.encode();
+        bytes.push(0); // trailing byte
+        assert!(CommitOrderRecord::decode(&bytes).is_err());
+        assert!(CommitOrderRecord::decode(&rec.encode()[..5]).is_err());
+        let unordered = CommitOrderRecord {
+            entries: vec![(2, 3), (1, 4)],
+            ..rec
+        };
+        assert!(CommitOrderRecord::decode(&unordered.encode()).is_err());
     }
 }

@@ -31,8 +31,10 @@ use cadb_core::strategy::{CandidateSelection, EnumerationStrategy, SizeEstimator
 use cadb_core::{Advisor, AdvisorOptions, FeatureSet, PlannerOptions, Recommendation};
 use cadb_engine::{CostModel, Database, Parallelism, Workload};
 use cadb_exec::{
-    MaterializedConfig, MeasuredReport, MeasuredRun, RecoveryReport, Store, WriteActual,
+    MaterializedConfig, MeasuredReport, MeasuredRun, RecoveryReport, ShardedStore, Store,
+    WriteActual,
 };
+use cadb_shard::ShardSpec;
 use std::sync::Arc;
 
 use cadb_common::{CadbError, Result};
@@ -66,6 +68,7 @@ pub struct TuningSession<'a> {
     estimator: Option<Arc<dyn SizeEstimator>>,
     selection: Option<Arc<dyn CandidateSelection>>,
     enumeration: Option<Arc<dyn EnumerationStrategy>>,
+    serve_shards: Option<ShardSpec>,
 }
 
 impl<'a> TuningSession<'a> {
@@ -80,7 +83,20 @@ impl<'a> TuningSession<'a> {
             estimator: None,
             selection: None,
             enumeration: None,
+            serve_shards: None,
         }
+    }
+
+    /// Serve writes through the **sharded** serving layer: one WAL stream
+    /// per shard (routed by the spec's partitioning policy) under a global
+    /// commit-order log. Sharding is an execution strategy, not a
+    /// semantic — [`Self::serve`] produces bit-identical state digests,
+    /// write actuals and recovery outcomes for every spec, including the
+    /// default monolithic single log (see the crate-level *How a sharded
+    /// commit works* section).
+    pub fn serve_sharded(mut self, spec: ShardSpec) -> Self {
+        self.serve_shards = Some(spec);
+        self
     }
 
     /// The workload to tune for (required).
@@ -358,6 +374,9 @@ impl<'a> TuningSession<'a> {
             ));
         }
         let mat = MaterializedConfig::build(self.db, &rec.configuration)?;
+        if let Some(spec) = self.serve_shards {
+            return self.serve_through_shards(&mat, spec);
+        }
         let store = Store::open(self.db, &mat, CostModel::default());
         let writes = store.apply_workload(
             workload,
@@ -376,11 +395,63 @@ impl<'a> TuningSession<'a> {
         Ok(ServeReport {
             writes,
             watermark: store.watermark(),
+            shards: 1,
             wal_bytes: wal.len(),
+            shard_wal_bytes: Vec::new(),
             measured_write_cost: totals.measured_cost,
             measured_mv_cost: totals.measured_mv_cost,
             state_digest,
             recovery,
+            recovered_digest,
+            checkpoint_identical,
+        })
+    }
+
+    /// The sharded half of [`Self::serve`]: same contract, but writes are
+    /// routed across per-shard WAL streams under the global commit-order
+    /// log, and recovery replays the whole log *set*.
+    fn serve_through_shards(
+        &self,
+        mat: &MaterializedConfig,
+        spec: ShardSpec,
+    ) -> Result<ServeReport> {
+        let workload = self.workload.expect("serve() checked the workload");
+        let store = ShardedStore::open(self.db, mat, CostModel::default(), spec)?;
+        let writes = store.apply_workload(
+            workload,
+            cadb_exec::DEFAULT_WRITE_SEED,
+            self.options.parallelism,
+        )?;
+        let totals = store.totals();
+        let state_digest = store.state_digest()?;
+        // Snapshot the whole log set *before* checkpointing, for the same
+        // reason as the monolithic path.
+        let order = store.order_bytes();
+        let shard_logs = store.all_shard_wal_bytes();
+        let live_checkpoint = store.checkpoint()?.store.digest();
+        let (recovered, report) = ShardedStore::recover(
+            self.db,
+            mat,
+            CostModel::default(),
+            spec,
+            &order,
+            &shard_logs,
+        )?;
+        let recovered_digest = recovered.state_digest()?;
+        let checkpoint_identical = recovered.checkpoint()?.store.digest() == live_checkpoint;
+        Ok(ServeReport {
+            writes,
+            watermark: store.watermark(),
+            shards: spec.shards,
+            wal_bytes: order.len() + shard_logs.iter().map(Vec::len).sum::<usize>(),
+            shard_wal_bytes: shard_logs.iter().map(Vec::len).collect(),
+            measured_write_cost: totals.measured_cost,
+            measured_mv_cost: totals.measured_mv_cost,
+            state_digest,
+            // The order log is the authority on what committed; surfacing
+            // its report keeps `recovery_verified()` meaningful (one order
+            // frame per commit, torn shard tails show up as discards).
+            recovery: report.order,
             recovered_digest,
             checkpoint_identical,
         })
@@ -396,8 +467,16 @@ pub struct ServeReport {
     pub writes: Vec<WriteActual>,
     /// Committed watermark LSN after the run.
     pub watermark: u64,
-    /// WAL bytes the run appended (before the verification checkpoint).
+    /// How many shards served the run (`1` = the monolithic single-log
+    /// store; `>1` = [`TuningSession::serve_sharded`]).
+    pub shards: usize,
+    /// Total log-set bytes the run appended (before the verification
+    /// checkpoint): the single WAL when monolithic, the order log plus
+    /// every shard segment when sharded.
     pub wal_bytes: usize,
+    /// Per-shard WAL segment sizes in shard order; empty for the
+    /// monolithic store.
+    pub shard_wal_bytes: Vec<usize>,
     /// Measured maintenance cost summed over all commits (unweighted,
     /// cost-model units).
     pub measured_write_cost: f64,
